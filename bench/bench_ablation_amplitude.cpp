@@ -1,0 +1,42 @@
+// Ablation — the variation-amplitude definition (Step 4).
+//
+// The paper extends V_i across monotone increasing runs so a gradual
+// manifestation credits its starting event with the full rise.  This bench
+// compares: plain single-step difference, the strict monotone extension,
+// and the dip-tolerant extension (our default, which bridges the staircase
+// that 500 ms sampling makes of a ramp).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace edx;
+  const workload::PopulationConfig population =
+      bench::default_population(argc, argv);
+
+  std::cout << "ABLATION: Step-4 variation amplitude definition\n\n";
+
+  TextTable table = bench::ablation_table();
+  {
+    core::AnalysisConfig config;
+    config.detection.extend_monotone_runs = false;
+    bench::print_ablation_row(
+        table, "single-step difference",
+        bench::run_ablation(bench::ablation_app_ids(), population, config));
+  }
+  {
+    core::AnalysisConfig config;
+    config.detection.run_dip_tolerance = 0;
+    bench::print_ablation_row(
+        table, "strict monotone run (paper)",
+        bench::run_ablation(bench::ablation_app_ids(), population, config));
+  }
+  {
+    const core::AnalysisConfig config;  // defaults: dip tolerance 2
+    bench::print_ablation_row(
+        table, "dip-tolerant run (default)",
+        bench::run_ablation(bench::ablation_app_ids(), population, config));
+  }
+  table.print(std::cout);
+  return 0;
+}

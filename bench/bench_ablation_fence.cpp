@@ -1,0 +1,48 @@
+// Ablation — the Step-4 outlier fence.
+//
+// The paper selects manifestation points above the Tukey *upper outer
+// fence* Q3 + 3*IQR.  This bench compares the inner fence (1.5*IQR), the
+// outer fence, and looser/tighter multipliers, plus the sustained-rise
+// filter on/off.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace edx;
+  const workload::PopulationConfig population =
+      bench::default_population(argc, argv);
+
+  std::cout << "ABLATION: Step-4 outlier fence and sustain filter\n\n";
+
+  TextTable table = bench::ablation_table();
+  for (double multiplier : {1.5, 3.0, 6.0}) {
+    core::AnalysisConfig config;
+    config.detection.fence_iqr_multiplier = multiplier;
+    const bench::AblationResult result =
+        bench::run_ablation(bench::ablation_app_ids(), population, config);
+    std::string label =
+        "Q3 + " + strings::format_double(multiplier, 1) + "*IQR";
+    if (multiplier == 1.5) label += " (inner fence)";
+    if (multiplier == 3.0) label += " (paper, outer fence)";
+    bench::print_ablation_row(table, label, result);
+  }
+  {
+    core::AnalysisConfig config;
+    config.detection.require_sustained = false;
+    const bench::AblationResult result =
+        bench::run_ablation(bench::ablation_app_ids(), population, config);
+    bench::print_ablation_row(table, "outer fence, sustain filter OFF",
+                              result);
+  }
+  {
+    core::AnalysisConfig config;
+    config.detection.min_peak_level = 0.0;
+    const bench::AblationResult result =
+        bench::run_ablation(bench::ablation_app_ids(), population, config);
+    bench::print_ablation_row(table, "outer fence, min-peak-level OFF",
+                              result);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation — where the "% of users impacted" comes from (Step 5).
+//
+// The paper assumes developers estimate the impacted-user fraction from
+// forum reports or app-level tools like eDoctor.  This bench compares
+// Step 5 fed with (a) the ground-truth fraction, (b) the eDoctor-style
+// estimate computed from the same traces, and (c) fixed guesses — showing
+// how sensitive the percentage-based ranking is to that input.
+#include <iostream>
+
+#include "baselines/edoctor.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace edx;
+  const workload::PopulationConfig population =
+      bench::default_population(argc, argv);
+
+  std::cout << "ABLATION: source of the developer-reported impact fraction\n\n";
+
+  TextTable table = bench::ablation_table();
+  const std::vector<int> ids = bench::ablation_app_ids();
+
+  // (a) ground truth — what every other bench uses.
+  bench::print_ablation_row(
+      table, "ground truth",
+      bench::run_ablation(ids, population, core::AnalysisConfig{}));
+
+  // (b) eDoctor estimate: run the self-contained pipeline per app.
+  {
+    bench::AblationResult result;
+    const std::vector<workload::AppCase> catalog = workload::full_catalog();
+    double estimate_error = 0.0;
+    for (int id : ids) {
+      const workload::AppCase& app = workload::catalog_app(catalog, id);
+      double estimated = 0.0;
+      const workload::PipelineRun run =
+          workload::run_energydx_self_contained(app, population, &estimated);
+      estimate_error +=
+          std::abs(estimated - run.traces.trigger_fraction_actual);
+      const bench::RunQuality quality = bench::assess(app, run);
+      const core::CodeMap code_map = core::CodeMap::from_app(app.buggy);
+      result.avg_code_reduction +=
+          core::code_reduction(code_map, run.analysis.report);
+      result.component_hits += quality.component_reported ? 1 : 0;
+      result.false_normal_traces += quality.normal_traces_with_points;
+      result.missed_triggered_traces +=
+          quality.triggered_traces - quality.triggered_traces_with_points;
+      if (quality.event_distance) {
+        result.avg_distance += *quality.event_distance;
+        ++result.distance_count;
+      }
+      ++result.apps;
+    }
+    result.avg_code_reduction /= result.apps;
+    if (result.distance_count > 0) {
+      result.avg_distance /= result.distance_count;
+    }
+    bench::print_ablation_row(table, "eDoctor estimate", result);
+    std::cout << "(mean |eDoctor - truth| over the subset: "
+              << bench::pct(estimate_error / static_cast<double>(ids.size()))
+              << ")\n\n";
+  }
+
+  // (c) fixed guesses, right and wrong.
+  for (double guess : {0.05, 0.20, 0.60}) {
+    core::AnalysisConfig config;
+    config.reporting.developer_reported_fraction = guess;
+    // run_energydx overrides the fraction with ground truth; go through the
+    // ablation helper's override path by freezing it via the config: the
+    // helper passes the config as override, and run_energydx replaces only
+    // developer_reported_fraction — so emulate with a direct sweep instead.
+    bench::AblationResult result;
+    const std::vector<workload::AppCase> catalog = workload::full_catalog();
+    for (int id : ids) {
+      const workload::AppCase& app = workload::catalog_app(catalog, id);
+      workload::CollectedTraces traces = workload::collect_traces(
+          app, app.buggy, /*instrumented=*/true, population);
+      const core::ManifestationAnalyzer analyzer(config);
+      workload::PipelineRun run;
+      run.analysis = analyzer.run(traces.bundles);
+      run.traces = std::move(traces);
+      run.config_used = config;
+      const bench::RunQuality quality = bench::assess(app, run);
+      const core::CodeMap code_map = core::CodeMap::from_app(app.buggy);
+      result.avg_code_reduction +=
+          core::code_reduction(code_map, run.analysis.report);
+      result.component_hits += quality.component_reported ? 1 : 0;
+      result.false_normal_traces += quality.normal_traces_with_points;
+      result.missed_triggered_traces +=
+          quality.triggered_traces - quality.triggered_traces_with_points;
+      if (quality.event_distance) {
+        result.avg_distance += *quality.event_distance;
+        ++result.distance_count;
+      }
+      ++result.apps;
+    }
+    result.avg_code_reduction /= result.apps;
+    if (result.distance_count > 0) {
+      result.avg_distance /= result.distance_count;
+    }
+    bench::print_ablation_row(
+        table, "fixed guess " + bench::pct(guess, 0), result);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nDetection (steps 1-4) is independent of the fraction; only "
+               "the Step-5 ranking shifts.\nBecause the diagnosis set always "
+               "includes the closest min_top_k candidates, even a\nbad guess "
+               "degrades gracefully — the cost is ordering quality, not "
+               "coverage.\n";
+  return 0;
+}

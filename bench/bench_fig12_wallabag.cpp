@@ -1,0 +1,53 @@
+// Figures 12, 13, 14 and Table V — the Wallabag case study (§IV-C).
+//
+// Deleting an article that is already gone server-side makes the client
+// retry the sync forever: a CPU-dominated drain.  Paper results: top
+// events ReadArticle:menuDeleted / onCreate / onResume; 21,424 -> 306
+// lines; Fig. 14 shows CPU power dominating after the manifestation.
+#include <iostream>
+
+#include "bench_util.h"
+#include "power/breakdown.h"
+
+int main(int argc, char** argv) {
+  using namespace edx;
+  const workload::PopulationConfig population =
+      bench::default_population(argc, argv);
+  const workload::AppCase app = workload::wallabag_case();
+  const workload::PipelineRun run = workload::run_energydx(app, population);
+  const std::size_t user = bench::first_triggering_user(run.traces);
+
+  std::cout << "FIGURES 12 & 13: Wallabag manifestation analysis (user "
+            << user << ")\n\n";
+  bench::print_step_series(run.analysis.traces[user]);
+
+  std::cout << "\nTABLE V: events reported to developers (Wallabag)\n";
+  bench::print_top_events(run.analysis.report, 6);
+  std::cout << "(paper order: ReadArticle:menuDeleted, ReadArticle:onCreate, "
+               "ReadArticle:onResume, ...)\n\n";
+
+  bench::print_search_space(app, run);
+  std::cout << "(paper: 21,424 -> 306 lines)\n";
+
+  // Figure 14: the drain is CPU work (retry/sync), not radio.
+  const android::RunResult& user_run = run.traces.runs[user];
+  const power::PowerBreakdown breakdown{power::PowerModel(power::nexus6())};
+  const auto abd = breakdown.average(run.traces.timelines[user], user_run.pid,
+                                     user_run.end_time - 30'000,
+                                     user_run.end_time);
+  std::cout << "\nFIGURE 14: power breakdown when the ABD manifests\n";
+  TextTable table({"Component", "Power (mW)"});
+  table.set_align(1, Align::kRight);
+  for (power::Component component : power::kAllComponents) {
+    table.add_row(
+        {std::string(power::component_name(component)),
+         strings::format_double(
+             abd.component_power_mw[static_cast<std::size_t>(component)], 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Dominant component: "
+            << power::component_name(
+                   power::PowerBreakdown::dominant_component(abd))
+            << " (paper: the app consumes high CPU power)\n";
+  return 0;
+}

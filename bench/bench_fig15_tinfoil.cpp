@@ -1,0 +1,38 @@
+// Figure 15 and Table VI — the Tinfoil case study (§IV-C).
+//
+// The news-feed poll keeps refreshing an invisible interface after the app
+// is backgrounded.  Paper results: top events FBWrapper:menu_item_newsfeed
+// and Idle(No_Display); search space 4,226 -> 236 lines.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace edx;
+  const workload::PopulationConfig population =
+      bench::default_population(argc, argv);
+  const workload::AppCase app = workload::tinfoil_case();
+  const workload::PipelineRun run = workload::run_energydx(app, population);
+  const std::size_t user = bench::first_triggering_user(run.traces);
+
+  std::cout << "FIGURE 15: Tinfoil manifestation analysis (user " << user
+            << ")\n\n";
+  bench::print_step_series(run.analysis.traces[user]);
+
+  std::cout << "\nTABLE VI: events reported to developers (Tinfoil)\n";
+  bench::print_top_events(run.analysis.report, 4);
+  std::cout << "(paper order: FBWrapper:menu_item_newsfeed, Idle(No_Display), "
+               "FBWrapper:menu_about, Preferences:onResume)\n\n";
+
+  bench::print_search_space(app, run);
+  std::cout << "(paper: 4,226 -> 236 lines)\n";
+
+  const bench::RunQuality quality = bench::assess(app, run);
+  std::cout << "Root-cause component reported: "
+            << (quality.component_reported ? "yes" : "NO")
+            << "; event distance "
+            << (quality.event_distance ? std::to_string(*quality.event_distance)
+                                       : "-")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark): throughput of the analysis pipeline
+// and its hot substrate paths.  Not a paper figure — harness health.
+#include <benchmark/benchmark.h>
+
+#include "android/apk_builder.h"
+#include "android/instrumenter.h"
+#include "baselines/edoctor.h"
+#include "baselines/nosleep.h"
+#include "core/pipeline.h"
+#include "power/timeline.h"
+#include "workload/experiment.h"
+
+namespace {
+
+using namespace edx;
+
+std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events) {
+  std::vector<trace::TraceBundle> bundles;
+  Rng rng(7);
+  for (int user = 0; user < traces; ++user) {
+    trace::TraceBundle bundle;
+    bundle.user = user;
+    bundle.device_name = "Nexus 6";
+    std::vector<power::UtilizationSample> samples;
+    for (int i = 0; i < events; ++i) {
+      const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+      bundle.events.add_instance("E" + std::to_string(i % 12), {t + 10, t + 40});
+      power::UtilizationSample sample;
+      sample.timestamp = t + 500;
+      sample.estimated_app_power_mw =
+          user == 0 && i > events / 2 ? 500.0 : 100.0 + rng.uniform(0, 5.0);
+      samples.push_back(sample);
+      sample.timestamp = t + 1000;
+      samples.push_back(sample);
+    }
+    bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(1)));
+  const core::ManifestationAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.run(bundles));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_FullPipeline)->Args({10, 50})->Args({30, 100})->Args({100, 200});
+
+void BM_TimelineWindowedAverages(benchmark::State& state) {
+  power::UtilizationTimeline timeline;
+  Rng rng(11);
+  const int contributions = static_cast<int>(state.range(0));
+  for (int i = 0; i < contributions; ++i) {
+    const TimestampMs begin = rng.uniform_int(0, 200'000);
+    timeline.add(1, power::Component::kCpu,
+                 {begin, begin + rng.uniform_int(10, 3'000)},
+                 rng.uniform(0.05, 0.9));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timeline.windowed_averages(
+        1, true, power::Component::kCpu, 0, 200'000, 500));
+  }
+  state.SetItemsProcessed(state.iterations() * contributions);
+}
+BENCHMARK(BM_TimelineWindowedAverages)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_InstrumentApk(benchmark::State& state) {
+  const workload::AppCase app = workload::k9_mail_case();
+  const android::Apk apk = android::build_apk(app.buggy);
+  const android::Instrumenter instrumenter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instrumenter.instrument(apk));
+  }
+}
+BENCHMARK(BM_InstrumentApk);
+
+void BM_PackUnpackRoundTrip(benchmark::State& state) {
+  const workload::AppCase app = workload::k9_mail_case();
+  const std::string blob = android::pack(android::build_apk(app.buggy));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(android::pack(android::unpack(blob)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_PackUnpackRoundTrip);
+
+void BM_Step1EventPower(benchmark::State& state) {
+  const auto bundles = synthetic_bundles(30, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_event_power(bundles));
+  }
+  state.SetItemsProcessed(state.iterations() * 30 * 100);
+}
+BENCHMARK(BM_Step1EventPower);
+
+void BM_Step2Ranking(benchmark::State& state) {
+  const auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EventRanking::build(traces));
+  }
+}
+BENCHMARK(BM_Step2Ranking);
+
+void BM_Step3Normalization(benchmark::State& state) {
+  auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
+  const auto ranking = core::EventRanking::build(traces);
+  for (auto _ : state) {
+    core::normalize_events(traces, ranking);
+    benchmark::DoNotOptimize(traces);
+  }
+}
+BENCHMARK(BM_Step3Normalization);
+
+void BM_Step4Detection(benchmark::State& state) {
+  auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
+  const auto ranking = core::EventRanking::build(traces);
+  core::normalize_events(traces, ranking);
+  for (auto _ : state) {
+    core::detect_all(traces);
+    benchmark::DoNotOptimize(traces);
+  }
+}
+BENCHMARK(BM_Step4Detection);
+
+void BM_Step5Reporting(benchmark::State& state) {
+  auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
+  const auto ranking = core::EventRanking::build(traces);
+  core::normalize_events(traces, ranking);
+  core::detect_all(traces);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::report_problematic_events(traces));
+  }
+}
+BENCHMARK(BM_Step5Reporting);
+
+void BM_NoSleepStaticAnalysis(benchmark::State& state) {
+  const workload::AppCase app = workload::k9_mail_case();
+  const android::Apk apk = android::build_apk(app.buggy);
+  const baselines::NoSleepDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.analyze(apk));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              apk.dex.total_instructions()));
+}
+BENCHMARK(BM_NoSleepStaticAnalysis);
+
+void BM_EDoctorPhaseClustering(benchmark::State& state) {
+  const auto bundles = synthetic_bundles(30, 200);
+  const baselines::EDoctor edoctor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(edoctor.run(bundles));
+  }
+}
+BENCHMARK(BM_EDoctorPhaseClustering);
+
+void BM_EndToEndAppEvaluation(benchmark::State& state) {
+  const workload::AppCase app = workload::tinfoil_case();
+  workload::PopulationConfig population;
+  population.num_users = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::run_energydx(app, population));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndAppEvaluation)->Arg(10)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// Shared helpers for the bench binaries (one binary per paper table/figure).
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/event.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/code_map.h"
+#include "workload/experiment.h"
+#include "workload/ground_truth.h"
+
+namespace edx::bench {
+
+/// Population used by all paper-reproduction benches unless overridden on
+/// the command line: 30 users (the paper's volunteer count), fixed seed.
+inline workload::PopulationConfig default_population(int argc, char** argv) {
+  workload::PopulationConfig population;
+  population.num_users = argc > 1 ? std::atoi(argv[1]) : 30;
+  population.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  return population;
+}
+
+/// Index of the first triggering user (scripts are deterministic, so user 0
+/// always triggers when the fraction is positive).
+inline std::size_t first_triggering_user(const workload::CollectedTraces& t) {
+  for (std::size_t u = 0; u < t.triggered.size(); ++u) {
+    if (t.triggered[u]) return u;
+  }
+  return 0;
+}
+
+/// Quality summary of one pipeline run against ground truth.
+struct RunQuality {
+  bool component_reported{false};
+  bool root_cause_reported{false};
+  int normal_traces_with_points{0};
+  int triggered_traces_with_points{0};
+  int triggered_traces{0};
+  std::optional<int> event_distance;
+};
+
+inline RunQuality assess(const workload::AppCase& app,
+                         const workload::PipelineRun& run) {
+  RunQuality quality;
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (event == app.bug.root_cause_event) quality.root_cause_reported = true;
+    if (android::split_event_name(event).class_name ==
+        app.bug.component_class) {
+      quality.component_reported = true;
+    }
+  }
+  for (std::size_t u = 0; u < run.analysis.traces.size(); ++u) {
+    const bool has = !run.analysis.traces[u].manifestation_indices.empty();
+    if (run.traces.triggered[u]) {
+      ++quality.triggered_traces;
+      quality.triggered_traces_with_points += has ? 1 : 0;
+    } else {
+      quality.normal_traces_with_points += has ? 1 : 0;
+    }
+  }
+  quality.event_distance = workload::app_event_distance(
+      run.analysis.traces, app.bug, &run.traces.triggered);
+  return quality;
+}
+
+/// Prints the per-step series of one analyzed trace (the Fig. 7/9/12/15
+/// panels): raw power, normalized power, variation amplitude, detections.
+inline void print_step_series(const core::AnalyzedTrace& trace,
+                              std::ostream& out = std::cout) {
+  TextTable table({"#", "Event", "raw mW (a)", "normalized (b)",
+                   "amplitude (c)", ""});
+  table.set_align(0, Align::kRight);
+  for (std::size_t c = 2; c <= 4; ++c) table.set_align(c, Align::kRight);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const core::PoweredEvent& event = trace.events[i];
+    const bool detected =
+        std::find(trace.manifestation_indices.begin(),
+                  trace.manifestation_indices.end(),
+                  i) != trace.manifestation_indices.end();
+    table.add_row({std::to_string(i), android::short_event_name(event.name),
+                   strings::format_double(event.raw_power, 1),
+                   strings::format_double(event.normalized_power, 2),
+                   strings::format_double(event.variation_amplitude, 2),
+                   detected ? "<== manifestation" : ""});
+  }
+  table.print(out);
+  out << "Outlier fence (Q3 + 3*IQR, floored): "
+      << strings::format_double(trace.outlier_fence, 2) << "\n";
+}
+
+/// Prints the ranked-events table (Tables II/IV/V/VI).
+inline void print_top_events(const core::DiagnosisReport& report,
+                             std::size_t count, std::ostream& out = std::cout) {
+  TextTable table({"Order", "Event", "% traces impacted"});
+  table.set_align(0, Align::kRight);
+  table.set_align(2, Align::kRight);
+  for (std::size_t i = 0; i < std::min(count, report.ranked_events.size());
+       ++i) {
+    const core::ReportedEvent& event = report.ranked_events[i];
+    table.add_row({std::to_string(i + 1),
+                   android::short_event_name(event.name),
+                   strings::format_double(100.0 * event.impacted_fraction, 1)});
+  }
+  table.print(out);
+}
+
+/// Prints the search-space reduction line of a case study.
+inline void print_search_space(const workload::AppCase& app,
+                               const workload::PipelineRun& run,
+                               std::ostream& out = std::cout) {
+  const core::CodeMap code_map = core::CodeMap::from_app(app.buggy);
+  const int lines = core::diagnosis_lines(code_map, run.analysis.report);
+  out << "Search space: " << code_map.total_lines() << " -> " << lines
+      << " lines (code reduction "
+      << strings::format_double(
+             100.0 * core::code_reduction(code_map, run.analysis.report), 1)
+      << "%)\n";
+}
+
+inline std::string pct(double fraction, int decimals = 1);
+
+/// Aggregate quality of one analysis configuration over a set of catalog
+/// apps; shared by the ablation benches.
+struct AblationResult {
+  int apps{0};
+  double avg_code_reduction{0.0};
+  int component_hits{0};
+  int root_cause_hits{0};
+  int false_normal_traces{0};  ///< normal traces with manifestation points
+  int missed_triggered_traces{0};
+  double avg_distance{0.0};
+  int distance_count{0};
+};
+
+inline AblationResult run_ablation(const std::vector<int>& app_ids,
+                                   const workload::PopulationConfig& population,
+                                   const core::AnalysisConfig& config) {
+  AblationResult result;
+  const std::vector<workload::AppCase> catalog = workload::full_catalog();
+  for (int id : app_ids) {
+    const workload::AppCase& app = workload::catalog_app(catalog, id);
+    const workload::PipelineRun run =
+        workload::run_energydx(app, population, &config);
+    const RunQuality quality = assess(app, run);
+    const core::CodeMap code_map = core::CodeMap::from_app(app.buggy);
+    result.avg_code_reduction +=
+        core::code_reduction(code_map, run.analysis.report);
+    result.component_hits += quality.component_reported ? 1 : 0;
+    result.root_cause_hits += quality.root_cause_reported ? 1 : 0;
+    result.false_normal_traces += quality.normal_traces_with_points;
+    result.missed_triggered_traces +=
+        quality.triggered_traces - quality.triggered_traces_with_points;
+    if (quality.event_distance) {
+      result.avg_distance += *quality.event_distance;
+      ++result.distance_count;
+    }
+    ++result.apps;
+  }
+  result.avg_code_reduction /= result.apps;
+  if (result.distance_count > 0) result.avg_distance /= result.distance_count;
+  return result;
+}
+
+/// The app subset ablations sweep: one strong and one light drain per
+/// root-cause kind, plus a detailed case study.
+inline std::vector<int> ablation_app_ids() { return {1, 5, 18, 22, 31, 33, 40}; }
+
+inline void print_ablation_row(TextTable& table, const std::string& label,
+                               const AblationResult& result) {
+  table.add_row(
+      {label, pct(result.avg_code_reduction),
+       std::to_string(result.component_hits) + "/" +
+           std::to_string(result.apps),
+       std::to_string(result.false_normal_traces),
+       std::to_string(result.missed_triggered_traces),
+       result.distance_count > 0
+           ? strings::format_double(result.avg_distance, 1)
+           : "-"});
+}
+
+inline TextTable ablation_table() {
+  return TextTable({"Variant", "Avg code reduction", "Component hit",
+                    "False normal traces", "Missed trigger traces",
+                    "Avg distance"});
+}
+
+inline std::string pct(double fraction, int decimals) {
+  return strings::format_double(100.0 * fraction, decimals) + "%";
+}
+
+inline std::string mw(double value, int decimals = 1) {
+  return strings::format_double(value, decimals) + " mW";
+}
+
+}  // namespace edx::bench

@@ -1,0 +1,167 @@
+#include "android/apk.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::android {
+
+// Packed format, line-oriented:
+//   APK <package>
+//   RES <size> <name>
+//   CLASS <kind> <name>
+//   METHOD <loc> <instrumented:0|1> <name>
+//   I <opcode> [operand]
+//   END-METHOD / END-CLASS / END-APK
+// Invoke operands are the raw descriptor; branch operands are the decimal
+// instruction index.
+
+std::string pack(const Apk& apk) {
+  std::ostringstream out;
+  out << "APK " << apk.package_name << '\n';
+  for (const auto& [name, size] : apk.resources) {
+    out << "RES " << size << ' ' << name << '\n';
+  }
+  for (const DexClass& dex_class : apk.dex.classes) {
+    out << "CLASS " << class_kind_name(dex_class.kind) << ' '
+        << dex_class.name << '\n';
+    for (const Method& method : dex_class.methods) {
+      out << "METHOD " << method.lines_of_code << ' '
+          << (method.instrumented ? 1 : 0) << ' ' << method.name << '\n';
+      for (const Instruction& instruction : method.code) {
+        out << "I " << opcode_name(instruction.opcode);
+        switch (instruction.opcode) {
+          case Opcode::kInvoke:
+            out << ' ' << instruction.target;
+            break;
+          case Opcode::kIfEqz:
+          case Opcode::kGoto:
+            out << ' ' << instruction.branch_target;
+            break;
+          default:
+            break;
+        }
+        out << '\n';
+      }
+      out << "END-METHOD\n";
+    }
+    out << "END-CLASS\n";
+  }
+  out << "END-APK\n";
+  return out.str();
+}
+
+namespace {
+
+Opcode opcode_from_name(const std::string& name) {
+  static const std::pair<const char*, Opcode> kTable[] = {
+      {"nop", Opcode::kNop},         {"const", Opcode::kConst},
+      {"move", Opcode::kMove},       {"invoke", Opcode::kInvoke},
+      {"if-eqz", Opcode::kIfEqz},    {"goto", Opcode::kGoto},
+      {"return", Opcode::kReturn},   {"throw", Opcode::kThrow},
+      {"log-entry", Opcode::kLogEntry},
+      {"log-exit", Opcode::kLogExit},
+  };
+  for (const auto& [text, opcode] : kTable) {
+    if (name == text) return opcode;
+  }
+  throw ParseError("unpack: unknown opcode '" + name + "'");
+}
+
+ClassKind class_kind_from_name(const std::string& name) {
+  if (name == "activity") return ClassKind::kActivity;
+  if (name == "service") return ClassKind::kService;
+  if (name == "other") return ClassKind::kOther;
+  throw ParseError("unpack: unknown class kind '" + name + "'");
+}
+
+}  // namespace
+
+Apk unpack(const std::string& blob) {
+  std::istringstream in(blob);
+  std::string line;
+
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      line = strings::trim(line);
+      if (!line.empty()) return true;
+    }
+    return false;
+  };
+  const auto fail = [](const std::string& why) -> void {
+    throw ParseError("unpack: " + why);
+  };
+
+  if (!next_line() || !strings::starts_with(line, "APK ")) {
+    fail("missing APK header");
+  }
+  Apk apk;
+  apk.package_name = strings::trim(line.substr(4));
+
+  DexClass* current_class = nullptr;
+  Method* current_method = nullptr;
+  while (next_line()) {
+    if (line == "END-APK") return apk;
+    if (strings::starts_with(line, "RES ")) {
+      std::istringstream fields(line.substr(4));
+      std::size_t size = 0;
+      std::string name;
+      if (!(fields >> size >> name)) fail("malformed RES line");
+      apk.resources[name] = size;
+    } else if (strings::starts_with(line, "CLASS ")) {
+      std::istringstream fields(line.substr(6));
+      std::string kind, name;
+      if (!(fields >> kind >> name)) fail("malformed CLASS line");
+      apk.dex.classes.push_back(
+          DexClass{name, class_kind_from_name(kind), {}});
+      current_class = &apk.dex.classes.back();
+      current_method = nullptr;
+    } else if (strings::starts_with(line, "METHOD ")) {
+      if (current_class == nullptr) fail("METHOD outside CLASS");
+      std::istringstream fields(line.substr(7));
+      int loc = 0;
+      int instrumented = 0;
+      std::string name;
+      if (!(fields >> loc >> instrumented >> name)) {
+        fail("malformed METHOD line");
+      }
+      Method method;
+      method.name = name;
+      method.lines_of_code = loc;
+      method.instrumented = instrumented != 0;
+      current_class->methods.push_back(std::move(method));
+      current_method = &current_class->methods.back();
+    } else if (strings::starts_with(line, "I ")) {
+      if (current_method == nullptr) fail("instruction outside METHOD");
+      std::istringstream fields(line.substr(2));
+      std::string opcode_text;
+      if (!(fields >> opcode_text)) fail("malformed instruction line");
+      Instruction instruction;
+      instruction.opcode = opcode_from_name(opcode_text);
+      if (instruction.opcode == Opcode::kInvoke) {
+        std::string target;
+        if (!(fields >> target)) fail("invoke without target");
+        instruction.target = target;
+      } else if (instruction.opcode == Opcode::kIfEqz ||
+                 instruction.opcode == Opcode::kGoto) {
+        if (!(fields >> instruction.branch_target)) {
+          fail("branch without target index");
+        }
+      }
+      current_method->code.push_back(std::move(instruction));
+    } else if (line == "END-METHOD") {
+      if (current_method == nullptr) fail("stray END-METHOD");
+      current_method = nullptr;
+    } else if (line == "END-CLASS") {
+      if (current_class == nullptr) fail("stray END-CLASS");
+      current_class = nullptr;
+    } else {
+      fail("unrecognized line '" + line + "'");
+    }
+  }
+  fail("missing END-APK");
+  return apk;  // unreachable
+}
+
+}  // namespace edx::android

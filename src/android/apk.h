@@ -1,0 +1,35 @@
+// APK container model with pack/unpack.
+//
+// The paper's instrumenter "unpacks the APK file and disassembles the Dalvik
+// byte code files into assembly-like format ... then packages them back to a
+// new APK file".  We mirror that workflow: an Apk is a dex plus resources,
+// and pack()/unpack() round-trip it through a textual smali-like format so
+// the instrumenter genuinely operates on a serialized artifact.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "android/dex.h"
+
+namespace edx::android {
+
+/// An Android application package.
+struct Apk {
+  std::string package_name;  ///< e.g. "com.fsck.k9"
+  DexFile dex;
+  /// Non-code resources (name -> size in bytes); carried through repacking.
+  std::map<std::string, std::size_t> resources;
+
+  /// Source lines in the whole app (code model only).
+  [[nodiscard]] int total_loc() const { return dex.total_loc(); }
+};
+
+/// Serializes `apk` into the textual package format.
+std::string pack(const Apk& apk);
+
+/// Parses a packed blob back into an Apk.  Throws ParseError on malformed
+/// input.  pack(unpack(pack(a))) == pack(a) for every valid Apk.
+Apk unpack(const std::string& blob);
+
+}  // namespace edx::android

@@ -1,0 +1,186 @@
+#include "android/apk_builder.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::android {
+
+namespace {
+
+/// Appends the instructions of one SimpleOp (without guard) to `code`.
+void append_op_body(std::vector<Instruction>& code, const SimpleOp& op) {
+  switch (op.kind) {
+    case OpKind::kCpuWork:
+      code.push_back(Instruction::constant());
+      code.push_back(Instruction::nop());
+      break;
+    case OpKind::kNetwork:
+      code.push_back(Instruction::invoke(api::kSocketConnect));
+      break;
+    case OpKind::kGpsStart:
+      code.push_back(Instruction::invoke(api::kGpsRequestUpdates));
+      break;
+    case OpKind::kGpsStop:
+      code.push_back(Instruction::invoke(api::kGpsRemoveUpdates));
+      break;
+    case OpKind::kSensorStart:
+      code.push_back(Instruction::invoke(api::kSensorRegister));
+      break;
+    case OpKind::kSensorStop:
+      code.push_back(Instruction::invoke(api::kSensorUnregister));
+      break;
+    case OpKind::kAudioStart:
+      code.push_back(Instruction::invoke(api::kAudioStart));
+      break;
+    case OpKind::kAudioStop:
+      code.push_back(Instruction::invoke(api::kAudioStop));
+      break;
+    case OpKind::kWakeLockAcquire:
+      // "#<id>" records which lock object the register holds; syntactic
+      // API matching sees only the descriptor prefix.
+      code.push_back(
+          Instruction::invoke(std::string(api::kWakeLockAcquire) + "#" +
+                              op.id));
+      break;
+    case OpKind::kWakeLockRelease:
+      // The *code* always shows a WakeLock.release call — whether it
+      // releases the right lock at runtime depends on the receiver (the
+      // "#<id>" suffix).  A release of the wrong lock is precisely the
+      // aliasing bug that fools descriptor-level acquire/release matching.
+      code.push_back(Instruction::move());
+      code.push_back(
+          Instruction::invoke(std::string(api::kWakeLockRelease) + "#" +
+                              op.id));
+      break;
+    case OpKind::kSetConfig:
+      // The stored key/value pair is part of the code (a string constant in
+      // real dex); encoding it in the descriptor keeps buggy and fixed
+      // builds distinguishable artifacts.
+      code.push_back(Instruction::constant());
+      code.push_back(Instruction::invoke(std::string(api::kPrefsPutString) +
+                                         "#" + op.id + "=" + op.value));
+      break;
+    case OpKind::kStartPeriodicTask:
+      code.push_back(Instruction::invoke(api::kHandlerPostDelayed));
+      break;
+    case OpKind::kCancelPeriodicTask:
+      code.push_back(Instruction::invoke(api::kHandlerRemoveCallbacks));
+      break;
+    case OpKind::kSleep:
+      code.push_back(Instruction::nop());
+      break;
+  }
+}
+
+/// Appends one op, wrapping it in a conditional branch when guarded.
+void append_op(std::vector<Instruction>& code, const SimpleOp& op) {
+  if (op.guard_key.empty()) {
+    append_op_body(code, op);
+    return;
+  }
+  // const (load config value) ; if-eqz skip ; <body> ; skip:
+  code.push_back(Instruction::constant());
+  const std::size_t branch_index = code.size();
+  code.push_back(Instruction::if_eqz(0));  // patched below
+  append_op_body(code, op);
+  code[branch_index].branch_target = code.size();
+  // The branch target must exist; a trailing nop guarantees it even when
+  // the guarded op is the last one before the return (the return is
+  // appended by the caller *after* all ops).
+  code.push_back(Instruction::nop());
+}
+
+}  // namespace
+
+std::vector<Instruction> compile_behavior(const Behavior& behavior) {
+  std::vector<Instruction> code;
+  code.push_back(Instruction::constant());  // prologue: load `this` fields
+  for (const Op& op : behavior) append_op(code, op);
+  code.push_back(Instruction::ret());
+  return code;
+}
+
+std::vector<Instruction> compile_task_work(const std::vector<SimpleOp>& work) {
+  std::vector<Instruction> code;
+  code.push_back(Instruction::constant());
+  for (const SimpleOp& op : work) append_op(code, op);
+  code.push_back(Instruction::ret());
+  return code;
+}
+
+namespace {
+
+/// Synthesizes a plausible non-callback helper method with branching code.
+Method make_helper(const std::string& name, int lines_of_code) {
+  Method method;
+  method.name = name;
+  method.lines_of_code = lines_of_code;
+  // const ; if-eqz L ; const ; goto M ; L: const ; M: return
+  method.code = {
+      Instruction::constant(), Instruction::if_eqz(4),
+      Instruction::constant(), Instruction::jump(5),
+      Instruction::constant(), Instruction::ret(),
+  };
+  return method;
+}
+
+constexpr int kHelperMethodLoc = 40;
+
+void add_helper_methods(DexClass& dex_class, int helper_loc) {
+  int remaining = helper_loc;
+  int index = 0;
+  while (remaining > 0) {
+    const int lines = remaining >= kHelperMethodLoc ? kHelperMethodLoc
+                                                    : remaining;
+    dex_class.methods.push_back(
+        make_helper("helper" + std::to_string(index++), lines));
+    remaining -= lines;
+  }
+}
+
+}  // namespace
+
+Apk build_apk(const AppSpec& app) {
+  require(!app.package_name.empty(), "build_apk: app has no package name");
+  Apk apk;
+  apk.package_name = app.package_name;
+  apk.resources = {{"AndroidManifest.xml", 2048},
+                   {"res/layout/main.xml", 4096},
+                   {"res/drawable/icon.png", 8192}};
+
+  for (const ComponentSpec& component : app.components) {
+    DexClass dex_class;
+    dex_class.name = component.class_name;
+    dex_class.kind = component.kind;
+    for (const CallbackSpec& callback : component.callbacks) {
+      Method method;
+      method.name = callback.name;
+      method.lines_of_code = callback.lines_of_code;
+      method.code = compile_behavior(callback.behavior);
+      dex_class.methods.push_back(std::move(method));
+
+      // Periodic-task bodies become Runnable.run methods of the same class.
+      for (const Op& op : callback.behavior) {
+        if (op.kind != OpKind::kStartPeriodicTask) continue;
+        Method run_method;
+        run_method.name = op.id + "$run";
+        run_method.lines_of_code = 6;
+        run_method.code = compile_task_work(op.task_work);
+        dex_class.methods.push_back(std::move(run_method));
+      }
+    }
+    add_helper_methods(dex_class, component.helper_loc);
+    apk.dex.classes.push_back(std::move(dex_class));
+  }
+
+  if (app.glue_loc > 0) {
+    DexClass glue;
+    glue.name = make_class_name(app.package_name, "internal", "Glue");
+    glue.kind = ClassKind::kOther;
+    add_helper_methods(glue, app.glue_loc);
+    apk.dex.classes.push_back(std::move(glue));
+  }
+  return apk;
+}
+
+}  // namespace edx::android

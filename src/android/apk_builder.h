@@ -1,0 +1,26 @@
+// Lowers an AppSpec to an Apk (dex codegen).
+//
+// Every callback's behavior script compiles to a small Dalvik method whose
+// invoke targets are the real framework descriptors (WakeLock.acquire,
+// LocationManager.requestLocationUpdates, Socket.connect, ...), guards
+// compile to conditional branches, and periodic-task bodies compile to
+// separate Runnable.run methods.  The static no-sleep baseline analyzes
+// exactly this code — so whether it detects a bug is decided by the same
+// artifact that produces the runtime power behaviour.
+#pragma once
+
+#include "android/apk.h"
+#include "android/app.h"
+
+namespace edx::android {
+
+/// Builds the (uninstrumented) APK of `app`.
+Apk build_apk(const AppSpec& app);
+
+/// Compiles one behavior into method code (exposed for tests).
+std::vector<Instruction> compile_behavior(const Behavior& behavior);
+
+/// Compiles a periodic task's work list into a Runnable.run body.
+std::vector<Instruction> compile_task_work(const std::vector<SimpleOp>& work);
+
+}  // namespace edx::android

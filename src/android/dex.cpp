@@ -1,0 +1,192 @@
+#include "android/dex.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace edx::android {
+
+std::string opcode_name(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kConst: return "const";
+    case Opcode::kMove: return "move";
+    case Opcode::kInvoke: return "invoke";
+    case Opcode::kIfEqz: return "if-eqz";
+    case Opcode::kGoto: return "goto";
+    case Opcode::kReturn: return "return";
+    case Opcode::kThrow: return "throw";
+    case Opcode::kLogEntry: return "log-entry";
+    case Opcode::kLogExit: return "log-exit";
+  }
+  throw InvalidArgument("opcode_name: unknown opcode");
+}
+
+Instruction Instruction::nop() { return {Opcode::kNop, "", 0}; }
+Instruction Instruction::constant() { return {Opcode::kConst, "", 0}; }
+Instruction Instruction::move() { return {Opcode::kMove, "", 0}; }
+Instruction Instruction::invoke(std::string target) {
+  return {Opcode::kInvoke, std::move(target), 0};
+}
+Instruction Instruction::if_eqz(std::size_t branch_target) {
+  return {Opcode::kIfEqz, "", branch_target};
+}
+Instruction Instruction::jump(std::size_t branch_target) {
+  return {Opcode::kGoto, "", branch_target};
+}
+Instruction Instruction::ret() { return {Opcode::kReturn, "", 0}; }
+Instruction Instruction::throw_up() { return {Opcode::kThrow, "", 0}; }
+Instruction Instruction::log_entry() { return {Opcode::kLogEntry, "", 0}; }
+Instruction Instruction::log_exit() { return {Opcode::kLogExit, "", 0}; }
+
+std::vector<std::size_t> Method::find_invokes(
+    const std::string& target) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].opcode == Opcode::kInvoke && code[i].target == target) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+std::vector<BasicBlock> build_cfg(const Method& method) {
+  if (method.code.empty()) return {};
+
+  const std::size_t size = method.code.size();
+  const auto check_target = [&](std::size_t target) {
+    if (target >= size) {
+      throw ParseError("build_cfg: branch target out of range in method '" +
+                       method.name + "'");
+    }
+  };
+
+  // Leaders: instruction 0, every branch target, and every instruction
+  // following a branch / goto / return.
+  std::set<std::size_t> leaders{0};
+  for (std::size_t i = 0; i < size; ++i) {
+    const Instruction& instruction = method.code[i];
+    switch (instruction.opcode) {
+      case Opcode::kIfEqz:
+        check_target(instruction.branch_target);
+        leaders.insert(instruction.branch_target);
+        if (i + 1 < size) leaders.insert(i + 1);
+        break;
+      case Opcode::kGoto:
+        check_target(instruction.branch_target);
+        leaders.insert(instruction.branch_target);
+        if (i + 1 < size) leaders.insert(i + 1);
+        break;
+      case Opcode::kReturn:
+      case Opcode::kThrow:
+        if (i + 1 < size) leaders.insert(i + 1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<BasicBlock> blocks;
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    BasicBlock block;
+    block.first = *it;
+    const auto next = std::next(it);
+    block.last = (next == leaders.end() ? size : *next) - 1;
+    blocks.push_back(block);
+  }
+
+  const auto block_of = [&](std::size_t instruction_index) {
+    const auto it =
+        std::upper_bound(blocks.begin(), blocks.end(), instruction_index,
+                         [](std::size_t index, const BasicBlock& block) {
+                           return index < block.first;
+                         });
+    return static_cast<std::size_t>(std::distance(blocks.begin(), it)) - 1;
+  };
+
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    BasicBlock& block = blocks[b];
+    const Instruction& terminator = method.code[block.last];
+    switch (terminator.opcode) {
+      case Opcode::kReturn:
+      case Opcode::kThrow:
+        break;  // no successors (throw propagates out of the method)
+      case Opcode::kGoto:
+        block.successors.push_back(block_of(terminator.branch_target));
+        break;
+      case Opcode::kIfEqz:
+        if (block.last + 1 < size) {
+          block.successors.push_back(block_of(block.last + 1));
+        }
+        block.successors.push_back(block_of(terminator.branch_target));
+        break;
+      default:
+        if (block.last + 1 < size) {
+          block.successors.push_back(block_of(block.last + 1));
+        }
+        break;
+    }
+    // Deduplicate (an if whose target is the fallthrough).
+    std::sort(block.successors.begin(), block.successors.end());
+    block.successors.erase(
+        std::unique(block.successors.begin(), block.successors.end()),
+        block.successors.end());
+  }
+  return blocks;
+}
+
+std::string class_kind_name(ClassKind kind) {
+  switch (kind) {
+    case ClassKind::kActivity: return "activity";
+    case ClassKind::kService: return "service";
+    case ClassKind::kOther: return "other";
+  }
+  throw InvalidArgument("class_kind_name: unknown kind");
+}
+
+const Method* DexClass::find_method(const std::string& method_name) const {
+  for (const Method& method : methods) {
+    if (method.name == method_name) return &method;
+  }
+  return nullptr;
+}
+
+Method* DexClass::find_method(const std::string& method_name) {
+  return const_cast<Method*>(
+      static_cast<const DexClass*>(this)->find_method(method_name));
+}
+
+const DexClass* DexFile::find_class(const std::string& class_name) const {
+  for (const DexClass& dex_class : classes) {
+    if (dex_class.name == class_name) return &dex_class;
+  }
+  return nullptr;
+}
+
+DexClass* DexFile::find_class(const std::string& class_name) {
+  return const_cast<DexClass*>(
+      static_cast<const DexFile*>(this)->find_class(class_name));
+}
+
+int DexFile::total_loc() const {
+  int total = 0;
+  for (const DexClass& dex_class : classes) {
+    for (const Method& method : dex_class.methods) {
+      total += method.lines_of_code;
+    }
+  }
+  return total;
+}
+
+std::size_t DexFile::total_instructions() const {
+  std::size_t total = 0;
+  for (const DexClass& dex_class : classes) {
+    for (const Method& method : dex_class.methods) {
+      total += method.code.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace edx::android

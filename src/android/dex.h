@@ -1,0 +1,139 @@
+// Mini-Dalvik code model.
+//
+// EnergyDx's instrumenter unpacks an APK, disassembles the Dalvik bytecode,
+// injects logging at the event callbacks, and repacks.  The no-sleep
+// baseline ([9]) runs a dataflow analysis over the same bytecode.  We model
+// the parts of Dalvik both consumers need: classes, methods, a linear
+// instruction stream with branches, and a control-flow graph.
+//
+// The instruction set is deliberately small; `kInvoke` carries the JVM-style
+// target descriptor (e.g. "Landroid/os/PowerManager$WakeLock;->acquire()V"),
+// which is all the resource-leak analysis keys on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace edx::android {
+
+/// Dalvik-ish opcodes.
+enum class Opcode {
+  kNop,
+  kConst,     ///< load a constant into a register
+  kMove,      ///< register copy (creates aliases the simple analysis misses)
+  kInvoke,    ///< call `target`
+  kIfEqz,     ///< conditional branch to `branch_target`
+  kGoto,      ///< unconditional branch to `branch_target`
+  kReturn,    ///< method exit
+  kThrow,     ///< exceptional method exit (uncaught: propagates out)
+  kLogEntry,  ///< injected by the instrumenter: event entry timestamp
+  kLogExit,   ///< injected by the instrumenter: event exit timestamp
+};
+
+std::string opcode_name(Opcode opcode);
+
+/// One instruction.
+struct Instruction {
+  Opcode opcode{Opcode::kNop};
+  std::string target;          ///< invoke descriptor (kInvoke only)
+  std::size_t branch_target{0};  ///< instruction index (kIfEqz / kGoto)
+
+  static Instruction nop();
+  static Instruction constant();
+  static Instruction move();
+  static Instruction invoke(std::string target);
+  static Instruction if_eqz(std::size_t branch_target);
+  static Instruction jump(std::size_t branch_target);
+  static Instruction ret();
+  static Instruction throw_up();
+  static Instruction log_entry();
+  static Instruction log_exit();
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Well-known framework API descriptors referenced by generated code and
+/// matched by the baselines.
+namespace api {
+inline constexpr const char* kWakeLockAcquire =
+    "Landroid/os/PowerManager$WakeLock;->acquire()V";
+inline constexpr const char* kWakeLockRelease =
+    "Landroid/os/PowerManager$WakeLock;->release()V";
+inline constexpr const char* kGpsRequestUpdates =
+    "Landroid/location/LocationManager;->requestLocationUpdates()V";
+inline constexpr const char* kGpsRemoveUpdates =
+    "Landroid/location/LocationManager;->removeUpdates()V";
+inline constexpr const char* kSensorRegister =
+    "Landroid/hardware/SensorManager;->registerListener()Z";
+inline constexpr const char* kSensorUnregister =
+    "Landroid/hardware/SensorManager;->unregisterListener()V";
+inline constexpr const char* kAudioStart =
+    "Landroid/media/MediaPlayer;->start()V";
+inline constexpr const char* kAudioStop =
+    "Landroid/media/MediaPlayer;->stop()V";
+inline constexpr const char* kSocketConnect =
+    "Ljava/net/Socket;->connect()V";
+inline constexpr const char* kHandlerPostDelayed =
+    "Landroid/os/Handler;->postDelayed()Z";
+inline constexpr const char* kHandlerRemoveCallbacks =
+    "Landroid/os/Handler;->removeCallbacks()V";
+inline constexpr const char* kPrefsPutString =
+    "Landroid/content/SharedPreferences$Editor;->putString()V";
+}  // namespace api
+
+/// A method: name, source-line budget, and code.
+struct Method {
+  std::string name;              ///< bare callback name, e.g. "onResume"
+  std::vector<Instruction> code;
+  int lines_of_code{0};          ///< source lines attributed to this method
+  bool instrumented{false};      ///< set by the Instrumenter
+
+  /// Index of every kInvoke whose target equals `target`.
+  [[nodiscard]] std::vector<std::size_t> find_invokes(
+      const std::string& target) const;
+};
+
+/// One basic block of a method CFG.
+struct BasicBlock {
+  std::size_t first{0};  ///< index of the first instruction
+  std::size_t last{0};   ///< index of the last instruction (inclusive)
+  std::vector<std::size_t> successors;  ///< indices into the block vector
+};
+
+/// Builds the CFG of `method`; blocks are ordered by first instruction.
+/// Throws ParseError on branch targets outside the method.
+std::vector<BasicBlock> build_cfg(const Method& method);
+
+/// Class kind; drives lifecycle handling in the runtime.
+enum class ClassKind { kActivity, kService, kOther };
+
+std::string class_kind_name(ClassKind kind);
+
+/// A class: JVM-style name plus methods.
+struct DexClass {
+  std::string name;  ///< e.g. "Lcom/fsck/k9/activity/MessageList;"
+  ClassKind kind{ClassKind::kOther};
+  std::vector<Method> methods;
+
+  [[nodiscard]] const Method* find_method(const std::string& name) const;
+  [[nodiscard]] Method* find_method(const std::string& name);
+};
+
+/// A whole dex file.
+struct DexFile {
+  std::vector<DexClass> classes;
+
+  [[nodiscard]] const DexClass* find_class(const std::string& name) const;
+  [[nodiscard]] DexClass* find_class(const std::string& name);
+
+  /// Total lines of code across all methods.
+  [[nodiscard]] int total_loc() const;
+  /// Total number of instructions.
+  [[nodiscard]] std::size_t total_instructions() const;
+};
+
+}  // namespace edx::android

@@ -1,0 +1,94 @@
+#include "android/event.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::android {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLifecycle: return "lifecycle";
+    case EventKind::kUi: return "ui";
+    case EventKind::kIdle: return "idle";
+    case EventKind::kOther: return "other";
+  }
+  throw InvalidArgument("event_kind_name: unknown kind");
+}
+
+const std::vector<std::string>& lifecycle_callback_names() {
+  static const std::vector<std::string> kNames = {
+      // android.app.Activity
+      "onCreate", "onStart", "onResume", "onPause", "onStop", "onRestart",
+      "onDestroy",
+      // android.app.Service
+      "onStartCommand", "onBind", "onUnbind", "onRebind",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& ui_callback_prefixes() {
+  static const std::vector<std::string> kPrefixes = {
+      "onClick", "onLongClick", "onItemClick", "onItemLongClick", "onTouch",
+      "onKey",   "onFocusChange", "onScroll", "onMenuItemClick",
+  };
+  return kPrefixes;
+}
+
+EventKind classify_callback(std::string_view callback_name) {
+  if (callback_name == kIdleEventName) return EventKind::kIdle;
+  for (const std::string& name : lifecycle_callback_names()) {
+    if (callback_name == name) return EventKind::kLifecycle;
+  }
+  for (const std::string& prefix : ui_callback_prefixes()) {
+    if (strings::starts_with(callback_name, prefix)) return EventKind::kUi;
+  }
+  // Widget-handler convention used by the case-study apps: menu items and
+  // named buttons compile to onOptionsItemSelected dispatch targets; the
+  // instrumenter recognizes them by the "menu" prefix (e.g. "menuDeleted",
+  // "menu_item_newsfeed", "menu_about").
+  if (strings::starts_with(callback_name, "menu")) return EventKind::kUi;
+  return EventKind::kOther;
+}
+
+bool is_instrumentable(std::string_view callback_name) {
+  const EventKind kind = classify_callback(callback_name);
+  return kind == EventKind::kLifecycle || kind == EventKind::kUi;
+}
+
+EventName qualified_event_name(std::string_view class_name,
+                               std::string_view callback_name) {
+  if (class_name.empty()) return std::string(callback_name);
+  return std::string(class_name) + "." + std::string(callback_name);
+}
+
+SplitEventName split_event_name(const EventName& event_name) {
+  // Class names are JVM-style "L<path>;", so the separator is the first '.'
+  // after the closing ';'.  Events with no class (Idle) have no ';'.
+  const std::size_t semicolon = event_name.find(';');
+  if (semicolon == std::string::npos) {
+    return SplitEventName{"", event_name};
+  }
+  if (semicolon + 1 >= event_name.size() ||
+      event_name[semicolon + 1] != '.') {
+    throw ParseError("split_event_name: malformed event name '" + event_name +
+                     "'");
+  }
+  return SplitEventName{event_name.substr(0, semicolon + 1),
+                        event_name.substr(semicolon + 2)};
+}
+
+std::string short_event_name(const EventName& event_name) {
+  const SplitEventName parts = split_event_name(event_name);
+  if (parts.class_name.empty()) return parts.callback_name;
+  // "Lcom/fsck/k9/activity/MessageList;" -> "MessageList"
+  std::string cls = parts.class_name;
+  if (!cls.empty() && cls.back() == ';') cls.pop_back();
+  const std::size_t slash = cls.find_last_of('/');
+  if (slash != std::string::npos) cls = cls.substr(slash + 1);
+  if (!cls.empty() && cls.front() == 'L' && slash == std::string::npos) {
+    cls = cls.substr(1);
+  }
+  return cls + ":" + parts.callback_name;
+}
+
+}  // namespace edx::android

@@ -1,0 +1,68 @@
+// Event vocabulary of the simulated Android framework.
+//
+// EnergyDx only instruments events "related to user interaction and
+// activity lifecycle" (Table I of the paper): the activity/service
+// lifecycle callbacks and the View interaction callbacks.  This header
+// defines that pool plus the naming scheme used across the traces
+// ("Lcom/fsck/k9/activity/MessageList;.onResume").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace edx::android {
+
+/// Category of an event, mirroring Table I plus the synthesized idle event.
+enum class EventKind {
+  kLifecycle,  ///< android.app.Activity / android.app.Service lifecycle
+  kUi,         ///< android.View interaction callbacks
+  kIdle,       ///< synthesized Idle(No_Display) background marker
+  kOther,      ///< app-internal methods, never instrumented
+};
+
+std::string_view event_kind_name(EventKind kind);
+
+/// The activity-lifecycle callback names the instrumenter matches.
+const std::vector<std::string>& lifecycle_callback_names();
+
+/// The UI callback name *prefixes* the instrumenter matches.  A UI callback
+/// may carry a widget suffix ("onClick:btnSend", "menu_item_newsfeed"), so
+/// matching is prefix-based for the onX family plus an explicit menu/widget
+/// convention.
+const std::vector<std::string>& ui_callback_prefixes();
+
+/// Classifies a bare callback name ("onResume", "onClick:btnSend",
+/// "menuDeleted", "Idle(No_Display)") into its EventKind.  Names that match
+/// neither the lifecycle set, the UI prefixes, a "menu*" widget convention,
+/// nor the idle marker are kOther.
+EventKind classify_callback(std::string_view callback_name);
+
+/// The pool of events the instrumenter rewrites: lifecycle + UI.
+bool is_instrumentable(std::string_view callback_name);
+
+/// Joins a JVM-style class name and callback into the canonical event name
+/// used throughout traces and reports, e.g.
+/// qualified_event_name("Lcom/fsck/k9/activity/MessageList;", "onResume")
+///   == "Lcom/fsck/k9/activity/MessageList;.onResume".
+EventName qualified_event_name(std::string_view class_name,
+                               std::string_view callback_name);
+
+/// Splits a canonical event name back into {class, callback}.  Throws
+/// ParseError if there is no '.' separator after the ';'.
+struct SplitEventName {
+  std::string class_name;
+  std::string callback_name;
+};
+SplitEventName split_event_name(const EventName& event_name);
+
+/// Short human form used in the paper's tables: "MessageList:onResume".
+std::string short_event_name(const EventName& event_name);
+
+/// The synthesized background event name; appears in traces as a regular
+/// event with an empty class.
+inline constexpr std::string_view kIdleEventName = "Idle(No_Display)";
+
+}  // namespace edx::android

@@ -1,0 +1,75 @@
+#include "android/instrumenter.h"
+
+#include "android/event.h"
+
+namespace edx::android {
+
+namespace {
+
+/// Injects log-entry/log-exit into one method; returns log points added.
+std::size_t instrument_method(Method& method) {
+  std::vector<Instruction> rewritten;
+  rewritten.reserve(method.code.size() + 4);
+
+  // Old instruction index -> new index, for branch retargeting.
+  std::vector<std::size_t> remap(method.code.size());
+
+  // Every method exit — normal return or uncaught throw — gets a log-exit
+  // (the real rewriter wraps the body in try/finally for the same effect).
+  const auto is_exit = [](Opcode opcode) {
+    return opcode == Opcode::kReturn || opcode == Opcode::kThrow;
+  };
+
+  rewritten.push_back(Instruction::log_entry());
+  std::size_t log_points = 1;
+  for (std::size_t i = 0; i < method.code.size(); ++i) {
+    if (is_exit(method.code[i].opcode)) {
+      rewritten.push_back(Instruction::log_exit());
+      ++log_points;
+    }
+    remap[i] = rewritten.size();
+    rewritten.push_back(method.code[i]);
+  }
+
+  // Branches recorded old targets; point them at the remapped locations.
+  // A branch that targeted an exit now targets the log-exit *before* it,
+  // so every exit path is logged.
+  for (Instruction& instruction : rewritten) {
+    if (instruction.opcode == Opcode::kIfEqz ||
+        instruction.opcode == Opcode::kGoto) {
+      const std::size_t old_target = instruction.branch_target;
+      std::size_t new_target = remap[old_target];
+      if (is_exit(method.code[old_target].opcode)) {
+        new_target -= 1;  // land on the injected log-exit
+      }
+      instruction.branch_target = new_target;
+    }
+  }
+
+  method.code = std::move(rewritten);
+  method.instrumented = true;
+  return log_points;
+}
+
+}  // namespace
+
+Apk Instrumenter::instrument(const Apk& apk) const {
+  last_report_ = InstrumentationReport{};
+  Apk result = apk;
+  for (DexClass& dex_class : result.dex.classes) {
+    for (Method& method : dex_class.methods) {
+      ++last_report_.methods_seen;
+      if (!is_instrumentable(method.name)) continue;
+      if (method.instrumented) continue;  // idempotent
+      last_report_.log_points_injected += instrument_method(method);
+      ++last_report_.methods_instrumented;
+    }
+  }
+  return result;
+}
+
+std::string Instrumenter::instrument_packed(const std::string& blob) const {
+  return pack(instrument(unpack(blob)));
+}
+
+}  // namespace edx::android

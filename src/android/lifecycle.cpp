@@ -1,0 +1,150 @@
+#include "android/lifecycle.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::android {
+
+std::string activity_state_name(ActivityState state) {
+  switch (state) {
+    case ActivityState::kDestroyed: return "destroyed";
+    case ActivityState::kCreated: return "created";
+    case ActivityState::kStarted: return "started";
+    case ActivityState::kResumed: return "resumed";
+    case ActivityState::kPaused: return "paused";
+    case ActivityState::kStopped: return "stopped";
+  }
+  throw InvalidArgument("activity_state_name: unknown state");
+}
+
+ActivityState LifecycleMachine::state(const std::string& class_name) const {
+  for (const auto& [name, state] : states_) {
+    if (name == class_name) return state;
+  }
+  return ActivityState::kDestroyed;
+}
+
+void LifecycleMachine::set_state(const std::string& class_name,
+                                 ActivityState state) {
+  for (auto& [name, existing] : states_) {
+    if (name == class_name) {
+      existing = state;
+      return;
+    }
+  }
+  states_.emplace_back(class_name, state);
+}
+
+std::vector<Dispatch> LifecycleMachine::launch(const std::string& class_name) {
+  require(back_stack_.empty(),
+          "LifecycleMachine::launch: app already running; use navigate_to");
+  std::vector<Dispatch> dispatches = {{class_name, "onCreate"},
+                                      {class_name, "onStart"},
+                                      {class_name, "onResume"}};
+  set_state(class_name, ActivityState::kResumed);
+  back_stack_.push_back(class_name);
+  resumed_ = class_name;
+  return dispatches;
+}
+
+std::vector<Dispatch> LifecycleMachine::navigate_to(
+    const std::string& class_name) {
+  require(!resumed_.empty(),
+          "LifecycleMachine::navigate_to: no resumed activity");
+  require(class_name != resumed_,
+          "LifecycleMachine::navigate_to: already resumed");
+  const std::string previous = resumed_;
+
+  std::vector<Dispatch> dispatches;
+  dispatches.push_back({previous, "onPause"});
+
+  // Re-launching an activity that is already on the back stack brings the
+  // stopped instance forward (standard singleTop-ish behaviour keeps the
+  // model simple and the event counts right).
+  if (state(class_name) == ActivityState::kStopped) {
+    dispatches.push_back({class_name, "onRestart"});
+    dispatches.push_back({class_name, "onStart"});
+    dispatches.push_back({class_name, "onResume"});
+    std::erase(back_stack_, class_name);
+  } else {
+    dispatches.push_back({class_name, "onCreate"});
+    dispatches.push_back({class_name, "onStart"});
+    dispatches.push_back({class_name, "onResume"});
+  }
+  dispatches.push_back({previous, "onStop"});
+
+  set_state(previous, ActivityState::kStopped);
+  set_state(class_name, ActivityState::kResumed);
+  back_stack_.push_back(class_name);
+  resumed_ = class_name;
+  return dispatches;
+}
+
+std::vector<Dispatch> LifecycleMachine::back() {
+  require(!resumed_.empty(), "LifecycleMachine::back: app is backgrounded");
+  require(!back_stack_.empty(), "LifecycleMachine::back: empty back stack");
+  const std::string finishing = back_stack_.back();
+
+  std::vector<Dispatch> dispatches;
+  dispatches.push_back({finishing, "onPause"});
+  back_stack_.pop_back();
+  if (!back_stack_.empty()) {
+    const std::string& below = back_stack_.back();
+    dispatches.push_back({below, "onRestart"});
+    dispatches.push_back({below, "onStart"});
+    dispatches.push_back({below, "onResume"});
+    set_state(below, ActivityState::kResumed);
+    resumed_ = below;
+  } else {
+    resumed_.clear();
+  }
+  dispatches.push_back({finishing, "onStop"});
+  dispatches.push_back({finishing, "onDestroy"});
+  set_state(finishing, ActivityState::kDestroyed);
+  return dispatches;
+}
+
+std::vector<Dispatch> LifecycleMachine::background() {
+  if (resumed_.empty()) return {};
+  const std::string current = resumed_;
+  std::vector<Dispatch> dispatches = {{current, "onPause"},
+                                      {current, "onStop"}};
+  set_state(current, ActivityState::kStopped);
+  resumed_.clear();
+  return dispatches;
+}
+
+std::vector<Dispatch> LifecycleMachine::foreground() {
+  if (!resumed_.empty()) return {};
+  require(!back_stack_.empty(),
+          "LifecycleMachine::foreground: nothing to bring forward");
+  const std::string& top = back_stack_.back();
+  std::vector<Dispatch> dispatches = {
+      {top, "onRestart"}, {top, "onStart"}, {top, "onResume"}};
+  set_state(top, ActivityState::kResumed);
+  resumed_ = top;
+  return dispatches;
+}
+
+std::vector<Dispatch> LifecycleMachine::terminate() {
+  std::vector<Dispatch> dispatches;
+  for (auto it = back_stack_.rbegin(); it != back_stack_.rend(); ++it) {
+    const std::string& class_name = *it;
+    const ActivityState current = state(class_name);
+    if (current == ActivityState::kResumed) {
+      dispatches.push_back({class_name, "onPause"});
+      dispatches.push_back({class_name, "onStop"});
+    } else if (current == ActivityState::kStarted ||
+               current == ActivityState::kPaused) {
+      dispatches.push_back({class_name, "onStop"});
+    }
+    dispatches.push_back({class_name, "onDestroy"});
+    set_state(class_name, ActivityState::kDestroyed);
+  }
+  back_stack_.clear();
+  resumed_.clear();
+  return dispatches;
+}
+
+}  // namespace edx::android

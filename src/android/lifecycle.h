@@ -1,0 +1,89 @@
+// Activity lifecycle state machine.
+//
+// Computes the exact callback sequences the Android framework dispatches on
+// user navigation.  The paper leans on the framework invariant that "five
+// events will typically be generated when a user simply switches from one
+// activity to another" (A.onPause, B.onCreate, B.onStart, B.onResume,
+// A.onStop) — the sequences here preserve that invariant, which the event-
+// distance analysis of Figure 1 depends on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edx::android {
+
+/// Lifecycle states of one activity.
+enum class ActivityState {
+  kDestroyed,
+  kCreated,
+  kStarted,
+  kResumed,
+  kPaused,
+  kStopped,
+};
+
+std::string activity_state_name(ActivityState state);
+
+/// One framework dispatch: which class gets which callback.
+struct Dispatch {
+  std::string class_name;
+  std::string callback_name;
+
+  friend bool operator==(const Dispatch&, const Dispatch&) = default;
+};
+
+/// Tracks the state of every activity in an app and yields the dispatch
+/// sequences for navigation operations.  Class names are opaque keys.
+class LifecycleMachine {
+ public:
+  /// State of `class_name` (kDestroyed if never seen).
+  [[nodiscard]] ActivityState state(const std::string& class_name) const;
+
+  /// The activity currently resumed, or empty if none.
+  [[nodiscard]] const std::string& resumed_activity() const {
+    return resumed_;
+  }
+
+  /// The back stack, bottom first, including the resumed activity.
+  [[nodiscard]] const std::vector<std::string>& back_stack() const {
+    return back_stack_;
+  }
+
+  /// Cold-starts `class_name` as the task root:
+  /// [onCreate, onStart, onResume].
+  std::vector<Dispatch> launch(const std::string& class_name);
+
+  /// Navigates from the resumed activity to `class_name`
+  /// (the canonical 5-event sequence; fewer when the target was stopped and
+  /// restarts instead of being created).
+  std::vector<Dispatch> navigate_to(const std::string& class_name);
+
+  /// Back-press: finishes the resumed activity and restores the one below
+  /// it on the stack.  Throws InvalidArgument if the stack is empty.
+  std::vector<Dispatch> back();
+
+  /// Home-press: [onPause, onStop] of the resumed activity.
+  /// No-op (empty) when already backgrounded.
+  std::vector<Dispatch> background();
+
+  /// Returning to the app: [onRestart, onStart, onResume] of the top
+  /// activity.  No-op when already foregrounded.
+  std::vector<Dispatch> foreground();
+
+  /// Process death: destroys every activity on the stack (top first):
+  /// per activity [onPause?, onStop?, onDestroy] depending on state.
+  std::vector<Dispatch> terminate();
+
+  /// True if some activity is resumed (app visible).
+  [[nodiscard]] bool is_foreground() const { return !resumed_.empty(); }
+
+ private:
+  void set_state(const std::string& class_name, ActivityState state);
+
+  std::vector<std::pair<std::string, ActivityState>> states_;
+  std::vector<std::string> back_stack_;
+  std::string resumed_;
+};
+
+}  // namespace edx::android

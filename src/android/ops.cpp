@@ -1,0 +1,106 @@
+#include "android/ops.h"
+
+#include "common/error.h"
+
+namespace edx::android {
+
+namespace {
+SimpleOp make(OpKind kind) {
+  SimpleOp op;
+  op.kind = kind;
+  return op;
+}
+}  // namespace
+
+SimpleOp cpu_work(DurationMs duration_ms, double utilization) {
+  require(duration_ms >= 0, "cpu_work: duration must be non-negative");
+  SimpleOp op = make(OpKind::kCpuWork);
+  op.duration_ms = duration_ms;
+  op.utilization = utilization;
+  return op;
+}
+
+SimpleOp network(DurationMs duration_ms, double utilization, bool over_wifi) {
+  require(duration_ms >= 0, "network: duration must be non-negative");
+  SimpleOp op = make(OpKind::kNetwork);
+  op.duration_ms = duration_ms;
+  op.utilization = utilization;
+  op.over_wifi = over_wifi;
+  return op;
+}
+
+SimpleOp sleep_op(DurationMs duration_ms) {
+  require(duration_ms >= 0, "sleep_op: duration must be non-negative");
+  SimpleOp op = make(OpKind::kSleep);
+  op.duration_ms = duration_ms;
+  return op;
+}
+
+SimpleOp gps_start() { return make(OpKind::kGpsStart); }
+SimpleOp gps_stop() { return make(OpKind::kGpsStop); }
+SimpleOp sensor_start() { return make(OpKind::kSensorStart); }
+SimpleOp sensor_stop() { return make(OpKind::kSensorStop); }
+SimpleOp audio_start() { return make(OpKind::kAudioStart); }
+SimpleOp audio_stop() { return make(OpKind::kAudioStop); }
+
+SimpleOp wakelock_acquire(std::string id) {
+  SimpleOp op = make(OpKind::kWakeLockAcquire);
+  op.id = std::move(id);
+  return op;
+}
+
+SimpleOp wakelock_release(std::string id) {
+  SimpleOp op = make(OpKind::kWakeLockRelease);
+  op.id = std::move(id);
+  return op;
+}
+
+SimpleOp set_config(std::string key, std::string value) {
+  SimpleOp op = make(OpKind::kSetConfig);
+  op.id = std::move(key);
+  op.value = std::move(value);
+  return op;
+}
+
+Op start_periodic_task(std::string id, DurationMs period_ms,
+                       std::vector<SimpleOp> work) {
+  require(period_ms > 0, "start_periodic_task: period must be positive");
+  Op op;
+  op.kind = OpKind::kStartPeriodicTask;
+  op.id = std::move(id);
+  op.period_ms = period_ms;
+  op.task_work = std::move(work);
+  return op;
+}
+
+Op cancel_periodic_task(std::string id) {
+  Op op;
+  op.kind = OpKind::kCancelPeriodicTask;
+  op.id = std::move(id);
+  return op;
+}
+
+Op lift(SimpleOp op) {
+  Op lifted;
+  static_cast<SimpleOp&>(lifted) = std::move(op);
+  return lifted;
+}
+
+DurationMs synchronous_latency_ms(const Behavior& behavior) {
+  DurationMs total = 0;
+  for (const Op& op : behavior) {
+    switch (op.kind) {
+      // Network transfers are asynchronous (see SystemServices::execute)
+      // and do not contribute to UI-thread latency.
+      case OpKind::kCpuWork:
+      case OpKind::kSleep:
+        total += op.duration_ms;
+        break;
+      default:
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace edx::android

@@ -1,0 +1,99 @@
+// The behavior DSL of simulated callbacks.
+//
+// Each callback body is a short script of Ops.  Executing an Op advances the
+// virtual clock (for synchronous work) and/or registers hardware utilization
+// on the power timeline through the system services.  Ops can be *guarded*
+// on the app's configuration store — this is how misconfiguration ABDs are
+// modeled: the expensive retry path only runs when the user has written a
+// bad value into the config.
+//
+// Periodic tasks carry their own (non-nested) scripts of SimpleOps, so
+// background services can do recurring work without user interaction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace edx::android {
+
+/// What a behavior step does.
+enum class OpKind {
+  kCpuWork,        ///< synchronous CPU burst (duration, utilization)
+  kNetwork,        ///< radio transfer (duration, utilization, wifi flag)
+  kGpsStart,       ///< request location updates (stays on until kGpsStop)
+  kGpsStop,
+  kSensorStart,    ///< register a sensor listener
+  kSensorStop,
+  kAudioStart,     ///< start audio playback/recording
+  kAudioStop,
+  kWakeLockAcquire,  ///< acquire named wakelock (id)
+  kWakeLockRelease,  ///< release named wakelock (id)
+  kSetConfig,        ///< write config[id] = value
+  kStartPeriodicTask,  ///< schedule task `id` every period_ms running `work`
+  kCancelPeriodicTask, ///< cancel task `id`
+  kSleep,              ///< idle wait (duration only, no utilization)
+};
+
+/// A non-task op, also usable inside a periodic task's work list.
+struct SimpleOp {
+  OpKind kind{OpKind::kSleep};
+  DurationMs duration_ms{0};   ///< for kCpuWork / kNetwork / kSleep
+  double utilization{0.0};     ///< for kCpuWork / kNetwork
+  bool over_wifi{true};        ///< for kNetwork
+  std::string id;              ///< lock id / config key / task id
+  std::string value;           ///< config value for kSetConfig
+  /// Guard: if guard_key is non-empty the op executes only when
+  /// config[guard_key] == guard_value (or != when guard_negate).
+  std::string guard_key;
+  std::string guard_value;
+  bool guard_negate{false};
+};
+
+/// A full behavior op: a SimpleOp plus periodic-task parameters.
+struct Op : SimpleOp {
+  DurationMs period_ms{0};          ///< for kStartPeriodicTask
+  std::vector<SimpleOp> task_work;  ///< executed at each task firing
+};
+
+/// A callback body.
+using Behavior = std::vector<Op>;
+
+// ---- Convenience constructors (used heavily by the app catalog) ----
+
+SimpleOp cpu_work(DurationMs duration_ms, double utilization);
+SimpleOp network(DurationMs duration_ms, double utilization,
+                 bool over_wifi = true);
+SimpleOp sleep_op(DurationMs duration_ms);
+SimpleOp gps_start();
+SimpleOp gps_stop();
+SimpleOp sensor_start();
+SimpleOp sensor_stop();
+SimpleOp audio_start();
+SimpleOp audio_stop();
+SimpleOp wakelock_acquire(std::string id);
+SimpleOp wakelock_release(std::string id);
+SimpleOp set_config(std::string key, std::string value);
+
+Op start_periodic_task(std::string id, DurationMs period_ms,
+                       std::vector<SimpleOp> work);
+Op cancel_periodic_task(std::string id);
+
+/// Wraps any SimpleOp-derived op with a config guard.
+template <typename OpT>
+OpT guarded(OpT op, std::string key, std::string value, bool negate = false) {
+  op.guard_key = std::move(key);
+  op.guard_value = std::move(value);
+  op.guard_negate = negate;
+  return op;
+}
+
+/// Lifts a SimpleOp into an Op (no task fields).
+Op lift(SimpleOp op);
+
+/// Total synchronous latency of a behavior: the time the callback blocks
+/// the UI thread (cpu + network + sleep durations; task firings excluded).
+DurationMs synchronous_latency_ms(const Behavior& behavior);
+
+}  // namespace edx::android

@@ -1,0 +1,314 @@
+#include "android/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace edx::android {
+
+using power::Component;
+
+ScriptStep launch(DurationMs think_time_ms) {
+  return {StepKind::kLaunch, "", 0, think_time_ms};
+}
+ScriptStep interact(std::string callback, DurationMs think_time_ms) {
+  return {StepKind::kInteract, std::move(callback), 0, think_time_ms};
+}
+ScriptStep dialog(std::string callback, DurationMs think_time_ms) {
+  return {StepKind::kDialog, std::move(callback), 0, think_time_ms};
+}
+ScriptStep navigate(std::string activity_class, DurationMs think_time_ms) {
+  return {StepKind::kNavigate, std::move(activity_class), 0, think_time_ms};
+}
+ScriptStep back_press(DurationMs think_time_ms) {
+  return {StepKind::kBack, "", 0, think_time_ms};
+}
+ScriptStep background_app(DurationMs think_time_ms) {
+  return {StepKind::kBackground, "", 0, think_time_ms};
+}
+ScriptStep foreground_app(DurationMs think_time_ms) {
+  return {StepKind::kForeground, "", 0, think_time_ms};
+}
+ScriptStep idle(DurationMs duration_ms, DurationMs think_time_ms) {
+  return {StepKind::kIdle, "", duration_ms, think_time_ms};
+}
+ScriptStep start_service(std::string service_class, DurationMs think_time_ms) {
+  return {StepKind::kStartService, std::move(service_class), 0, think_time_ms};
+}
+ScriptStep stop_service(std::string service_class, DurationMs think_time_ms) {
+  return {StepKind::kStopService, std::move(service_class), 0, think_time_ms};
+}
+
+std::optional<std::size_t> RunResult::find_event(const EventName& name,
+                                                 bool last) const {
+  std::optional<std::size_t> found;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].name == name) {
+      found = i;
+      if (!last) return found;
+    }
+  }
+  return found;
+}
+
+AppRuntime::AppRuntime(const AppSpec& app, const Apk* apk,
+                       power::UtilizationTimeline& timeline, Pid pid,
+                       RunConfig config)
+    : app_(app), apk_(apk), timeline_(timeline), pid_(pid), config_(config) {
+  require(!app_.main_activity.empty(), "AppRuntime: app has no main activity");
+  require(app_.find_component(app_.main_activity) != nullptr,
+          "AppRuntime: main activity not found in app spec");
+}
+
+const SystemServices& AppRuntime::services() const {
+  require(services_.has_value(), "AppRuntime::services: no run yet");
+  return *services_;
+}
+
+bool AppRuntime::is_instrumented(const std::string& class_name,
+                                 const std::string& callback_name) const {
+  if (apk_ == nullptr) return false;
+  const DexClass* dex_class = apk_->dex.find_class(class_name);
+  if (dex_class == nullptr) return false;
+  const Method* method = dex_class->find_method(callback_name);
+  return method != nullptr && method->instrumented;
+}
+
+void AppRuntime::advance_to(TimestampMs t) {
+  require(t >= now_, "AppRuntime::advance_to: time cannot go backwards");
+  services_->run_tasks_until(t);
+  now_ = t;
+}
+
+void AppRuntime::set_foreground(bool foreground) {
+  if (foreground) {
+    if (!display_handle_) {
+      display_handle_ = timeline_.open(pid_, Component::kDisplay, now_,
+                                       config_.foreground_display_util);
+    }
+    background_since_ = kNoTimestamp;
+    services_->exit_doze(now_);  // user picked the phone up
+  } else {
+    if (display_handle_) {
+      timeline_.close(*display_handle_, now_);
+      display_handle_.reset();
+    }
+    background_since_ = now_;
+  }
+}
+
+void AppRuntime::emit_idle_events(TimestampMs until) {
+  // Synthesize Idle(No_Display) markers while the app sits in background.
+  // The EnergyDx background service emits them, so they are "logged"
+  // whenever instrumentation is installed.
+  if (background_since_ == kNoTimestamp) {
+    advance_to(until);
+    return;
+  }
+  // Doze: once backgrounded long enough, the OS suspends periodic work —
+  // a held wakelock blocks it (enter_doze keeps failing), so we re-try at
+  // each idle chunk in case the lock situation changed.
+  const auto maybe_doze = [&](TimestampMs at) {
+    if (config_.doze_after_background_ms <= 0) return;
+    if (at - background_since_ >= config_.doze_after_background_ms) {
+      services_->enter_doze(at);
+    }
+  };
+  maybe_doze(now_);
+  while (now_ + config_.idle_event_period_ms <= until) {
+    const TimestampMs chunk_begin = now_;
+    const TimestampMs chunk_end = now_ + config_.idle_event_period_ms;
+    advance_to(chunk_end);
+    maybe_doze(now_);
+    RawEvent event;
+    event.name = std::string(kIdleEventName);
+    event.callback_name = std::string(kIdleEventName);
+    event.kind = EventKind::kIdle;
+    event.interval = {chunk_begin, chunk_end};
+    event.logged = apk_ != nullptr;
+    events_.push_back(std::move(event));
+  }
+  advance_to(until);
+}
+
+void AppRuntime::dispatch_callback(const std::string& class_name,
+                                   const std::string& callback_name) {
+  const ComponentSpec* component = app_.find_component(class_name);
+  require(component != nullptr,
+          "AppRuntime: dispatch to unknown component " + class_name);
+  const CallbackSpec* callback = component->find_callback(callback_name);
+  require(callback != nullptr, "AppRuntime: component " + class_name +
+                                   " has no callback " + callback_name);
+
+  const bool logged = is_instrumented(class_name, callback_name);
+  const TimestampMs entry = now_;
+
+  // Framework dispatch overhead.
+  timeline_.add(pid_, Component::kCpu,
+                {now_, now_ + config_.base_callback_latency_ms},
+                config_.base_callback_cpu);
+  advance_to(now_ + config_.base_callback_latency_ms);
+
+  // Instrumentation cost: entry log point now, exit log point at return.
+  if (logged) {
+    advance_to(now_ + static_cast<DurationMs>(
+                          std::llround(config_.log_point_latency_ms)));
+  }
+
+  for (const Op& op : callback->behavior) {
+    const DurationMs consumed = services_->execute(op, now_);
+    advance_to(now_ + consumed);
+  }
+
+  if (logged) {
+    advance_to(now_ + static_cast<DurationMs>(
+                          std::llround(config_.log_point_latency_ms)));
+  }
+
+  RawEvent event;
+  event.name = qualified_event_name(class_name, callback_name);
+  event.class_name = class_name;
+  event.callback_name = callback_name;
+  event.kind = classify_callback(callback_name);
+  event.interval = {entry, now_};
+  event.logged = logged;
+  events_.push_back(std::move(event));
+}
+
+RunResult AppRuntime::run(const UserScript& script, TimestampMs start_time,
+                          DurationMs trailing_ms,
+                          const std::map<std::string, std::string>*
+                              initial_config) {
+  require(!script.empty(), "AppRuntime::run: empty script");
+  require(script.front().kind == StepKind::kLaunch,
+          "AppRuntime::run: scripts must begin with kLaunch");
+
+  // Reset per-run state.
+  services_.emplace(timeline_, pid_,
+                    ConfigStore(initial_config != nullptr
+                                    ? *initial_config
+                                    : app_.default_config));
+  lifecycle_ = LifecycleMachine{};
+  events_.clear();
+  now_ = start_time;
+  display_handle_.reset();
+  logging_handle_.reset();
+  background_since_ = kNoTimestamp;
+
+  if (apk_ != nullptr && config_.logging_cpu_utilization > 0.0) {
+    logging_handle_ = timeline_.open(pid_, Component::kCpu, now_,
+                                     config_.logging_cpu_utilization);
+  }
+
+  bool terminated = false;
+  for (const ScriptStep& step : script) {
+    // User think time before acting; idle markers accumulate if backgrounded.
+    if (step.think_time_ms > 0) emit_idle_events(now_ + step.think_time_ms);
+
+    switch (step.kind) {
+      case StepKind::kLaunch: {
+        for (const Dispatch& d : lifecycle_.launch(app_.main_activity)) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        set_foreground(true);
+        break;
+      }
+      case StepKind::kInteract: {
+        require(lifecycle_.is_foreground(),
+                "AppRuntime: interact while backgrounded");
+        dispatch_callback(lifecycle_.resumed_activity(), step.target);
+        break;
+      }
+      case StepKind::kDialog: {
+        require(lifecycle_.is_foreground(),
+                "AppRuntime: dialog while backgrounded");
+        const std::string current = lifecycle_.resumed_activity();
+        dispatch_callback(current, "onPause");
+        dispatch_callback(current, step.target);
+        dispatch_callback(current, "onResume");
+        break;
+      }
+      case StepKind::kNavigate: {
+        for (const Dispatch& d : lifecycle_.navigate_to(step.target)) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        break;
+      }
+      case StepKind::kBack: {
+        for (const Dispatch& d : lifecycle_.back()) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        if (!lifecycle_.is_foreground()) set_foreground(false);
+        break;
+      }
+      case StepKind::kBackground: {
+        for (const Dispatch& d : lifecycle_.background()) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        set_foreground(false);
+        break;
+      }
+      case StepKind::kForeground: {
+        for (const Dispatch& d : lifecycle_.foreground()) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        set_foreground(true);
+        break;
+      }
+      case StepKind::kIdle: {
+        emit_idle_events(now_ + step.duration_ms);
+        break;
+      }
+      case StepKind::kStartService: {
+        const ComponentSpec* service = app_.find_component(step.target);
+        require(service != nullptr && service->kind == ClassKind::kService,
+                "AppRuntime: kStartService target is not a service");
+        dispatch_callback(step.target, "onCreate");
+        if (service->find_callback("onStartCommand") != nullptr) {
+          dispatch_callback(step.target, "onStartCommand");
+        }
+        break;
+      }
+      case StepKind::kStopService: {
+        dispatch_callback(step.target, "onDestroy");
+        break;
+      }
+      case StepKind::kTerminate: {
+        for (const Dispatch& d : lifecycle_.terminate()) {
+          dispatch_callback(d.class_name, d.callback_name);
+        }
+        set_foreground(false);
+        terminated = true;
+        break;
+      }
+    }
+    if (terminated) break;
+  }
+
+  // Trailing window: the phone keeps running; leaked resources keep
+  // draining.  Idle markers continue if the app is backgrounded.
+  if (trailing_ms > 0) emit_idle_events(now_ + trailing_ms);
+
+  if (!terminated) {
+    // Process death without lifecycle callbacks (user swipes the app away /
+    // simulation ends); resources are force-closed *at this moment*, having
+    // drained the whole time.
+    set_foreground(false);
+  }
+  services_->shutdown(now_);
+  if (logging_handle_) {
+    timeline_.close(*logging_handle_, now_);
+    logging_handle_.reset();
+  }
+
+  RunResult result;
+  result.events = events_;
+  result.start_time = start_time;
+  result.end_time = now_;
+  result.pid = pid_;
+  result.final_config = services_->config().all();
+  return result;
+}
+
+}  // namespace edx::android

@@ -1,0 +1,163 @@
+// AppRuntime — executes a user interaction script against an app model.
+//
+// This is the "users download and run the instrumented app" stage of the
+// paper's workflow.  The runtime drives the lifecycle machine, dispatches
+// widget callbacks, executes each callback's behavior ops through the
+// system services (producing hardware utilization on the power timeline),
+// and emits the raw event stream.  Events are marked `logged` only when the
+// corresponding method was instrumented — un-instrumented framework work
+// (e.g. a Socket.connect inside a background task) affects power but never
+// shows up in the event trace, exactly the situation that makes
+// manifestation-point identification non-trivial.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/apk.h"
+#include "android/app.h"
+#include "android/event.h"
+#include "android/lifecycle.h"
+#include "android/services.h"
+#include "common/types.h"
+#include "power/timeline.h"
+
+namespace edx::android {
+
+/// One step of a user interaction script.
+enum class StepKind {
+  kLaunch,      ///< cold-start the main activity (first step of any script)
+  kInteract,    ///< trigger a UI callback on the resumed activity
+  kDialog,      ///< open a dialog over the resumed activity: onPause,
+                ///< the UI callback, then onResume (settings pickers etc.)
+  kNavigate,    ///< switch to another activity
+  kBack,        ///< back-press
+  kBackground,  ///< home-press
+  kForeground,  ///< return to the app
+  kIdle,        ///< do nothing for duration_ms (phone may be pocketed)
+  kStartService,  ///< start a service component
+  kStopService,   ///< stop a service component
+  kTerminate,   ///< kill the app (implicit at script end)
+};
+
+struct ScriptStep {
+  StepKind kind{StepKind::kIdle};
+  /// kNavigate / kStartService / kStopService: component class name.
+  /// kInteract: callback name on the resumed activity.
+  std::string target;
+  DurationMs duration_ms{0};       ///< kIdle only
+  DurationMs think_time_ms{800};   ///< user pause before this step
+};
+
+using UserScript = std::vector<ScriptStep>;
+
+// Convenience constructors for script building.
+ScriptStep launch(DurationMs think_time_ms = 0);
+ScriptStep interact(std::string callback, DurationMs think_time_ms = 800);
+ScriptStep dialog(std::string callback, DurationMs think_time_ms = 800);
+ScriptStep navigate(std::string activity_class, DurationMs think_time_ms = 800);
+ScriptStep back_press(DurationMs think_time_ms = 800);
+ScriptStep background_app(DurationMs think_time_ms = 800);
+ScriptStep foreground_app(DurationMs think_time_ms = 800);
+ScriptStep idle(DurationMs duration_ms, DurationMs think_time_ms = 0);
+ScriptStep start_service(std::string service_class,
+                         DurationMs think_time_ms = 200);
+ScriptStep stop_service(std::string service_class,
+                        DurationMs think_time_ms = 200);
+
+/// One dispatched event instance, with ground-truth fields the trace layer
+/// and the evaluation use.
+struct RawEvent {
+  EventName name;             ///< qualified "Lpkg/Cls;.callback" or idle name
+  std::string class_name;
+  std::string callback_name;
+  EventKind kind{EventKind::kOther};
+  TimeInterval interval;      ///< entry/exit timestamps
+  bool logged{false};         ///< true iff the method was instrumented
+};
+
+/// Result of running one script.
+struct RunResult {
+  std::vector<RawEvent> events;
+  TimestampMs start_time{0};
+  TimestampMs end_time{0};
+  Pid pid{0};
+  /// Config store at process death — persisted like SharedPreferences, so
+  /// a follow-up session can resume from it (misconfigurations survive
+  /// restarts; that is what makes configuration ABDs so persistent).
+  std::map<std::string, std::string> final_config;
+
+  /// Index of the first/last event named `name`; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> find_event(
+      const EventName& name, bool last = false) const;
+};
+
+/// Runtime tuning knobs.
+struct RunConfig {
+  double foreground_display_util{0.80};
+  DurationMs idle_event_period_ms{5000};  ///< Idle(No_Display) cadence
+  DurationMs base_callback_latency_ms{3};
+  double base_callback_cpu{0.30};
+  /// Per-log-point latency; see android/instrumenter.h.
+  double log_point_latency_ms{1.0};
+  /// In-app logging CPU cost, active launch..terminate when instrumented.
+  double logging_cpu_utilization{0.012};
+  /// Doze (extension; 0 = disabled, matching the paper's Android 4.4):
+  /// after this long in the background the OS suspends periodic tasks —
+  /// unless the app holds a wakelock, which is why wakelock leaks defeat
+  /// the mitigation.  Long-running hardware (GPS already acquired, audio)
+  /// is modeled as unaffected.
+  DurationMs doze_after_background_ms{0};
+};
+
+/// Executes scripts for one app installation on one (simulated) phone.
+class AppRuntime {
+ public:
+  /// `apk` may be null for an uninstrumented (original) build: power
+  /// behaviour is identical but no event is logged.  When non-null it must
+  /// outlive the runtime.
+  AppRuntime(const AppSpec& app, const Apk* apk,
+             power::UtilizationTimeline& timeline, Pid pid,
+             RunConfig config = {});
+
+  /// Runs `script` starting at virtual time `start_time`.  The script must
+  /// begin with kLaunch.  A terminating step is implied at the end unless
+  /// the script ends with kTerminate; system services shut down at script
+  /// end + `trailing_ms` (leaked resources drain for the whole trailing
+  /// window — the symptom users report).  `initial_config`, when non-null,
+  /// replaces the app's default configuration — pass a previous run's
+  /// `final_config` to chain sessions like persisted SharedPreferences.
+  RunResult run(const UserScript& script, TimestampMs start_time,
+                DurationMs trailing_ms = 0,
+                const std::map<std::string, std::string>* initial_config =
+                    nullptr);
+
+  [[nodiscard]] const SystemServices& services() const;
+
+ private:
+  void advance_to(TimestampMs t);
+  void dispatch_callback(const std::string& class_name,
+                         const std::string& callback_name);
+  void emit_idle_events(TimestampMs until);
+  void set_foreground(bool foreground);
+  [[nodiscard]] bool is_instrumented(const std::string& class_name,
+                                     const std::string& callback_name) const;
+
+  const AppSpec& app_;
+  const Apk* apk_;
+  power::UtilizationTimeline& timeline_;
+  Pid pid_;
+  RunConfig config_;
+
+  // Per-run state (reset by run()).
+  std::optional<SystemServices> services_;
+  LifecycleMachine lifecycle_;
+  std::vector<RawEvent> events_;
+  TimestampMs now_{0};
+  std::optional<std::size_t> display_handle_;
+  std::optional<std::size_t> logging_handle_;
+  TimestampMs background_since_{kNoTimestamp};
+};
+
+}  // namespace edx::android

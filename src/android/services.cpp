@@ -1,0 +1,240 @@
+#include "android/services.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::android {
+
+using power::Component;
+
+ConfigStore::ConfigStore(std::map<std::string, std::string> initial)
+    : values_(std::move(initial)) {}
+
+void ConfigStore::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::string ConfigStore::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::string{} : it->second;
+}
+
+bool ConfigStore::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+SystemServices::SystemServices(power::UtilizationTimeline& timeline, Pid pid,
+                               ConfigStore config, ResourceCosts costs)
+    : timeline_(timeline),
+      pid_(pid),
+      config_(std::move(config)),
+      costs_(costs) {}
+
+bool SystemServices::guard_allows(const SimpleOp& op) const {
+  if (op.guard_key.empty()) return true;
+  const bool matches = config_.get(op.guard_key) == op.guard_value;
+  return op.guard_negate ? !matches : matches;
+}
+
+DurationMs SystemServices::execute(const SimpleOp& op, TimestampMs now) {
+  if (!guard_allows(op)) return 0;
+
+  switch (op.kind) {
+    case OpKind::kCpuWork:
+      timeline_.add(pid_, Component::kCpu, {now, now + op.duration_ms},
+                    op.utilization);
+      return op.duration_ms;
+
+    case OpKind::kNetwork: {
+      // Transfers run on a binder/network thread: the radio and its CPU
+      // cost occupy the timeline for the transfer duration, but the
+      // calling callback does not block (returns 0 consumed time).
+      const Component radio =
+          op.over_wifi ? Component::kWifi : Component::kCellular;
+      timeline_.add(pid_, radio, {now, now + op.duration_ms}, op.utilization);
+      timeline_.add(pid_, Component::kCpu, {now, now + op.duration_ms},
+                    costs_.network_cpu * op.utilization);
+      return 0;
+    }
+
+    case OpKind::kSleep:
+      return op.duration_ms;
+
+    case OpKind::kGpsStart:
+      if (!gps_handle_) {
+        gps_handle_ = timeline_.open(pid_, Component::kGps, now, costs_.gps);
+      }
+      return 0;
+    case OpKind::kGpsStop:
+      if (gps_handle_) {
+        timeline_.close(*gps_handle_, now);
+        gps_handle_.reset();
+      }
+      return 0;
+
+    case OpKind::kSensorStart:
+      if (!sensor_handle_) {
+        sensor_handle_ =
+            timeline_.open(pid_, Component::kSensor, now, costs_.sensor);
+      }
+      return 0;
+    case OpKind::kSensorStop:
+      if (sensor_handle_) {
+        timeline_.close(*sensor_handle_, now);
+        sensor_handle_.reset();
+      }
+      return 0;
+
+    case OpKind::kAudioStart:
+      if (!audio_handle_) {
+        audio_handle_ =
+            timeline_.open(pid_, Component::kAudio, now, costs_.audio);
+        audio_cpu_handle_ =
+            timeline_.open(pid_, Component::kCpu, now, costs_.audio_cpu);
+      }
+      return 0;
+    case OpKind::kAudioStop:
+      if (audio_handle_) {
+        timeline_.close(*audio_handle_, now);
+        audio_handle_.reset();
+      }
+      if (audio_cpu_handle_) {
+        timeline_.close(*audio_cpu_handle_, now);
+        audio_cpu_handle_.reset();
+      }
+      return 0;
+
+    case OpKind::kWakeLockAcquire:
+      if (!wakelocks_.contains(op.id)) {
+        wakelocks_[op.id] =
+            timeline_.open(pid_, Component::kCpu, now, costs_.wakelock_cpu);
+      }
+      return 0;
+    case OpKind::kWakeLockRelease: {
+      // Releasing a lock that is not held is a silent no-op, exactly like
+      // releasing the wrong WakeLock object in real code — this is the
+      // aliased-release false-negative pattern for the no-sleep baseline.
+      const auto it = wakelocks_.find(op.id);
+      if (it != wakelocks_.end()) {
+        timeline_.close(it->second, now);
+        wakelocks_.erase(it);
+      }
+      return 0;
+    }
+
+    case OpKind::kSetConfig:
+      config_.set(op.id, op.value);
+      return 0;
+
+    case OpKind::kStartPeriodicTask:
+    case OpKind::kCancelPeriodicTask:
+      throw InvalidArgument(
+          "SystemServices::execute(SimpleOp): task ops require the Op "
+          "overload");
+  }
+  throw InvalidArgument("SystemServices::execute: unknown op kind");
+}
+
+DurationMs SystemServices::execute(const Op& op, TimestampMs now) {
+  if (!guard_allows(op)) return 0;
+
+  switch (op.kind) {
+    case OpKind::kStartPeriodicTask: {
+      // Re-scheduling an existing id restarts it (Handler semantics).
+      for (ScheduledTask& task : tasks_) {
+        if (task.id == op.id && !task.cancelled) task.cancelled = true;
+      }
+      ScheduledTask task;
+      task.id = op.id;
+      task.period_ms = op.period_ms;
+      task.work = op.task_work;
+      task.next_fire = now + op.period_ms;
+      tasks_.push_back(std::move(task));
+      return 0;
+    }
+    case OpKind::kCancelPeriodicTask:
+      for (ScheduledTask& task : tasks_) {
+        if (task.id == op.id) task.cancelled = true;
+      }
+      return 0;
+    default:
+      return execute(static_cast<const SimpleOp&>(op), now);
+  }
+}
+
+void SystemServices::fire_task(ScheduledTask& task, TimestampMs now) {
+  TimestampMs cursor = now;
+  for (const SimpleOp& op : task.work) {
+    cursor += execute(op, cursor);
+  }
+}
+
+void SystemServices::run_tasks_until(TimestampMs now) {
+  if (dozing_) return;  // deferred until exit_doze advances the schedules
+  // Tasks can be added while firing (a task op could in principle schedule);
+  // index loop keeps iterators valid.
+  bool fired = true;
+  while (fired) {
+    fired = false;
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      ScheduledTask& task = tasks_[i];
+      if (task.cancelled || task.next_fire > now) continue;
+      const TimestampMs fire_time = task.next_fire;
+      task.next_fire += task.period_ms;
+      fire_task(task, fire_time);
+      fired = true;
+    }
+  }
+}
+
+bool SystemServices::enter_doze(TimestampMs now) {
+  if (dozing_) return true;
+  if (!wakelocks_.empty()) return false;  // a held wakelock defeats Doze
+  run_tasks_until(now);  // settle everything due before suspension
+  dozing_ = true;
+  return true;
+}
+
+void SystemServices::exit_doze(TimestampMs now) {
+  if (!dozing_) return;
+  dozing_ = false;
+  // Deferred tasks do not back-fill the doze window; they resume their
+  // cadence from now.
+  for (ScheduledTask& task : tasks_) {
+    if (!task.cancelled && task.next_fire < now) {
+      task.next_fire = now + task.period_ms;
+    }
+  }
+}
+
+void SystemServices::shutdown(TimestampMs end) {
+  run_tasks_until(end);
+  for (auto& [id, handle] : wakelocks_) timeline_.close(handle, end);
+  wakelocks_.clear();
+  if (gps_handle_) timeline_.close(*gps_handle_, end);
+  gps_handle_.reset();
+  if (sensor_handle_) timeline_.close(*sensor_handle_, end);
+  sensor_handle_.reset();
+  if (audio_handle_) timeline_.close(*audio_handle_, end);
+  audio_handle_.reset();
+  if (audio_cpu_handle_) timeline_.close(*audio_cpu_handle_, end);
+  audio_cpu_handle_.reset();
+  for (ScheduledTask& task : tasks_) task.cancelled = true;
+}
+
+bool SystemServices::wakelock_held(const std::string& id) const {
+  return wakelocks_.contains(id);
+}
+
+std::size_t SystemServices::held_wakelock_count() const {
+  return wakelocks_.size();
+}
+
+std::size_t SystemServices::active_task_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(),
+                    [](const ScheduledTask& task) { return !task.cancelled; }));
+}
+
+}  // namespace edx::android

@@ -1,0 +1,127 @@
+// Simulated Android system services.
+//
+// The services turn behavior Ops into hardware utilization on the power
+// timeline: wakelocks keep the CPU partially awake, the location service
+// turns the GPS on, the network service drives the radio, and the task
+// scheduler fires periodic background work.  Resources opened and never
+// closed keep draining until the simulation ends — that *is* the no-sleep
+// bug class.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/ops.h"
+#include "common/types.h"
+#include "power/timeline.h"
+
+namespace edx::android {
+
+/// Utilization footprints of long-running resources.
+struct ResourceCosts {
+  double wakelock_cpu{0.10};  ///< partial CPU wakeup per held wakelock
+  double gps{1.00};           ///< GPS is effectively on/off
+  double sensor{0.55};
+  double audio{0.70};
+  double audio_cpu{0.08};     ///< decode cost while audio plays
+  double network_cpu{0.30};   ///< CPU share of an active transfer
+};
+
+/// Per-app configuration store (SharedPreferences stand-in).
+class ConfigStore {
+ public:
+  explicit ConfigStore(std::map<std::string, std::string> initial = {});
+
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::string get(const std::string& key) const;  // "" if unset
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A scheduled periodic task.
+struct ScheduledTask {
+  std::string id;
+  DurationMs period_ms{0};
+  std::vector<SimpleOp> work;
+  TimestampMs next_fire{0};
+  bool cancelled{false};
+};
+
+/// The service hub for one app process.
+class SystemServices {
+ public:
+  SystemServices(power::UtilizationTimeline& timeline, Pid pid,
+                 ConfigStore config, ResourceCosts costs = {});
+
+  [[nodiscard]] const ConfigStore& config() const { return config_; }
+  [[nodiscard]] ConfigStore& config() { return config_; }
+
+  /// Evaluates an op's guard against the config store.
+  [[nodiscard]] bool guard_allows(const SimpleOp& op) const;
+
+  /// Executes one non-task op at time `now`.  Synchronous ops (cpu,
+  /// network, sleep) return the time consumed; resource toggles return 0.
+  /// Guarded-out ops are skipped (return 0).
+  DurationMs execute(const SimpleOp& op, TimestampMs now);
+
+  /// Executes a full behavior op (including task scheduling) at `now`.
+  DurationMs execute(const Op& op, TimestampMs now);
+
+  /// Fires every scheduled task due up to and including `now`.  Tasks do
+  /// not fire while the device dozes; their next_fire advances past the
+  /// doze window (deferred, like JobScheduler under Doze).
+  void run_tasks_until(TimestampMs now);
+
+  /// Enters Doze at `now`: periodic tasks are suspended until exit_doze().
+  /// Holding a wakelock prevents Doze — the call is then ignored (which is
+  /// exactly why wakelock leaks defeat modern Android's mitigation).
+  /// Returns whether Doze was actually entered.
+  bool enter_doze(TimestampMs now);
+
+  /// Leaves Doze at `now` (device picked up / maintenance window).
+  void exit_doze(TimestampMs now);
+
+  [[nodiscard]] bool dozing() const { return dozing_; }
+
+  /// Closes every open resource at `end` (end of simulation); leaked
+  /// resources stay open — and draining — until exactly this moment.
+  void shutdown(TimestampMs end);
+
+  // Introspection for tests and ground truth.
+  [[nodiscard]] bool wakelock_held(const std::string& id) const;
+  [[nodiscard]] std::size_t held_wakelock_count() const;
+  [[nodiscard]] bool gps_active() const { return gps_handle_.has_value(); }
+  [[nodiscard]] bool sensor_active() const {
+    return sensor_handle_.has_value();
+  }
+  [[nodiscard]] bool audio_active() const { return audio_handle_.has_value(); }
+  [[nodiscard]] std::size_t active_task_count() const;
+  [[nodiscard]] const std::vector<ScheduledTask>& tasks() const {
+    return tasks_;
+  }
+
+ private:
+  void fire_task(ScheduledTask& task, TimestampMs now);
+
+  power::UtilizationTimeline& timeline_;
+  Pid pid_;
+  ConfigStore config_;
+  ResourceCosts costs_;
+
+  std::map<std::string, std::size_t> wakelocks_;  // id -> open handle
+  std::optional<std::size_t> gps_handle_;
+  std::optional<std::size_t> sensor_handle_;
+  std::optional<std::size_t> audio_handle_;
+  std::optional<std::size_t> audio_cpu_handle_;
+  std::vector<ScheduledTask> tasks_;
+  bool dozing_{false};
+};
+
+}  // namespace edx::android

@@ -1,0 +1,41 @@
+#include "baselines/checkall.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/event_power.h"
+
+namespace edx::baselines {
+
+CheckAll::CheckAll(CheckAllConfig config) : config_(config) {}
+
+CheckAllReport CheckAll::run(
+    const std::vector<trace::TraceBundle>& bundles) const {
+  CheckAllReport report;
+  report.total_traces = bundles.size();
+
+  std::set<EventName> reported;
+  for (const trace::TraceBundle& bundle : bundles) {
+    const core::AnalyzedTrace trace = core::estimate_event_power(bundle);
+    const std::size_t count = trace.events.size();
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      // Any abrupt raw-power change is a "transition point" to CheckAll —
+      // it cannot tell a camera turning on from a screen turning off.
+      const double change = std::abs(
+          trace.events[i + 1].raw_power - trace.events[i].raw_power);
+      if (change < config_.transition_threshold_mw) continue;
+      ++report.transition_points;
+      const std::size_t lo =
+          i >= config_.window_size ? i - config_.window_size : 0;
+      const std::size_t hi = std::min(count, i + config_.window_size + 1);
+      for (std::size_t j = lo; j < hi; ++j) {
+        reported.insert(trace.events[j].name);
+      }
+    }
+  }
+  report.reported_events.assign(reported.begin(), reported.end());
+  return report;
+}
+
+}  // namespace edx::baselines

@@ -1,0 +1,43 @@
+// CheckAll baseline (§IV-D of the paper).
+//
+// CheckAll performs Step 1 of EnergyDx (per-event power estimation) and
+// then reports every event around every *raw* power transition point,
+// without ranking, normalization, or outlier discipline.  Because raw
+// power differs legitimately between events (a mail refresh vs. a
+// keystroke), it floods the developer with windows around ordinary
+// functionality changes — the comparison that motivates Steps 2-4.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis_types.h"
+#include "trace/recorder.h"
+
+namespace edx::baselines {
+
+struct CheckAllConfig {
+  /// A raw power rise of at least this many mW counts as a transition.
+  PowerMw transition_threshold_mw{50.0};
+  /// Events on each side of a transition included in its report window.
+  std::size_t window_size{3};
+};
+
+/// CheckAll's output: every event name it asks the developer to read.
+struct CheckAllReport {
+  std::vector<EventName> reported_events;  ///< unique, sorted
+  std::size_t transition_points{0};        ///< across all traces
+  std::size_t total_traces{0};
+};
+
+class CheckAll {
+ public:
+  explicit CheckAll(CheckAllConfig config = {});
+
+  [[nodiscard]] CheckAllReport run(
+      const std::vector<trace::TraceBundle>& bundles) const;
+
+ private:
+  CheckAllConfig config_;
+};
+
+}  // namespace edx::baselines

@@ -1,0 +1,78 @@
+#include "baselines/edelta.h"
+
+#include <algorithm>
+#include <map>
+
+#include "android/event.h"
+#include "common/stats.h"
+
+namespace edx::baselines {
+
+EDelta::EDelta(EDeltaConfig config, power::PowerModel model)
+    : config_(config), model_(std::move(model)) {}
+
+EDeltaReport EDelta::run(
+    const std::vector<trace::TraceBundle>& bundles) const {
+  // API -> per-instance attributed power (mW) across all traces.
+  std::map<EventName, std::vector<double>> powers;
+
+  for (const trace::TraceBundle& raw_bundle : bundles) {
+    // Recompute sample power from the recorded utilization with the
+    // display zeroed: eDelta charges an API for the hardware it drives.
+    trace::TraceBundle bundle = raw_bundle;
+    std::vector<power::UtilizationSample> samples =
+        bundle.utilization.samples();
+    for (power::UtilizationSample& sample : samples) {
+      power::UtilizationVector adjusted = sample.utilization;
+      adjusted.set(power::Component::kDisplay, 0.0);
+      sample.estimated_app_power_mw = model_.app_power(adjusted);
+    }
+    bundle.utilization = trace::UtilizationTrace(
+        bundle.utilization.device_name(), std::move(samples));
+    // eDelta's instrumentation has no idle markers: its event stream is the
+    // API calls only, and an API owns everything up to the next API call.
+    std::vector<trace::EventInstance> instances;
+    for (const trace::EventInstance& instance : bundle.events.instances()) {
+      if (android::classify_callback(
+              android::split_event_name(instance.event).callback_name) ==
+          android::EventKind::kIdle) {
+        continue;
+      }
+      instances.push_back(instance);
+    }
+
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const trace::EventInstance& instance = instances[i];
+      TimestampMs attribution_end = instance.interval.end;
+      if (i + 1 < instances.size()) {
+        attribution_end =
+            std::max(attribution_end, instances[i + 1].interval.begin);
+      } else if (!bundle.utilization.samples().empty()) {
+        attribution_end = std::max(
+            attribution_end, bundle.utilization.samples().back().timestamp);
+      }
+      const TimeInterval attribution{instance.interval.begin, attribution_end};
+      if (attribution.empty()) continue;
+      powers[instance.event].push_back(
+          bundle.utilization.average_power(attribution));
+    }
+  }
+
+  EDeltaReport report;
+  for (const auto& [api, values] : powers) {
+    if (values.size() < config_.min_instances) continue;
+    const double median = stats::median(values);
+    const double high = stats::percentile(values, config_.high_percentile);
+    const double deviation = high - median;
+    if (deviation > config_.power_deviation_threshold_mw) {
+      report.findings.push_back({api, median, high, deviation});
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const EDeltaFinding& a, const EDeltaFinding& b) {
+              return a.deviation_mw > b.deviation_mw;
+            });
+  return report;
+}
+
+}  // namespace edx::baselines

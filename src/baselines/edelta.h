@@ -1,0 +1,72 @@
+// eDelta baseline (Li et al. [10]).
+//
+// eDelta pinpoints "high energy deviation APIs" by comparative trace
+// analysis: for each instrumented API (event), it compares the power
+// attributed to its instances across traces — an instance owns the window
+// from its start until the next event begins, so a drain that an API kicks
+// off and leaves running is charged to that API.  An API is flagged when
+// its worst instance's power deviates from the typical (median) instance
+// by more than a *fixed* threshold.
+//
+// Its stated weakness — inherited here — is exactly that fixed threshold:
+// an ABD whose power deviation is small but long-lasting (a held partial
+// wakelock, a leaked sensor listener) stays below the bar, while
+// EnergyDx's per-trace IQR fence adapts to however flat the rest of the
+// trace is.  The synthesized Idle(No_Display) markers are EnergyDx
+// instrumentation, not app APIs, so eDelta neither reports them nor sees
+// them as boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "power/power_model.h"
+#include "trace/recorder.h"
+
+namespace edx::baselines {
+
+struct EDeltaConfig {
+  /// Flag an API when (high-percentile instance power - median instance
+  /// power) exceeds this many mW.
+  PowerMw power_deviation_threshold_mw{150.0};
+  /// Percentile representing the API's deviant instances.  90 (rather
+  /// than the maximum) keeps one or two instances that merely overlapped
+  /// somebody else's radio burst from flagging an innocent API.
+  double high_percentile{90.0};
+  /// APIs with fewer instances than this across the collection are skipped
+  /// (deviation of a singleton is meaningless).
+  std::size_t min_instances{4};
+};
+
+/// One flagged API.
+struct EDeltaFinding {
+  EventName api;
+  PowerMw median_power_mw{0.0};
+  PowerMw high_power_mw{0.0};  ///< the config's high percentile
+  PowerMw deviation_mw{0.0};   ///< high - median
+};
+
+struct EDeltaReport {
+  std::vector<EDeltaFinding> findings;  ///< sorted by deviation, descending
+  [[nodiscard]] bool detected() const { return !findings.empty(); }
+};
+
+class EDelta {
+ public:
+  /// `model` is the (reference-device) power model eDelta uses to
+  /// recompute per-API power from the recorded component utilization with
+  /// the display excluded — its fine-grained instrumentation charges an
+  /// API for the hardware *it* drives, not for the screen being on.
+  explicit EDelta(EDeltaConfig config = {},
+                  power::PowerModel model = power::PowerModel(power::nexus6()));
+
+  [[nodiscard]] EDeltaReport run(
+      const std::vector<trace::TraceBundle>& bundles) const;
+
+ private:
+  EDeltaConfig config_;
+  power::PowerModel model_;
+};
+
+}  // namespace edx::baselines

@@ -1,0 +1,128 @@
+#include "baselines/edoctor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace edx::baselines {
+
+std::vector<double> kmeans_1d(const std::vector<double>& values, std::size_t k,
+                              std::size_t iterations,
+                              std::vector<std::size_t>* assignments) {
+  require(k >= 1, "kmeans_1d: k must be positive");
+  require(!values.empty(), "kmeans_1d: empty input");
+
+  // Deterministic init: evenly spaced quantiles.
+  std::vector<double> centroids(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double p = k == 1 ? 50.0
+                            : 100.0 * static_cast<double>(c) /
+                                  static_cast<double>(k - 1);
+    centroids[c] = stats::percentile(values, p);
+  }
+
+  std::vector<std::size_t> labels(values.size(), 0);
+  for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+    // Assign.
+    bool moved = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::size_t best = 0;
+      double best_distance = std::abs(values[i] - centroids[0]);
+      for (std::size_t c = 1; c < k; ++c) {
+        const double distance = std::abs(values[i] - centroids[c]);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = c;
+        }
+      }
+      if (labels[i] != best) {
+        labels[i] = best;
+        moved = true;
+      }
+    }
+    // Update.
+    std::vector<double> totals(k, 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      totals[labels[i]] += values[i];
+      ++counts[labels[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) centroids[c] = totals[c] / counts[c];
+    }
+    if (!moved && iteration > 0) break;
+  }
+
+  // Sort centroids ascending and remap labels.
+  std::vector<std::size_t> order(k);
+  for (std::size_t c = 0; c < k; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return centroids[a] < centroids[b];
+  });
+  std::vector<double> sorted(k);
+  std::vector<std::size_t> remap(k);
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    sorted[rank] = centroids[order[rank]];
+    remap[order[rank]] = rank;
+  }
+  if (assignments != nullptr) {
+    assignments->resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (*assignments)[i] = remap[labels[i]];
+    }
+  }
+  return sorted;
+}
+
+EDoctor::EDoctor(EDoctorConfig config) : config_(config) {}
+
+EDoctorReport EDoctor::run(
+    const std::vector<trace::TraceBundle>& bundles) const {
+  EDoctorReport report;
+  for (const trace::TraceBundle& bundle : bundles) {
+    PhaseSummary summary;
+    summary.user = bundle.user;
+    std::vector<double> powers;
+    for (const power::UtilizationSample& sample :
+         bundle.utilization.samples()) {
+      powers.push_back(sample.estimated_app_power_mw);
+    }
+    if (!powers.empty()) {
+      std::vector<std::size_t> labels;
+      const std::size_t k = std::min(config_.phases, powers.size());
+      const std::vector<double> centroids =
+          kmeans_1d(powers, k, config_.iterations, &labels);
+      summary.idle_phase_mw = centroids.front();
+      summary.active_phase_mw = centroids.back();
+      summary.idle_share =
+          static_cast<double>(std::count(labels.begin(), labels.end(), 0u)) /
+          static_cast<double>(labels.size());
+    }
+    report.summaries.push_back(summary);
+  }
+
+  // Fleet-level outlier fence over idle-phase power.
+  std::vector<double> idle_powers;
+  for (const PhaseSummary& summary : report.summaries) {
+    idle_powers.push_back(summary.idle_phase_mw);
+  }
+  if (idle_powers.empty()) return report;
+  const stats::Quartiles quartiles = stats::quartiles(idle_powers);
+  report.fleet_idle_median_mw = quartiles.q2;
+  report.fence_mw = std::max(
+      quartiles.q3 + config_.fence_iqr_multiplier * quartiles.iqr(),
+      quartiles.q2 + config_.min_excess_mw);
+
+  for (PhaseSummary& summary : report.summaries) {
+    summary.impacted = summary.idle_phase_mw > report.fence_mw;
+    report.impacted_users += summary.impacted ? 1 : 0;
+  }
+  report.impacted_fraction =
+      static_cast<double>(report.impacted_users) /
+      static_cast<double>(report.summaries.size());
+  return report;
+}
+
+}  // namespace edx::baselines

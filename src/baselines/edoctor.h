@@ -1,0 +1,74 @@
+// eDoctor-style app-level impact estimation (Ma et al. [3]).
+//
+// EnergyDx's Step 5 needs the fraction of users impacted by the ABD; the
+// paper says developers obtain it from forum reports or "app-level
+// detection tools, such as eDoctor".  This module is that tool: it
+// clusters each trace's power samples into usage phases (k-means, k=3:
+// idle / active / heavy), extracts the *idle-phase* power — what the app
+// draws when the user is doing nothing — and flags the traces whose idle
+// draw is a fleet-level outlier.  An app that drains while idle is exactly
+// what users report as abnormal battery drain.
+//
+// Unlike EnergyDx it knows nothing about events or code: its verdict is
+// per *user*, which is why the paper calls this class of tool too
+// coarse-grained for developers — but exactly right for estimating the
+// impacted fraction.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "trace/recorder.h"
+
+namespace edx::baselines {
+
+struct EDoctorConfig {
+  /// Number of usage phases to cluster power samples into.
+  std::size_t phases{3};
+  /// k-means iterations (convergence is fast in 1-D).
+  std::size_t iterations{32};
+  /// A trace is impacted when its idle-phase power exceeds the fleet
+  /// median idle-phase power by more than `fence_iqr_multiplier` IQRs
+  /// (same Tukey machinery as the manifestation detector) and by at least
+  /// `min_excess_mw` absolutely.
+  double fence_iqr_multiplier{3.0};
+  PowerMw min_excess_mw{15.0};
+};
+
+/// Per-trace phase summary.
+struct PhaseSummary {
+  UserId user{0};
+  PowerMw idle_phase_mw{0.0};    ///< centroid of the lowest phase
+  PowerMw active_phase_mw{0.0};  ///< centroid of the highest phase
+  double idle_share{0.0};        ///< fraction of samples in the idle phase
+  bool impacted{false};
+};
+
+struct EDoctorReport {
+  std::vector<PhaseSummary> summaries;  ///< one per trace, input order
+  std::size_t impacted_users{0};
+  double impacted_fraction{0.0};
+  PowerMw fleet_idle_median_mw{0.0};
+  PowerMw fence_mw{0.0};
+};
+
+class EDoctor {
+ public:
+  explicit EDoctor(EDoctorConfig config = {});
+
+  /// Estimates which users' traces carry an ABD.
+  [[nodiscard]] EDoctorReport run(
+      const std::vector<trace::TraceBundle>& bundles) const;
+
+ private:
+  EDoctorConfig config_;
+};
+
+/// 1-D k-means (Lloyd's algorithm) used by the phase clustering; exposed
+/// for tests.  Returns the sorted centroids; `assignments[i]` indexes into
+/// them.  Deterministic: centroids initialize from evenly-spaced quantiles.
+std::vector<double> kmeans_1d(const std::vector<double>& values, std::size_t k,
+                              std::size_t iterations,
+                              std::vector<std::size_t>* assignments = nullptr);
+
+}  // namespace edx::baselines

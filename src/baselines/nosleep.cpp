@@ -1,0 +1,195 @@
+#include "baselines/nosleep.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace edx::baselines {
+
+using android::BasicBlock;
+using android::ClassKind;
+using android::DexClass;
+using android::Instruction;
+using android::Method;
+using android::Opcode;
+
+const std::vector<ResourceProtocol>& default_protocols() {
+  static const std::vector<ResourceProtocol> kProtocols = {
+      {"wakelock", android::api::kWakeLockAcquire,
+       android::api::kWakeLockRelease},
+      {"gps", android::api::kGpsRequestUpdates,
+       android::api::kGpsRemoveUpdates},
+      {"sensor", android::api::kSensorRegister,
+       android::api::kSensorUnregister},
+      {"audio", android::api::kAudioStart, android::api::kAudioStop},
+  };
+  return kProtocols;
+}
+
+bool invokes_api(const std::string& invoke_target,
+                 const std::string& descriptor) {
+  if (invoke_target == descriptor) return true;
+  return invoke_target.size() > descriptor.size() &&
+         invoke_target.compare(0, descriptor.size(), descriptor) == 0 &&
+         invoke_target[descriptor.size()] == '#';
+}
+
+namespace {
+
+/// True if `block` of `method` contains an invoke of `target` at an
+/// instruction index strictly greater than `after` (pass -1 for "anywhere").
+bool block_has_release(const Method& method, const BasicBlock& block,
+                       const std::string& target, std::ptrdiff_t after) {
+  for (std::size_t i = block.first; i <= block.last; ++i) {
+    if (static_cast<std::ptrdiff_t>(i) <= after) continue;
+    const Instruction& instruction = method.code[i];
+    if (instruction.opcode == Opcode::kInvoke &&
+        invokes_api(instruction.target, target)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// DFS over release-free paths.  Returns true if a return is reachable from
+/// `start_block` without passing a release of `target`.  `after` restricts
+/// the *start block only*: instructions at or before that index are ignored
+/// (we begin just after the acquire).
+bool leak_path_exists(const Method& method,
+                      const std::vector<BasicBlock>& cfg,
+                      std::size_t start_block, const std::string& target,
+                      std::ptrdiff_t after) {
+  std::vector<bool> visited(cfg.size(), false);
+  std::vector<std::pair<std::size_t, std::ptrdiff_t>> stack;
+  stack.emplace_back(start_block, after);
+  while (!stack.empty()) {
+    const auto [block_index, skip_until] = stack.back();
+    stack.pop_back();
+    const BasicBlock& block = cfg[block_index];
+
+    if (block_has_release(method, block, target, skip_until)) {
+      continue;  // this path is covered; do not extend it
+    }
+    // Both normal returns and uncaught throws leave the method; a resource
+    // still held on either is leaked (the classic "exception between
+    // acquire and release" no-sleep bug).
+    if (method.code[block.last].opcode == Opcode::kReturn ||
+        method.code[block.last].opcode == Opcode::kThrow) {
+      return true;  // reached an exit without a release
+    }
+    if (visited[block_index] && skip_until < 0) continue;
+    if (skip_until < 0) visited[block_index] = true;
+    for (std::size_t successor : block.successors) {
+      stack.emplace_back(successor, -1);
+    }
+  }
+  return false;
+}
+
+std::size_t block_containing(const std::vector<BasicBlock>& cfg,
+                             std::size_t instruction_index) {
+  for (std::size_t b = 0; b < cfg.size(); ++b) {
+    if (cfg[b].first <= instruction_index && instruction_index <= cfg[b].last) {
+      return b;
+    }
+  }
+  throw InvalidArgument("block_containing: index outside method");
+}
+
+/// Teardown callbacks whose completion must leave the resource released.
+std::vector<std::string> teardown_methods(ClassKind kind) {
+  switch (kind) {
+    case ClassKind::kActivity:
+      return {"onPause"};
+    case ClassKind::kService:
+      return {"onDestroy"};
+    case ClassKind::kOther:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace
+
+bool releases_on_all_paths(const Method& method,
+                           const std::string& release_target) {
+  if (method.code.empty()) return false;
+  const std::vector<BasicBlock> cfg = android::build_cfg(method);
+  return !leak_path_exists(method, cfg, 0, release_target, /*after=*/-1);
+}
+
+bool releases_after_acquire(const Method& method, std::size_t acquire_index,
+                            const std::string& release_target) {
+  require(acquire_index < method.code.size(),
+          "releases_after_acquire: index out of range");
+  const std::vector<BasicBlock> cfg = android::build_cfg(method);
+  const std::size_t start = block_containing(cfg, acquire_index);
+  return !leak_path_exists(method, cfg, start, release_target,
+                           static_cast<std::ptrdiff_t>(acquire_index));
+}
+
+NoSleepReport NoSleepDetector::analyze(const android::Apk& apk) const {
+  return analyze(apk, default_protocols());
+}
+
+NoSleepReport NoSleepDetector::analyze(
+    const android::Apk& apk,
+    const std::vector<ResourceProtocol>& protocols) const {
+  NoSleepReport report;
+  for (const DexClass& dex_class : apk.dex.classes) {
+    for (const ResourceProtocol& protocol : protocols) {
+      // Gather acquire sites in this class (prefix-matched: the receiver
+      // suffix is invisible to syntactic analysis).
+      for (const Method& method : dex_class.methods) {
+        std::vector<std::size_t> acquires;
+        for (std::size_t i = 0; i < method.code.size(); ++i) {
+          if (method.code[i].opcode == Opcode::kInvoke &&
+              invokes_api(method.code[i].target, protocol.acquire_target)) {
+            acquires.push_back(i);
+          }
+        }
+        for (std::size_t acquire : acquires) {
+          // Case 1: the acquiring method itself releases on every path
+          // after the acquire -> tight critical section, fine.
+          if (releases_after_acquire(method, acquire,
+                                     protocol.release_target)) {
+            continue;
+          }
+          // Case 2: the resource is meant to outlive the method; then
+          // every teardown callback of the component must release it on
+          // all paths.
+          const std::vector<std::string> teardowns =
+              teardown_methods(dex_class.kind);
+          bool released_at_teardown = !teardowns.empty();
+          std::string missing;
+          for (const std::string& teardown_name : teardowns) {
+            const Method* teardown = dex_class.find_method(teardown_name);
+            if (teardown == nullptr ||
+                !releases_on_all_paths(*teardown, protocol.release_target)) {
+              released_at_teardown = false;
+              missing = teardown_name;
+              break;
+            }
+          }
+          if (released_at_teardown) continue;
+
+          NoSleepFinding finding;
+          finding.class_name = dex_class.name;
+          finding.method_name = method.name;
+          finding.resource = protocol.name;
+          finding.reason =
+              teardowns.empty()
+                  ? "acquired in a non-lifecycle class and not released on "
+                    "all paths"
+                  : "not released on all paths of " +
+                        (missing.empty() ? teardowns.front() : missing);
+          report.findings.push_back(std::move(finding));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace edx::baselines

@@ -1,0 +1,75 @@
+// No-sleep Detection baseline (Pathak et al. [9]).
+//
+// A static dataflow analysis over the app's Dalvik code: for every
+// power-encumbered resource (wakelock, GPS updates, sensor listener, media
+// playback), check whether a resource acquired by a component can reach a
+// suspension point without being released — i.e. whether there exists a
+// control-flow path on which the matching release never executes.
+//
+// The analysis is path-sensitive within methods (CFG reachability over
+// release-free paths) and protocol-aware across a component's lifecycle
+// (an activity must release by the end of onPause; a service by onDestroy).
+// It is *syntactic* about receivers, matching the published tool: a
+// release call on the wrong lock object still looks like a release — which
+// yields exactly the aliased-lock false negatives discussed in DESIGN.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/apk.h"
+
+namespace edx::baselines {
+
+/// The resource protocols the detector checks.
+struct ResourceProtocol {
+  std::string name;             ///< "wakelock", "gps", ...
+  std::string acquire_target;   ///< invoke descriptor that acquires
+  std::string release_target;   ///< invoke descriptor that releases
+};
+
+/// The four built-in protocols.
+const std::vector<ResourceProtocol>& default_protocols();
+
+/// One potential no-sleep bug.
+struct NoSleepFinding {
+  std::string class_name;     ///< component that acquires
+  std::string method_name;    ///< method containing the acquire
+  std::string resource;       ///< protocol name
+  std::string reason;         ///< human-readable explanation
+};
+
+struct NoSleepReport {
+  std::vector<NoSleepFinding> findings;
+  [[nodiscard]] bool detected() const { return !findings.empty(); }
+};
+
+class NoSleepDetector {
+ public:
+  /// Analyzes `apk` with the default protocols.
+  [[nodiscard]] NoSleepReport analyze(const android::Apk& apk) const;
+
+  /// Analyzes with custom protocols.
+  [[nodiscard]] NoSleepReport analyze(
+      const android::Apk& apk,
+      const std::vector<ResourceProtocol>& protocols) const;
+};
+
+/// True if `invoke_target` refers to the API `descriptor` — matching is
+/// *syntactic* on the descriptor prefix; a "#<receiver>" suffix (which
+/// object the call is on) is invisible, exactly like the published tools.
+bool invokes_api(const std::string& invoke_target,
+                 const std::string& descriptor);
+
+/// True if every control-flow path from the method entry to any return
+/// passes an invoke of `release_target`.  Exposed for tests.
+bool releases_on_all_paths(const android::Method& method,
+                           const std::string& release_target);
+
+/// Same, but only considering paths that start *after* the invoke at
+/// `acquire_index` (does the method clean up what it just acquired?).
+bool releases_after_acquire(const android::Method& method,
+                            std::size_t acquire_index,
+                            const std::string& release_target);
+
+}  // namespace edx::baselines

@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace edx {
+
+namespace {
+std::string escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "CsvWriter: need at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "CsvWriter::add_row: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  const auto write_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out << ',';
+      out << escape(cells[i]);
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  return out.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("CsvWriter: cannot open " + path);
+  out << to_string();
+  if (!out) throw Error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace edx

@@ -1,0 +1,30 @@
+// Minimal CSV writer; benches use it to dump figure series for external
+// plotting alongside the ASCII rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edx {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes fields containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends a row; throws InvalidArgument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; throws Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edx

@@ -1,0 +1,42 @@
+// Error types for the EnergyDx libraries.
+//
+// All modules signal failure by throwing Error (or a subclass).  Benches and
+// examples catch at main(); tests assert on the exact subclass.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace edx {
+
+/// Base class for all EnergyDx errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Malformed serialized data (trace files, APK blobs, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// The analysis was asked for something the input traces cannot support
+/// (e.g. normalizing an event with zero recorded instances).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace edx

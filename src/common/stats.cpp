@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace edx::stats {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "stats::mean: empty input");
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require(values.size() >= 2, "stats::variance: need at least 2 values");
+  const double m = mean(values);
+  double accum = 0.0;
+  for (double v : values) accum += (v - m) * (v - m);
+  return accum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min(std::span<const double> values) {
+  require(!values.empty(), "stats::min: empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  require(!values.empty(), "stats::max: empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  require(!values.empty(), "stats::percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "stats::percentile: p must be in [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  // R-7 / numpy 'linear': h = (n-1) * p/100, interpolate between floor/ceil.
+  const double h = static_cast<double>(sorted.size() - 1) * (p / 100.0);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double fraction = h - static_cast<double>(lo);
+  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+Quartiles quartiles(std::span<const double> values) {
+  Quartiles q;
+  q.q1 = percentile(values, 25.0);
+  q.q2 = percentile(values, 50.0);
+  q.q3 = percentile(values, 75.0);
+  return q;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  require(!values.empty(), "stats::empirical_cdf: empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const bool last_of_run =
+        i + 1 == sorted.size() || sorted[i + 1] != sorted[i];
+    if (last_of_run) {
+      cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return cdf;
+}
+
+std::vector<std::size_t> indices_above(std::span<const double> values,
+                                       double threshold) {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > threshold) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::size_t> competition_ranks(std::span<const double> values) {
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<std::size_t> ranks(values.size(), 0);
+  std::size_t position = 0;
+  while (position < order.size()) {
+    std::size_t run_end = position;
+    while (run_end + 1 < order.size() &&
+           values[order[run_end + 1]] == values[order[position]]) {
+      ++run_end;
+    }
+    for (std::size_t i = position; i <= run_end; ++i) {
+      ranks[order[i]] = position + 1;  // ties share the lowest rank of the run
+    }
+    position = run_end + 1;
+  }
+  return ranks;
+}
+
+}  // namespace edx::stats

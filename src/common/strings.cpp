@@ -1,0 +1,107 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace edx::strings {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) result.append(separator);
+    result.append(parts[i]);
+  }
+  return result;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  require(!from.empty(), "strings::replace_all: 'from' must be non-empty");
+  std::string result;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      result.append(text.substr(start));
+      return result;
+    }
+    result.append(text.substr(start, pos - start));
+    result.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string format_double(double value, int decimals) {
+  require(decimals >= 0 && decimals <= 17,
+          "strings::format_double: decimals out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string human_count(long long value) {
+  if (value >= 1'000'000'000) {
+    const double billions = static_cast<double>(value) / 1e9;
+    return (billions == static_cast<long long>(billions)
+                ? std::to_string(static_cast<long long>(billions))
+                : format_double(billions, 1)) +
+           "B";
+  }
+  if (value >= 1'000'000) {
+    const double millions = static_cast<double>(value) / 1e6;
+    return (millions == static_cast<long long>(millions)
+                ? std::to_string(static_cast<long long>(millions))
+                : format_double(millions, 1)) +
+           "M";
+  }
+  if (value >= 1'000) {
+    const double thousands = static_cast<double>(value) / 1e3;
+    return (thousands == static_cast<long long>(thousands)
+                ? std::to_string(static_cast<long long>(thousands))
+                : format_double(thousands, 1)) +
+           "K";
+  }
+  return std::to_string(value);
+}
+
+}  // namespace edx::strings

@@ -1,0 +1,37 @@
+// Small string helpers shared by the trace parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edx::strings {
+
+/// Splits `text` on every occurrence of `delimiter`; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Joins `parts` with `separator` between elements.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Formats a double with `decimals` digits after the point (no locale).
+std::string format_double(double value, int decimals);
+
+/// Renders e.g. 1500000 as "1.5M", 100000 as "100K" — the style used by the
+/// downloads column of Table III.
+std::string human_count(long long value);
+
+}  // namespace edx::strings

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace edx {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kLeft) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void TextTable::set_align(std::size_t index, Align align) {
+  require(index < aligns_.size(), "TextTable::set_align: column out of range");
+  aligns_[index] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TextTable::add_row: cell count must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto render_cell = [&](const std::string& text, std::size_t column) {
+    const std::size_t pad = widths[column] - text.size();
+    if (aligns_[column] == Align::kRight) {
+      return std::string(pad, ' ') + text;
+    }
+    return text + std::string(pad, ' ');
+  };
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " " + render_cell(cells[c], c) + " |";
+    }
+    return line;
+  };
+
+  std::ostringstream out;
+  out << render_row(headers_) << '\n';
+  std::string rule = "|";
+  for (std::size_t width : widths) rule += std::string(width + 2, '-') + "|";
+  out << rule << '\n';
+  for (const auto& row : rows_) out << render_row(row) << '\n';
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << to_string(); }
+
+std::string ascii_bar(double value, double full_scale, int width) {
+  require(width > 0, "ascii_bar: width must be positive");
+  if (full_scale <= 0.0 || value <= 0.0) return "";
+  const double fraction = std::min(1.0, value / full_scale);
+  const int count = static_cast<int>(fraction * width + 0.5);
+  return std::string(static_cast<std::size_t>(count), '#');
+}
+
+}  // namespace edx

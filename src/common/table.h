@@ -1,0 +1,48 @@
+// ASCII table renderer used by the bench binaries to print the paper's
+// tables and figure data series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edx {
+
+/// Column alignment inside a rendered table cell.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table.  Build with add_row(), render with
+/// print() / to_string().  Column widths auto-size to the widest cell.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// left alignment.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets the alignment of column `index` (0-based).
+  void set_align(std::size_t index, Align align);
+
+  /// Appends a row.  Throws InvalidArgument if the cell count mismatches
+  /// the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) into a string.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to_string() to `out`.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a one-line horizontal bar of '#' characters scaled so that
+/// `full_scale` maps to `width` characters; used for poor-man's figures.
+std::string ascii_bar(double value, double full_scale, int width);
+
+}  // namespace edx

@@ -1,0 +1,65 @@
+// Fundamental value types shared across all EnergyDx modules.
+//
+// The simulation runs on a millisecond-resolution virtual clock; power is
+// carried in milliwatts, energy in millijoules.  Plain aliases (rather than
+// wrapper classes) keep arithmetic ergonomic, while the distinct names keep
+// interfaces self-describing (Core Guidelines I.1/I.4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace edx {
+
+/// Virtual time since boot of the simulated device, in milliseconds.
+using TimestampMs = std::int64_t;
+
+/// Length of a virtual time interval, in milliseconds.
+using DurationMs = std::int64_t;
+
+/// Instantaneous power draw, in milliwatts.
+using PowerMw = double;
+
+/// Energy, in millijoules (mW * s == mJ when durations are in seconds).
+using EnergyMj = double;
+
+/// Fractional utilization of a hardware component, clamped to [0, 1].
+using Utilization = double;
+
+/// Process id of a simulated app; 0 is reserved for "the system".
+using Pid = std::int32_t;
+
+/// Identifies a user (and therefore a trace pair) in a collection run.
+using UserId = std::int32_t;
+
+inline constexpr TimestampMs kNoTimestamp =
+    std::numeric_limits<TimestampMs>::min();
+
+/// A half-open time interval [begin, end) on the virtual clock.
+struct TimeInterval {
+  TimestampMs begin{0};
+  TimestampMs end{0};
+
+  [[nodiscard]] DurationMs length() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  [[nodiscard]] bool contains(TimestampMs t) const {
+    return t >= begin && t < end;
+  }
+  /// Length of the overlap between this interval and [b, e).
+  [[nodiscard]] DurationMs overlap(TimestampMs b, TimestampMs e) const {
+    const TimestampMs lo = begin > b ? begin : b;
+    const TimestampMs hi = end < e ? end : e;
+    return hi > lo ? hi - lo : 0;
+  }
+
+  friend bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+/// Fully-qualified name of an instrumented callback, e.g.
+/// "Lcom/fsck/k9/activity/MessageList;.onResume".  Used as the identity of
+/// an *event* throughout the analysis (all instances of the same event share
+/// one EventName).
+using EventName = std::string;
+
+}  // namespace edx

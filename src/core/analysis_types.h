@@ -1,0 +1,41 @@
+// Data types flowing through the 5-step manifestation analysis.
+//
+// Each step enriches the same per-trace event sequence: Step 1 fills
+// raw_power, Step 3 fills normalized_power, Step 4 fills
+// variation_amplitude and the detected manifestation indices.  Keeping the
+// whole enriched sequence around is what lets the benches print the
+// paper's per-step figures (7a/7b/7c, 9, 12, 15).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace edx::core {
+
+/// One event instance annotated by the analysis steps.
+struct PoweredEvent {
+  EventName name;
+  TimeInterval interval;
+  PowerMw raw_power{0.0};          ///< Step 1
+  double normalized_power{0.0};    ///< Step 3
+  double variation_amplitude{0.0};  ///< Step 4
+  /// Step 4: index of the monotone run's peak this amplitude measures to
+  /// (== own index when the amplitude is a plain single-step difference).
+  std::size_t run_peak_index{0};
+};
+
+/// One user's trace as it moves through the pipeline.
+struct AnalyzedTrace {
+  UserId user{0};
+  std::vector<PoweredEvent> events;  ///< chronological
+
+  // Step 4 results.
+  std::vector<std::size_t> manifestation_indices;
+  stats::Quartiles amplitude_quartiles;
+  double outlier_fence{0.0};
+};
+
+}  // namespace edx::core

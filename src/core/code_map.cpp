@@ -1,0 +1,52 @@
+#include "core/code_map.h"
+
+#include <set>
+
+#include "android/event.h"
+#include "common/error.h"
+
+namespace edx::core {
+
+CodeMap CodeMap::from_app(const android::AppSpec& app) {
+  CodeMap map;
+  for (const android::ComponentSpec& component : app.components) {
+    for (const android::CallbackSpec& callback : component.callbacks) {
+      map.lines_[android::qualified_event_name(component.class_name,
+                                               callback.name)] =
+          callback.lines_of_code;
+    }
+  }
+  map.total_lines_ = app.total_loc();
+  return map;
+}
+
+int CodeMap::lines_for(const EventName& name) const {
+  const auto it = lines_.find(name);
+  return it == lines_.end() ? 0 : it->second;
+}
+
+int CodeMap::lines_for(const std::vector<EventName>& names) const {
+  const std::set<EventName> unique(names.begin(), names.end());
+  int total = 0;
+  for (const EventName& name : unique) total += lines_for(name);
+  return total;
+}
+
+double code_reduction(int total_lines, int diagnosis_lines) {
+  require(total_lines > 0, "code_reduction: app must have code");
+  require(diagnosis_lines >= 0, "code_reduction: negative diagnosis lines");
+  if (diagnosis_lines >= total_lines) return 0.0;
+  return static_cast<double>(total_lines - diagnosis_lines) /
+         static_cast<double>(total_lines);
+}
+
+int diagnosis_lines(const CodeMap& code_map, const DiagnosisReport& report) {
+  return code_map.lines_for(report.diagnosis_events);
+}
+
+double code_reduction(const CodeMap& code_map, const DiagnosisReport& report) {
+  return code_reduction(code_map.total_lines(),
+                        diagnosis_lines(code_map, report));
+}
+
+}  // namespace edx::core

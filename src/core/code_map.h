@@ -1,0 +1,50 @@
+// Event -> source-lines mapping and the code-reduction metric.
+//
+// code reduction = (N_all - N_diagnosis) / N_all, where N_diagnosis is the
+// number of source lines behind the events EnergyDx reports and N_all is
+// the whole app (§IV-B).  The synthesized Idle(No_Display) marker has no
+// app code behind it and contributes zero lines.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "android/app.h"
+#include "common/types.h"
+#include "core/reporting.h"
+
+namespace edx::core {
+
+/// Maps event names to the lines a developer must read to inspect them.
+class CodeMap {
+ public:
+  /// Builds the map from an app spec: every callback of every component,
+  /// keyed by the qualified event name.
+  static CodeMap from_app(const android::AppSpec& app);
+
+  /// Lines behind one event (0 for unknown events and idle markers).
+  [[nodiscard]] int lines_for(const EventName& name) const;
+
+  /// Total lines over a set of (distinct) events.
+  [[nodiscard]] int lines_for(const std::vector<EventName>& names) const;
+
+  /// Whole-app line count.
+  [[nodiscard]] int total_lines() const { return total_lines_; }
+
+  [[nodiscard]] std::size_t event_count() const { return lines_.size(); }
+
+ private:
+  std::map<EventName, int> lines_;
+  int total_lines_{0};
+};
+
+/// Fraction of the app the developer does NOT need to read: in [0, 1].
+double code_reduction(int total_lines, int diagnosis_lines);
+
+/// Code reduction of a diagnosis report under a code map.
+double code_reduction(const CodeMap& code_map, const DiagnosisReport& report);
+
+/// Lines the developer must read for `report`.
+int diagnosis_lines(const CodeMap& code_map, const DiagnosisReport& report);
+
+}  // namespace edx::core

@@ -1,0 +1,132 @@
+#include "core/detection.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace edx::core {
+
+void attribute_variation_amplitude(AnalyzedTrace& trace,
+                                   const DetectionConfig& config) {
+  const std::size_t count = trace.events.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    PoweredEvent& event = trace.events[i];
+    event.run_peak_index = i;
+    if (i + 1 >= count) {
+      event.variation_amplitude = 0.0;
+      continue;
+    }
+    const double single_step =
+        trace.events[i + 1].normalized_power - event.normalized_power;
+    event.run_peak_index = i + 1;
+    if (!config.extend_monotone_runs || single_step <= 0.0) {
+      // "If the normalized power keeps increasing from the i-th instance":
+      // the run must rise from instance i itself, otherwise V_i is the
+      // plain single-step difference.
+      event.variation_amplitude = single_step;
+      continue;
+    }
+    // Walk forward while normalized power keeps increasing, bridging at
+    // most `run_dip_tolerance` consecutive flat/dipping steps (sampling
+    // staircase), provided power stays at or above the run's start.  The
+    // amplitude is measured to the highest point of the run.
+    const double start = event.normalized_power;
+    std::size_t end = i + 1;
+    double peak = trace.events[end].normalized_power;
+    std::size_t peak_index = end;
+    std::size_t dips = 0;
+    while (end + 1 < count) {
+      const double current = trace.events[end].normalized_power;
+      const double next = trace.events[end + 1].normalized_power;
+      if (next > current) {
+        ++end;
+        if (next > peak) {
+          peak = next;
+          peak_index = end;
+        }
+      } else if (next == current) {
+        // Events in the same sample window read identical power; bridging
+        // them costs nothing.
+        ++end;
+      } else if (dips < config.run_dip_tolerance && next >= start &&
+                 current - next <=
+                     config.run_dip_fraction * (peak - start)) {
+        ++end;
+        ++dips;
+      } else {
+        break;
+      }
+    }
+    event.variation_amplitude = peak - start;
+    event.run_peak_index = peak_index;
+  }
+}
+
+void detect_manifestation_points(AnalyzedTrace& trace,
+                                 const DetectionConfig& config) {
+  trace.manifestation_indices.clear();
+  if (trace.events.empty()) {
+    trace.amplitude_quartiles = {};
+    trace.outlier_fence = config.min_amplitude;
+    return;
+  }
+
+  std::vector<double> amplitudes;
+  amplitudes.reserve(trace.events.size());
+  for (const PoweredEvent& event : trace.events) {
+    amplitudes.push_back(event.variation_amplitude);
+  }
+
+  trace.amplitude_quartiles = stats::quartiles(amplitudes);
+  const double iqr_fence =
+      trace.amplitude_quartiles.q3 +
+      config.fence_iqr_multiplier * trace.amplitude_quartiles.iqr();
+  trace.outlier_fence = std::max(iqr_fence, config.min_amplitude);
+
+  const auto is_sustained = [&](std::size_t i) {
+    if (!config.require_sustained) return true;
+    const PoweredEvent& event = trace.events[i];
+    const double start = event.normalized_power;
+    const double midpoint = start + 0.5 * event.variation_amplitude;
+    const std::size_t peak = event.run_peak_index;
+    const TimestampMs window_end =
+        trace.events[peak].interval.begin + config.sustain_window_ms;
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t j = peak; j < trace.events.size(); ++j) {
+      if (trace.events[j].interval.begin > window_end) break;
+      total += trace.events[j].normalized_power;
+      ++counted;
+    }
+    if (counted <= 1) {
+      // Nothing else begins inside the window (the app went quiet).  Judge
+      // by the next recorded observation alone — averaging it with the
+      // peak would always land exactly on the midpoint and never reject.
+      if (peak + 1 >= trace.events.size()) return true;  // trace edge
+      return trace.events[peak + 1].normalized_power >= midpoint;
+    }
+    return total / static_cast<double>(counted) >= midpoint;
+  };
+
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    if (amplitudes[i] > trace.outlier_fence &&
+        trace.events[trace.events[i].run_peak_index].normalized_power >=
+            config.min_peak_level &&
+        is_sustained(i)) {
+      trace.manifestation_indices.push_back(i);
+    }
+  }
+}
+
+void detect_all(std::vector<AnalyzedTrace>& traces,
+                const DetectionConfig& config) {
+  require(config.fence_iqr_multiplier >= 0.0,
+          "detect_all: fence multiplier must be non-negative");
+  for (AnalyzedTrace& trace : traces) {
+    attribute_variation_amplitude(trace, config);
+    detect_manifestation_points(trace, config);
+  }
+}
+
+}  // namespace edx::core

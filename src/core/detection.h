@@ -1,0 +1,81 @@
+// Step 4 — Manifestation Point Detection.
+//
+// Variation amplitude of the i-th instance:
+//   V_i = p_norm[i+1] - p_norm[i],
+// extended across monotone increases: if the normalized power keeps rising
+// from i through i+n, V_i = p_norm[i+n] - p_norm[i].  The extension credits
+// the *start* of a gradual ramp with the full rise — real ABDs often heat
+// up over several events rather than in one jump.
+//
+// Manifestation points are then the Tukey outliers: instances whose
+// amplitude exceeds the upper outer fence Q3 + k*IQR (the paper fixes
+// k = 3) of the trace's amplitude distribution.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis_types.h"
+
+namespace edx::core {
+
+struct DetectionConfig {
+  /// Fence multiplier; 3.0 is the paper's outer fence, 1.5 the inner one.
+  double fence_iqr_multiplier{3.0};
+  /// Extend V_i across monotone increasing runs (the paper's definition);
+  /// disabling this is the single-step ablation.
+  bool extend_monotone_runs{true};
+  /// Tolerated strictly-decreasing steps inside a monotone run (a per-run
+  /// *total*, not consecutive — a budget that reset on every up-step would
+  /// let a run bridge arbitrarily far through alternating wobble).  The
+  /// 500 ms sampling quantizes a power ramp into a staircase whose treads
+  /// would end a strictly-increasing run; a run may bridge up to this many
+  /// dipping steps as long as power stays above the run's start.  Exactly
+  /// flat steps (events sharing one sample window) are free.
+  /// 0 restores the (nearly) literal strict definition.
+  std::size_t run_dip_tolerance{2};
+  /// A bridged dip must also be *small relative to the run's rise so far*:
+  /// |dip| <= run_dip_fraction * (peak - start).  Without this, alternating
+  /// up/down wobble (e.g. interleaved cheap/expensive events) re-arms the
+  /// dip counter at every up-step and runs bridge across the whole trace.
+  double run_dip_fraction{0.35};
+  /// Absolute floor on a manifestation amplitude, in normalized units
+  /// (1.0 == one base-power step).  Guards the degenerate all-flat trace
+  /// whose IQR collapses to ~0.  The paper tunes the equivalent
+  /// "parameters of the algorithm ... through experiments".
+  double min_amplitude{1.2};
+  /// An ABD keeps the power high after the transition ("transits from
+  /// normal (low) to abnormal (high) and keeps at a higher level", §IV-C);
+  /// a one-sample spike from a concurrent radio burst does not.  When set,
+  /// an outlier is accepted only if the mean normalized power of the
+  /// events beginning within `sustain_window_ms` of the run's peak stays
+  /// above the midpoint of the rise.  The window is time-based because a
+  /// burst can blanket a whole 5-callback navigation cluster dispatched
+  /// within milliseconds.
+  /// The horizon matters: legitimate heavy use (a tracking session the
+  /// user properly stops) stays high for a few seconds and then ends,
+  /// while a real ABD persists; 20 s separates the two in practice.
+  bool require_sustained{true};
+  DurationMs sustain_window_ms{20'000};
+  /// A manifestation must end *above* the app's typical power, not merely
+  /// rise back to it: the run's peak must reach at least this normalized
+  /// level.  Guards against V being inflated by a context-depressed start
+  /// (e.g. the one backgrounding onPause whose sample window straddles
+  /// display-off).
+  double min_peak_level{2.0};
+};
+
+/// Fills `variation_amplitude` for every instance of `trace` in place.
+void attribute_variation_amplitude(AnalyzedTrace& trace,
+                                   const DetectionConfig& config = {});
+
+/// Runs outlier detection on the amplitudes, filling
+/// `manifestation_indices`, `amplitude_quartiles` and `outlier_fence`.
+/// Requires attribute_variation_amplitude() to have run.
+void detect_manifestation_points(AnalyzedTrace& trace,
+                                 const DetectionConfig& config = {});
+
+/// Convenience: both phases over a whole collection.
+void detect_all(std::vector<AnalyzedTrace>& traces,
+                const DetectionConfig& config = {});
+
+}  // namespace edx::core

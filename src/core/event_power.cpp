@@ -1,0 +1,32 @@
+#include "core/event_power.h"
+
+namespace edx::core {
+
+AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle) {
+  AnalyzedTrace analyzed;
+  analyzed.user = bundle.user;
+  for (const trace::EventInstance& instance : bundle.events.instances()) {
+    PoweredEvent event;
+    event.name = instance.event;
+    event.interval = instance.interval;
+    // Short callbacks (a few ms) sit inside one 500 ms sample window; long
+    // instances (Idle chunks) span several and get the weighted average.
+    TimeInterval lookup = instance.interval;
+    if (lookup.empty()) lookup.end = lookup.begin + 1;
+    event.raw_power = bundle.utilization.average_power(lookup);
+    analyzed.events.push_back(std::move(event));
+  }
+  return analyzed;
+}
+
+std::vector<AnalyzedTrace> estimate_event_power(
+    const std::vector<trace::TraceBundle>& bundles) {
+  std::vector<AnalyzedTrace> traces;
+  traces.reserve(bundles.size());
+  for (const trace::TraceBundle& bundle : bundles) {
+    traces.push_back(estimate_event_power(bundle));
+  }
+  return traces;
+}
+
+}  // namespace edx::core

@@ -1,0 +1,26 @@
+// Step 1 — Power Estimation of Events.
+//
+// Joins each trace bundle's event instances with its power samples by
+// timestamp: the power of an event instance is the (overlap-weighted)
+// average estimated app power during the instance's [entry, exit) interval.
+// Because app power includes everything the app is doing concurrently
+// (long-running services, leaked resources), an event executed while an
+// ABD drains in the background *appears* expensive — the very effect the
+// later steps exploit and discipline.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis_types.h"
+#include "trace/recorder.h"
+
+namespace edx::core {
+
+/// Computes per-instance power for one bundle.
+AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle);
+
+/// Computes per-instance power for a whole collection.
+std::vector<AnalyzedTrace> estimate_event_power(
+    const std::vector<trace::TraceBundle>& bundles);
+
+}  // namespace edx::core

@@ -1,0 +1,38 @@
+#include "core/normalization.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace edx::core {
+
+double base_power(const EventRanking& ranking, const EventName& name,
+                  const NormalizationConfig& config) {
+  const double base =
+      ranking.distribution(name).percentile(config.base_percentile);
+  return std::max(base, config.min_base_power_mw);
+}
+
+void normalize_events(std::vector<AnalyzedTrace>& traces,
+                      const EventRanking& ranking,
+                      const NormalizationConfig& config) {
+  require(config.base_percentile >= 0.0 && config.base_percentile <= 100.0,
+          "normalize_events: base percentile out of range");
+  require(config.min_base_power_mw > 0.0,
+          "normalize_events: min base power must be positive");
+  // The percentile computation sorts the event's distribution; compute
+  // each event's base once, not once per instance.
+  std::map<EventName, double> bases;
+  for (const auto& [name, distribution] : ranking.all()) {
+    bases[name] = std::max(distribution.percentile(config.base_percentile),
+                           config.min_base_power_mw);
+  }
+  for (AnalyzedTrace& trace : traces) {
+    for (PoweredEvent& event : trace.events) {
+      event.normalized_power = event.raw_power / bases.at(event.name);
+    }
+  }
+}
+
+}  // namespace edx::core

@@ -1,0 +1,27 @@
+#include "core/pipeline.h"
+
+#include "common/error.h"
+
+namespace edx::core {
+
+ManifestationAnalyzer::ManifestationAnalyzer(AnalysisConfig config)
+    : config_(config) {}
+
+AnalysisResult ManifestationAnalyzer::run(
+    const std::vector<trace::TraceBundle>& bundles) const {
+  if (bundles.empty()) {
+    throw AnalysisError("ManifestationAnalyzer::run: no traces collected");
+  }
+
+  AnalysisResult result;
+  result.traces = estimate_event_power(bundles);              // Step 1
+  result.ranking = EventRanking::build(result.traces);        // Step 2
+  normalize_events(result.traces, result.ranking,             // Step 3
+                   config_.normalization);
+  detect_all(result.traces, config_.detection);               // Step 4
+  result.report =
+      report_problematic_events(result.traces, config_.reporting);  // Step 5
+  return result;
+}
+
+}  // namespace edx::core

@@ -1,0 +1,52 @@
+// ManifestationAnalyzer — the public façade over the 5-step analysis.
+//
+//   Step 1  estimate_event_power   (core/event_power.h)
+//   Step 2  EventRanking::build    (core/ranking.h)
+//   Step 3  normalize_events       (core/normalization.h)
+//   Step 4  detect_all             (core/detection.h)
+//   Step 5  report_problematic_events (core/reporting.h)
+//
+// run() executes all five on a collection of trace bundles and returns
+// both the final report and the fully-annotated per-trace data (for the
+// per-step figures and ablations).
+#pragma once
+
+#include <vector>
+
+#include "core/detection.h"
+#include "core/event_power.h"
+#include "core/normalization.h"
+#include "core/ranking.h"
+#include "core/reporting.h"
+
+namespace edx::core {
+
+/// Full pipeline configuration.
+struct AnalysisConfig {
+  NormalizationConfig normalization;
+  DetectionConfig detection;
+  ReportingConfig reporting;
+};
+
+/// Everything the pipeline produced.
+struct AnalysisResult {
+  std::vector<AnalyzedTrace> traces;  ///< annotated by steps 1, 3, 4
+  EventRanking ranking;               ///< step 2
+  DiagnosisReport report;             ///< step 5
+};
+
+class ManifestationAnalyzer {
+ public:
+  explicit ManifestationAnalyzer(AnalysisConfig config = {});
+
+  [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+
+  /// Runs the full pipeline.  Throws AnalysisError when `bundles` is empty.
+  [[nodiscard]] AnalysisResult run(
+      const std::vector<trace::TraceBundle>& bundles) const;
+
+ private:
+  AnalysisConfig config_;
+};
+
+}  // namespace edx::core

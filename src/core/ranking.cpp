@@ -1,0 +1,53 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace edx::core {
+
+std::vector<std::size_t> EventPowerDistribution::ranks() const {
+  return stats::competition_ranks(powers);
+}
+
+double EventPowerDistribution::percentile(double p) const {
+  require(!powers.empty(),
+          "EventPowerDistribution::percentile: empty distribution");
+  return stats::percentile(powers, p);
+}
+
+EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces) {
+  EventRanking ranking;
+  for (const AnalyzedTrace& trace : traces) {
+    for (const PoweredEvent& event : trace.events) {
+      auto [it, inserted] = ranking.by_event_.try_emplace(event.name);
+      if (inserted) it->second.name = event.name;
+      it->second.powers.push_back(event.raw_power);
+    }
+  }
+  return ranking;
+}
+
+const EventPowerDistribution& EventRanking::distribution(
+    const EventName& name) const {
+  const auto it = by_event_.find(name);
+  if (it == by_event_.end()) {
+    throw AnalysisError("EventRanking: no distribution for event '" + name +
+                        "'");
+  }
+  return it->second;
+}
+
+bool EventRanking::contains(const EventName& name) const {
+  return by_event_.contains(name);
+}
+
+std::size_t EventRanking::rank_of(const EventName& name, double power) const {
+  const EventPowerDistribution& dist = distribution(name);
+  return 1 + static_cast<std::size_t>(
+                 std::count_if(dist.powers.begin(), dist.powers.end(),
+                               [&](double p) { return p < power; }));
+}
+
+}  // namespace edx::core

@@ -1,0 +1,56 @@
+// Step 2 — Event Ranking.
+//
+// Different events have legitimately different raw power (a mail refresh
+// costs more than a keystroke), so raw transition points between events are
+// misleading.  Step 2 collects, for each event *name*, every instance's
+// power across all traces and ranks them.  The per-event distributions feed
+// Step 3's normalization; the ranks themselves reveal which instances sit
+// unusually high within their own event's distribution.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/analysis_types.h"
+
+namespace edx::core {
+
+/// Power distribution of one event across the whole collection.
+struct EventPowerDistribution {
+  EventName name;
+  std::vector<double> powers;  ///< every instance's raw power, input order
+
+  /// Competition ranks aligned with `powers`.
+  [[nodiscard]] std::vector<std::size_t> ranks() const;
+  /// p-th percentile of the distribution.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] std::size_t instance_count() const { return powers.size(); }
+};
+
+/// All per-event distributions, keyed by event name.
+class EventRanking {
+ public:
+  /// Builds distributions from every instance in `traces`.
+  static EventRanking build(const std::vector<AnalyzedTrace>& traces);
+
+  /// Distribution for `name`; throws AnalysisError when the event never
+  /// occurs in the collection.
+  [[nodiscard]] const EventPowerDistribution& distribution(
+      const EventName& name) const;
+
+  [[nodiscard]] bool contains(const EventName& name) const;
+  [[nodiscard]] std::size_t event_count() const { return by_event_.size(); }
+  [[nodiscard]] const std::map<EventName, EventPowerDistribution>& all()
+      const {
+    return by_event_;
+  }
+
+  /// Rank (1-based) of a given power value within `name`'s distribution:
+  /// 1 + number of recorded instances strictly cheaper than `power`.
+  [[nodiscard]] std::size_t rank_of(const EventName& name, double power) const;
+
+ private:
+  std::map<EventName, EventPowerDistribution> by_event_;
+};
+
+}  // namespace edx::core

@@ -1,0 +1,146 @@
+#include "core/report_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "android/event.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace edx::core {
+
+std::string json_quote(const std::string& text) {
+  std::string quoted = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\r': quoted += "\\r"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          quoted += buffer;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string report_to_text(const DiagnosisReport& report,
+                           const CodeMap* code_map,
+                           const ReportRenderOptions& options) {
+  std::ostringstream out;
+  out << "EnergyDx diagnosis report";
+  if (!options.app_name.empty()) out << " — " << options.app_name;
+  out << "\n";
+  out << "Traces analyzed: " << report.total_traces << " ("
+      << report.traces_with_manifestation
+      << " with a detected manifestation point)\n";
+  if (options.developer_reported_fraction > 0.0) {
+    out << "Developer-reported user impact: "
+        << strings::format_double(
+               100.0 * options.developer_reported_fraction, 1)
+        << "%\n";
+  }
+  out << "\nEvents around the ABD manifestation, ranked by match to the "
+         "reported impact:\n";
+
+  TextTable table(code_map != nullptr
+                      ? std::vector<std::string>{"Order", "Event",
+                                                 "% traces impacted", "Lines"}
+                      : std::vector<std::string>{"Order", "Event",
+                                                 "% traces impacted"});
+  table.set_align(0, Align::kRight);
+  table.set_align(2, Align::kRight);
+  if (code_map != nullptr) table.set_align(3, Align::kRight);
+  const std::size_t count =
+      std::min(options.max_events, report.ranked_events.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const ReportedEvent& event = report.ranked_events[i];
+    std::vector<std::string> cells = {
+        std::to_string(i + 1), android::short_event_name(event.name),
+        strings::format_double(100.0 * event.impacted_fraction, 1)};
+    if (code_map != nullptr) {
+      cells.push_back(std::to_string(code_map->lines_for(event.name)));
+    }
+    table.add_row(std::move(cells));
+  }
+  out << table.to_string();
+
+  out << "\nDiagnosis set (start reading here):\n";
+  for (const EventName& event : report.diagnosis_events) {
+    out << "  - " << android::short_event_name(event);
+    if (code_map != nullptr) {
+      out << " (" << code_map->lines_for(event) << " lines)";
+    }
+    out << "\n";
+  }
+  if (code_map != nullptr) {
+    const int lines = code_map->lines_for(report.diagnosis_events);
+    out << "\nSearch space: " << code_map->total_lines() << " -> " << lines
+        << " lines (code reduction "
+        << strings::format_double(
+               100.0 * code_reduction(code_map->total_lines(), lines), 1)
+        << "%)\n";
+  }
+  return out.str();
+}
+
+std::string report_to_json(const DiagnosisReport& report,
+                           const CodeMap* code_map,
+                           const ReportRenderOptions& options) {
+  std::ostringstream out;
+  out << "{\n";
+  if (!options.app_name.empty()) {
+    out << "  \"app\": " << json_quote(options.app_name) << ",\n";
+  }
+  out << "  \"total_traces\": " << report.total_traces << ",\n";
+  out << "  \"traces_with_manifestation\": "
+      << report.traces_with_manifestation << ",\n";
+  out << "  \"developer_reported_fraction\": "
+      << strings::format_double(options.developer_reported_fraction, 6)
+      << ",\n";
+
+  out << "  \"ranked_events\": [\n";
+  const std::size_t count =
+      std::min(options.max_events, report.ranked_events.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const ReportedEvent& event = report.ranked_events[i];
+    out << "    {\"event\": " << json_quote(event.name)
+        << ", \"impacted_fraction\": "
+        << strings::format_double(event.impacted_fraction, 6)
+        << ", \"impacted_traces\": " << event.impacted_traces;
+    if (code_map != nullptr) {
+      out << ", \"lines\": " << code_map->lines_for(event.name);
+    }
+    out << "}" << (i + 1 < count ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"diagnosis_events\": [";
+  for (std::size_t i = 0; i < report.diagnosis_events.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << json_quote(report.diagnosis_events[i]);
+  }
+  out << "]";
+
+  if (code_map != nullptr) {
+    const int lines = code_map->lines_for(report.diagnosis_events);
+    out << ",\n  \"total_lines\": " << code_map->total_lines()
+        << ",\n  \"diagnosis_lines\": " << lines
+        << ",\n  \"code_reduction\": "
+        << strings::format_double(
+               code_reduction(code_map->total_lines(), lines), 6);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace edx::core

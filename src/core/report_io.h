@@ -1,0 +1,37 @@
+// DiagnosisReport rendering: the artifact EnergyDx hands to developers.
+//
+// Two formats: a human-readable text report (what the backend would mail
+// to the app team) and JSON (for dashboards and the CLI).  When a CodeMap
+// is supplied, each event carries the lines the developer must read and
+// the report closes with the search-space summary.
+#pragma once
+
+#include <string>
+
+#include "core/code_map.h"
+#include "core/reporting.h"
+
+namespace edx::core {
+
+struct ReportRenderOptions {
+  std::size_t max_events{10};  ///< ranked events to include
+  /// Developer-reported impact, echoed into the report header; pass the
+  /// value the analysis was configured with.
+  double developer_reported_fraction{0.0};
+  std::string app_name;
+};
+
+/// Human-readable report.
+std::string report_to_text(const DiagnosisReport& report,
+                           const CodeMap* code_map,
+                           const ReportRenderOptions& options = {});
+
+/// JSON document (UTF-8, no external dependencies).
+std::string report_to_json(const DiagnosisReport& report,
+                           const CodeMap* code_map,
+                           const ReportRenderOptions& options = {});
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+std::string json_quote(const std::string& text);
+
+}  // namespace edx::core

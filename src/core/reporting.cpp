@@ -1,0 +1,90 @@
+#include "core/reporting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace edx::core {
+
+DiagnosisReport report_problematic_events(
+    const std::vector<AnalyzedTrace>& traces, const ReportingConfig& config) {
+  require(config.developer_reported_fraction >= 0.0 &&
+              config.developer_reported_fraction <= 1.0,
+          "report_problematic_events: reported fraction must be in [0,1]");
+
+  DiagnosisReport report;
+  report.total_traces = traces.size();
+
+  // Event -> set of users whose trace has it inside a manifestation window,
+  // plus the distances from the window's point (for tie-breaking).
+  struct Accumulator {
+    std::set<UserId> users;
+    double distance_total{0.0};
+    std::size_t occurrences{0};
+  };
+  std::map<EventName, Accumulator> impacted_by;
+  for (const AnalyzedTrace& trace : traces) {
+    if (!trace.manifestation_indices.empty()) {
+      ++report.traces_with_manifestation;
+    }
+    for (std::size_t point : trace.manifestation_indices) {
+      const std::size_t lo =
+          point >= config.window_size ? point - config.window_size : 0;
+      const std::size_t hi =
+          std::min(trace.events.size(), point + config.window_size + 1);
+      for (std::size_t i = lo; i < hi; ++i) {
+        Accumulator& accumulator = impacted_by[trace.events[i].name];
+        accumulator.users.insert(trace.user);
+        accumulator.distance_total +=
+            static_cast<double>(i > point ? i - point : point - i);
+        ++accumulator.occurrences;
+      }
+    }
+  }
+
+  for (const auto& [name, accumulator] : impacted_by) {
+    ReportedEvent event;
+    event.name = name;
+    event.impacted_traces = accumulator.users.size();
+    event.impacted_fraction =
+        traces.empty() ? 0.0
+                       : static_cast<double>(accumulator.users.size()) /
+                             static_cast<double>(traces.size());
+    event.mean_point_distance =
+        accumulator.occurrences == 0
+            ? 0.0
+            : accumulator.distance_total /
+                  static_cast<double>(accumulator.occurrences);
+    report.ranked_events.push_back(std::move(event));
+  }
+
+  const double target = config.developer_reported_fraction;
+  std::sort(report.ranked_events.begin(), report.ranked_events.end(),
+            [&](const ReportedEvent& a, const ReportedEvent& b) {
+              const double da = std::abs(a.impacted_fraction - target);
+              const double db = std::abs(b.impacted_fraction - target);
+              if (da != db) return da < db;
+              if (a.mean_point_distance != b.mean_point_distance) {
+                return a.mean_point_distance < b.mean_point_distance;
+              }
+              if (a.impacted_fraction != b.impacted_fraction) {
+                return a.impacted_fraction > b.impacted_fraction;
+              }
+              return a.name < b.name;
+            });
+
+  for (std::size_t i = 0; i < report.ranked_events.size(); ++i) {
+    const ReportedEvent& event = report.ranked_events[i];
+    if (i < config.min_top_k ||
+        std::abs(event.impacted_fraction - target) <=
+            config.diagnosis_tolerance) {
+      report.diagnosis_events.push_back(event.name);
+    }
+  }
+  return report;
+}
+
+}  // namespace edx::core

@@ -1,0 +1,54 @@
+#include "power/breakdown.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::power {
+
+PowerBreakdown::PowerBreakdown(PowerModel model) : model_(std::move(model)) {}
+
+std::vector<BreakdownSample> PowerBreakdown::series(
+    const UtilizationTimeline& timeline, Pid pid, TimestampMs begin,
+    TimestampMs end, DurationMs period_ms) const {
+  require(period_ms > 0, "PowerBreakdown::series: period must be > 0");
+  const std::size_t window_count =
+      end > begin ? static_cast<std::size_t>((end - begin) / period_ms) : 0;
+  std::vector<BreakdownSample> result(window_count);
+  for (Component component : kAllComponents) {
+    const std::vector<Utilization> averages = timeline.windowed_averages(
+        pid, /*filter_pid=*/true, component, begin, end, period_ms);
+    for (std::size_t w = 0; w < window_count; ++w) {
+      result[w].component_power_mw[static_cast<std::size_t>(component)] =
+          model_.component_power(component, averages[w]);
+    }
+  }
+  for (std::size_t w = 0; w < window_count; ++w) {
+    result[w].timestamp =
+        begin + static_cast<TimestampMs>(w + 1) * period_ms;
+  }
+  return result;
+}
+
+BreakdownSample PowerBreakdown::average(const UtilizationTimeline& timeline,
+                                        Pid pid, TimestampMs begin,
+                                        TimestampMs end) const {
+  BreakdownSample sample;
+  sample.timestamp = end;
+  for (Component component : kAllComponents) {
+    const Utilization utilization =
+        timeline.component_utilization(pid, component, begin, end);
+    sample.component_power_mw[static_cast<std::size_t>(component)] =
+        model_.component_power(component, utilization);
+  }
+  return sample;
+}
+
+Component PowerBreakdown::dominant_component(const BreakdownSample& sample) {
+  const auto it = std::max_element(sample.component_power_mw.begin(),
+                                   sample.component_power_mw.end());
+  return static_cast<Component>(
+      std::distance(sample.component_power_mw.begin(), it));
+}
+
+}  // namespace edx::power

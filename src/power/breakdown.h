@@ -1,0 +1,52 @@
+// Per-component power breakdown (Figures 11 and 14 of the paper).
+//
+// When a manifestation point is found, the paper explains the root cause by
+// showing which hardware component keeps drawing power (GPS for OpenGPS,
+// CPU for Wallabag).  PowerBreakdown computes that series from a timeline.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+#include "power/power_model.h"
+#include "power/timeline.h"
+
+namespace edx::power {
+
+/// Average power per component for one PID over one window.
+struct BreakdownSample {
+  TimestampMs timestamp{0};
+  std::array<PowerMw, kComponentCount> component_power_mw{};
+  [[nodiscard]] PowerMw total() const {
+    double sum = 0.0;
+    for (double p : component_power_mw) sum += p;
+    return sum;
+  }
+};
+
+/// Computes per-component power series and aggregates.
+class PowerBreakdown {
+ public:
+  explicit PowerBreakdown(PowerModel model);
+
+  /// Per-component power of `pid` sampled every `period_ms` over
+  /// [begin, end); partial trailing window dropped.
+  [[nodiscard]] std::vector<BreakdownSample> series(
+      const UtilizationTimeline& timeline, Pid pid, TimestampMs begin,
+      TimestampMs end, DurationMs period_ms) const;
+
+  /// Average per-component power of `pid` over the whole window.
+  [[nodiscard]] BreakdownSample average(const UtilizationTimeline& timeline,
+                                        Pid pid, TimestampMs begin,
+                                        TimestampMs end) const;
+
+  /// The component with the highest average power in `sample`.
+  [[nodiscard]] static Component dominant_component(
+      const BreakdownSample& sample);
+
+ private:
+  PowerModel model_;
+};
+
+}  // namespace edx::power

@@ -1,0 +1,152 @@
+#include "power/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "power/power_model.h"
+
+namespace edx::power {
+
+namespace {
+
+constexpr std::size_t kUnknowns = kComponentCount + 1;  // coefficients + idle
+
+/// Solves the symmetric positive-definite system A*x = b in place via
+/// Gaussian elimination with partial pivoting.  A is kUnknowns^2.
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t column = 0; column < n; ++column) {
+    // Pivot.
+    std::size_t pivot = column;
+    for (std::size_t row = column + 1; row < n; ++row) {
+      if (std::abs(a[row][column]) > std::abs(a[pivot][column])) pivot = row;
+    }
+    if (std::abs(a[pivot][column]) < 1e-9) {
+      throw AnalysisError(
+          "fit_power_model: singular system — some component is never "
+          "exercised by the training samples");
+    }
+    std::swap(a[column], a[pivot]);
+    std::swap(b[column], b[pivot]);
+    // Eliminate.
+    for (std::size_t row = column + 1; row < n; ++row) {
+      const double factor = a[row][column] / a[column][column];
+      for (std::size_t k = column; k < n; ++k) {
+        a[row][k] -= factor * a[column][k];
+      }
+      b[row] -= factor * b[column];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double accum = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) accum -= a[row][k] * x[k];
+    x[row] = accum / a[row][row];
+  }
+  return x;
+}
+
+/// Design-matrix row: [util_0 .. util_6, 1].
+std::array<double, kUnknowns> features(const CalibrationSample& sample) {
+  std::array<double, kUnknowns> row{};
+  for (Component component : kAllComponents) {
+    row[static_cast<std::size_t>(component)] =
+        sample.utilization.get(component);
+  }
+  row[kComponentCount] = 1.0;  // idle intercept
+  return row;
+}
+
+}  // namespace
+
+CalibrationResult fit_power_model(
+    const std::string& device_name,
+    const std::vector<CalibrationSample>& samples) {
+  require(samples.size() > kUnknowns,
+          "fit_power_model: need more samples than unknowns");
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<std::vector<double>> xtx(kUnknowns,
+                                       std::vector<double>(kUnknowns, 0.0));
+  std::vector<double> xty(kUnknowns, 0.0);
+  for (const CalibrationSample& sample : samples) {
+    const auto row = features(sample);
+    for (std::size_t i = 0; i < kUnknowns; ++i) {
+      for (std::size_t j = 0; j < kUnknowns; ++j) {
+        xtx[i][j] += row[i] * row[j];
+      }
+      xty[i] += row[i] * sample.measured_phone_power_mw;
+    }
+  }
+  std::vector<double> beta = solve(std::move(xtx), std::move(xty));
+
+  // Physicality: power coefficients cannot be negative.
+  std::array<double, kComponentCount> coefficients{};
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    coefficients[i] = std::max(0.0, beta[i]);
+  }
+  const double idle = std::max(0.0, beta[kComponentCount]);
+
+  CalibrationResult result{
+      Device(device_name, idle, coefficients), 0.0, 0.0, samples.size()};
+
+  const PowerModel model(result.device);
+  double squared_total = 0.0;
+  for (const CalibrationSample& sample : samples) {
+    const double predicted = model.phone_power(sample.utilization);
+    const double error = predicted - sample.measured_phone_power_mw;
+    squared_total += error * error;
+    result.max_abs_error_mw = std::max(result.max_abs_error_mw,
+                                       std::abs(error));
+  }
+  result.rms_error_mw =
+      std::sqrt(squared_total / static_cast<double>(samples.size()));
+  return result;
+}
+
+std::vector<CalibrationSample> generate_training_samples(
+    const Device& truth, std::size_t levels_per_component, double noise_stddev,
+    std::uint64_t seed) {
+  require(levels_per_component >= 2,
+          "generate_training_samples: need at least 2 levels");
+  Rng rng(seed);
+  const PowerModel model(truth);
+  std::vector<CalibrationSample> samples;
+
+  const auto push = [&](const UtilizationVector& utilization) {
+    CalibrationSample sample;
+    sample.utilization = utilization;
+    double power = model.phone_power(utilization);
+    if (noise_stddev > 0.0) {
+      power *= std::max(0.0, rng.normal(1.0, noise_stddev));
+    }
+    sample.measured_phone_power_mw = power;
+    samples.push_back(sample);
+  };
+
+  // All-idle block (anchors the intercept).
+  for (std::size_t i = 0; i < levels_per_component; ++i) {
+    push(UtilizationVector{});
+  }
+  // Per-component sweeps, plus a light random co-activation so coefficients
+  // separate even under correlated noise.
+  for (Component component : kAllComponents) {
+    for (std::size_t level = 1; level <= levels_per_component; ++level) {
+      UtilizationVector utilization;
+      utilization.set(component, static_cast<double>(level) /
+                                     static_cast<double>(levels_per_component));
+      if (rng.bernoulli(0.5)) {
+        const auto other = static_cast<Component>(
+            rng.uniform_int(0, static_cast<std::int64_t>(kComponentCount) - 1));
+        if (other != component) utilization.set(other, rng.uniform(0.1, 0.4));
+      }
+      push(utilization);
+    }
+  }
+  return samples;
+}
+
+}  // namespace edx::power

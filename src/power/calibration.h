@@ -1,0 +1,55 @@
+// Power-model calibration (the "automatic power model generation" half of
+// Zhang et al. [20]).
+//
+// EnergyDx ships device profiles, but a new phone model arrives without
+// one.  The calibrator recovers the linear coefficients of the power model
+// from observation pairs (component utilization vector, measured
+// whole-phone power) — e.g. one Monsoon session while a training workload
+// sweeps the components — by ordinary least squares.  The fitted Device
+// can then be registered with the collection fleet and the scaler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "power/device.h"
+#include "power/hardware.h"
+
+namespace edx::power {
+
+/// One calibration observation: what the components were doing and what
+/// the meter read (whole-phone, mW).
+struct CalibrationSample {
+  UtilizationVector utilization;
+  PowerMw measured_phone_power_mw{0.0};
+};
+
+/// Result of a fit.
+struct CalibrationResult {
+  Device device;                 ///< fitted profile (coefficients + idle)
+  double rms_error_mw{0.0};      ///< residual over the training samples
+  double max_abs_error_mw{0.0};
+  std::size_t samples_used{0};
+};
+
+/// Least-squares fit of an (idle + 7 coefficients) linear power model.
+///
+/// Requirements: at least kComponentCount + 1 samples, and the utilization
+/// matrix must excite every component (a column that is identically zero
+/// makes that coefficient unidentifiable — reported via AnalysisError).
+/// Negative fitted coefficients are clamped to zero (hardware cannot
+/// produce power), with the residual recomputed after clamping.
+CalibrationResult fit_power_model(const std::string& device_name,
+                                  const std::vector<CalibrationSample>& samples);
+
+/// Generates a component-sweep training workload: for each component, a
+/// block of samples at several utilization levels (plus one all-idle
+/// block), evaluated against `truth` with optional multiplicative
+/// measurement noise.  This is the "training app + power meter" session a
+/// lab would run; tests use it to verify the fit recovers the truth.
+std::vector<CalibrationSample> generate_training_samples(
+    const Device& truth, std::size_t levels_per_component, double noise_stddev,
+    std::uint64_t seed);
+
+}  // namespace edx::power

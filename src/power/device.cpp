@@ -1,0 +1,74 @@
+#include "power/device.h"
+
+#include "common/error.h"
+
+namespace edx::power {
+
+Device::Device(std::string name, double idle_mw,
+               std::array<double, kComponentCount> coefficients_mw)
+    : name_(std::move(name)),
+      idle_mw_(idle_mw),
+      coefficients_mw_(coefficients_mw) {
+  require(!name_.empty(), "Device: name must be non-empty");
+  require(idle_mw_ >= 0.0, "Device: idle power must be non-negative");
+  for (double coefficient : coefficients_mw_) {
+    require(coefficient >= 0.0, "Device: coefficients must be non-negative");
+  }
+}
+
+double Device::reference_power_mw() const {
+  // A fixed "typical usage" utilization vector: moderate CPU, display on,
+  // light radio activity.  Every device is evaluated at the same point so
+  // the ratio between two devices is a meaningful scale factor.
+  constexpr std::array<double, kComponentCount> kTypicalUtil = {
+      0.30,  // cpu
+      0.80,  // display
+      0.10,  // wifi
+      0.05,  // cellular
+      0.00,  // gps
+      0.00,  // audio
+      0.05,  // sensor
+  };
+  double total = idle_mw_;
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    total += coefficients_mw_[i] * kTypicalUtil[i];
+  }
+  return total;
+}
+
+// Coefficient sets are loosely based on the published PowerTutor model for
+// comparable hardware generations: CPU and display dominate, GPS is a large
+// fixed-cost consumer when on, WiFi/cellular sit in between.
+Device nexus6() {
+  return Device("Nexus 6", 28.0,
+                {/*cpu=*/860.0, /*display=*/414.0, /*wifi=*/405.0,
+                 /*cellular=*/720.0, /*gps=*/429.0, /*audio=*/185.0,
+                 /*sensor=*/96.0});
+}
+
+Device nexus5() {
+  return Device("Nexus 5", 24.0,
+                {/*cpu=*/788.0, /*display=*/372.0, /*wifi=*/384.0,
+                 /*cellular=*/690.0, /*gps=*/404.0, /*audio=*/170.0,
+                 /*sensor=*/88.0});
+}
+
+Device galaxy_s5() {
+  return Device("Galaxy S5", 31.0,
+                {/*cpu=*/934.0, /*display=*/452.0, /*wifi=*/418.0,
+                 /*cellular=*/742.0, /*gps=*/445.0, /*audio=*/196.0,
+                 /*sensor=*/102.0});
+}
+
+Device moto_g() {
+  return Device("Moto G", 21.0,
+                {/*cpu=*/652.0, /*display=*/331.0, /*wifi=*/356.0,
+                 /*cellular=*/640.0, /*gps=*/381.0, /*audio=*/152.0,
+                 /*sensor=*/76.0});
+}
+
+std::vector<Device> builtin_devices() {
+  return {nexus6(), nexus5(), galaxy_s5(), moto_g()};
+}
+
+}  // namespace edx::power

@@ -1,0 +1,56 @@
+// Device power profiles.
+//
+// A DeviceProfile holds the linear power coefficients of one phone model:
+// the power drawn by each hardware component at 100% utilization, plus an
+// idle baseline.  The paper's traces come from "more than 30 volunteer users
+// with various smartphones"; we ship several profiles so the power-model
+// scaling step ([22], Step 1 of the analysis) has real work to do.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/hardware.h"
+
+namespace edx::power {
+
+/// Power coefficients of one phone model.  `coefficient_mw(c)` is the power
+/// drawn by component `c` at utilization 1.0.
+class Device {
+ public:
+  Device(std::string name, double idle_mw,
+         std::array<double, kComponentCount> coefficients_mw);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Baseline power of the phone when every component idles (mW).
+  [[nodiscard]] double idle_mw() const { return idle_mw_; }
+
+  /// Power of `component` at full utilization (mW).
+  [[nodiscard]] double coefficient_mw(Component component) const {
+    return coefficients_mw_[static_cast<std::size_t>(component)];
+  }
+
+  /// Sum of all coefficients evaluated at a reference utilization vector;
+  /// used by PowerModelScaler to derive a cross-device scale factor.
+  [[nodiscard]] double reference_power_mw() const;
+
+  friend bool operator==(const Device&, const Device&) = default;
+
+ private:
+  std::string name_;
+  double idle_mw_;
+  std::array<double, kComponentCount> coefficients_mw_;
+};
+
+/// The profile the paper's overhead experiment uses (Monsoon on a Nexus 6).
+Device nexus6();
+/// Additional profiles for heterogeneous-fleet simulation.
+Device nexus5();
+Device galaxy_s5();
+Device moto_g();
+
+/// All built-in profiles, Nexus 6 first (it is the scaling reference).
+std::vector<Device> builtin_devices();
+
+}  // namespace edx::power

@@ -1,0 +1,40 @@
+#include "power/hardware.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::power {
+
+std::string_view component_name(Component component) {
+  switch (component) {
+    case Component::kCpu: return "cpu";
+    case Component::kDisplay: return "display";
+    case Component::kWifi: return "wifi";
+    case Component::kCellular: return "cellular";
+    case Component::kGps: return "gps";
+    case Component::kAudio: return "audio";
+    case Component::kSensor: return "sensor";
+  }
+  throw InvalidArgument("component_name: unknown component");
+}
+
+Component component_from_name(std::string_view name) {
+  for (Component component : kAllComponents) {
+    if (component_name(component) == name) return component;
+  }
+  throw InvalidArgument("component_from_name: unknown component '" +
+                        std::string(name) + "'");
+}
+
+void UtilizationVector::set(Component component, double utilization) {
+  values_[static_cast<std::size_t>(component)] =
+      std::clamp(utilization, 0.0, 1.0);
+}
+
+void UtilizationVector::add(Component component, double utilization) {
+  auto& slot = values_[static_cast<std::size_t>(component)];
+  slot = std::clamp(slot + utilization, 0.0, 1.0);
+}
+
+}  // namespace edx::power

@@ -1,0 +1,63 @@
+// Hardware component vocabulary of the simulated phone.
+//
+// The power model of Zhang et al. [20] (PowerTutor) is linear in the
+// utilization of a small set of components; we model the same set.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace edx::power {
+
+/// The hardware components whose utilization the tracker records.
+enum class Component : std::size_t {
+  kCpu = 0,
+  kDisplay,
+  kWifi,
+  kCellular,
+  kGps,
+  kAudio,
+  kSensor,
+};
+
+inline constexpr std::size_t kComponentCount = 7;
+
+/// All components, for iteration.
+inline constexpr std::array<Component, kComponentCount> kAllComponents = {
+    Component::kCpu,  Component::kDisplay, Component::kWifi,
+    Component::kCellular, Component::kGps, Component::kAudio,
+    Component::kSensor,
+};
+
+/// Human-readable component name ("cpu", "display", ...).
+std::string_view component_name(Component component);
+
+/// Inverse of component_name(); throws InvalidArgument on unknown names.
+Component component_from_name(std::string_view name);
+
+/// A fixed-size utilization vector, one slot per component, each in [0, 1].
+class UtilizationVector {
+ public:
+  UtilizationVector() { values_.fill(0.0); }
+
+  [[nodiscard]] double get(Component component) const {
+    return values_[static_cast<std::size_t>(component)];
+  }
+  /// Sets a component's utilization, clamping to [0, 1].
+  void set(Component component, double utilization);
+  /// Adds to a component's utilization, clamping the result to [0, 1].
+  void add(Component component, double utilization);
+
+  [[nodiscard]] const std::array<double, kComponentCount>& raw() const {
+    return values_;
+  }
+
+  friend bool operator==(const UtilizationVector&,
+                         const UtilizationVector&) = default;
+
+ private:
+  std::array<double, kComponentCount> values_;
+};
+
+}  // namespace edx::power

@@ -1,0 +1,77 @@
+#include "power/monsoon.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::power {
+
+MonsoonMonitor::MonsoonMonitor(PowerModel model, DurationMs resolution_ms)
+    : model_(std::move(model)), resolution_ms_(resolution_ms) {
+  require(resolution_ms_ > 0, "MonsoonMonitor: resolution must be > 0");
+}
+
+namespace {
+
+MonsoonReading integrate(const PowerModel& model,
+                         const UtilizationTimeline& timeline, TimestampMs begin,
+                         TimestampMs end, DurationMs step, Pid pid,
+                         bool per_pid) {
+  MonsoonReading reading;
+  reading.duration_ms = std::max<DurationMs>(0, end - begin);
+  if (reading.duration_ms == 0) return reading;
+
+  const std::size_t window_count =
+      static_cast<std::size_t>((end - begin + step - 1) / step);
+  std::vector<UtilizationVector> windows(window_count);
+  for (Component component : kAllComponents) {
+    // Sweep whole windows; the final partial window (if any) is integrated
+    // separately below.
+    const std::vector<Utilization> averages = timeline.windowed_averages(
+        pid, per_pid, component, begin, end, step);
+    for (std::size_t w = 0; w < averages.size(); ++w) {
+      windows[w].set(component, averages[w]);
+    }
+    if (averages.size() < window_count) {
+      const TimestampMs tail_begin =
+          begin + static_cast<TimestampMs>(averages.size()) * step;
+      const Utilization tail =
+          per_pid
+              ? timeline.component_utilization(pid, component, tail_begin, end)
+              : timeline.total_component_utilization(component, tail_begin,
+                                                     end);
+      windows[window_count - 1].set(component, tail);
+    }
+  }
+
+  double energy_mj = 0.0;
+  for (std::size_t w = 0; w < window_count; ++w) {
+    const TimestampMs w_begin = begin + static_cast<TimestampMs>(w) * step;
+    const TimestampMs w_end = std::min<TimestampMs>(w_begin + step, end);
+    const PowerMw power = per_pid ? model.app_power(windows[w])
+                                  : model.phone_power(windows[w]);
+    energy_mj += power * static_cast<double>(w_end - w_begin) / 1000.0;
+  }
+  reading.energy_mj = energy_mj;
+  reading.average_power_mw =
+      energy_mj * 1000.0 / static_cast<double>(reading.duration_ms);
+  return reading;
+}
+
+}  // namespace
+
+MonsoonReading MonsoonMonitor::measure(const UtilizationTimeline& timeline,
+                                       TimestampMs begin,
+                                       TimestampMs end) const {
+  return integrate(model_, timeline, begin, end, resolution_ms_, /*pid=*/0,
+                   /*per_pid=*/false);
+}
+
+MonsoonReading MonsoonMonitor::measure_pid(const UtilizationTimeline& timeline,
+                                           Pid pid, TimestampMs begin,
+                                           TimestampMs end) const {
+  return integrate(model_, timeline, begin, end, resolution_ms_, pid,
+                   /*per_pid=*/true);
+}
+
+}  // namespace edx::power

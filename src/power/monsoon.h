@@ -1,0 +1,45 @@
+// Ground-truth whole-phone power measurement.
+//
+// The paper validates overheads with a Monsoon Power Monitor wired to a
+// Nexus 6.  Our stand-in integrates the *whole-phone* power (idle baseline
+// plus every PID's component activity) over the utilization timeline at
+// fine granularity.  Unlike the tracker it has no estimation noise and no
+// sampling alignment: it is the oracle against which the model is checked.
+#pragma once
+
+#include "common/types.h"
+#include "power/power_model.h"
+#include "power/timeline.h"
+
+namespace edx::power {
+
+/// Result of one measurement run.
+struct MonsoonReading {
+  PowerMw average_power_mw{0.0};
+  EnergyMj energy_mj{0.0};
+  DurationMs duration_ms{0};
+};
+
+/// Integrating whole-phone power meter.
+class MonsoonMonitor {
+ public:
+  /// `resolution_ms` is the integration step (default 5 ms ≈ 200 Hz).
+  explicit MonsoonMonitor(PowerModel model, DurationMs resolution_ms = 5);
+
+  /// Measures whole-phone power over [begin, end).
+  [[nodiscard]] MonsoonReading measure(const UtilizationTimeline& timeline,
+                                       TimestampMs begin,
+                                       TimestampMs end) const;
+
+  /// Measures power attributable to a single PID (no idle baseline); used
+  /// to validate the tracker's per-app estimates.
+  [[nodiscard]] MonsoonReading measure_pid(const UtilizationTimeline& timeline,
+                                           Pid pid, TimestampMs begin,
+                                           TimestampMs end) const;
+
+ private:
+  PowerModel model_;
+  DurationMs resolution_ms_;
+};
+
+}  // namespace edx::power

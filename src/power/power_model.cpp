@@ -1,0 +1,24 @@
+#include "power/power_model.h"
+
+namespace edx::power {
+
+PowerModel::PowerModel(Device device) : device_(std::move(device)) {}
+
+PowerMw PowerModel::app_power(const UtilizationVector& utilization) const {
+  double total = 0.0;
+  for (Component component : kAllComponents) {
+    total += component_power(component, utilization.get(component));
+  }
+  return total;
+}
+
+PowerMw PowerModel::phone_power(const UtilizationVector& utilization) const {
+  return device_.idle_mw() + app_power(utilization);
+}
+
+PowerMw PowerModel::component_power(Component component,
+                                    Utilization utilization) const {
+  return device_.coefficient_mw(component) * utilization;
+}
+
+}  // namespace edx::power

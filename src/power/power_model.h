@@ -1,0 +1,39 @@
+// Utilization-based linear power model (Zhang et al. [20], PowerTutor).
+//
+// Estimated power = sum_over_components(coefficient_c * utilization_c),
+// optionally plus the device's idle baseline for whole-phone estimates.
+// The paper reports < 2.5% estimation error for this class of model, which
+// it argues is sufficient to characterize the app-level power transitions
+// the manifestation analysis depends on.
+#pragma once
+
+#include "common/types.h"
+#include "power/device.h"
+#include "power/hardware.h"
+
+namespace edx::power {
+
+/// Linear power model bound to one device profile.
+class PowerModel {
+ public:
+  explicit PowerModel(Device device);
+
+  [[nodiscard]] const Device& device() const { return device_; }
+
+  /// Power attributed to an app with the given utilization vector (mW).
+  /// Excludes the idle baseline — baseline power belongs to the phone, not
+  /// to any single app.
+  [[nodiscard]] PowerMw app_power(const UtilizationVector& utilization) const;
+
+  /// Whole-phone power: idle baseline + component power (mW).
+  [[nodiscard]] PowerMw phone_power(const UtilizationVector& utilization) const;
+
+  /// Power contributed by a single component at the given utilization (mW).
+  [[nodiscard]] PowerMw component_power(Component component,
+                                        Utilization utilization) const;
+
+ private:
+  Device device_;
+};
+
+}  // namespace edx::power

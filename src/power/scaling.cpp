@@ -1,0 +1,23 @@
+#include "power/scaling.h"
+
+#include "common/error.h"
+
+namespace edx::power {
+
+PowerModelScaler::PowerModelScaler(Device reference)
+    : reference_(std::move(reference)) {}
+
+double PowerModelScaler::scale_factor(const Device& device) const {
+  const double device_reference = device.reference_power_mw();
+  require(device_reference > 0.0,
+          "PowerModelScaler: device reference power must be positive");
+  if (device == reference_) return 1.0;
+  return reference_.reference_power_mw() / device_reference;
+}
+
+PowerMw PowerModelScaler::to_reference(PowerMw power,
+                                       const Device& device) const {
+  return power * scale_factor(device);
+}
+
+}  // namespace edx::power

@@ -1,0 +1,38 @@
+// Cross-device power-model scaling (Mittal et al. [22]).
+//
+// Traces arrive from phones with different hardware; raw milliwatt values
+// are not directly comparable between a Moto G and a Galaxy S5.  The paper
+// performs "power model scaling" so all traces share a common scale before
+// the manifestation analysis.  We implement the standard approach: evaluate
+// every device's model at a fixed reference utilization point and rescale
+// each trace's power by the ratio to a chosen reference device.
+#pragma once
+
+#include "common/types.h"
+#include "power/device.h"
+
+namespace edx::power {
+
+/// Maps power values measured on arbitrary devices onto the scale of a
+/// reference device.
+class PowerModelScaler {
+ public:
+  /// `reference` is the device whose scale all traces are mapped onto
+  /// (the paper's prototype measures on a Nexus 6).
+  explicit PowerModelScaler(Device reference);
+
+  [[nodiscard]] const Device& reference() const { return reference_; }
+
+  /// Multiplicative factor that converts power measured on `device` to the
+  /// reference scale.  Equal devices yield exactly 1.0.
+  [[nodiscard]] double scale_factor(const Device& device) const;
+
+  /// Convenience: rescales one power value.
+  [[nodiscard]] PowerMw to_reference(PowerMw power,
+                                     const Device& device) const;
+
+ private:
+  Device reference_;
+};
+
+}  // namespace edx::power

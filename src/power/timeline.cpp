@@ -1,0 +1,213 @@
+#include "power/timeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace edx::power {
+
+namespace {
+// Sentinel end for contributions opened but not yet closed.
+constexpr TimestampMs kOpenEnd = std::numeric_limits<TimestampMs>::max();
+}  // namespace
+
+void UtilizationTimeline::add(Pid pid, Component component,
+                              TimeInterval interval,
+                              Utilization utilization) {
+  if (interval.empty() || utilization <= 0.0) return;
+  Contribution contribution;
+  contribution.pid = pid;
+  contribution.component = component;
+  contribution.interval = interval;
+  contribution.utilization = std::clamp(utilization, 0.0, 1.0);
+  contributions_.push_back(contribution);
+}
+
+std::size_t UtilizationTimeline::open(Pid pid, Component component,
+                                      TimestampMs begin,
+                                      Utilization utilization) {
+  Contribution contribution;
+  contribution.pid = pid;
+  contribution.component = component;
+  contribution.interval = {begin, kOpenEnd};
+  contribution.utilization = std::clamp(utilization, 0.0, 1.0);
+  contributions_.push_back(contribution);
+  const std::size_t handle = contributions_.size() - 1;
+  open_handles_.push_back(handle);
+  return handle;
+}
+
+void UtilizationTimeline::close(std::size_t handle, TimestampMs end) {
+  require(handle < contributions_.size(),
+          "UtilizationTimeline::close: bad handle");
+  Contribution& contribution = contributions_[handle];
+  require(contribution.interval.end == kOpenEnd,
+          "UtilizationTimeline::close: contribution already closed");
+  contribution.interval.end = std::max(end, contribution.interval.begin);
+  std::erase(open_handles_, handle);
+}
+
+bool UtilizationTimeline::is_open(std::size_t handle) const {
+  return handle < contributions_.size() &&
+         contributions_[handle].interval.end == kOpenEnd;
+}
+
+std::size_t UtilizationTimeline::close_all(TimestampMs end) {
+  const std::size_t closed = open_handles_.size();
+  for (std::size_t handle : open_handles_) {
+    Contribution& contribution = contributions_[handle];
+    contribution.interval.end = std::max(end, contribution.interval.begin);
+  }
+  open_handles_.clear();
+  return closed;
+}
+
+Utilization UtilizationTimeline::windowed_utilization(Component component,
+                                                      TimestampMs begin,
+                                                      TimestampMs end, Pid pid,
+                                                      bool filter_pid) const {
+  if (end <= begin) return 0.0;
+
+  // Gather the relevant contributions and the boundary points they induce
+  // inside the window, then sweep segment by segment, clamping the summed
+  // utilization to 1.0 within each segment.
+  std::vector<const Contribution*> relevant;
+  std::vector<TimestampMs> boundaries{begin, end};
+  for (const Contribution& contribution : contributions_) {
+    if (filter_pid && contribution.pid != pid) continue;
+    if (contribution.component != component) continue;
+    if (contribution.interval.overlap(begin, end) <= 0) continue;
+    relevant.push_back(&contribution);
+    if (contribution.interval.begin > begin) {
+      boundaries.push_back(contribution.interval.begin);
+    }
+    if (contribution.interval.end < end) {
+      boundaries.push_back(contribution.interval.end);
+    }
+  }
+  if (relevant.empty()) return 0.0;
+
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  double weighted_total = 0.0;
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const TimestampMs seg_begin = boundaries[i];
+    const TimestampMs seg_end = boundaries[i + 1];
+    if (seg_begin < begin || seg_end > end) continue;
+    double level = 0.0;
+    for (const Contribution* contribution : relevant) {
+      if (contribution->interval.begin <= seg_begin &&
+          contribution->interval.end >= seg_end) {
+        level += contribution->utilization;
+      }
+    }
+    weighted_total +=
+        std::min(level, 1.0) * static_cast<double>(seg_end - seg_begin);
+  }
+  return weighted_total / static_cast<double>(end - begin);
+}
+
+std::vector<Utilization> UtilizationTimeline::windowed_averages(
+    Pid pid, bool filter_pid, Component component, TimestampMs begin,
+    TimestampMs end, DurationMs period) const {
+  require(period > 0, "windowed_averages: period must be positive");
+  const std::size_t window_count =
+      end > begin ? static_cast<std::size_t>((end - begin) / period) : 0;
+  std::vector<Utilization> averages(window_count, 0.0);
+  if (window_count == 0) return averages;
+  const TimestampMs span_end = begin + static_cast<TimestampMs>(window_count) *
+                                           static_cast<TimestampMs>(period);
+
+  // Level-change events: +util at start, -util at end (clipped to range).
+  std::vector<std::pair<TimestampMs, double>> deltas;
+  for (const Contribution& contribution : contributions_) {
+    if (filter_pid && contribution.pid != pid) continue;
+    if (contribution.component != component) continue;
+    const TimestampMs lo = std::max(contribution.interval.begin, begin);
+    const TimestampMs hi = std::min(contribution.interval.end, span_end);
+    if (hi <= lo) continue;
+    deltas.emplace_back(lo, contribution.utilization);
+    deltas.emplace_back(hi, -contribution.utilization);
+  }
+  if (deltas.empty()) return averages;
+  std::sort(deltas.begin(), deltas.end());
+
+  // Sweep: accumulate clamped level * dt into the windows each segment
+  // overlaps.
+  double level = 0.0;
+  TimestampMs cursor = begin;
+  std::size_t next_delta = 0;
+  std::vector<double> integral(window_count, 0.0);
+  const auto accumulate = [&](TimestampMs from, TimestampMs to,
+                              double clamped_level) {
+    if (to <= from || clamped_level <= 0.0) return;
+    std::size_t w = static_cast<std::size_t>((from - begin) / period);
+    TimestampMs position = from;
+    while (position < to && w < window_count) {
+      const TimestampMs window_end =
+          begin + static_cast<TimestampMs>(w + 1) *
+                      static_cast<TimestampMs>(period);
+      const TimestampMs segment_end = std::min(to, window_end);
+      integral[w] +=
+          clamped_level * static_cast<double>(segment_end - position);
+      position = segment_end;
+      ++w;
+    }
+  };
+
+  while (cursor < span_end) {
+    // Apply all deltas at `cursor`.
+    while (next_delta < deltas.size() && deltas[next_delta].first <= cursor) {
+      level += deltas[next_delta].second;
+      ++next_delta;
+    }
+    const TimestampMs next_change = next_delta < deltas.size()
+                                        ? deltas[next_delta].first
+                                        : span_end;
+    const TimestampMs segment_end = std::min(next_change, span_end);
+    accumulate(cursor, segment_end, std::min(std::max(level, 0.0), 1.0));
+    cursor = segment_end;
+    if (next_change >= span_end) break;
+  }
+
+  for (std::size_t w = 0; w < window_count; ++w) {
+    averages[w] = integral[w] / static_cast<double>(period);
+  }
+  return averages;
+}
+
+Utilization UtilizationTimeline::component_utilization(Pid pid,
+                                                       Component component,
+                                                       TimestampMs begin,
+                                                       TimestampMs end) const {
+  return windowed_utilization(component, begin, end, pid, /*filter_pid=*/true);
+}
+
+Utilization UtilizationTimeline::total_component_utilization(
+    Component component, TimestampMs begin, TimestampMs end) const {
+  return windowed_utilization(component, begin, end, /*pid=*/0,
+                              /*filter_pid=*/false);
+}
+
+UtilizationVector UtilizationTimeline::utilization_vector(
+    Pid pid, TimestampMs begin, TimestampMs end) const {
+  UtilizationVector vector;
+  for (Component component : kAllComponents) {
+    vector.set(component, component_utilization(pid, component, begin, end));
+  }
+  return vector;
+}
+
+TimestampMs UtilizationTimeline::last_activity_end() const {
+  TimestampMs latest = kNoTimestamp;
+  for (const Contribution& contribution : contributions_) {
+    if (contribution.interval.end == kOpenEnd) continue;
+    latest = std::max(latest, contribution.interval.end);
+  }
+  return latest;
+}
+
+}  // namespace edx::power

@@ -1,0 +1,97 @@
+// UtilizationTimeline — the bridge between the simulated Android runtime
+// and the power subsystem.
+//
+// While executing callbacks and background services, the runtime registers
+// utilization *contributions*: "pid P drove component C at utilization U
+// over [begin, end)".  Overlapping contributions to the same component add
+// up and saturate at 1.0, exactly like concurrently-running threads sharing
+// a CPU.  The procfs-style tracker and the Monsoon monitor both read this
+// timeline, each at its own granularity.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "power/hardware.h"
+
+namespace edx::power {
+
+/// One utilization contribution recorded by the runtime.
+struct Contribution {
+  Pid pid{0};
+  Component component{Component::kCpu};
+  TimeInterval interval;
+  Utilization utilization{0.0};
+};
+
+/// Append-only log of contributions with windowed aggregation queries.
+class UtilizationTimeline {
+ public:
+  /// Records a contribution.  Empty or negative intervals and zero
+  /// utilization are ignored; utilization is clamped to [0, 1].
+  void add(Pid pid, Component component, TimeInterval interval,
+           Utilization utilization);
+
+  /// Records the same utilization on an open-ended activity that a later
+  /// `close()` call terminates; returns a handle.  Used for long-running
+  /// resources (wakelocks, GPS fixes) whose release time is not known at
+  /// acquisition.
+  std::size_t open(Pid pid, Component component, TimestampMs begin,
+                   Utilization utilization);
+
+  /// Closes an open contribution at time `end` (clamped to >= begin).
+  void close(std::size_t handle, TimestampMs end);
+
+  /// True if the handle refers to a still-open contribution.
+  [[nodiscard]] bool is_open(std::size_t handle) const;
+
+  /// Closes every still-open contribution at `end`; returns how many were
+  /// closed.  Called once at the end of a simulation so leaked resources
+  /// (the no-sleep bugs!) keep draining until the session ends.
+  std::size_t close_all(TimestampMs end);
+
+  /// Time-weighted average utilization of `component` attributed to `pid`
+  /// over [begin, end), with concurrent contributions summed and clamped to
+  /// 1.0 instant-by-instant.  Returns 0 for empty windows.
+  [[nodiscard]] Utilization component_utilization(Pid pid, Component component,
+                                                  TimestampMs begin,
+                                                  TimestampMs end) const;
+
+  /// Same, aggregated across *all* pids (whole-phone view for the Monsoon).
+  [[nodiscard]] Utilization total_component_utilization(Component component,
+                                                        TimestampMs begin,
+                                                        TimestampMs end) const;
+
+  /// Full utilization vector for one pid over a window.
+  [[nodiscard]] UtilizationVector utilization_vector(Pid pid, TimestampMs begin,
+                                                     TimestampMs end) const;
+
+  /// Batch query: average clamped utilization of `component` for `pid`
+  /// (all pids when `filter_pid` is false) over consecutive windows of
+  /// `period` covering [begin, begin + n*period <= end).  One sweep over
+  /// the contributions — O((C + W) log C) instead of O(C * W).
+  [[nodiscard]] std::vector<Utilization> windowed_averages(
+      Pid pid, bool filter_pid, Component component, TimestampMs begin,
+      TimestampMs end, DurationMs period) const;
+
+  /// Latest `end` across all closed contributions (kNoTimestamp if none).
+  [[nodiscard]] TimestampMs last_activity_end() const;
+
+  [[nodiscard]] std::size_t contribution_count() const {
+    return contributions_.size();
+  }
+  [[nodiscard]] const std::vector<Contribution>& contributions() const {
+    return contributions_;
+  }
+
+ private:
+  [[nodiscard]] Utilization windowed_utilization(Component component,
+                                                 TimestampMs begin,
+                                                 TimestampMs end, Pid pid,
+                                                 bool filter_pid) const;
+
+  std::vector<Contribution> contributions_;
+  std::vector<std::size_t> open_handles_;  // indices with end == kOpenEnd
+};
+
+}  // namespace edx::power

@@ -1,0 +1,54 @@
+#include "power/tracker.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace edx::power {
+
+UtilizationTracker::UtilizationTracker(PowerModel model, TrackerConfig config,
+                                       Rng rng)
+    : model_(std::move(model)), config_(config), rng_(rng) {
+  require(config_.period_ms > 0, "UtilizationTracker: period must be > 0");
+  require(config_.estimation_noise >= 0.0,
+          "UtilizationTracker: noise must be non-negative");
+}
+
+std::vector<UtilizationSample> UtilizationTracker::track(
+    const UtilizationTimeline& timeline, Pid pid, TimestampMs begin,
+    TimestampMs end) {
+  const std::size_t window_count =
+      end > begin
+          ? static_cast<std::size_t>((end - begin) / config_.period_ms)
+          : 0;
+  std::vector<UtilizationSample> samples(window_count);
+  if (window_count == 0) return samples;
+
+  for (Component component : kAllComponents) {
+    const std::vector<Utilization> averages = timeline.windowed_averages(
+        pid, /*filter_pid=*/true, component, begin, end, config_.period_ms);
+    for (std::size_t w = 0; w < window_count; ++w) {
+      samples[w].utilization.set(component, averages[w]);
+    }
+  }
+  for (std::size_t w = 0; w < window_count; ++w) {
+    samples[w].timestamp =
+        begin + static_cast<TimestampMs>(w + 1) * config_.period_ms;
+    double power = model_.app_power(samples[w].utilization);
+    if (config_.estimation_noise > 0.0) {
+      power *= std::max(0.0, rng_.normal(1.0, config_.estimation_noise));
+    }
+    samples[w].estimated_app_power_mw = power;
+  }
+  return samples;
+}
+
+void UtilizationTracker::register_self_cost(UtilizationTimeline& timeline,
+                                            Pid tracker_pid, TimestampMs begin,
+                                            TimestampMs end) const {
+  if (config_.self_cpu_utilization <= 0.0) return;
+  timeline.add(tracker_pid, Component::kCpu, {begin, end},
+               config_.self_cpu_utilization);
+}
+
+}  // namespace edx::power

@@ -1,0 +1,57 @@
+#include "trace/anonymizer.h"
+
+#include <regex>
+
+namespace edx::trace {
+
+namespace {
+
+const std::regex& email_pattern() {
+  static const std::regex kPattern(
+      R"([A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,})");
+  return kPattern;
+}
+
+const std::regex& ip_pattern() {
+  static const std::regex kPattern(
+      R"((\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3}))");
+  return kPattern;
+}
+
+// 7+ digits, optionally '+'-prefixed, with '-' or ' ' separators allowed
+// between digit groups.
+const std::regex& phone_pattern() {
+  static const std::regex kPattern(R"(\+?\d(?:[\- ]?\d){6,})");
+  return kPattern;
+}
+
+}  // namespace
+
+std::string anonymize_text(const std::string& text) {
+  std::string result =
+      std::regex_replace(text, email_pattern(), std::string(kEmailMarker));
+  result =
+      std::regex_replace(result, ip_pattern(), std::string(kIpMarker));
+  result =
+      std::regex_replace(result, phone_pattern(), std::string(kPhoneMarker));
+  return result;
+}
+
+EventTrace anonymize(const EventTrace& trace) {
+  std::vector<EventRecord> scrubbed;
+  scrubbed.reserve(trace.records().size());
+  for (const EventRecord& record : trace.records()) {
+    EventRecord copy = record;
+    copy.event = anonymize_text(copy.event);
+    scrubbed.push_back(std::move(copy));
+  }
+  return EventTrace(std::move(scrubbed));
+}
+
+bool contains_identifier(const std::string& text) {
+  return std::regex_search(text, email_pattern()) ||
+         std::regex_search(text, ip_pattern()) ||
+         std::regex_search(text, phone_pattern());
+}
+
+}  // namespace edx::trace

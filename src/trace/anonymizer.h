@@ -1,0 +1,32 @@
+// Trace anonymization.
+//
+// "The traces collected by EnergyDx are preprocessed to remove any user
+// identifiers, such as phone numbers or IP addresses, in order to protect
+// the user privacy."  The anonymizer scrubs phone numbers, IPv4 addresses,
+// and email addresses from free-form text (event names can embed deep-link
+// payloads; metadata can embed account hints).
+#pragma once
+
+#include <string>
+
+#include "trace/event_trace.h"
+
+namespace edx::trace {
+
+/// Replacement markers.
+inline constexpr std::string_view kPhoneMarker = "<phone>";
+inline constexpr std::string_view kIpMarker = "<ip>";
+inline constexpr std::string_view kEmailMarker = "<email>";
+
+/// Scrubs one string: phone numbers (7+ digit runs, optionally separated by
+/// '-' or ' ' and prefixed '+'), dotted-quad IPv4 addresses, and
+/// user@host.tld emails.
+std::string anonymize_text(const std::string& text);
+
+/// Scrubs every event name in a trace, returning the sanitized copy.
+EventTrace anonymize(const EventTrace& trace);
+
+/// True if `text` still contains an identifier the scrubber recognizes.
+bool contains_identifier(const std::string& text);
+
+}  // namespace edx::trace

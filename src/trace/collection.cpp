@@ -1,0 +1,49 @@
+#include "trace/collection.h"
+
+#include "common/error.h"
+
+namespace edx::trace {
+
+std::string_view upload_status_name(UploadStatus status) {
+  switch (status) {
+    case UploadStatus::kAccepted: return "accepted";
+    case UploadStatus::kDeferredNotCharging: return "deferred-not-charging";
+    case UploadStatus::kDeferredNoWifi: return "deferred-no-wifi";
+  }
+  throw InvalidArgument("upload_status_name: unknown status");
+}
+
+CollectionServer::CollectionServer(power::Device reference,
+                                   std::vector<power::Device> fleet)
+    : scaler_(std::move(reference)), fleet_(std::move(fleet)) {}
+
+UploadStatus CollectionServer::upload(const TraceBundle& bundle,
+                                      const UploadContext& context) {
+  if (!context.charging) {
+    ++deferred_;
+    return UploadStatus::kDeferredNotCharging;
+  }
+  if (!context.on_wifi) {
+    ++deferred_;
+    return UploadStatus::kDeferredNoWifi;
+  }
+
+  const power::Device* device = nullptr;
+  for (const power::Device& candidate : fleet_) {
+    if (candidate.name() == bundle.device_name) {
+      device = &candidate;
+      break;
+    }
+  }
+  require(device != nullptr,
+          "CollectionServer::upload: unknown device '" + bundle.device_name +
+              "'");
+
+  TraceBundle stored = bundle;
+  stored.events = anonymize(stored.events);
+  stored.utilization.scale_power(scaler_.scale_factor(*device));
+  bundles_.push_back(std::move(stored));
+  return UploadStatus::kAccepted;
+}
+
+}  // namespace edx::trace

@@ -1,0 +1,62 @@
+// Backend collection server.
+//
+// Phones upload their trace bundles "when the smartphone is in charge with
+// WiFi" (Fig. 4).  The server enforces that policy, anonymizes the event
+// traces, applies power-model scaling so heterogeneous devices share the
+// reference power scale, and hands the merged data set to the analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/scaling.h"
+#include "trace/anonymizer.h"
+#include "trace/recorder.h"
+
+namespace edx::trace {
+
+/// Phone-side state at upload time.
+struct UploadContext {
+  bool charging{false};
+  bool on_wifi{false};
+};
+
+/// Result of an upload attempt.
+enum class UploadStatus {
+  kAccepted,
+  kDeferredNotCharging,
+  kDeferredNoWifi,
+};
+
+std::string_view upload_status_name(UploadStatus status);
+
+/// Collects, scrubs, and normalizes bundles for one diagnosed app.
+class CollectionServer {
+ public:
+  /// `reference` is the device all power data is scaled to; `devices` is
+  /// the known fleet (bundles from unknown devices are rejected).
+  CollectionServer(power::Device reference, std::vector<power::Device> fleet);
+
+  /// Attempts an upload; the bundle is queued on the phone (kDeferred*)
+  /// unless the policy allows transmission.  Accepted bundles are
+  /// anonymized and power-scaled before storage.  Throws InvalidArgument
+  /// for bundles from devices outside the fleet.
+  UploadStatus upload(const TraceBundle& bundle, const UploadContext& context);
+
+  /// Bundles accepted so far, in arrival order.
+  [[nodiscard]] const std::vector<TraceBundle>& bundles() const {
+    return bundles_;
+  }
+
+  [[nodiscard]] std::size_t accepted_count() const { return bundles_.size(); }
+  [[nodiscard]] std::size_t deferred_count() const { return deferred_; }
+
+ private:
+  power::PowerModelScaler scaler_;
+  std::vector<power::Device> fleet_;
+  std::vector<TraceBundle> bundles_;
+  std::size_t deferred_{0};
+};
+
+}  // namespace edx::trace

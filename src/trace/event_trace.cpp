@@ -1,0 +1,103 @@
+#include "trace/event_trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::trace {
+
+EventTrace::EventTrace(std::vector<EventRecord> records)
+    : records_(std::move(records)) {}
+
+EventTrace EventTrace::from_run(const android::RunResult& run) {
+  EventTrace trace;
+  for (const android::RawEvent& event : run.events) {
+    if (!event.logged) continue;
+    trace.add_instance(event.name, event.interval);
+  }
+  // Events are appended in completion order by the runtime; the trace file
+  // is timestamp-ordered like a real log.
+  std::stable_sort(trace.records_.begin(), trace.records_.end(),
+                   [](const EventRecord& a, const EventRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return trace;
+}
+
+void EventTrace::add_instance(const EventName& event, TimeInterval interval) {
+  records_.push_back({interval.begin, true, event});
+  records_.push_back({interval.end, false, event});
+}
+
+std::vector<EventInstance> EventTrace::instances() const {
+  std::vector<EventInstance> result;
+  // Pair each '+' with the next '-' of the same event name.  Our runtime
+  // never nests instances of the same event, so greedy pairing is exact.
+  std::vector<bool> consumed(records_.size(), false);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const EventRecord& entry = records_[i];
+    if (!entry.is_entry) {
+      if (!consumed[i]) {
+        throw ParseError("EventTrace::instances: exit without entry for " +
+                         entry.event);
+      }
+      continue;
+    }
+    bool paired = false;
+    for (std::size_t j = i + 1; j < records_.size(); ++j) {
+      const EventRecord& exit = records_[j];
+      if (consumed[j] || exit.is_entry || exit.event != entry.event) continue;
+      result.push_back({entry.event, {entry.timestamp, exit.timestamp}});
+      consumed[i] = consumed[j] = true;
+      paired = true;
+      break;
+    }
+    if (!paired) {
+      throw ParseError("EventTrace::instances: entry without exit for " +
+                       entry.event);
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const EventInstance& a, const EventInstance& b) {
+              return a.interval.begin < b.interval.begin;
+            });
+  return result;
+}
+
+std::string EventTrace::to_text() const {
+  std::ostringstream out;
+  for (const EventRecord& record : records_) {
+    out << record.timestamp << ' ' << (record.is_entry ? '+' : '-') << ' '
+        << record.event << '\n';
+  }
+  return out.str();
+}
+
+EventTrace EventTrace::from_text(const std::string& text) {
+  EventTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    line = strings::trim(line);
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    TimestampMs timestamp = 0;
+    std::string sign;
+    std::string event;
+    if (!(fields >> timestamp >> sign) || (sign != "+" && sign != "-")) {
+      throw ParseError("EventTrace::from_text: malformed line '" + line + "'");
+    }
+    std::getline(fields, event);
+    event = strings::trim(event);
+    if (event.empty()) {
+      throw ParseError("EventTrace::from_text: missing event name in '" +
+                       line + "'");
+    }
+    trace.records_.push_back({timestamp, sign == "+", event});
+  }
+  return trace;
+}
+
+}  // namespace edx::trace

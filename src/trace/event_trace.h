@@ -1,0 +1,72 @@
+// Event traces (Figure 5 of the paper).
+//
+// An event trace is a sequence of timestamped entry ("+") / exit ("-")
+// records of instrumented callbacks:
+//
+//   28223867 + Lcom/fsck/k9/service/MailService;.onDestroy
+//   28223867 - Lcom/fsck/k9/service/MailService;.onDestroy
+//   28224781 + Lcom/fsck/k9/activity/MessageList;.onItemClick
+//   28224844 - Lcom/fsck/k9/activity/MessageList;.onItemClick
+//
+// This module stores, pairs, prints, and parses such traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/runtime.h"
+#include "common/types.h"
+
+namespace edx::trace {
+
+/// One +/- line.
+struct EventRecord {
+  TimestampMs timestamp{0};
+  bool is_entry{true};  ///< '+' when true, '-' when false
+  EventName event;
+
+  friend bool operator==(const EventRecord&, const EventRecord&) = default;
+};
+
+/// A paired event occurrence.
+struct EventInstance {
+  EventName event;
+  TimeInterval interval;
+
+  friend bool operator==(const EventInstance&, const EventInstance&) = default;
+};
+
+/// A full event trace for one app run on one phone.
+class EventTrace {
+ public:
+  EventTrace() = default;
+  explicit EventTrace(std::vector<EventRecord> records);
+
+  /// Builds a trace from a runtime result, keeping only logged events.
+  static EventTrace from_run(const android::RunResult& run);
+
+  [[nodiscard]] const std::vector<EventRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// Appends an entry/exit pair for one instance.
+  void add_instance(const EventName& event, TimeInterval interval);
+
+  /// Pairs + / - records into instances, in chronological (entry) order.
+  /// Throws ParseError on unbalanced records.
+  [[nodiscard]] std::vector<EventInstance> instances() const;
+
+  /// Renders the Fig.-5 text format.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parses the text format; throws ParseError on malformed lines.
+  static EventTrace from_text(const std::string& text);
+
+  friend bool operator==(const EventTrace&, const EventTrace&) = default;
+
+ private:
+  std::vector<EventRecord> records_;
+};
+
+}  // namespace edx::trace

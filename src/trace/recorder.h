@@ -1,0 +1,52 @@
+// On-device trace recorder.
+//
+// Pairs the two collection paths of the paper's Fig. 4: the instrumented
+// app writes the event trace; the EnergyDx background service samples
+// utilization and estimates power.  The recorder runs both against a
+// finished simulation and produces the bundle a phone would upload.
+#pragma once
+
+#include <string>
+
+#include "android/runtime.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "power/tracker.h"
+#include "trace/event_trace.h"
+#include "trace/util_trace.h"
+
+namespace edx::trace {
+
+/// Everything one phone uploads for one diagnosis session.
+struct TraceBundle {
+  UserId user{0};
+  std::string device_name;
+  EventTrace events;
+  UtilizationTrace utilization;
+
+  /// Serializes to a single blob (both traces with section headers).
+  [[nodiscard]] std::string to_text() const;
+  static TraceBundle from_text(const std::string& text);
+};
+
+/// Records one run into a TraceBundle.
+class TraceRecorder {
+ public:
+  /// `device` decides the power model used for on-device estimation.
+  TraceRecorder(power::Device device, power::TrackerConfig tracker_config,
+                Rng rng);
+
+  /// Produces the bundle for `run`: event trace from the logged events,
+  /// utilization trace by sampling `timeline` over the run's time span.
+  /// Also registers the tracker's own CPU cost under `tracker_pid` (pass a
+  /// distinct pid; pass run.pid to attribute it to the app itself).
+  [[nodiscard]] TraceBundle record(const android::RunResult& run,
+                                   power::UtilizationTimeline& timeline,
+                                   UserId user, Pid tracker_pid);
+
+ private:
+  power::Device device_;
+  power::UtilizationTracker tracker_;
+};
+
+}  // namespace edx::trace

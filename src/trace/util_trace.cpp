@@ -1,0 +1,101 @@
+#include "trace/util_trace.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::trace {
+
+UtilizationTrace::UtilizationTrace(
+    std::string device_name, std::vector<power::UtilizationSample> samples)
+    : device_name_(std::move(device_name)), samples_(std::move(samples)) {}
+
+DurationMs UtilizationTrace::sample_period() const {
+  if (samples_.size() >= 2) {
+    return samples_[1].timestamp - samples_[0].timestamp;
+  }
+  return 500;  // the tracker default
+}
+
+PowerMw UtilizationTrace::average_power(TimeInterval interval) const {
+  if (samples_.empty() || interval.empty()) return 0.0;
+  const DurationMs period = sample_period();
+  double weighted = 0.0;
+  DurationMs covered = 0;
+  for (const power::UtilizationSample& sample : samples_) {
+    // Sample windows are (timestamp - period, timestamp].
+    const TimeInterval window{sample.timestamp - period, sample.timestamp};
+    const DurationMs overlap = window.overlap(interval.begin, interval.end);
+    if (overlap <= 0) continue;
+    weighted += sample.estimated_app_power_mw * static_cast<double>(overlap);
+    covered += overlap;
+  }
+  if (covered == 0) {
+    // Interval shorter than a sample window and between timestamps: take
+    // the enclosing sample if any.
+    for (const power::UtilizationSample& sample : samples_) {
+      if (sample.timestamp - period <= interval.begin &&
+          interval.end <= sample.timestamp) {
+        return sample.estimated_app_power_mw;
+      }
+    }
+    return 0.0;
+  }
+  return weighted / static_cast<double>(covered);
+}
+
+void UtilizationTrace::scale_power(double factor) {
+  require(factor > 0.0, "UtilizationTrace::scale_power: factor must be > 0");
+  for (power::UtilizationSample& sample : samples_) {
+    sample.estimated_app_power_mw *= factor;
+  }
+}
+
+std::string UtilizationTrace::to_text() const {
+  std::ostringstream out;
+  out << "DEVICE " << device_name_ << '\n';
+  for (const power::UtilizationSample& sample : samples_) {
+    out << sample.timestamp << ' '
+        << strings::format_double(sample.estimated_app_power_mw, 4);
+    for (power::Component component : power::kAllComponents) {
+      out << ' '
+          << strings::format_double(sample.utilization.get(component), 4);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+UtilizationTrace UtilizationTrace::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || !strings::starts_with(line, "DEVICE ")) {
+    throw ParseError("UtilizationTrace::from_text: missing DEVICE header");
+  }
+  UtilizationTrace trace;
+  trace.device_name_ = strings::trim(line.substr(7));
+  while (std::getline(in, line)) {
+    line = strings::trim(line);
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    power::UtilizationSample sample;
+    if (!(fields >> sample.timestamp >> sample.estimated_app_power_mw)) {
+      throw ParseError("UtilizationTrace::from_text: malformed line '" + line +
+                       "'");
+    }
+    for (power::Component component : power::kAllComponents) {
+      double value = 0.0;
+      if (!(fields >> value)) {
+        throw ParseError(
+            "UtilizationTrace::from_text: missing utilization in '" + line +
+            "'");
+      }
+      sample.utilization.set(component, value);
+    }
+    trace.samples_.push_back(sample);
+  }
+  return trace;
+}
+
+}  // namespace edx::trace

@@ -1,0 +1,50 @@
+// Utilization/power traces.
+//
+// The tracker produces one UtilizationSample per 500 ms window; a
+// UtilizationTrace bundles the samples with the device they came from so
+// the collection server can scale heterogeneous traces onto a common power
+// scale before the analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "power/tracker.h"
+
+namespace edx::trace {
+
+/// Power/utilization samples of one run on one device.
+class UtilizationTrace {
+ public:
+  UtilizationTrace() = default;
+  UtilizationTrace(std::string device_name,
+                   std::vector<power::UtilizationSample> samples);
+
+  [[nodiscard]] const std::string& device_name() const { return device_name_; }
+  [[nodiscard]] const std::vector<power::UtilizationSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Average estimated app power over [begin, end), weighting each sample
+  /// window by its overlap with the interval.  Returns 0 when nothing
+  /// overlaps.  `period_ms` is inferred from sample spacing.
+  [[nodiscard]] PowerMw average_power(TimeInterval interval) const;
+
+  /// Multiplies every sample's power estimate by `factor` (model scaling).
+  void scale_power(double factor);
+
+  /// Plain-text serialization: one "timestamp power util0..util6" line per
+  /// sample, preceded by a DEVICE header.
+  [[nodiscard]] std::string to_text() const;
+  static UtilizationTrace from_text(const std::string& text);
+
+ private:
+  [[nodiscard]] DurationMs sample_period() const;
+
+  std::string device_name_;
+  std::vector<power::UtilizationSample> samples_;
+};
+
+}  // namespace edx::trace

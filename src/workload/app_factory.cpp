@@ -1,0 +1,445 @@
+#include "workload/app_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+
+namespace edx::workload {
+
+using namespace edx::android;  // ops DSL + script steps, heavily used here
+
+std::string package_from_name(const std::string& display_name) {
+  std::string slug;
+  for (char c : display_name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  require(!slug.empty(), "package_from_name: name has no alphanumerics");
+  return "com.example." + slug;
+}
+
+namespace {
+
+constexpr const char* kTrackLock = "track_lock";
+constexpr const char* kWrongLock = "ui_lock";  // the aliased-release victim
+constexpr const char* kSyncMode = "sync_mode";
+constexpr const char* kAggressive = "aggressive";
+
+/// The heavy-but-normal refresh every app has; its raw power transition is
+/// what CheckAll keeps reporting and Steps 2+3 learn to ignore.
+Behavior heavy_refresh_behavior() {
+  return {lift(network(450, 0.95)), lift(cpu_work(200, 0.7))};
+}
+
+SimpleOp nosleep_start_op(NoSleepResource resource) {
+  switch (resource) {
+    case NoSleepResource::kGps: return gps_start();
+    case NoSleepResource::kAudio: return audio_start();
+    case NoSleepResource::kWakeLock: return wakelock_acquire(kTrackLock);
+    case NoSleepResource::kSensor: return sensor_start();
+  }
+  throw InvalidArgument("nosleep_start_op: unknown resource");
+}
+
+SimpleOp nosleep_release_op(NoSleepResource resource) {
+  switch (resource) {
+    case NoSleepResource::kGps: return gps_stop();
+    case NoSleepResource::kAudio: return audio_stop();
+    case NoSleepResource::kWakeLock: return wakelock_release(kTrackLock);
+    case NoSleepResource::kSensor: return sensor_stop();
+  }
+  throw InvalidArgument("nosleep_release_op: unknown resource");
+}
+
+/// Approximate sustained drain (reference-device mW) for ground truth.
+PowerMw nosleep_drain_mw(NoSleepResource resource) {
+  switch (resource) {
+    case NoSleepResource::kGps: return 429.0;
+    case NoSleepResource::kAudio: return 198.0;
+    case NoSleepResource::kWakeLock: return 86.0;
+    case NoSleepResource::kSensor: return 53.0;
+  }
+  throw InvalidArgument("nosleep_drain_mw: unknown resource");
+}
+
+/// Periodic work of a loop bug.  The light variant drains ~40 mW — far too
+/// little for eDelta's fixed 150 mW deviation threshold, but an easy
+/// ~4x-over-base outlier for the adaptive fence after normalization.
+std::vector<SimpleOp> loop_task_work(bool light) {
+  if (light) {
+    // Low *instantaneous* power (a polling computation, ~110 mW while
+    // running): drains the battery over hours yet never deviates past
+    // eDelta's fixed threshold.
+    return {cpu_work(2500, 0.13)};
+  }
+  return {network(2000, 0.95), cpu_work(600, 0.8)};
+}
+
+DurationMs loop_task_period(bool light) { return light ? 5000 : 2500; }
+
+/// Periodic work of a config-bug sync service: a cheap normal sync plus an
+/// expensive retry path that only runs while the bad value is set.
+std::vector<SimpleOp> config_task_work(bool light) {
+  std::vector<SimpleOp> work = {network(250, 0.15)};  // normal sync
+  if (light) {
+    work.push_back(guarded(cpu_work(2000, 0.13), kSyncMode, kAggressive));
+    work.push_back(guarded(network(400, 0.08), kSyncMode, kAggressive));
+  } else {
+    work.push_back(guarded(network(2500, 0.9), kSyncMode, kAggressive));
+    work.push_back(guarded(cpu_work(500, 0.6), kSyncMode, kAggressive));
+  }
+  return work;
+}
+
+// A declined/misconfigured sync retries quickly, so the drain begins while
+// the user is still navigating away from the settings screen.
+DurationMs config_task_period(bool light) { return light ? 2500 : 1500; }
+
+PowerMw periodic_drain_mw(AbdKind kind, bool light) {
+  if (kind == AbdKind::kLoop) return light ? 56.0 : 630.0;
+  return light ? 95.0 : 560.0;
+}
+
+/// Total source lines across instrumentable callbacks.
+int callback_loc(const AppSpec& app) {
+  int total = 0;
+  for (const ComponentSpec& component : app.components) {
+    for (const CallbackSpec& callback : component.callbacks) {
+      total += callback.lines_of_code;
+    }
+  }
+  return total;
+}
+
+constexpr const char* kFillerPrefix = "Screen";
+
+struct ClassNames {
+  std::string main;
+  std::string detail;
+  std::string track;
+  std::string settings;
+  std::string service;
+};
+
+ClassNames class_names(const std::string& package, AbdKind kind) {
+  ClassNames names;
+  names.main = make_class_name(package, "ui", "MainActivity");
+  names.detail = make_class_name(package, "ui", "DetailActivity");
+  if (kind == AbdKind::kNoSleep) {
+    names.track = make_class_name(package, "ui", "TrackActivity");
+  }
+  if (kind == AbdKind::kConfiguration) {
+    names.settings = make_class_name(package, "ui", "SettingsActivity");
+    names.service = make_class_name(package, "service", "SyncService");
+  }
+  return names;
+}
+
+/// Builds the app spec for one variant (buggy or fixed).
+AppSpec build_variant(const GenericAppParams& params, bool buggy) {
+  const std::string package = package_from_name(params.name);
+  const ClassNames names = class_names(package, params.kind);
+
+  AppSpec app;
+  app.package_name = package;
+  app.display_name = params.name;
+  app.main_activity = names.main;
+
+  // --- Main/Detail browsing surface, shared by all kinds. ---
+  ComponentSpec main;
+  main.class_name = names.main;
+  main.simple_name = "MainActivity";
+  main.kind = ClassKind::kActivity;
+  main.set_callback({"onCreate", 34, {lift(cpu_work(40, 0.5))}});
+  main.set_callback({"onClick:btnRefresh", 42, heavy_refresh_behavior()});
+  main.set_callback({"onItemClick", 28, {lift(cpu_work(60, 0.5))}});
+
+  ComponentSpec detail;
+  detail.class_name = names.detail;
+  detail.simple_name = "DetailActivity";
+  detail.kind = ClassKind::kActivity;
+  detail.set_callback({"onCreate", 30, {lift(cpu_work(50, 0.5))}});
+  detail.set_callback({"onClick:btnOpen", 26, {lift(cpu_work(80, 0.5))}});
+
+  // Hot-callback line budget: sized so the expected diagnosis set sums to
+  // roughly (1 - paper_reduction) * total_loc.
+  const int target_diag = std::max(
+      60, static_cast<int>((1.0 - params.paper_code_reduction) *
+                           params.total_loc));
+  const int hot = std::max(12, (target_diag - 100) / 3);
+
+  switch (params.kind) {
+    case AbdKind::kNoSleep: {
+      ComponentSpec track;
+      track.class_name = names.track;
+      track.simple_name = "TrackActivity";
+      track.kind = ClassKind::kActivity;
+      track.set_callback(
+          {"onClick:btnStart", hot,
+           {lift(nosleep_start_op(params.resource)), lift(cpu_work(30, 0.4))}});
+      Behavior on_pause = {lift(cpu_work(5, 0.3))};
+      if (buggy) {
+        if (params.aliased_release) {
+          // Releases a *different* lock object: the code shows a release
+          // (fooling syntactic matching) but nothing is freed at runtime.
+          on_pause.push_back(lift(wakelock_release(kWrongLock)));
+        }
+        // Plain buggy variant simply forgets the release.
+      } else {
+        on_pause.push_back(lift(nosleep_release_op(params.resource)));
+      }
+      track.set_callback({"onPause", hot, std::move(on_pause)});
+      track.set_callback({"onResume", hot, {lift(cpu_work(8, 0.3))}});
+      app.components = {main, detail, track};
+      break;
+    }
+    case AbdKind::kLoop: {
+      Behavior auto_sync;
+      if (buggy) {
+        auto_sync.push_back(start_periodic_task(
+            "autosync", loop_task_period(params.light_drain),
+            loop_task_work(params.light_drain)));
+      } else {
+        // Fix: one foreground sync instead of an immortal periodic task.
+        for (SimpleOp op : loop_task_work(params.light_drain)) {
+          auto_sync.push_back(lift(std::move(op)));
+        }
+      }
+      main.set_callback({"onClick:btnAutoSync", hot, std::move(auto_sync)});
+      ComponentSpec* hot_main = &main;
+      hot_main->set_callback({"onResume", hot, {lift(cpu_work(8, 0.3))}});
+      hot_main->set_callback({"onPause", hot, {lift(cpu_work(5, 0.3))}});
+      app.components = {main, detail};
+      break;
+    }
+    case AbdKind::kConfiguration: {
+      ComponentSpec settings;
+      settings.class_name = names.settings;
+      settings.simple_name = "SettingsActivity";
+      settings.kind = ClassKind::kActivity;
+      // Buggy: the save handler stores whatever the dialog produced.
+      // Fixed: the handler validates and clamps to a sane value.
+      settings.set_callback(
+          {"onClick:btnSave", hot,
+           {lift(set_config(kSyncMode, buggy ? kAggressive : "normal"))}});
+      settings.set_callback({"onClick:btnCancel", 12, {lift(cpu_work(10, 0.3))}});
+      settings.set_callback({"onResume", hot, {lift(cpu_work(8, 0.3))}});
+
+      ComponentSpec service;
+      service.class_name = names.service;
+      service.simple_name = "SyncService";
+      service.kind = ClassKind::kService;
+      service.set_callback(
+          {"onCreate", hot,
+           {start_periodic_task("sync", config_task_period(params.light_drain),
+                                config_task_work(params.light_drain))}});
+      service.set_callback(
+          {"onDestroy", 10, {cancel_periodic_task("sync")}});
+
+      app.default_config[kSyncMode] = "normal";
+      app.components = {main, detail, settings, service};
+      break;
+    }
+  }
+
+  app.ensure_lifecycle_callbacks();
+
+  // Secondary screens: the bulk of a real app's instrumented surface
+  // (~10% of the code base lives in event handlers).
+  add_filler_screens(app, std::max(380, params.total_loc / 10));
+
+  // Distribute the remaining line budget over helpers and app glue.
+  int remaining = std::max(0, params.total_loc - callback_loc(app));
+  const int per_component =
+      remaining / (2 * static_cast<int>(app.components.size()));
+  for (ComponentSpec& component : app.components) {
+    component.helper_loc = per_component;
+    remaining -= per_component;
+  }
+  app.glue_loc = remaining;
+  return app;
+}
+
+/// Generic interaction script.  Both populations browse and refresh; only
+/// triggering users take the kind-specific buggy path.
+UserScript make_script(Rng& rng, bool trigger, const GenericAppParams& params,
+                       const ClassNames& names,
+                       const std::vector<std::string>& screens) {
+  const auto think = [&]() -> DurationMs { return rng.uniform_int(500, 1500); };
+  UserScript script;
+  script.push_back(launch());
+  if (params.kind == AbdKind::kConfiguration) {
+    script.push_back(start_service(names.service, 300));
+  }
+
+  const auto normal_action = [&]() {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        script.push_back(interact("onClick:btnRefresh", think()));
+        break;
+      case 1:
+        script.push_back(navigate(names.detail, think()));
+        script.push_back(interact("onClick:btnOpen", think()));
+        script.push_back(back_press(think()));
+        break;
+      case 2:
+        append_screen_visit(script, rng, screens);
+        break;
+      default:
+        script.push_back(interact("onItemClick", think()));
+        break;
+    }
+  };
+
+  const int warmup = static_cast<int>(rng.uniform_int(2, 4));
+  for (int i = 0; i < warmup; ++i) normal_action();
+
+  if (trigger) {
+    switch (params.kind) {
+      case AbdKind::kNoSleep:
+        script.push_back(navigate(names.track, think()));
+        script.push_back(interact("onClick:btnStart", think()));
+        script.push_back(idle(rng.uniform_int(3000, 8000)));
+        script.push_back(background_app(think()));
+        break;
+      case AbdKind::kLoop:
+        script.push_back(interact("onClick:btnAutoSync", think()));
+        if (rng.bernoulli(0.5)) normal_action();
+        script.push_back(background_app(think()));
+        break;
+      case AbdKind::kConfiguration:
+        script.push_back(navigate(names.settings, think()));
+        script.push_back(dialog("onClick:btnSave", think()));
+        script.push_back(back_press(think()));
+        if (rng.bernoulli(0.5)) normal_action();
+        script.push_back(background_app(think()));
+        break;
+    }
+    script.push_back(idle(rng.uniform_int(60000, 120000)));
+  } else {
+    // Normal users also wander into the same screens without triggering.
+    if (params.kind == AbdKind::kNoSleep && rng.bernoulli(0.5)) {
+      script.push_back(navigate(names.track, think()));
+      script.push_back(back_press(think()));
+    }
+    if (params.kind == AbdKind::kConfiguration && rng.bernoulli(0.5)) {
+      script.push_back(navigate(names.settings, think()));
+      script.push_back(dialog("onClick:btnCancel", think()));
+      script.push_back(back_press(think()));
+    }
+    const int extra = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < extra; ++i) normal_action();
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(30000, 60000)));
+  }
+  return script;
+}
+
+}  // namespace
+
+std::vector<std::string> add_filler_screens(AppSpec& app,
+                                            int target_callback_loc) {
+  std::vector<std::string> screens;
+  int index = 0;
+  while (callback_loc(app) < target_callback_loc && index < 80) {
+    ComponentSpec screen;
+    screen.simple_name = kFillerPrefix + std::to_string(index);
+    screen.class_name =
+        make_class_name(app.package_name, "ui", screen.simple_name);
+    screen.kind = ClassKind::kActivity;
+    screen.set_callback({"onCreate", 38, {lift(cpu_work(35, 0.5))}});
+    // A modest refresh: enough radio to cause a legitimate, benign power
+    // transition whenever a user pokes the screen.
+    screen.set_callback({"onClick:btnAction", 44,
+                         {lift(network(300, 0.6)), lift(cpu_work(50, 0.5))}});
+    screen.set_callback({"onItemClick", 30, {lift(cpu_work(40, 0.5))}});
+    app.components.push_back(std::move(screen));
+    screens.push_back(app.components.back().class_name);
+    ++index;
+  }
+  app.ensure_lifecycle_callbacks();
+  return screens;
+}
+
+std::vector<std::string> filler_screen_names(const AppSpec& app) {
+  std::vector<std::string> screens;
+  for (const ComponentSpec& component : app.components) {
+    if (component.simple_name.starts_with(kFillerPrefix)) {
+      screens.push_back(component.class_name);
+    }
+  }
+  return screens;
+}
+
+void append_screen_visit(android::UserScript& script, Rng& rng,
+                         const std::vector<std::string>& screens) {
+  if (screens.empty()) return;
+  const auto pick = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(screens.size()) - 1));
+  const DurationMs think = rng.uniform_int(500, 1500);
+  script.push_back(navigate(screens[pick], think));
+  if (rng.bernoulli(0.7)) {
+    script.push_back(interact("onClick:btnAction", rng.uniform_int(500, 1500)));
+  }
+  script.push_back(back_press(rng.uniform_int(500, 1500)));
+}
+
+AppCase make_generic_app(const GenericAppParams& params) {
+  require(params.total_loc > 200, "make_generic_app: total_loc too small");
+  GenericAppParams effective = params;
+  if (effective.aliased_release) {
+    require(effective.kind == AbdKind::kNoSleep,
+            "make_generic_app: aliased_release implies a no-sleep bug");
+    effective.resource = NoSleepResource::kWakeLock;
+  }
+
+  AppCase app_case;
+  app_case.id = effective.id;
+  app_case.display_name = effective.name;
+  app_case.downloads = effective.downloads;
+  app_case.kind = effective.kind;
+  app_case.paper_code_reduction = effective.paper_code_reduction;
+  app_case.trigger_fraction = effective.trigger_fraction;
+
+  app_case.buggy = build_variant(effective, /*buggy=*/true);
+  app_case.fixed = build_variant(effective, /*buggy=*/false);
+
+  const std::string package = package_from_name(effective.name);
+  const ClassNames names = class_names(package, effective.kind);
+
+  BugSpec bug;
+  bug.kind = effective.kind;
+  bug.aliased_release = effective.aliased_release;
+  switch (effective.kind) {
+    case AbdKind::kNoSleep:
+      bug.root_cause_event = qualified_event_name(names.track, "onPause");
+      bug.component_class = names.track;
+      bug.drain_power_mw = nosleep_drain_mw(effective.resource);
+      break;
+    case AbdKind::kLoop:
+      bug.root_cause_event =
+          qualified_event_name(names.main, "onClick:btnAutoSync");
+      bug.component_class = names.main;
+      bug.drain_power_mw =
+          periodic_drain_mw(AbdKind::kLoop, effective.light_drain);
+      break;
+    case AbdKind::kConfiguration:
+      bug.root_cause_event =
+          qualified_event_name(names.settings, "onClick:btnSave");
+      bug.component_class = names.settings;
+      bug.drain_power_mw =
+          periodic_drain_mw(AbdKind::kConfiguration, effective.light_drain);
+      break;
+  }
+  app_case.bug = bug;
+
+  const std::vector<std::string> screens = filler_screen_names(app_case.buggy);
+  app_case.scenario = [effective, names, screens](Rng& rng, bool trigger) {
+    return make_script(rng, trigger, effective, names, screens);
+  };
+  return app_case;
+}
+
+}  // namespace edx::workload

@@ -1,0 +1,67 @@
+// Parametrized builder for the generic Table III apps.
+//
+// Each generated app has a Main/Detail browsing surface with a deliberately
+// heavy "refresh" action (the normal-usage power transitions that CheckAll
+// drowns in), plus a kind-specific buggy surface:
+//   no-sleep      TrackActivity acquires a resource; onPause fails to
+//                 release it (or releases the wrong lock when aliased).
+//   loop          MainActivity's auto-sync starts a periodic task that is
+//                 never cancelled.
+//   configuration SettingsActivity's save writes an unvalidated value; a
+//                 sync service's periodic work takes the expensive retry
+//                 path while that value is set.
+// The fixed variant repairs exactly the defect and nothing else.
+#pragma once
+
+#include "workload/catalog.h"
+
+namespace edx::workload {
+
+/// Which resource a no-sleep bug leaks; decides the drain's power level
+/// (GPS/audio are heavy; wakelock/sensor are the light drains that sit
+/// below eDelta's fixed deviation threshold).
+enum class NoSleepResource { kGps, kAudio, kWakeLock, kSensor };
+
+struct GenericAppParams {
+  int id{0};
+  std::string name;
+  long long downloads{-1};
+  AbdKind kind{AbdKind::kNoSleep};
+  double paper_code_reduction{0.9};
+  /// Whole-app size target (source lines).
+  int total_loc{5000};
+  /// No-sleep only: the leaked resource.
+  NoSleepResource resource{NoSleepResource::kGps};
+  /// Loop/config only: lighter periodic work that stays under eDelta's
+  /// threshold while still draining the battery over time.
+  bool light_drain{false};
+  /// No-sleep only: release the wrong lock object (static-analysis false
+  /// negative); forces resource == kWakeLock.
+  bool aliased_release{false};
+  double trigger_fraction{0.2};
+};
+
+/// Builds the complete AppCase for one parameter set.
+AppCase make_generic_app(const GenericAppParams& params);
+
+/// "Boston Bus Map" -> "com.example.bostonbusmap".
+std::string package_from_name(const std::string& display_name);
+
+/// Adds secondary "screen" activities (lists, viewers, settings panes —
+/// the bulk of a real app's event-handling surface) until the app's total
+/// instrumentable callback code reaches ~`target_callback_loc` lines.
+/// Each screen's action button does a small refresh, so normal visits
+/// create exactly the benign power transitions that flood CheckAll.
+/// Returns the class names of the added screens (for script building).
+std::vector<std::string> add_filler_screens(android::AppSpec& app,
+                                            int target_callback_loc);
+
+/// Class names of the filler screens already present in `app`.
+std::vector<std::string> filler_screen_names(const android::AppSpec& app);
+
+/// Script fragment: visit one of `screens` (chosen by `rng`), poke it,
+/// and come back.  No-op when `screens` is empty.
+void append_screen_visit(android::UserScript& script, Rng& rng,
+                         const std::vector<std::string>& screens);
+
+}  // namespace edx::workload

@@ -1,0 +1,213 @@
+// K-9 Mail (§II-A and §III-B of the paper).
+//
+// The ABD: the account-settings screen lets the user raise the number of
+// simultaneous IMAP connections without validating it against the server's
+// limit.  With the bad value saved, MailService's periodic mail check is
+// declined by the server and keeps retrying — a sustained network+CPU
+// drain.  The root-cause event is AccountSettings.onResume (the settings
+// screen resuming after the value dialog), per Fig. 2 of the paper; the
+// manifestation is the first declined connection attempt a few events
+// later (paper event distance: 3).
+#include "workload/catalog.h"
+
+#include "android/apk_builder.h"
+#include "workload/app_factory.h"
+
+namespace edx::workload {
+
+using namespace edx::android;
+
+namespace {
+
+constexpr const char* kPkg = "com.fsck.k9";
+constexpr const char* kMaxConnections = "imap_max_connections";
+constexpr const char* kTooMany = "50";  // Gmail allows 15
+
+struct K9Names {
+  std::string home = make_class_name(kPkg, "activity", "K9Activity");
+  std::string list = make_class_name(kPkg, "activity", "MessageList");
+  std::string compose = make_class_name(kPkg, "activity", "MessageCompose");
+  std::string settings =
+      make_class_name(kPkg, "activity/setup", "AccountSettings");
+  std::string service = make_class_name(kPkg, "service", "MailService");
+};
+
+AppSpec build_k9(bool buggy) {
+  const K9Names names;
+  AppSpec app;
+  app.package_name = kPkg;
+  app.display_name = "K-9 Mail";
+  app.main_activity = names.home;
+  app.default_config[kMaxConnections] = "5";
+
+  ComponentSpec home;
+  home.class_name = names.home;
+  home.simple_name = "K9Activity";
+  home.kind = ClassKind::kActivity;
+  home.set_callback({"onCreate", 30, {lift(cpu_work(45, 0.5))}});
+  home.set_callback({"onResume", 52, {lift(cpu_work(12, 0.4))}});
+
+  ComponentSpec list;
+  list.class_name = names.list;
+  list.simple_name = "MessageList";
+  list.kind = ClassKind::kActivity;
+  list.set_callback({"onCreate", 40, {lift(cpu_work(40, 0.5))}});
+  list.set_callback({"onResume", 55, {lift(cpu_work(14, 0.4))}});
+  // The heavy-but-normal event of Fig. 7a ("Checkmail").
+  list.set_callback({"onClick:btnCheckMail", 34,
+                     {lift(network(450, 0.95)), lift(cpu_work(120, 0.7))}});
+  list.set_callback({"onItemClick", 22, {lift(cpu_work(45, 0.5))}});
+
+  ComponentSpec compose;
+  compose.class_name = names.compose;
+  compose.simple_name = "MessageCompose";
+  compose.kind = ClassKind::kActivity;
+  // Keystrokes while composing: the dashed-box spikes of Fig. 3.
+  compose.set_callback({"onKey", 18, {lift(cpu_work(90, 0.85))}});
+  compose.set_callback({"onClick:btnSend", 28,
+                        {lift(network(900, 0.8)), lift(cpu_work(60, 0.5))}});
+
+  ComponentSpec settings;
+  settings.class_name = names.settings;
+  settings.simple_name = "AccountSettings";
+  settings.kind = ClassKind::kActivity;
+  settings.set_callback({"onResume", 54, {lift(cpu_work(10, 0.4))}});
+  // Buggy: stores whatever the picker produced (no server-limit check).
+  // Fixed: clamps to the server-accepted maximum.
+  settings.set_callback(
+      {"onClick:btnMaxConnections", 26,
+       {lift(set_config(kMaxConnections, buggy ? kTooMany : "15"))}});
+
+  ComponentSpec service;
+  service.class_name = names.service;
+  service.simple_name = "MailService";
+  service.kind = ClassKind::kService;
+  // Periodic mail check: a cheap poll normally; with the bad setting the
+  // server declines and the service keeps re-connecting (Socket.connect
+  // bursts — the un-logged manifestation event of Fig. 2 line 5).
+  // The declined connection is retried almost immediately (the K9 issue
+  // report: "running CPU and data constantly"), so the drain manifests
+  // within an event or two of the misconfiguration.
+  service.set_callback(
+      {"onCreate", 36,
+       {start_periodic_task(
+           "mailcheck", 1200,
+           {network(150, 0.2),
+            guarded(network(1100, 0.9), kMaxConnections, kTooMany),
+            guarded(cpu_work(250, 0.6), kMaxConnections, kTooMany)})}});
+  service.set_callback({"onDestroy", 16, {cancel_periodic_task("mailcheck")}});
+
+  app.components = {home, list, compose, settings, service};
+  app.ensure_lifecycle_callbacks();
+  // K-9 is a big app: folder lists, account setup wizards, preference
+  // panes... roughly a tenth of its 98k lines sit in event handlers.
+  add_filler_screens(app, 98'532 / 10);
+
+  // Table III: the K-9 code base is 98,532 lines; the callbacks above are
+  // a sliver of it.
+  int callback_loc = 0;
+  for (const ComponentSpec& component : app.components) {
+    for (const CallbackSpec& callback : component.callbacks) {
+      callback_loc += callback.lines_of_code;
+    }
+  }
+  const int total_target = 98'532;
+  int remaining = total_target - callback_loc;
+  for (ComponentSpec& component : app.components) {
+    component.helper_loc = 3'000;
+    remaining -= 3'000;
+  }
+  app.glue_loc = remaining;
+  return app;
+}
+
+UserScript k9_script(Rng& rng, bool trigger,
+                     const std::vector<std::string>& screens) {
+  const K9Names names;
+  const auto think = [&]() -> DurationMs { return rng.uniform_int(500, 1500); };
+
+  UserScript script;
+  script.push_back(launch());
+  script.push_back(start_service(names.service, 300));
+  if (rng.bernoulli(0.5)) append_screen_visit(script, rng, screens);
+  script.push_back(navigate(names.list, think()));
+
+  // Normal usage: read mail, compose (the Fig. 3 spikes), check mail.
+  const int reads = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < reads; ++i) {
+    script.push_back(interact("onItemClick", think()));
+  }
+  if (rng.bernoulli(0.7)) {
+    script.push_back(navigate(names.compose, think()));
+    const int keys = static_cast<int>(rng.uniform_int(4, 10));
+    for (int i = 0; i < keys; ++i) {
+      script.push_back(interact("onKey", rng.uniform_int(180, 500)));
+    }
+    script.push_back(interact("onClick:btnSend", think()));
+    script.push_back(back_press(think()));
+  }
+  script.push_back(interact("onClick:btnCheckMail", think()));
+
+  if (trigger) {
+    // The misconfiguration: open settings, raise the connection count in a
+    // dialog (AccountSettings.onResume fires as the dialog closes — the
+    // root-cause event), optionally restart the mail service, return to
+    // the list and the home screen.  The next periodic mail check is
+    // declined and the retry drain begins.
+    script.push_back(navigate(names.settings, think()));
+    script.push_back(dialog("onClick:btnMaxConnections", think()));
+    if (rng.bernoulli(0.5)) {
+      script.push_back(stop_service(names.service, 200));
+      script.push_back(start_service(names.service, 200));
+    }
+    // Return to the message list and home quickly; the next declined mail
+    // check lands around these events (Fig. 2's event distance of ~3).
+    script.push_back(back_press(rng.uniform_int(600, 1000)));
+    script.push_back(back_press(rng.uniform_int(600, 1000)));
+    script.push_back(idle(rng.uniform_int(8000, 15000)));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(60000, 120000)));
+  } else {
+    if (rng.bernoulli(0.4)) {
+      // Browse settings without changing anything.
+      script.push_back(navigate(names.settings, think()));
+      script.push_back(back_press(think()));
+    }
+    if (rng.bernoulli(0.5)) append_screen_visit(script, rng, screens);
+    script.push_back(interact("onItemClick", think()));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(30000, 60000)));
+  }
+  return script;
+}
+
+}  // namespace
+
+AppCase k9_mail_case() {
+  const K9Names names;
+  AppCase app_case;
+  app_case.id = 3;
+  app_case.display_name = "K-9 Mail";
+  app_case.downloads = 5'000'000;
+  app_case.kind = AbdKind::kConfiguration;
+  app_case.paper_code_reduction = 0.99;
+  app_case.trigger_fraction = 1.0 / 6.0;  // the paper's ~15% of users
+
+  app_case.buggy = build_k9(/*buggy=*/true);
+  app_case.fixed = build_k9(/*buggy=*/false);
+
+  app_case.bug.kind = AbdKind::kConfiguration;
+  app_case.bug.root_cause_event =
+      qualified_event_name(names.settings, "onResume");
+  app_case.bug.use_last_occurrence = true;
+  app_case.bug.component_class = names.settings;
+  app_case.bug.drain_power_mw = 253.0;
+
+  const std::vector<std::string> screens = filler_screen_names(app_case.buggy);
+  app_case.scenario = [screens](Rng& rng, bool trigger) {
+    return k9_script(rng, trigger, screens);
+  };
+  return app_case;
+}
+
+}  // namespace edx::workload

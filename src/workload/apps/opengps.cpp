@@ -1,0 +1,151 @@
+// OpenGPS (open-gpstracker, §IV-C of the paper).
+//
+// The ABD: tracking turns the GPS on, and the LoggerMap activity fails to
+// release the location service when it pauses — GPS keeps drawing power
+// after the app is backgrounded (Fig. 11: display power 0, GPS power
+// high).  Top reported events in the paper: LoggerMap:onPause,
+// Idle(No_Display), LoggerMap:onResume, ControlTracking:onPause
+// (Table IV); search space 5,060 -> 569 lines.
+#include "workload/catalog.h"
+
+#include "workload/app_factory.h"
+
+namespace edx::workload {
+
+using namespace edx::android;
+
+namespace {
+
+constexpr const char* kPkg = "nl.sogeti.android.gpstracker";
+
+struct GpsNames {
+  std::string map = make_class_name(kPkg, "ui", "LoggerMap");
+  std::string control = make_class_name(kPkg, "ui", "ControlTracking");
+  std::string about = make_class_name(kPkg, "ui", "AboutDialog");
+};
+
+AppSpec build_opengps(bool buggy) {
+  const GpsNames names;
+  AppSpec app;
+  app.package_name = kPkg;
+  app.display_name = "OpenGPS";
+  app.main_activity = names.map;
+
+  ComponentSpec map;
+  map.class_name = names.map;
+  map.simple_name = "LoggerMap";
+  map.kind = ClassKind::kActivity;
+  map.set_callback({"onCreate", 64, {lift(cpu_work(60, 0.6))}});
+  map.set_callback({"onResume", 180, {lift(cpu_work(25, 0.6))}});
+  // Map redraw while panning: heavy-but-normal CPU.
+  map.set_callback({"onTouch", 36, {lift(cpu_work(140, 0.8))}});
+  // THE BUG: onPause must hand the location updates back when the map
+  // leaves the foreground; the buggy build forgets.
+  Behavior map_pause = {lift(cpu_work(8, 0.4))};
+  if (!buggy) map_pause.push_back(lift(gps_stop()));
+  map.set_callback({"onPause", 200, std::move(map_pause)});
+
+  ComponentSpec control;
+  control.class_name = names.control;
+  control.simple_name = "ControlTracking";
+  control.kind = ClassKind::kActivity;
+  control.set_callback({"onClick:btnStartTracking", 48,
+                        {lift(gps_start()), lift(cpu_work(20, 0.4))}});
+  control.set_callback({"onClick:btnStopTracking", 30,
+                        {lift(gps_stop()), lift(cpu_work(10, 0.4))}});
+  control.set_callback({"onPause", 120, {lift(cpu_work(6, 0.3))}});
+
+  ComponentSpec about;
+  about.class_name = names.about;
+  about.simple_name = "AboutDialog";
+  about.kind = ClassKind::kActivity;
+  about.set_callback({"onCreate", 20, {lift(cpu_work(15, 0.3))}});
+
+  app.components = {map, control, about};
+  app.ensure_lifecycle_callbacks();
+
+  int callback_loc = 0;
+  for (const ComponentSpec& component : app.components) {
+    for (const CallbackSpec& callback : component.callbacks) {
+      callback_loc += callback.lines_of_code;
+    }
+  }
+  const int total_target = 5'060;  // the paper's line count
+  int remaining = total_target - callback_loc;
+  for (ComponentSpec& component : app.components) {
+    component.helper_loc = 900;
+    remaining -= 900;
+  }
+  app.glue_loc = remaining;
+  return app;
+}
+
+UserScript opengps_script(Rng& rng, bool trigger) {
+  const GpsNames names;
+  const auto think = [&]() -> DurationMs { return rng.uniform_int(500, 1500); };
+
+  UserScript script;
+  script.push_back(launch());
+  const int pans = static_cast<int>(rng.uniform_int(2, 5));
+  for (int i = 0; i < pans; ++i) {
+    script.push_back(interact("onTouch", think()));
+  }
+
+  if (trigger) {
+    // Start tracking, look at the map, pocket the phone.  LoggerMap's
+    // onPause should have released the GPS; it keeps burning instead.
+    script.push_back(navigate(names.control, think()));
+    script.push_back(interact("onClick:btnStartTracking", think()));
+    script.push_back(back_press(think()));  // ControlTracking.onPause -> map
+    script.push_back(interact("onTouch", think()));
+    script.push_back(idle(rng.uniform_int(4000, 9000)));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(60000, 120000)));
+  } else {
+    if (rng.bernoulli(0.6)) {
+      // A disciplined session: start tracking, stop tracking from the same
+      // screen — GPS use is legitimate and bounded.
+      script.push_back(navigate(names.control, think()));
+      script.push_back(interact("onClick:btnStartTracking", think()));
+      script.push_back(idle(rng.uniform_int(5000, 12000)));
+      script.push_back(interact("onClick:btnStopTracking", think()));
+      script.push_back(back_press(think()));
+    } else if (rng.bernoulli(0.4)) {
+      script.push_back(navigate(names.about, think()));
+      script.push_back(back_press(think()));
+    }
+    script.push_back(interact("onTouch", think()));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(30000, 60000)));
+  }
+  return script;
+}
+
+}  // namespace
+
+AppCase opengps_case() {
+  const GpsNames names;
+  AppCase app_case;
+  app_case.id = 0;  // §IV-C case study; not a Table III row
+  app_case.display_name = "OpenGPS";
+  app_case.downloads = 500'000;
+  app_case.kind = AbdKind::kNoSleep;
+  app_case.paper_code_reduction = 1.0 - 569.0 / 5060.0;
+  app_case.trigger_fraction = 0.2;
+
+  app_case.buggy = build_opengps(/*buggy=*/true);
+  app_case.fixed = build_opengps(/*buggy=*/false);
+
+  app_case.bug.kind = AbdKind::kNoSleep;
+  app_case.bug.root_cause_event = qualified_event_name(names.map, "onPause");
+  app_case.bug.use_last_occurrence = true;
+  app_case.bug.component_class = names.map;
+  app_case.bug.drain_power_mw = 429.0;  // GPS on the reference device
+
+  app_case.scenario = [](Rng& rng, bool trigger) {
+    return opengps_script(rng, trigger);
+  };
+  return app_case;
+}
+
+}  // namespace edx::workload

@@ -1,0 +1,136 @@
+// Tinfoil (§IV-C of the paper).
+//
+// The ABD: the news-feed screen keeps polling the server to refresh an
+// interface that is no longer visible once the app moves to the
+// background.  Top reported events: FBWrapper:menu_item_newsfeed and
+// Idle(No_Display) (Table VI); search space 4,226 -> 236 lines.
+#include "workload/catalog.h"
+
+#include "workload/app_factory.h"
+
+namespace edx::workload {
+
+using namespace edx::android;
+
+namespace {
+
+constexpr const char* kPkg = "com.danvelazco.fbwrapper";
+
+struct TinfoilNames {
+  std::string wrapper = make_class_name(kPkg, "activity", "FBWrapper");
+  std::string prefs = make_class_name(kPkg, "activity", "Preferences");
+};
+
+AppSpec build_tinfoil(bool buggy) {
+  const TinfoilNames names;
+  AppSpec app;
+  app.package_name = kPkg;
+  app.display_name = "Tinfoil";
+  app.main_activity = names.wrapper;
+
+  ComponentSpec wrapper;
+  wrapper.class_name = names.wrapper;
+  wrapper.simple_name = "FBWrapper";
+  wrapper.kind = ClassKind::kActivity;
+  wrapper.set_callback({"onCreate", 42, {lift(cpu_work(55, 0.6))}});
+  wrapper.set_callback({"onTouch", 14, {lift(cpu_work(60, 0.6))}});
+  // Opening the news feed starts a refresh poll to keep the view current.
+  // Legitimate while visible — the bug is that nothing stops it when the
+  // app leaves the foreground.
+  wrapper.set_callback(
+      {"menu_item_newsfeed", 112,
+       {start_periodic_task("newsfeedPoll", 6000,
+                            {network(1800, 0.85), cpu_work(300, 0.5)})}});
+  wrapper.set_callback({"menu_about", 58, {lift(cpu_work(25, 0.4))}});
+  Behavior wrapper_pause = {lift(cpu_work(6, 0.3))};
+  if (!buggy) wrapper_pause.push_back(cancel_periodic_task("newsfeedPoll"));
+  wrapper.set_callback({"onPause", 34, std::move(wrapper_pause)});
+
+  ComponentSpec prefs;
+  prefs.class_name = names.prefs;
+  prefs.simple_name = "Preferences";
+  prefs.kind = ClassKind::kActivity;
+  prefs.set_callback({"onCreate", 26, {lift(cpu_work(18, 0.4))}});
+  prefs.set_callback({"onResume", 60, {lift(cpu_work(8, 0.3))}});
+
+  app.components = {wrapper, prefs};
+  app.ensure_lifecycle_callbacks();
+
+  int callback_loc = 0;
+  for (const ComponentSpec& component : app.components) {
+    for (const CallbackSpec& callback : component.callbacks) {
+      callback_loc += callback.lines_of_code;
+    }
+  }
+  const int total_target = 4'226;  // the paper's line count
+  int remaining = total_target - callback_loc;
+  for (ComponentSpec& component : app.components) {
+    component.helper_loc = 1'200;
+    remaining -= 1'200;
+  }
+  app.glue_loc = remaining;
+  return app;
+}
+
+UserScript tinfoil_script(Rng& rng, bool trigger) {
+  const TinfoilNames names;
+  const auto think = [&]() -> DurationMs { return rng.uniform_int(500, 1500); };
+
+  UserScript script;
+  script.push_back(launch());
+  const int browses = static_cast<int>(rng.uniform_int(2, 4));
+  for (int i = 0; i < browses; ++i) {
+    script.push_back(interact("onTouch", think()));
+  }
+
+  if (trigger) {
+    script.push_back(interact("menu_item_newsfeed", think()));
+    script.push_back(idle(rng.uniform_int(5000, 12000)));
+    if (rng.bernoulli(0.4)) script.push_back(interact("onTouch", think()));
+    // Pocket the phone: the poll keeps rendering an invisible feed.
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(60000, 120000)));
+  } else {
+    if (rng.bernoulli(0.4)) {
+      script.push_back(interact("menu_about", think()));
+    }
+    if (rng.bernoulli(0.4)) {
+      script.push_back(navigate(names.prefs, think()));
+      script.push_back(back_press(think()));
+    }
+    script.push_back(interact("onTouch", think()));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(30000, 60000)));
+  }
+  return script;
+}
+
+}  // namespace
+
+AppCase tinfoil_case() {
+  const TinfoilNames names;
+  AppCase app_case;
+  app_case.id = 18;
+  app_case.display_name = "Tinfoil";
+  app_case.downloads = -1;
+  app_case.kind = AbdKind::kLoop;
+  app_case.paper_code_reduction = 0.924;
+  app_case.trigger_fraction = 0.2;
+
+  app_case.buggy = build_tinfoil(/*buggy=*/true);
+  app_case.fixed = build_tinfoil(/*buggy=*/false);
+
+  app_case.bug.kind = AbdKind::kLoop;
+  app_case.bug.root_cause_event =
+      qualified_event_name(names.wrapper, "menu_item_newsfeed");
+  app_case.bug.use_last_occurrence = true;
+  app_case.bug.component_class = names.wrapper;
+  app_case.bug.drain_power_mw = 280.0;
+
+  app_case.scenario = [](Rng& rng, bool trigger) {
+    return tinfoil_script(rng, trigger);
+  };
+  return app_case;
+}
+
+}  // namespace edx::workload

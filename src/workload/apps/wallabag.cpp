@@ -1,0 +1,160 @@
+// Wallabag (§IV-C of the paper).
+//
+// The ABD: deleting an article on the phone that was already deleted on
+// the server makes the client retry the sync forever — a sustained
+// CPU-heavy drain (Fig. 14 shows CPU dominating).  Top reported events:
+// ReadArticle:menuDeleted, ReadArticle:onCreate, ReadArticle:onResume
+// (Table V); search space 21,424 -> 306 lines.
+#include "workload/catalog.h"
+
+#include "workload/app_factory.h"
+
+namespace edx::workload {
+
+using namespace edx::android;
+
+namespace {
+
+constexpr const char* kPkg = "fr.gaulupeau.apps.wallabag";
+
+struct WallabagNames {
+  std::string list = make_class_name(kPkg, "ui", "ArticleList");
+  std::string read = make_class_name(kPkg, "ui", "ReadArticle");
+  std::string libs = make_class_name(kPkg, "ui", "LibsActivity");
+};
+
+AppSpec build_wallabag(bool buggy) {
+  const WallabagNames names;
+  AppSpec app;
+  app.package_name = kPkg;
+  app.display_name = "Wallabag";
+  app.main_activity = names.list;
+
+  ComponentSpec list;
+  list.class_name = names.list;
+  list.simple_name = "ArticleList";
+  list.kind = ClassKind::kActivity;
+  list.set_callback({"onCreate", 36, {lift(cpu_work(45, 0.5))}});
+  list.set_callback({"onItemClick", 20, {lift(cpu_work(40, 0.5))}});
+  // Pull-to-refresh of the article list: heavy but normal.
+  list.set_callback({"onClick:btnSync", 30,
+                     {lift(network(450, 0.95)), lift(cpu_work(150, 0.7))}});
+
+  ComponentSpec read;
+  read.class_name = names.read;
+  read.simple_name = "ReadArticle";
+  read.kind = ClassKind::kActivity;
+  read.set_callback({"onCreate", 100, {lift(cpu_work(55, 0.6))}});
+  read.set_callback({"onResume", 90, {lift(cpu_work(15, 0.4))}});
+  read.set_callback({"onScroll", 16, {lift(cpu_work(50, 0.6))}});
+  // THE BUG: deleting an article that is already gone server-side starts a
+  // sync retry that never succeeds.  The fixed build deletes locally and
+  // reconciles once.
+  Behavior deleted;
+  if (buggy) {
+    deleted.push_back(start_periodic_task(
+        "deleteRetry", 2000, {cpu_work(1500, 0.9), network(300, 0.3)}));
+  } else {
+    deleted.push_back(lift(cpu_work(200, 0.6)));
+    deleted.push_back(lift(network(400, 0.3)));
+  }
+  read.set_callback({"menuDeleted", 116, std::move(deleted)});
+
+  ComponentSpec libs;
+  libs.class_name = names.libs;
+  libs.simple_name = "LibsActivity";
+  libs.kind = ClassKind::kActivity;
+  libs.set_callback({"onCreate", 24, {lift(cpu_work(20, 0.4))}});
+  libs.set_callback({"onResume", 18, {lift(cpu_work(8, 0.3))}});
+
+  app.components = {list, read, libs};
+  app.ensure_lifecycle_callbacks();
+  add_filler_screens(app, 21'424 / 10);
+
+  int callback_loc = 0;
+  for (const ComponentSpec& component : app.components) {
+    for (const CallbackSpec& callback : component.callbacks) {
+      callback_loc += callback.lines_of_code;
+    }
+  }
+  const int total_target = 21'424;  // the paper's line count
+  int remaining = total_target - callback_loc;
+  for (ComponentSpec& component : app.components) {
+    component.helper_loc = 2'400;
+    remaining -= 2'400;
+  }
+  app.glue_loc = remaining;
+  return app;
+}
+
+UserScript wallabag_script(Rng& rng, bool trigger,
+                           const std::vector<std::string>& screens) {
+  const WallabagNames names;
+  const auto think = [&]() -> DurationMs { return rng.uniform_int(500, 1500); };
+
+  UserScript script;
+  script.push_back(launch());
+  if (rng.bernoulli(0.7)) script.push_back(interact("onClick:btnSync", think()));
+  if (rng.bernoulli(0.5)) append_screen_visit(script, rng, screens);
+
+  // Read an article or two.
+  const int reads = static_cast<int>(rng.uniform_int(1, 2));
+  for (int i = 0; i < reads; ++i) {
+    script.push_back(interact("onItemClick", think()));
+    script.push_back(navigate(names.read, think()));
+    const int scrolls = static_cast<int>(rng.uniform_int(1, 4));
+    for (int s = 0; s < scrolls; ++s) {
+      script.push_back(interact("onScroll", rng.uniform_int(400, 1200)));
+    }
+    if (trigger && i == reads - 1) {
+      // Delete the article that the server no longer has.
+      script.push_back(interact("menuDeleted", think()));
+    }
+    script.push_back(back_press(think()));
+  }
+
+  if (trigger) {
+    if (rng.bernoulli(0.5)) script.push_back(interact("onItemClick", think()));
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(60000, 120000)));
+  } else {
+    if (rng.bernoulli(0.3)) {
+      script.push_back(navigate(names.libs, think()));
+      script.push_back(back_press(think()));
+    }
+    script.push_back(background_app(think()));
+    script.push_back(idle(rng.uniform_int(30000, 60000)));
+  }
+  return script;
+}
+
+}  // namespace
+
+AppCase wallabag_case() {
+  const WallabagNames names;
+  AppCase app_case;
+  app_case.id = 28;
+  app_case.display_name = "Wallabag";
+  app_case.downloads = 1'000'000;
+  app_case.kind = AbdKind::kConfiguration;  // Table III's label for row 28
+  app_case.paper_code_reduction = 0.9857;
+  app_case.trigger_fraction = 0.2;
+
+  app_case.buggy = build_wallabag(/*buggy=*/true);
+  app_case.fixed = build_wallabag(/*buggy=*/false);
+
+  app_case.bug.kind = AbdKind::kConfiguration;
+  app_case.bug.root_cause_event =
+      qualified_event_name(names.read, "menuDeleted");
+  app_case.bug.use_last_occurrence = true;
+  app_case.bug.component_class = names.read;
+  app_case.bug.drain_power_mw = 420.0;  // CPU-dominated retry loop
+
+  const std::vector<std::string> screens = filler_screen_names(app_case.buggy);
+  app_case.scenario = [screens](Rng& rng, bool trigger) {
+    return wallabag_script(rng, trigger, screens);
+  };
+  return app_case;
+}
+
+}  // namespace edx::workload

@@ -1,0 +1,16 @@
+#include "workload/bug.h"
+
+#include "common/error.h"
+
+namespace edx::workload {
+
+std::string_view abd_kind_name(AbdKind kind) {
+  switch (kind) {
+    case AbdKind::kNoSleep: return "no-sleep";
+    case AbdKind::kLoop: return "loop";
+    case AbdKind::kConfiguration: return "configuration";
+  }
+  throw InvalidArgument("abd_kind_name: unknown kind");
+}
+
+}  // namespace edx::workload

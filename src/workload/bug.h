@@ -1,0 +1,46 @@
+// ABD bug taxonomy and ground truth.
+//
+// The paper evaluates the three root-cause classes that an earlier study
+// ([2]) found to cover ~89% of energy bugs: no-sleep (a resource is not
+// released), loop (periodic work is never stopped), and configuration (a
+// bad setting sends the app down an expensive path).  A BugSpec records
+// how a bug was injected into an app model and which event is its ground-
+// truth root cause — the evaluation measures everything against this.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace edx::workload {
+
+enum class AbdKind {
+  kNoSleep,
+  kLoop,
+  kConfiguration,
+};
+
+std::string_view abd_kind_name(AbdKind kind);
+
+/// Ground truth about one injected ABD.
+struct BugSpec {
+  AbdKind kind{AbdKind::kNoSleep};
+  /// Qualified name of the root-cause event (the paper's "real triggering
+  /// event"), e.g. "Lorg/k9/activity/AccountSettings;.onResume".
+  EventName root_cause_event;
+  /// Use the last occurrence of the root-cause event in a trace as the
+  /// trigger instance (true for settings-style bugs the user re-enters).
+  bool use_last_occurrence{true};
+  /// Class name of the component carrying the defect.
+  std::string component_class;
+  /// The sustained extra power the bug drains once triggered, on the
+  /// reference device (mW).  Drives which baselines can see it.
+  PowerMw drain_power_mw{400.0};
+  /// For no-sleep bugs: the buggy code *appears* to release (it releases a
+  /// different lock object), which fools syntactic acquire/release
+  /// matching — the static baseline's false-negative class.
+  bool aliased_release{false};
+};
+
+}  // namespace edx::workload

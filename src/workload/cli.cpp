@@ -1,0 +1,301 @@
+#include "workload/cli.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "android/apk.h"
+#include "android/instrumenter.h"
+#include "common/error.h"
+#include "core/pipeline.h"
+#include "core/report_io.h"
+#include "power/calibration.h"
+#include "workload/catalog.h"
+#include "workload/experiment.h"
+#include "workload/session.h"
+
+namespace edx::workload::cli {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out << content;
+}
+
+}  // namespace
+
+int cmd_catalog(std::ostream& out) {
+  out << "id  name               root-cause     lines\n";
+  for (const AppCase& app : full_catalog()) {
+    out << app.id << (app.id < 10 ? "   " : "  ") << app.display_name;
+    for (std::size_t i = app.display_name.size(); i < 19; ++i) out << ' ';
+    std::string kind(abd_kind_name(app.kind));
+    out << kind;
+    for (std::size_t i = kind.size(); i < 15; ++i) out << ' ';
+    out << app.buggy.total_loc() << "\n";
+  }
+  return 0;
+}
+
+int cmd_instrument(const std::string& in_path, const std::string& out_path,
+                   std::ostream& out) {
+  const android::Instrumenter instrumenter;
+  write_file(out_path, instrumenter.instrument_packed(read_file(in_path)));
+  out << "instrumented " << instrumenter.last_report().methods_instrumented
+      << "/" << instrumenter.last_report().methods_seen << " methods ("
+      << instrumenter.last_report().log_points_injected
+      << " log points) -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_simulate(int app_id, const std::string& out_dir, int users,
+                 std::uint64_t seed, std::ostream& out) {
+  const std::vector<AppCase> catalog = full_catalog();
+  const AppCase& app = catalog_app(catalog, app_id);
+
+  PopulationConfig population;
+  population.num_users = users;
+  population.seed = seed;
+  const CollectedTraces traces =
+      collect_traces(app, app.buggy, /*instrumented=*/true, population);
+
+  fs::create_directories(out_dir);
+  for (const trace::TraceBundle& bundle : traces.bundles) {
+    write_file(out_dir + "/bundle_" + std::to_string(bundle.user) + ".txt",
+               bundle.to_text());
+  }
+  out << "wrote " << traces.bundles.size() << " trace bundles for '"
+      << app.display_name << "' to " << out_dir << " (trigger fraction "
+      << traces.trigger_fraction_actual << ")\n";
+  return 0;
+}
+
+int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
+                std::optional<double> reported_fraction, bool as_json,
+                std::ostream& out) {
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(trace_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("bundle_") && name.ends_with(".txt")) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    throw InvalidArgument("no bundle_*.txt files in " + trace_dir);
+  }
+  std::vector<trace::TraceBundle> bundles;
+  bundles.reserve(paths.size());
+  for (const std::string& path : paths) {
+    bundles.push_back(trace::TraceBundle::from_text(read_file(path)));
+  }
+
+  core::AnalysisConfig config;
+  if (reported_fraction.has_value()) {
+    config.reporting.developer_reported_fraction = *reported_fraction;
+  } else {
+    // Self-estimate: the share of traces in which a manifestation was
+    // detected approximates the impacted-user fraction.
+    const core::ManifestationAnalyzer probe(config);
+    const core::AnalysisResult first_pass = probe.run(bundles);
+    config.reporting.developer_reported_fraction =
+        first_pass.report.total_traces == 0
+            ? 0.0
+            : static_cast<double>(
+                  first_pass.report.traces_with_manifestation) /
+                  static_cast<double>(first_pass.report.total_traces);
+  }
+
+  const core::ManifestationAnalyzer analyzer(config);
+  const core::AnalysisResult result = analyzer.run(bundles);
+
+  std::optional<core::CodeMap> code_map;
+  core::ReportRenderOptions options;
+  options.developer_reported_fraction =
+      config.reporting.developer_reported_fraction;
+  if (app_id.has_value()) {
+    const std::vector<AppCase> catalog = full_catalog();
+    const AppCase& app = catalog_app(catalog, *app_id);
+    code_map = core::CodeMap::from_app(app.buggy);
+    options.app_name = app.display_name;
+  }
+
+  const core::CodeMap* map = code_map ? &*code_map : nullptr;
+  out << (as_json ? core::report_to_json(result.report, map, options)
+                  : core::report_to_text(result.report, map, options));
+  return 0;
+}
+
+int cmd_gen_training(const std::string& device_name,
+                     const std::string& out_path, std::size_t levels,
+                     double noise, std::ostream& out) {
+  const power::Device* device = nullptr;
+  static const std::vector<power::Device> kFleet = power::builtin_devices();
+  for (const power::Device& candidate : kFleet) {
+    if (candidate.name() == device_name) device = &candidate;
+  }
+  if (device == nullptr) {
+    throw InvalidArgument("unknown built-in device '" + device_name + "'");
+  }
+  const auto samples =
+      power::generate_training_samples(*device, levels, noise, /*seed=*/42);
+  std::ostringstream csv;
+  csv << "cpu,display,wifi,cellular,gps,audio,sensor,power_mw\n";
+  for (const power::CalibrationSample& sample : samples) {
+    for (power::Component component : power::kAllComponents) {
+      csv << sample.utilization.get(component) << ',';
+    }
+    csv << sample.measured_phone_power_mw << '\n';
+  }
+  write_file(out_path, csv.str());
+  out << "wrote " << samples.size() << " training samples for '"
+      << device_name << "' to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_calibrate(const std::string& csv_path, const std::string& device_name,
+                  std::ostream& out) {
+  std::istringstream in(read_file(csv_path));
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<power::CalibrationSample> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    power::CalibrationSample sample;
+    double value = 0.0;
+    char comma = 0;
+    for (power::Component component : power::kAllComponents) {
+      if (!(fields >> value >> comma)) {
+        throw ParseError("calibrate: malformed CSV line '" + line + "'");
+      }
+      sample.utilization.set(component, value);
+    }
+    if (!(fields >> sample.measured_phone_power_mw)) {
+      throw ParseError("calibrate: missing power in '" + line + "'");
+    }
+    samples.push_back(sample);
+  }
+
+  const power::CalibrationResult result =
+      power::fit_power_model(device_name, samples);
+  out << "fitted power model for '" << device_name << "' ("
+      << result.samples_used << " samples, rms error "
+      << result.rms_error_mw << " mW, max "
+      << result.max_abs_error_mw << " mW)\n";
+  out << "  idle: " << result.device.idle_mw() << " mW\n";
+  for (power::Component component : power::kAllComponents) {
+    out << "  " << power::component_name(component) << ": "
+        << result.device.coefficient_mw(component) << " mW at 100%\n";
+  }
+  return 0;
+}
+
+int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out) {
+  const std::vector<AppCase> catalog = full_catalog();
+  const AppCase& app = catalog_app(catalog, app_id);
+  PopulationConfig population;
+  population.num_users = users;
+  population.seed = seed;
+  const FixVerification verification = verify_fix(app, population);
+  out << "fix verification for '" << app.display_name << "' (" << users
+      << " users):\n";
+  out << "  manifestations: buggy "
+      << verification.buggy_traces_with_manifestation << " traces -> fixed "
+      << verification.fixed_traces_with_manifestation << " traces\n";
+  out << "  average app power: "
+      << verification.avg_power_buggy_mw << " mW -> "
+      << verification.avg_power_fixed_mw << " mW ("
+      << 100.0 * verification.power_reduction() << "% reduction)\n";
+  out << "  verdict: "
+      << (verification.fix_confirmed() ? "FIX CONFIRMED" : "NOT CONFIRMED")
+      << "\n";
+  return verification.fix_confirmed() ? 0 : 3;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      err << "usage: energydx <catalog | instrument <in> <out> | "
+             "simulate <app-id> <dir> [users] [seed] | "
+             "analyze <dir> [app-id] [reported-fraction] [--json] | "
+             "gen-training <device> <out.csv> [levels] [noise] | "
+             "calibrate <samples.csv> <name>>\n";
+      return args.empty() ? 2 : 0;
+    }
+    if (args[0] == "catalog") return cmd_catalog(out);
+    if (args[0] == "instrument") {
+      if (args.size() != 3) throw InvalidArgument("instrument needs <in> <out>");
+      return cmd_instrument(args[1], args[2], out);
+    }
+    if (args[0] == "simulate") {
+      if (args.size() < 3) {
+        throw InvalidArgument("simulate needs <app-id> <out-dir>");
+      }
+      const int users = args.size() > 3 ? std::stoi(args[3]) : 30;
+      const std::uint64_t seed =
+          args.size() > 4 ? std::stoull(args[4]) : 42ULL;
+      return cmd_simulate(std::stoi(args[1]), args[2], users, seed, out);
+    }
+    if (args[0] == "verify") {
+      if (args.size() < 2) throw InvalidArgument("verify needs <app-id>");
+      const int users = args.size() > 2 ? std::stoi(args[2]) : 30;
+      const std::uint64_t seed =
+          args.size() > 3 ? std::stoull(args[3]) : 42ULL;
+      return cmd_verify(std::stoi(args[1]), users, seed, out);
+    }
+    if (args[0] == "gen-training") {
+      if (args.size() < 3) {
+        throw InvalidArgument("gen-training needs <device> <out.csv>");
+      }
+      const std::size_t levels =
+          args.size() > 3 ? std::stoul(args[3]) : std::size_t{8};
+      const double noise = args.size() > 4 ? std::stod(args[4]) : 0.0;
+      return cmd_gen_training(args[1], args[2], levels, noise, out);
+    }
+    if (args[0] == "calibrate") {
+      if (args.size() != 3) {
+        throw InvalidArgument("calibrate needs <samples.csv> <device-name>");
+      }
+      return cmd_calibrate(args[1], args[2], out);
+    }
+    if (args[0] == "analyze") {
+      if (args.size() < 2) throw InvalidArgument("analyze needs <trace-dir>");
+      std::optional<int> app_id;
+      std::optional<double> fraction;
+      bool as_json = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--json") {
+          as_json = true;
+        } else if (!app_id.has_value() &&
+                   args[i].find('.') == std::string::npos) {
+          app_id = std::stoi(args[i]);
+        } else {
+          fraction = std::stod(args[i]);
+        }
+      }
+      return cmd_analyze(args[1], app_id, fraction, as_json, out);
+    }
+    throw InvalidArgument("unknown command '" + args[0] + "'");
+  } catch (const std::exception& failure) {
+    err << "energydx: " << failure.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace edx::workload::cli

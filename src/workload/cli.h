@@ -1,0 +1,64 @@
+// The `energydx` command-line tool's commands, as library functions so the
+// test suite can drive them against temp directories.
+//
+//   energydx catalog
+//   energydx instrument <in.apk.txt> <out.apk.txt>
+//   energydx simulate <app-id> <out-dir> [users] [seed]
+//   energydx analyze <trace-dir> [app-id] [reported-fraction] [--json]
+//   energydx gen-training <builtin-device> <out.csv> [levels] [noise]
+//   energydx calibrate <samples.csv> <device-name>
+//
+// APKs are the packed textual artifacts of android/apk.h; trace
+// directories hold one `bundle_<user>.txt` per phone (trace/recorder.h
+// format).  `analyze` runs the 5-step pipeline over every bundle found.
+// Calibration samples are CSV rows
+// "cpu,display,wifi,cellular,gps,audio,sensor,power_mw".
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edx::workload::cli {
+
+/// Prints the Table III catalog (id, name, root cause, size).
+int cmd_catalog(std::ostream& out);
+
+/// Instruments a packed APK file.  Returns 0 on success.
+int cmd_instrument(const std::string& in_path, const std::string& out_path,
+                   std::ostream& out);
+
+/// Simulates a population for catalog app `app_id` and writes one bundle
+/// file per user into `out_dir` (created if missing).
+int cmd_simulate(int app_id, const std::string& out_dir, int users,
+                 std::uint64_t seed, std::ostream& out);
+
+/// Analyzes every bundle_*.txt in `trace_dir`.  When `app_id` is given the
+/// report includes code lines and reduction for that catalog app.  When
+/// `reported_fraction` is absent it defaults to the share of traces with a
+/// detected manifestation point (a self-estimate).
+int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
+                std::optional<double> reported_fraction, bool as_json,
+                std::ostream& out);
+
+/// Writes a component-sweep calibration workload for one built-in device
+/// ("Nexus 6", "Moto G", ...) as CSV, with optional measurement noise.
+int cmd_gen_training(const std::string& device_name,
+                     const std::string& out_path, std::size_t levels,
+                     double noise, std::ostream& out);
+
+/// Fits a power model to a calibration CSV and prints the profile.
+int cmd_calibrate(const std::string& csv_path, const std::string& device_name,
+                  std::ostream& out);
+
+/// Post-fix validation for a catalog app: re-runs the same population on
+/// the buggy and fixed builds and reports whether the manifestation is
+/// gone and the power dropped (energydx verify <app-id> [users] [seed]).
+int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out);
+
+/// Dispatch from argv (excluding the program name).  Returns the exit code.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace edx::workload::cli

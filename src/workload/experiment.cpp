@@ -1,0 +1,204 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+
+#include "android/apk_builder.h"
+#include "android/event.h"
+#include "baselines/checkall.h"
+#include "baselines/edelta.h"
+#include "baselines/edoctor.h"
+#include "baselines/nosleep.h"
+#include "common/error.h"
+#include "core/code_map.h"
+#include "power/monsoon.h"
+#include "workload/ground_truth.h"
+
+namespace edx::workload {
+
+PipelineRun run_energydx(const AppCase& app_case,
+                         const PopulationConfig& population,
+                         const core::AnalysisConfig* override_config) {
+  PipelineRun run;
+  run.traces =
+      collect_traces(app_case, app_case.buggy, /*instrumented=*/true,
+                     population);
+
+  core::AnalysisConfig config =
+      override_config != nullptr ? *override_config : core::AnalysisConfig{};
+  // The developer supplies their user-impact estimate (forums / eDoctor);
+  // ground truth is the cleanest stand-in.
+  config.reporting.developer_reported_fraction =
+      run.traces.trigger_fraction_actual;
+  run.config_used = config;
+
+  const core::ManifestationAnalyzer analyzer(config);
+  run.analysis = analyzer.run(run.traces.bundles);
+  return run;
+}
+
+PipelineRun run_energydx_self_contained(const AppCase& app_case,
+                                        const PopulationConfig& population,
+                                        double* estimated_fraction_out) {
+  PipelineRun run;
+  run.traces = collect_traces(app_case, app_case.buggy, /*instrumented=*/true,
+                              population);
+
+  const baselines::EDoctor edoctor;
+  const baselines::EDoctorReport estimate = edoctor.run(run.traces.bundles);
+  if (estimated_fraction_out != nullptr) {
+    *estimated_fraction_out = estimate.impacted_fraction;
+  }
+
+  core::AnalysisConfig config;
+  config.reporting.developer_reported_fraction = estimate.impacted_fraction;
+  run.config_used = config;
+  const core::ManifestationAnalyzer analyzer(config);
+  run.analysis = analyzer.run(run.traces.bundles);
+  return run;
+}
+
+double average_app_power(const AppCase& app_case,
+                         const android::AppSpec& variant,
+                         const PopulationConfig& population) {
+  PopulationConfig homogeneous = population;
+  homogeneous.heterogeneous_devices = false;  // paired comparison
+  const CollectedTraces traces =
+      collect_traces(app_case, variant, /*instrumented=*/false, homogeneous);
+
+  const power::MonsoonMonitor monsoon(power::PowerModel(power::nexus6()),
+                                      /*resolution_ms=*/100);
+  // Average over the whole population: Fig. 17 reports the app's average
+  // power, and only the impacted fraction of users ever pays the drain.
+  double total = 0.0;
+  int counted = 0;
+  for (std::size_t user = 0; user < traces.runs.size(); ++user) {
+    const android::RunResult& run = traces.runs[user];
+    const power::MonsoonReading reading = monsoon.measure_pid(
+        traces.timelines[user], run.pid, run.start_time, run.end_time);
+    total += reading.average_power_mw;
+    ++counted;
+  }
+  require(counted > 0, "average_app_power: no users");
+  return total / counted;
+}
+
+FixVerification verify_fix(const AppCase& app_case,
+                           const PopulationConfig& population) {
+  FixVerification verification;
+
+  const auto manifestation_count = [&](const android::AppSpec& variant) {
+    const CollectedTraces traces =
+        collect_traces(app_case, variant, /*instrumented=*/true, population);
+    core::AnalysisConfig config;
+    config.reporting.developer_reported_fraction =
+        traces.trigger_fraction_actual;
+    const core::ManifestationAnalyzer analyzer(config);
+    const core::AnalysisResult result = analyzer.run(traces.bundles);
+    return result.report.traces_with_manifestation;
+  };
+
+  verification.buggy_traces_with_manifestation =
+      manifestation_count(app_case.buggy);
+  verification.fixed_traces_with_manifestation =
+      manifestation_count(app_case.fixed);
+  verification.avg_power_buggy_mw =
+      average_app_power(app_case, app_case.buggy, population);
+  verification.avg_power_fixed_mw =
+      average_app_power(app_case, app_case.fixed, population);
+  return verification;
+}
+
+AppEvaluation evaluate_app(const AppCase& app_case,
+                           const PopulationConfig& population,
+                           const EvaluationOptions& options) {
+  AppEvaluation evaluation;
+  evaluation.id = app_case.id;
+  evaluation.name = app_case.display_name;
+  evaluation.kind = app_case.kind;
+  evaluation.downloads = app_case.downloads;
+  evaluation.paper_code_reduction = app_case.paper_code_reduction;
+
+  // --- EnergyDx ---
+  const PipelineRun run = run_energydx(app_case, population);
+  const core::CodeMap code_map = core::CodeMap::from_app(app_case.buggy);
+  evaluation.total_lines = code_map.total_lines();
+  evaluation.energydx_lines =
+      core::diagnosis_lines(code_map, run.analysis.report);
+  evaluation.energydx_reduction =
+      core::code_reduction(code_map, run.analysis.report);
+
+  const auto& ranked = run.analysis.report.ranked_events;
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, ranked.size()); ++i) {
+    evaluation.top_events.push_back(ranked[i]);
+  }
+  evaluation.root_cause_reported =
+      std::find(run.analysis.report.diagnosis_events.begin(),
+                run.analysis.report.diagnosis_events.end(),
+                app_case.bug.root_cause_event) !=
+      run.analysis.report.diagnosis_events.end();
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (android::split_event_name(event).class_name ==
+        app_case.bug.component_class) {
+      evaluation.component_reported = true;
+      break;
+    }
+  }
+  evaluation.event_distance = app_event_distance(
+      run.analysis.traces, app_case.bug, &run.traces.triggered);
+
+  // --- CheckAll (§IV-D) ---
+  if (options.run_checkall) {
+    const baselines::CheckAll checkall;
+    const baselines::CheckAllReport checkall_report =
+        checkall.run(run.traces.bundles);
+    evaluation.checkall_lines =
+        code_map.lines_for(checkall_report.reported_events);
+    evaluation.checkall_reduction = core::code_reduction(
+        code_map.total_lines(), evaluation.checkall_lines);
+  }
+
+  // --- No-sleep Detection (§IV-B) ---
+  if (options.run_nosleep) {
+    const baselines::NoSleepDetector detector;
+    const baselines::NoSleepReport nosleep_report =
+        detector.analyze(android::build_apk(app_case.buggy));
+    evaluation.nosleep_detected = nosleep_report.detected();
+    // The paper credits the baseline with a 100% reduction when it finds
+    // the root cause (only possible for genuine no-sleep bugs), else 0%.
+    evaluation.nosleep_reduction =
+        (evaluation.nosleep_detected && app_case.kind == AbdKind::kNoSleep)
+            ? 1.0
+            : 0.0;
+  }
+
+  // --- eDelta (§IV-B) ---
+  if (options.run_edelta) {
+    const baselines::EDelta edelta;
+    const baselines::EDeltaReport edelta_report =
+        edelta.run(run.traces.bundles);
+    // eDelta counts as detecting the ABD only when a flagged API actually
+    // points at the buggy component; a deviation on an unrelated API does
+    // not shrink the developer's search for the root cause.
+    evaluation.edelta_detected = false;
+    for (const baselines::EDeltaFinding& finding : edelta_report.findings) {
+      const std::string flagged_class =
+          android::split_event_name(finding.api).class_name;
+      if (flagged_class == app_case.bug.component_class) {
+        evaluation.edelta_detected = true;
+        break;
+      }
+    }
+    evaluation.edelta_reduction = evaluation.edelta_detected ? 1.0 : 0.0;
+  }
+
+  // --- Power before/after fix (Fig. 17) ---
+  if (options.run_power_comparison) {
+    evaluation.avg_power_buggy_mw =
+        average_app_power(app_case, app_case.buggy, population);
+    evaluation.avg_power_fixed_mw =
+        average_app_power(app_case, app_case.fixed, population);
+  }
+  return evaluation;
+}
+
+}  // namespace edx::workload

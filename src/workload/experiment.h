@@ -1,0 +1,128 @@
+// End-to-end experiment driver.
+//
+// evaluate_app() reproduces the whole per-app evaluation of §IV for one
+// catalog entry: collect instrumented traces from a simulated population,
+// run the EnergyDx pipeline, compute the code-reduction metric, run all
+// three baselines (CheckAll, No-sleep Detection, eDelta), measure the
+// event distance against the injected ground truth, and compare average
+// app power before/after the fix.  The bench binaries are thin printers
+// over this.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "workload/catalog.h"
+#include "workload/session.h"
+
+namespace edx::workload {
+
+/// Everything §IV reports about one app.
+struct AppEvaluation {
+  int id{0};
+  std::string name;
+  AbdKind kind{AbdKind::kNoSleep};
+  long long downloads{-1};
+  double paper_code_reduction{0.0};
+
+  // EnergyDx.
+  int total_lines{0};
+  int energydx_lines{0};
+  double energydx_reduction{0.0};
+  std::vector<core::ReportedEvent> top_events;  ///< ranked, up to 6
+  bool root_cause_reported{false};  ///< root-cause event in the diagnosis set
+  /// Weaker success: some diagnosis event belongs to the buggy component —
+  /// reading that component's callbacks still leads straight to the defect.
+  bool component_reported{false};
+  std::optional<int> event_distance;
+
+  // Baselines.
+  int checkall_lines{0};
+  double checkall_reduction{0.0};
+  bool nosleep_detected{false};
+  double nosleep_reduction{0.0};  ///< 1.0 when detected (paper's accounting)
+  bool edelta_detected{false};
+  double edelta_reduction{0.0};
+
+  // Power before/after the fix (Fig. 17), averaged over triggering users
+  // on the reference device.
+  double avg_power_buggy_mw{0.0};
+  double avg_power_fixed_mw{0.0};
+  [[nodiscard]] double power_reduction() const {
+    return avg_power_buggy_mw > 0.0
+               ? 1.0 - avg_power_fixed_mw / avg_power_buggy_mw
+               : 0.0;
+  }
+};
+
+/// Flags controlling which (expensive) parts run.
+struct EvaluationOptions {
+  bool run_checkall{true};
+  bool run_nosleep{true};
+  bool run_edelta{true};
+  bool run_power_comparison{true};
+};
+
+/// Runs the full §IV evaluation for one app.
+AppEvaluation evaluate_app(const AppCase& app_case,
+                           const PopulationConfig& population,
+                           const EvaluationOptions& options = {});
+
+/// Collects instrumented buggy-build traces and runs the EnergyDx
+/// pipeline; shared by evaluate_app and the per-figure benches.
+struct PipelineRun {
+  CollectedTraces traces;
+  core::AnalysisResult analysis;
+  core::AnalysisConfig config_used;
+};
+PipelineRun run_energydx(const AppCase& app_case,
+                         const PopulationConfig& population,
+                         const core::AnalysisConfig* override_config = nullptr);
+
+/// Fully self-contained variant: instead of taking the impacted-user
+/// fraction from ground truth (the stand-in for forum reports), estimate
+/// it from the collected traces with the eDoctor-style app-level detector
+/// (baselines/edoctor.h) — the workflow the paper describes for developers
+/// without good reports.  `estimated_fraction_out` (optional) receives the
+/// estimate used.
+PipelineRun run_energydx_self_contained(
+    const AppCase& app_case, const PopulationConfig& population,
+    double* estimated_fraction_out = nullptr);
+
+/// Mean power of the app process across triggering users, on the reference
+/// device, over each user's whole session (mW).
+double average_app_power(const AppCase& app_case,
+                         const android::AppSpec& variant,
+                         const PopulationConfig& population);
+
+/// Post-fix validation, the way the paper confirms its 40 fixes: re-run
+/// the same population on the patched build and check that (a) the
+/// manifestation points are gone from the collected traces and (b) the
+/// app's average power dropped.
+struct FixVerification {
+  std::size_t buggy_traces_with_manifestation{0};
+  std::size_t fixed_traces_with_manifestation{0};
+  double avg_power_buggy_mw{0.0};
+  double avg_power_fixed_mw{0.0};
+
+  [[nodiscard]] double power_reduction() const {
+    return avg_power_buggy_mw > 0.0
+               ? 1.0 - avg_power_fixed_mw / avg_power_buggy_mw
+               : 0.0;
+  }
+  /// The fix holds when manifestations (nearly) disappear — legitimate
+  /// heavy usage can still resemble a drain in the odd trace — and the
+  /// app's average power meaningfully drops.
+  [[nodiscard]] bool fix_confirmed() const {
+    return 4 * fixed_traces_with_manifestation <=
+               buggy_traces_with_manifestation &&
+           power_reduction() > 0.05;
+  }
+};
+
+FixVerification verify_fix(const AppCase& app_case,
+                           const PopulationConfig& population);
+
+}  // namespace edx::workload

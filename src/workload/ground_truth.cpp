@@ -1,0 +1,69 @@
+#include "workload/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace edx::workload {
+
+std::optional<std::size_t> root_cause_index(const core::AnalyzedTrace& trace,
+                                            const BugSpec& bug) {
+  std::optional<std::size_t> found;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    if (trace.events[i].name == bug.root_cause_event) {
+      found = i;
+      if (!bug.use_last_occurrence) return found;
+    }
+  }
+  return found;
+}
+
+std::optional<int> trace_event_distance(const core::AnalyzedTrace& trace,
+                                        const BugSpec& bug) {
+  const std::optional<std::size_t> root = root_cause_index(trace, bug);
+  if (!root.has_value() || trace.manifestation_indices.empty()) {
+    return std::nullopt;
+  }
+
+  // Prefer the first detected point at or after the root cause (the ABD
+  // manifests after it is triggered); fall back to the nearest point.
+  std::optional<std::size_t> manifestation;
+  for (std::size_t index : trace.manifestation_indices) {
+    if (index >= *root) {
+      manifestation = index;
+      break;
+    }
+  }
+  if (!manifestation.has_value()) {
+    std::size_t best = trace.manifestation_indices.front();
+    for (std::size_t index : trace.manifestation_indices) {
+      const auto distance_to = [&](std::size_t i) {
+        return static_cast<long long>(i > *root ? i - *root : *root - i);
+      };
+      if (distance_to(index) < distance_to(best)) best = index;
+    }
+    manifestation = best;
+  }
+
+  const long long gap = std::llabs(static_cast<long long>(*manifestation) -
+                                   static_cast<long long>(*root));
+  return static_cast<int>(gap > 0 ? gap - 1 : 0);
+}
+
+std::optional<int> app_event_distance(
+    const std::vector<core::AnalyzedTrace>& traces, const BugSpec& bug,
+    const std::vector<bool>* triggered) {
+  std::vector<int> distances;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (triggered != nullptr && !(*triggered)[i]) continue;
+    if (const std::optional<int> distance =
+            trace_event_distance(traces[i], bug)) {
+      distances.push_back(*distance);
+    }
+  }
+  if (distances.empty()) return std::nullopt;
+  std::sort(distances.begin(), distances.end());
+  return distances[distances.size() / 2];
+}
+
+}  // namespace edx::workload

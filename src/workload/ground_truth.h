@@ -1,0 +1,37 @@
+// Ground-truth evaluation helpers: the event-distance metric of Figure 1.
+//
+// Event distance = the number of events invoked between (exclusive) the
+// real triggering event (root cause) and the event closest to the
+// manifestation point (§II-A).  We compute it against the injected
+// BugSpec: the root-cause instance is located by name in the analyzed
+// trace, the manifestation is the detected outlier nearest after it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/analysis_types.h"
+#include "workload/bug.h"
+
+namespace edx::workload {
+
+/// Index of the bug's root-cause instance in `trace` (first or last
+/// occurrence per the spec); nullopt when the event never fired.
+std::optional<std::size_t> root_cause_index(const core::AnalyzedTrace& trace,
+                                            const BugSpec& bug);
+
+/// Event distance for one analyzed trace; nullopt when the root cause is
+/// absent or no manifestation point was detected.
+std::optional<int> trace_event_distance(const core::AnalyzedTrace& trace,
+                                        const BugSpec& bug);
+
+/// Per-app event distance: the median over traces where it is defined;
+/// nullopt when no trace yields a distance.  When `triggered` is non-null
+/// (aligned with `traces`), only traces whose user actually triggered the
+/// ABD participate — the metric is about how close the *manifestation* is
+/// to its trigger, so traces without a manifestation are out of scope.
+std::optional<int> app_event_distance(
+    const std::vector<core::AnalyzedTrace>& traces, const BugSpec& bug,
+    const std::vector<bool>* triggered = nullptr);
+
+}  // namespace edx::workload

@@ -1,0 +1,106 @@
+#include "workload/session.h"
+
+#include <cmath>
+#include <map>
+
+#include "android/apk_builder.h"
+#include "android/instrumenter.h"
+#include "android/runtime.h"
+#include "common/error.h"
+
+namespace edx::workload {
+
+CollectedTraces collect_traces(const AppCase& app_case,
+                               const android::AppSpec& variant,
+                               bool instrumented,
+                               const PopulationConfig& config) {
+  require(config.num_users > 0, "collect_traces: need at least one user");
+
+  const android::Apk apk = android::build_apk(variant);
+  const android::Instrumenter instrumenter;
+  const android::Apk instrumented_apk =
+      instrumented ? instrumenter.instrument(apk) : apk;
+
+  const std::vector<power::Device> fleet = power::builtin_devices();
+  trace::CollectionServer server(power::nexus6(), fleet);
+
+  // Exactly round(fraction * n) users trigger, so the developer-reported
+  // fraction the analysis receives is meaningful.
+  const int trigger_count = static_cast<int>(
+      std::lround(app_case.trigger_fraction * config.num_users));
+
+  CollectedTraces collected;
+  collected.timelines.resize(static_cast<std::size_t>(config.num_users));
+
+  for (int user = 0; user < config.num_users; ++user) {
+    // Per-user deterministic streams, independent of variant and
+    // instrumentation so A/B comparisons are paired.
+    std::uint64_t seed_state =
+        config.seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                                   user + 1));
+    Rng script_rng(splitmix64(seed_state));
+    Rng tracker_rng(splitmix64(seed_state));
+
+    const bool triggers = user < trigger_count;
+
+    const power::Device& device =
+        config.heterogeneous_devices ? fleet[static_cast<std::size_t>(user) %
+                                             fleet.size()]
+                                     : fleet.front();
+
+    power::UtilizationTimeline& timeline =
+        collected.timelines[static_cast<std::size_t>(user)];
+    const Pid app_pid = 100 + user;
+    android::AppRuntime runtime(variant,
+                                instrumented ? &instrumented_apk : nullptr,
+                                timeline, app_pid, config.runtime);
+
+    // One or more sessions, chained: the config store persists across
+    // process restarts, and only the first session takes the triggering
+    // path (the bad setting keeps draining on its own afterwards).
+    android::RunResult run;
+    std::map<std::string, std::string> persisted_config;
+    for (int session = 0; session < std::max(1, config.sessions_per_user);
+         ++session) {
+      const android::UserScript script =
+          app_case.scenario(script_rng, triggers && session == 0);
+      const TimestampMs session_start =
+          session == 0 ? 0 : run.end_time + config.session_gap_ms;
+      const android::RunResult session_run = runtime.run(
+          script, session_start, /*trailing_ms=*/0,
+          session == 0 ? nullptr : &persisted_config);
+      persisted_config = session_run.final_config;
+      if (session == 0) {
+        run = session_run;
+      } else {
+        run.events.insert(run.events.end(), session_run.events.begin(),
+                          session_run.events.end());
+        run.end_time = session_run.end_time;
+        run.final_config = session_run.final_config;
+      }
+    }
+
+    trace::TraceRecorder recorder(device, config.tracker, tracker_rng);
+    const Pid tracker_pid = 10'000 + user;
+    trace::TraceBundle bundle =
+        recorder.record(run, timeline, /*user=*/user, tracker_pid);
+
+    // Phones upload when charging on WiFi; the campaign waits for that.
+    const trace::UploadStatus status =
+        server.upload(bundle, {.charging = true, .on_wifi = true});
+    require(status == trace::UploadStatus::kAccepted,
+            "collect_traces: upload rejected");
+
+    collected.runs.push_back(run);
+    collected.device_names.push_back(device.name());
+    collected.triggered.push_back(triggers);
+  }
+
+  collected.bundles = server.bundles();
+  collected.trigger_fraction_actual =
+      static_cast<double>(trigger_count) /
+      static_cast<double>(config.num_users);
+  return collected;
+}
+
+}  // namespace edx::workload

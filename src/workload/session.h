@@ -1,0 +1,71 @@
+// User-population simulation.
+//
+// "Real-world phone usage and power traces are collected from more than 30
+// different volunteer users with various smartphones" (§IV-A).  The
+// simulator runs one scripted session per user — a deterministic fraction
+// of whom performs the bug-triggering interaction — on a rotating device
+// fleet, records each phone's traces, and uploads them to a collection
+// server under the charging+WiFi policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/runtime.h"
+#include "power/device.h"
+#include "power/timeline.h"
+#include "power/tracker.h"
+#include "trace/collection.h"
+#include "workload/catalog.h"
+
+namespace edx::workload {
+
+struct PopulationConfig {
+  int num_users{30};
+  std::uint64_t seed{42};
+  /// Rotate users across the built-in device fleet; when false everyone
+  /// carries the reference Nexus 6 (used for the power-comparison figures
+  /// so buggy/fixed numbers are directly comparable).
+  bool heterogeneous_devices{true};
+  power::TrackerConfig tracker{};
+  /// OS/runtime behaviour on every simulated phone (e.g. Doze).
+  android::RunConfig runtime{};
+  /// Sessions per user, chained on one timeline with `session_gap_ms`
+  /// between them.  Configuration persists across sessions (like
+  /// SharedPreferences), so a misconfiguration set in session 1 still
+  /// drains in session 3 — where the trace shows *no* transition, only a
+  /// from-the-start elevation.  Each user still uploads one bundle
+  /// covering all their sessions.
+  int sessions_per_user{1};
+  DurationMs session_gap_ms{600'000};
+};
+
+/// Everything one collection campaign produced.
+struct CollectedTraces {
+  /// Bundles accepted by the server: anonymized, power-scaled.
+  std::vector<trace::TraceBundle> bundles;
+  /// Ground truth per user (aligned with `bundles` by user id).
+  std::vector<android::RunResult> runs;
+  std::vector<power::UtilizationTimeline> timelines;
+  std::vector<std::string> device_names;
+  std::vector<bool> triggered;
+  double trigger_fraction_actual{0.0};
+
+  /// App process id of user `u`'s run.
+  [[nodiscard]] Pid pid_of(std::size_t u) const { return runs[u].pid; }
+};
+
+/// Runs the campaign for one app variant.
+///
+/// `variant` selects the spec to run (usually `app_case.buggy` or
+/// `app_case.fixed`); `instrumented` selects whether the EnergyDx
+/// instrumenter processed the APK first (original builds log nothing and
+/// carry no logging overhead).  Identical (config, app_case) inputs yield
+/// byte-identical scripts regardless of `variant`/`instrumented`, so
+/// buggy-vs-fixed comparisons are paired.
+CollectedTraces collect_traces(const AppCase& app_case,
+                               const android::AppSpec& variant,
+                               bool instrumented,
+                               const PopulationConfig& config);
+
+}  // namespace edx::workload

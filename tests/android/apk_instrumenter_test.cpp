@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "android/apk.h"
+#include "android/instrumenter.h"
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+Apk sample_apk() {
+  Apk apk;
+  apk.package_name = "com.example.sample";
+  apk.resources = {{"icon.png", 512}};
+
+  DexClass activity;
+  activity.name = "Lcom/example/sample/Main;";
+  activity.kind = ClassKind::kActivity;
+
+  Method on_resume;
+  on_resume.name = "onResume";
+  on_resume.lines_of_code = 12;
+  on_resume.code = {Instruction::constant(),
+                    Instruction::invoke(api::kGpsRequestUpdates),
+                    Instruction::ret()};
+  activity.methods.push_back(on_resume);
+
+  Method helper;
+  helper.name = "helper0";
+  helper.lines_of_code = 40;
+  helper.code = {Instruction::constant(), Instruction::if_eqz(3),
+                 Instruction::constant(), Instruction::ret()};
+  activity.methods.push_back(helper);
+
+  Method branchy;
+  branchy.name = "onClick:btnGo";
+  branchy.lines_of_code = 20;
+  // 0: const ; 1: if-eqz -> 4 ; 2: invoke ; 3: return ; 4: return
+  branchy.code = {Instruction::constant(), Instruction::if_eqz(4),
+                  Instruction::invoke(api::kSocketConnect), Instruction::ret(),
+                  Instruction::ret()};
+  activity.methods.push_back(branchy);
+
+  apk.dex.classes.push_back(activity);
+  return apk;
+}
+
+TEST(ApkTest, PackUnpackRoundTrip) {
+  const Apk apk = sample_apk();
+  const std::string blob = pack(apk);
+  const Apk parsed = unpack(blob);
+  EXPECT_EQ(pack(parsed), blob);
+  EXPECT_EQ(parsed.package_name, apk.package_name);
+  EXPECT_EQ(parsed.resources.at("icon.png"), 512u);
+  ASSERT_EQ(parsed.dex.classes.size(), 1u);
+  EXPECT_EQ(parsed.dex.classes[0].methods[0].code,
+            apk.dex.classes[0].methods[0].code);
+  EXPECT_EQ(parsed.total_loc(), apk.total_loc());
+}
+
+TEST(ApkTest, UnpackRejectsGarbage) {
+  EXPECT_THROW(unpack("not an apk"), ParseError);
+  EXPECT_THROW(unpack("APK x\nCLASS activity Lfoo;\n"), ParseError);
+  EXPECT_THROW(unpack("APK x\nI nop\nEND-APK\n"), ParseError);
+  EXPECT_THROW(unpack("APK x\nCLASS banana Lfoo;\nEND-CLASS\nEND-APK\n"),
+               ParseError);
+}
+
+TEST(InstrumenterTest, InjectsEntryAndExitLogPoints) {
+  const Instrumenter instrumenter;
+  const Apk instrumented = instrumenter.instrument(sample_apk());
+
+  const Method* on_resume =
+      instrumented.dex.classes[0].find_method("onResume");
+  ASSERT_NE(on_resume, nullptr);
+  EXPECT_TRUE(on_resume->instrumented);
+  EXPECT_EQ(on_resume->code.front().opcode, Opcode::kLogEntry);
+  // ... const, invoke, log-exit, return
+  ASSERT_EQ(on_resume->code.size(), 5u);
+  EXPECT_EQ(on_resume->code[3].opcode, Opcode::kLogExit);
+  EXPECT_EQ(on_resume->code[4].opcode, Opcode::kReturn);
+}
+
+TEST(InstrumenterTest, SkipsNonPoolMethods) {
+  const Instrumenter instrumenter;
+  const Apk instrumented = instrumenter.instrument(sample_apk());
+  const Method* helper = instrumented.dex.classes[0].find_method("helper0");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_FALSE(helper->instrumented);
+  for (const Instruction& instruction : helper->code) {
+    EXPECT_NE(instruction.opcode, Opcode::kLogEntry);
+    EXPECT_NE(instruction.opcode, Opcode::kLogExit);
+  }
+  EXPECT_EQ(instrumenter.last_report().methods_seen, 3u);
+  EXPECT_EQ(instrumenter.last_report().methods_instrumented, 2u);
+}
+
+TEST(InstrumenterTest, EveryReturnGetsLogExitAndBranchesRetarget) {
+  const Instrumenter instrumenter;
+  const Apk instrumented = instrumenter.instrument(sample_apk());
+  const Method* branchy =
+      instrumented.dex.classes[0].find_method("onClick:btnGo");
+  ASSERT_NE(branchy, nullptr);
+
+  // Count log-exits: one per return.
+  int exits = 0;
+  int returns = 0;
+  for (const Instruction& instruction : branchy->code) {
+    if (instruction.opcode == Opcode::kLogExit) ++exits;
+    if (instruction.opcode == Opcode::kReturn) ++returns;
+  }
+  EXPECT_EQ(returns, 2);
+  EXPECT_EQ(exits, 2);
+
+  // The branch that targeted the second return must now land on the
+  // injected log-exit directly before it.
+  for (const Instruction& instruction : branchy->code) {
+    if (instruction.opcode == Opcode::kIfEqz) {
+      EXPECT_EQ(branchy->code[instruction.branch_target].opcode,
+                Opcode::kLogExit);
+    }
+  }
+  // The rewritten method still has a valid CFG.
+  EXPECT_NO_THROW(build_cfg(*branchy));
+}
+
+TEST(InstrumenterTest, Idempotent) {
+  const Instrumenter instrumenter;
+  const Apk once = instrumenter.instrument(sample_apk());
+  const Apk twice = instrumenter.instrument(once);
+  EXPECT_EQ(pack(once), pack(twice));
+  EXPECT_EQ(instrumenter.last_report().methods_instrumented, 0u);
+}
+
+TEST(InstrumenterTest, PackedPipelineMatchesInMemory) {
+  const Instrumenter instrumenter;
+  const Apk apk = sample_apk();
+  const std::string packed_result = instrumenter.instrument_packed(pack(apk));
+  EXPECT_EQ(packed_result, pack(instrumenter.instrument(apk)));
+}
+
+}  // namespace
+}  // namespace edx::android

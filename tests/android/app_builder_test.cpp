@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "android/apk_builder.h"
+#include "android/app.h"
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+TEST(AppSpecTest, MakeClassName) {
+  EXPECT_EQ(make_class_name("com.fsck.k9", "activity", "MessageList"),
+            "Lcom/fsck/k9/activity/MessageList;");
+  EXPECT_EQ(make_class_name("com.foo", "", "Main"), "Lcom/foo/Main;");
+  EXPECT_THROW(make_class_name("", "x", "Y"), InvalidArgument);
+}
+
+TEST(AppSpecTest, EnsureLifecycleCallbacksFillsGaps) {
+  AppSpec app;
+  app.package_name = "com.x";
+  ComponentSpec activity;
+  activity.class_name = "Lcom/x/A;";
+  activity.simple_name = "A";
+  activity.kind = ClassKind::kActivity;
+  activity.set_callback({"onResume", 50, {}});
+
+  ComponentSpec service;
+  service.class_name = "Lcom/x/S;";
+  service.simple_name = "S";
+  service.kind = ClassKind::kService;
+
+  app.components = {activity, service};
+  app.ensure_lifecycle_callbacks();
+
+  const ComponentSpec* a = app.find_component("Lcom/x/A;");
+  ASSERT_NE(a, nullptr);
+  for (const char* name : {"onCreate", "onStart", "onResume", "onPause",
+                           "onStop", "onRestart", "onDestroy"}) {
+    EXPECT_NE(a->find_callback(name), nullptr) << name;
+  }
+  // The explicit one keeps its line budget.
+  EXPECT_EQ(a->find_callback("onResume")->lines_of_code, 50);
+
+  const ComponentSpec* s = app.find_component("Lcom/x/S;");
+  ASSERT_NE(s, nullptr);
+  for (const char* name : {"onCreate", "onStartCommand", "onDestroy"}) {
+    EXPECT_NE(s->find_callback(name), nullptr) << name;
+  }
+
+  // Idempotent.
+  const std::size_t before = a->callbacks.size();
+  app.ensure_lifecycle_callbacks();
+  EXPECT_EQ(app.find_component("Lcom/x/A;")->callbacks.size(), before);
+}
+
+TEST(AppSpecTest, TotalLocSumsEverything) {
+  AppSpec app;
+  app.glue_loc = 100;
+  ComponentSpec component;
+  component.class_name = "Lx/C;";
+  component.helper_loc = 50;
+  component.set_callback({"onResume", 25, {}});
+  app.components = {component};
+  EXPECT_EQ(app.total_loc(), 175);
+}
+
+TEST(AppSpecTest, SetCallbackReplaces) {
+  ComponentSpec component;
+  component.set_callback({"onResume", 10, {}});
+  component.set_callback({"onResume", 99, {}});
+  ASSERT_EQ(component.callbacks.size(), 1u);
+  EXPECT_EQ(component.find_callback("onResume")->lines_of_code, 99);
+}
+
+TEST(ApkBuilderTest, CompileBehaviorMapsOpsToInvokes) {
+  const Behavior behavior = {lift(gps_start()), lift(wakelock_acquire("l")),
+                             lift(network(100, 0.5))};
+  const auto code = compile_behavior(behavior);
+  ASSERT_GE(code.size(), 4u);
+  EXPECT_EQ(code.back().opcode, Opcode::kReturn);
+  std::vector<std::string> targets;
+  for (const Instruction& instruction : code) {
+    if (instruction.opcode == Opcode::kInvoke) targets.push_back(instruction.target);
+  }
+  EXPECT_EQ(targets,
+            (std::vector<std::string>{api::kGpsRequestUpdates,
+                                      std::string(api::kWakeLockAcquire) +
+                                          "#l",
+                                      api::kSocketConnect}));
+}
+
+TEST(ApkBuilderTest, GuardedOpsCompileToBranches) {
+  const Behavior behavior = {
+      lift(guarded(network(100, 0.5), "mode", "retry"))};
+  const auto code = compile_behavior(behavior);
+  bool found_branch = false;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].opcode == Opcode::kIfEqz) {
+      found_branch = true;
+      // The branch must skip the guarded body to a valid location.
+      EXPECT_GT(code[i].branch_target, i);
+      EXPECT_LT(code[i].branch_target, code.size());
+    }
+  }
+  EXPECT_TRUE(found_branch);
+
+  Method method;
+  method.code = code;
+  EXPECT_NO_THROW(build_cfg(method));
+}
+
+TEST(ApkBuilderTest, PeriodicTasksBecomeRunMethods) {
+  AppSpec app;
+  app.package_name = "com.x";
+  ComponentSpec service;
+  service.class_name = "Lcom/x/S;";
+  service.simple_name = "S";
+  service.kind = ClassKind::kService;
+  service.set_callback(
+      {"onCreate", 10,
+       {start_periodic_task("sync", 1000, {cpu_work(100, 0.5)})}});
+  app.components = {service};
+  app.main_activity = service.class_name;  // not used by the builder
+
+  const Apk apk = build_apk(app);
+  const DexClass* dex_class = apk.dex.find_class("Lcom/x/S;");
+  ASSERT_NE(dex_class, nullptr);
+  EXPECT_NE(dex_class->find_method("sync$run"), nullptr);
+  const Method* on_create = dex_class->find_method("onCreate");
+  ASSERT_NE(on_create, nullptr);
+  EXPECT_FALSE(on_create->find_invokes(api::kHandlerPostDelayed).empty());
+}
+
+TEST(ApkBuilderTest, LocBudgetsAreHonored) {
+  AppSpec app;
+  app.package_name = "com.x";
+  app.glue_loc = 200;
+  ComponentSpec component;
+  component.class_name = "Lcom/x/A;";
+  component.simple_name = "A";
+  component.kind = ClassKind::kActivity;
+  component.helper_loc = 120;
+  component.set_callback({"onResume", 30, {lift(cpu_work(5, 0.2))}});
+  app.components = {component};
+  app.main_activity = component.class_name;
+
+  const Apk apk = build_apk(app);
+  EXPECT_EQ(apk.total_loc(), app.total_loc());
+  // Helpers were generated: 120 / 40 = 3 methods.
+  const DexClass* dex_class = apk.dex.find_class("Lcom/x/A;");
+  int helpers = 0;
+  for (const Method& method : dex_class->methods) {
+    if (method.name.starts_with("helper")) ++helpers;
+  }
+  EXPECT_EQ(helpers, 3);
+  // Glue landed in its own class.
+  EXPECT_NE(apk.dex.find_class("Lcom/x/internal/Glue;"), nullptr);
+}
+
+TEST(ApkBuilderTest, AliasedReleaseLooksLikeAReleaseToApiMatching) {
+  // The receiver suffix differs (so buggy and fixed builds are distinct
+  // artifacts), but both compile to a WakeLock.release *API* call — which
+  // is all the syntactic baseline can see.
+  const auto right = compile_behavior({lift(wakelock_release("right"))});
+  const auto wrong = compile_behavior({lift(wakelock_release("wrong"))});
+  EXPECT_NE(right, wrong);
+  const auto release_call = [](const std::vector<Instruction>& code) {
+    for (const Instruction& instruction : code) {
+      if (instruction.opcode == Opcode::kInvoke &&
+          instruction.target.starts_with(api::kWakeLockRelease)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(release_call(right));
+  EXPECT_TRUE(release_call(wrong));
+}
+
+}  // namespace
+}  // namespace edx::android

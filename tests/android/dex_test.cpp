@@ -1,0 +1,132 @@
+#include "android/dex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+Method straight_line() {
+  Method method;
+  method.name = "straight";
+  method.code = {Instruction::constant(), Instruction::nop(),
+                 Instruction::ret()};
+  return method;
+}
+
+TEST(DexTest, StraightLineCfgIsOneBlock) {
+  const auto cfg = build_cfg(straight_line());
+  ASSERT_EQ(cfg.size(), 1u);
+  EXPECT_EQ(cfg[0].first, 0u);
+  EXPECT_EQ(cfg[0].last, 2u);
+  EXPECT_TRUE(cfg[0].successors.empty());
+}
+
+TEST(DexTest, BranchSplitsBlocks) {
+  Method method;
+  method.name = "branchy";
+  // 0: const ; 1: if-eqz -> 4 ; 2: const ; 3: goto 5 ; 4: const ; 5: return
+  method.code = {Instruction::constant(), Instruction::if_eqz(4),
+                 Instruction::constant(), Instruction::jump(5),
+                 Instruction::constant(), Instruction::ret()};
+  const auto cfg = build_cfg(method);
+  ASSERT_EQ(cfg.size(), 4u);
+  // Block 0: [0,1] -> {1, 2}
+  EXPECT_EQ(cfg[0].last, 1u);
+  EXPECT_EQ(cfg[0].successors, (std::vector<std::size_t>{1, 2}));
+  // Block 1: [2,3] -> {3}
+  EXPECT_EQ(cfg[1].successors, (std::vector<std::size_t>{3}));
+  // Block 2: [4,4] -> {3}
+  EXPECT_EQ(cfg[2].successors, (std::vector<std::size_t>{3}));
+  // Block 3: [5,5] return, no successors
+  EXPECT_TRUE(cfg[3].successors.empty());
+}
+
+TEST(DexTest, LoopCfg) {
+  Method method;
+  // 0: const ; 1: if-eqz -> 3 ; 2: goto 0 ; 3: return
+  method.code = {Instruction::constant(), Instruction::if_eqz(3),
+                 Instruction::jump(0), Instruction::ret()};
+  const auto cfg = build_cfg(method);
+  ASSERT_EQ(cfg.size(), 3u);
+  EXPECT_EQ(cfg[0].successors, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(cfg[1].successors, (std::vector<std::size_t>{0}));
+}
+
+TEST(DexTest, MultipleReturns) {
+  Method method;
+  // 0: if-eqz -> 2 ; 1: return ; 2: return
+  method.code = {Instruction::if_eqz(2), Instruction::ret(),
+                 Instruction::ret()};
+  const auto cfg = build_cfg(method);
+  ASSERT_EQ(cfg.size(), 3u);
+  EXPECT_TRUE(cfg[1].successors.empty());
+  EXPECT_TRUE(cfg[2].successors.empty());
+}
+
+TEST(DexTest, ThrowTerminatesBlocksLikeReturn) {
+  Method method;
+  // 0: if-eqz -> 3 ; 1: const ; 2: throw ; 3: return
+  method.code = {Instruction::if_eqz(3), Instruction::constant(),
+                 Instruction::throw_up(), Instruction::ret()};
+  const auto cfg = build_cfg(method);
+  ASSERT_EQ(cfg.size(), 3u);
+  // The throw block has no successors: the exception leaves the method.
+  EXPECT_TRUE(cfg[1].successors.empty());
+  EXPECT_TRUE(cfg[2].successors.empty());
+}
+
+TEST(DexTest, RejectsOutOfRangeBranch) {
+  Method method;
+  method.name = "broken";
+  method.code = {Instruction::jump(7), Instruction::ret()};
+  EXPECT_THROW(build_cfg(method), ParseError);
+}
+
+TEST(DexTest, EmptyMethodHasEmptyCfg) {
+  Method method;
+  EXPECT_TRUE(build_cfg(method).empty());
+}
+
+TEST(DexTest, FindInvokes) {
+  Method method;
+  method.code = {Instruction::invoke(api::kWakeLockAcquire),
+                 Instruction::constant(),
+                 Instruction::invoke(api::kWakeLockRelease),
+                 Instruction::invoke(api::kWakeLockAcquire),
+                 Instruction::ret()};
+  EXPECT_EQ(method.find_invokes(api::kWakeLockAcquire),
+            (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(method.find_invokes(api::kWakeLockRelease),
+            (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(method.find_invokes(api::kGpsRemoveUpdates).empty());
+}
+
+TEST(DexTest, ClassAndFileLookups) {
+  DexFile dex;
+  DexClass klass;
+  klass.name = "Lfoo/Bar;";
+  klass.kind = ClassKind::kActivity;
+  Method method = straight_line();
+  method.lines_of_code = 10;
+  klass.methods.push_back(method);
+  dex.classes.push_back(klass);
+
+  ASSERT_NE(dex.find_class("Lfoo/Bar;"), nullptr);
+  EXPECT_EQ(dex.find_class("Lfoo/Baz;"), nullptr);
+  ASSERT_NE(dex.find_class("Lfoo/Bar;")->find_method("straight"), nullptr);
+  EXPECT_EQ(dex.find_class("Lfoo/Bar;")->find_method("missing"), nullptr);
+  EXPECT_EQ(dex.total_loc(), 10);
+  EXPECT_EQ(dex.total_instructions(), 3u);
+}
+
+TEST(DexTest, OpcodeNamesAreDistinct) {
+  EXPECT_EQ(opcode_name(Opcode::kInvoke), "invoke");
+  EXPECT_EQ(opcode_name(Opcode::kIfEqz), "if-eqz");
+  EXPECT_EQ(opcode_name(Opcode::kLogEntry), "log-entry");
+  EXPECT_EQ(opcode_name(Opcode::kLogExit), "log-exit");
+}
+
+}  // namespace
+}  // namespace edx::android

@@ -1,0 +1,80 @@
+#include "android/event.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+TEST(EventTest, ClassifiesLifecycleCallbacks) {
+  for (const char* name : {"onCreate", "onStart", "onResume", "onPause",
+                           "onStop", "onDestroy", "onRestart",
+                           "onStartCommand"}) {
+    EXPECT_EQ(classify_callback(name), EventKind::kLifecycle) << name;
+  }
+}
+
+TEST(EventTest, ClassifiesUiCallbacks) {
+  for (const char* name :
+       {"onClick:btnSend", "onClick", "onItemClick", "onTouch", "onKey",
+        "onLongClick", "menuDeleted", "menu_item_newsfeed", "menu_about"}) {
+    EXPECT_EQ(classify_callback(name), EventKind::kUi) << name;
+  }
+}
+
+TEST(EventTest, ClassifiesIdleAndOther) {
+  EXPECT_EQ(classify_callback(kIdleEventName), EventKind::kIdle);
+  EXPECT_EQ(classify_callback("helper3"), EventKind::kOther);
+  EXPECT_EQ(classify_callback("doWork"), EventKind::kOther);
+  EXPECT_EQ(classify_callback("mailcheck$run"), EventKind::kOther);
+}
+
+TEST(EventTest, InstrumentablePoolIsLifecyclePlusUi) {
+  EXPECT_TRUE(is_instrumentable("onResume"));
+  EXPECT_TRUE(is_instrumentable("onClick:btnX"));
+  EXPECT_FALSE(is_instrumentable(std::string(kIdleEventName)));
+  EXPECT_FALSE(is_instrumentable("helper0"));
+}
+
+TEST(EventTest, QualifiedNameRoundTrip) {
+  const EventName name = qualified_event_name(
+      "Lcom/fsck/k9/activity/MessageList;", "onResume");
+  EXPECT_EQ(name, "Lcom/fsck/k9/activity/MessageList;.onResume");
+  const SplitEventName parts = split_event_name(name);
+  EXPECT_EQ(parts.class_name, "Lcom/fsck/k9/activity/MessageList;");
+  EXPECT_EQ(parts.callback_name, "onResume");
+}
+
+TEST(EventTest, QualifiedNameWithEmptyClass) {
+  const EventName name = qualified_event_name("", kIdleEventName);
+  EXPECT_EQ(name, kIdleEventName);
+  const SplitEventName parts = split_event_name(name);
+  EXPECT_EQ(parts.class_name, "");
+  EXPECT_EQ(parts.callback_name, kIdleEventName);
+}
+
+TEST(EventTest, SplitRejectsMalformedNames) {
+  EXPECT_THROW(split_event_name("Lcom/foo;onResume"), ParseError);
+  EXPECT_THROW(split_event_name("Lcom/foo;"), ParseError);
+}
+
+TEST(EventTest, ShortNameMatchesPaperStyle) {
+  EXPECT_EQ(short_event_name("Lcom/fsck/k9/activity/MessageList;.onResume"),
+            "MessageList:onResume");
+  EXPECT_EQ(short_event_name(std::string(kIdleEventName)),
+            std::string(kIdleEventName));
+  EXPECT_EQ(short_event_name(
+                "Lcom/fsck/k9/activity/setup/AccountSettings;.onCreate"),
+            "AccountSettings:onCreate");
+}
+
+TEST(EventTest, KindNames) {
+  EXPECT_EQ(event_kind_name(EventKind::kLifecycle), "lifecycle");
+  EXPECT_EQ(event_kind_name(EventKind::kUi), "ui");
+  EXPECT_EQ(event_kind_name(EventKind::kIdle), "idle");
+  EXPECT_EQ(event_kind_name(EventKind::kOther), "other");
+}
+
+}  // namespace
+}  // namespace edx::android

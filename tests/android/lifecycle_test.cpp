@@ -1,0 +1,115 @@
+#include "android/lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+std::vector<std::string> callback_names(const std::vector<Dispatch>& ds) {
+  std::vector<std::string> names;
+  for (const Dispatch& d : ds) names.push_back(d.class_name + ":" + d.callback_name);
+  return names;
+}
+
+TEST(LifecycleTest, LaunchSequence) {
+  LifecycleMachine machine;
+  const auto dispatches = machine.launch("A");
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"A:onCreate", "A:onStart", "A:onResume"}));
+  EXPECT_EQ(machine.resumed_activity(), "A");
+  EXPECT_TRUE(machine.is_foreground());
+  EXPECT_EQ(machine.state("A"), ActivityState::kResumed);
+}
+
+TEST(LifecycleTest, NavigateGeneratesTheCanonicalFiveEvents) {
+  // "five events will typically be generated when a user simply switches
+  // from one activity to another" — the invariant Fig. 1 leans on.
+  LifecycleMachine machine;
+  machine.launch("A");
+  const auto dispatches = machine.navigate_to("B");
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"A:onPause", "B:onCreate", "B:onStart",
+                                      "B:onResume", "A:onStop"}));
+  EXPECT_EQ(machine.resumed_activity(), "B");
+  EXPECT_EQ(machine.state("A"), ActivityState::kStopped);
+  EXPECT_EQ(machine.back_stack(),
+            (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(LifecycleTest, BackRestoresPreviousActivity) {
+  LifecycleMachine machine;
+  machine.launch("A");
+  machine.navigate_to("B");
+  const auto dispatches = machine.back();
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"B:onPause", "A:onRestart", "A:onStart",
+                                      "A:onResume", "B:onStop", "B:onDestroy"}));
+  EXPECT_EQ(machine.resumed_activity(), "A");
+  EXPECT_EQ(machine.state("B"), ActivityState::kDestroyed);
+}
+
+TEST(LifecycleTest, BackOnRootLeavesApp) {
+  LifecycleMachine machine;
+  machine.launch("A");
+  const auto dispatches = machine.back();
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"A:onPause", "A:onStop", "A:onDestroy"}));
+  EXPECT_FALSE(machine.is_foreground());
+  EXPECT_TRUE(machine.back_stack().empty());
+}
+
+TEST(LifecycleTest, BackgroundForegroundCycle) {
+  LifecycleMachine machine;
+  machine.launch("A");
+  const auto bg = machine.background();
+  EXPECT_EQ(callback_names(bg),
+            (std::vector<std::string>{"A:onPause", "A:onStop"}));
+  EXPECT_FALSE(machine.is_foreground());
+  EXPECT_TRUE(machine.background().empty());  // idempotent
+
+  const auto fg = machine.foreground();
+  EXPECT_EQ(callback_names(fg),
+            (std::vector<std::string>{"A:onRestart", "A:onStart", "A:onResume"}));
+  EXPECT_TRUE(machine.is_foreground());
+  EXPECT_TRUE(machine.foreground().empty());  // idempotent
+}
+
+TEST(LifecycleTest, NavigateBackToStoppedActivityRestarts) {
+  LifecycleMachine machine;
+  machine.launch("A");
+  machine.navigate_to("B");
+  const auto dispatches = machine.navigate_to("A");
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"B:onPause", "A:onRestart", "A:onStart",
+                                      "A:onResume", "B:onStop"}));
+  // A moved to the top of the stack.
+  EXPECT_EQ(machine.back_stack(), (std::vector<std::string>{"B", "A"}));
+}
+
+TEST(LifecycleTest, TerminateDestroysWholeStack) {
+  LifecycleMachine machine;
+  machine.launch("A");
+  machine.navigate_to("B");
+  const auto dispatches = machine.terminate();
+  EXPECT_EQ(callback_names(dispatches),
+            (std::vector<std::string>{"B:onPause", "B:onStop", "B:onDestroy",
+                                      "A:onDestroy"}));
+  EXPECT_TRUE(machine.back_stack().empty());
+  EXPECT_FALSE(machine.is_foreground());
+}
+
+TEST(LifecycleTest, InvalidTransitionsThrow) {
+  LifecycleMachine machine;
+  EXPECT_THROW(machine.navigate_to("B"), InvalidArgument);
+  EXPECT_THROW(machine.back(), InvalidArgument);
+  machine.launch("A");
+  EXPECT_THROW(machine.launch("B"), InvalidArgument);
+  EXPECT_THROW(machine.navigate_to("A"), InvalidArgument);
+  machine.background();
+  EXPECT_THROW(machine.back(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace edx::android

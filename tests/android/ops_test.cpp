@@ -1,0 +1,68 @@
+#include "android/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+TEST(OpsTest, ConstructorsFillFields) {
+  const SimpleOp cpu = cpu_work(100, 0.5);
+  EXPECT_EQ(cpu.kind, OpKind::kCpuWork);
+  EXPECT_EQ(cpu.duration_ms, 100);
+  EXPECT_DOUBLE_EQ(cpu.utilization, 0.5);
+
+  const SimpleOp net = network(200, 0.8, /*over_wifi=*/false);
+  EXPECT_EQ(net.kind, OpKind::kNetwork);
+  EXPECT_FALSE(net.over_wifi);
+
+  const SimpleOp lock = wakelock_acquire("id7");
+  EXPECT_EQ(lock.kind, OpKind::kWakeLockAcquire);
+  EXPECT_EQ(lock.id, "id7");
+
+  const SimpleOp config = set_config("key", "value");
+  EXPECT_EQ(config.id, "key");
+  EXPECT_EQ(config.value, "value");
+
+  EXPECT_THROW(cpu_work(-1, 0.5), InvalidArgument);
+  EXPECT_THROW(network(-1, 0.5), InvalidArgument);
+  EXPECT_THROW(sleep_op(-1), InvalidArgument);
+}
+
+TEST(OpsTest, PeriodicTaskConstruction) {
+  const Op task = start_periodic_task("sync", 1000, {cpu_work(10, 0.1)});
+  EXPECT_EQ(task.kind, OpKind::kStartPeriodicTask);
+  EXPECT_EQ(task.id, "sync");
+  EXPECT_EQ(task.period_ms, 1000);
+  ASSERT_EQ(task.task_work.size(), 1u);
+  EXPECT_THROW(start_periodic_task("x", 0, {}), InvalidArgument);
+
+  const Op cancel = cancel_periodic_task("sync");
+  EXPECT_EQ(cancel.kind, OpKind::kCancelPeriodicTask);
+}
+
+TEST(OpsTest, GuardedWrapsAnyOp) {
+  const SimpleOp op = guarded(cpu_work(10, 0.1), "mode", "bad");
+  EXPECT_EQ(op.guard_key, "mode");
+  EXPECT_EQ(op.guard_value, "bad");
+  EXPECT_FALSE(op.guard_negate);
+  const SimpleOp negated = guarded(cpu_work(10, 0.1), "mode", "bad", true);
+  EXPECT_TRUE(negated.guard_negate);
+}
+
+TEST(OpsTest, LiftPreservesFields) {
+  const Op lifted = lift(network(50, 0.4));
+  EXPECT_EQ(lifted.kind, OpKind::kNetwork);
+  EXPECT_EQ(lifted.duration_ms, 50);
+  EXPECT_TRUE(lifted.task_work.empty());
+}
+
+TEST(OpsTest, SynchronousLatencyExcludesAsyncNetwork) {
+  const Behavior behavior = {lift(cpu_work(100, 0.5)), lift(network(999, 0.5)),
+                             lift(sleep_op(50)), lift(gps_start())};
+  EXPECT_EQ(synchronous_latency_ms(behavior), 150);
+}
+
+}  // namespace
+}  // namespace edx::android

@@ -1,0 +1,271 @@
+#include "android/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "android/apk_builder.h"
+#include "android/instrumenter.h"
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+AppSpec tiny_app() {
+  AppSpec app;
+  app.package_name = "com.example.tiny";
+  app.display_name = "Tiny";
+
+  ComponentSpec main;
+  main.class_name = make_class_name(app.package_name, "ui", "Main");
+  main.simple_name = "Main";
+  main.kind = ClassKind::kActivity;
+  main.set_callback({"onClick:btnGo", 10, {lift(cpu_work(50, 0.5))}});
+
+  ComponentSpec second;
+  second.class_name = make_class_name(app.package_name, "ui", "Second");
+  second.simple_name = "Second";
+  second.kind = ClassKind::kActivity;
+
+  ComponentSpec service;
+  service.class_name = make_class_name(app.package_name, "svc", "Work");
+  service.simple_name = "Work";
+  service.kind = ClassKind::kService;
+
+  app.components = {main, second, service};
+  app.main_activity = main.class_name;
+  app.ensure_lifecycle_callbacks();
+  return app;
+}
+
+std::vector<std::string> callback_sequence(const RunResult& run) {
+  std::vector<std::string> sequence;
+  for (const RawEvent& event : run.events) {
+    sequence.push_back(event.callback_name);
+  }
+  return sequence;
+}
+
+TEST(RuntimeTest, LaunchProducesLifecycleEvents) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run({launch()}, 0);
+  EXPECT_EQ(callback_sequence(run),
+            (std::vector<std::string>{"onCreate", "onStart", "onResume"}));
+  EXPECT_EQ(run.pid, 1);
+  EXPECT_GT(run.end_time, run.start_time);
+}
+
+TEST(RuntimeTest, UninstrumentedRunsLogNothing) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run =
+      runtime.run({launch(), interact("onClick:btnGo")}, 0);
+  for (const RawEvent& event : run.events) {
+    EXPECT_FALSE(event.logged) << event.name;
+  }
+}
+
+TEST(RuntimeTest, InstrumentedRunsLogPoolEvents) {
+  const AppSpec app = tiny_app();
+  const Apk apk = Instrumenter().instrument(build_apk(app));
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, &apk, timeline, 1);
+  const RunResult run =
+      runtime.run({launch(), interact("onClick:btnGo")}, 0);
+  for (const RawEvent& event : run.events) {
+    EXPECT_TRUE(event.logged) << event.name;
+  }
+}
+
+TEST(RuntimeTest, InstrumentationAddsLatency) {
+  const AppSpec app = tiny_app();
+  const Apk apk = Instrumenter().instrument(build_apk(app));
+  const UserScript script = {launch(), interact("onClick:btnGo")};
+
+  power::UtilizationTimeline timeline_plain;
+  AppRuntime plain(app, nullptr, timeline_plain, 1);
+  const RunResult run_plain = plain.run(script, 0);
+
+  power::UtilizationTimeline timeline_inst;
+  AppRuntime instrumented(app, &apk, timeline_inst, 1);
+  const RunResult run_inst = instrumented.run(script, 0);
+
+  ASSERT_EQ(run_plain.events.size(), run_inst.events.size());
+  for (std::size_t i = 0; i < run_plain.events.size(); ++i) {
+    EXPECT_GT(run_inst.events[i].interval.length(),
+              run_plain.events[i].interval.length());
+  }
+}
+
+TEST(RuntimeTest, NavigationEmitsFiveEvents) {
+  const AppSpec app = tiny_app();
+  const std::string second =
+      make_class_name(app.package_name, "ui", "Second");
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run({launch(), navigate(second)}, 0);
+  ASSERT_EQ(run.events.size(), 8u);  // 3 launch + 5 navigation
+  EXPECT_EQ(run.events[3].callback_name, "onPause");
+  EXPECT_EQ(run.events[7].callback_name, "onStop");
+}
+
+TEST(RuntimeTest, DialogWrapsUiCallbackInPauseResume) {
+  AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run({launch(), dialog("onClick:btnGo")}, 0);
+  const auto sequence = callback_sequence(run);
+  ASSERT_EQ(sequence.size(), 6u);
+  EXPECT_EQ(sequence[3], "onPause");
+  EXPECT_EQ(sequence[4], "onClick:btnGo");
+  EXPECT_EQ(sequence[5], "onResume");
+}
+
+TEST(RuntimeTest, IdleInBackgroundSynthesizesIdleEvents) {
+  const AppSpec app = tiny_app();
+  const Apk apk = Instrumenter().instrument(build_apk(app));
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, &apk, timeline, 1);
+  const RunResult run =
+      runtime.run({launch(), background_app(), idle(20'000)}, 0);
+  int idle_events = 0;
+  for (const RawEvent& event : run.events) {
+    if (event.kind == EventKind::kIdle) {
+      ++idle_events;
+      EXPECT_TRUE(event.logged);
+      EXPECT_EQ(event.interval.length(), 5000);
+    }
+  }
+  EXPECT_EQ(idle_events, 4);  // 20 s / 5 s cadence
+}
+
+TEST(RuntimeTest, ForegroundIdleEmitsNoIdleEvents) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run({launch(), idle(20'000)}, 0);
+  for (const RawEvent& event : run.events) {
+    EXPECT_NE(event.kind, EventKind::kIdle);
+  }
+}
+
+TEST(RuntimeTest, DisplayAttributedOnlyWhileForeground) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run(
+      {launch(), idle(10'000), background_app(), idle(10'000)}, 0);
+  const TimestampMs mid = run.events.back().interval.end;
+  EXPECT_GT(timeline.component_utilization(1, power::Component::kDisplay, 0,
+                                           5'000),
+            0.5);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(
+                       1, power::Component::kDisplay, mid, run.end_time),
+                   0.0);
+}
+
+TEST(RuntimeTest, ServiceStartStopDispatches) {
+  const AppSpec app = tiny_app();
+  const std::string service = make_class_name(app.package_name, "svc", "Work");
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run(
+      {launch(), start_service(service), stop_service(service)}, 0);
+  const auto sequence = callback_sequence(run);
+  ASSERT_EQ(sequence.size(), 6u);
+  EXPECT_EQ(sequence[3], "onCreate");
+  EXPECT_EQ(sequence[4], "onStartCommand");
+  EXPECT_EQ(sequence[5], "onDestroy");
+}
+
+TEST(RuntimeTest, FindEventFirstAndLast) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run(
+      {launch(), interact("onClick:btnGo"), interact("onClick:btnGo")}, 0);
+  const EventName name = qualified_event_name(app.main_activity, "onClick:btnGo");
+  ASSERT_TRUE(run.find_event(name).has_value());
+  ASSERT_TRUE(run.find_event(name, /*last=*/true).has_value());
+  EXPECT_LT(*run.find_event(name), *run.find_event(name, true));
+  EXPECT_FALSE(run.find_event("nonexistent").has_value());
+}
+
+TEST(RuntimeTest, RejectsInvalidScripts) {
+  const AppSpec app = tiny_app();
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  EXPECT_THROW(runtime.run({}, 0), InvalidArgument);
+  EXPECT_THROW(runtime.run({interact("onClick:btnGo")}, 0), InvalidArgument);
+  EXPECT_THROW(runtime.run({launch(), interact("noSuchCallback")}, 0),
+               InvalidArgument);
+  EXPECT_THROW(
+      runtime.run({launch(), background_app(), interact("onClick:btnGo")}, 0),
+      InvalidArgument);
+}
+
+TEST(RuntimeTest, DozeStopsLoopDrainButNotWakelockLeak) {
+  AppSpec app = tiny_app();
+  ComponentSpec* main = app.find_component(app.main_activity);
+  main->set_callback(
+      {"onClick:btnLoop", 10,
+       {start_periodic_task("loop", 2000, {cpu_work(500, 0.9)})}});
+  main->set_callback({"onClick:btnLock", 10,
+                      {lift(wakelock_acquire("leak"))}});
+
+  RunConfig doze_config;
+  doze_config.doze_after_background_ms = 15'000;
+
+  // Loop bug: with Doze enabled, the periodic drain dies ~15 s into the
+  // background idle.
+  {
+    power::UtilizationTimeline timeline;
+    AppRuntime runtime(app, nullptr, timeline, 1, doze_config);
+    const RunResult run = runtime.run(
+        {launch(), interact("onClick:btnLoop"), background_app(),
+         idle(60'000)},
+        0);
+    const TimestampMs end = run.end_time;
+    EXPECT_GT(timeline.component_utilization(1, power::Component::kCpu,
+                                             end - 55'000, end - 45'000),
+              0.1);
+    EXPECT_DOUBLE_EQ(timeline.component_utilization(
+                         1, power::Component::kCpu, end - 20'000, end),
+                     0.0);
+  }
+
+  // Wakelock leak: the held lock blocks Doze, so BOTH the lock and the
+  // loop keep draining — modern Android's mitigation is defeated.
+  {
+    power::UtilizationTimeline timeline;
+    AppRuntime runtime(app, nullptr, timeline, 1, doze_config);
+    const RunResult run = runtime.run(
+        {launch(), interact("onClick:btnLock"), interact("onClick:btnLoop"),
+         background_app(), idle(60'000)},
+        0);
+    const TimestampMs end = run.end_time;
+    EXPECT_GT(timeline.component_utilization(1, power::Component::kCpu,
+                                             end - 20'000, end),
+              0.1);
+  }
+}
+
+TEST(RuntimeTest, TrailingWindowKeepsLeaksDraining) {
+  AppSpec app = tiny_app();
+  ComponentSpec* main = app.find_component(app.main_activity);
+  main->set_callback({"onClick:btnLeak", 5, {lift(gps_start())}});
+  power::UtilizationTimeline timeline;
+  AppRuntime runtime(app, nullptr, timeline, 1);
+  const RunResult run = runtime.run(
+      {launch(), interact("onClick:btnLeak"), background_app()}, 0,
+      /*trailing_ms=*/30'000);
+  // GPS kept burning through the whole trailing window.
+  EXPECT_NEAR(timeline.component_utilization(1, power::Component::kGps,
+                                             run.end_time - 10'000,
+                                             run.end_time),
+              1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace edx::android

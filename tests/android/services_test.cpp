@@ -1,0 +1,205 @@
+#include "android/services.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::android {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  power::UtilizationTimeline timeline_;
+  SystemServices services_{timeline_, /*pid=*/1, ConfigStore{}};
+};
+
+TEST_F(ServicesTest, CpuWorkConsumesTimeAndRegisters) {
+  const DurationMs consumed = services_.execute(cpu_work(100, 0.5), 0);
+  EXPECT_EQ(consumed, 100);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCpu, 0, 100), 0.5);
+}
+
+TEST_F(ServicesTest, NetworkIsAsynchronous) {
+  const DurationMs consumed = services_.execute(network(1000, 0.8), 0);
+  EXPECT_EQ(consumed, 0);  // callback does not block
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kWifi, 0, 1000),
+      0.8);
+  // Radio work has a CPU side cost.
+  EXPECT_GT(timeline_.component_utilization(1, power::Component::kCpu, 0, 1000),
+            0.0);
+}
+
+TEST_F(ServicesTest, CellularNetworkUsesCellularRadio) {
+  services_.execute(network(500, 0.6, /*over_wifi=*/false), 0);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCellular, 0, 500),
+      0.6);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kWifi, 0, 500), 0.0);
+}
+
+TEST_F(ServicesTest, WakeLockHoldAndRelease) {
+  services_.execute(wakelock_acquire("lock"), 0);
+  EXPECT_TRUE(services_.wakelock_held("lock"));
+  services_.execute(wakelock_release("lock"), 1000);
+  EXPECT_FALSE(services_.wakelock_held("lock"));
+  EXPECT_GT(timeline_.component_utilization(1, power::Component::kCpu, 0, 1000),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCpu, 1000, 2000),
+      0.0);
+}
+
+TEST_F(ServicesTest, ReleasingWrongLockIsSilentNoOp) {
+  // The aliased-release no-sleep bug: the code releases *a* lock, just not
+  // the one it acquired.
+  services_.execute(wakelock_acquire("real"), 0);
+  services_.execute(wakelock_release("wrong"), 500);
+  EXPECT_TRUE(services_.wakelock_held("real"));
+  services_.shutdown(10'000);
+  // The leak drained until shutdown.
+  EXPECT_GT(
+      timeline_.component_utilization(1, power::Component::kCpu, 9000, 10'000),
+      0.0);
+}
+
+TEST_F(ServicesTest, GpsSensorAudioToggles) {
+  services_.execute(gps_start(), 0);
+  EXPECT_TRUE(services_.gps_active());
+  services_.execute(gps_start(), 10);  // double-start is a no-op
+  services_.execute(gps_stop(), 100);
+  EXPECT_FALSE(services_.gps_active());
+  EXPECT_NEAR(
+      timeline_.component_utilization(1, power::Component::kGps, 0, 100), 1.0,
+      1e-12);
+
+  services_.execute(sensor_start(), 0);
+  EXPECT_TRUE(services_.sensor_active());
+  services_.execute(sensor_stop(), 50);
+  EXPECT_FALSE(services_.sensor_active());
+
+  services_.execute(audio_start(), 0);
+  EXPECT_TRUE(services_.audio_active());
+  services_.execute(audio_stop(), 50);
+  EXPECT_FALSE(services_.audio_active());
+}
+
+TEST_F(ServicesTest, GuardsReadConfigAtExecutionTime) {
+  SimpleOp guarded_op = guarded(cpu_work(100, 0.5), "mode", "bad");
+  EXPECT_EQ(services_.execute(guarded_op, 0), 0);  // guard blocks
+
+  services_.execute(set_config("mode", "bad"), 10);
+  EXPECT_EQ(services_.execute(guarded_op, 10), 100);  // guard passes
+
+  SimpleOp negated = guarded(cpu_work(100, 0.5), "mode", "bad", true);
+  EXPECT_EQ(services_.execute(negated, 200), 0);
+}
+
+TEST_F(ServicesTest, PeriodicTaskFiresOnSchedule) {
+  services_.execute(start_periodic_task("tick", 1000, {cpu_work(100, 0.9)}),
+                    0);
+  EXPECT_EQ(services_.active_task_count(), 1u);
+  services_.run_tasks_until(3500);
+  // Fired at 1000, 2000, 3000 -> three 100 ms bursts.
+  const double avg =
+      timeline_.component_utilization(1, power::Component::kCpu, 0, 3500);
+  EXPECT_NEAR(avg, 0.9 * 300.0 / 3500.0, 1e-9);
+}
+
+TEST_F(ServicesTest, CancelledTaskStopsFiring) {
+  services_.execute(start_periodic_task("tick", 1000, {cpu_work(100, 0.9)}),
+                    0);
+  services_.run_tasks_until(1500);
+  services_.execute(cancel_periodic_task("tick"), 1500);
+  EXPECT_EQ(services_.active_task_count(), 0u);
+  services_.run_tasks_until(5000);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCpu, 2000, 5000),
+      0.0);
+}
+
+TEST_F(ServicesTest, ReschedulingTaskReplacesIt) {
+  services_.execute(start_periodic_task("t", 1000, {cpu_work(10, 0.5)}), 0);
+  services_.execute(start_periodic_task("t", 2000, {cpu_work(10, 0.5)}), 0);
+  EXPECT_EQ(services_.active_task_count(), 1u);
+}
+
+TEST_F(ServicesTest, TaskWorkRespectsGuards) {
+  services_.execute(
+      start_periodic_task("sync", 1000,
+                          {guarded(cpu_work(200, 0.8), "mode", "retry")}),
+      0);
+  services_.run_tasks_until(2500);
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCpu, 0, 2500),
+      0.0);
+  services_.execute(set_config("mode", "retry"), 2500);
+  services_.run_tasks_until(4500);
+  EXPECT_GT(
+      timeline_.component_utilization(1, power::Component::kCpu, 2500, 4500),
+      0.0);
+}
+
+TEST_F(ServicesTest, ShutdownClosesEverything) {
+  services_.execute(gps_start(), 0);
+  services_.execute(wakelock_acquire("l"), 0);
+  services_.execute(start_periodic_task("t", 500, {cpu_work(10, 0.1)}), 0);
+  services_.shutdown(2000);
+  EXPECT_FALSE(services_.gps_active());
+  EXPECT_EQ(services_.held_wakelock_count(), 0u);
+  EXPECT_EQ(services_.active_task_count(), 0u);
+  // GPS drained right up to shutdown.
+  EXPECT_NEAR(
+      timeline_.component_utilization(1, power::Component::kGps, 0, 2000), 1.0,
+      1e-12);
+}
+
+TEST_F(ServicesTest, DozeSuspendsPeriodicTasks) {
+  services_.execute(start_periodic_task("tick", 1000, {cpu_work(100, 0.9)}),
+                    0);
+  services_.run_tasks_until(1500);  // fires at 1000
+  EXPECT_TRUE(services_.enter_doze(1500));
+  EXPECT_TRUE(services_.dozing());
+  services_.run_tasks_until(10'000);  // suppressed
+  EXPECT_DOUBLE_EQ(
+      timeline_.component_utilization(1, power::Component::kCpu, 1500, 10'000),
+      0.0);
+
+  services_.exit_doze(10'000);
+  EXPECT_FALSE(services_.dozing());
+  services_.run_tasks_until(11'500);  // resumes at 11'000, no back-fill
+  const double resumed =
+      timeline_.component_utilization(1, power::Component::kCpu, 10'000,
+                                      11'500);
+  EXPECT_NEAR(resumed, 0.9 * 100.0 / 1500.0, 1e-9);
+}
+
+TEST_F(ServicesTest, HeldWakelockDefeatsDoze) {
+  services_.execute(wakelock_acquire("leak"), 0);
+  EXPECT_FALSE(services_.enter_doze(5000));
+  EXPECT_FALSE(services_.dozing());
+  services_.execute(wakelock_release("leak"), 6000);
+  EXPECT_TRUE(services_.enter_doze(6000));
+}
+
+TEST_F(ServicesTest, TaskOpsRequireOpOverload) {
+  SimpleOp bogus;
+  bogus.kind = OpKind::kStartPeriodicTask;
+  EXPECT_THROW(services_.execute(bogus, 0), InvalidArgument);
+}
+
+TEST(ConfigStoreTest, BasicOperations) {
+  ConfigStore store(std::map<std::string, std::string>{{"a", "1"}});
+  EXPECT_TRUE(store.has("a"));
+  EXPECT_EQ(store.get("a"), "1");
+  EXPECT_EQ(store.get("missing"), "");
+  EXPECT_FALSE(store.has("missing"));
+  store.set("b", "2");
+  EXPECT_EQ(store.get("b"), "2");
+  EXPECT_EQ(store.all().size(), 2u);
+}
+
+}  // namespace
+}  // namespace edx::android

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "baselines/checkall.h"
+#include "baselines/edelta.h"
+
+namespace edx::baselines {
+namespace {
+
+power::UtilizationSample sample_at(TimestampMs timestamp, double power,
+                                   double cpu_util) {
+  power::UtilizationSample sample;
+  sample.timestamp = timestamp;
+  sample.estimated_app_power_mw = power;
+  sample.utilization.set(power::Component::kCpu, cpu_util);
+  return sample;
+}
+
+/// Events every second; power = low, except indices in `hot` which are high.
+trace::TraceBundle bundle_with_profile(UserId user,
+                                       const std::vector<double>& powers) {
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    bundle.events.add_instance("E" + std::to_string(i), {t + 10, t + 30});
+    samples.push_back(sample_at(t + 500, powers[i], powers[i] / 860.0));
+    samples.push_back(sample_at(t + 1000, powers[i], powers[i] / 860.0));
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+TEST(CheckAllTest, ReportsEventsAroundEveryRawTransition) {
+  // One 300 mW step at index 5 -> window [2..8] with default window 3.
+  std::vector<double> powers(12, 100.0);
+  for (std::size_t i = 5; i < powers.size(); ++i) powers[i] = 400.0;
+  const CheckAll checkall;
+  const CheckAllReport report =
+      checkall.run({bundle_with_profile(0, powers)});
+  EXPECT_EQ(report.transition_points, 1u);
+  EXPECT_EQ(report.total_traces, 1u);
+  // The transition is attributed to index 4 (the last low event); the
+  // symmetric window covers E1..E7.
+  ASSERT_EQ(report.reported_events.size(), 7u);
+  EXPECT_EQ(report.reported_events.front(), "E1");
+  EXPECT_EQ(report.reported_events.back(), "E7");
+}
+
+TEST(CheckAllTest, SmallVariationsIgnored) {
+  std::vector<double> powers(10, 100.0);
+  powers[4] = 130.0;  // +30 mW < 50 mW threshold
+  const CheckAll checkall;
+  EXPECT_TRUE(checkall.run({bundle_with_profile(0, powers)})
+                  .reported_events.empty());
+}
+
+TEST(CheckAllTest, MultipleTransitionsUnionWindows) {
+  std::vector<double> powers(20, 100.0);
+  powers[3] = 400.0;   // spike: up at 2->3 AND down at 3->4
+  powers[15] = 500.0;  // second spike, same
+  const CheckAll checkall;
+  const CheckAllReport report =
+      checkall.run({bundle_with_profile(0, powers)});
+  EXPECT_EQ(report.transition_points, 4u);
+  // Windows around indices 2, 3, 14, 15.
+  EXPECT_GE(report.reported_events.size(), 10u);
+}
+
+TEST(CheckAllTest, DownwardTransitionsAlsoReported) {
+  std::vector<double> powers(12, 400.0);
+  for (std::size_t i = 6; i < powers.size(); ++i) powers[i] = 100.0;
+  const CheckAll checkall;
+  const CheckAllReport report =
+      checkall.run({bundle_with_profile(0, powers)});
+  EXPECT_EQ(report.transition_points, 1u);
+  EXPECT_FALSE(report.reported_events.empty());
+}
+
+TEST(EDeltaTest, FlagsApiWithSustainedDeviation) {
+  // E5's tail is hot in one trace (600 mW of CPU) and cold in others.
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < 5; ++user) {
+    std::vector<double> powers(10, 50.0);
+    if (user == 0) {
+      for (std::size_t i = 5; i < powers.size(); ++i) powers[i] = 650.0;
+    }
+    bundles.push_back(bundle_with_profile(user, powers));
+  }
+  const EDelta edelta;
+  const EDeltaReport report = edelta.run(bundles);
+  ASSERT_TRUE(report.detected());
+  EXPECT_EQ(report.findings[0].api, "E5");
+  EXPECT_GT(report.findings[0].deviation_mw, 150.0);
+}
+
+TEST(EDeltaTest, SmallButLongDeviationMissed) {
+  // The documented blind spot: a 100 mW drain lasts forever but stays
+  // under the fixed 150 mW deviation threshold.
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < 5; ++user) {
+    std::vector<double> powers(10, 20.0);
+    if (user == 0) {
+      for (std::size_t i = 5; i < powers.size(); ++i) powers[i] = 120.0;
+    }
+    bundles.push_back(bundle_with_profile(user, powers));
+  }
+  const EDelta edelta;
+  EXPECT_FALSE(edelta.run(bundles).detected());
+}
+
+TEST(EDeltaTest, RequiresMinimumInstances) {
+  // Only one trace contains E5 at all -> its instance count (1) is below
+  // min_instances and the API is skipped.
+  std::vector<double> powers(10, 50.0);
+  for (std::size_t i = 5; i < powers.size(); ++i) powers[i] = 900.0;
+  EDeltaConfig config;
+  config.min_instances = 4;
+  const EDelta edelta(config);
+  EXPECT_FALSE(edelta.run({bundle_with_profile(0, powers)}).detected());
+}
+
+TEST(EDeltaTest, IgnoresIdleMarkers) {
+  // A drain visible only through Idle(No_Display) chunks is invisible to
+  // eDelta, whose instrumentation covers app APIs only.
+  trace::TraceBundle bundle;
+  bundle.user = 0;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 5000;
+    bundle.events.add_instance("Idle(No_Display)", {t, t + 5000});
+    for (int s = 1; s <= 10; ++s) {
+      samples.push_back(sample_at(t + s * 500, i < 3 ? 10.0 : 600.0, 0.5));
+    }
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  std::vector<trace::TraceBundle> bundles(5, bundle);
+  for (UserId u = 0; u < 5; ++u) bundles[u].user = u;
+  const EDelta edelta;
+  EXPECT_FALSE(edelta.run(bundles).detected());
+}
+
+TEST(EDeltaTest, HighPercentileResistsSingleOutlierInstance) {
+  // One contaminated instance out of 20 must not flag the API.
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < 20; ++user) {
+    std::vector<double> powers(10, 50.0);
+    if (user == 0) powers[5] = 900.0;  // one unlucky overlap
+    bundles.push_back(bundle_with_profile(user, powers));
+  }
+  const EDelta edelta;
+  EXPECT_FALSE(edelta.run(bundles).detected());
+}
+
+}  // namespace
+}  // namespace edx::baselines

@@ -1,0 +1,125 @@
+#include "baselines/edoctor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workload/app_factory.h"
+#include "workload/experiment.h"
+
+namespace edx::baselines {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  const std::vector<double> values = {1.0, 1.1, 0.9, 10.0, 10.2, 9.8,
+                                      100.0, 99.5, 100.5};
+  std::vector<std::size_t> labels;
+  const std::vector<double> centroids = kmeans_1d(values, 3, 32, &labels);
+  ASSERT_EQ(centroids.size(), 3u);
+  EXPECT_NEAR(centroids[0], 1.0, 0.2);
+  EXPECT_NEAR(centroids[1], 10.0, 0.3);
+  EXPECT_NEAR(centroids[2], 100.0, 0.6);
+  // Labels follow sorted centroid order.
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[3], 1u);
+  EXPECT_EQ(labels[6], 2u);
+}
+
+TEST(KMeansTest, CentroidsAreSortedAndEdgeCasesHold) {
+  const std::vector<double> same(10, 5.0);
+  const std::vector<double> centroids = kmeans_1d(same, 3, 16);
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    EXPECT_GE(centroids[c], centroids[c - 1]);
+  }
+  EXPECT_EQ(kmeans_1d({7.0}, 1, 4).front(), 7.0);
+  EXPECT_THROW(kmeans_1d({}, 2, 4), InvalidArgument);
+  EXPECT_THROW(kmeans_1d({1.0}, 0, 4), InvalidArgument);
+}
+
+workload::AppCase gps_app(double trigger_fraction) {
+  workload::GenericAppParams params;
+  params.id = 70;
+  params.name = "EDoctorProbe";
+  params.kind = workload::AbdKind::kNoSleep;
+  params.resource = workload::NoSleepResource::kGps;
+  params.total_loc = 3000;
+  params.trigger_fraction = trigger_fraction;
+  return workload::make_generic_app(params);
+}
+
+TEST(EDoctorTest, EstimatesImpactedFraction) {
+  const workload::AppCase app = gps_app(0.2);
+  workload::PopulationConfig population;
+  population.num_users = 30;
+  population.seed = 42;
+  const workload::CollectedTraces traces =
+      workload::collect_traces(app, app.buggy, true, population);
+
+  const EDoctor edoctor;
+  const EDoctorReport report = edoctor.run(traces.bundles);
+  ASSERT_EQ(report.summaries.size(), 30u);
+  // Ground truth: 6/30 users triggered.
+  EXPECT_NEAR(report.impacted_fraction, 0.2, 0.10);
+
+  // And the flagged users are (mostly) the right ones.
+  int agreement = 0;
+  for (std::size_t u = 0; u < report.summaries.size(); ++u) {
+    if (report.summaries[u].impacted == traces.triggered[u]) ++agreement;
+  }
+  EXPECT_GE(agreement, 27);
+}
+
+TEST(EDoctorTest, CleanFleetFlagsNobody) {
+  const workload::AppCase app = gps_app(0.2);
+  workload::PopulationConfig population;
+  population.num_users = 20;
+  population.seed = 3;
+  // Fixed build: nobody drains.
+  const workload::CollectedTraces traces =
+      workload::collect_traces(app, app.fixed, true, population);
+  const EDoctor edoctor;
+  const EDoctorReport report = edoctor.run(traces.bundles);
+  EXPECT_LE(report.impacted_users, 1u);
+}
+
+TEST(EDoctorTest, PhaseSummariesAreSane) {
+  const workload::AppCase app = gps_app(0.25);
+  workload::PopulationConfig population;
+  population.num_users = 12;
+  population.seed = 9;
+  const workload::CollectedTraces traces =
+      workload::collect_traces(app, app.buggy, true, population);
+  const EDoctor edoctor;
+  const EDoctorReport report = edoctor.run(traces.bundles);
+  for (const PhaseSummary& summary : report.summaries) {
+    EXPECT_LE(summary.idle_phase_mw, summary.active_phase_mw);
+    EXPECT_GE(summary.idle_share, 0.0);
+    EXPECT_LE(summary.idle_share, 1.0);
+  }
+  EXPECT_GT(report.fence_mw, report.fleet_idle_median_mw);
+}
+
+TEST(EDoctorTest, SelfContainedPipelineStillFindsTheComponent) {
+  // The full no-oracle workflow: impact fraction from eDoctor, diagnosis
+  // from EnergyDx.
+  const workload::AppCase app = gps_app(0.2);
+  workload::PopulationConfig population;
+  population.num_users = 30;
+  population.seed = 42;
+  double estimated = 0.0;
+  const workload::PipelineRun run =
+      workload::run_energydx_self_contained(app, population, &estimated);
+  EXPECT_GT(estimated, 0.05);
+  EXPECT_LT(estimated, 0.4);
+
+  bool component_reported = false;
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (android::split_event_name(event).class_name ==
+        app.bug.component_class) {
+      component_reported = true;
+    }
+  }
+  EXPECT_TRUE(component_reported);
+}
+
+}  // namespace
+}  // namespace edx::baselines

@@ -1,0 +1,174 @@
+#include "baselines/nosleep.h"
+
+#include <gtest/gtest.h>
+
+#include "android/apk_builder.h"
+#include "workload/app_factory.h"
+
+namespace edx::baselines {
+namespace {
+
+using namespace edx::android;
+
+Method method_with(std::vector<Instruction> code, std::string name = "m") {
+  Method method;
+  method.name = std::move(name);
+  method.code = std::move(code);
+  return method;
+}
+
+TEST(PathAnalysisTest, UnconditionalReleaseCoversAllPaths) {
+  const Method method = method_with({Instruction::constant(),
+                                     Instruction::invoke(api::kWakeLockRelease),
+                                     Instruction::ret()});
+  EXPECT_TRUE(releases_on_all_paths(method, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, MissingReleaseLeaks) {
+  const Method method =
+      method_with({Instruction::constant(), Instruction::ret()});
+  EXPECT_FALSE(releases_on_all_paths(method, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, ConditionalReleaseLeaksOnTheOtherPath) {
+  // 0: const ; 1: if-eqz -> 4 ; 2: release ; 3: return ; 4: return
+  const Method method = method_with(
+      {Instruction::constant(), Instruction::if_eqz(4),
+       Instruction::invoke(api::kWakeLockRelease), Instruction::ret(),
+       Instruction::ret()});
+  EXPECT_FALSE(releases_on_all_paths(method, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, ReleaseOnBothBranchesCovers) {
+  // 0: if-eqz -> 3 ; 1: release ; 2: return ; 3: release ; 4: return
+  const Method method = method_with(
+      {Instruction::if_eqz(3), Instruction::invoke(api::kWakeLockRelease),
+       Instruction::ret(), Instruction::invoke(api::kWakeLockRelease),
+       Instruction::ret()});
+  EXPECT_TRUE(releases_on_all_paths(method, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, ReleaseAfterAcquireWithinMethod) {
+  // acquire ; release ; return  -> tight critical section.
+  const Method tight = method_with(
+      {Instruction::invoke(api::kWakeLockAcquire),
+       Instruction::invoke(api::kWakeLockRelease), Instruction::ret()});
+  EXPECT_TRUE(releases_after_acquire(tight, 0, api::kWakeLockRelease));
+
+  // release ; acquire ; return -> release precedes the acquire: leak.
+  const Method reversed = method_with(
+      {Instruction::invoke(api::kWakeLockRelease),
+       Instruction::invoke(api::kWakeLockAcquire), Instruction::ret()});
+  EXPECT_FALSE(releases_after_acquire(reversed, 1, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, UncaughtThrowBetweenAcquireAndReleaseLeaks) {
+  // acquire ; if-eqz -> 4 (skip throw) ; const ; throw ; release ; return
+  // The exceptional path leaves the method before the release runs — the
+  // classic exception-path no-sleep bug from [9].
+  const Method method = method_with(
+      {Instruction::invoke(api::kWakeLockAcquire), Instruction::if_eqz(4),
+       Instruction::constant(), Instruction::throw_up(),
+       Instruction::invoke(api::kWakeLockRelease), Instruction::ret()});
+  EXPECT_FALSE(releases_after_acquire(method, 0, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, ReleaseBeforeThrowIsCovered) {
+  // acquire ; release ; throw — the lock is freed before the exception.
+  const Method method = method_with(
+      {Instruction::invoke(api::kWakeLockAcquire),
+       Instruction::invoke(api::kWakeLockRelease), Instruction::throw_up()});
+  EXPECT_TRUE(releases_after_acquire(method, 0, api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, ApiPrefixMatchingIgnoresReceiverSuffix) {
+  EXPECT_TRUE(invokes_api(std::string(api::kWakeLockRelease) + "#lockA",
+                          api::kWakeLockRelease));
+  EXPECT_TRUE(invokes_api(api::kWakeLockRelease, api::kWakeLockRelease));
+  EXPECT_FALSE(invokes_api(api::kWakeLockAcquire, api::kWakeLockRelease));
+  EXPECT_FALSE(invokes_api(std::string(api::kWakeLockRelease) + "X",
+                           api::kWakeLockRelease));
+}
+
+TEST(PathAnalysisTest, LoopWithReleaseInsideCovers) {
+  // 0: const; 1: if-eqz -> 4 (exit); 2: release; 3: goto 1; 4: return
+  // Every path to the return passes the loop header; release is inside the
+  // loop, so the zero-iteration path leaks.
+  const Method method = method_with(
+      {Instruction::constant(), Instruction::if_eqz(4),
+       Instruction::invoke(api::kWakeLockRelease), Instruction::jump(1),
+       Instruction::ret()});
+  EXPECT_FALSE(releases_on_all_paths(method, api::kWakeLockRelease));
+}
+
+workload::GenericAppParams nosleep_params(bool aliased) {
+  workload::GenericAppParams params;
+  params.id = 99;
+  params.name = "Probe";
+  params.kind = workload::AbdKind::kNoSleep;
+  params.total_loc = 2000;
+  params.resource = workload::NoSleepResource::kWakeLock;
+  params.aliased_release = aliased;
+  return params;
+}
+
+TEST(NoSleepDetectorTest, DetectsInjectedBugAndAcceptsFix) {
+  const workload::AppCase app_case =
+      workload::make_generic_app(nosleep_params(false));
+  const NoSleepDetector detector;
+
+  const NoSleepReport buggy = detector.analyze(build_apk(app_case.buggy));
+  ASSERT_TRUE(buggy.detected());
+  EXPECT_EQ(buggy.findings[0].class_name, app_case.bug.component_class);
+  EXPECT_EQ(buggy.findings[0].resource, "wakelock");
+
+  const NoSleepReport fixed = detector.analyze(build_apk(app_case.fixed));
+  EXPECT_FALSE(fixed.detected());
+}
+
+TEST(NoSleepDetectorTest, AliasedReleaseIsAFalseNegative) {
+  // The buggy build releases the *wrong* lock; syntactically it looks
+  // correct, so the detector reports nothing — the paper's 21-of-24 case.
+  const workload::AppCase app_case =
+      workload::make_generic_app(nosleep_params(true));
+  const NoSleepDetector detector;
+  EXPECT_FALSE(detector.analyze(build_apk(app_case.buggy)).detected());
+}
+
+TEST(NoSleepDetectorTest, DetectsEveryResourceProtocol) {
+  for (const auto resource :
+       {workload::NoSleepResource::kGps, workload::NoSleepResource::kAudio,
+        workload::NoSleepResource::kSensor,
+        workload::NoSleepResource::kWakeLock}) {
+    workload::GenericAppParams params = nosleep_params(false);
+    params.resource = resource;
+    const workload::AppCase app_case = workload::make_generic_app(params);
+    const NoSleepDetector detector;
+    EXPECT_TRUE(detector.analyze(build_apk(app_case.buggy)).detected());
+    EXPECT_FALSE(detector.analyze(build_apk(app_case.fixed)).detected());
+  }
+}
+
+TEST(NoSleepDetectorTest, CleanAppsProduceNoFindings) {
+  // Loop and configuration bugs acquire nothing; the detector must not
+  // fire on them (its 0% on 19 non-no-sleep apps).
+  for (const auto kind :
+       {workload::AbdKind::kLoop, workload::AbdKind::kConfiguration}) {
+    workload::GenericAppParams params;
+    params.id = 98;
+    params.name = "Clean";
+    params.kind = kind;
+    params.total_loc = 2000;
+    const workload::AppCase app_case = workload::make_generic_app(params);
+    const NoSleepDetector detector;
+    EXPECT_FALSE(detector.analyze(build_apk(app_case.buggy)).detected())
+        << workload::abd_kind_name(kind);
+  }
+}
+
+TEST(NoSleepDetectorTest, DefaultProtocolsCoverFourResources) {
+  EXPECT_EQ(default_protocols().size(), 4u);
+}
+
+}  // namespace
+}  // namespace edx::baselines

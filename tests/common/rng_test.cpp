@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace edx {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW(rng.uniform_int(5, 4), InvalidArgument);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kTrials = 20'000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  std::vector<double> samples;
+  samples.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats::mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(stats::stddev(samples), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.exponential(5.0);
+    EXPECT_GT(v, 0.0);
+    samples.push_back(v);
+  }
+  EXPECT_NEAR(stats::mean(samples), 5.0, 0.25);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(29);
+  const std::vector<double> weights{1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.3);
+  EXPECT_THROW(rng.weighted_index({}), InvalidArgument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), InvalidArgument);
+}
+
+TEST(RngTest, ForkedChildrenAreIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, SplitMix64IsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1 - 1 ? splitmix64(s2) : 0);
+}
+
+// Property sweep: uniform_int over various ranges never escapes bounds and
+// hits both endpoints for small ranges.
+class UniformIntProperty
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(UniformIntProperty, StaysInBounds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lo * 7 + hi));
+  for (int i = 0; i < 2'000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntProperty,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 1},
+                      std::pair<std::int64_t, std::int64_t>{-5, 5},
+                      std::pair<std::int64_t, std::int64_t>{100, 100},
+                      std::pair<std::int64_t, std::int64_t>{-1000000, 1000000},
+                      std::pair<std::int64_t, std::int64_t>{0, 2}));
+
+}  // namespace
+}  // namespace edx

@@ -1,0 +1,113 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::stats {
+namespace {
+
+TEST(StatsTest, MeanOfConstants) {
+  const std::vector<double> values{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 4.0);
+}
+
+TEST(StatsTest, MeanRejectsEmpty) {
+  EXPECT_THROW(mean(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(StatsTest, VarianceAndStddev) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(values), 4.571428571, 1e-9);
+  EXPECT_NEAR(stddev(values), 2.138089935, 1e-9);
+}
+
+TEST(StatsTest, PercentileMatchesLinearInterpolation) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(values, 10.0), 1.3);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 5.0);
+}
+
+TEST(StatsTest, PercentileSingleValue) {
+  const std::vector<double> values{7.5};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 7.5);
+}
+
+TEST(StatsTest, PercentileRejectsOutOfRangeP) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(percentile(values, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile(values, 101.0), InvalidArgument);
+}
+
+TEST(StatsTest, QuartilesAndFences) {
+  // 1..8: Q1 = 2.75, Q2 = 4.5, Q3 = 6.25, IQR = 3.5.
+  std::vector<double> values;
+  for (int i = 1; i <= 8; ++i) values.push_back(i);
+  const Quartiles q = quartiles(values);
+  EXPECT_DOUBLE_EQ(q.q1, 2.75);
+  EXPECT_DOUBLE_EQ(q.q2, 4.5);
+  EXPECT_DOUBLE_EQ(q.q3, 6.25);
+  EXPECT_DOUBLE_EQ(q.iqr(), 3.5);
+  EXPECT_DOUBLE_EQ(q.upper_inner_fence(), 6.25 + 1.5 * 3.5);
+  EXPECT_DOUBLE_EQ(q.upper_outer_fence(), 6.25 + 3.0 * 3.5);
+  EXPECT_DOUBLE_EQ(q.lower_outer_fence(), 2.75 - 3.0 * 3.5);
+}
+
+TEST(StatsTest, EmpiricalCdfDeduplicatesValues) {
+  const std::vector<double> values{1.0, 1.0, 2.0, 3.0};
+  const std::vector<CdfPoint> cdf = empirical_cdf(values);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_probability, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_probability, 1.0);
+}
+
+TEST(StatsTest, IndicesAboveThreshold) {
+  const std::vector<double> values{0.5, 2.0, 1.0, 3.0};
+  const std::vector<std::size_t> indices = indices_above(values, 1.0);
+  EXPECT_EQ(indices, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(StatsTest, CompetitionRanksWithTies) {
+  const std::vector<double> values{10.0, 20.0, 20.0, 30.0};
+  const std::vector<std::size_t> ranks = competition_ranks(values);
+  EXPECT_EQ(ranks, (std::vector<std::size_t>{1, 2, 2, 4}));
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> values{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(values), -1.0);
+  EXPECT_DOUBLE_EQ(max(values), 7.0);
+}
+
+// Property sweep: for any percentile p, the result sits within [min, max]
+// and is monotone in p.
+class PercentileProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileProperty, WithinBoundsAndMonotone) {
+  const std::vector<double> values{5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  const double p = GetParam();
+  const double value = percentile(values, p);
+  EXPECT_GE(value, min(values));
+  EXPECT_LE(value, max(values));
+  if (p >= 5.0) {
+    EXPECT_LE(percentile(values, p - 5.0), value + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileProperty,
+                         ::testing::Values(0.0, 5.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 95.0, 100.0));
+
+}  // namespace
+}  // namespace edx::stats

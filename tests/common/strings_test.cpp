@@ -1,0 +1,66 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::strings {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("Lcom/foo;", "Lcom"));
+  EXPECT_FALSE(starts_with("Lcom", "Lcom/foo"));
+  EXPECT_TRUE(ends_with("MainActivity;", ";"));
+  EXPECT_FALSE(ends_with(";", "Activity;"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "/"), "a/b/c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+  EXPECT_THROW(replace_all("text", "", "y"), InvalidArgument);
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_THROW(format_double(1.0, -1), InvalidArgument);
+}
+
+TEST(StringsTest, HumanCountMatchesTableThreeStyle) {
+  EXPECT_EQ(human_count(1'000'000'000), "1B");
+  EXPECT_EQ(human_count(5'000'000), "5M");
+  EXPECT_EQ(human_count(10'000'000), "10M");
+  EXPECT_EQ(human_count(100'000), "100K");
+  EXPECT_EQ(human_count(500), "500");
+  EXPECT_EQ(human_count(1'500'000), "1.5M");
+  EXPECT_EQ(human_count(0), "0");
+}
+
+}  // namespace
+}  // namespace edx::strings

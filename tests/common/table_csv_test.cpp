@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace edx {
+namespace {
+
+TEST(TextTableTest, RendersHeaderRuleAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, RightAlignment) {
+  TextTable table({"n"});
+  table.set_align(0, Align::kRight);
+  table.add_row({"7"});
+  table.add_row({"123"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("|   7 |"), std::string::npos);
+  EXPECT_NE(out.find("| 123 |"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsBadShapes) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(table.set_align(5, Align::kLeft), InvalidArgument);
+}
+
+TEST(AsciiBarTest, ScalesAndClamps) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+  EXPECT_EQ(ascii_bar(5.0, 0.0, 10), "");
+  EXPECT_THROW(ascii_bar(1.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"with\"quote", "multi\nline"});
+  const std::string out = csv.to_string();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(CsvTest, RejectsColumnMismatch) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"x", "y"}), InvalidArgument);
+  EXPECT_THROW(CsvWriter({}), InvalidArgument);
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/edx_csv_test.csv";
+  csv.write_file(path);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x\n1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edx

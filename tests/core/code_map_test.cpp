@@ -1,0 +1,62 @@
+#include "core/code_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::core {
+namespace {
+
+android::AppSpec small_app() {
+  android::AppSpec app;
+  app.package_name = "com.x";
+  app.glue_loc = 900;
+  android::ComponentSpec component;
+  component.class_name = "Lcom/x/A;";
+  component.simple_name = "A";
+  component.kind = android::ClassKind::kActivity;
+  component.helper_loc = 60;
+  component.set_callback({"onResume", 25, {}});
+  component.set_callback({"onPause", 15, {}});
+  app.components = {component};
+  app.main_activity = component.class_name;
+  return app;
+}
+
+TEST(CodeMapTest, LinesForEvents) {
+  const CodeMap map = CodeMap::from_app(small_app());
+  EXPECT_EQ(map.total_lines(), 1000);
+  EXPECT_EQ(map.event_count(), 2u);
+  EXPECT_EQ(map.lines_for(EventName("Lcom/x/A;.onResume")), 25);
+  EXPECT_EQ(map.lines_for(EventName("Lcom/x/A;.onPause")), 15);
+  EXPECT_EQ(map.lines_for(EventName("Idle(No_Display)")), 0);
+  EXPECT_EQ(map.lines_for(EventName("Lcom/x/A;.unknown")), 0);
+}
+
+TEST(CodeMapTest, DuplicatesCountOnce) {
+  const CodeMap map = CodeMap::from_app(small_app());
+  const std::vector<EventName> events = {"Lcom/x/A;.onResume",
+                                         "Lcom/x/A;.onResume",
+                                         "Lcom/x/A;.onPause"};
+  EXPECT_EQ(map.lines_for(events), 40);
+}
+
+TEST(CodeMapTest, CodeReductionFormula) {
+  EXPECT_DOUBLE_EQ(code_reduction(1000, 70), 0.93);
+  EXPECT_DOUBLE_EQ(code_reduction(1000, 0), 1.0);
+  EXPECT_DOUBLE_EQ(code_reduction(1000, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(code_reduction(1000, 2000), 0.0);  // clamped
+  EXPECT_THROW(code_reduction(0, 0), InvalidArgument);
+  EXPECT_THROW(code_reduction(100, -1), InvalidArgument);
+}
+
+TEST(CodeMapTest, ReductionOfReport) {
+  const CodeMap map = CodeMap::from_app(small_app());
+  DiagnosisReport report;
+  report.diagnosis_events = {"Lcom/x/A;.onResume"};
+  EXPECT_EQ(diagnosis_lines(map, report), 25);
+  EXPECT_DOUBLE_EQ(code_reduction(map, report), 0.975);
+}
+
+}  // namespace
+}  // namespace edx::core

@@ -1,0 +1,129 @@
+// Focused tests for the Step-4 detection guards: the time-based sustain
+// window, the minimum peak level, and the dip-tolerant run semantics that
+// EXPERIMENTS.md's ablations quantify at system level.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/detection.h"
+
+namespace edx::core {
+namespace {
+
+/// Events with given norms; `spacing_ms` controls how far apart they begin.
+AnalyzedTrace trace_with(const std::vector<double>& norms,
+                         DurationMs spacing_ms) {
+  AnalyzedTrace trace;
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    PoweredEvent event;
+    event.name = "E";
+    const TimestampMs t = static_cast<TimestampMs>(i) * spacing_ms;
+    event.interval = {t, t + 10};
+    event.normalized_power = norms[i];
+    trace.events.push_back(event);
+  }
+  return trace;
+}
+
+std::vector<std::size_t> detect(AnalyzedTrace trace,
+                                const DetectionConfig& config) {
+  std::vector<AnalyzedTrace> traces{std::move(trace)};
+  detect_all(traces, config);
+  return traces[0].manifestation_indices;
+}
+
+TEST(DetectionGuardsTest, SustainWindowIsTimeBased) {
+  // A rise that holds for only ~10 s then returns to normal: accepted with
+  // a short sustain window, rejected with a long one.
+  std::vector<double> norms(30, 1.0);
+  for (std::size_t i = 10; i < 16; ++i) norms[i] = 8.0;  // 6 events x 2 s
+  DetectionConfig config;
+  config.sustain_window_ms = 8'000;
+  EXPECT_FALSE(detect(trace_with(norms, 2'000), config).empty());
+
+  config.sustain_window_ms = 30'000;
+  EXPECT_TRUE(detect(trace_with(norms, 2'000), config).empty());
+
+  // A permanent rise passes any window.
+  std::vector<double> permanent(30, 1.0);
+  for (std::size_t i = 10; i < permanent.size(); ++i) permanent[i] = 8.0;
+  EXPECT_FALSE(detect(trace_with(permanent, 2'000), config).empty());
+}
+
+TEST(DetectionGuardsTest, SustainUsesNextEventWhenWindowIsQuiet) {
+  // Peak, then silence (no events for a long gap), then a normal event:
+  // the guard judges by that next event and rejects the spike.
+  std::vector<double> norms(20, 1.0);
+  norms[10] = 9.0;
+  AnalyzedTrace trace = trace_with(norms, 1'000);
+  // Push everything after the spike 60 s out.
+  for (std::size_t i = 11; i < trace.events.size(); ++i) {
+    trace.events[i].interval.begin += 60'000;
+    trace.events[i].interval.end += 60'000;
+  }
+  DetectionConfig config;
+  EXPECT_TRUE(detect(std::move(trace), config).empty());
+}
+
+TEST(DetectionGuardsTest, RiseAtTraceEdgeIsKept) {
+  // The manifestation right at the end of the trace has nothing after it;
+  // it must still be reported (the user pocketed the phone and the trace
+  // ended).
+  std::vector<double> norms(20, 1.0);
+  norms[19] = 9.0;
+  DetectionConfig config;
+  const auto points = detect(trace_with(norms, 1'000), config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], 18u);
+}
+
+TEST(DetectionGuardsTest, MinPeakLevelScalesWithConfig) {
+  // Rise from 0.2 to 1.8: amplitude 1.6 (> floor) but peak below 2.0.
+  std::vector<double> norms(20, 0.2);
+  for (std::size_t i = 10; i < norms.size(); ++i) norms[i] = 1.8;
+  DetectionConfig config;
+  EXPECT_TRUE(detect(trace_with(norms, 1'000), config).empty());
+  config.min_peak_level = 1.5;
+  EXPECT_FALSE(detect(trace_with(norms, 1'000), config).empty());
+}
+
+TEST(DetectionGuardsTest, DipFractionStopsWobbleBridges) {
+  // Alternating 1.0 / 1.05 wobble followed by a jump: no event before the
+  // jump may be credited with it (the dip of 0.05 is large relative to the
+  // 0.05 rise when the run starts in the wobble).
+  std::vector<double> norms;
+  for (int i = 0; i < 10; ++i) norms.push_back(i % 2 == 0 ? 1.0 : 1.05);
+  for (int i = 0; i < 5; ++i) norms.push_back(9.0);
+  AnalyzedTrace trace = trace_with(norms, 1'000);
+  DetectionConfig config;
+  attribute_variation_amplitude(trace, config);
+  // Only the last wobble event (adjacent to the jump) carries the rise.
+  for (std::size_t i = 0; i + 6 < 10; ++i) {
+    EXPECT_LT(trace.events[i].variation_amplitude, 1.0) << i;
+  }
+  EXPECT_GT(trace.events[9].variation_amplitude, 7.0);
+}
+
+TEST(DetectionGuardsTest, FlatStepsAreFreeDipsAreBudgeted) {
+  // up, flat, flat, flat, up: bridges any number of exact flats.
+  const std::vector<double> flats = {1.0, 2.0, 2.0, 2.0, 2.0, 9.0};
+  AnalyzedTrace trace = trace_with(flats, 1'000);
+  DetectionConfig config;
+  attribute_variation_amplitude(trace, config);
+  EXPECT_NEAR(trace.events[0].variation_amplitude, 8.0, 1e-9);
+
+  // Three strict dips exceed the budget of two.
+  const std::vector<double> dips = {1.0, 5.0, 4.9, 4.8, 4.7, 9.0};
+  AnalyzedTrace dipped = trace_with(dips, 1'000);
+  attribute_variation_amplitude(dipped, config);
+  EXPECT_NEAR(dipped.events[0].variation_amplitude, 4.0, 1e-9);
+}
+
+TEST(DetectionGuardsTest, NegativeFenceMultiplierRejected) {
+  DetectionConfig config;
+  config.fence_iqr_multiplier = -1.0;
+  std::vector<AnalyzedTrace> traces{trace_with({1.0, 2.0}, 1'000)};
+  EXPECT_THROW(detect_all(traces, config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace edx::core

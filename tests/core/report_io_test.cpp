@@ -1,0 +1,100 @@
+#include "core/report_io.h"
+
+#include <gtest/gtest.h>
+
+namespace edx::core {
+namespace {
+
+DiagnosisReport sample_report() {
+  DiagnosisReport report;
+  report.total_traces = 30;
+  report.traces_with_manifestation = 5;
+  report.ranked_events = {
+      {"Lcom/x/Settings;.onResume", 1.0 / 6.0, 5, 1.0},
+      {"Lcom/x/Main;.onResume", 1.0 / 6.0, 5, 2.0},
+      {"Idle(No_Display)", 0.2, 6, 3.0},
+  };
+  report.diagnosis_events = {"Lcom/x/Settings;.onResume",
+                             "Lcom/x/Main;.onResume"};
+  return report;
+}
+
+android::AppSpec sample_app() {
+  android::AppSpec app;
+  app.package_name = "com.x";
+  app.glue_loc = 940;
+  android::ComponentSpec settings;
+  settings.class_name = "Lcom/x/Settings;";
+  settings.simple_name = "Settings";
+  settings.kind = android::ClassKind::kActivity;
+  settings.set_callback({"onResume", 40, {}});
+  android::ComponentSpec main;
+  main.class_name = "Lcom/x/Main;";
+  main.simple_name = "Main";
+  main.kind = android::ClassKind::kActivity;
+  main.set_callback({"onResume", 20, {}});
+  app.components = {settings, main};
+  app.main_activity = main.class_name;
+  return app;
+}
+
+TEST(ReportIoTest, TextContainsAllSections) {
+  const CodeMap map = CodeMap::from_app(sample_app());
+  ReportRenderOptions options;
+  options.app_name = "Probe";
+  options.developer_reported_fraction = 0.15;
+  const std::string text = report_to_text(sample_report(), &map, options);
+
+  EXPECT_NE(text.find("Probe"), std::string::npos);
+  EXPECT_NE(text.find("Traces analyzed: 30 (5"), std::string::npos);
+  EXPECT_NE(text.find("15.0%"), std::string::npos);
+  EXPECT_NE(text.find("Settings:onResume"), std::string::npos);
+  EXPECT_NE(text.find("Idle(No_Display)"), std::string::npos);
+  // Search space: 1000 total, diagnosis = 40 + 20.
+  EXPECT_NE(text.find("1000 -> 60 lines"), std::string::npos);
+  EXPECT_NE(text.find("94.0%"), std::string::npos);
+}
+
+TEST(ReportIoTest, TextWithoutCodeMapOmitsLines) {
+  const std::string text = report_to_text(sample_report(), nullptr);
+  EXPECT_EQ(text.find("Search space"), std::string::npos);
+  EXPECT_NE(text.find("Diagnosis set"), std::string::npos);
+}
+
+TEST(ReportIoTest, MaxEventsTruncates) {
+  ReportRenderOptions options;
+  options.max_events = 1;
+  const std::string text = report_to_text(sample_report(), nullptr, options);
+  EXPECT_NE(text.find("Settings:onResume"), std::string::npos);
+  // Idle is rank 3 and must be cut from the ranked table; it is not in the
+  // diagnosis set either.
+  EXPECT_EQ(text.find("Idle(No_Display)"), std::string::npos);
+}
+
+TEST(ReportIoTest, JsonIsWellFormedEnough) {
+  const CodeMap map = CodeMap::from_app(sample_app());
+  ReportRenderOptions options;
+  options.app_name = "Probe";
+  const std::string json = report_to_json(sample_report(), &map, options);
+
+  EXPECT_NE(json.find("\"app\": \"Probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_traces\": 30"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnosis_lines\": 60"), std::string::npos);
+  EXPECT_NE(json.find("\"code_reduction\": 0.94"), std::string::npos);
+  // Balanced braces/brackets (crude but effective).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportIoTest, JsonQuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+}  // namespace
+}  // namespace edx::core

@@ -1,0 +1,177 @@
+// End-to-end integration tests: the full instrument -> simulate -> collect
+// -> analyze -> report flow on catalog apps, with the properties the
+// paper's evaluation depends on asserted as invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "android/event.h"
+#include "core/code_map.h"
+#include "workload/experiment.h"
+#include "workload/ground_truth.h"
+
+namespace edx::workload {
+namespace {
+
+PopulationConfig standard_population(std::uint64_t seed = 42) {
+  PopulationConfig config;
+  config.num_users = 30;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EndToEndTest, K9MailDiagnosisMatchesCaseStudyShape) {
+  const AppCase app = k9_mail_case();
+  const PipelineRun run = run_energydx(app, standard_population());
+
+  // Manifestation points in (at least) the triggering traces, and not in
+  // most normal traces.
+  int triggered_with_points = 0;
+  int normal_with_points = 0;
+  for (std::size_t u = 0; u < run.analysis.traces.size(); ++u) {
+    const bool has_points =
+        !run.analysis.traces[u].manifestation_indices.empty();
+    if (run.traces.triggered[u]) {
+      triggered_with_points += has_points ? 1 : 0;
+    } else {
+      normal_with_points += has_points ? 1 : 0;
+    }
+  }
+  EXPECT_GE(triggered_with_points, 4);  // 5 triggering users
+  EXPECT_LE(normal_with_points, 3);     // 25 normal users
+
+  // The settings screen (root-cause component) is in the diagnosis set.
+  bool settings_reported = false;
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (android::split_event_name(event).class_name ==
+        app.bug.component_class) {
+      settings_reported = true;
+    }
+  }
+  EXPECT_TRUE(settings_reported);
+
+  // Search space: ~hundreds out of 98,532 lines (paper: 161).
+  const core::CodeMap code_map = core::CodeMap::from_app(app.buggy);
+  const int lines = core::diagnosis_lines(code_map, run.analysis.report);
+  EXPECT_GT(lines, 0);
+  EXPECT_LT(lines, 1000);
+  EXPECT_GT(core::code_reduction(code_map, run.analysis.report), 0.97);
+}
+
+TEST(EndToEndTest, OpenGpsTopEventsMatchTableFour) {
+  const AppCase app = opengps_case();
+  const PipelineRun run = run_energydx(app, standard_population());
+
+  // Table IV: LoggerMap:onPause and Idle(No_Display) lead the report.
+  std::vector<std::string> top;
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(4, run.analysis.report.ranked_events.size());
+       ++i) {
+    top.push_back(
+        android::short_event_name(run.analysis.report.ranked_events[i].name));
+  }
+  EXPECT_NE(std::find(top.begin(), top.end(), "LoggerMap:onPause"), top.end())
+      << "got: " << ::testing::PrintToString(top);
+}
+
+TEST(EndToEndTest, EventDistanceWithinPaperBand) {
+  // Figure 1: 90th percentile of event distances is small (paper: <= 3 on
+  // sparser traces; our fully-logged lifecycle clusters allow a bit more).
+  std::vector<int> distances;
+  const std::vector<AppCase> catalog = full_catalog();
+  for (int id : {1, 5, 10, 18, 23, 28, 31}) {
+    const AppCase& app = catalog_app(catalog, id);
+    const PipelineRun run = run_energydx(app, standard_population());
+    const auto distance = app_event_distance(run.analysis.traces, app.bug,
+                                             &run.traces.triggered);
+    ASSERT_TRUE(distance.has_value()) << app.display_name;
+    distances.push_back(*distance);
+  }
+  std::sort(distances.begin(), distances.end());
+  EXPECT_LE(distances[distances.size() / 2], 3);  // median
+  EXPECT_LE(distances.back(), 10);                // worst case
+}
+
+TEST(EndToEndTest, DiagnosisBeatsCheckAllOnEveryKind) {
+  const std::vector<AppCase> catalog = full_catalog();
+  for (int id : {5, 18, 31}) {  // one per root-cause kind
+    const AppCase& app = catalog_app(catalog, id);
+    EvaluationOptions options;
+    options.run_power_comparison = false;
+    options.run_nosleep = false;
+    options.run_edelta = false;
+    const AppEvaluation eval =
+        evaluate_app(app, standard_population(), options);
+    EXPECT_GT(eval.energydx_reduction, eval.checkall_reduction)
+        << app.display_name;
+    EXPECT_GT(eval.energydx_reduction, 0.85) << app.display_name;
+    EXPECT_LT(eval.energydx_lines, eval.checkall_lines) << app.display_name;
+  }
+}
+
+TEST(EndToEndTest, FixReducesPowerForEveryKind) {
+  const std::vector<AppCase> catalog = full_catalog();
+  for (int id : {5, 18, 31}) {
+    const AppCase& app = catalog_app(catalog, id);
+    const PopulationConfig population = standard_population();
+    const double buggy = average_app_power(app, app.buggy, population);
+    const double fixed = average_app_power(app, app.fixed, population);
+    EXPECT_GT(buggy, fixed) << app.display_name;
+    // Fig. 17 band: meaningful but not total reduction.
+    const double reduction = 1.0 - fixed / buggy;
+    EXPECT_GT(reduction, 0.05) << app.display_name;
+    EXPECT_LT(reduction, 0.9) << app.display_name;
+  }
+}
+
+TEST(EndToEndTest, DeterministicAcrossRuns) {
+  const AppCase app = tinfoil_case();
+  const PipelineRun a = run_energydx(app, standard_population(7));
+  const PipelineRun b = run_energydx(app, standard_population(7));
+  ASSERT_EQ(a.analysis.report.ranked_events.size(),
+            b.analysis.report.ranked_events.size());
+  for (std::size_t i = 0; i < a.analysis.report.ranked_events.size(); ++i) {
+    EXPECT_EQ(a.analysis.report.ranked_events[i].name,
+              b.analysis.report.ranked_events[i].name);
+    EXPECT_EQ(a.analysis.report.ranked_events[i].impacted_traces,
+              b.analysis.report.ranked_events[i].impacted_traces);
+  }
+}
+
+// Property sweep: for every root-cause kind, the end-to-end pipeline finds
+// the buggy component across seeds.
+struct SweepParam {
+  int app_id;
+  std::uint64_t seed;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineProperty, BuggyComponentReported) {
+  const std::vector<AppCase> catalog = full_catalog();
+  const AppCase& app = catalog_app(catalog, GetParam().app_id);
+  const PipelineRun run =
+      run_energydx(app, standard_population(GetParam().seed));
+  bool component_reported = false;
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (android::split_event_name(event).class_name ==
+        app.bug.component_class) {
+      component_reported = true;
+    }
+  }
+  EXPECT_TRUE(component_reported) << app.display_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, PipelineProperty,
+    ::testing::Values(SweepParam{5, 42}, SweepParam{5, 1234},
+                      SweepParam{18, 42}, SweepParam{18, 1234},
+                      SweepParam{31, 42}, SweepParam{31, 1234},
+                      SweepParam{1, 42}, SweepParam{22, 42}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "app" + std::to_string(info.param.app_id) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace edx::workload

@@ -1,0 +1,380 @@
+// Cross-cutting property and robustness tests: invariants that must hold
+// for any input the system can produce, plus failure injection.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "android/apk_builder.h"
+#include "android/instrumenter.h"
+#include "android/runtime.h"
+#include "core/pipeline.h"
+#include "trace/anonymizer.h"
+#include "workload/app_factory.h"
+#include "workload/experiment.h"
+
+namespace edx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scale invariance: normalized power, amplitudes, detections, and the final
+// report are invariant under a global rescaling of all power values (this
+// is the property that makes cross-device power-model scaling sound).
+TEST(PropertyTest, PipelineIsScaleInvariant) {
+  const workload::AppCase app = workload::tinfoil_case();
+  workload::PopulationConfig population;
+  population.num_users = 12;
+  population.seed = 5;
+  population.tracker.estimation_noise = 0.0;
+  workload::CollectedTraces traces =
+      workload::collect_traces(app, app.buggy, true, population);
+
+  core::AnalysisConfig config;
+  config.reporting.developer_reported_fraction = 0.2;
+  const core::ManifestationAnalyzer analyzer(config);
+  const core::AnalysisResult base = analyzer.run(traces.bundles);
+
+  std::vector<trace::TraceBundle> scaled = traces.bundles;
+  for (trace::TraceBundle& bundle : scaled) {
+    bundle.utilization.scale_power(3.7);
+  }
+  const core::AnalysisResult rescaled = analyzer.run(scaled);
+
+  ASSERT_EQ(base.traces.size(), rescaled.traces.size());
+  for (std::size_t t = 0; t < base.traces.size(); ++t) {
+    ASSERT_EQ(base.traces[t].manifestation_indices,
+              rescaled.traces[t].manifestation_indices)
+        << "trace " << t;
+    for (std::size_t e = 0; e < base.traces[t].events.size(); ++e) {
+      // The min-base floor breaks exact invariance only for events whose
+      // base is at the floor; skip those.
+      const double base_power = core::base_power(
+          base.ranking, base.traces[t].events[e].name, config.normalization);
+      if (base_power <= config.normalization.min_base_power_mw + 1e-9) {
+        continue;
+      }
+      EXPECT_NEAR(base.traces[t].events[e].normalized_power,
+                  rescaled.traces[t].events[e].normalized_power, 1e-9);
+    }
+  }
+  ASSERT_EQ(base.report.ranked_events.size(),
+            rescaled.report.ranked_events.size());
+  for (std::size_t i = 0; i < base.report.ranked_events.size(); ++i) {
+    EXPECT_EQ(base.report.ranked_events[i].name,
+              rescaled.report.ranked_events[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: every script the catalog's scenario generators can produce runs to
+// completion, yields balanced event traces, and analyzes without throwing.
+TEST(PropertyTest, RandomScriptsNeverBreakTheToolchain) {
+  const std::vector<workload::AppCase> catalog = workload::full_catalog();
+  Rng seeder(99);
+  for (int round = 0; round < 30; ++round) {
+    const workload::AppCase& app =
+        catalog[static_cast<std::size_t>(seeder.uniform_int(0, 39))];
+    Rng script_rng(seeder.next_u64());
+    const bool trigger = seeder.bernoulli(0.5);
+    const android::UserScript script = app.scenario(script_rng, trigger);
+
+    const android::Apk apk =
+        android::Instrumenter().instrument(android::build_apk(app.buggy));
+    power::UtilizationTimeline timeline;
+    android::AppRuntime runtime(app.buggy, &apk, timeline, 1);
+    const android::RunResult run = runtime.run(script, 0);
+    ASSERT_FALSE(run.events.empty()) << app.display_name;
+
+    const trace::EventTrace events = trace::EventTrace::from_run(run);
+    ASSERT_NO_THROW(events.instances()) << app.display_name;
+
+    // Timestamps are monotone within the record stream.
+    TimestampMs last = 0;
+    for (const trace::EventRecord& record : events.records()) {
+      EXPECT_GE(record.timestamp, last);
+      last = record.timestamp;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs must not crash the analyzer.
+TEST(RobustnessTest, SingleTraceAnalysis) {
+  const workload::AppCase app = workload::opengps_case();
+  workload::PopulationConfig population;
+  population.num_users = 1;
+  const workload::PipelineRun run = workload::run_energydx(app, population);
+  EXPECT_EQ(run.analysis.traces.size(), 1u);
+}
+
+TEST(RobustnessTest, EmptyEventTraceBundle) {
+  trace::TraceBundle bundle;
+  bundle.user = 0;
+  bundle.device_name = "Nexus 6";
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", {});
+  const core::ManifestationAnalyzer analyzer;
+  const core::AnalysisResult result = analyzer.run({bundle});
+  EXPECT_TRUE(result.traces[0].events.empty());
+  EXPECT_TRUE(result.report.ranked_events.empty());
+}
+
+TEST(RobustnessTest, ZeroPowerTraces) {
+  trace::TraceBundle bundle;
+  bundle.user = 0;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    bundle.events.add_instance("E", {i * 1000, i * 1000 + 20});
+    power::UtilizationSample sample;
+    sample.timestamp = (i + 1) * 500;
+    samples.push_back(sample);
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  const core::ManifestationAnalyzer analyzer;
+  const core::AnalysisResult result = analyzer.run({bundle});
+  EXPECT_TRUE(result.traces[0].manifestation_indices.empty());
+}
+
+TEST(RobustnessTest, ZeroLengthEventIntervals) {
+  trace::TraceBundle bundle;
+  bundle.user = 0;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  for (int i = 0; i < 8; ++i) {
+    bundle.events.add_instance("E" + std::to_string(i % 2),
+                               {i * 1000, i * 1000});  // instantaneous
+    power::UtilizationSample sample;
+    sample.timestamp = (i + 1) * 500;
+    sample.estimated_app_power_mw = 100.0;
+    samples.push_back(sample);
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  const core::ManifestationAnalyzer analyzer;
+  EXPECT_NO_THROW(analyzer.run({bundle}));
+}
+
+// ---------------------------------------------------------------------------
+// Anonymizer fuzz: scrubbed text never contains a recognizable identifier,
+// regardless of how identifiers are embedded.
+TEST(PropertyTest, AnonymizerAlwaysScrubs) {
+  Rng rng(7);
+  const std::vector<std::string> templates = {
+      "call %s now",       "%s",          "x%sy",
+      "a %s b %s c",       "prefix-%s;",  "deep/link?phone=%s&x=1",
+  };
+  const std::vector<std::string> identifiers = {
+      "5551234567", "192.168.1.1", "bob@example.com", "+1 555 123 4567",
+      "10.0.0.254", "a.b+c@d.org",
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string text =
+        templates[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    while (true) {
+      const std::size_t pos = text.find("%s");
+      if (pos == std::string::npos) break;
+      text.replace(pos, 2,
+                   identifiers[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+    }
+    const std::string scrubbed = trace::anonymize_text(text);
+    EXPECT_FALSE(trace::contains_identifier(scrubbed))
+        << "input: " << text << " output: " << scrubbed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Order invariance: the report must not depend on the order in which
+// bundles arrived at the collection server.
+TEST(PropertyTest, ReportInvariantToBundleOrder) {
+  const workload::AppCase app = workload::opengps_case();
+  workload::PopulationConfig population;
+  population.num_users = 16;
+  population.seed = 13;
+  const workload::CollectedTraces traces =
+      workload::collect_traces(app, app.buggy, true, population);
+
+  core::AnalysisConfig config;
+  config.reporting.developer_reported_fraction = 0.2;
+  const core::ManifestationAnalyzer analyzer(config);
+  const core::AnalysisResult forward = analyzer.run(traces.bundles);
+
+  std::vector<trace::TraceBundle> reversed(traces.bundles.rbegin(),
+                                           traces.bundles.rend());
+  const core::AnalysisResult backward = analyzer.run(reversed);
+
+  ASSERT_EQ(forward.report.ranked_events.size(),
+            backward.report.ranked_events.size());
+  for (std::size_t i = 0; i < forward.report.ranked_events.size(); ++i) {
+    EXPECT_EQ(forward.report.ranked_events[i].name,
+              backward.report.ranked_events[i].name);
+    EXPECT_DOUBLE_EQ(forward.report.ranked_events[i].impacted_fraction,
+                     backward.report.ranked_events[i].impacted_fraction);
+  }
+  EXPECT_EQ(forward.report.diagnosis_events,
+            backward.report.diagnosis_events);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency smoke: the analyzer is const and must be usable from several
+// threads at once (a backend analyzes many apps in parallel).  Catches
+// hidden global state.
+TEST(PropertyTest, AnalyzerIsThreadSafe) {
+  const std::vector<workload::AppCase> catalog = workload::full_catalog();
+  workload::PopulationConfig population;
+  population.num_users = 10;
+  population.seed = 3;
+
+  std::vector<std::vector<trace::TraceBundle>> inputs;
+  std::vector<std::vector<EventName>> expected;
+  const core::ManifestationAnalyzer analyzer;
+  for (int id : {5, 18, 31, 22}) {
+    const workload::AppCase& app = workload::catalog_app(catalog, id);
+    inputs.push_back(
+        workload::collect_traces(app, app.buggy, true, population).bundles);
+    expected.push_back(analyzer.run(inputs.back()).report.diagnosis_events);
+  }
+
+  std::vector<std::vector<EventName>> results(inputs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = analyzer.run(inputs[i]).report.diagnosis_events;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(results[i], expected[i]) << "input " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extension: an app with TWO independent ABDs.  Different user subsets
+// trigger different bugs; the report must surface both components.
+TEST(ExtensionTest, TwoIndependentBugsBothSurface) {
+  using namespace edx::android;
+  // Base: a no-sleep GPS bug in TrackActivity.
+  workload::GenericAppParams params;
+  params.id = 90;
+  params.name = "DoubleTrouble";
+  params.kind = workload::AbdKind::kNoSleep;
+  params.resource = workload::NoSleepResource::kGps;
+  params.total_loc = 4000;
+  workload::AppCase app = workload::make_generic_app(params);
+
+  // Second bug: a never-cancelled heavy loop behind a button on Detail.
+  const std::string detail =
+      make_class_name("com.example.doubletrouble", "ui", "DetailActivity");
+  ComponentSpec* detail_spec = app.buggy.find_component(detail);
+  ASSERT_NE(detail_spec, nullptr);
+  detail_spec->set_callback(
+      {"onClick:btnLoop", 60,
+       {start_periodic_task("hogger", 2500,
+                            {network(2000, 0.95), cpu_work(500, 0.8)})}});
+
+  const auto base_scenario = app.scenario;
+  app.scenario = [base_scenario, detail](Rng& rng, bool trigger) {
+    // Users 50/50 split between the two bugs when triggering.
+    if (trigger && rng.bernoulli(0.5)) {
+      UserScript script;
+      script.push_back(launch());
+      script.push_back(interact("onItemClick", 900));
+      script.push_back(navigate(detail, 900));
+      script.push_back(interact("onClick:btnLoop", 900));
+      script.push_back(back_press(900));
+      script.push_back(background_app(900));
+      script.push_back(idle(60'000));
+      return script;
+    }
+    return base_scenario(rng, trigger);
+  };
+  app.trigger_fraction = 0.4;  // 2 x 20%
+
+  workload::PopulationConfig population;
+  population.num_users = 30;
+  population.seed = 11;
+  const workload::PipelineRun run = workload::run_energydx(app, population);
+
+  bool track_reported = false;
+  bool loop_component_reported = false;
+  for (const core::ReportedEvent& event : run.analysis.report.ranked_events) {
+    const std::string cls = split_event_name(event.name).class_name;
+    if (cls == app.bug.component_class) track_reported = true;
+    if (cls == detail) loop_component_reported = true;
+  }
+  EXPECT_TRUE(track_reported);
+  EXPECT_TRUE(loop_component_reported);
+}
+
+// ---------------------------------------------------------------------------
+// Extension: a foreground-only ABD (runaway animation/render loop).  The
+// drain never appears in idle periods, so detection must work against the
+// display-dominated foreground base — possible only when the drain is
+// comparable to the rest of the app's draw.
+TEST(ExtensionTest, ForegroundOnlyDrainIsDetectable) {
+  using namespace edx::android;
+  workload::GenericAppParams params;
+  params.id = 91;
+  params.name = "SpinForever";
+  params.kind = workload::AbdKind::kLoop;
+  params.total_loc = 3000;
+  workload::AppCase app = workload::make_generic_app(params);
+
+  const std::string main_class =
+      make_class_name("com.example.spinforever", "ui", "MainActivity");
+  ComponentSpec* main_spec = app.buggy.find_component(main_class);
+  ASSERT_NE(main_spec, nullptr);
+  // A render loop pinning the CPU — strong enough to roughly triple the
+  // app's foreground power (display ~331 mW, loop ~740 mW).
+  main_spec->set_callback(
+      {"onClick:btnAnimate", 50,
+       {start_periodic_task("spin", 1000, {cpu_work(950, 0.9)})}});
+  app.bug.root_cause_event =
+      qualified_event_name(main_class, "onClick:btnAnimate");
+  app.bug.component_class = main_class;
+
+  app.scenario = [main_class](Rng& rng, bool trigger) {
+    UserScript script;
+    script.push_back(launch());
+    script.push_back(interact("onItemClick", 900));
+    if (trigger) script.push_back(interact("onClick:btnAnimate", 900));
+    // Keep using the app in the foreground for a while: the loop spins
+    // behind every interaction.
+    for (int i = 0; i < 8; ++i) {
+      script.push_back(interact("onItemClick",
+                                static_cast<DurationMs>(
+                                    rng.uniform_int(800, 2000))));
+    }
+    script.push_back(background_app(900));
+    script.push_back(idle(20'000));
+    return script;
+  };
+  app.trigger_fraction = 0.2;
+
+  workload::PopulationConfig population;
+  population.num_users = 30;
+  population.seed = 21;
+  const workload::PipelineRun run = workload::run_energydx(app, population);
+
+  int triggered_detected = 0;
+  int triggered_total = 0;
+  for (std::size_t u = 0; u < run.analysis.traces.size(); ++u) {
+    if (!run.traces.triggered[u]) continue;
+    ++triggered_total;
+    if (!run.analysis.traces[u].manifestation_indices.empty()) {
+      ++triggered_detected;
+    }
+  }
+  // Foreground-only drains are the hard case — the display-dominated base
+  // caps the normalized amplitude — so expect a majority, not all.
+  EXPECT_GE(2 * triggered_detected, triggered_total);
+
+  bool component_reported = false;
+  for (const EventName& event : run.analysis.report.diagnosis_events) {
+    if (split_event_name(event).class_name == main_class) {
+      component_reported = true;
+    }
+  }
+  EXPECT_TRUE(component_reported);
+}
+
+}  // namespace
+}  // namespace edx

@@ -1,0 +1,110 @@
+#include "power/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "power/power_model.h"
+
+namespace edx::power {
+namespace {
+
+TEST(CalibrationTest, RecoversExactModelWithoutNoise) {
+  const Device truth = nexus6();
+  const auto samples = generate_training_samples(truth, 4, 0.0, 1);
+  const CalibrationResult result = fit_power_model("Fitted", samples);
+
+  EXPECT_NEAR(result.device.idle_mw(), truth.idle_mw(), 1e-6);
+  for (Component component : kAllComponents) {
+    EXPECT_NEAR(result.device.coefficient_mw(component),
+                truth.coefficient_mw(component), 1e-6)
+        << component_name(component);
+  }
+  EXPECT_LT(result.rms_error_mw, 1e-6);
+  EXPECT_EQ(result.samples_used, samples.size());
+  EXPECT_EQ(result.device.name(), "Fitted");
+}
+
+TEST(CalibrationTest, RobustToMeasurementNoise) {
+  const Device truth = galaxy_s5();
+  const auto samples = generate_training_samples(truth, 24, 0.02, 7);
+  const CalibrationResult result = fit_power_model("Fitted", samples);
+  for (Component component : kAllComponents) {
+    EXPECT_NEAR(result.device.coefficient_mw(component),
+                truth.coefficient_mw(component),
+                0.08 * truth.coefficient_mw(component) + 8.0)
+        << component_name(component);
+  }
+  // Residual on the order of the injected noise.
+  EXPECT_LT(result.rms_error_mw, 0.05 * truth.reference_power_mw());
+}
+
+TEST(CalibrationTest, FittedDeviceIsUsableDownstream) {
+  const auto samples = generate_training_samples(moto_g(), 6, 0.0, 3);
+  const CalibrationResult result = fit_power_model("Moto G (fit)", samples);
+  const PowerModel model(result.device);
+  UtilizationVector utilization;
+  utilization.set(Component::kGps, 1.0);
+  EXPECT_NEAR(model.app_power(utilization),
+              moto_g().coefficient_mw(Component::kGps), 1e-6);
+}
+
+TEST(CalibrationTest, RejectsTooFewSamples) {
+  std::vector<CalibrationSample> samples(kComponentCount);  // == unknowns - 1
+  EXPECT_THROW(fit_power_model("x", samples), InvalidArgument);
+}
+
+TEST(CalibrationTest, UnexcitedComponentIsSingular) {
+  // Samples that only ever exercise the CPU leave six coefficients
+  // unidentifiable.
+  std::vector<CalibrationSample> samples;
+  const PowerModel model(nexus6());
+  for (int i = 0; i <= 20; ++i) {
+    CalibrationSample sample;
+    sample.utilization.set(Component::kCpu, i / 20.0);
+    sample.measured_phone_power_mw = model.phone_power(sample.utilization);
+    samples.push_back(sample);
+  }
+  EXPECT_THROW(fit_power_model("x", samples), AnalysisError);
+}
+
+TEST(CalibrationTest, ClampsNegativeCoefficients) {
+  // Adversarial data: power *decreases* with sensor use.  The fit must not
+  // produce a negative coefficient.
+  const Device truth = nexus6();
+  auto samples = generate_training_samples(truth, 6, 0.0, 5);
+  for (CalibrationSample& sample : samples) {
+    sample.measured_phone_power_mw -=
+        2000.0 * sample.utilization.get(Component::kSensor);
+  }
+  const CalibrationResult result = fit_power_model("weird", samples);
+  EXPECT_GE(result.device.coefficient_mw(Component::kSensor), 0.0);
+  // And the reported residual reflects the bad fit honestly.
+  EXPECT_GT(result.max_abs_error_mw, 100.0);
+}
+
+TEST(CalibrationTest, TrainingGeneratorShape) {
+  const auto samples = generate_training_samples(nexus6(), 3, 0.0, 9);
+  // One idle block + one block per component.
+  EXPECT_EQ(samples.size(), 3 * (1 + kComponentCount));
+  EXPECT_THROW(generate_training_samples(nexus6(), 1, 0.0, 9),
+               InvalidArgument);
+}
+
+// Property sweep: the fit round-trips every built-in device profile.
+class CalibrationRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibrationRoundTrip, RecoversBuiltinProfile) {
+  const Device truth = builtin_devices()[static_cast<std::size_t>(GetParam())];
+  const auto samples = generate_training_samples(truth, 5, 0.0, 11);
+  const CalibrationResult result = fit_power_model(truth.name(), samples);
+  for (Component component : kAllComponents) {
+    EXPECT_NEAR(result.device.coefficient_mw(component),
+                truth.coefficient_mw(component), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, CalibrationRoundTrip,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace edx::power

@@ -1,0 +1,97 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "power/device.h"
+#include "power/scaling.h"
+
+namespace edx::power {
+namespace {
+
+TEST(HardwareTest, ComponentNamesRoundTrip) {
+  for (Component component : kAllComponents) {
+    EXPECT_EQ(component_from_name(component_name(component)), component);
+  }
+  EXPECT_THROW(component_from_name("flux-capacitor"), InvalidArgument);
+}
+
+TEST(HardwareTest, UtilizationVectorClamps) {
+  UtilizationVector vector;
+  vector.set(Component::kCpu, 1.5);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kCpu), 1.0);
+  vector.set(Component::kCpu, -0.3);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kCpu), 0.0);
+  vector.add(Component::kCpu, 0.7);
+  vector.add(Component::kCpu, 0.7);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kCpu), 1.0);
+}
+
+TEST(DeviceTest, BuiltinProfilesAreValid) {
+  for (const Device& device : builtin_devices()) {
+    EXPECT_FALSE(device.name().empty());
+    EXPECT_GT(device.idle_mw(), 0.0);
+    for (Component component : kAllComponents) {
+      EXPECT_GT(device.coefficient_mw(component), 0.0) << device.name();
+    }
+    EXPECT_GT(device.reference_power_mw(), device.idle_mw());
+  }
+}
+
+TEST(DeviceTest, RejectsNegativeCoefficients) {
+  EXPECT_THROW(Device("bad", -1.0, {0, 0, 0, 0, 0, 0, 0}), InvalidArgument);
+  EXPECT_THROW(Device("bad", 1.0, {-1, 0, 0, 0, 0, 0, 0}), InvalidArgument);
+  EXPECT_THROW(Device("", 1.0, {0, 0, 0, 0, 0, 0, 0}), InvalidArgument);
+}
+
+TEST(PowerModelTest, LinearInUtilization) {
+  const PowerModel model(nexus6());
+  UtilizationVector one_third;
+  one_third.set(Component::kCpu, 1.0 / 3.0);
+  UtilizationVector full;
+  full.set(Component::kCpu, 1.0);
+  EXPECT_NEAR(model.app_power(one_third) * 3.0, model.app_power(full), 1e-9);
+}
+
+TEST(PowerModelTest, AppPowerSumsComponents) {
+  const PowerModel model(nexus6());
+  UtilizationVector utilization;
+  utilization.set(Component::kCpu, 0.5);
+  utilization.set(Component::kGps, 1.0);
+  const double expected = model.component_power(Component::kCpu, 0.5) +
+                          model.component_power(Component::kGps, 1.0);
+  EXPECT_NEAR(model.app_power(utilization), expected, 1e-9);
+}
+
+TEST(PowerModelTest, PhonePowerAddsIdleBaseline) {
+  const PowerModel model(nexus6());
+  UtilizationVector idle;
+  EXPECT_DOUBLE_EQ(model.app_power(idle), 0.0);
+  EXPECT_DOUBLE_EQ(model.phone_power(idle), model.device().idle_mw());
+}
+
+TEST(ScalingTest, IdentityForReferenceDevice) {
+  const PowerModelScaler scaler(nexus6());
+  EXPECT_DOUBLE_EQ(scaler.scale_factor(nexus6()), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.to_reference(123.0, nexus6()), 123.0);
+}
+
+TEST(ScalingTest, WeakerDeviceScalesUp) {
+  const PowerModelScaler scaler(nexus6());
+  // The Moto G draws less at the reference point, so its measurements scale
+  // *up* onto the Nexus 6 scale.
+  EXPECT_GT(scaler.scale_factor(moto_g()), 1.0);
+  EXPECT_LT(scaler.scale_factor(galaxy_s5()), 1.0);
+}
+
+TEST(ScalingTest, RoundTripThroughTwoDevices) {
+  const PowerModelScaler to_n6(nexus6());
+  const PowerModelScaler to_moto(moto_g());
+  const double power = 200.0;
+  const double there = to_n6.to_reference(power, moto_g());
+  const double back = to_moto.to_reference(there, nexus6());
+  EXPECT_NEAR(back, power, 1e-9);
+}
+
+}  // namespace
+}  // namespace edx::power

@@ -1,0 +1,145 @@
+#include "power/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::power {
+namespace {
+
+TEST(TimelineTest, SingleContributionAverages) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 1000}, 0.5);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kCpu, 0, 1000),
+                   0.5);
+  // Half the window covered -> half the utilization.
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kCpu, 0, 2000),
+                   0.25);
+  // Disjoint window -> zero.
+  EXPECT_DOUBLE_EQ(
+      timeline.component_utilization(1, Component::kCpu, 2000, 3000), 0.0);
+}
+
+TEST(TimelineTest, OverlappingContributionsSumAndClamp) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 1000}, 0.7);
+  timeline.add(1, Component::kCpu, {0, 1000}, 0.7);
+  // 1.4 clamps to 1.0 instant-by-instant.
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kCpu, 0, 1000),
+                   1.0);
+  // Partial overlap: [0,500) has 0.7, [500,1000) has 1.0 (clamped).
+  UtilizationTimeline partial;
+  partial.add(1, Component::kCpu, {0, 1000}, 0.7);
+  partial.add(1, Component::kCpu, {500, 1000}, 0.7);
+  EXPECT_NEAR(partial.component_utilization(1, Component::kCpu, 0, 1000),
+              (0.7 * 500 + 1.0 * 500) / 1000.0, 1e-12);
+}
+
+TEST(TimelineTest, PidFiltering) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kWifi, {0, 1000}, 0.4);
+  timeline.add(2, Component::kWifi, {0, 1000}, 0.3);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kWifi, 0, 1000),
+                   0.4);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(2, Component::kWifi, 0, 1000),
+                   0.3);
+  EXPECT_DOUBLE_EQ(
+      timeline.total_component_utilization(Component::kWifi, 0, 1000), 0.7);
+}
+
+TEST(TimelineTest, IgnoresEmptyAndZeroContributions) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {100, 100}, 0.5);
+  timeline.add(1, Component::kCpu, {200, 100}, 0.5);
+  timeline.add(1, Component::kCpu, {0, 100}, 0.0);
+  EXPECT_EQ(timeline.contribution_count(), 0u);
+}
+
+TEST(TimelineTest, ClampsUtilizationAboveOne) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kGps, {0, 100}, 3.0);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kGps, 0, 100),
+                   1.0);
+}
+
+TEST(TimelineTest, OpenCloseLifecycle) {
+  UtilizationTimeline timeline;
+  const std::size_t handle = timeline.open(1, Component::kGps, 0, 1.0);
+  EXPECT_TRUE(timeline.is_open(handle));
+  timeline.close(handle, 500);
+  EXPECT_FALSE(timeline.is_open(handle));
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kGps, 0, 1000),
+                   0.5);
+  EXPECT_THROW(timeline.close(handle, 600), InvalidArgument);
+}
+
+TEST(TimelineTest, CloseAllTerminatesLeaks) {
+  UtilizationTimeline timeline;
+  timeline.open(1, Component::kGps, 0, 1.0);
+  timeline.open(1, Component::kCpu, 100, 0.1);
+  EXPECT_EQ(timeline.close_all(1000), 2u);
+  EXPECT_EQ(timeline.close_all(1000), 0u);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kGps, 0, 1000),
+                   1.0);
+  EXPECT_EQ(timeline.last_activity_end(), 1000);
+}
+
+TEST(TimelineTest, CloseClampsToBegin) {
+  UtilizationTimeline timeline;
+  const std::size_t handle = timeline.open(1, Component::kGps, 500, 1.0);
+  timeline.close(handle, 100);  // before begin: clamped to empty
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kGps, 0, 1000),
+                   0.0);
+}
+
+TEST(TimelineTest, WindowedAveragesMatchSingleWindowQueries) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {250, 1750}, 0.6);
+  timeline.add(1, Component::kCpu, {900, 2600}, 0.8);
+  timeline.add(2, Component::kCpu, {0, 3000}, 0.5);  // other pid
+
+  const std::vector<Utilization> batch = timeline.windowed_averages(
+      1, /*filter_pid=*/true, Component::kCpu, 0, 3000, 500);
+  ASSERT_EQ(batch.size(), 6u);
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    const TimestampMs begin = static_cast<TimestampMs>(w) * 500;
+    EXPECT_NEAR(batch[w],
+                timeline.component_utilization(1, Component::kCpu, begin,
+                                               begin + 500),
+                1e-9)
+        << "window " << w;
+  }
+}
+
+TEST(TimelineTest, WindowedAveragesUnfiltered) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kWifi, {0, 500}, 0.4);
+  timeline.add(2, Component::kWifi, {0, 500}, 0.5);
+  const std::vector<Utilization> batch = timeline.windowed_averages(
+      0, /*filter_pid=*/false, Component::kWifi, 0, 500, 500);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_NEAR(batch[0], 0.9, 1e-12);
+}
+
+TEST(TimelineTest, WindowedAveragesEmptyAndErrors) {
+  UtilizationTimeline timeline;
+  EXPECT_TRUE(timeline
+                  .windowed_averages(1, true, Component::kCpu, 100, 100, 500)
+                  .empty());
+  EXPECT_THROW(
+      timeline.windowed_averages(1, true, Component::kCpu, 0, 1000, 0),
+      InvalidArgument);
+}
+
+TEST(TimelineTest, UtilizationVectorCollectsAllComponents) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 1000}, 0.3);
+  timeline.add(1, Component::kDisplay, {0, 1000}, 0.8);
+  const UtilizationVector vector = timeline.utilization_vector(1, 0, 1000);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kCpu), 0.3);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kDisplay), 0.8);
+  EXPECT_DOUBLE_EQ(vector.get(Component::kGps), 0.0);
+}
+
+}  // namespace
+}  // namespace edx::power

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "power/breakdown.h"
+#include "power/monsoon.h"
+#include "power/tracker.h"
+
+namespace edx::power {
+namespace {
+
+UtilizationTracker exact_tracker(DurationMs period = 500) {
+  TrackerConfig config;
+  config.period_ms = period;
+  config.estimation_noise = 0.0;
+  return UtilizationTracker(PowerModel(nexus6()), config, Rng(1));
+}
+
+TEST(TrackerTest, SampleCountAndTimestamps) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 2600}, 0.5);
+  UtilizationTracker tracker = exact_tracker();
+  const auto samples = tracker.track(timeline, 1, 0, 2600);
+  // 2600 / 500 -> 5 whole windows; the partial tail is dropped.
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples.front().timestamp, 500);
+  EXPECT_EQ(samples.back().timestamp, 2500);
+}
+
+TEST(TrackerTest, ExactModelWithoutNoise) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kGps, {0, 1000}, 1.0);
+  UtilizationTracker tracker = exact_tracker();
+  const auto samples = tracker.track(timeline, 1, 0, 1000);
+  ASSERT_EQ(samples.size(), 2u);
+  const double gps_coefficient = nexus6().coefficient_mw(Component::kGps);
+  EXPECT_NEAR(samples[0].estimated_app_power_mw, gps_coefficient, 1e-9);
+  EXPECT_NEAR(samples[0].utilization.get(Component::kGps), 1.0, 1e-12);
+}
+
+TEST(TrackerTest, NoiseIsBoundedAndUnbiased) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 500'000}, 0.5);
+  TrackerConfig config;
+  config.estimation_noise = 0.01;
+  UtilizationTracker tracker(PowerModel(nexus6()), config, Rng(3));
+  const auto samples = tracker.track(timeline, 1, 0, 500'000);
+  const double truth = 0.5 * nexus6().coefficient_mw(Component::kCpu);
+  double total = 0.0;
+  for (const auto& sample : samples) {
+    // "< 2.5% error" at ~2.5 sigma.
+    EXPECT_NEAR(sample.estimated_app_power_mw, truth, truth * 0.05);
+    total += sample.estimated_app_power_mw;
+  }
+  EXPECT_NEAR(total / static_cast<double>(samples.size()), truth,
+              truth * 0.002);
+}
+
+TEST(TrackerTest, RegistersOwnCost) {
+  UtilizationTimeline timeline;
+  UtilizationTracker tracker = exact_tracker();
+  tracker.register_self_cost(timeline, /*tracker_pid=*/99, 0, 1000);
+  EXPECT_GT(timeline.component_utilization(99, Component::kCpu, 0, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.component_utilization(1, Component::kCpu, 0, 1000),
+                   0.0);
+}
+
+TEST(MonsoonTest, IntegratesEnergyExactly) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 2000}, 1.0);
+  const PowerModel model(nexus6());
+  const MonsoonMonitor monsoon(model, 5);
+  const MonsoonReading reading = monsoon.measure(timeline, 0, 2000);
+  const double expected_power =
+      nexus6().idle_mw() + nexus6().coefficient_mw(Component::kCpu);
+  EXPECT_NEAR(reading.average_power_mw, expected_power, 1e-6);
+  EXPECT_NEAR(reading.energy_mj, expected_power * 2.0, 1e-6);
+  EXPECT_EQ(reading.duration_ms, 2000);
+}
+
+TEST(MonsoonTest, PerPidExcludesIdleAndOthers) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 1000}, 0.5);
+  timeline.add(2, Component::kCpu, {0, 1000}, 0.5);
+  const MonsoonMonitor monsoon(PowerModel(nexus6()), 5);
+  const MonsoonReading app = monsoon.measure_pid(timeline, 1, 0, 1000);
+  EXPECT_NEAR(app.average_power_mw,
+              0.5 * nexus6().coefficient_mw(Component::kCpu), 1e-6);
+}
+
+TEST(MonsoonTest, TrackerAgreesWithGroundTruth) {
+  // The on-device estimator and the external meter must agree within the
+  // paper's 2.5% error budget when both watch the same app.
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kCpu, {0, 10'000}, 0.4);
+  timeline.add(1, Component::kWifi, {2'000, 7'000}, 0.8);
+  timeline.add(1, Component::kDisplay, {0, 10'000}, 0.8);
+
+  UtilizationTracker tracker = exact_tracker();
+  const auto samples = tracker.track(timeline, 1, 0, 10'000);
+  double tracker_energy_mj = 0.0;
+  for (const auto& sample : samples) {
+    tracker_energy_mj += sample.estimated_app_power_mw * 0.5;
+  }
+
+  const MonsoonMonitor monsoon(PowerModel(nexus6()), 5);
+  const MonsoonReading truth = monsoon.measure_pid(timeline, 1, 0, 10'000);
+  EXPECT_NEAR(tracker_energy_mj, truth.energy_mj, truth.energy_mj * 0.025);
+}
+
+TEST(MonsoonTest, EmptyWindow) {
+  UtilizationTimeline timeline;
+  const MonsoonMonitor monsoon(PowerModel(nexus6()), 5);
+  const MonsoonReading reading = monsoon.measure(timeline, 100, 100);
+  EXPECT_EQ(reading.duration_ms, 0);
+  EXPECT_DOUBLE_EQ(reading.energy_mj, 0.0);
+}
+
+TEST(BreakdownTest, DominantComponentAndSeries) {
+  UtilizationTimeline timeline;
+  timeline.add(1, Component::kGps, {0, 4000}, 1.0);
+  timeline.add(1, Component::kCpu, {0, 4000}, 0.1);
+  const PowerBreakdown breakdown{PowerModel(nexus6())};
+
+  const BreakdownSample average = breakdown.average(timeline, 1, 0, 4000);
+  EXPECT_EQ(PowerBreakdown::dominant_component(average), Component::kGps);
+  EXPECT_NEAR(average.total(),
+              nexus6().coefficient_mw(Component::kGps) +
+                  0.1 * nexus6().coefficient_mw(Component::kCpu),
+              1e-9);
+
+  const auto series = breakdown.series(timeline, 1, 0, 4000, 1000);
+  ASSERT_EQ(series.size(), 4u);
+  for (const BreakdownSample& sample : series) {
+    EXPECT_NEAR(sample.total(), average.total(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace edx::power

@@ -1,0 +1,85 @@
+#include "trace/event_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace edx::trace {
+namespace {
+
+TEST(EventTraceTest, AddInstanceAndPairBack) {
+  EventTrace trace;
+  trace.add_instance("Lfoo/A;.onResume", {100, 150});
+  trace.add_instance("Lfoo/A;.onPause", {200, 230});
+  const auto instances = trace.instances();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].event, "Lfoo/A;.onResume");
+  EXPECT_EQ(instances[0].interval, (TimeInterval{100, 150}));
+  EXPECT_EQ(instances[1].event, "Lfoo/A;.onPause");
+}
+
+TEST(EventTraceTest, TextFormatMatchesFigureFive) {
+  EventTrace trace;
+  trace.add_instance("Lcom/fsck/k9/service/MailService;.onDestroy",
+                     {28223867, 28223867});
+  const std::string text = trace.to_text();
+  EXPECT_EQ(text,
+            "28223867 + Lcom/fsck/k9/service/MailService;.onDestroy\n"
+            "28223867 - Lcom/fsck/k9/service/MailService;.onDestroy\n");
+}
+
+TEST(EventTraceTest, TextRoundTrip) {
+  EventTrace trace;
+  trace.add_instance("Lfoo/A;.onResume", {1, 5});
+  trace.add_instance("Idle(No_Display)", {10, 5010});
+  const EventTrace parsed = EventTrace::from_text(trace.to_text());
+  EXPECT_EQ(parsed, trace);
+}
+
+TEST(EventTraceTest, FromTextSkipsBlankLines) {
+  const EventTrace parsed =
+      EventTrace::from_text("\n10 + Lfoo/A;.x\n\n20 - Lfoo/A;.x\n  \n");
+  EXPECT_EQ(parsed.records().size(), 2u);
+}
+
+TEST(EventTraceTest, FromTextRejectsMalformedLines) {
+  EXPECT_THROW(EventTrace::from_text("banana"), ParseError);
+  EXPECT_THROW(EventTrace::from_text("10 * Lfoo/A;.x"), ParseError);
+  EXPECT_THROW(EventTrace::from_text("10 +"), ParseError);
+}
+
+TEST(EventTraceTest, UnbalancedRecordsThrowOnPairing) {
+  EventTrace missing_exit(
+      {{10, true, "Lfoo/A;.x"}});
+  EXPECT_THROW(missing_exit.instances(), ParseError);
+
+  EventTrace missing_entry(
+      {{10, false, "Lfoo/A;.x"}});
+  EXPECT_THROW(missing_entry.instances(), ParseError);
+}
+
+TEST(EventTraceTest, InterleavedDistinctEventsPairCorrectly) {
+  // A starts, B starts, A ends, B ends.
+  EventTrace trace({{0, true, "A"},
+                    {5, true, "B"},
+                    {10, false, "A"},
+                    {15, false, "B"}});
+  const auto instances = trace.instances();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].event, "A");
+  EXPECT_EQ(instances[0].interval, (TimeInterval{0, 10}));
+  EXPECT_EQ(instances[1].event, "B");
+  EXPECT_EQ(instances[1].interval, (TimeInterval{5, 15}));
+}
+
+TEST(EventTraceTest, InstancesSortedByEntryTime) {
+  EventTrace trace;
+  trace.add_instance("B", {50, 60});
+  trace.add_instance("A", {10, 20});
+  const auto instances = trace.instances();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].event, "A");
+}
+
+}  // namespace
+}  // namespace edx::trace

@@ -1,0 +1,152 @@
+#include "workload/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "android/apk_builder.h"
+#include "common/error.h"
+#include "workload/app_factory.h"
+
+namespace edx::workload {
+namespace {
+
+TEST(CatalogTest, HasFortyAppsWithTableThreeIds) {
+  const std::vector<AppCase> catalog = full_catalog();
+  ASSERT_EQ(catalog.size(), 40u);
+  std::set<int> ids;
+  for (const AppCase& app : catalog) ids.insert(app.id);
+  EXPECT_EQ(ids.size(), 40u);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 40);
+}
+
+TEST(CatalogTest, RootCauseMixMatchesTableThree) {
+  // 24 no-sleep, 10 configuration, 6 loop.
+  int no_sleep = 0;
+  int configuration = 0;
+  int loop = 0;
+  for (const AppCase& app : full_catalog()) {
+    switch (app.kind) {
+      case AbdKind::kNoSleep: ++no_sleep; break;
+      case AbdKind::kConfiguration: ++configuration; break;
+      case AbdKind::kLoop: ++loop; break;
+    }
+  }
+  EXPECT_EQ(no_sleep, 24);
+  EXPECT_EQ(configuration, 10);
+  EXPECT_EQ(loop, 6);
+}
+
+TEST(CatalogTest, ExactlyThreeAliasedReleases) {
+  int aliased = 0;
+  for (const AppCase& app : full_catalog()) {
+    if (app.bug.aliased_release) ++aliased;
+  }
+  EXPECT_EQ(aliased, 3);  // the 21-of-24 no-sleep detection gap
+}
+
+TEST(CatalogTest, WellKnownRowsMatchThePaper) {
+  const std::vector<AppCase> catalog = full_catalog();
+  const AppCase& k9 = catalog_app(catalog, 3);
+  EXPECT_EQ(k9.display_name, "K-9 Mail");
+  EXPECT_EQ(k9.kind, AbdKind::kConfiguration);
+  EXPECT_EQ(k9.buggy.total_loc(), 98'532);
+
+  const AppCase& tinfoil = catalog_app(catalog, 18);
+  EXPECT_EQ(tinfoil.display_name, "Tinfoil");
+  EXPECT_EQ(tinfoil.kind, AbdKind::kLoop);
+  EXPECT_EQ(tinfoil.buggy.total_loc(), 4'226);
+
+  const AppCase& wallabag = catalog_app(catalog, 28);
+  EXPECT_EQ(wallabag.display_name, "Wallabag");
+  EXPECT_EQ(wallabag.buggy.total_loc(), 21'424);
+
+  EXPECT_EQ(catalog_app(catalog, 1).display_name, "Facebook");
+  EXPECT_EQ(catalog_app(catalog, 1).downloads, 1'000'000'000);
+  EXPECT_THROW(catalog_app(catalog, 41), InvalidArgument);
+}
+
+TEST(CatalogTest, EveryAppIsWellFormed) {
+  for (const AppCase& app : full_catalog()) {
+    SCOPED_TRACE(app.display_name);
+    EXPECT_FALSE(app.buggy.main_activity.empty());
+    EXPECT_NE(app.buggy.find_component(app.buggy.main_activity), nullptr);
+    EXPECT_GT(app.buggy.total_loc(), 500);
+    EXPECT_EQ(app.buggy.total_loc(), app.fixed.total_loc());
+    EXPECT_GT(app.trigger_fraction, 0.0);
+    EXPECT_LT(app.trigger_fraction, 0.5);
+    EXPECT_FALSE(app.bug.root_cause_event.empty());
+    EXPECT_NE(app.buggy.find_component(app.bug.component_class), nullptr);
+    EXPECT_GT(app.bug.drain_power_mw, 0.0);
+    // The buggy and fixed builds must actually differ.
+    EXPECT_NE(android::pack(android::build_apk(app.buggy)),
+              android::pack(android::build_apk(app.fixed)));
+    // Scenario scripts are runnable: start with launch, deterministic.
+    Rng rng_a(7);
+    Rng rng_b(7);
+    const android::UserScript script_a = app.scenario(rng_a, true);
+    const android::UserScript script_b = app.scenario(rng_b, true);
+    ASSERT_FALSE(script_a.empty());
+    EXPECT_EQ(script_a.front().kind, android::StepKind::kLaunch);
+    ASSERT_EQ(script_a.size(), script_b.size());
+    const android::UserScript normal = app.scenario(rng_a, false);
+    EXPECT_FALSE(normal.empty());
+  }
+}
+
+TEST(CatalogTest, PaperCodeColumnIsPlausible) {
+  for (const AppCase& app : full_catalog()) {
+    EXPECT_GT(app.paper_code_reduction, 0.8);
+    EXPECT_LT(app.paper_code_reduction, 1.0);
+  }
+}
+
+TEST(CatalogTest, OpenGpsCaseStudyIsSeparate) {
+  const AppCase opengps = opengps_case();
+  EXPECT_EQ(opengps.id, 0);  // §IV-C only, not a Table III row
+  EXPECT_EQ(opengps.buggy.total_loc(), 5'060);
+  EXPECT_EQ(opengps.kind, AbdKind::kNoSleep);
+}
+
+TEST(AppFactoryTest, PackageFromName) {
+  EXPECT_EQ(package_from_name("Boston Bus Map"), "com.example.bostonbusmap");
+  EXPECT_EQ(package_from_name("K-9 Mail"), "com.example.k9mail");
+  EXPECT_THROW(package_from_name("---"), InvalidArgument);
+}
+
+TEST(AppFactoryTest, AliasedImpliesNoSleepWakelock) {
+  GenericAppParams params;
+  params.id = 1;
+  params.name = "X";
+  params.kind = AbdKind::kLoop;
+  params.aliased_release = true;
+  params.total_loc = 1000;
+  EXPECT_THROW(make_generic_app(params), InvalidArgument);
+}
+
+TEST(AppFactoryTest, FixedVariantRepairsTheDefect) {
+  GenericAppParams params;
+  params.id = 2;
+  params.name = "Fixture";
+  params.kind = AbdKind::kNoSleep;
+  params.resource = NoSleepResource::kGps;
+  params.total_loc = 3000;
+  const AppCase app = make_generic_app(params);
+
+  const auto* buggy_track = app.buggy.find_component(app.bug.component_class);
+  const auto* fixed_track = app.fixed.find_component(app.bug.component_class);
+  ASSERT_NE(buggy_track, nullptr);
+  ASSERT_NE(fixed_track, nullptr);
+  const auto has_gps_stop = [](const android::CallbackSpec* callback) {
+    for (const android::Op& op : callback->behavior) {
+      if (op.kind == android::OpKind::kGpsStop) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_gps_stop(buggy_track->find_callback("onPause")));
+  EXPECT_TRUE(has_gps_stop(fixed_track->find_callback("onPause")));
+}
+
+}  // namespace
+}  // namespace edx::workload

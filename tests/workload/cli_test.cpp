@@ -1,0 +1,152 @@
+#include "workload/cli.h"
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "android/apk.h"
+#include "android/apk_builder.h"
+#include "workload/catalog.h"
+
+namespace edx::workload::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& leaf) {
+  const std::string path = ::testing::TempDir() + "/edx_cli_" + leaf;
+  fs::remove_all(path);
+  fs::create_directories(path);
+  return path;
+}
+
+TEST(CliTest, CatalogListsFortyApps) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_catalog(out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("K-9 Mail"), std::string::npos);
+  EXPECT_NE(text.find("configuration"), std::string::npos);
+  // 40 data lines + 1 header.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 41);
+}
+
+TEST(CliTest, InstrumentRoundTripsApkFile) {
+  const std::string dir = temp_dir("instrument");
+  const AppCase app = tinfoil_case();
+  {
+    std::ofstream out(dir + "/in.apk.txt");
+    out << android::pack(android::build_apk(app.buggy));
+  }
+  std::ostringstream log;
+  EXPECT_EQ(cmd_instrument(dir + "/in.apk.txt", dir + "/out.apk.txt", log), 0);
+  EXPECT_NE(log.str().find("instrumented"), std::string::npos);
+
+  std::ifstream in(dir + "/out.apk.txt");
+  std::stringstream content;
+  content << in.rdbuf();
+  const android::Apk instrumented = android::unpack(content.str());
+  const android::Method* method =
+      instrumented.dex.find_class(app.buggy.main_activity)
+          ->find_method("onCreate");
+  ASSERT_NE(method, nullptr);
+  EXPECT_TRUE(method->instrumented);
+}
+
+TEST(CliTest, SimulateThenAnalyzeEndToEnd) {
+  const std::string dir = temp_dir("pipeline");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/20, /*seed=*/42, log), 0);
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                          fs::directory_iterator{}),
+            20);
+
+  std::ostringstream report;
+  ASSERT_EQ(cmd_analyze(dir, /*app_id=*/18, /*reported_fraction=*/0.2,
+                        /*as_json=*/false, report),
+            0);
+  const std::string text = report.str();
+  EXPECT_NE(text.find("Tinfoil"), std::string::npos);
+  EXPECT_NE(text.find("Search space: 4226 ->"), std::string::npos);
+  EXPECT_NE(text.find("menu_item_newsfeed"), std::string::npos);
+}
+
+TEST(CliTest, AnalyzeJsonAndSelfEstimate) {
+  const std::string dir = temp_dir("json");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(5, dir, 20, 42, log), 0);
+
+  std::ostringstream report;
+  ASSERT_EQ(cmd_analyze(dir, std::nullopt, std::nullopt, /*as_json=*/true,
+                        report),
+            0);
+  const std::string json = report.str();
+  EXPECT_NE(json.find("\"ranked_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_traces\": 20"), std::string::npos);
+  // Self-estimated fraction must be positive (something manifested).
+  EXPECT_EQ(json.find("\"developer_reported_fraction\": 0.000000"),
+            std::string::npos);
+}
+
+TEST(CliTest, RunDispatchesAndReportsErrors) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({}, out, err), 2);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+
+  EXPECT_EQ(run({"frobnicate"}, out, err), 1);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+
+  EXPECT_EQ(run({"analyze", "/nonexistent-dir-xyz"}, out, err), 1);
+  EXPECT_EQ(run({"catalog"}, out, err), 0);
+}
+
+TEST(CliTest, GenTrainingThenCalibrateRoundTrip) {
+  const std::string dir = temp_dir("calibrate");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_gen_training("Moto G", dir + "/samples.csv", 6, 0.0, log), 0);
+  EXPECT_NE(log.str().find("training samples"), std::string::npos);
+
+  std::ostringstream fit;
+  ASSERT_EQ(cmd_calibrate(dir + "/samples.csv", "Moto G (fit)", fit), 0);
+  // The fitted GPS coefficient matches the built-in Moto G profile.
+  EXPECT_NE(fit.str().find("gps: 381"), std::string::npos);
+  EXPECT_NE(fit.str().find("idle: 21"), std::string::npos);
+}
+
+TEST(CliTest, GenTrainingRejectsUnknownDevice) {
+  std::ostringstream log;
+  EXPECT_THROW(cmd_gen_training("Quantum Phone", "/tmp/x.csv", 4, 0.0, log),
+               edx::InvalidArgument);
+}
+
+TEST(CliTest, CalibrateRejectsMalformedCsv) {
+  const std::string dir = temp_dir("badcsv");
+  {
+    std::ofstream out(dir + "/bad.csv");
+    out << "header\n1,2,3\n";
+  }
+  std::ostringstream log;
+  EXPECT_THROW(cmd_calibrate(dir + "/bad.csv", "x", log), edx::ParseError);
+}
+
+TEST(CliTest, VerifyConfirmsCatalogFixes) {
+  std::ostringstream out;
+  EXPECT_EQ(cmd_verify(/*app_id=*/5, /*users=*/20, /*seed=*/42, out), 0);
+  EXPECT_NE(out.str().find("FIX CONFIRMED"), std::string::npos);
+  EXPECT_NE(out.str().find("Open Camera"), std::string::npos);
+}
+
+TEST(CliTest, AnalyzeRejectsEmptyDirectory) {
+  const std::string dir = temp_dir("empty");
+  std::ostringstream report;
+  EXPECT_THROW(
+      cmd_analyze(dir, std::nullopt, std::nullopt, false, report),
+      edx::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace edx::workload::cli

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "power/monsoon.h"
+#include "workload/app_factory.h"
+#include "workload/experiment.h"
+#include "workload/ground_truth.h"
+#include "workload/session.h"
+
+namespace edx::workload {
+namespace {
+
+AppCase test_app() {
+  GenericAppParams params;
+  params.id = 77;
+  params.name = "SessionProbe";
+  params.kind = AbdKind::kNoSleep;
+  params.resource = NoSleepResource::kGps;
+  params.total_loc = 3000;
+  params.trigger_fraction = 0.25;
+  return make_generic_app(params);
+}
+
+TEST(SessionTest, CollectsOneBundlePerUser) {
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 8;
+  config.seed = 1;
+  const CollectedTraces traces =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  EXPECT_EQ(traces.bundles.size(), 8u);
+  EXPECT_EQ(traces.runs.size(), 8u);
+  EXPECT_EQ(traces.timelines.size(), 8u);
+  EXPECT_EQ(traces.triggered.size(), 8u);
+  EXPECT_NEAR(traces.trigger_fraction_actual, 0.25, 1e-12);
+  int triggered = 0;
+  for (bool t : traces.triggered) triggered += t ? 1 : 0;
+  EXPECT_EQ(triggered, 2);
+}
+
+TEST(SessionTest, DeterministicForSameSeed) {
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 4;
+  config.seed = 9;
+  const CollectedTraces a =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  const CollectedTraces b =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  ASSERT_EQ(a.bundles.size(), b.bundles.size());
+  for (std::size_t i = 0; i < a.bundles.size(); ++i) {
+    EXPECT_EQ(a.bundles[i].to_text(), b.bundles[i].to_text());
+  }
+}
+
+TEST(SessionTest, DifferentSeedsDiffer) {
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 4;
+  config.seed = 9;
+  const CollectedTraces a =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  config.seed = 10;
+  const CollectedTraces b =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  EXPECT_NE(a.bundles[0].to_text(), b.bundles[0].to_text());
+}
+
+TEST(SessionTest, VariantsArePaired) {
+  // Same seed, different build: identical event sequences (the scripts are
+  // the same), different power.
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 4;
+  config.seed = 3;
+  const CollectedTraces buggy =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+  const CollectedTraces fixed =
+      collect_traces(app, app.fixed, /*instrumented=*/true, config);
+  for (std::size_t u = 0; u < 4; ++u) {
+    ASSERT_EQ(buggy.runs[u].events.size(), fixed.runs[u].events.size());
+    for (std::size_t e = 0; e < buggy.runs[u].events.size(); ++e) {
+      EXPECT_EQ(buggy.runs[u].events[e].name, fixed.runs[u].events[e].name);
+    }
+  }
+}
+
+TEST(SessionTest, DeviceRotationAndHomogeneousMode) {
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 6;
+  config.heterogeneous_devices = true;
+  const CollectedTraces heterogeneous =
+      collect_traces(app, app.buggy, true, config);
+  std::set<std::string> devices(heterogeneous.device_names.begin(),
+                                heterogeneous.device_names.end());
+  EXPECT_GT(devices.size(), 1u);
+
+  config.heterogeneous_devices = false;
+  const CollectedTraces homogeneous =
+      collect_traces(app, app.buggy, true, config);
+  for (const std::string& name : homogeneous.device_names) {
+    EXPECT_EQ(name, "Nexus 6");
+  }
+}
+
+TEST(SessionTest, MultiSessionChainsConfigAndConcatenatesEvents) {
+  // A configuration bug set in session 1 persists (SharedPreferences) and
+  // keeps draining in session 2, where the trace has no transition at all.
+  GenericAppParams params;
+  params.id = 78;
+  params.name = "ChainProbe";
+  params.kind = AbdKind::kConfiguration;
+  params.total_loc = 3000;
+  params.trigger_fraction = 0.25;
+  const AppCase app = make_generic_app(params);
+
+  PopulationConfig config;
+  config.num_users = 4;
+  config.seed = 5;
+  config.sessions_per_user = 3;
+  config.session_gap_ms = 60'000;
+  const CollectedTraces traces =
+      collect_traces(app, app.buggy, /*instrumented=*/true, config);
+
+  PopulationConfig single = config;
+  single.sessions_per_user = 1;
+  const CollectedTraces one =
+      collect_traces(app, app.buggy, /*instrumented=*/true, single);
+
+  for (std::size_t u = 0; u < 4; ++u) {
+    // Roughly three sessions' worth of events and a longer span.
+    EXPECT_GT(traces.runs[u].events.size(),
+              2 * one.runs[u].events.size());
+    EXPECT_GT(traces.runs[u].end_time, one.runs[u].end_time + 100'000);
+    // The bad value survives to the end for triggering users only.
+    const std::string mode = traces.runs[u].final_config.count("sync_mode")
+                                 ? traces.runs[u].final_config.at("sync_mode")
+                                 : "";
+    if (traces.triggered[u]) {
+      EXPECT_EQ(mode, "aggressive");
+    } else {
+      EXPECT_EQ(mode, "normal");
+    }
+    // The merged bundle still pairs cleanly.
+    EXPECT_NO_THROW(traces.bundles[u].events.instances());
+  }
+
+  // The drain persists into the final session for triggering users: the
+  // app draws real power in the last 30 s of the trace.
+  const power::MonsoonMonitor monsoon(power::PowerModel(power::nexus6()),
+                                      100);
+  const auto& run0 = traces.runs[0];
+  ASSERT_TRUE(traces.triggered[0]);
+  const double late_power =
+      monsoon
+          .measure_pid(traces.timelines[0], run0.pid, run0.end_time - 30'000,
+                       run0.end_time)
+          .average_power_mw;
+  EXPECT_GT(late_power, 20.0);
+}
+
+TEST(SessionTest, UninstrumentedRunsProduceEmptyEventTraces) {
+  const AppCase app = test_app();
+  PopulationConfig config;
+  config.num_users = 2;
+  const CollectedTraces traces =
+      collect_traces(app, app.buggy, /*instrumented=*/false, config);
+  for (const trace::TraceBundle& bundle : traces.bundles) {
+    EXPECT_TRUE(bundle.events.empty());
+    EXPECT_FALSE(bundle.utilization.empty());
+  }
+}
+
+core::AnalyzedTrace synthetic_trace(std::size_t root,
+                                    std::vector<std::size_t> detections,
+                                    std::size_t count = 20) {
+  core::AnalyzedTrace trace;
+  for (std::size_t i = 0; i < count; ++i) {
+    core::PoweredEvent event;
+    event.name = i == root ? "ROOT" : "E" + std::to_string(i);
+    trace.events.push_back(event);
+  }
+  trace.manifestation_indices = std::move(detections);
+  return trace;
+}
+
+BugSpec root_bug() {
+  BugSpec bug;
+  bug.root_cause_event = "ROOT";
+  return bug;
+}
+
+TEST(GroundTruthTest, DistanceExclusiveCount) {
+  // Manifestation 4 events after the root: 3 events in between.
+  const auto trace = synthetic_trace(5, {9});
+  EXPECT_EQ(trace_event_distance(trace, root_bug()), 3);
+}
+
+TEST(GroundTruthTest, AdjacentAndSelfAreZero) {
+  EXPECT_EQ(trace_event_distance(synthetic_trace(5, {6}), root_bug()), 0);
+  EXPECT_EQ(trace_event_distance(synthetic_trace(5, {5}), root_bug()), 0);
+}
+
+TEST(GroundTruthTest, PrefersFirstDetectionAfterRoot) {
+  const auto trace = synthetic_trace(5, {2, 8, 12});
+  EXPECT_EQ(trace_event_distance(trace, root_bug()), 2);  // uses 8
+}
+
+TEST(GroundTruthTest, FallsBackToNearestWhenNoneAfter) {
+  const auto trace = synthetic_trace(10, {2, 7});
+  EXPECT_EQ(trace_event_distance(trace, root_bug()), 2);  // uses 7
+}
+
+TEST(GroundTruthTest, UndefinedCases) {
+  EXPECT_FALSE(
+      trace_event_distance(synthetic_trace(5, {}), root_bug()).has_value());
+  BugSpec missing;
+  missing.root_cause_event = "NOT_THERE";
+  EXPECT_FALSE(
+      trace_event_distance(synthetic_trace(5, {7}), missing).has_value());
+}
+
+TEST(GroundTruthTest, LastOccurrenceSelection) {
+  core::AnalyzedTrace trace = synthetic_trace(3, {12});
+  trace.events[10].name = "ROOT";  // second occurrence
+  BugSpec bug = root_bug();
+  bug.use_last_occurrence = true;
+  EXPECT_EQ(root_cause_index(trace, bug), 10u);
+  bug.use_last_occurrence = false;
+  EXPECT_EQ(root_cause_index(trace, bug), 3u);
+}
+
+TEST(GroundTruthTest, MedianOverTriggeredTracesOnly) {
+  std::vector<core::AnalyzedTrace> traces = {
+      synthetic_trace(5, {6}),    // distance 0 (triggered)
+      synthetic_trace(5, {10}),   // distance 4 (triggered)
+      synthetic_trace(5, {19}),   // distance 13 (NOT triggered)
+  };
+  const std::vector<bool> triggered = {true, true, false};
+  const auto with_mask = app_event_distance(traces, root_bug(), &triggered);
+  ASSERT_TRUE(with_mask.has_value());
+  EXPECT_EQ(*with_mask, 4);  // median of {0, 4}
+
+  const auto without_mask = app_event_distance(traces, root_bug());
+  EXPECT_EQ(*without_mask, 4);  // median of {0, 4, 13}
+}
+
+}  // namespace
+}  // namespace edx::workload

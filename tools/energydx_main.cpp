@@ -1,0 +1,10 @@
+// The `energydx` command-line tool; see src/workload/cli.h for commands.
+#include <iostream>
+#include <vector>
+
+#include "workload/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return edx::workload::cli::run(args, std::cout, std::cerr);
+}
