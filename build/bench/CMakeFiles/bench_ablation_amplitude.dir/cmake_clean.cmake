@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amplitude.dir/bench_ablation_amplitude.cpp.o"
+  "CMakeFiles/bench_ablation_amplitude.dir/bench_ablation_amplitude.cpp.o.d"
+  "bench_ablation_amplitude"
+  "bench_ablation_amplitude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amplitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_impact_source.dir/bench_ablation_impact_source.cpp.o"
+  "CMakeFiles/bench_ablation_impact_source.dir/bench_ablation_impact_source.cpp.o.d"
+  "bench_ablation_impact_source"
+  "bench_ablation_impact_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_impact_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

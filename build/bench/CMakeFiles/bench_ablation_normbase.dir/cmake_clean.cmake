@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_normbase.dir/bench_ablation_normbase.cpp.o"
+  "CMakeFiles/bench_ablation_normbase.dir/bench_ablation_normbase.cpp.o.d"
+  "bench_ablation_normbase"
+  "bench_ablation_normbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_normbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_population.dir/bench_ablation_population.cpp.o"
+  "CMakeFiles/bench_ablation_population.dir/bench_ablation_population.cpp.o.d"
+  "bench_ablation_population"
+  "bench_ablation_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

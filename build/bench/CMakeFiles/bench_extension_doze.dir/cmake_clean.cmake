@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_doze.dir/bench_extension_doze.cpp.o"
+  "CMakeFiles/bench_extension_doze.dir/bench_extension_doze.cpp.o.d"
+  "bench_extension_doze"
+  "bench_extension_doze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_doze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_sessions.dir/bench_extension_sessions.cpp.o"
+  "CMakeFiles/bench_extension_sessions.dir/bench_extension_sessions.cpp.o.d"
+  "bench_extension_sessions"
+  "bench_extension_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_k9_power_trace.dir/bench_fig03_k9_power_trace.cpp.o"
+  "CMakeFiles/bench_fig03_k9_power_trace.dir/bench_fig03_k9_power_trace.cpp.o.d"
+  "bench_fig03_k9_power_trace"
+  "bench_fig03_k9_power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_k9_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

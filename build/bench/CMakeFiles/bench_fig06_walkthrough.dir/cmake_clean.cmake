@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_walkthrough.dir/bench_fig06_walkthrough.cpp.o"
+  "CMakeFiles/bench_fig06_walkthrough.dir/bench_fig06_walkthrough.cpp.o.d"
+  "bench_fig06_walkthrough"
+  "bench_fig06_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_opengps.dir/bench_fig09_opengps.cpp.o"
+  "CMakeFiles/bench_fig09_opengps.dir/bench_fig09_opengps.cpp.o.d"
+  "bench_fig09_opengps"
+  "bench_fig09_opengps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_opengps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_wallabag.dir/bench_fig12_wallabag.cpp.o"
+  "CMakeFiles/bench_fig12_wallabag.dir/bench_fig12_wallabag.cpp.o.d"
+  "bench_fig12_wallabag"
+  "bench_fig12_wallabag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_wallabag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

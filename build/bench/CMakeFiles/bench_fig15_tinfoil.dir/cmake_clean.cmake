@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tinfoil.dir/bench_fig15_tinfoil.cpp.o"
+  "CMakeFiles/bench_fig15_tinfoil.dir/bench_fig15_tinfoil.cpp.o.d"
+  "bench_fig15_tinfoil"
+  "bench_fig15_tinfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tinfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

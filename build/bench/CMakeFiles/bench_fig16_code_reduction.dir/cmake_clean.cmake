@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_code_reduction.dir/bench_fig16_code_reduction.cpp.o"
+  "CMakeFiles/bench_fig16_code_reduction.dir/bench_fig16_code_reduction.cpp.o.d"
+  "bench_fig16_code_reduction"
+  "bench_fig16_code_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_code_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fix_verification.dir/bench_fix_verification.cpp.o"
+  "CMakeFiles/bench_fix_verification.dir/bench_fix_verification.cpp.o.d"
+  "bench_fix_verification"
+  "bench_fix_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fix_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

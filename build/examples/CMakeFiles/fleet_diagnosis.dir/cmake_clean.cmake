@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_diagnosis.dir/fleet_diagnosis.cpp.o"
+  "CMakeFiles/fleet_diagnosis.dir/fleet_diagnosis.cpp.o.d"
+  "fleet_diagnosis"
+  "fleet_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

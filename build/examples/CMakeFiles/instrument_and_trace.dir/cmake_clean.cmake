@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_and_trace.dir/instrument_and_trace.cpp.o"
+  "CMakeFiles/instrument_and_trace.dir/instrument_and_trace.cpp.o.d"
+  "instrument_and_trace"
+  "instrument_and_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_and_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/apk.cpp" "src/android/CMakeFiles/edx_android.dir/apk.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/apk.cpp.o.d"
+  "/root/repo/src/android/apk_builder.cpp" "src/android/CMakeFiles/edx_android.dir/apk_builder.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/apk_builder.cpp.o.d"
+  "/root/repo/src/android/app.cpp" "src/android/CMakeFiles/edx_android.dir/app.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/app.cpp.o.d"
+  "/root/repo/src/android/dex.cpp" "src/android/CMakeFiles/edx_android.dir/dex.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/dex.cpp.o.d"
+  "/root/repo/src/android/event.cpp" "src/android/CMakeFiles/edx_android.dir/event.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/event.cpp.o.d"
+  "/root/repo/src/android/instrumenter.cpp" "src/android/CMakeFiles/edx_android.dir/instrumenter.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/instrumenter.cpp.o.d"
+  "/root/repo/src/android/lifecycle.cpp" "src/android/CMakeFiles/edx_android.dir/lifecycle.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/android/ops.cpp" "src/android/CMakeFiles/edx_android.dir/ops.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/ops.cpp.o.d"
+  "/root/repo/src/android/runtime.cpp" "src/android/CMakeFiles/edx_android.dir/runtime.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/runtime.cpp.o.d"
+  "/root/repo/src/android/services.cpp" "src/android/CMakeFiles/edx_android.dir/services.cpp.o" "gcc" "src/android/CMakeFiles/edx_android.dir/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

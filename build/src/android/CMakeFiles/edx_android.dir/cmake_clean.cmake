@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_android.dir/apk.cpp.o"
+  "CMakeFiles/edx_android.dir/apk.cpp.o.d"
+  "CMakeFiles/edx_android.dir/apk_builder.cpp.o"
+  "CMakeFiles/edx_android.dir/apk_builder.cpp.o.d"
+  "CMakeFiles/edx_android.dir/app.cpp.o"
+  "CMakeFiles/edx_android.dir/app.cpp.o.d"
+  "CMakeFiles/edx_android.dir/dex.cpp.o"
+  "CMakeFiles/edx_android.dir/dex.cpp.o.d"
+  "CMakeFiles/edx_android.dir/event.cpp.o"
+  "CMakeFiles/edx_android.dir/event.cpp.o.d"
+  "CMakeFiles/edx_android.dir/instrumenter.cpp.o"
+  "CMakeFiles/edx_android.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/edx_android.dir/lifecycle.cpp.o"
+  "CMakeFiles/edx_android.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/edx_android.dir/ops.cpp.o"
+  "CMakeFiles/edx_android.dir/ops.cpp.o.d"
+  "CMakeFiles/edx_android.dir/runtime.cpp.o"
+  "CMakeFiles/edx_android.dir/runtime.cpp.o.d"
+  "CMakeFiles/edx_android.dir/services.cpp.o"
+  "CMakeFiles/edx_android.dir/services.cpp.o.d"
+  "libedx_android.a"
+  "libedx_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

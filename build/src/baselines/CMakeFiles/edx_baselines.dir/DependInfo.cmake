@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/checkall.cpp" "src/baselines/CMakeFiles/edx_baselines.dir/checkall.cpp.o" "gcc" "src/baselines/CMakeFiles/edx_baselines.dir/checkall.cpp.o.d"
+  "/root/repo/src/baselines/edelta.cpp" "src/baselines/CMakeFiles/edx_baselines.dir/edelta.cpp.o" "gcc" "src/baselines/CMakeFiles/edx_baselines.dir/edelta.cpp.o.d"
+  "/root/repo/src/baselines/edoctor.cpp" "src/baselines/CMakeFiles/edx_baselines.dir/edoctor.cpp.o" "gcc" "src/baselines/CMakeFiles/edx_baselines.dir/edoctor.cpp.o.d"
+  "/root/repo/src/baselines/nosleep.cpp" "src/baselines/CMakeFiles/edx_baselines.dir/nosleep.cpp.o" "gcc" "src/baselines/CMakeFiles/edx_baselines.dir/nosleep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/edx_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_baselines.dir/checkall.cpp.o"
+  "CMakeFiles/edx_baselines.dir/checkall.cpp.o.d"
+  "CMakeFiles/edx_baselines.dir/edelta.cpp.o"
+  "CMakeFiles/edx_baselines.dir/edelta.cpp.o.d"
+  "CMakeFiles/edx_baselines.dir/edoctor.cpp.o"
+  "CMakeFiles/edx_baselines.dir/edoctor.cpp.o.d"
+  "CMakeFiles/edx_baselines.dir/nosleep.cpp.o"
+  "CMakeFiles/edx_baselines.dir/nosleep.cpp.o.d"
+  "libedx_baselines.a"
+  "libedx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_common.dir/csv.cpp.o"
+  "CMakeFiles/edx_common.dir/csv.cpp.o.d"
+  "CMakeFiles/edx_common.dir/rng.cpp.o"
+  "CMakeFiles/edx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/edx_common.dir/stats.cpp.o"
+  "CMakeFiles/edx_common.dir/stats.cpp.o.d"
+  "CMakeFiles/edx_common.dir/strings.cpp.o"
+  "CMakeFiles/edx_common.dir/strings.cpp.o.d"
+  "CMakeFiles/edx_common.dir/table.cpp.o"
+  "CMakeFiles/edx_common.dir/table.cpp.o.d"
+  "libedx_common.a"
+  "libedx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/code_map.cpp" "src/core/CMakeFiles/edx_core.dir/code_map.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/code_map.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/edx_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/event_power.cpp" "src/core/CMakeFiles/edx_core.dir/event_power.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/event_power.cpp.o.d"
+  "/root/repo/src/core/normalization.cpp" "src/core/CMakeFiles/edx_core.dir/normalization.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/normalization.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/edx_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/ranking.cpp" "src/core/CMakeFiles/edx_core.dir/ranking.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/edx_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/reporting.cpp" "src/core/CMakeFiles/edx_core.dir/reporting.cpp.o" "gcc" "src/core/CMakeFiles/edx_core.dir/reporting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/edx_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_core.dir/code_map.cpp.o"
+  "CMakeFiles/edx_core.dir/code_map.cpp.o.d"
+  "CMakeFiles/edx_core.dir/detection.cpp.o"
+  "CMakeFiles/edx_core.dir/detection.cpp.o.d"
+  "CMakeFiles/edx_core.dir/event_power.cpp.o"
+  "CMakeFiles/edx_core.dir/event_power.cpp.o.d"
+  "CMakeFiles/edx_core.dir/normalization.cpp.o"
+  "CMakeFiles/edx_core.dir/normalization.cpp.o.d"
+  "CMakeFiles/edx_core.dir/pipeline.cpp.o"
+  "CMakeFiles/edx_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/edx_core.dir/ranking.cpp.o"
+  "CMakeFiles/edx_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/edx_core.dir/report_io.cpp.o"
+  "CMakeFiles/edx_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/edx_core.dir/reporting.cpp.o"
+  "CMakeFiles/edx_core.dir/reporting.cpp.o.d"
+  "libedx_core.a"
+  "libedx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

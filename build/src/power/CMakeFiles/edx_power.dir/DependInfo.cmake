@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/breakdown.cpp" "src/power/CMakeFiles/edx_power.dir/breakdown.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/breakdown.cpp.o.d"
+  "/root/repo/src/power/calibration.cpp" "src/power/CMakeFiles/edx_power.dir/calibration.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/calibration.cpp.o.d"
+  "/root/repo/src/power/device.cpp" "src/power/CMakeFiles/edx_power.dir/device.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/device.cpp.o.d"
+  "/root/repo/src/power/hardware.cpp" "src/power/CMakeFiles/edx_power.dir/hardware.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/hardware.cpp.o.d"
+  "/root/repo/src/power/monsoon.cpp" "src/power/CMakeFiles/edx_power.dir/monsoon.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/monsoon.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/edx_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/scaling.cpp" "src/power/CMakeFiles/edx_power.dir/scaling.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/scaling.cpp.o.d"
+  "/root/repo/src/power/timeline.cpp" "src/power/CMakeFiles/edx_power.dir/timeline.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/timeline.cpp.o.d"
+  "/root/repo/src/power/tracker.cpp" "src/power/CMakeFiles/edx_power.dir/tracker.cpp.o" "gcc" "src/power/CMakeFiles/edx_power.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

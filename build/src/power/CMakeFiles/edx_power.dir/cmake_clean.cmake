@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_power.dir/breakdown.cpp.o"
+  "CMakeFiles/edx_power.dir/breakdown.cpp.o.d"
+  "CMakeFiles/edx_power.dir/calibration.cpp.o"
+  "CMakeFiles/edx_power.dir/calibration.cpp.o.d"
+  "CMakeFiles/edx_power.dir/device.cpp.o"
+  "CMakeFiles/edx_power.dir/device.cpp.o.d"
+  "CMakeFiles/edx_power.dir/hardware.cpp.o"
+  "CMakeFiles/edx_power.dir/hardware.cpp.o.d"
+  "CMakeFiles/edx_power.dir/monsoon.cpp.o"
+  "CMakeFiles/edx_power.dir/monsoon.cpp.o.d"
+  "CMakeFiles/edx_power.dir/power_model.cpp.o"
+  "CMakeFiles/edx_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/edx_power.dir/scaling.cpp.o"
+  "CMakeFiles/edx_power.dir/scaling.cpp.o.d"
+  "CMakeFiles/edx_power.dir/timeline.cpp.o"
+  "CMakeFiles/edx_power.dir/timeline.cpp.o.d"
+  "CMakeFiles/edx_power.dir/tracker.cpp.o"
+  "CMakeFiles/edx_power.dir/tracker.cpp.o.d"
+  "libedx_power.a"
+  "libedx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

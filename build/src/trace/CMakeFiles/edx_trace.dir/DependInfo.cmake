@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/anonymizer.cpp" "src/trace/CMakeFiles/edx_trace.dir/anonymizer.cpp.o" "gcc" "src/trace/CMakeFiles/edx_trace.dir/anonymizer.cpp.o.d"
+  "/root/repo/src/trace/collection.cpp" "src/trace/CMakeFiles/edx_trace.dir/collection.cpp.o" "gcc" "src/trace/CMakeFiles/edx_trace.dir/collection.cpp.o.d"
+  "/root/repo/src/trace/event_trace.cpp" "src/trace/CMakeFiles/edx_trace.dir/event_trace.cpp.o" "gcc" "src/trace/CMakeFiles/edx_trace.dir/event_trace.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/edx_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/edx_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/util_trace.cpp" "src/trace/CMakeFiles/edx_trace.dir/util_trace.cpp.o" "gcc" "src/trace/CMakeFiles/edx_trace.dir/util_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/edx_android.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_trace.dir/anonymizer.cpp.o"
+  "CMakeFiles/edx_trace.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/edx_trace.dir/collection.cpp.o"
+  "CMakeFiles/edx_trace.dir/collection.cpp.o.d"
+  "CMakeFiles/edx_trace.dir/event_trace.cpp.o"
+  "CMakeFiles/edx_trace.dir/event_trace.cpp.o.d"
+  "CMakeFiles/edx_trace.dir/recorder.cpp.o"
+  "CMakeFiles/edx_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/edx_trace.dir/util_trace.cpp.o"
+  "CMakeFiles/edx_trace.dir/util_trace.cpp.o.d"
+  "libedx_trace.a"
+  "libedx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

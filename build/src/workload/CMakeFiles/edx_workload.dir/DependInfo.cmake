@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_factory.cpp" "src/workload/CMakeFiles/edx_workload.dir/app_factory.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/app_factory.cpp.o.d"
+  "/root/repo/src/workload/apps/k9mail.cpp" "src/workload/CMakeFiles/edx_workload.dir/apps/k9mail.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/apps/k9mail.cpp.o.d"
+  "/root/repo/src/workload/apps/opengps.cpp" "src/workload/CMakeFiles/edx_workload.dir/apps/opengps.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/apps/opengps.cpp.o.d"
+  "/root/repo/src/workload/apps/tinfoil.cpp" "src/workload/CMakeFiles/edx_workload.dir/apps/tinfoil.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/apps/tinfoil.cpp.o.d"
+  "/root/repo/src/workload/apps/wallabag.cpp" "src/workload/CMakeFiles/edx_workload.dir/apps/wallabag.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/apps/wallabag.cpp.o.d"
+  "/root/repo/src/workload/bug.cpp" "src/workload/CMakeFiles/edx_workload.dir/bug.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/bug.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/edx_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/cli.cpp" "src/workload/CMakeFiles/edx_workload.dir/cli.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/cli.cpp.o.d"
+  "/root/repo/src/workload/experiment.cpp" "src/workload/CMakeFiles/edx_workload.dir/experiment.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/experiment.cpp.o.d"
+  "/root/repo/src/workload/ground_truth.cpp" "src/workload/CMakeFiles/edx_workload.dir/ground_truth.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/workload/session.cpp" "src/workload/CMakeFiles/edx_workload.dir/session.cpp.o" "gcc" "src/workload/CMakeFiles/edx_workload.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/edx_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/edx_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edx_workload.dir/app_factory.cpp.o"
+  "CMakeFiles/edx_workload.dir/app_factory.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/apps/k9mail.cpp.o"
+  "CMakeFiles/edx_workload.dir/apps/k9mail.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/apps/opengps.cpp.o"
+  "CMakeFiles/edx_workload.dir/apps/opengps.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/apps/tinfoil.cpp.o"
+  "CMakeFiles/edx_workload.dir/apps/tinfoil.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/apps/wallabag.cpp.o"
+  "CMakeFiles/edx_workload.dir/apps/wallabag.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/bug.cpp.o"
+  "CMakeFiles/edx_workload.dir/bug.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/catalog.cpp.o"
+  "CMakeFiles/edx_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/cli.cpp.o"
+  "CMakeFiles/edx_workload.dir/cli.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/experiment.cpp.o"
+  "CMakeFiles/edx_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/ground_truth.cpp.o"
+  "CMakeFiles/edx_workload.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/edx_workload.dir/session.cpp.o"
+  "CMakeFiles/edx_workload.dir/session.cpp.o.d"
+  "libedx_workload.a"
+  "libedx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

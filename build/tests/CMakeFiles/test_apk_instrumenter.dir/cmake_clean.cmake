@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apk_instrumenter.dir/android/apk_instrumenter_test.cpp.o"
+  "CMakeFiles/test_apk_instrumenter.dir/android/apk_instrumenter_test.cpp.o.d"
+  "test_apk_instrumenter"
+  "test_apk_instrumenter.pdb"
+  "test_apk_instrumenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apk_instrumenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

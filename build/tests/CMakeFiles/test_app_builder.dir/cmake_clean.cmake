@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_builder.dir/android/app_builder_test.cpp.o"
+  "CMakeFiles/test_app_builder.dir/android/app_builder_test.cpp.o.d"
+  "test_app_builder"
+  "test_app_builder.pdb"
+  "test_app_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkall_edelta.dir/baselines/checkall_edelta_test.cpp.o"
+  "CMakeFiles/test_checkall_edelta.dir/baselines/checkall_edelta_test.cpp.o.d"
+  "test_checkall_edelta"
+  "test_checkall_edelta.pdb"
+  "test_checkall_edelta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkall_edelta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

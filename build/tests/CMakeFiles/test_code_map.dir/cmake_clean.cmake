@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_map.dir/core/code_map_test.cpp.o"
+  "CMakeFiles/test_code_map.dir/core/code_map_test.cpp.o.d"
+  "test_code_map"
+  "test_code_map.pdb"
+  "test_code_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

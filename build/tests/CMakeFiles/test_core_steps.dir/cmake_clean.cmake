@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_steps.dir/core/steps_test.cpp.o"
+  "CMakeFiles/test_core_steps.dir/core/steps_test.cpp.o.d"
+  "test_core_steps"
+  "test_core_steps.pdb"
+  "test_core_steps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_guards.dir/core/detection_guards_test.cpp.o"
+  "CMakeFiles/test_detection_guards.dir/core/detection_guards_test.cpp.o.d"
+  "test_detection_guards"
+  "test_detection_guards.pdb"
+  "test_detection_guards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edoctor.dir/baselines/edoctor_test.cpp.o"
+  "CMakeFiles/test_edoctor.dir/baselines/edoctor_test.cpp.o.d"
+  "test_edoctor"
+  "test_edoctor.pdb"
+  "test_edoctor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edoctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

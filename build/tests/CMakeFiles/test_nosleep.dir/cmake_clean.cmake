@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nosleep.dir/baselines/nosleep_test.cpp.o"
+  "CMakeFiles/test_nosleep.dir/baselines/nosleep_test.cpp.o.d"
+  "test_nosleep"
+  "test_nosleep.pdb"
+  "test_nosleep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nosleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android/ops_test.cpp" "tests/CMakeFiles/test_ops.dir/android/ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/android/ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/edx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/edx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/edx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/edx_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/edx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/edx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recorder_collection.dir/trace/recorder_collection_test.cpp.o"
+  "CMakeFiles/test_recorder_collection.dir/trace/recorder_collection_test.cpp.o.d"
+  "test_recorder_collection"
+  "test_recorder_collection.pdb"
+  "test_recorder_collection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recorder_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

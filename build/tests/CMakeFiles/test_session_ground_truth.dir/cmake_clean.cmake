@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_ground_truth.dir/workload/session_ground_truth_test.cpp.o"
+  "CMakeFiles/test_session_ground_truth.dir/workload/session_ground_truth_test.cpp.o.d"
+  "test_session_ground_truth"
+  "test_session_ground_truth.pdb"
+  "test_session_ground_truth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

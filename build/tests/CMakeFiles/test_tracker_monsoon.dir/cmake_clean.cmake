@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracker_monsoon.dir/power/tracker_monsoon_test.cpp.o"
+  "CMakeFiles/test_tracker_monsoon.dir/power/tracker_monsoon_test.cpp.o.d"
+  "test_tracker_monsoon"
+  "test_tracker_monsoon.pdb"
+  "test_tracker_monsoon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracker_monsoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_trace_anonymizer.dir/trace/util_trace_anonymizer_test.cpp.o"
+  "CMakeFiles/test_util_trace_anonymizer.dir/trace/util_trace_anonymizer_test.cpp.o.d"
+  "test_util_trace_anonymizer"
+  "test_util_trace_anonymizer.pdb"
+  "test_util_trace_anonymizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_trace_anonymizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_util_trace_anonymizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energydx.dir/energydx_main.cpp.o"
+  "CMakeFiles/energydx.dir/energydx_main.cpp.o.d"
+  "energydx"
+  "energydx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energydx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for energydx.
+# This may be replaced when dependencies are built.
