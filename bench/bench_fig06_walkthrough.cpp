@@ -73,7 +73,7 @@ int main() {
               << " instances, p10="
               << strings::format_double(dist.percentile(10), 0) << " median="
               << strings::format_double(dist.percentile(50), 0) << " max="
-              << strings::format_double(stats::max(dist.powers), 0) << "\n";
+              << strings::format_double(stats::max(dist.powers()), 0) << "\n";
   }
 
   for (std::size_t trace_index = 0; trace_index < result.traces.size();

@@ -42,14 +42,71 @@ std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events) {
 void BM_FullPipeline(benchmark::State& state) {
   const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
                                          static_cast<int>(state.range(1)));
-  const core::ManifestationAnalyzer analyzer;
+  core::AnalysisConfig config;
+  config.num_threads = static_cast<std::size_t>(state.range(2));
+  const core::ManifestationAnalyzer analyzer(config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analyzer.run(bundles));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0) *
                           state.range(1));
 }
-BENCHMARK(BM_FullPipeline)->Args({10, 50})->Args({30, 100})->Args({100, 200});
+BENCHMARK(BM_FullPipeline)
+    ->ArgsProduct({{10, 100}, {50, 200}, {1, 2, 8}})
+    ->UseRealTime();
+
+/// The interval-average lookup alone: the indexed path (prefix sums + two
+/// binary searches) against the pre-index linear scan, across trace sizes.
+trace::UtilizationTrace synthetic_utilization(int num_samples) {
+  Rng rng(13);
+  std::vector<power::UtilizationSample> samples;
+  samples.reserve(static_cast<std::size_t>(num_samples));
+  for (int i = 0; i < num_samples; ++i) {
+    power::UtilizationSample sample;
+    sample.timestamp = static_cast<TimestampMs>(i) * 500;
+    sample.estimated_app_power_mw = 100.0 + rng.uniform(0, 400.0);
+    samples.push_back(sample);
+  }
+  return trace::UtilizationTrace("Nexus 6", samples);
+}
+
+void BM_AveragePower(benchmark::State& state) {
+  const auto trace = synthetic_utilization(static_cast<int>(state.range(0)));
+  const TimestampMs span = trace.samples().back().timestamp;
+  Rng rng(17);
+  for (auto _ : state) {
+    const TimestampMs begin = rng.uniform_int(0, span - 1'000);
+    benchmark::DoNotOptimize(
+        trace.average_power({begin, begin + rng.uniform_int(10, 5'000)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AveragePower)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_AveragePowerNaive(benchmark::State& state) {
+  const auto trace = synthetic_utilization(static_cast<int>(state.range(0)));
+  const TimestampMs span = trace.samples().back().timestamp;
+  const DurationMs period = trace.sample_period();
+  Rng rng(17);
+  for (auto _ : state) {
+    const TimestampMs begin = rng.uniform_int(0, span - 1'000);
+    const TimeInterval interval{begin, begin + rng.uniform_int(10, 5'000)};
+    double weighted = 0.0;
+    DurationMs covered = 0;
+    for (const power::UtilizationSample& sample : trace.samples()) {
+      const TimeInterval window{sample.timestamp - period, sample.timestamp};
+      const DurationMs overlap = window.overlap(interval.begin, interval.end);
+      if (overlap <= 0) continue;
+      weighted += sample.estimated_app_power_mw *
+                  static_cast<double>(overlap);
+      covered += overlap;
+    }
+    benchmark::DoNotOptimize(
+        covered == 0 ? 0.0 : weighted / static_cast<double>(covered));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AveragePowerNaive)->Arg(1'000)->Arg(10'000)->Arg(100'000);
 
 void BM_TimelineWindowedAverages(benchmark::State& state) {
   power::UtilizationTimeline timeline;

@@ -38,16 +38,43 @@ double max(std::span<const double> values) {
 
 double percentile(std::span<const double> values, double p) {
   require(!values.empty(), "stats::percentile: empty input");
-  require(p >= 0.0 && p <= 100.0, "stats::percentile: p must be in [0,100]");
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
-  if (sorted.size() == 1) return sorted.front();
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted_values, double p) {
+  require(!sorted_values.empty(), "stats::percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "stats::percentile: p must be in [0,100]");
+  if (sorted_values.size() == 1) return sorted_values.front();
   // R-7 / numpy 'linear': h = (n-1) * p/100, interpolate between floor/ceil.
-  const double h = static_cast<double>(sorted.size() - 1) * (p / 100.0);
+  const double h = static_cast<double>(sorted_values.size() - 1) * (p / 100.0);
   const auto lo = static_cast<std::size_t>(std::floor(h));
   const auto hi = static_cast<std::size_t>(std::ceil(h));
   const double fraction = h - static_cast<double>(lo);
-  return sorted[lo] + fraction * (sorted[hi] - sorted[lo]);
+  return sorted_values[lo] +
+         fraction * (sorted_values[hi] - sorted_values[lo]);
+}
+
+double percentile_select(std::span<const double> values, double p) {
+  require(!values.empty(), "stats::percentile: empty input");
+  require(p >= 0.0 && p <= 100.0, "stats::percentile: p must be in [0,100]");
+  if (values.size() == 1) return values.front();
+  // Same R-7 rank arithmetic as percentile_sorted, but the two order
+  // statistics come from one nth_element pass: after selecting rank `lo`,
+  // everything right of it is >= sorted[lo], so sorted[hi] (hi <= lo + 1)
+  // is the minimum of that suffix.  Order statistics are multiset values,
+  // so the interpolated result is bit-identical to the sorted path.
+  const double h = static_cast<double>(values.size() - 1) * (p / 100.0);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const double fraction = h - static_cast<double>(lo);
+  std::vector<double> scratch(values.begin(), values.end());
+  const auto lo_it = scratch.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch.begin(), lo_it, scratch.end());
+  const double at_lo = *lo_it;
+  if (fraction == 0.0) return at_lo;
+  const double at_hi = *std::min_element(lo_it + 1, scratch.end());
+  return at_lo + fraction * (at_hi - at_lo);
 }
 
 double median(std::span<const double> values) {
@@ -55,10 +82,18 @@ double median(std::span<const double> values) {
 }
 
 Quartiles quartiles(std::span<const double> values) {
+  // Sort once and interpolate three times (percentile() would copy and
+  // sort the input per call).
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quartiles_sorted(sorted);
+}
+
+Quartiles quartiles_sorted(std::span<const double> sorted_values) {
   Quartiles q;
-  q.q1 = percentile(values, 25.0);
-  q.q2 = percentile(values, 50.0);
-  q.q3 = percentile(values, 75.0);
+  q.q1 = percentile_sorted(sorted_values, 25.0);
+  q.q2 = percentile_sorted(sorted_values, 50.0);
+  q.q3 = percentile_sorted(sorted_values, 75.0);
   return q;
 }
 

@@ -31,6 +31,15 @@ double max(std::span<const double> values);
 /// sorted.
 double percentile(std::span<const double> values, double p);
 
+/// percentile() for callers that already hold the values in ascending
+/// order (e.g. a cached sorted distribution): O(1), no copy, no sort.
+double percentile_sorted(std::span<const double> sorted_values, double p);
+
+/// percentile() via selection instead of a full sort: O(n) average for a
+/// one-off query on unsorted data (copies into a scratch buffer and runs
+/// nth_element).  Returns exactly the same value as percentile().
+double percentile_select(std::span<const double> values, double p);
+
 /// Median == percentile(values, 50).
 double median(std::span<const double> values);
 
@@ -51,6 +60,10 @@ struct Quartiles {
 
 /// Computes Q1/median/Q3 of `values`.  Requires a non-empty range.
 Quartiles quartiles(std::span<const double> values);
+
+/// quartiles() for values already in ascending order: three O(1)
+/// interpolations, no copy, no sort.
+Quartiles quartiles_sorted(std::span<const double> sorted_values);
 
 /// One point of an empirical CDF.
 struct CdfPoint {

@@ -1,6 +1,7 @@
 #include "common/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 #include "common/error.h"
@@ -32,6 +33,59 @@ std::string trim(std::string_view text) {
     --end;
   }
   return std::string(text.substr(begin, end - begin));
+}
+
+std::string_view trim_view(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string_view next_line(std::string_view& text) {
+  const std::size_t pos = text.find('\n');
+  if (pos == std::string_view::npos) {
+    const std::string_view line = text;
+    text = {};
+    return line;
+  }
+  const std::string_view line = text.substr(0, pos);
+  text.remove_prefix(pos + 1);
+  return line;
+}
+
+namespace {
+
+template <typename T>
+bool consume_number(std::string_view& text, T& value) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  T parsed{};
+  const auto [ptr, ec] = std::from_chars(text.data() + begin,
+                                         text.data() + text.size(), parsed);
+  if (ec != std::errc()) return false;
+  value = parsed;
+  text.remove_prefix(static_cast<std::size_t>(ptr - text.data()));
+  return true;
+}
+
+}  // namespace
+
+bool consume_int64(std::string_view& text, std::int64_t& value) {
+  return consume_number(text, value);
+}
+
+bool consume_double(std::string_view& text, double& value) {
+  return consume_number(text, value);
 }
 
 bool starts_with(std::string_view text, std::string_view prefix) {

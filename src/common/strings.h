@@ -1,6 +1,7 @@
 // Small string helpers shared by the trace parsers and report printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,21 @@ std::vector<std::string> split(std::string_view text, char delimiter);
 
 /// Removes leading and trailing ASCII whitespace.
 std::string trim(std::string_view text);
+
+/// Allocation-free trim: a view into `text` without leading/trailing
+/// ASCII whitespace.
+std::string_view trim_view(std::string_view text);
+
+/// Returns the next line of `text` (without the terminator) and advances
+/// `text` past it.  The final line needs no trailing newline.
+std::string_view next_line(std::string_view& text);
+
+/// Field parsers for the trace hot paths: skip leading spaces/tabs, parse
+/// one number with std::from_chars (no locale, no stream state), and
+/// advance `text` past the consumed characters.  Return false — leaving
+/// `text` untouched — when no valid number starts the next field.
+bool consume_int64(std::string_view& text, std::int64_t& value);
+bool consume_double(std::string_view& text, double& value);
 
 /// True if `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);

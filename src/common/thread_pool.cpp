@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace edx::common {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = resolve_threads(num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      last = --pending_ == 0;
+    }
+    if (last) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = tasks.size();
+    first_error_ = nullptr;
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+  }
+  work_available_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [this] { return pending_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = std::min(size(), count);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  // Spread the remainder over the first chunks so sizes differ by at most
+  // one; boundaries depend only on (begin, end, size()).
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t chunk_begin = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t chunk_end = chunk_begin + base + (c < extra ? 1 : 0);
+    tasks.emplace_back(
+        [&fn, chunk_begin, chunk_end] { fn(chunk_begin, chunk_end); });
+    chunk_begin = chunk_end;
+  }
+  run_batch(std::move(tasks));
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(begin, end,
+                      [&fn](std::size_t chunk_begin, std::size_t chunk_end) {
+                        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+                          fn(i);
+                        }
+                      });
+}
+
+}  // namespace edx::common

@@ -1,0 +1,72 @@
+// A small fixed-size thread pool for the server-side analysis.
+//
+// The manifestation pipeline is embarrassingly parallel across per-user
+// trace bundles (Step 1, Step 4) and across contiguous chunks of traces
+// (Step 2's partial-map build).  The pool offers exactly the primitive
+// those steps need — a blocking parallel_for over an index range with a
+// deterministic, scheduling-independent chunking — and nothing more.
+//
+// Determinism contract: parallel_for / parallel_for_chunks always split
+// [begin, end) into the same contiguous chunks for a given pool size, and
+// callers only write to disjoint, index-addressed slots (or merge chunk
+// results in chunk order), so results are byte-identical to a sequential
+// loop regardless of how the OS schedules the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edx::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).  A pool of size 1 still spawns one worker, but callers
+  /// that want the plain sequential path should simply not use a pool.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end), split into size() contiguous
+  /// chunks, and blocks until all calls finished.  The first exception
+  /// thrown by `fn` is rethrown on the calling thread (the remaining
+  /// chunks still run to completion).  Not reentrant from inside `fn`.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: runs fn(chunk_begin, chunk_end) once per contiguous
+  /// chunk, in parallel.  Chunk boundaries depend only on (begin, end,
+  /// size()), never on scheduling.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Resolves a requested thread count: 0 -> hardware concurrency, with a
+  /// floor of 1.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::size_t pending_{0};
+  std::exception_ptr first_error_;
+  bool stopping_{false};
+};
+
+}  // namespace edx::common

@@ -72,13 +72,16 @@ void detect_manifestation_points(AnalyzedTrace& trace,
     return;
   }
 
+  // The scratch copy exists only for the quartiles; sorting it in place
+  // avoids a second copy inside stats::quartiles().  The detection loop
+  // below reads the amplitudes from the events, which stay in order.
   std::vector<double> amplitudes;
   amplitudes.reserve(trace.events.size());
   for (const PoweredEvent& event : trace.events) {
     amplitudes.push_back(event.variation_amplitude);
   }
-
-  trace.amplitude_quartiles = stats::quartiles(amplitudes);
+  std::sort(amplitudes.begin(), amplitudes.end());
+  trace.amplitude_quartiles = stats::quartiles_sorted(amplitudes);
   const double iqr_fence =
       trace.amplitude_quartiles.q3 +
       config.fence_iqr_multiplier * trace.amplitude_quartiles.iqr();
@@ -109,8 +112,8 @@ void detect_manifestation_points(AnalyzedTrace& trace,
     return total / static_cast<double>(counted) >= midpoint;
   };
 
-  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
-    if (amplitudes[i] > trace.outlier_fence &&
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    if (trace.events[i].variation_amplitude > trace.outlier_fence &&
         trace.events[trace.events[i].run_peak_index].normalized_power >=
             config.min_peak_level &&
         is_sustained(i)) {
@@ -120,12 +123,19 @@ void detect_manifestation_points(AnalyzedTrace& trace,
 }
 
 void detect_all(std::vector<AnalyzedTrace>& traces,
-                const DetectionConfig& config) {
+                const DetectionConfig& config,
+                common::ThreadPool* pool) {
   require(config.fence_iqr_multiplier >= 0.0,
           "detect_all: fence multiplier must be non-negative");
-  for (AnalyzedTrace& trace : traces) {
+  const auto detect_one = [&config](AnalyzedTrace& trace) {
     attribute_variation_amplitude(trace, config);
     detect_manifestation_points(trace, config);
+  };
+  if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {
+    for (AnalyzedTrace& trace : traces) detect_one(trace);
+  } else {
+    pool->parallel_for(0, traces.size(),
+                       [&](std::size_t i) { detect_one(traces[i]); });
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/analysis_types.h"
 
 namespace edx::core {
@@ -74,8 +75,11 @@ void attribute_variation_amplitude(AnalyzedTrace& trace,
 void detect_manifestation_points(AnalyzedTrace& trace,
                                  const DetectionConfig& config = {});
 
-/// Convenience: both phases over a whole collection.
+/// Convenience: both phases over a whole collection.  Detection is
+/// per-trace, so with a pool the traces run in parallel (one task per
+/// trace slot), identical to the sequential loop for any pool size.
 void detect_all(std::vector<AnalyzedTrace>& traces,
-                const DetectionConfig& config = {});
+                const DetectionConfig& config = {},
+                common::ThreadPool* pool = nullptr);
 
 }  // namespace edx::core

@@ -5,26 +5,38 @@ namespace edx::core {
 AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle) {
   AnalyzedTrace analyzed;
   analyzed.user = bundle.user;
-  for (const trace::EventInstance& instance : bundle.events.instances()) {
-    PoweredEvent event;
+  // instances() pairs and sorts the raw records on every call — do it once.
+  const std::vector<trace::EventInstance> instances =
+      bundle.events.instances();
+  analyzed.events.reserve(instances.size());
+  // Instances are chronological, so the cursor's amortized-O(1) lookups
+  // replace a search per instance (same results either way).
+  trace::AveragePowerCursor cursor(bundle.utilization);
+  for (const trace::EventInstance& instance : instances) {
+    PoweredEvent& event = analyzed.events.emplace_back();
     event.name = instance.event;
     event.interval = instance.interval;
     // Short callbacks (a few ms) sit inside one 500 ms sample window; long
     // instances (Idle chunks) span several and get the weighted average.
     TimeInterval lookup = instance.interval;
     if (lookup.empty()) lookup.end = lookup.begin + 1;
-    event.raw_power = bundle.utilization.average_power(lookup);
-    analyzed.events.push_back(std::move(event));
+    event.raw_power = cursor.average_power(lookup);
   }
   return analyzed;
 }
 
 std::vector<AnalyzedTrace> estimate_event_power(
-    const std::vector<trace::TraceBundle>& bundles) {
-  std::vector<AnalyzedTrace> traces;
-  traces.reserve(bundles.size());
-  for (const trace::TraceBundle& bundle : bundles) {
-    traces.push_back(estimate_event_power(bundle));
+    const std::vector<trace::TraceBundle>& bundles,
+    common::ThreadPool* pool) {
+  std::vector<AnalyzedTrace> traces(bundles.size());
+  if (pool == nullptr || pool->size() <= 1 || bundles.size() <= 1) {
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      traces[i] = estimate_event_power(bundles[i]);
+    }
+  } else {
+    pool->parallel_for(0, bundles.size(), [&](std::size_t i) {
+      traces[i] = estimate_event_power(bundles[i]);
+    });
   }
   return traces;
 }

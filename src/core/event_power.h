@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/analysis_types.h"
 #include "trace/recorder.h"
 
@@ -19,8 +20,12 @@ namespace edx::core {
 /// Computes per-instance power for one bundle.
 AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle);
 
-/// Computes per-instance power for a whole collection.
+/// Computes per-instance power for a whole collection.  Bundles are
+/// independent, so with a pool they are processed in parallel; each slot
+/// of the result is written by exactly one task, making the output
+/// identical to the sequential loop for any pool size.
 std::vector<AnalyzedTrace> estimate_event_power(
-    const std::vector<trace::TraceBundle>& bundles);
+    const std::vector<trace::TraceBundle>& bundles,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace edx::core

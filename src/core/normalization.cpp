@@ -1,7 +1,7 @@
 #include "core/normalization.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
 #include "common/error.h"
 
@@ -16,22 +16,29 @@ double base_power(const EventRanking& ranking, const EventName& name,
 
 void normalize_events(std::vector<AnalyzedTrace>& traces,
                       const EventRanking& ranking,
-                      const NormalizationConfig& config) {
+                      const NormalizationConfig& config,
+                      common::ThreadPool* pool) {
   require(config.base_percentile >= 0.0 && config.base_percentile <= 100.0,
           "normalize_events: base percentile out of range");
   require(config.min_base_power_mw > 0.0,
           "normalize_events: min base power must be positive");
-  // The percentile computation sorts the event's distribution; compute
-  // each event's base once, not once per instance.
-  std::map<EventName, double> bases;
+  // Compute each event's base once, not once per instance; the hashed map
+  // keeps the per-instance lookup below cheap on the hot path.
+  std::unordered_map<EventName, double> bases;
   for (const auto& [name, distribution] : ranking.all()) {
     bases[name] = std::max(distribution.percentile(config.base_percentile),
                            config.min_base_power_mw);
   }
-  for (AnalyzedTrace& trace : traces) {
+  const auto normalize_trace = [&bases](AnalyzedTrace& trace) {
     for (PoweredEvent& event : trace.events) {
       event.normalized_power = event.raw_power / bases.at(event.name);
     }
+  };
+  if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {
+    for (AnalyzedTrace& trace : traces) normalize_trace(trace);
+  } else {
+    pool->parallel_for(0, traces.size(),
+                       [&](std::size_t i) { normalize_trace(traces[i]); });
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/analysis_types.h"
 #include "core/ranking.h"
 
@@ -37,9 +38,13 @@ struct NormalizationConfig {
 };
 
 /// Fills `normalized_power` on every instance of every trace, in place.
+/// The per-event bases are computed once up front; with a pool the traces
+/// are then normalized in parallel (each trace touched by exactly one
+/// task, reading the shared base map), identical to the sequential loop.
 void normalize_events(std::vector<AnalyzedTrace>& traces,
                       const EventRanking& ranking,
-                      const NormalizationConfig& config = {});
+                      const NormalizationConfig& config = {},
+                      common::ThreadPool* pool = nullptr);
 
 /// Base power used for `name` under `config`.
 double base_power(const EventRanking& ranking, const EventName& name,

@@ -1,6 +1,10 @@
 #include "core/pipeline.h"
 
+#include <memory>
+#include <optional>
+
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace edx::core {
 
@@ -13,12 +17,20 @@ AnalysisResult ManifestationAnalyzer::run(
     throw AnalysisError("ManifestationAnalyzer::run: no traces collected");
   }
 
+  // num_threads == 1 (or a single-core host with num_threads == 0) keeps
+  // the plain sequential loops — no pool is spawned at all.
+  std::optional<common::ThreadPool> pool_storage;
+  common::ThreadPool* pool = nullptr;
+  if (common::ThreadPool::resolve_threads(config_.num_threads) > 1) {
+    pool = &pool_storage.emplace(config_.num_threads);
+  }
+
   AnalysisResult result;
-  result.traces = estimate_event_power(bundles);              // Step 1
-  result.ranking = EventRanking::build(result.traces);        // Step 2
+  result.traces = estimate_event_power(bundles, pool);        // Step 1
+  result.ranking = EventRanking::build(result.traces, pool);  // Step 2
   normalize_events(result.traces, result.ranking,             // Step 3
-                   config_.normalization);
-  detect_all(result.traces, config_.detection);               // Step 4
+                   config_.normalization, pool);
+  detect_all(result.traces, config_.detection, pool);         // Step 4
   result.report =
       report_problematic_events(result.traces, config_.reporting);  // Step 5
   return result;

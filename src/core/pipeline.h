@@ -26,6 +26,11 @@ struct AnalysisConfig {
   NormalizationConfig normalization;
   DetectionConfig detection;
   ReportingConfig reporting;
+  /// Worker threads for the parallel steps (1, 2, 3 and 4 shard across
+  /// trace bundles).  0 = one per hardware thread; 1 = the plain
+  /// sequential path (the reference for tests).  Results are identical —
+  /// byte for byte — for every value; see DESIGN.md §7.
+  std::size_t num_threads{0};
 };
 
 /// Everything the pipeline produced.

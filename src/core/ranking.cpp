@@ -1,31 +1,142 @@
 #include "core/ranking.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/stats.h"
 
 namespace edx::core {
 
+void EventPowerDistribution::add_power(double power) {
+  powers_.push_back(power);
+  sorted_valid_ = false;
+}
+
+void EventPowerDistribution::set_powers(std::vector<double> powers) {
+  powers_ = std::move(powers);
+  sorted_valid_ = false;
+}
+
+void EventPowerDistribution::append_powers(std::vector<double>&& powers) {
+  if (powers_.empty()) {
+    powers_ = std::move(powers);
+  } else {
+    powers_.insert(powers_.end(), powers.begin(), powers.end());
+  }
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& EventPowerDistribution::sorted_powers() const {
+  if (!sorted_valid_) {
+    sorted_ = powers_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 std::vector<std::size_t> EventPowerDistribution::ranks() const {
-  return stats::competition_ranks(powers);
+  // With the sorted cache, a competition rank ("1224") is just the number
+  // of strictly-smaller elements + 1 — one binary search per instance,
+  // and ties share the lowest rank of their run automatically.
+  const std::vector<double>& sorted = sorted_powers();
+  std::vector<std::size_t> ranks;
+  ranks.reserve(powers_.size());
+  for (double power : powers_) {
+    ranks.push_back(1 + static_cast<std::size_t>(std::lower_bound(
+                            sorted.begin(), sorted.end(), power) -
+                        sorted.begin()));
+  }
+  return ranks;
 }
 
 double EventPowerDistribution::percentile(double p) const {
-  require(!powers.empty(),
+  require(!powers_.empty(),
           "EventPowerDistribution::percentile: empty distribution");
-  return stats::percentile(powers, p);
+  if (sorted_valid_) return stats::percentile_sorted(sorted_, p);
+  // No cache yet: two order statistics via selection are O(n), cheaper
+  // than the O(n log n) sort for a one-off query, and — unlike the lazy
+  // cache build — mutate nothing, so concurrent readers are safe.  The
+  // value is identical to the sorted-path value either way.
+  return stats::percentile_select(powers_, p);
 }
 
-EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces) {
-  EventRanking ranking;
-  for (const AnalyzedTrace& trace : traces) {
-    for (const PoweredEvent& event : trace.events) {
-      auto [it, inserted] = ranking.by_event_.try_emplace(event.name);
-      if (inserted) it->second.name = event.name;
-      it->second.powers.push_back(event.raw_power);
+std::size_t EventPowerDistribution::rank_of(double power) const {
+  if (!sorted_valid_) {
+    // Mutation-free O(n) path (see percentile()).
+    return 1 + static_cast<std::size_t>(
+                   std::count_if(powers_.begin(), powers_.end(),
+                                 [power](double x) { return x < power; }));
+  }
+  return 1 + static_cast<std::size_t>(
+                 std::lower_bound(sorted_.begin(), sorted_.end(), power) -
+                 sorted_.begin());
+}
+
+namespace {
+
+/// Chunk-local accumulation buffer: hashed lookups are cheaper than the
+/// ordered map's string comparisons on the per-instance hot path; the
+/// ordered map is only built once per chunk-merge below.
+using PartialDistributions =
+    std::unordered_map<EventName, std::vector<double>>;
+
+/// Appends every instance of traces[begin, end) to `into`, preserving the
+/// sequential traversal order within the chunk.
+void accumulate_chunk(const std::vector<AnalyzedTrace>& traces,
+                      std::size_t begin, std::size_t end,
+                      PartialDistributions& into) {
+  for (std::size_t t = begin; t < end; ++t) {
+    for (const PoweredEvent& event : traces[t].events) {
+      into[event.name].push_back(event.raw_power);
     }
   }
+}
+
+}  // namespace
+
+EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces,
+                                 common::ThreadPool* pool) {
+  EventRanking ranking;
+  // Per-thread partial buffers over contiguous chunks of traces, merged in
+  // chunk order: concatenating chunk-local power lists in ascending chunk
+  // order yields exactly the sequential traversal order, so the result is
+  // identical to the sequential build (chunks == 1) regardless of pool
+  // size or scheduling.  Chunk boundaries depend only on (traces.size(),
+  // chunk count).  The unordered iteration order while merging does not
+  // matter: appends to different names are independent, and within a name
+  // the append order is the chunk order.
+  const bool sequential =
+      pool == nullptr || pool->size() <= 1 || traces.size() <= 1;
+  const std::size_t chunks =
+      sequential ? 1 : std::min(pool->size(), traces.size());
+  std::vector<PartialDistributions> partials(chunks);
+  if (sequential) {
+    accumulate_chunk(traces, 0, traces.size(), partials[0]);
+  } else {
+    std::vector<std::size_t> bounds(chunks + 1, 0);
+    const std::size_t base = traces.size() / chunks;
+    const std::size_t extra = traces.size() % chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      bounds[c + 1] = bounds[c] + base + (c < extra ? 1 : 0);
+    }
+    pool->parallel_for(0, chunks, [&](std::size_t c) {
+      accumulate_chunk(traces, bounds[c], bounds[c + 1], partials[c]);
+    });
+  }
+  for (PartialDistributions& partial : partials) {
+    for (auto& [name, powers] : partial) {
+      auto [it, inserted] = ranking.by_event_.try_emplace(name, name);
+      (void)inserted;
+      it->second.append_powers(std::move(powers));
+    }
+  }
+
+  // The sorted caches stay lazy: the pipeline only queries distributions
+  // from sequential sections (normalization precomputes its bases before
+  // fanning out), and percentile()/rank_of() fall back to mutation-free
+  // O(n) selection when no cache exists, so nothing here can race.
   return ranking;
 }
 
@@ -44,10 +155,7 @@ bool EventRanking::contains(const EventName& name) const {
 }
 
 std::size_t EventRanking::rank_of(const EventName& name, double power) const {
-  const EventPowerDistribution& dist = distribution(name);
-  return 1 + static_cast<std::size_t>(
-                 std::count_if(dist.powers.begin(), dist.powers.end(),
-                               [&](double p) { return p < power; }));
+  return distribution(name).rank_of(power);
 }
 
 }  // namespace edx::core

@@ -6,32 +6,75 @@
 // power across all traces and ranks them.  The per-event distributions feed
 // Step 3's normalization; the ranks themselves reveal which instances sit
 // unusually high within their own event's distribution.
+//
+// Each distribution caches its powers in sorted order (invalidated when a
+// power is added), so percentile() is O(1) and rank_of() a binary search
+// after the one-time sort — instead of re-copying and re-sorting the whole
+// distribution on every query.  Before any cache exists both fall back to
+// mutation-free O(n) selection/counting, so the pipeline never pays a full
+// sort for its single base-percentile query per event.
 #pragma once
 
 #include <map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/analysis_types.h"
 
 namespace edx::core {
 
 /// Power distribution of one event across the whole collection.
-struct EventPowerDistribution {
-  EventName name;
-  std::vector<double> powers;  ///< every instance's raw power, input order
+class EventPowerDistribution {
+ public:
+  EventPowerDistribution() = default;
+  explicit EventPowerDistribution(EventName name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const EventName& name() const { return name_; }
+  /// Every instance's raw power, in input (trace-traversal) order.
+  [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
+  [[nodiscard]] std::size_t instance_count() const { return powers_.size(); }
+
+  /// Records one instance's power; invalidates the sorted cache.
+  void add_power(double power);
+  /// Replaces the whole distribution; invalidates the sorted cache.
+  void set_powers(std::vector<double> powers);
+  /// Appends a block of powers (preserving their order); invalidates the
+  /// sorted cache.  Steals the vector when the distribution is empty.
+  void append_powers(std::vector<double>&& powers);
+
+  /// The powers in ascending order, sorted once and cached.  The lazy
+  /// rebuild mutates the cache, so the first call after an invalidation
+  /// must not race with other readers (the pipeline only queries
+  /// distributions from sequential sections).
+  [[nodiscard]] const std::vector<double>& sorted_powers() const;
 
   /// Competition ranks aligned with `powers`.
   [[nodiscard]] std::vector<std::size_t> ranks() const;
-  /// p-th percentile of the distribution.
+  /// p-th percentile of the distribution.  Uses the sorted cache when one
+  /// exists, otherwise O(n) selection without building (or mutating) it.
   [[nodiscard]] double percentile(double p) const;
-  [[nodiscard]] std::size_t instance_count() const { return powers.size(); }
+  /// Rank (1-based) of `power` within the distribution: 1 + number of
+  /// recorded instances strictly cheaper.  Binary search on the sorted
+  /// cache when one exists, otherwise a mutation-free linear count.
+  [[nodiscard]] std::size_t rank_of(double power) const;
+
+ private:
+  EventName name_;
+  std::vector<double> powers_;  ///< input order
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_{false};
 };
 
 /// All per-event distributions, keyed by event name.
 class EventRanking {
  public:
-  /// Builds distributions from every instance in `traces`.
-  static EventRanking build(const std::vector<AnalyzedTrace>& traces);
+  /// Builds distributions from every instance in `traces`.  With a pool,
+  /// contiguous chunks of traces build partial maps in parallel, merged in
+  /// chunk order — every distribution ends up with its powers in exactly
+  /// the sequential traversal order, so results are identical to the
+  /// sequential build for any pool size.
+  static EventRanking build(const std::vector<AnalyzedTrace>& traces,
+                            common::ThreadPool* pool = nullptr);
 
   /// Distribution for `name`; throws AnalysisError when the event never
   /// occurs in the collection.

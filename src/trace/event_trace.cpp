@@ -1,6 +1,7 @@
 #include "trace/event_trace.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 
 #include "common/error.h"
@@ -33,6 +34,7 @@ void EventTrace::add_instance(const EventName& event, TimeInterval interval) {
 
 std::vector<EventInstance> EventTrace::instances() const {
   std::vector<EventInstance> result;
+  result.reserve(records_.size() / 2);
   // Pair each '+' with the next '-' of the same event name.  Our runtime
   // never nests instances of the same event, so greedy pairing is exact.
   std::vector<bool> consumed(records_.size(), false);
@@ -59,10 +61,14 @@ std::vector<EventInstance> EventTrace::instances() const {
                        entry.event);
     }
   }
-  std::sort(result.begin(), result.end(),
-            [](const EventInstance& a, const EventInstance& b) {
-              return a.interval.begin < b.interval.begin;
-            });
+  const auto by_begin = [](const EventInstance& a, const EventInstance& b) {
+    return a.interval.begin < b.interval.begin;
+  };
+  // Greedy pairing of an add_instance-built trace already yields entry
+  // order, so the common case skips the sort entirely.
+  if (!std::is_sorted(result.begin(), result.end(), by_begin)) {
+    std::sort(result.begin(), result.end(), by_begin);
+  }
   return result;
 }
 
@@ -77,25 +83,29 @@ std::string EventTrace::to_text() const {
 
 EventTrace EventTrace::from_text(const std::string& text) {
   EventTrace trace;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
-    line = strings::trim(line);
+  std::string_view remaining(text);
+  while (!remaining.empty()) {
+    const std::string_view line = strings::trim_view(strings::next_line(remaining));
     if (line.empty()) continue;
-    std::istringstream fields(line);
+    std::string_view fields = line;
     TimestampMs timestamp = 0;
-    std::string sign;
-    std::string event;
-    if (!(fields >> timestamp >> sign) || (sign != "+" && sign != "-")) {
-      throw ParseError("EventTrace::from_text: malformed line '" + line + "'");
+    const bool have_timestamp = strings::consume_int64(fields, timestamp);
+    fields = strings::trim_view(fields);
+    const bool have_sign =
+        !fields.empty() && (fields.front() == '+' || fields.front() == '-') &&
+        (fields.size() == 1 ||
+         std::isspace(static_cast<unsigned char>(fields[1])));
+    if (!have_timestamp || !have_sign) {
+      throw ParseError("EventTrace::from_text: malformed line '" +
+                       std::string(line) + "'");
     }
-    std::getline(fields, event);
-    event = strings::trim(event);
+    const bool is_entry = fields.front() == '+';
+    const std::string_view event = strings::trim_view(fields.substr(1));
     if (event.empty()) {
       throw ParseError("EventTrace::from_text: missing event name in '" +
-                       line + "'");
+                       std::string(line) + "'");
     }
-    trace.records_.push_back({timestamp, sign == "+", event});
+    trace.records_.push_back({timestamp, is_entry, std::string(event)});
   }
   return trace;
 }

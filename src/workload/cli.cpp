@@ -9,6 +9,7 @@
 #include "android/apk.h"
 #include "android/instrumenter.h"
 #include "common/error.h"
+#include "common/strings.h"
 #include "core/pipeline.h"
 #include "core/report_io.h"
 #include "power/calibration.h"
@@ -86,7 +87,7 @@ int cmd_simulate(int app_id, const std::string& out_dir, int users,
 
 int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
                 std::optional<double> reported_fraction, bool as_json,
-                std::ostream& out) {
+                std::size_t num_threads, std::ostream& out) {
   std::vector<std::string> paths;
   for (const fs::directory_entry& entry : fs::directory_iterator(trace_dir)) {
     const std::string name = entry.path().filename().string();
@@ -105,6 +106,7 @@ int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
   }
 
   core::AnalysisConfig config;
+  config.num_threads = num_threads;
   if (reported_fraction.has_value()) {
     config.reporting.developer_reported_fraction = *reported_fraction;
   } else {
@@ -233,7 +235,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
       err << "usage: energydx <catalog | instrument <in> <out> | "
              "simulate <app-id> <dir> [users] [seed] | "
-             "analyze <dir> [app-id] [reported-fraction] [--json] | "
+             "analyze <dir> [app-id] [reported-fraction] [--json] "
+             "[--threads N] | "
              "gen-training <device> <out.csv> [levels] [noise] | "
              "calibrate <samples.csv> <name>>\n";
       return args.empty() ? 2 : 0;
@@ -279,9 +282,23 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       std::optional<int> app_id;
       std::optional<double> fraction;
       bool as_json = false;
+      std::size_t num_threads = 0;  // default: one worker per hardware thread
       for (std::size_t i = 2; i < args.size(); ++i) {
         if (args[i] == "--json") {
           as_json = true;
+        } else if (args[i] == "--threads") {
+          if (i + 1 >= args.size()) {
+            throw InvalidArgument("--threads needs a count");
+          }
+          const std::string& count = args[++i];
+          std::int64_t parsed = -1;
+          std::string_view view(count);
+          if (!strings::consume_int64(view, parsed) || !view.empty() ||
+              parsed < 0 || parsed > 4096) {
+            throw InvalidArgument("--threads needs a count in [0, 4096], got '" +
+                                  count + "'");
+          }
+          num_threads = static_cast<std::size_t>(parsed);
         } else if (!app_id.has_value() &&
                    args[i].find('.') == std::string::npos) {
           app_id = std::stoi(args[i]);
@@ -289,7 +306,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
           fraction = std::stod(args[i]);
         }
       }
-      return cmd_analyze(args[1], app_id, fraction, as_json, out);
+      return cmd_analyze(args[1], app_id, fraction, as_json, num_threads, out);
     }
     throw InvalidArgument("unknown command '" + args[0] + "'");
   } catch (const std::exception& failure) {

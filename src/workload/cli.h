@@ -5,6 +5,7 @@
 //   energydx instrument <in.apk.txt> <out.apk.txt>
 //   energydx simulate <app-id> <out-dir> [users] [seed]
 //   energydx analyze <trace-dir> [app-id] [reported-fraction] [--json]
+//                    [--threads N]
 //   energydx gen-training <builtin-device> <out.csv> [levels] [noise]
 //   energydx calibrate <samples.csv> <device-name>
 //
@@ -37,10 +38,12 @@ int cmd_simulate(int app_id, const std::string& out_dir, int users,
 /// Analyzes every bundle_*.txt in `trace_dir`.  When `app_id` is given the
 /// report includes code lines and reduction for that catalog app.  When
 /// `reported_fraction` is absent it defaults to the share of traces with a
-/// detected manifestation point (a self-estimate).
+/// detected manifestation point (a self-estimate).  `num_threads` shards
+/// the analysis across worker threads (0 = hardware concurrency,
+/// 1 = sequential); the report is identical either way.
 int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
                 std::optional<double> reported_fraction, bool as_json,
-                std::ostream& out);
+                std::size_t num_threads, std::ostream& out);
 
 /// Writes a component-sweep calibration workload for one built-in device
 /// ("Nexus 6", "Moto G", ...) as CSV, with optional measurement noise.

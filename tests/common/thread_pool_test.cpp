@@ -1,0 +1,88 @@
+// Tests for the analysis thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace edx::common {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(7), 7u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<int> visits(1000, 0);
+    pool.parallel_for(0, visits.size(),
+                      [&](std::size_t i) { visits[i] += 1; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000);
+    EXPECT_EQ(*std::min_element(visits.begin(), visits.end()), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  // Fewer items than workers: every item still runs exactly once.
+  pool.parallel_for(10, 12, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPoolTest, ChunksAreContiguousAndCoverTheRange) {
+  ThreadPool pool(3);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks(3);
+  std::atomic<std::size_t> slot{0};
+  pool.parallel_for_chunks(2, 12, [&](std::size_t begin, std::size_t end) {
+    chunks[slot.fetch_add(1)] = {begin, end};
+  });
+  std::sort(chunks.begin(), chunks.end());
+  // 10 items over 3 workers: sizes differ by at most one, no gaps.
+  EXPECT_EQ(chunks.front().first, 2u);
+  EXPECT_EQ(chunks.back().second, 12u);
+  for (std::size_t c = 1; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, chunks[c - 1].second);
+    EXPECT_LE(chunks[c].second - chunks[c].first, 4u);
+  }
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) {
+                                     throw std::runtime_error("task failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed batch and runs the next one.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 4, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(0, 100,
+                      [&](std::size_t i) {
+                        total.fetch_add(static_cast<long>(i));
+                      });
+  }
+  EXPECT_EQ(total.load(), 50L * 99 * 100 / 2);
+}
+
+}  // namespace
+}  // namespace edx::common

@@ -1,0 +1,137 @@
+// Determinism of the parallel analysis pipeline: `ManifestationAnalyzer`
+// must produce byte-identical output whatever `AnalysisConfig::num_threads`
+// is, because chunk boundaries and merge order are fixed functions of the
+// input (see DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/report_io.h"
+
+namespace edx::core {
+namespace {
+
+power::UtilizationSample sample(TimestampMs timestamp, double power) {
+  power::UtilizationSample s;
+  s.timestamp = timestamp;
+  s.estimated_app_power_mw = power;
+  return s;
+}
+
+/// The Fig. 6 walkthrough fixture (same construction as
+/// bench/bench_fig06_walkthrough.cpp): circles/squares alternating, the
+/// triangle trigger halfway through the ABD trace, post-trigger drain.
+trace::TraceBundle make_fig06_trace(UserId user, bool with_abd) {
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  const int events = 12;
+  int triangle_at = with_abd ? 6 : -1;
+  for (int i = 0; i < events; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    std::string name = (i % 2 == 0) ? "circle" : "square";
+    if (i == triangle_at) name = "triangle";
+    bundle.events.add_instance(name, {t + 10, t + 40});
+
+    double power = (i % 2 == 0) ? 100.0 : 400.0;
+    if (i == triangle_at) power = 150.0;
+    if (with_abd && i >= triangle_at) power += 500.0;
+    power += 3.0 * ((user * 7 + i * 13) % 5);
+    samples.push_back(sample(t + 500, power));
+    samples.push_back(sample(t + 1000, power));
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+std::vector<trace::TraceBundle> fig06_bundles() {
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < 4; ++user) {
+    bundles.push_back(make_fig06_trace(user, /*with_abd=*/user == 1));
+  }
+  return bundles;
+}
+
+AnalysisResult run_with_threads(const std::vector<trace::TraceBundle>& bundles,
+                                std::size_t num_threads) {
+  AnalysisConfig config;
+  config.reporting.window_size = 2;
+  config.reporting.developer_reported_fraction = 0.25;
+  config.num_threads = num_threads;
+  const ManifestationAnalyzer analyzer(config);
+  return analyzer.run(bundles);
+}
+
+std::string render(const AnalysisResult& result) {
+  ReportRenderOptions options;
+  options.developer_reported_fraction = 0.25;
+  return report_to_text(result.report, /*code_map=*/nullptr, options) +
+         report_to_json(result.report, /*code_map=*/nullptr, options);
+}
+
+void expect_identical(const AnalysisResult& reference,
+                      const AnalysisResult& candidate,
+                      std::size_t num_threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(num_threads));
+
+  // Rendered reports are byte-identical.
+  EXPECT_EQ(render(reference), render(candidate));
+
+  // So is every intermediate: raw/normalized powers, variation amplitudes,
+  // and detected manifestation indices, compared bit-for-bit.
+  ASSERT_EQ(reference.traces.size(), candidate.traces.size());
+  for (std::size_t t = 0; t < reference.traces.size(); ++t) {
+    const AnalyzedTrace& a = reference.traces[t];
+    const AnalyzedTrace& b = candidate.traces[t];
+    EXPECT_EQ(a.manifestation_indices, b.manifestation_indices);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+      EXPECT_EQ(a.events[i].name, b.events[i].name);
+      EXPECT_EQ(a.events[i].raw_power, b.events[i].raw_power);
+      EXPECT_EQ(a.events[i].normalized_power, b.events[i].normalized_power);
+      EXPECT_EQ(a.events[i].variation_amplitude,
+                b.events[i].variation_amplitude);
+    }
+  }
+
+  // Ranking distributions preserve instance order (sequential traversal
+  // order), not just multisets.
+  ASSERT_EQ(reference.ranking.all().size(), candidate.ranking.all().size());
+  for (const auto& [name, dist] : reference.ranking.all()) {
+    EXPECT_EQ(dist.powers(), candidate.ranking.distribution(name).powers());
+  }
+}
+
+TEST(ParallelPipelineTest, Fig06OutputIdenticalAcrossThreadCounts) {
+  const std::vector<trace::TraceBundle> bundles = fig06_bundles();
+  const AnalysisResult reference = run_with_threads(bundles, 1);
+
+  // Sanity: the sequential reference still finds the walkthrough's answer.
+  EXPECT_EQ(reference.traces[1].manifestation_indices.size(), 1u);
+  ASSERT_FALSE(reference.report.ranked_events.empty());
+
+  for (std::size_t num_threads : {2u, 8u}) {
+    expect_identical(reference, run_with_threads(bundles, num_threads),
+                     num_threads);
+  }
+}
+
+TEST(ParallelPipelineTest, LargerPopulationIdenticalAcrossThreadCounts) {
+  // More traces than workers, uneven event mixes, several ABD users: chunk
+  // boundaries land mid-population and partial maps must merge in order.
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < 23; ++user) {
+    bundles.push_back(make_fig06_trace(user, /*with_abd=*/user % 5 == 1));
+  }
+  const AnalysisResult reference = run_with_threads(bundles, 1);
+  for (std::size_t num_threads : {2u, 3u, 8u}) {
+    expect_identical(reference, run_with_threads(bundles, num_threads),
+                     num_threads);
+  }
+}
+
+}  // namespace
+}  // namespace edx::core

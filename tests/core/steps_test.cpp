@@ -51,13 +51,13 @@ TEST(Step2Test, RankingCollectsAcrossTraces) {
   EXPECT_EQ(dist.instance_count(), 12u);
   EXPECT_NEAR(dist.percentile(50.0), 150.0, 1e-9);
   EXPECT_EQ(ranking.rank_of("Lx/A;.onResume", 150.0), 7u);
-  EXPECT_THROW(ranking.distribution("unknown"), AnalysisError);
+  EXPECT_THROW((void)ranking.distribution("unknown"), AnalysisError);
   EXPECT_FALSE(ranking.contains("unknown"));
 }
 
 TEST(Step2Test, RanksOrderInstances) {
   EventPowerDistribution dist;
-  dist.powers = {30.0, 10.0, 20.0, 20.0};
+  dist.set_powers({30.0, 10.0, 20.0, 20.0});
   EXPECT_EQ(dist.ranks(), (std::vector<std::size_t>{4, 1, 2, 2}));
 }
 

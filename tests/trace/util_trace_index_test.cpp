@@ -1,0 +1,221 @@
+// Property tests for the indexed UtilizationTrace::average_power fast path
+// against a brute-force reference, plus the median-based sample_period and
+// the from_chars text parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/util_trace.h"
+
+namespace edx::trace {
+namespace {
+
+power::UtilizationSample make_sample(TimestampMs timestamp, double power) {
+  power::UtilizationSample sample;
+  sample.timestamp = timestamp;
+  sample.estimated_app_power_mw = power;
+  return sample;
+}
+
+/// The pre-index implementation, verbatim: linear scan with overlap
+/// weighting and the enclosing-sample fallback.
+PowerMw brute_force_average_power(const UtilizationTrace& trace,
+                                  TimeInterval interval) {
+  if (trace.samples().empty() || interval.empty()) return 0.0;
+  const DurationMs period = trace.sample_period();
+  double weighted = 0.0;
+  DurationMs covered = 0;
+  for (const power::UtilizationSample& sample : trace.samples()) {
+    const TimeInterval window{sample.timestamp - period, sample.timestamp};
+    const DurationMs overlap = window.overlap(interval.begin, interval.end);
+    if (overlap <= 0) continue;
+    weighted += sample.estimated_app_power_mw * static_cast<double>(overlap);
+    covered += overlap;
+  }
+  if (covered == 0) {
+    for (const power::UtilizationSample& sample : trace.samples()) {
+      if (sample.timestamp - period <= interval.begin &&
+          interval.end <= sample.timestamp) {
+        return sample.estimated_app_power_mw;
+      }
+    }
+    return 0.0;
+  }
+  return weighted / static_cast<double>(covered);
+}
+
+void expect_matches_brute_force(const UtilizationTrace& trace,
+                                TimeInterval interval) {
+  const PowerMw expected = brute_force_average_power(trace, interval);
+  const PowerMw actual = trace.average_power(interval);
+  // The indexed path sums via prefix-sum differences, so allow a relative
+  // FP tolerance; the covered-duration bookkeeping itself is exact integer
+  // arithmetic.
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(expected));
+  EXPECT_NEAR(actual, expected, tolerance)
+      << "interval [" << interval.begin << ", " << interval.end << ")";
+}
+
+TEST(UtilTraceIndexTest, MatchesBruteForceOnRandomizedTraces) {
+  Rng rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    // Build a trace with irregular spacing: mostly 500 ms steps, sometimes
+    // dropped samples (1000+ ms gaps), sometimes bursts (small gaps), and
+    // occasional duplicate timestamps.
+    std::vector<power::UtilizationSample> samples;
+    TimestampMs t = rng.uniform_int(0, 10'000);
+    const int count = static_cast<int>(rng.uniform_int(1, 120));
+    for (int i = 0; i < count; ++i) {
+      samples.push_back(make_sample(t, rng.uniform(5.0, 900.0)));
+      const double shape = rng.uniform();
+      if (shape < 0.1) {
+        t += 0;  // duplicate timestamp
+      } else if (shape < 0.2) {
+        t += rng.uniform_int(1, 100);  // burst
+      } else if (shape < 0.3) {
+        t += rng.uniform_int(1000, 2500);  // dropped samples
+      } else {
+        t += 500;  // the tracker's regular period
+      }
+    }
+    const UtilizationTrace trace("Nexus 6", samples);
+
+    const TimestampMs begin_of_trace = trace.samples().front().timestamp;
+    const TimestampMs end_of_trace = trace.samples().back().timestamp;
+    for (int q = 0; q < 40; ++q) {
+      const TimestampMs a =
+          rng.uniform_int(begin_of_trace - 2'000, end_of_trace + 2'000);
+      const double kind = rng.uniform();
+      TimeInterval interval;
+      if (kind < 0.15) {
+        interval = {a, a};  // empty
+      } else if (kind < 0.4) {
+        interval = {a, a + rng.uniform_int(1, 80)};  // sub-window
+      } else if (kind < 0.6) {
+        interval = {end_of_trace + 5'000,
+                    end_of_trace + 5'000 + rng.uniform_int(1, 3'000)};  // out of range
+      } else {
+        interval = {a, a + rng.uniform_int(400, 6'000)};  // multi-window
+      }
+      expect_matches_brute_force(trace, interval);
+    }
+  }
+}
+
+TEST(UtilTraceIndexTest, MatchesBruteForceOnUniformGrids) {
+  // Exactly regular spacing takes the O(1) arithmetic-index path instead
+  // of binary search; sweep interval endpoints across every alignment
+  // relative to the grid (on-sample, mid-window, off-by-one).
+  Rng rng(7);
+  for (const TimestampMs gap : {1, 7, 500}) {
+    std::vector<power::UtilizationSample> samples;
+    const TimestampMs t0 = 1'000;
+    for (int i = 0; i < 64; ++i) {
+      samples.push_back(make_sample(t0 + i * gap, rng.uniform(5.0, 900.0)));
+    }
+    const UtilizationTrace trace("Nexus 6", samples);
+    EXPECT_EQ(trace.sample_period(), gap);
+    const TimestampMs last = samples.back().timestamp;
+    for (TimestampMs b = t0 - 2 * gap - 1; b <= last + 2 * gap + 1; ++b) {
+      expect_matches_brute_force(trace, {b, b + 1});
+      expect_matches_brute_force(trace, {b, b + gap});
+      expect_matches_brute_force(trace, {b, b + 3 * gap + 1});
+    }
+  }
+}
+
+TEST(UtilTraceIndexTest, CursorIsBitIdenticalToAveragePower) {
+  Rng rng(4711);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<power::UtilizationSample> samples;
+    TimestampMs t = rng.uniform_int(0, 5'000);
+    const int count = static_cast<int>(rng.uniform_int(1, 80));
+    for (int i = 0; i < count; ++i) {
+      samples.push_back(make_sample(t, rng.uniform(5.0, 900.0)));
+      t += rng.uniform_int(0, 1'200);  // irregular, with duplicates
+    }
+    const UtilizationTrace trace("Nexus 6", samples);
+    const TimestampMs first = trace.samples().front().timestamp;
+    const TimestampMs last = trace.samples().back().timestamp;
+
+    // Chronological queries — the cursor's fast path.
+    AveragePowerCursor cursor(trace);
+    TimestampMs b = first - 1'000;
+    for (int q = 0; q < 60; ++q) {
+      b += rng.uniform_int(0, 400);
+      const TimeInterval interval{b, b + rng.uniform_int(0, 900)};
+      EXPECT_EQ(cursor.average_power(interval),
+                trace.average_power(interval));
+    }
+    // Out-of-order queries force the rewind path.
+    for (int q = 0; q < 40; ++q) {
+      const TimestampMs a = rng.uniform_int(first - 1'500, last + 1'500);
+      const TimeInterval interval{a, a + rng.uniform_int(0, 1'200)};
+      EXPECT_EQ(cursor.average_power(interval),
+                trace.average_power(interval));
+    }
+  }
+}
+
+TEST(UtilTraceIndexTest, SortsUnorderedSamplesOnConstruction) {
+  const UtilizationTrace trace("Nexus 6", {make_sample(1500, 300.0),
+                                           make_sample(500, 100.0),
+                                           make_sample(1000, 200.0)});
+  ASSERT_EQ(trace.samples().size(), 3u);
+  EXPECT_EQ(trace.samples()[0].timestamp, 500);
+  EXPECT_EQ(trace.samples()[2].timestamp, 1500);
+  EXPECT_DOUBLE_EQ(trace.average_power({0, 500}), 100.0);
+}
+
+TEST(UtilTraceIndexTest, SamplePeriodUsesMedianGap) {
+  // Gaps 500, 500, 2000 (a dropped sample): the naive first-gap guess and
+  // the median agree here, but an initial 2000 gap must not win.
+  const UtilizationTrace dropped("Nexus 6", {make_sample(500, 1.0),
+                                             make_sample(2500, 1.0),
+                                             make_sample(3000, 1.0),
+                                             make_sample(3500, 1.0)});
+  EXPECT_EQ(dropped.sample_period(), 500);
+}
+
+TEST(UtilTraceIndexTest, SamplePeriodGuardsDegenerateGaps) {
+  // Duplicate leading timestamps: the old samples_[1] - samples_[0] guess
+  // yields a zero-width window that drops all overlap weight.
+  const UtilizationTrace duplicated("Nexus 6", {make_sample(500, 100.0),
+                                                make_sample(500, 100.0),
+                                                make_sample(1000, 300.0)});
+  EXPECT_EQ(duplicated.sample_period(), 500);
+  EXPECT_GT(duplicated.average_power({0, 500}), 0.0);
+
+  // All timestamps equal: fall back to the tracker default.
+  const UtilizationTrace all_equal("Nexus 6", {make_sample(500, 100.0),
+                                               make_sample(500, 100.0)});
+  EXPECT_EQ(all_equal.sample_period(), 500);
+
+  // Fewer than two samples: tracker default.
+  const UtilizationTrace single("Nexus 6", {make_sample(700, 100.0)});
+  EXPECT_EQ(single.sample_period(), 500);
+}
+
+TEST(UtilTraceIndexTest, ScalePowerRebuildsIndex) {
+  UtilizationTrace trace("Nexus 6", {make_sample(500, 100.0),
+                                     make_sample(1000, 300.0)});
+  trace.scale_power(2.0);
+  EXPECT_DOUBLE_EQ(trace.average_power({0, 500}), 200.0);
+  EXPECT_DOUBLE_EQ(trace.average_power({600, 610}), 600.0);
+}
+
+TEST(UtilTraceIndexTest, FromTextRoundTripsThroughFromChars) {
+  UtilizationTrace trace("Galaxy S5", {make_sample(28223867, 123.4567),
+                                       make_sample(28224367, 7.5)});
+  const UtilizationTrace parsed = UtilizationTrace::from_text(trace.to_text());
+  EXPECT_EQ(parsed.device_name(), "Galaxy S5");
+  ASSERT_EQ(parsed.samples().size(), 2u);
+  EXPECT_EQ(parsed.samples()[0].timestamp, 28223867);
+  EXPECT_NEAR(parsed.samples()[0].estimated_app_power_mw, 123.4567, 1e-4);
+  EXPECT_EQ(parsed.sample_period(), trace.sample_period());
+}
+
+}  // namespace
+}  // namespace edx::trace

@@ -66,7 +66,7 @@ TEST(CliTest, SimulateThenAnalyzeEndToEnd) {
 
   std::ostringstream report;
   ASSERT_EQ(cmd_analyze(dir, /*app_id=*/18, /*reported_fraction=*/0.2,
-                        /*as_json=*/false, report),
+                        /*as_json=*/false, /*num_threads=*/2, report),
             0);
   const std::string text = report.str();
   EXPECT_NE(text.find("Tinfoil"), std::string::npos);
@@ -81,7 +81,7 @@ TEST(CliTest, AnalyzeJsonAndSelfEstimate) {
 
   std::ostringstream report;
   ASSERT_EQ(cmd_analyze(dir, std::nullopt, std::nullopt, /*as_json=*/true,
-                        report),
+                        /*num_threads=*/1, report),
             0);
   const std::string json = report.str();
   EXPECT_NE(json.find("\"ranked_events\""), std::string::npos);
@@ -144,7 +144,7 @@ TEST(CliTest, AnalyzeRejectsEmptyDirectory) {
   const std::string dir = temp_dir("empty");
   std::ostringstream report;
   EXPECT_THROW(
-      cmd_analyze(dir, std::nullopt, std::nullopt, false, report),
+      cmd_analyze(dir, std::nullopt, std::nullopt, false, 1, report),
       edx::InvalidArgument);
 }
 
