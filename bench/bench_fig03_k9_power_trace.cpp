@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
   const std::size_t hi = std::min(trace.events.size(), point + 3);
   int order = 1;
   for (std::size_t i = lo; i < hi; ++i) {
-    std::cout << "  " << order++ << ". " << trace.events[i].name
-              << (trace.events[i].name == app.bug.root_cause_event
+    std::cout << "  " << order++ << ". " << trace.events[i].name()
+              << (trace.events[i].name() == app.bug.root_cause_event
                       ? "   <-- root cause event"
                       : "")
               << (i == point ? "   <-- manifestation point" : "") << "\n";

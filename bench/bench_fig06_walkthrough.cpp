@@ -68,8 +68,17 @@ int main() {
             << "(4 traces, 3 events; only trace 2 contains the ABD)\n\n";
 
   std::cout << "STEP 2 — per-event power distributions across all traces:\n";
-  for (const auto& [name, dist] : result.ranking.all()) {
-    std::cout << "  " << name << ": " << dist.instance_count()
+  // The ranking is id-indexed (first-seen order); print in name order, as
+  // the paper's figure does.
+  std::vector<const core::EventPowerDistribution*> distributions;
+  for (const core::EventPowerDistribution& dist : result.ranking.all()) {
+    if (dist.instance_count() > 0) distributions.push_back(&dist);
+  }
+  std::sort(distributions.begin(), distributions.end(),
+            [](const auto* a, const auto* b) { return a->name() < b->name(); });
+  for (const core::EventPowerDistribution* dist_ptr : distributions) {
+    const core::EventPowerDistribution& dist = *dist_ptr;
+    std::cout << "  " << dist.name() << ": " << dist.instance_count()
               << " instances, p10="
               << strings::format_double(dist.percentile(10), 0) << " median="
               << strings::format_double(dist.percentile(50), 0) << " max="
@@ -89,8 +98,8 @@ int main() {
           std::find(trace.manifestation_indices.begin(),
                     trace.manifestation_indices.end(),
                     i) != trace.manifestation_indices.end();
-      std::cout << "  " << event.name
-                << std::string(10 - event.name.size(), ' ')
+      std::cout << "  " << event.name()
+                << std::string(10 - event.name().size(), ' ')
                 << strings::format_double(event.raw_power, 0) << "\t"
                 << strings::format_double(event.normalized_power, 2) << "\t"
                 << strings::format_double(event.variation_amplitude, 2)

@@ -2,6 +2,11 @@
 // and its hot substrate paths.  Not a paper figure — harness health.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
 #include "android/apk_builder.h"
 #include "android/instrumenter.h"
 #include "baselines/edoctor.h"
@@ -164,6 +169,24 @@ void BM_Step2Ranking(benchmark::State& state) {
 }
 BENCHMARK(BM_Step2Ranking);
 
+void BM_Step2RankingStringKeyed(benchmark::State& state) {
+  // Interning-off comparison point: the pre-interning Step 2 accumulation —
+  // resolve each instance's name and key a string-hashed map with it, what
+  // every build paid before the EventId symbol table.  Contrast with
+  // BM_Step2Ranking (same input) for the interning speedup.
+  const auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
+  for (auto _ : state) {
+    std::unordered_map<EventName, std::vector<double>> distributions;
+    for (const core::AnalyzedTrace& trace : traces) {
+      for (const core::PoweredEvent& event : trace.events) {
+        distributions[event.name()].push_back(event.raw_power);
+      }
+    }
+    benchmark::DoNotOptimize(distributions);
+  }
+}
+BENCHMARK(BM_Step2RankingStringKeyed);
+
 void BM_Step3Normalization(benchmark::State& state) {
   auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
   const auto ranking = core::EventRanking::build(traces);
@@ -195,6 +218,45 @@ void BM_Step5Reporting(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Step5Reporting);
+
+#ifdef __linux__
+/// Peak resident set (VmHWM) of this process so far, in kB.
+double peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr);
+    }
+  }
+  return 0.0;
+}
+#endif
+
+void BM_FullPipelineFootprint(benchmark::State& state) {
+  // Memory shape of the 100x200 workload: bytes per in-flight PoweredEvent
+  // (a few plain words now that the name is an interned id) and, on Linux,
+  // the process peak RSS after running the full pipeline.
+  const auto bundles = synthetic_bundles(100, 200);
+  const core::ManifestationAnalyzer analyzer{core::AnalysisConfig{}};
+  std::size_t instances = 0;
+  for (auto _ : state) {
+    const core::AnalysisResult result = analyzer.run(bundles);
+    instances = 0;
+    for (const core::AnalyzedTrace& trace : result.traces) {
+      instances += trace.events.size();
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["bytes_per_instance"] =
+      static_cast<double>(sizeof(core::PoweredEvent));
+#ifdef __linux__
+  state.counters["peak_rss_kb"] = peak_rss_kb();
+#endif
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(instances));
+}
+BENCHMARK(BM_FullPipelineFootprint);
 
 void BM_NoSleepStaticAnalysis(benchmark::State& state) {
   const workload::AppCase app = workload::k9_mail_case();

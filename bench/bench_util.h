@@ -83,7 +83,7 @@ inline void print_step_series(const core::AnalyzedTrace& trace,
         std::find(trace.manifestation_indices.begin(),
                   trace.manifestation_indices.end(),
                   i) != trace.manifestation_indices.end();
-    table.add_row({std::to_string(i), android::short_event_name(event.name),
+    table.add_row({std::to_string(i), android::short_event_name(event.name()),
                    strings::format_double(event.raw_power, 1),
                    strings::format_double(event.normalized_power, 2),
                    strings::format_double(event.variation_amplitude, 2),

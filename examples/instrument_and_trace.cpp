@@ -56,7 +56,8 @@ int main() {
   for (const trace::EventRecord& record : bundle.events.records()) {
     if (++lines > 8) break;
     std::cout << "  " << record.timestamp << " "
-              << (record.is_entry ? "+" : "-") << " " << record.event << "\n";
+              << (record.is_entry ? "+" : "-") << " "
+              << event_name(record.event) << "\n";
   }
 
   // 5. Upload: deferred until the phone charges on WiFi.

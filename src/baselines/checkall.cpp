@@ -30,7 +30,7 @@ CheckAllReport CheckAll::run(
           i >= config_.window_size ? i - config_.window_size : 0;
       const std::size_t hi = std::min(count, i + config_.window_size + 1);
       for (std::size_t j = lo; j < hi; ++j) {
-        reported.insert(trace.events[j].name);
+        reported.insert(trace.events[j].name());
       }
     }
   }

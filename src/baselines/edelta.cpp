@@ -1,9 +1,10 @@
 #include "baselines/edelta.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 
 #include "android/event.h"
+#include "common/event_symbols.h"
 #include "common/stats.h"
 
 namespace edx::baselines {
@@ -13,8 +14,25 @@ EDelta::EDelta(EDeltaConfig config, power::PowerModel model)
 
 EDeltaReport EDelta::run(
     const std::vector<trace::TraceBundle>& bundles) const {
-  // API -> per-instance attributed power (mW) across all traces.
-  std::map<EventName, std::vector<double>> powers;
+  // API -> per-instance attributed power (mW) across all traces, as a flat
+  // id-indexed table (`touched` lists the live slots).  The idle
+  // classification depends only on the event name, so it is computed once
+  // per distinct id instead of once per instance.
+  std::vector<std::vector<double>> powers(EventSymbolTable::global().size());
+  std::vector<EventId> touched;
+  enum class IdleClass : std::uint8_t { kUnknown, kIdle, kNotIdle };
+  std::vector<IdleClass> idle_class(powers.size(), IdleClass::kUnknown);
+  const auto is_idle = [&idle_class](EventId id) {
+    IdleClass& cached = idle_class[id];
+    if (cached == IdleClass::kUnknown) {
+      cached = android::classify_callback(
+                   android::split_event_name(event_name(id)).callback_name) ==
+                       android::EventKind::kIdle
+                   ? IdleClass::kIdle
+                   : IdleClass::kNotIdle;
+    }
+    return cached == IdleClass::kIdle;
+  };
 
   for (const trace::TraceBundle& raw_bundle : bundles) {
     // Recompute sample power from the recorded utilization with the
@@ -33,11 +51,7 @@ EDeltaReport EDelta::run(
     // API calls only, and an API owns everything up to the next API call.
     std::vector<trace::EventInstance> instances;
     for (const trace::EventInstance& instance : bundle.events.instances()) {
-      if (android::classify_callback(
-              android::split_event_name(instance.event).callback_name) ==
-          android::EventKind::kIdle) {
-        continue;
-      }
+      if (is_idle(instance.event)) continue;
       instances.push_back(instance);
     }
 
@@ -53,19 +67,27 @@ EDeltaReport EDelta::run(
       }
       const TimeInterval attribution{instance.interval.begin, attribution_end};
       if (attribution.empty()) continue;
+      if (powers[instance.event].empty()) touched.push_back(instance.event);
       powers[instance.event].push_back(
           bundle.utilization.average_power(attribution));
     }
   }
 
+  // Candidates are visited in name order (as the old name-keyed map did)
+  // before the unstable deviation sort, so findings order is unchanged.
+  std::sort(touched.begin(), touched.end(), [](EventId a, EventId b) {
+    return event_name(a) < event_name(b);
+  });
+
   EDeltaReport report;
-  for (const auto& [api, values] : powers) {
+  for (EventId id : touched) {
+    const std::vector<double>& values = powers[id];
     if (values.size() < config_.min_instances) continue;
     const double median = stats::median(values);
     const double high = stats::percentile(values, config_.high_percentile);
     const double deviation = high - median;
     if (deviation > config_.power_deviation_threshold_mw) {
-      report.findings.push_back({api, median, high, deviation});
+      report.findings.push_back({event_name(id), median, high, deviation});
     }
   }
   std::sort(report.findings.begin(), report.findings.end(),

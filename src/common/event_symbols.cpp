@@ -1,0 +1,65 @@
+#include "common/event_symbols.h"
+
+#include <mutex>
+
+#include "common/error.h"
+
+namespace edx {
+
+EventId EventSymbolTable::intern(std::string_view name) {
+  {
+    // Hit path: the overwhelmingly common case once a collection's
+    // vocabulary has been seen, and the only case on the parse hot path
+    // after the first few lines.
+    std::shared_lock lock(mutex_);
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned `name` between the locks.
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const EventId id = static_cast<EventId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+EventId EventSymbolTable::find(std::string_view name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidEventId : it->second;
+}
+
+const EventName& EventSymbolTable::name(EventId id) const {
+  std::shared_lock lock(mutex_);
+  require(id < names_.size(),
+          "EventSymbolTable::name: unknown EventId " + std::to_string(id));
+  // Safe to hand out past the unlock: deque elements are never moved or
+  // destroyed while the table lives.
+  return names_[id];
+}
+
+std::size_t EventSymbolTable::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+EventSymbolTable& EventSymbolTable::global() {
+  static EventSymbolTable table;
+  return table;
+}
+
+EventId intern_event(std::string_view name) {
+  return EventSymbolTable::global().intern(name);
+}
+
+EventId find_event(std::string_view name) {
+  return EventSymbolTable::global().find(name);
+}
+
+const EventName& event_name(EventId id) {
+  return EventSymbolTable::global().name(id);
+}
+
+}  // namespace edx

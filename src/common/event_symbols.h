@@ -1,0 +1,72 @@
+// Event-name interning: the dense EventId symbol table.
+//
+// A server ingesting traces from millions of users sees the same few
+// hundred callback names ("Lcom/fsck/k9/service/MailService;.onDestroy")
+// repeated millions of times.  Interning each distinct name once into a
+// dense uint32 EventId turns every downstream keying operation — Step 2's
+// per-event distributions, Step 3's base-power lookups, Step 5's impact
+// accumulators — into a flat vector index instead of a string hash or an
+// O(len) tree compare, and shrinks a PoweredEvent to a few plain words.
+//
+// Ids are assigned in first-seen order: ingesting the same inputs in the
+// same order always produces the same ids (the analysis itself never
+// depends on id order — names are resolved back to strings only at the
+// report boundary, so reports are byte-identical either way).  The table
+// is append-only and thread-safe: interning takes a shared lock on the hit
+// path and an exclusive lock only for a genuinely new name, and resolved
+// name references stay valid forever (storage never moves or shrinks), so
+// worker threads can resolve ids without holding any lock across use.
+#pragma once
+
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace edx {
+
+/// Append-only bidirectional map between event names and dense EventIds.
+class EventSymbolTable {
+ public:
+  EventSymbolTable() = default;
+  EventSymbolTable(const EventSymbolTable&) = delete;
+  EventSymbolTable& operator=(const EventSymbolTable&) = delete;
+
+  /// Id of `name`, interning it first if unseen.  Ids are dense, starting
+  /// at 0, in first-seen order.
+  EventId intern(std::string_view name);
+
+  /// Id of `name` if already interned, kInvalidEventId otherwise.  Never
+  /// extends the table.
+  [[nodiscard]] EventId find(std::string_view name) const;
+
+  /// The name behind `id`.  The reference stays valid for the lifetime of
+  /// the table (entries are never moved or removed).  Throws
+  /// InvalidArgument for ids the table never handed out.
+  [[nodiscard]] const EventName& name(EventId id) const;
+
+  /// Number of distinct names interned so far.  Monotone; every id handed
+  /// out so far is < size().
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide table all traces and pipeline stages share.
+  static EventSymbolTable& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  /// id -> name.  A deque never relocates existing elements, so both the
+  /// string_view keys of ids_ and references returned by name() survive
+  /// growth.
+  std::deque<EventName> names_;
+  std::unordered_map<std::string_view, EventId> ids_;
+};
+
+/// Shorthands on the global table.
+EventId intern_event(std::string_view name);
+EventId find_event(std::string_view name);
+const EventName& event_name(EventId id);
+
+}  // namespace edx

@@ -57,9 +57,20 @@ struct TimeInterval {
 };
 
 /// Fully-qualified name of an instrumented callback, e.g.
-/// "Lcom/fsck/k9/activity/MessageList;.onResume".  Used as the identity of
-/// an *event* throughout the analysis (all instances of the same event share
-/// one EventName).
+/// "Lcom/fsck/k9/activity/MessageList;.onResume".  Used at the system
+/// boundaries (trace files, reports); inside the pipeline every event is
+/// identified by its interned EventId instead (common/event_symbols.h).
 using EventName = std::string;
+
+/// Dense interned id of an event name.  Ids are assigned in first-seen
+/// order by the process-wide EventSymbolTable, so a collection ingested in
+/// a fixed order always yields the same ids; the analysis steps index flat
+/// vectors by EventId instead of hashing or comparing strings.
+using EventId = std::uint32_t;
+
+/// Sentinel for "no such event" (EventSymbolTable::find misses, and the
+/// default id of a not-yet-interned record).
+inline constexpr EventId kInvalidEventId =
+    std::numeric_limits<EventId>::max();
 
 }  // namespace edx

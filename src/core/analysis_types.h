@@ -10,14 +10,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/event_symbols.h"
 #include "common/stats.h"
 #include "common/types.h"
 
 namespace edx::core {
 
-/// One event instance annotated by the analysis steps.
+/// One event instance annotated by the analysis steps.  Identity is the
+/// interned EventId; the name string lives once in the symbol table and is
+/// resolved only when rendering (reports, benches).
 struct PoweredEvent {
-  EventName name;
+  EventId id{kInvalidEventId};
   TimeInterval interval;
   PowerMw raw_power{0.0};          ///< Step 1
   double normalized_power{0.0};    ///< Step 3
@@ -25,6 +28,9 @@ struct PoweredEvent {
   /// Step 4: index of the monotone run's peak this amplitude measures to
   /// (== own index when the amplitude is a plain single-step difference).
   std::size_t run_peak_index{0};
+
+  /// The event's name, resolved from the global symbol table.
+  [[nodiscard]] const EventName& name() const { return event_name(id); }
 };
 
 /// One user's trace as it moves through the pipeline.

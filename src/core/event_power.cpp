@@ -14,7 +14,7 @@ AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle) {
   trace::AveragePowerCursor cursor(bundle.utilization);
   for (const trace::EventInstance& instance : instances) {
     PoweredEvent& event = analyzed.events.emplace_back();
-    event.name = instance.event;
+    event.id = instance.event;
     event.interval = instance.interval;
     // Short callbacks (a few ms) sit inside one 500 ms sample window; long
     // instances (Idle chunks) span several and get the weighted average.

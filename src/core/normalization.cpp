@@ -1,17 +1,21 @@
 #include "core/normalization.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/error.h"
 
 namespace edx::core {
 
-double base_power(const EventRanking& ranking, const EventName& name,
+double base_power(const EventRanking& ranking, EventId id,
                   const NormalizationConfig& config) {
-  const double base =
-      ranking.distribution(name).percentile(config.base_percentile);
+  const double base = ranking.distribution(id).percentile(
+      config.base_percentile);
   return std::max(base, config.min_base_power_mw);
+}
+
+double base_power(const EventRanking& ranking, std::string_view name,
+                  const NormalizationConfig& config) {
+  return base_power(ranking, ranking.distribution(name).id(), config);
 }
 
 void normalize_events(std::vector<AnalyzedTrace>& traces,
@@ -22,16 +26,24 @@ void normalize_events(std::vector<AnalyzedTrace>& traces,
           "normalize_events: base percentile out of range");
   require(config.min_base_power_mw > 0.0,
           "normalize_events: min base power must be positive");
-  // Compute each event's base once, not once per instance; the hashed map
-  // keeps the per-instance lookup below cheap on the hot path.
-  std::unordered_map<EventName, double> bases;
-  for (const auto& [name, distribution] : ranking.all()) {
-    bases[name] = std::max(distribution.percentile(config.base_percentile),
-                           config.min_base_power_mw);
+  // Compute each event's base once, not once per instance, into a flat
+  // id-indexed vector: the per-instance lookup below is a plain array
+  // index.  Ids without a distribution keep base 0 as an "absent" marker.
+  std::vector<double> bases(ranking.all().size(), 0.0);
+  for (const EventPowerDistribution& distribution : ranking.all()) {
+    if (distribution.instance_count() == 0) continue;
+    bases[distribution.id()] =
+        std::max(distribution.percentile(config.base_percentile),
+                 config.min_base_power_mw);
   }
   const auto normalize_trace = [&bases](AnalyzedTrace& trace) {
     for (PoweredEvent& event : trace.events) {
-      event.normalized_power = event.raw_power / bases.at(event.name);
+      const double base = event.id < bases.size() ? bases[event.id] : 0.0;
+      if (base <= 0.0) {
+        throw AnalysisError("normalize_events: no distribution for event '" +
+                            event.name() + "'");
+      }
+      event.normalized_power = event.raw_power / base;
     }
   };
   if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {

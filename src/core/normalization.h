@@ -10,6 +10,7 @@
 // from the tracker.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -38,16 +39,20 @@ struct NormalizationConfig {
 };
 
 /// Fills `normalized_power` on every instance of every trace, in place.
-/// The per-event bases are computed once up front; with a pool the traces
-/// are then normalized in parallel (each trace touched by exactly one
-/// task, reading the shared base map), identical to the sequential loop.
+/// The per-event bases are computed once up front into a flat id-indexed
+/// vector; with a pool the traces are then normalized in parallel (each
+/// trace touched by exactly one task, reading the shared base vector),
+/// identical to the sequential loop.
 void normalize_events(std::vector<AnalyzedTrace>& traces,
                       const EventRanking& ranking,
                       const NormalizationConfig& config = {},
                       common::ThreadPool* pool = nullptr);
 
-/// Base power used for `name` under `config`.
-double base_power(const EventRanking& ranking, const EventName& name,
+/// Base power used for the event with id `id` under `config`.
+double base_power(const EventRanking& ranking, EventId id,
+                  const NormalizationConfig& config = {});
+/// Convenience: resolves `name` through the global symbol table first.
+double base_power(const EventRanking& ranking, std::string_view name,
                   const NormalizationConfig& config = {});
 
 }  // namespace edx::core

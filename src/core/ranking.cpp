@@ -1,21 +1,62 @@
 #include "core/ranking.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
 #include "common/stats.h"
 
 namespace edx::core {
 
+// Copies and moves transfer the cache (under the source's lock, in case a
+// concurrent reader is rebuilding it) but never the mutex itself.
+EventPowerDistribution::EventPowerDistribution(
+    const EventPowerDistribution& other) {
+  std::lock_guard lock(other.sort_mutex_);
+  id_ = other.id_;
+  powers_ = other.powers_;
+  sorted_ = other.sorted_;
+  sorted_valid_.store(other.sorted_valid_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+}
+
+EventPowerDistribution::EventPowerDistribution(
+    EventPowerDistribution&& other) noexcept {
+  std::lock_guard lock(other.sort_mutex_);
+  id_ = other.id_;
+  powers_ = std::move(other.powers_);
+  sorted_ = std::move(other.sorted_);
+  sorted_valid_.store(other.sorted_valid_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+}
+
+EventPowerDistribution& EventPowerDistribution::operator=(
+    const EventPowerDistribution& other) {
+  if (this == &other) return *this;
+  EventPowerDistribution copy(other);
+  return *this = std::move(copy);
+}
+
+EventPowerDistribution& EventPowerDistribution::operator=(
+    EventPowerDistribution&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(sort_mutex_, other.sort_mutex_);
+  id_ = other.id_;
+  powers_ = std::move(other.powers_);
+  sorted_ = std::move(other.sorted_);
+  sorted_valid_.store(other.sorted_valid_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  return *this;
+}
+
 void EventPowerDistribution::add_power(double power) {
   powers_.push_back(power);
-  sorted_valid_ = false;
+  sorted_valid_.store(false, std::memory_order_release);
 }
 
 void EventPowerDistribution::set_powers(std::vector<double> powers) {
   powers_ = std::move(powers);
-  sorted_valid_ = false;
+  sorted_valid_.store(false, std::memory_order_release);
 }
 
 void EventPowerDistribution::append_powers(std::vector<double>&& powers) {
@@ -24,14 +65,20 @@ void EventPowerDistribution::append_powers(std::vector<double>&& powers) {
   } else {
     powers_.insert(powers_.end(), powers.begin(), powers.end());
   }
-  sorted_valid_ = false;
+  sorted_valid_.store(false, std::memory_order_release);
 }
 
 const std::vector<double>& EventPowerDistribution::sorted_powers() const {
-  if (!sorted_valid_) {
-    sorted_ = powers_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
+  // Double-checked locking: readers that find a valid cache share it with
+  // no lock at all; the first reader after an invalidation builds it under
+  // the mutex while latecomers wait, then everyone reads the same vector.
+  if (!sorted_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(sort_mutex_);
+    if (!sorted_valid_.load(std::memory_order_relaxed)) {
+      sorted_ = powers_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_.store(true, std::memory_order_release);
+    }
   }
   return sorted_;
 }
@@ -54,16 +101,17 @@ std::vector<std::size_t> EventPowerDistribution::ranks() const {
 double EventPowerDistribution::percentile(double p) const {
   require(!powers_.empty(),
           "EventPowerDistribution::percentile: empty distribution");
-  if (sorted_valid_) return stats::percentile_sorted(sorted_, p);
+  if (sorted_valid_.load(std::memory_order_acquire)) {
+    return stats::percentile_sorted(sorted_, p);
+  }
   // No cache yet: two order statistics via selection are O(n), cheaper
-  // than the O(n log n) sort for a one-off query, and — unlike the lazy
-  // cache build — mutate nothing, so concurrent readers are safe.  The
-  // value is identical to the sorted-path value either way.
+  // than the O(n log n) sort for a one-off query, and mutate nothing.
+  // The value is identical to the sorted-path value either way.
   return stats::percentile_select(powers_, p);
 }
 
 std::size_t EventPowerDistribution::rank_of(double power) const {
-  if (!sorted_valid_) {
+  if (!sorted_valid_.load(std::memory_order_acquire)) {
     // Mutation-free O(n) path (see percentile()).
     return 1 + static_cast<std::size_t>(
                    std::count_if(powers_.begin(), powers_.end(),
@@ -76,11 +124,9 @@ std::size_t EventPowerDistribution::rank_of(double power) const {
 
 namespace {
 
-/// Chunk-local accumulation buffer: hashed lookups are cheaper than the
-/// ordered map's string comparisons on the per-instance hot path; the
-/// ordered map is only built once per chunk-merge below.
-using PartialDistributions =
-    std::unordered_map<EventName, std::vector<double>>;
+/// Chunk-local accumulation buffer, indexed by EventId: the per-instance
+/// hot path is one array index, no hashing and no string compare at all.
+using PartialDistributions = std::vector<std::vector<double>>;
 
 /// Appends every instance of traces[begin, end) to `into`, preserving the
 /// sequential traversal order within the chunk.
@@ -89,7 +135,7 @@ void accumulate_chunk(const std::vector<AnalyzedTrace>& traces,
                       PartialDistributions& into) {
   for (std::size_t t = begin; t < end; ++t) {
     for (const PoweredEvent& event : traces[t].events) {
-      into[event.name].push_back(event.raw_power);
+      into[event.id].push_back(event.raw_power);
     }
   }
 }
@@ -98,20 +144,24 @@ void accumulate_chunk(const std::vector<AnalyzedTrace>& traces,
 
 EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces,
                                  common::ThreadPool* pool) {
+  // Every id in `traces` was interned at ingestion, so the global table's
+  // current size bounds them all; the table is append-only, so a
+  // concurrent intern elsewhere can only add ids this collection does not
+  // use.
+  const std::size_t id_bound = EventSymbolTable::global().size();
   EventRanking ranking;
-  // Per-thread partial buffers over contiguous chunks of traces, merged in
-  // chunk order: concatenating chunk-local power lists in ascending chunk
-  // order yields exactly the sequential traversal order, so the result is
-  // identical to the sequential build (chunks == 1) regardless of pool
-  // size or scheduling.  Chunk boundaries depend only on (traces.size(),
-  // chunk count).  The unordered iteration order while merging does not
-  // matter: appends to different names are independent, and within a name
-  // the append order is the chunk order.
+  // Per-thread partial id-indexed tables over contiguous chunks of traces,
+  // merged in chunk order: concatenating chunk-local power lists in
+  // ascending chunk order yields exactly the sequential traversal order,
+  // so the result is identical to the sequential build (chunks == 1)
+  // regardless of pool size or scheduling.  Chunk boundaries depend only
+  // on (traces.size(), chunk count).
   const bool sequential =
       pool == nullptr || pool->size() <= 1 || traces.size() <= 1;
   const std::size_t chunks =
       sequential ? 1 : std::min(pool->size(), traces.size());
-  std::vector<PartialDistributions> partials(chunks);
+  std::vector<PartialDistributions> partials(
+      chunks, PartialDistributions(id_bound));
   if (sequential) {
     accumulate_chunk(traces, 0, traces.size(), partials[0]);
   } else {
@@ -125,36 +175,61 @@ EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces,
       accumulate_chunk(traces, bounds[c], bounds[c + 1], partials[c]);
     });
   }
+  ranking.by_id_.reserve(id_bound);
+  for (EventId id = 0; id < id_bound; ++id) {
+    ranking.by_id_.emplace_back(id);
+  }
   for (PartialDistributions& partial : partials) {
-    for (auto& [name, powers] : partial) {
-      auto [it, inserted] = ranking.by_event_.try_emplace(name, name);
-      (void)inserted;
-      it->second.append_powers(std::move(powers));
+    for (EventId id = 0; id < id_bound; ++id) {
+      if (partial[id].empty()) continue;
+      ranking.by_id_[id].append_powers(std::move(partial[id]));
     }
   }
+  for (const EventPowerDistribution& distribution : ranking.by_id_) {
+    if (distribution.instance_count() > 0) ++ranking.event_count_;
+  }
 
-  // The sorted caches stay lazy: the pipeline only queries distributions
-  // from sequential sections (normalization precomputes its bases before
-  // fanning out), and percentile()/rank_of() fall back to mutation-free
-  // O(n) selection when no cache exists, so nothing here can race.
+  // The sorted caches stay lazy: single-query paths fall back to
+  // mutation-free O(n) selection, and a concurrent first rebuild is safe
+  // because sorted_powers() double-check-locks it.
   return ranking;
 }
 
-const EventPowerDistribution& EventRanking::distribution(
-    const EventName& name) const {
-  const auto it = by_event_.find(name);
-  if (it == by_event_.end()) {
-    throw AnalysisError("EventRanking: no distribution for event '" + name +
-                        "'");
+const EventPowerDistribution& EventRanking::distribution(EventId id) const {
+  if (id >= by_id_.size() || by_id_[id].instance_count() == 0) {
+    throw AnalysisError(
+        "EventRanking: no distribution for event '" +
+        (id < EventSymbolTable::global().size() ? event_name(id)
+                                                : "#" + std::to_string(id)) +
+        "'");
   }
-  return it->second;
+  return by_id_[id];
 }
 
-bool EventRanking::contains(const EventName& name) const {
-  return by_event_.contains(name);
+const EventPowerDistribution& EventRanking::distribution(
+    std::string_view name) const {
+  const EventId id = find_event(name);
+  if (id == kInvalidEventId) {
+    throw AnalysisError("EventRanking: no distribution for event '" +
+                        std::string(name) + "'");
+  }
+  return distribution(id);
 }
 
-std::size_t EventRanking::rank_of(const EventName& name, double power) const {
+bool EventRanking::contains(EventId id) const {
+  return id < by_id_.size() && by_id_[id].instance_count() > 0;
+}
+
+bool EventRanking::contains(std::string_view name) const {
+  const EventId id = find_event(name);
+  return id != kInvalidEventId && contains(id);
+}
+
+std::size_t EventRanking::rank_of(EventId id, double power) const {
+  return distribution(id).rank_of(power);
+}
+
+std::size_t EventRanking::rank_of(std::string_view name, double power) const {
   return distribution(name).rank_of(power);
 }
 

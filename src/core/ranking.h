@@ -2,20 +2,26 @@
 //
 // Different events have legitimately different raw power (a mail refresh
 // costs more than a keystroke), so raw transition points between events are
-// misleading.  Step 2 collects, for each event *name*, every instance's
+// misleading.  Step 2 collects, for each event *id*, every instance's
 // power across all traces and ranks them.  The per-event distributions feed
 // Step 3's normalization; the ranks themselves reveal which instances sit
 // unusually high within their own event's distribution.
 //
-// Each distribution caches its powers in sorted order (invalidated when a
-// power is added), so percentile() is O(1) and rank_of() a binary search
-// after the one-time sort — instead of re-copying and re-sorting the whole
-// distribution on every query.  Before any cache exists both fall back to
-// mutation-free O(n) selection/counting, so the pipeline never pays a full
-// sort for its single base-percentile query per event.
+// The ranking is a flat std::vector<EventPowerDistribution> indexed by the
+// interned EventId (common/event_symbols.h): the per-instance hot paths of
+// Steps 2-4 are array indexing, with no string hash or O(len) compare
+// anywhere.  Each distribution caches its powers in sorted order
+// (invalidated when a power is added), so percentile() is O(1) and
+// rank_of() a binary search after the one-time sort.  The lazy rebuild is
+// double-check-locked, so concurrent readers may trigger it safely; before
+// any cache exists the single-query paths fall back to mutation-free O(n)
+// selection/counting, so the pipeline never pays a full sort for its
+// single base-percentile query per event.
 #pragma once
 
-#include <map>
+#include <atomic>
+#include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -27,9 +33,15 @@ namespace edx::core {
 class EventPowerDistribution {
  public:
   EventPowerDistribution() = default;
-  explicit EventPowerDistribution(EventName name) : name_(std::move(name)) {}
+  explicit EventPowerDistribution(EventId id) : id_(id) {}
+  EventPowerDistribution(const EventPowerDistribution& other);
+  EventPowerDistribution(EventPowerDistribution&& other) noexcept;
+  EventPowerDistribution& operator=(const EventPowerDistribution& other);
+  EventPowerDistribution& operator=(EventPowerDistribution&& other) noexcept;
 
-  [[nodiscard]] const EventName& name() const { return name_; }
+  [[nodiscard]] EventId id() const { return id_; }
+  /// The event's name, resolved from the global symbol table.
+  [[nodiscard]] const EventName& name() const { return event_name(id_); }
   /// Every instance's raw power, in input (trace-traversal) order.
   [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
   [[nodiscard]] std::size_t instance_count() const { return powers_.size(); }
@@ -42,10 +54,10 @@ class EventPowerDistribution {
   /// sorted cache.  Steals the vector when the distribution is empty.
   void append_powers(std::vector<double>&& powers);
 
-  /// The powers in ascending order, sorted once and cached.  The lazy
-  /// rebuild mutates the cache, so the first call after an invalidation
-  /// must not race with other readers (the pipeline only queries
-  /// distributions from sequential sections).
+  /// The powers in ascending order, sorted once and cached.  The first
+  /// rebuild after an invalidation is guarded (double-checked lock), so
+  /// any number of threads may call this concurrently; mutation
+  /// (add_power &c.) must still not race with readers.
   [[nodiscard]] const std::vector<double>& sorted_powers() const;
 
   /// Competition ranks aligned with `powers`.
@@ -59,41 +71,50 @@ class EventPowerDistribution {
   [[nodiscard]] std::size_t rank_of(double power) const;
 
  private:
-  EventName name_;
+  EventId id_{kInvalidEventId};
   std::vector<double> powers_;  ///< input order
+  mutable std::mutex sort_mutex_;
   mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_{false};
+  mutable std::atomic<bool> sorted_valid_{false};
 };
 
-/// All per-event distributions, keyed by event name.
+/// All per-event distributions, indexed by EventId.
 class EventRanking {
  public:
   /// Builds distributions from every instance in `traces`.  With a pool,
-  /// contiguous chunks of traces build partial maps in parallel, merged in
-  /// chunk order — every distribution ends up with its powers in exactly
-  /// the sequential traversal order, so results are identical to the
-  /// sequential build for any pool size.
+  /// contiguous chunks of traces build partial id-indexed tables in
+  /// parallel, merged in chunk order — every distribution ends up with its
+  /// powers in exactly the sequential traversal order, so results are
+  /// identical to the sequential build for any pool size.
   static EventRanking build(const std::vector<AnalyzedTrace>& traces,
                             common::ThreadPool* pool = nullptr);
 
-  /// Distribution for `name`; throws AnalysisError when the event never
-  /// occurs in the collection.
+  /// Distribution for the event with id `id`; throws AnalysisError when
+  /// the event never occurs in the collection.
+  [[nodiscard]] const EventPowerDistribution& distribution(EventId id) const;
+  /// Convenience: resolves `name` through the global symbol table first.
   [[nodiscard]] const EventPowerDistribution& distribution(
-      const EventName& name) const;
+      std::string_view name) const;
 
-  [[nodiscard]] bool contains(const EventName& name) const;
-  [[nodiscard]] std::size_t event_count() const { return by_event_.size(); }
-  [[nodiscard]] const std::map<EventName, EventPowerDistribution>& all()
-      const {
-    return by_event_;
+  [[nodiscard]] bool contains(EventId id) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Number of events with at least one recorded instance.
+  [[nodiscard]] std::size_t event_count() const { return event_count_; }
+  /// The flat id-indexed table.  Slot `id` belongs to the event with that
+  /// id; slots of events absent from the collection are empty
+  /// (instance_count() == 0).
+  [[nodiscard]] const std::vector<EventPowerDistribution>& all() const {
+    return by_id_;
   }
 
-  /// Rank (1-based) of a given power value within `name`'s distribution:
-  /// 1 + number of recorded instances strictly cheaper than `power`.
-  [[nodiscard]] std::size_t rank_of(const EventName& name, double power) const;
+  /// Rank (1-based) of a given power value within event `id`'s
+  /// distribution: 1 + number of recorded instances strictly cheaper.
+  [[nodiscard]] std::size_t rank_of(EventId id, double power) const;
+  [[nodiscard]] std::size_t rank_of(std::string_view name, double power) const;
 
  private:
-  std::map<EventName, EventPowerDistribution> by_event_;
+  std::vector<EventPowerDistribution> by_id_;
+  std::size_t event_count_{0};
 };
 
 }  // namespace edx::core

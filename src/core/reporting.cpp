@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <set>
 
 #include "common/error.h"
+#include "common/event_symbols.h"
 
 namespace edx::core {
 
@@ -19,13 +19,17 @@ DiagnosisReport report_problematic_events(
   report.total_traces = traces.size();
 
   // Event -> set of users whose trace has it inside a manifestation window,
-  // plus the distances from the window's point (for tie-breaking).
+  // plus the distances from the window's point (for tie-breaking).  The
+  // accumulators are a flat id-indexed vector (every id in `traces` is
+  // below the global table's current size); `touched` records which slots
+  // are live so the output loop skips the untouched majority.
   struct Accumulator {
     std::set<UserId> users;
     double distance_total{0.0};
     std::size_t occurrences{0};
   };
-  std::map<EventName, Accumulator> impacted_by;
+  std::vector<Accumulator> impacted_by(EventSymbolTable::global().size());
+  std::vector<EventId> touched;
   for (const AnalyzedTrace& trace : traces) {
     if (!trace.manifestation_indices.empty()) {
       ++report.traces_with_manifestation;
@@ -36,7 +40,10 @@ DiagnosisReport report_problematic_events(
       const std::size_t hi =
           std::min(trace.events.size(), point + config.window_size + 1);
       for (std::size_t i = lo; i < hi; ++i) {
-        Accumulator& accumulator = impacted_by[trace.events[i].name];
+        Accumulator& accumulator = impacted_by[trace.events[i].id];
+        if (accumulator.occurrences == 0) {
+          touched.push_back(trace.events[i].id);
+        }
         accumulator.users.insert(trace.user);
         accumulator.distance_total +=
             static_cast<double>(i > point ? i - point : point - i);
@@ -45,9 +52,11 @@ DiagnosisReport report_problematic_events(
     }
   }
 
-  for (const auto& [name, accumulator] : impacted_by) {
+  report.ranked_events.reserve(touched.size());
+  for (EventId id : touched) {
+    const Accumulator& accumulator = impacted_by[id];
     ReportedEvent event;
-    event.name = name;
+    event.name = event_name(id);
     event.impacted_traces = accumulator.users.size();
     event.impacted_fraction =
         traces.empty() ? 0.0
@@ -61,6 +70,9 @@ DiagnosisReport report_problematic_events(
     report.ranked_events.push_back(std::move(event));
   }
 
+  // The comparator ends in a name comparison and names are unique, so the
+  // order is total: the sorted output is independent of the (id-order vs
+  // name-order) accumulation order above.
   const double target = config.developer_reported_fraction;
   std::sort(report.ranked_events.begin(), report.ranked_events.end(),
             [&](const ReportedEvent& a, const ReportedEvent& b) {

@@ -1,6 +1,9 @@
 #include "trace/anonymizer.h"
 
 #include <regex>
+#include <unordered_map>
+
+#include "common/event_symbols.h"
 
 namespace edx::trace {
 
@@ -40,10 +43,21 @@ std::string anonymize_text(const std::string& text) {
 EventTrace anonymize(const EventTrace& trace) {
   std::vector<EventRecord> scrubbed;
   scrubbed.reserve(trace.records().size());
+  // Interning makes scrubbing per-name instead of per-record: each distinct
+  // event id is regex-scrubbed once, and repeats hit the memo.
+  std::unordered_map<EventId, EventId> scrubbed_id;
   for (const EventRecord& record : trace.records()) {
     EventRecord copy = record;
-    copy.event = anonymize_text(copy.event);
-    scrubbed.push_back(std::move(copy));
+    const auto memo = scrubbed_id.find(record.event);
+    if (memo != scrubbed_id.end()) {
+      copy.event = memo->second;
+    } else {
+      const EventName& name = event_name(record.event);
+      const std::string clean = anonymize_text(name);
+      copy.event = clean == name ? record.event : intern_event(clean);
+      scrubbed_id.emplace(record.event, copy.event);
+    }
+    scrubbed.push_back(copy);
   }
   return EventTrace(std::move(scrubbed));
 }

@@ -16,7 +16,7 @@ EventTrace EventTrace::from_run(const android::RunResult& run) {
   EventTrace trace;
   for (const android::RawEvent& event : run.events) {
     if (!event.logged) continue;
-    trace.add_instance(event.name, event.interval);
+    trace.add_instance(std::string_view(event.name), event.interval);
   }
   // Events are appended in completion order by the runtime; the trace file
   // is timestamp-ordered like a real log.
@@ -27,23 +27,27 @@ EventTrace EventTrace::from_run(const android::RunResult& run) {
   return trace;
 }
 
-void EventTrace::add_instance(const EventName& event, TimeInterval interval) {
+void EventTrace::add_instance(EventId event, TimeInterval interval) {
   records_.push_back({interval.begin, true, event});
   records_.push_back({interval.end, false, event});
+}
+
+void EventTrace::add_instance(std::string_view event, TimeInterval interval) {
+  add_instance(intern_event(event), interval);
 }
 
 std::vector<EventInstance> EventTrace::instances() const {
   std::vector<EventInstance> result;
   result.reserve(records_.size() / 2);
-  // Pair each '+' with the next '-' of the same event name.  Our runtime
-  // never nests instances of the same event, so greedy pairing is exact.
+  // Pair each '+' with the next '-' of the same event.  Our runtime never
+  // nests instances of the same event, so greedy pairing is exact.
   std::vector<bool> consumed(records_.size(), false);
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const EventRecord& entry = records_[i];
     if (!entry.is_entry) {
       if (!consumed[i]) {
         throw ParseError("EventTrace::instances: exit without entry for " +
-                         entry.event);
+                         event_name(entry.event));
       }
       continue;
     }
@@ -58,7 +62,7 @@ std::vector<EventInstance> EventTrace::instances() const {
     }
     if (!paired) {
       throw ParseError("EventTrace::instances: entry without exit for " +
-                       entry.event);
+                       event_name(entry.event));
     }
   }
   const auto by_begin = [](const EventInstance& a, const EventInstance& b) {
@@ -76,17 +80,18 @@ std::string EventTrace::to_text() const {
   std::ostringstream out;
   for (const EventRecord& record : records_) {
     out << record.timestamp << ' ' << (record.is_entry ? '+' : '-') << ' '
-        << record.event << '\n';
+        << event_name(record.event) << '\n';
   }
   return out.str();
 }
 
 EventTrace EventTrace::from_text(const std::string& text) {
   EventTrace trace;
+  EventSymbolTable& symbols = EventSymbolTable::global();
   std::string_view remaining(text);
   while (!remaining.empty()) {
     const std::string_view line = strings::trim_view(strings::next_line(remaining));
-    if (line.empty()) continue;
+    if (line.empty() || line.front() == '#') continue;
     std::string_view fields = line;
     TimestampMs timestamp = 0;
     const bool have_timestamp = strings::consume_int64(fields, timestamp);
@@ -105,7 +110,9 @@ EventTrace EventTrace::from_text(const std::string& text) {
       throw ParseError("EventTrace::from_text: missing event name in '" +
                        std::string(line) + "'");
     }
-    trace.records_.push_back({timestamp, is_entry, std::string(event)});
+    // Intern straight from the view: no per-line std::string, and repeated
+    // names (the entire point of a trace) cost one hashed lookup.
+    trace.records_.push_back({timestamp, is_entry, symbols.intern(event)});
   }
   return trace;
 }

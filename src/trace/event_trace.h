@@ -8,13 +8,19 @@
 //   28224781 + Lcom/fsck/k9/activity/MessageList;.onItemClick
 //   28224844 - Lcom/fsck/k9/activity/MessageList;.onItemClick
 //
-// This module stores, pairs, prints, and parses such traces.
+// This module stores, pairs, prints, and parses such traces.  Event names
+// are interned into the process-wide EventSymbolTable at ingestion
+// (from_text parses by string_view and never materializes a per-line
+// std::string); every record and instance carries the dense EventId, and
+// the name is resolved back only when rendering text.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "android/runtime.h"
+#include "common/event_symbols.h"
 #include "common/types.h"
 
 namespace edx::trace {
@@ -23,14 +29,14 @@ namespace edx::trace {
 struct EventRecord {
   TimestampMs timestamp{0};
   bool is_entry{true};  ///< '+' when true, '-' when false
-  EventName event;
+  EventId event{kInvalidEventId};
 
   friend bool operator==(const EventRecord&, const EventRecord&) = default;
 };
 
 /// A paired event occurrence.
 struct EventInstance {
-  EventName event;
+  EventId event{kInvalidEventId};
   TimeInterval interval;
 
   friend bool operator==(const EventInstance&, const EventInstance&) = default;
@@ -51,7 +57,9 @@ class EventTrace {
   [[nodiscard]] bool empty() const { return records_.empty(); }
 
   /// Appends an entry/exit pair for one instance.
-  void add_instance(const EventName& event, TimeInterval interval);
+  void add_instance(EventId event, TimeInterval interval);
+  /// Convenience overload interning `event` into the global table.
+  void add_instance(std::string_view event, TimeInterval interval);
 
   /// Pairs + / - records into instances, in chronological (entry) order.
   /// Throws ParseError on unbalanced records.
@@ -60,7 +68,8 @@ class EventTrace {
   /// Renders the Fig.-5 text format.
   [[nodiscard]] std::string to_text() const;
 
-  /// Parses the text format; throws ParseError on malformed lines.
+  /// Parses the text format; throws ParseError on malformed lines.  Blank
+  /// lines and '#' comment lines are skipped; CRLF line ends are accepted.
   static EventTrace from_text(const std::string& text);
 
   friend bool operator==(const EventTrace&, const EventTrace&) = default;

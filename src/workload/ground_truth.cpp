@@ -4,13 +4,21 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/event_symbols.h"
+
 namespace edx::workload {
 
 std::optional<std::size_t> root_cause_index(const core::AnalyzedTrace& trace,
                                             const BugSpec& bug) {
+  // Resolve the root-cause name to an id once; the per-event check is an
+  // integer compare.  A name absent from the table cannot appear in any
+  // trace — and must not match default-constructed (kInvalidEventId)
+  // events either, hence the explicit guard.
+  const EventId root_id = find_event(bug.root_cause_event);
+  if (root_id == kInvalidEventId) return std::nullopt;
   std::optional<std::size_t> found;
   for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    if (trace.events[i].name == bug.root_cause_event) {
+    if (trace.events[i].id == root_id) {
       found = i;
       if (!bug.use_last_occurrence) return found;
     }

@@ -15,7 +15,7 @@ AnalyzedTrace trace_with(const std::vector<double>& norms,
   AnalyzedTrace trace;
   for (std::size_t i = 0; i < norms.size(); ++i) {
     PoweredEvent event;
-    event.name = "E";
+    event.id = intern_event("E");
     const TimestampMs t = static_cast<TimestampMs>(i) * spacing_ms;
     event.interval = {t, t + 10};
     event.normalized_power = norms[i];

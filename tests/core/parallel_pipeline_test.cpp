@@ -89,7 +89,7 @@ void expect_identical(const AnalysisResult& reference,
     EXPECT_EQ(a.manifestation_indices, b.manifestation_indices);
     ASSERT_EQ(a.events.size(), b.events.size());
     for (std::size_t i = 0; i < a.events.size(); ++i) {
-      EXPECT_EQ(a.events[i].name, b.events[i].name);
+      EXPECT_EQ(a.events[i].id, b.events[i].id);
       EXPECT_EQ(a.events[i].raw_power, b.events[i].raw_power);
       EXPECT_EQ(a.events[i].normalized_power, b.events[i].normalized_power);
       EXPECT_EQ(a.events[i].variation_amplitude,
@@ -100,8 +100,9 @@ void expect_identical(const AnalysisResult& reference,
   // Ranking distributions preserve instance order (sequential traversal
   // order), not just multisets.
   ASSERT_EQ(reference.ranking.all().size(), candidate.ranking.all().size());
-  for (const auto& [name, dist] : reference.ranking.all()) {
-    EXPECT_EQ(dist.powers(), candidate.ranking.distribution(name).powers());
+  for (const EventPowerDistribution& dist : reference.ranking.all()) {
+    if (dist.instance_count() == 0) continue;
+    EXPECT_EQ(dist.powers(), candidate.ranking.distribution(dist.id()).powers());
   }
 }
 

@@ -95,7 +95,7 @@ AnalyzedTrace trace_with_norms(const std::vector<double>& norms,
   AnalyzedTrace trace;
   for (std::size_t i = 0; i < norms.size(); ++i) {
     PoweredEvent event;
-    event.name = "Lx/A;.e";
+    event.id = intern_event("Lx/A;.e");
     const TimestampMs t = static_cast<TimestampMs>(i) * spacing_ms;
     event.interval = {t, t + 10};
     event.normalized_power = norms[i];
@@ -199,7 +199,7 @@ TEST(Step5Test, WindowAndPercentageSorting) {
     trace.user = user;
     for (int i = 0; i < 10; ++i) {
       PoweredEvent event;
-      event.name = "E" + std::to_string(i);
+      event.id = intern_event("E" + std::to_string(i));
       event.interval = {i * 1000, i * 1000 + 10};
       trace.events.push_back(event);
     }
@@ -229,7 +229,7 @@ TEST(Step5Test, WindowClampsAtTraceEdges) {
   traces[0].user = 0;
   for (int i = 0; i < 4; ++i) {
     PoweredEvent event;
-    event.name = "E" + std::to_string(i);
+    event.id = intern_event("E" + std::to_string(i));
     traces[0].events.push_back(event);
   }
   traces[0].manifestation_indices = {0};
@@ -245,7 +245,7 @@ TEST(Step5Test, TopKIncludedEvenOutsideTolerance) {
     traces[user].user = user;
     for (int i = 0; i < 3; ++i) {
       PoweredEvent event;
-      event.name = "E" + std::to_string(i);
+      event.id = intern_event("E" + std::to_string(i));
       traces[user].events.push_back(event);
     }
     traces[user].manifestation_indices = {1};  // both traces: 100% impact
@@ -267,7 +267,7 @@ TEST(Step5Test, SortsByClosenessToDeveloperFraction) {
     traces[user].user = user;
     for (int i = 0; i < 3; ++i) {
       PoweredEvent event;
-      event.name = "E" + std::to_string(i);
+      event.id = intern_event("E" + std::to_string(i));
       event.interval = {i * 1000, i * 1000 + 10};
       traces[user].events.push_back(event);
     }
@@ -276,7 +276,7 @@ TEST(Step5Test, SortsByClosenessToDeveloperFraction) {
   config.window_size = 0;
   config.developer_reported_fraction = 0.25;
   traces[0].manifestation_indices = {1};
-  traces[0].events[1].name = "Etrigger";
+  traces[0].events[1].id = intern_event("Etrigger");
   traces[1].manifestation_indices = {2};
   traces[2].manifestation_indices = {2};
   const DiagnosisReport report = report_problematic_events(traces, config);

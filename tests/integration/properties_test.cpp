@@ -48,7 +48,7 @@ TEST(PropertyTest, PipelineIsScaleInvariant) {
       // The min-base floor breaks exact invariance only for events whose
       // base is at the floor; skip those.
       const double base_power = core::base_power(
-          base.ranking, base.traces[t].events[e].name, config.normalization);
+          base.ranking, base.traces[t].events[e].id, config.normalization);
       if (base_power <= config.normalization.min_base_power_mw + 1e-9) {
         continue;
       }

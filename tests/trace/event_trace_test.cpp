@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/event_symbols.h"
 
 namespace edx::trace {
 namespace {
@@ -13,9 +14,9 @@ TEST(EventTraceTest, AddInstanceAndPairBack) {
   trace.add_instance("Lfoo/A;.onPause", {200, 230});
   const auto instances = trace.instances();
   ASSERT_EQ(instances.size(), 2u);
-  EXPECT_EQ(instances[0].event, "Lfoo/A;.onResume");
+  EXPECT_EQ(event_name(instances[0].event), "Lfoo/A;.onResume");
   EXPECT_EQ(instances[0].interval, (TimeInterval{100, 150}));
-  EXPECT_EQ(instances[1].event, "Lfoo/A;.onPause");
+  EXPECT_EQ(event_name(instances[1].event), "Lfoo/A;.onPause");
 }
 
 TEST(EventTraceTest, TextFormatMatchesFigureFive) {
@@ -36,10 +37,46 @@ TEST(EventTraceTest, TextRoundTrip) {
   EXPECT_EQ(parsed, trace);
 }
 
+TEST(EventTraceTest, RoundTripReusesInternedIds) {
+  // Parsing names already in the symbol table must map them onto the same
+  // ids (one interned copy process-wide), not mint fresh ones.
+  EventTrace trace;
+  trace.add_instance("Lround/Trip;.onStart", {1, 2});
+  trace.add_instance("Lround/Trip;.onStop", {3, 4});
+  const std::size_t table_size_before = EventSymbolTable::global().size();
+  const EventTrace parsed = EventTrace::from_text(trace.to_text());
+  EXPECT_EQ(EventSymbolTable::global().size(), table_size_before);
+  ASSERT_EQ(parsed.records().size(), trace.records().size());
+  for (std::size_t i = 0; i < parsed.records().size(); ++i) {
+    EXPECT_EQ(parsed.records()[i].event, trace.records()[i].event);
+  }
+}
+
 TEST(EventTraceTest, FromTextSkipsBlankLines) {
   const EventTrace parsed =
       EventTrace::from_text("\n10 + Lfoo/A;.x\n\n20 - Lfoo/A;.x\n  \n");
   EXPECT_EQ(parsed.records().size(), 2u);
+}
+
+TEST(EventTraceTest, FromTextSkipsCommentLines) {
+  const EventTrace parsed = EventTrace::from_text(
+      "# header from the collection server\n"
+      "10 + Lfoo/A;.x\n"
+      "  # indented comment\n"
+      "20 - Lfoo/A;.x\n"
+      "#trailing\n");
+  ASSERT_EQ(parsed.records().size(), 2u);
+  EXPECT_EQ(event_name(parsed.records()[0].event), "Lfoo/A;.x");
+}
+
+TEST(EventTraceTest, FromTextAcceptsCrlfLineEndings) {
+  const EventTrace parsed =
+      EventTrace::from_text("10 + Lfoo/A;.x\r\n20 - Lfoo/A;.x\r\n");
+  ASSERT_EQ(parsed.records().size(), 2u);
+  // The trailing '\r' must not leak into the interned name.
+  EXPECT_EQ(event_name(parsed.records()[0].event), "Lfoo/A;.x");
+  EXPECT_EQ(event_name(parsed.records()[1].event), "Lfoo/A;.x");
+  ASSERT_EQ(parsed.instances().size(), 1u);
 }
 
 TEST(EventTraceTest, FromTextRejectsMalformedLines) {
@@ -50,26 +87,55 @@ TEST(EventTraceTest, FromTextRejectsMalformedLines) {
 
 TEST(EventTraceTest, UnbalancedRecordsThrowOnPairing) {
   EventTrace missing_exit(
-      {{10, true, "Lfoo/A;.x"}});
+      {{10, true, intern_event("Lfoo/A;.x")}});
   EXPECT_THROW(missing_exit.instances(), ParseError);
 
   EventTrace missing_entry(
-      {{10, false, "Lfoo/A;.x"}});
+      {{10, false, intern_event("Lfoo/A;.x")}});
   EXPECT_THROW(missing_entry.instances(), ParseError);
+}
+
+TEST(EventTraceTest, FromTextUnbalancedThrowsOnPairing) {
+  // Parsing tolerates unbalanced records (a truncated upload); pairing is
+  // where the imbalance surfaces, in both directions.
+  const EventTrace extra_entry =
+      EventTrace::from_text("10 + Lfoo/A;.x\n20 - Lfoo/A;.x\n30 + Lfoo/A;.x\n");
+  EXPECT_EQ(extra_entry.records().size(), 3u);
+  EXPECT_THROW(extra_entry.instances(), ParseError);
+
+  const EventTrace extra_exit =
+      EventTrace::from_text("10 - Lfoo/A;.x\n20 + Lfoo/A;.x\n30 - Lfoo/A;.x\n");
+  EXPECT_THROW(extra_exit.instances(), ParseError);
 }
 
 TEST(EventTraceTest, InterleavedDistinctEventsPairCorrectly) {
   // A starts, B starts, A ends, B ends.
-  EventTrace trace({{0, true, "A"},
-                    {5, true, "B"},
-                    {10, false, "A"},
-                    {15, false, "B"}});
+  EventTrace trace({{0, true, intern_event("A")},
+                    {5, true, intern_event("B")},
+                    {10, false, intern_event("A")},
+                    {15, false, intern_event("B")}});
   const auto instances = trace.instances();
   ASSERT_EQ(instances.size(), 2u);
-  EXPECT_EQ(instances[0].event, "A");
+  EXPECT_EQ(instances[0].event, find_event("A"));
   EXPECT_EQ(instances[0].interval, (TimeInterval{0, 10}));
-  EXPECT_EQ(instances[1].event, "B");
+  EXPECT_EQ(instances[1].event, find_event("B"));
   EXPECT_EQ(instances[1].interval, (TimeInterval{5, 15}));
+}
+
+TEST(EventTraceTest, NestedSameEventPairsGreedily) {
+  // Two overlapping instances of the SAME event: each '+' takes the first
+  // unconsumed '-' after it, so the pairs are (0,10) and (5,15) — greedy,
+  // not stack-like.  The runtime never emits this shape; this test pins
+  // the documented behavior for hand-built traces.
+  EventTrace trace({{0, true, intern_event("N")},
+                    {5, true, intern_event("N")},
+                    {10, false, intern_event("N")},
+                    {15, false, intern_event("N")}});
+  const auto instances = trace.instances();
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].interval, (TimeInterval{0, 10}));
+  EXPECT_EQ(instances[1].interval, (TimeInterval{5, 15}));
+  EXPECT_EQ(instances[0].event, instances[1].event);
 }
 
 TEST(EventTraceTest, InstancesSortedByEntryTime) {
@@ -78,7 +144,7 @@ TEST(EventTraceTest, InstancesSortedByEntryTime) {
   trace.add_instance("A", {10, 20});
   const auto instances = trace.instances();
   ASSERT_EQ(instances.size(), 2u);
-  EXPECT_EQ(instances[0].event, "A");
+  EXPECT_EQ(instances[0].event, find_event("A"));
 }
 
 }  // namespace

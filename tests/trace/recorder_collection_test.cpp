@@ -122,7 +122,8 @@ TEST(CollectionTest, AnonymizesStoredEvents) {
                                                                  50'010});
   server.upload(bundle, {.charging = true, .on_wifi = true});
   for (const EventRecord& record : server.bundles().front().events.records()) {
-    EXPECT_FALSE(contains_identifier(record.event)) << record.event;
+    EXPECT_FALSE(contains_identifier(event_name(record.event)))
+        << event_name(record.event);
   }
 }
 

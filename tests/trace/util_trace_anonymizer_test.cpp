@@ -87,8 +87,9 @@ TEST(AnonymizerTest, ScrubsEventTraces) {
   trace.add_instance("Lapp/Deep;.onClick:open_mailto_bob@corp.com", {0, 10});
   const EventTrace scrubbed = anonymize(trace);
   for (const EventRecord& record : scrubbed.records()) {
-    EXPECT_FALSE(contains_identifier(record.event)) << record.event;
-    EXPECT_NE(record.event.find("<email>"), std::string::npos);
+    const EventName& name = event_name(record.event);
+    EXPECT_FALSE(contains_identifier(name)) << name;
+    EXPECT_NE(name.find("<email>"), std::string::npos);
   }
 }
 

@@ -179,7 +179,7 @@ core::AnalyzedTrace synthetic_trace(std::size_t root,
   core::AnalyzedTrace trace;
   for (std::size_t i = 0; i < count; ++i) {
     core::PoweredEvent event;
-    event.name = i == root ? "ROOT" : "E" + std::to_string(i);
+    event.id = intern_event(i == root ? "ROOT" : "E" + std::to_string(i));
     trace.events.push_back(event);
   }
   trace.manifestation_indices = std::move(detections);
@@ -224,7 +224,7 @@ TEST(GroundTruthTest, UndefinedCases) {
 
 TEST(GroundTruthTest, LastOccurrenceSelection) {
   core::AnalyzedTrace trace = synthetic_trace(3, {12});
-  trace.events[10].name = "ROOT";  // second occurrence
+  trace.events[10].id = intern_event("ROOT");  // second occurrence
   BugSpec bug = root_bug();
   bug.use_last_occurrence = true;
   EXPECT_EQ(root_cause_index(trace, bug), 10u);
