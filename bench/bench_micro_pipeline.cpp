@@ -11,6 +11,7 @@
 #include "android/instrumenter.h"
 #include "baselines/edoctor.h"
 #include "baselines/nosleep.h"
+#include "core/fleet_analyzer.h"
 #include "core/pipeline.h"
 #include "power/timeline.h"
 #include "workload/experiment.h"
@@ -19,9 +20,10 @@ namespace {
 
 using namespace edx;
 
-std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events) {
+std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events,
+                                                  std::uint64_t seed = 7) {
   std::vector<trace::TraceBundle> bundles;
-  Rng rng(7);
+  Rng rng(seed);
   for (int user = 0; user < traces; ++user) {
     trace::TraceBundle bundle;
     bundle.user = user;
@@ -257,6 +259,49 @@ void BM_FullPipelineFootprint(benchmark::State& state) {
                           static_cast<std::int64_t>(instances));
 }
 BENCHMARK(BM_FullPipelineFootprint);
+
+/// The paper's deployment loop: phones opt in one at a time and the
+/// server re-diagnoses the fleet after every arrival.  One benchmark
+/// iteration is one full growth episode — N arrivals, each followed by a
+/// snapshot — so items_per_second is arrivals/s and time/N the amortized
+/// per-arrival cost.  The incremental engine pays Step 1 for the arriving
+/// bundle plus the dirty slice of Steps 2-5; BM_FleetBatchRecompute
+/// serves the same loop by re-running the whole batch pipeline over the
+/// grown prefix after every arrival.
+void BM_FleetIncremental(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  const std::vector<trace::TraceBundle> bundles =
+      synthetic_bundles(fleet, 50);
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  for (auto _ : state) {
+    core::FleetAnalyzer analyzer(config);
+    for (const trace::TraceBundle& bundle : bundles) {
+      analyzer.add_bundle(bundle);
+      benchmark::DoNotOptimize(analyzer.snapshot());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fleet);
+}
+BENCHMARK(BM_FleetIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FleetBatchRecompute(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  const std::vector<trace::TraceBundle> bundles =
+      synthetic_bundles(fleet, 50);
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  const core::ManifestationAnalyzer analyzer(config);
+  for (auto _ : state) {
+    for (int n = 1; n <= fleet; ++n) {
+      benchmark::DoNotOptimize(analyzer.run(
+          std::span<const trace::TraceBundle>(bundles.data(),
+                                              static_cast<std::size_t>(n))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fleet);
+}
+BENCHMARK(BM_FleetBatchRecompute)->Arg(50)->Arg(100)->Arg(200);
 
 void BM_NoSleepStaticAnalysis(benchmark::State& state) {
   const workload::AppCase app = workload::k9_mail_case();

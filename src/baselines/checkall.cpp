@@ -11,7 +11,7 @@ namespace edx::baselines {
 CheckAll::CheckAll(CheckAllConfig config) : config_(config) {}
 
 CheckAllReport CheckAll::run(
-    const std::vector<trace::TraceBundle>& bundles) const {
+    std::span<const trace::TraceBundle> bundles) const {
   CheckAllReport report;
   report.total_traces = bundles.size();
 

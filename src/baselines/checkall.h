@@ -8,6 +8,7 @@
 // functionality changes — the comparison that motivates Steps 2-4.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/analysis_types.h"
@@ -34,7 +35,12 @@ class CheckAll {
   explicit CheckAll(CheckAllConfig config = {});
 
   [[nodiscard]] CheckAllReport run(
-      const std::vector<trace::TraceBundle>& bundles) const;
+      std::span<const trace::TraceBundle> bundles) const;
+  /// Thin overload for vector-holding callers (and `{bundle}` literals).
+  [[nodiscard]] CheckAllReport run(
+      const std::vector<trace::TraceBundle>& bundles) const {
+    return run(std::span<const trace::TraceBundle>(bundles));
+  }
 
  private:
   CheckAllConfig config_;

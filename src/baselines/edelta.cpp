@@ -13,7 +13,7 @@ EDelta::EDelta(EDeltaConfig config, power::PowerModel model)
     : config_(config), model_(std::move(model)) {}
 
 EDeltaReport EDelta::run(
-    const std::vector<trace::TraceBundle>& bundles) const {
+    std::span<const trace::TraceBundle> bundles) const {
   // API -> per-instance attributed power (mW) across all traces, as a flat
   // id-indexed table (`touched` lists the live slots).  The idle
   // classification depends only on the event name, so it is computed once

@@ -17,6 +17,7 @@
 // them as boundaries.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,7 +63,12 @@ class EDelta {
                   power::PowerModel model = power::PowerModel(power::nexus6()));
 
   [[nodiscard]] EDeltaReport run(
-      const std::vector<trace::TraceBundle>& bundles) const;
+      std::span<const trace::TraceBundle> bundles) const;
+  /// Thin overload for vector-holding callers (and `{bundle}` literals).
+  [[nodiscard]] EDeltaReport run(
+      const std::vector<trace::TraceBundle>& bundles) const {
+    return run(std::span<const trace::TraceBundle>(bundles));
+  }
 
  private:
   EDeltaConfig config_;

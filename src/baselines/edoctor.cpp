@@ -79,7 +79,7 @@ std::vector<double> kmeans_1d(const std::vector<double>& values, std::size_t k,
 EDoctor::EDoctor(EDoctorConfig config) : config_(config) {}
 
 EDoctorReport EDoctor::run(
-    const std::vector<trace::TraceBundle>& bundles) const {
+    std::span<const trace::TraceBundle> bundles) const {
   EDoctorReport report;
   for (const trace::TraceBundle& bundle : bundles) {
     PhaseSummary summary;

@@ -15,6 +15,7 @@
 // impacted fraction.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -58,7 +59,12 @@ class EDoctor {
 
   /// Estimates which users' traces carry an ABD.
   [[nodiscard]] EDoctorReport run(
-      const std::vector<trace::TraceBundle>& bundles) const;
+      std::span<const trace::TraceBundle> bundles) const;
+  /// Thin overload for vector-holding callers (and `{bundle}` literals).
+  [[nodiscard]] EDoctorReport run(
+      const std::vector<trace::TraceBundle>& bundles) const {
+    return run(std::span<const trace::TraceBundle>(bundles));
+  }
 
  private:
   EDoctorConfig config_;

@@ -75,7 +75,10 @@ void detect_manifestation_points(AnalyzedTrace& trace,
   // The scratch copy exists only for the quartiles; sorting it in place
   // avoids a second copy inside stats::quartiles().  The detection loop
   // below reads the amplitudes from the events, which stay in order.
-  std::vector<double> amplitudes;
+  // thread_local so re-detecting a whole fleet (snapshot refresh, batch
+  // Step 4) allocates once per worker, not once per trace.
+  thread_local std::vector<double> amplitudes;
+  amplitudes.clear();
   amplitudes.reserve(trace.events.size());
   for (const PoweredEvent& event : trace.events) {
     amplitudes.push_back(event.variation_amplitude);
@@ -122,20 +125,21 @@ void detect_manifestation_points(AnalyzedTrace& trace,
   }
 }
 
+void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config) {
+  attribute_variation_amplitude(trace, config);
+  detect_manifestation_points(trace, config);
+}
+
 void detect_all(std::vector<AnalyzedTrace>& traces,
                 const DetectionConfig& config,
                 common::ThreadPool* pool) {
   require(config.fence_iqr_multiplier >= 0.0,
           "detect_all: fence multiplier must be non-negative");
-  const auto detect_one = [&config](AnalyzedTrace& trace) {
-    attribute_variation_amplitude(trace, config);
-    detect_manifestation_points(trace, config);
-  };
   if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {
-    for (AnalyzedTrace& trace : traces) detect_one(trace);
+    for (AnalyzedTrace& trace : traces) detect_trace(trace, config);
   } else {
     pool->parallel_for(0, traces.size(),
-                       [&](std::size_t i) { detect_one(traces[i]); });
+                       [&](std::size_t i) { detect_trace(traces[i], config); });
   }
 }
 

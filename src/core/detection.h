@@ -75,6 +75,13 @@ void attribute_variation_amplitude(AnalyzedTrace& trace,
 void detect_manifestation_points(AnalyzedTrace& trace,
                                  const DetectionConfig& config = {});
 
+/// Both phases for one trace — the per-trace unit of work detect_all
+/// shards, and the incremental entry point (core/fleet_analyzer.h): a
+/// trace's detection depends only on its own normalized powers, so a
+/// fleet engine re-detects exactly the traces whose normalization
+/// changed.
+void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config = {});
+
 /// Convenience: both phases over a whole collection.  Detection is
 /// per-trace, so with a pool the traces run in parallel (one task per
 /// trace slot), identical to the sequential loop for any pool size.

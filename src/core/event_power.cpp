@@ -26,8 +26,7 @@ AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle) {
 }
 
 std::vector<AnalyzedTrace> estimate_event_power(
-    const std::vector<trace::TraceBundle>& bundles,
-    common::ThreadPool* pool) {
+    std::span<const trace::TraceBundle> bundles, common::ThreadPool* pool) {
   std::vector<AnalyzedTrace> traces(bundles.size());
   if (pool == nullptr || pool->size() <= 1 || bundles.size() <= 1) {
     for (std::size_t i = 0; i < bundles.size(); ++i) {

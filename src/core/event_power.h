@@ -9,6 +9,7 @@
 // later steps exploit and discipline.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -23,9 +24,10 @@ AnalyzedTrace estimate_event_power(const trace::TraceBundle& bundle);
 /// Computes per-instance power for a whole collection.  Bundles are
 /// independent, so with a pool they are processed in parallel; each slot
 /// of the result is written by exactly one task, making the output
-/// identical to the sequential loop for any pool size.
+/// identical to the sequential loop for any pool size.  Takes a span so
+/// callers with deques or subranges (core/fleet_analyzer.h) don't copy.
 std::vector<AnalyzedTrace> estimate_event_power(
-    const std::vector<trace::TraceBundle>& bundles,
+    std::span<const trace::TraceBundle> bundles,
     common::ThreadPool* pool = nullptr);
 
 }  // namespace edx::core

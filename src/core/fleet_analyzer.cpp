@@ -1,0 +1,180 @@
+#include "core/fleet_analyzer.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "core/detection.h"
+#include "core/event_power.h"
+#include "core/normalization.h"
+#include "core/reporting.h"
+
+namespace edx::core {
+
+FleetAnalyzer::FleetAnalyzer(AnalysisConfig config) : config_(config) {
+  // Mirror the batch pipeline's config validation up front, so a bad
+  // config fails at construction instead of on the Nth arrival.
+  require(config_.normalization.base_percentile >= 0.0 &&
+              config_.normalization.base_percentile <= 100.0,
+          "normalize_events: base percentile out of range");
+  require(config_.normalization.min_base_power_mw > 0.0,
+          "normalize_events: min base power must be positive");
+  require(config_.detection.fence_iqr_multiplier >= 0.0,
+          "detect_all: fence multiplier must be non-negative");
+  if (common::ThreadPool::resolve_threads(config_.num_threads) > 1) {
+    pool_ = &pool_storage_.emplace(config_.num_threads);
+  }
+}
+
+void FleetAnalyzer::sync_id_bound() {
+  // Every id seen by the fleet was interned at ingestion, so the global
+  // table's current size bounds them all (same sizing rule as the batch
+  // EventRanking::build).  The table is append-only: existing slots never
+  // move, growth only appends empty ones.
+  const std::size_t id_bound = EventSymbolTable::global().size();
+  if (bases_.size() >= id_bound) return;
+  result_.ranking.ensure_event_slots(id_bound);
+  bases_.resize(id_bound, 0.0);
+  event_dirty_.resize(id_bound, 0);
+  traces_with_event_.resize(id_bound);
+  seen_scratch_.resize(id_bound, 0);
+}
+
+void FleetAnalyzer::add_bundle(const trace::TraceBundle& bundle) {
+  apply_arrival(estimate_event_power(bundle));  // Step 1, this bundle only
+}
+
+void FleetAnalyzer::add_bundles(std::span<const trace::TraceBundle> bundles) {
+  // Step 1 is independent per bundle: join the whole batch on the pool,
+  // then commit in `bundles` order so the fleet state is exactly the
+  // add_bundle()-per-arrival state.
+  std::vector<AnalyzedTrace> analyzed = estimate_event_power(bundles, pool_);
+  for (AnalyzedTrace& trace : analyzed) {
+    apply_arrival(std::move(trace));
+  }
+}
+
+void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
+  sync_id_bound();
+  const auto mark_event_dirty = [this](EventId id) {
+    if (event_dirty_[id] == 0) {
+      event_dirty_[id] = 1;
+      dirty_events_.push_back(id);
+    }
+  };
+
+  const auto slot_it = index_by_user_.find(analyzed.user);
+  if (slot_it == index_by_user_.end()) {
+    // New user: append a fleet slot.  The arriving trace is last in
+    // arrival order, so appending its instances to the per-event
+    // distributions preserves the batch build's sequential traversal
+    // order exactly.
+    const std::size_t slot = result_.traces.size();
+    index_by_user_.emplace(analyzed.user, slot);
+    std::vector<EventId> distinct;
+    for (const PoweredEvent& event : analyzed.events) {
+      if (seen_scratch_[event.id] != 0) continue;
+      seen_scratch_[event.id] = 1;
+      distinct.push_back(event.id);
+      traces_with_event_[event.id].push_back(
+          static_cast<std::uint32_t>(slot));
+      mark_event_dirty(event.id);
+    }
+    for (EventId id : distinct) seen_scratch_[id] = 0;
+    result_.ranking.append_trace(analyzed);
+    result_.traces.push_back(std::move(analyzed));
+    trace_dirty_.push_back(1);
+    return;
+  }
+
+  // Re-upload: replace the user's trace in its original fleet slot.  The
+  // replaced instances sit mid-list in their events' distributions, so
+  // every event the old or new trace touches gets its power list (and its
+  // slot index) rebuilt by one pass over the fleet in slot order — the
+  // batch traversal order over the substituted bundle set.
+  const std::size_t slot = slot_it->second;
+  std::vector<EventId> affected;
+  const auto collect = [&](const AnalyzedTrace& trace) {
+    for (const PoweredEvent& event : trace.events) {
+      if (seen_scratch_[event.id] != 0) continue;
+      seen_scratch_[event.id] = 1;
+      affected.push_back(event.id);
+    }
+  };
+  collect(result_.traces[slot]);
+  collect(analyzed);
+  result_.traces[slot] = std::move(analyzed);
+  trace_dirty_[slot] = 1;
+
+  const std::size_t id_bound = bases_.size();
+  std::vector<std::vector<double>> rebuilt_powers(id_bound);
+  std::vector<std::vector<std::uint32_t>> rebuilt_slots(id_bound);
+  for (std::size_t s = 0; s < result_.traces.size(); ++s) {
+    for (const PoweredEvent& event : result_.traces[s].events) {
+      if (seen_scratch_[event.id] == 0) continue;
+      rebuilt_powers[event.id].push_back(event.raw_power);
+      std::vector<std::uint32_t>& slots = rebuilt_slots[event.id];
+      if (slots.empty() || slots.back() != s) {
+        slots.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+  }
+  for (EventId id : affected) {
+    seen_scratch_[id] = 0;
+    result_.ranking.set_event_powers(id, std::move(rebuilt_powers[id]));
+    traces_with_event_[id] = std::move(rebuilt_slots[id]);
+    mark_event_dirty(id);
+  }
+}
+
+const AnalysisResult& FleetAnalyzer::snapshot() {
+  if (result_.traces.empty()) {
+    throw AnalysisError("FleetAnalyzer::snapshot: no traces collected");
+  }
+  sync_id_bound();
+
+  // Step 2+3 (incremental): re-derive the base power of dirty events only;
+  // an event whose base actually moved dirties every trace containing it,
+  // because those traces' normalized powers are stale.  Untouched events
+  // keep their cached base — and their traces stay clean.
+  for (EventId id : dirty_events_) {
+    event_dirty_[id] = 0;
+    const double base =
+        base_power_of(result_.ranking.all()[id], config_.normalization);
+    if (base == bases_[id]) continue;
+    bases_[id] = base;
+    for (std::uint32_t slot : traces_with_event_[id]) {
+      trace_dirty_[slot] = 1;
+    }
+  }
+  dirty_events_.clear();
+
+  std::vector<std::size_t> dirty_slots;
+  for (std::size_t s = 0; s < trace_dirty_.size(); ++s) {
+    if (trace_dirty_[s] != 0) {
+      dirty_slots.push_back(s);
+      trace_dirty_[s] = 0;
+    }
+  }
+
+  // Steps 3+4 on the dirty traces only.  Each task owns one trace slot
+  // and reads the shared base table, so the parallel path is identical to
+  // the sequential one for any pool size (same argument as detect_all).
+  const auto refresh = [this](std::size_t slot) {
+    AnalyzedTrace& trace = result_.traces[slot];
+    normalize_trace(trace, bases_);
+    detect_trace(trace, config_.detection);
+  };
+  if (pool_ == nullptr || pool_->size() <= 1 || dirty_slots.size() <= 1) {
+    for (std::size_t slot : dirty_slots) refresh(slot);
+  } else {
+    pool_->parallel_for(0, dirty_slots.size(),
+                        [&](std::size_t i) { refresh(dirty_slots[i]); });
+  }
+
+  // Step 5 is O(manifestations), cheap enough to rebuild outright.
+  result_.report =
+      report_problematic_events(result_.traces, config_.reporting);
+  return result_;
+}
+
+}  // namespace edx::core

@@ -1,0 +1,110 @@
+// FleetAnalyzer — the incremental fleet analysis engine.
+//
+// The paper's deployment model is continuous: instrumented phones upload
+// their trace bundles one at a time ("when the phone is charging on
+// WiFi") and the server re-diagnoses the growing fleet after each
+// arrival.  Re-running the batch ManifestationAnalyzer per arrival costs
+// a full O(fleet) pass over Steps 1-5 every time; this engine makes an
+// arrival cost O(arriving trace) plus the slice of Steps 2-5 the arrival
+// actually touched:
+//
+//   add_bundle   runs Step 1 (the power-join, the expensive per-trace
+//                work) for the arriving bundle only and appends its
+//                instances into the id-indexed EventRanking, marking the
+//                touched EventIds dirty;
+//   snapshot     re-runs Steps 2-5 incrementally — recomputes base
+//                powers for dirty events only (cached bases serve the
+//                untouched ones), renormalizes and re-detects only the
+//                traces whose bases (or raw powers) changed, and rebuilds
+//                the cheap Step-5 report.
+//
+// Equivalence contract: after any sequence of add_bundle() calls,
+// snapshot() is byte-identical — rendered text and JSON reports and every
+// per-instance intermediate — to ManifestationAnalyzer::run over the same
+// bundles in arrival order, for any AnalysisConfig::num_threads.
+// Re-adding a user (same TraceBundle::fleet_key()) replaces their earlier
+// bundle in its original fleet slot, matching a batch input whose slot
+// holds the latest upload; it never duplicates the user.
+// See DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "trace/recorder.h"
+
+namespace edx::core {
+
+class FleetAnalyzer {
+ public:
+  explicit FleetAnalyzer(AnalysisConfig config = {});
+
+  [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+  /// Number of distinct users currently in the fleet.
+  [[nodiscard]] std::size_t fleet_size() const {
+    return result_.traces.size();
+  }
+  [[nodiscard]] bool contains_user(UserId user) const {
+    return index_by_user_.contains(user);
+  }
+
+  /// Ingests one upload: runs Step 1 for this bundle only and marks the
+  /// events it touches dirty.  A bundle whose fleet_key() is already in
+  /// the fleet replaces that user's earlier trace in place (idempotent
+  /// re-upload); a new key appends a fleet slot in arrival order.
+  void add_bundle(const trace::TraceBundle& bundle);
+  /// Batch ingestion: Step 1 for the arriving bundles runs in parallel on
+  /// the pool; the results are applied in `bundles` order, so the fleet
+  /// state equals calling add_bundle() for each in order.
+  void add_bundles(std::span<const trace::TraceBundle> bundles);
+
+  /// Re-runs Steps 2-5 on the dirty slice and returns the full result —
+  /// byte-identical to a batch ManifestationAnalyzer::run over the
+  /// current fleet (see the contract above).  The reference stays valid
+  /// until the next add_bundle/add_bundles call.  Throws AnalysisError
+  /// when the fleet is empty.
+  const AnalysisResult& snapshot();
+
+ private:
+  /// Commits one Step-1 result into the fleet state (append or replace).
+  void apply_arrival(AnalyzedTrace analyzed);
+  /// Grows every id-indexed side table to the symbol table's current size.
+  void sync_id_bound();
+
+  AnalysisConfig config_;
+  std::optional<common::ThreadPool> pool_storage_;
+  common::ThreadPool* pool_{nullptr};  ///< null = sequential path
+
+  /// traces (arrival order) + incrementally maintained ranking + the
+  /// report of the last snapshot; handed out by snapshot() by reference.
+  AnalysisResult result_;
+  std::unordered_map<UserId, std::size_t> index_by_user_;
+
+  /// Cached Step-3 base power per EventId (0.0 = absent), valid for every
+  /// event not in dirty_events_.
+  std::vector<double> bases_;
+  /// EventIds whose distribution changed since the last snapshot, as a
+  /// dense flag vector plus the list of set flags.
+  std::vector<std::uint8_t> event_dirty_;
+  std::vector<EventId> dirty_events_;
+  /// Fleet slots that must be renormalized + re-detected at the next
+  /// snapshot (new or replaced arrivals; snapshot() adds the slots of
+  /// traces whose event bases changed).
+  std::vector<std::uint8_t> trace_dirty_;
+  /// EventId -> fleet slots whose trace contains that event, appended in
+  /// arrival order.  A replacement rebuilds the lists of the events it
+  /// touches; other lists may keep a stale slot (the slot's new trace no
+  /// longer has the event), which only ever costs a redundant
+  /// renormalization, never a missed one.
+  std::vector<std::vector<std::uint32_t>> traces_with_event_;
+  /// Per-arrival scratch: one flag per EventId (id_bound-sized) used to
+  /// dedupe the distinct ids of a trace without allocating per call.
+  std::vector<std::uint8_t> seen_scratch_;
+};
+
+}  // namespace edx::core

@@ -18,39 +18,53 @@ double base_power(const EventRanking& ranking, std::string_view name,
   return base_power(ranking, ranking.distribution(name).id(), config);
 }
 
-void normalize_events(std::vector<AnalyzedTrace>& traces,
-                      const EventRanking& ranking,
-                      const NormalizationConfig& config,
-                      common::ThreadPool* pool) {
+double base_power_of(const EventPowerDistribution& distribution,
+                     const NormalizationConfig& config) {
+  if (distribution.instance_count() == 0) return 0.0;
+  return std::max(distribution.percentile(config.base_percentile),
+                  config.min_base_power_mw);
+}
+
+std::vector<double> event_base_powers(const EventRanking& ranking,
+                                      const NormalizationConfig& config) {
   require(config.base_percentile >= 0.0 && config.base_percentile <= 100.0,
           "normalize_events: base percentile out of range");
   require(config.min_base_power_mw > 0.0,
           "normalize_events: min base power must be positive");
   // Compute each event's base once, not once per instance, into a flat
-  // id-indexed vector: the per-instance lookup below is a plain array
-  // index.  Ids without a distribution keep base 0 as an "absent" marker.
+  // id-indexed vector: the per-instance lookup in normalize_trace is a
+  // plain array index.  Ids without a distribution keep base 0 as an
+  // "absent" marker.
   std::vector<double> bases(ranking.all().size(), 0.0);
   for (const EventPowerDistribution& distribution : ranking.all()) {
     if (distribution.instance_count() == 0) continue;
-    bases[distribution.id()] =
-        std::max(distribution.percentile(config.base_percentile),
-                 config.min_base_power_mw);
+    bases[distribution.id()] = base_power_of(distribution, config);
   }
-  const auto normalize_trace = [&bases](AnalyzedTrace& trace) {
-    for (PoweredEvent& event : trace.events) {
-      const double base = event.id < bases.size() ? bases[event.id] : 0.0;
-      if (base <= 0.0) {
-        throw AnalysisError("normalize_events: no distribution for event '" +
-                            event.name() + "'");
-      }
-      event.normalized_power = event.raw_power / base;
+  return bases;
+}
+
+void normalize_trace(AnalyzedTrace& trace, std::span<const double> bases) {
+  for (PoweredEvent& event : trace.events) {
+    const double base = event.id < bases.size() ? bases[event.id] : 0.0;
+    if (base <= 0.0) {
+      throw AnalysisError("normalize_events: no distribution for event '" +
+                          event.name() + "'");
     }
-  };
+    event.normalized_power = event.raw_power / base;
+  }
+}
+
+void normalize_events(std::vector<AnalyzedTrace>& traces,
+                      const EventRanking& ranking,
+                      const NormalizationConfig& config,
+                      common::ThreadPool* pool) {
+  const std::vector<double> bases = event_base_powers(ranking, config);
   if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {
-    for (AnalyzedTrace& trace : traces) normalize_trace(trace);
+    for (AnalyzedTrace& trace : traces) normalize_trace(trace, bases);
   } else {
-    pool->parallel_for(0, traces.size(),
-                       [&](std::size_t i) { normalize_trace(traces[i]); });
+    pool->parallel_for(0, traces.size(), [&](std::size_t i) {
+      normalize_trace(traces[i], bases);
+    });
   }
 }
 

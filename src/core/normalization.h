@@ -10,6 +10,7 @@
 // from the tracker.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -47,6 +48,25 @@ void normalize_events(std::vector<AnalyzedTrace>& traces,
                       const EventRanking& ranking,
                       const NormalizationConfig& config = {},
                       common::ThreadPool* pool = nullptr);
+
+/// Incremental entry points (core/fleet_analyzer.h): the two halves of
+/// normalize_events, so a caller holding pre-built state can recompute
+/// just the bases that changed and renormalize just the traces that
+/// contain them.
+///
+/// The flat id-indexed base-power table: slot `id` holds the event's base
+/// under `config`, 0.0 marks an event with no recorded instances.
+/// Validates `config` (throws InvalidArgument when out of range).
+std::vector<double> event_base_powers(const EventRanking& ranking,
+                                      const NormalizationConfig& config = {});
+/// Recomputes the base of a single distribution (0.0 when empty) — what
+/// event_base_powers() puts in the event's slot, for one event.
+double base_power_of(const EventPowerDistribution& distribution,
+                     const NormalizationConfig& config = {});
+/// Fills `normalized_power` on every instance of one trace from a
+/// pre-built base table.  Throws AnalysisError on an instance whose event
+/// has no base (slot missing or 0.0).
+void normalize_trace(AnalyzedTrace& trace, std::span<const double> bases);
 
 /// Base power used for the event with id `id` under `config`.
 double base_power(const EventRanking& ranking, EventId id,

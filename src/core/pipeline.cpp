@@ -12,7 +12,7 @@ ManifestationAnalyzer::ManifestationAnalyzer(AnalysisConfig config)
     : config_(config) {}
 
 AnalysisResult ManifestationAnalyzer::run(
-    const std::vector<trace::TraceBundle>& bundles) const {
+    std::span<const trace::TraceBundle> bundles) const {
   if (bundles.empty()) {
     throw AnalysisError("ManifestationAnalyzer::run: no traces collected");
   }

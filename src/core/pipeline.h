@@ -11,6 +11,7 @@
 // per-step figures and ablations).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/detection.h"
@@ -46,9 +47,16 @@ class ManifestationAnalyzer {
 
   [[nodiscard]] const AnalysisConfig& config() const { return config_; }
 
-  /// Runs the full pipeline.  Throws AnalysisError when `bundles` is empty.
+  /// Runs the full pipeline.  Throws AnalysisError when `bundles` is
+  /// empty.  Takes a span so callers with deques or subranges (and the
+  /// FleetAnalyzer internals) don't copy into a vector first.
   [[nodiscard]] AnalysisResult run(
-      const std::vector<trace::TraceBundle>& bundles) const;
+      std::span<const trace::TraceBundle> bundles) const;
+  /// Thin overload for the common vector-holding caller.
+  [[nodiscard]] AnalysisResult run(
+      const std::vector<trace::TraceBundle>& bundles) const {
+    return run(std::span<const trace::TraceBundle>(bundles));
+  }
 
  private:
   AnalysisConfig config_;

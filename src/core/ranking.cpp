@@ -51,7 +51,16 @@ EventPowerDistribution& EventPowerDistribution::operator=(
 
 void EventPowerDistribution::add_power(double power) {
   powers_.push_back(power);
-  sorted_valid_.store(false, std::memory_order_release);
+  if (sorted_valid_.load(std::memory_order_acquire)) {
+    // Keep a live cache live: one ordered insert is far cheaper than the
+    // full re-sort the next percentile()/rank_of() would otherwise pay.
+    // The incremental fleet engine appends a handful of powers per event
+    // per arrival and reads a percentile per snapshot, so without this
+    // the cache would thrash invalid on every single arrival.
+    std::lock_guard lock(sort_mutex_);
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), power),
+                   power);
+  }
 }
 
 void EventPowerDistribution::set_powers(std::vector<double> powers) {
@@ -101,13 +110,12 @@ std::vector<std::size_t> EventPowerDistribution::ranks() const {
 double EventPowerDistribution::percentile(double p) const {
   require(!powers_.empty(),
           "EventPowerDistribution::percentile: empty distribution");
-  if (sorted_valid_.load(std::memory_order_acquire)) {
-    return stats::percentile_sorted(sorted_, p);
-  }
-  // No cache yet: two order statistics via selection are O(n), cheaper
-  // than the O(n log n) sort for a one-off query, and mutate nothing.
-  // The value is identical to the sorted-path value either way.
-  return stats::percentile_select(powers_, p);
+  // Builds (or reuses) the sorted cache: selection would be cheaper for a
+  // strictly one-off query, but every consumer of percentiles — Step 3's
+  // base powers, Step 5's ranks, repeated fleet snapshots — comes back for
+  // more, and add_power() keeps the cache alive once it exists.  The value
+  // is identical to the selection-path value (see stats::percentile_*).
+  return stats::percentile_sorted(sorted_powers(), p);
 }
 
 std::size_t EventPowerDistribution::rank_of(double power) const {
@@ -193,6 +201,33 @@ EventRanking EventRanking::build(const std::vector<AnalyzedTrace>& traces,
   // mutation-free O(n) selection, and a concurrent first rebuild is safe
   // because sorted_powers() double-check-locks it.
   return ranking;
+}
+
+void EventRanking::ensure_event_slots(std::size_t id_bound) {
+  if (by_id_.size() >= id_bound) return;
+  by_id_.reserve(id_bound);
+  while (by_id_.size() < id_bound) {
+    by_id_.emplace_back(static_cast<EventId>(by_id_.size()));
+  }
+}
+
+void EventRanking::append_trace(const AnalyzedTrace& trace) {
+  ensure_event_slots(EventSymbolTable::global().size());
+  for (const PoweredEvent& event : trace.events) {
+    EventPowerDistribution& distribution = by_id_[event.id];
+    if (distribution.instance_count() == 0) ++event_count_;
+    distribution.add_power(event.raw_power);
+  }
+}
+
+void EventRanking::set_event_powers(EventId id, std::vector<double> powers) {
+  ensure_event_slots(static_cast<std::size_t>(id) + 1);
+  EventPowerDistribution& distribution = by_id_[id];
+  const bool was_live = distribution.instance_count() > 0;
+  const bool now_live = !powers.empty();
+  distribution.set_powers(std::move(powers));
+  if (was_live && !now_live) --event_count_;
+  if (!was_live && now_live) ++event_count_;
 }
 
 const EventPowerDistribution& EventRanking::distribution(EventId id) const {

@@ -10,13 +10,12 @@
 // The ranking is a flat std::vector<EventPowerDistribution> indexed by the
 // interned EventId (common/event_symbols.h): the per-instance hot paths of
 // Steps 2-4 are array indexing, with no string hash or O(len) compare
-// anywhere.  Each distribution caches its powers in sorted order
-// (invalidated when a power is added), so percentile() is O(1) and
-// rank_of() a binary search after the one-time sort.  The lazy rebuild is
-// double-check-locked, so concurrent readers may trigger it safely; before
-// any cache exists the single-query paths fall back to mutation-free O(n)
-// selection/counting, so the pipeline never pays a full sort for its
-// single base-percentile query per event.
+// anywhere.  Each distribution caches its powers in sorted order, so
+// percentile() is O(1) and rank_of() a binary search after the one-time
+// sort; add_power() keeps a live cache live with one ordered insert, which
+// is what makes repeated fleet snapshots (core/fleet_analyzer.h) cheap.
+// The lazy rebuild is double-check-locked, so concurrent readers may
+// trigger it safely.
 #pragma once
 
 #include <atomic>
@@ -46,7 +45,8 @@ class EventPowerDistribution {
   [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
   [[nodiscard]] std::size_t instance_count() const { return powers_.size(); }
 
-  /// Records one instance's power; invalidates the sorted cache.
+  /// Records one instance's power.  A valid sorted cache is maintained in
+  /// place (one ordered insert); an invalid one stays invalid.
   void add_power(double power);
   /// Replaces the whole distribution; invalidates the sorted cache.
   void set_powers(std::vector<double> powers);
@@ -62,8 +62,8 @@ class EventPowerDistribution {
 
   /// Competition ranks aligned with `powers`.
   [[nodiscard]] std::vector<std::size_t> ranks() const;
-  /// p-th percentile of the distribution.  Uses the sorted cache when one
-  /// exists, otherwise O(n) selection without building (or mutating) it.
+  /// p-th percentile of the distribution.  Builds (or reuses) the sorted
+  /// cache; the value equals the selection-path value bit for bit.
   [[nodiscard]] double percentile(double p) const;
   /// Rank (1-based) of `power` within the distribution: 1 + number of
   /// recorded instances strictly cheaper.  Binary search on the sorted
@@ -95,6 +95,21 @@ class EventRanking {
   /// Convenience: resolves `name` through the global symbol table first.
   [[nodiscard]] const EventPowerDistribution& distribution(
       std::string_view name) const;
+
+  /// Incremental entry points (core/fleet_analyzer.h): mutate the table
+  /// in place instead of rebuilding it from scratch.
+  ///
+  /// Grows the id-indexed table to at least `id_bound` slots (new slots
+  /// are empty distributions owning their id).  Never shrinks.
+  void ensure_event_slots(std::size_t id_bound);
+  /// Appends every instance of `trace` to its event's distribution, in
+  /// the trace's own (chronological) order — appending arriving traces in
+  /// arrival order therefore reproduces exactly the sequential traversal
+  /// order of build() over the same traces.
+  void append_trace(const AnalyzedTrace& trace);
+  /// Replaces one event's whole distribution (an empty vector empties the
+  /// slot).  Used when a re-uploaded trace invalidates mid-list powers.
+  void set_event_powers(EventId id, std::vector<double> powers);
 
   [[nodiscard]] bool contains(EventId id) const;
   [[nodiscard]] bool contains(std::string_view name) const;

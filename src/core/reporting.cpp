@@ -10,7 +10,7 @@
 namespace edx::core {
 
 DiagnosisReport report_problematic_events(
-    const std::vector<AnalyzedTrace>& traces, const ReportingConfig& config) {
+    std::span<const AnalyzedTrace> traces, const ReportingConfig& config) {
   require(config.developer_reported_fraction >= 0.0 &&
               config.developer_reported_fraction <= 1.0,
           "report_problematic_events: reported fraction must be in [0,1]");

@@ -9,6 +9,7 @@
 // different share.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,9 +55,10 @@ struct DiagnosisReport {
   std::size_t traces_with_manifestation{0};
 };
 
-/// Builds the report from detected traces.
+/// Builds the report from detected traces.  Takes a span so callers
+/// holding pre-built state (core/fleet_analyzer.h), deques or subranges
+/// can report without copying into a vector.
 DiagnosisReport report_problematic_events(
-    const std::vector<AnalyzedTrace>& traces,
-    const ReportingConfig& config = {});
+    std::span<const AnalyzedTrace> traces, const ReportingConfig& config = {});
 
 }  // namespace edx::core

@@ -24,6 +24,12 @@ struct TraceBundle {
   EventTrace events;
   UtilizationTrace utilization;
 
+  /// Stable identity of the uploading phone across sessions: bundles with
+  /// the same key describe the same user, so a fleet engine ingests a
+  /// re-upload as an idempotent replacement of that user's earlier bundle,
+  /// never as a new fleet member (see core/fleet_analyzer.h).
+  [[nodiscard]] UserId fleet_key() const { return user; }
+
   /// Serializes to a single blob (both traces with section headers).
   [[nodiscard]] std::string to_text() const;
   static TraceBundle from_text(const std::string& text);

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
+#include <limits>
+#include <map>
+#include <set>
 #include <sstream>
+#include <string_view>
 
 #include "android/apk.h"
 #include "android/instrumenter.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "core/fleet_analyzer.h"
 #include "core/pipeline.h"
 #include "core/report_io.h"
 #include "power/calibration.h"
@@ -37,7 +43,139 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+/// The one flag parser every subcommand shares.  Splits the args after
+/// the command word into named flags (`--name value` or `--name=value`)
+/// and positional operands; unknown flags are usage errors.  Positional
+/// operands past the required ones are the pre-redesign argument forms —
+/// still honored, but consuming one emits a single deprecation line on
+/// stderr per invocation.
+class FlagSet {
+ public:
+  FlagSet(std::string command, const std::vector<std::string>& args,
+          std::initializer_list<std::string_view> value_flags,
+          std::initializer_list<std::string_view> switch_flags,
+          std::ostream& err)
+      : command_(std::move(command)), err_(&err) {
+    const auto known = [](std::initializer_list<std::string_view> flags,
+                          std::string_view name) {
+      return std::find(flags.begin(), flags.end(), name) != flags.end();
+    };
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (!arg.starts_with("--")) {
+        positionals_.push_back(arg);
+        continue;
+      }
+      std::string name = arg;
+      std::optional<std::string> inline_value;
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        inline_value = arg.substr(eq + 1);
+      }
+      if (known(switch_flags, name)) {
+        if (inline_value.has_value()) {
+          throw InvalidArgument(command_ + ": " + name + " takes no value");
+        }
+        switches_.insert(name);
+      } else if (known(value_flags, name)) {
+        if (!inline_value.has_value()) {
+          if (i + 1 >= args.size()) {
+            throw InvalidArgument(command_ + ": " + name + " needs a value");
+          }
+          inline_value = args[++i];
+        }
+        values_[name] = *inline_value;
+      } else {
+        throw InvalidArgument(command_ + ": unknown flag '" + name + "'");
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_switch(const std::string& name) const {
+    return switches_.contains(name);
+  }
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t positional_count() const {
+    return positionals_.size();
+  }
+  /// Operand at `index`, or a usage error mentioning `what`.
+  [[nodiscard]] const std::string& required_positional(
+      std::size_t index, const std::string& what) const {
+    if (index >= positionals_.size()) {
+      throw InvalidArgument(command_ + " needs " + what);
+    }
+    return positionals_[index];
+  }
+  /// The named flag when given, else the deprecated positional at
+  /// `fallback_index` (with the one-line warning), else nullopt.
+  [[nodiscard]] std::optional<std::string> value_or_positional(
+      const std::string& name, std::size_t fallback_index) {
+    if (auto named = value(name)) return named;
+    if (fallback_index < positionals_.size()) {
+      note_deprecated_positionals();
+      return positionals_[fallback_index];
+    }
+    return std::nullopt;
+  }
+  /// Emits the deprecation line (once per invocation).
+  void note_deprecated_positionals() {
+    if (warned_) return;
+    warned_ = true;
+    *err_ << "energydx: warning: '" << command_
+          << "' positional option arguments are deprecated; use the named"
+             " --flag forms (energydx help)\n";
+  }
+
+ private:
+  std::string command_;
+  std::ostream* err_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> switches_;
+  bool warned_{false};
+};
+
+/// Integer flag/operand parsing with range validation; failures are usage
+/// errors (exit code 2), not std::invalid_argument aborts.
+std::int64_t to_int(const std::string& text, const std::string& what,
+                    std::int64_t lo, std::int64_t hi) {
+  std::int64_t parsed = 0;
+  std::string_view view(text);
+  if (!strings::consume_int64(view, parsed) || !view.empty() || parsed < lo ||
+      parsed > hi) {
+    throw InvalidArgument(what + " needs an integer in [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "], got '" + text + "'");
+  }
+  return parsed;
+}
+
+double to_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument(what + " needs a number, got '" + text + "'");
+  }
+}
+
 }  // namespace
+
+int exit_code_for(const std::exception& failure) {
+  // Ordered by specificity: ParseError / AnalysisError / InvalidArgument
+  // are sibling subclasses of edx::Error, anything else is "other".
+  if (dynamic_cast<const ParseError*>(&failure) != nullptr) return 3;
+  if (dynamic_cast<const AnalysisError*>(&failure) != nullptr) return 4;
+  if (dynamic_cast<const InvalidArgument*>(&failure) != nullptr) return 2;
+  return 1;
+}
 
 int cmd_catalog(std::ostream& out) {
   out << "id  name               root-cause     lines\n";
@@ -85,9 +223,11 @@ int cmd_simulate(int app_id, const std::string& out_dir, int users,
   return 0;
 }
 
-int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
-                std::optional<double> reported_fraction, bool as_json,
-                std::size_t num_threads, std::ostream& out) {
+namespace {
+
+/// bundle_*.txt paths in sorted filename order — the fleet's arrival
+/// order.  Throws InvalidArgument when there are none.
+std::vector<std::string> bundle_paths(const std::string& trace_dir) {
   std::vector<std::string> paths;
   for (const fs::directory_entry& entry : fs::directory_iterator(trace_dir)) {
     const std::string name = entry.path().filename().string();
@@ -99,6 +239,38 @@ int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
   if (paths.empty()) {
     throw InvalidArgument("no bundle_*.txt files in " + trace_dir);
   }
+  return paths;
+}
+
+/// Renders one diagnosis report exactly like the batch path does.
+void render_report(const core::DiagnosisReport& report,
+                   const AnalyzeOptions& options, double reported_fraction,
+                   std::ostream& out) {
+  std::optional<core::CodeMap> code_map;
+  core::ReportRenderOptions render;
+  render.developer_reported_fraction = reported_fraction;
+  if (options.app_id.has_value()) {
+    const std::vector<AppCase> catalog = full_catalog();
+    const AppCase& app = catalog_app(catalog, *options.app_id);
+    code_map = core::CodeMap::from_app(app.buggy);
+    render.app_name = app.display_name;
+  }
+  const core::CodeMap* map = code_map ? &*code_map : nullptr;
+  out << (options.as_json ? core::report_to_json(report, map, render)
+                          : core::report_to_text(report, map, render));
+}
+
+double self_estimated_fraction(const core::DiagnosisReport& report) {
+  // Self-estimate: the share of traces in which a manifestation was
+  // detected approximates the impacted-user fraction.
+  return report.total_traces == 0
+             ? 0.0
+             : static_cast<double>(report.traces_with_manifestation) /
+                   static_cast<double>(report.total_traces);
+}
+
+int analyze_batch(const std::vector<std::string>& paths,
+                  const AnalyzeOptions& options, std::ostream& out) {
   std::vector<trace::TraceBundle> bundles;
   bundles.reserve(paths.size());
   for (const std::string& path : paths) {
@@ -106,40 +278,66 @@ int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
   }
 
   core::AnalysisConfig config;
-  config.num_threads = num_threads;
-  if (reported_fraction.has_value()) {
-    config.reporting.developer_reported_fraction = *reported_fraction;
+  config.num_threads = options.num_threads;
+  if (options.reported_fraction.has_value()) {
+    config.reporting.developer_reported_fraction = *options.reported_fraction;
   } else {
-    // Self-estimate: the share of traces in which a manifestation was
-    // detected approximates the impacted-user fraction.
     const core::ManifestationAnalyzer probe(config);
     const core::AnalysisResult first_pass = probe.run(bundles);
     config.reporting.developer_reported_fraction =
-        first_pass.report.total_traces == 0
-            ? 0.0
-            : static_cast<double>(
-                  first_pass.report.traces_with_manifestation) /
-                  static_cast<double>(first_pass.report.total_traces);
+        self_estimated_fraction(first_pass.report);
   }
 
   const core::ManifestationAnalyzer analyzer(config);
   const core::AnalysisResult result = analyzer.run(bundles);
-
-  std::optional<core::CodeMap> code_map;
-  core::ReportRenderOptions options;
-  options.developer_reported_fraction =
-      config.reporting.developer_reported_fraction;
-  if (app_id.has_value()) {
-    const std::vector<AppCase> catalog = full_catalog();
-    const AppCase& app = catalog_app(catalog, *app_id);
-    code_map = core::CodeMap::from_app(app.buggy);
-    options.app_name = app.display_name;
-  }
-
-  const core::CodeMap* map = code_map ? &*code_map : nullptr;
-  out << (as_json ? core::report_to_json(result.report, map, options)
-                  : core::report_to_text(result.report, map, options));
+  render_report(result.report, options,
+                config.reporting.developer_reported_fraction, out);
   return 0;
+}
+
+int analyze_incremental(const std::vector<std::string>& paths,
+                        const AnalyzeOptions& options, std::ostream& out) {
+  core::AnalysisConfig config;
+  config.num_threads = options.num_threads;
+  if (options.reported_fraction.has_value()) {
+    config.reporting.developer_reported_fraction = *options.reported_fraction;
+  }
+  core::FleetAnalyzer fleet(config);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    fleet.add_bundle(trace::TraceBundle::from_text(read_file(paths[i])));
+    const std::size_t arrivals = i + 1;
+    const bool last = arrivals == paths.size();
+    const bool periodic =
+        options.report_every > 0 && arrivals % options.report_every == 0;
+    if (!last && !periodic) continue;
+
+    const core::AnalysisResult& result = fleet.snapshot();
+    // Same two-pass fraction rule as the batch path: when no fraction was
+    // given, rebuild the (cheap) Step-5 report around the self-estimate.
+    double fraction = config.reporting.developer_reported_fraction;
+    core::DiagnosisReport report = result.report;
+    if (!options.reported_fraction.has_value()) {
+      fraction = self_estimated_fraction(result.report);
+      core::ReportingConfig reporting = config.reporting;
+      reporting.developer_reported_fraction = fraction;
+      report = core::report_problematic_events(result.traces, reporting);
+    }
+    if (!last) {
+      out << "== fleet report after " << arrivals << " of " << paths.size()
+          << " bundles ==\n";
+    }
+    render_report(report, options, fraction, out);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
+                std::ostream& out) {
+  const std::vector<std::string> paths = bundle_paths(trace_dir);
+  return options.incremental ? analyze_incremental(paths, options, out)
+                             : analyze_batch(paths, options, out);
 }
 
 int cmd_gen_training(const std::string& device_name,
@@ -226,92 +424,133 @@ int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out) {
   out << "  verdict: "
       << (verification.fix_confirmed() ? "FIX CONFIRMED" : "NOT CONFIRMED")
       << "\n";
-  return verification.fix_confirmed() ? 0 : 3;
+  return verification.fix_confirmed() ? 0 : 5;
 }
+
+namespace {
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  constexpr std::int64_t kMaxInt = std::numeric_limits<std::int64_t>::max();
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    err << "usage: energydx <catalog | instrument <in> <out> | "
+           "simulate <app-id> <dir> [--users N] [--seed S] | "
+           "analyze <dir> [--app ID] [--reported-fraction F] [--json] "
+           "[--threads N] [--incremental] [--report-every K] | "
+           "verify <app-id> [--users N] [--seed S] | "
+           "gen-training <device> <out.csv> [--levels N] [--noise F] | "
+           "calibrate <samples.csv> <name>>\n";
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "catalog") return cmd_catalog(out);
+  if (command == "instrument") {
+    const FlagSet flags("instrument", rest, {}, {}, err);
+    if (flags.positional_count() != 2) {
+      throw InvalidArgument("instrument needs <in> <out>");
+    }
+    return cmd_instrument(flags.required_positional(0, "<in>"),
+                          flags.required_positional(1, "<out>"), out);
+  }
+  if (command == "simulate") {
+    FlagSet flags("simulate", rest, {"--users", "--seed"}, {}, err);
+    const int app_id = static_cast<int>(
+        to_int(flags.required_positional(0, "<app-id> <out-dir>"), "<app-id>",
+               0, kMaxInt));
+    const std::string& out_dir =
+        flags.required_positional(1, "<app-id> <out-dir>");
+    const int users = static_cast<int>(
+        to_int(flags.value_or_positional("--users", 2).value_or("30"),
+               "--users", 1, 1'000'000));
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        to_int(flags.value_or_positional("--seed", 3).value_or("42"),
+               "--seed", 0, kMaxInt));
+    return cmd_simulate(app_id, out_dir, users, seed, out);
+  }
+  if (command == "verify") {
+    FlagSet flags("verify", rest, {"--users", "--seed"}, {}, err);
+    const int app_id = static_cast<int>(to_int(
+        flags.required_positional(0, "<app-id>"), "<app-id>", 0, kMaxInt));
+    const int users = static_cast<int>(
+        to_int(flags.value_or_positional("--users", 1).value_or("30"),
+               "--users", 1, 1'000'000));
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        to_int(flags.value_or_positional("--seed", 2).value_or("42"),
+               "--seed", 0, kMaxInt));
+    return cmd_verify(app_id, users, seed, out);
+  }
+  if (command == "gen-training") {
+    FlagSet flags("gen-training", rest, {"--levels", "--noise"}, {}, err);
+    const std::string& device =
+        flags.required_positional(0, "<device> <out.csv>");
+    const std::string& out_path =
+        flags.required_positional(1, "<device> <out.csv>");
+    const std::size_t levels = static_cast<std::size_t>(
+        to_int(flags.value_or_positional("--levels", 2).value_or("8"),
+               "--levels", 1, 1'000'000));
+    const double noise = to_double(
+        flags.value_or_positional("--noise", 3).value_or("0"), "--noise");
+    return cmd_gen_training(device, out_path, levels, noise, out);
+  }
+  if (command == "calibrate") {
+    const FlagSet flags("calibrate", rest, {}, {}, err);
+    if (flags.positional_count() != 2) {
+      throw InvalidArgument("calibrate needs <samples.csv> <device-name>");
+    }
+    return cmd_calibrate(flags.required_positional(0, "<samples.csv>"),
+                         flags.required_positional(1, "<device-name>"), out);
+  }
+  if (command == "analyze") {
+    FlagSet flags("analyze", rest,
+                  {"--app", "--reported-fraction", "--threads",
+                   "--report-every"},
+                  {"--json", "--incremental"}, err);
+    const std::string& trace_dir =
+        flags.required_positional(0, "<trace-dir>");
+    AnalyzeOptions options;
+    options.as_json = flags.has_switch("--json");
+    options.incremental = flags.has_switch("--incremental");
+    if (const auto app = flags.value("--app")) {
+      options.app_id = static_cast<int>(to_int(*app, "--app", 0, kMaxInt));
+    }
+    if (const auto fraction = flags.value("--reported-fraction")) {
+      options.reported_fraction = to_double(fraction.value(),
+                                            "--reported-fraction");
+    }
+    options.num_threads = static_cast<std::size_t>(
+        to_int(flags.value("--threads").value_or("0"), "--threads", 0, 4096));
+    options.report_every = static_cast<std::size_t>(to_int(
+        flags.value("--report-every").value_or("0"), "--report-every", 0,
+        kMaxInt));
+    // Deprecated positional forms: a bare integer is the catalog app id,
+    // anything with a '.' the reported fraction (same heuristic as the
+    // pre-flag CLI).
+    for (std::size_t i = 1; i < flags.positional_count(); ++i) {
+      const std::string& operand = flags.required_positional(i, "");
+      flags.note_deprecated_positionals();
+      if (!options.app_id.has_value() &&
+          operand.find('.') == std::string::npos) {
+        options.app_id =
+            static_cast<int>(to_int(operand, "[app-id]", 0, kMaxInt));
+      } else {
+        options.reported_fraction = to_double(operand, "[reported-fraction]");
+      }
+    }
+    return cmd_analyze(trace_dir, options, out);
+  }
+  throw InvalidArgument("unknown command '" + command + "'");
+}
+
+}  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   try {
-    if (args.empty() || args[0] == "help" || args[0] == "--help") {
-      err << "usage: energydx <catalog | instrument <in> <out> | "
-             "simulate <app-id> <dir> [users] [seed] | "
-             "analyze <dir> [app-id] [reported-fraction] [--json] "
-             "[--threads N] | "
-             "gen-training <device> <out.csv> [levels] [noise] | "
-             "calibrate <samples.csv> <name>>\n";
-      return args.empty() ? 2 : 0;
-    }
-    if (args[0] == "catalog") return cmd_catalog(out);
-    if (args[0] == "instrument") {
-      if (args.size() != 3) throw InvalidArgument("instrument needs <in> <out>");
-      return cmd_instrument(args[1], args[2], out);
-    }
-    if (args[0] == "simulate") {
-      if (args.size() < 3) {
-        throw InvalidArgument("simulate needs <app-id> <out-dir>");
-      }
-      const int users = args.size() > 3 ? std::stoi(args[3]) : 30;
-      const std::uint64_t seed =
-          args.size() > 4 ? std::stoull(args[4]) : 42ULL;
-      return cmd_simulate(std::stoi(args[1]), args[2], users, seed, out);
-    }
-    if (args[0] == "verify") {
-      if (args.size() < 2) throw InvalidArgument("verify needs <app-id>");
-      const int users = args.size() > 2 ? std::stoi(args[2]) : 30;
-      const std::uint64_t seed =
-          args.size() > 3 ? std::stoull(args[3]) : 42ULL;
-      return cmd_verify(std::stoi(args[1]), users, seed, out);
-    }
-    if (args[0] == "gen-training") {
-      if (args.size() < 3) {
-        throw InvalidArgument("gen-training needs <device> <out.csv>");
-      }
-      const std::size_t levels =
-          args.size() > 3 ? std::stoul(args[3]) : std::size_t{8};
-      const double noise = args.size() > 4 ? std::stod(args[4]) : 0.0;
-      return cmd_gen_training(args[1], args[2], levels, noise, out);
-    }
-    if (args[0] == "calibrate") {
-      if (args.size() != 3) {
-        throw InvalidArgument("calibrate needs <samples.csv> <device-name>");
-      }
-      return cmd_calibrate(args[1], args[2], out);
-    }
-    if (args[0] == "analyze") {
-      if (args.size() < 2) throw InvalidArgument("analyze needs <trace-dir>");
-      std::optional<int> app_id;
-      std::optional<double> fraction;
-      bool as_json = false;
-      std::size_t num_threads = 0;  // default: one worker per hardware thread
-      for (std::size_t i = 2; i < args.size(); ++i) {
-        if (args[i] == "--json") {
-          as_json = true;
-        } else if (args[i] == "--threads") {
-          if (i + 1 >= args.size()) {
-            throw InvalidArgument("--threads needs a count");
-          }
-          const std::string& count = args[++i];
-          std::int64_t parsed = -1;
-          std::string_view view(count);
-          if (!strings::consume_int64(view, parsed) || !view.empty() ||
-              parsed < 0 || parsed > 4096) {
-            throw InvalidArgument("--threads needs a count in [0, 4096], got '" +
-                                  count + "'");
-          }
-          num_threads = static_cast<std::size_t>(parsed);
-        } else if (!app_id.has_value() &&
-                   args[i].find('.') == std::string::npos) {
-          app_id = std::stoi(args[i]);
-        } else {
-          fraction = std::stod(args[i]);
-        }
-      }
-      return cmd_analyze(args[1], app_id, fraction, as_json, num_threads, out);
-    }
-    throw InvalidArgument("unknown command '" + args[0] + "'");
+    return dispatch(args, out, err);
   } catch (const std::exception& failure) {
     err << "energydx: " << failure.what() << "\n";
-    return 1;
+    return exit_code_for(failure);
   }
 }
 

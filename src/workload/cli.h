@@ -3,25 +3,57 @@
 //
 //   energydx catalog
 //   energydx instrument <in.apk.txt> <out.apk.txt>
-//   energydx simulate <app-id> <out-dir> [users] [seed]
-//   energydx analyze <trace-dir> [app-id] [reported-fraction] [--json]
-//                    [--threads N]
-//   energydx gen-training <builtin-device> <out.csv> [levels] [noise]
+//   energydx simulate <app-id> <out-dir> [--users N] [--seed S]
+//   energydx analyze <trace-dir> [--app ID] [--reported-fraction F]
+//                    [--json] [--threads N] [--incremental]
+//                    [--report-every K]
+//   energydx verify <app-id> [--users N] [--seed S]
+//   energydx gen-training <builtin-device> <out.csv> [--levels N] [--noise F]
 //   energydx calibrate <samples.csv> <device-name>
+//
+// Every subcommand shares one flag parser (`--name value` or
+// `--name=value`).  The pre-redesign positional forms — `simulate
+// <app-id> <dir> [users] [seed]`, `verify <app-id> [users] [seed]`,
+// `gen-training <device> <out.csv> [levels] [noise]`, `analyze <dir>
+// [app-id] [reported-fraction]` — are still accepted with a one-line
+// deprecation warning on stderr; a named flag wins over its positional
+// twin when both appear.
+//
+// Exit codes — run() maps exceptions to error classes via exit_code_for():
+//   0  success
+//   1  any other error (I/O failures, internal errors)
+//   2  usage error / edx::InvalidArgument (unknown command or flag,
+//      missing operand, out-of-range value)
+//   3  edx::ParseError (malformed trace bundle, APK blob or CSV input)
+//   4  edx::AnalysisError (the traces cannot support the requested
+//      analysis, e.g. an empty fleet snapshot)
+//   5  `verify` ran cleanly but could not confirm the fix (a domain
+//      verdict, not an error)
 //
 // APKs are the packed textual artifacts of android/apk.h; trace
 // directories hold one `bundle_<user>.txt` per phone (trace/recorder.h
-// format).  `analyze` runs the 5-step pipeline over every bundle found.
-// Calibration samples are CSV rows
-// "cpu,display,wifi,cellular,gps,audio,sensor,power_mw".
+// format).  `analyze` runs the 5-step pipeline over every bundle found;
+// with `--incremental` it feeds them to core::FleetAnalyzer in filename
+// (arrival) order instead, emitting an intermediate report every
+// `--report-every K` arrivals and the final report last — byte-identical
+// to the batch report over the same bundles.  Calibration samples are CSV
+// rows "cpu,display,wifi,cellular,gps,audio,sensor,power_mw".
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace edx::workload::cli {
+
+/// Exit code for a failure `run()` caught: 2 for InvalidArgument, 3 for
+/// ParseError, 4 for AnalysisError, 1 for anything else (see the table
+/// above).  The single place main's exception-to-exit-code policy lives.
+int exit_code_for(const std::exception& failure);
 
 /// Prints the Table III catalog (id, name, root cause, size).
 int cmd_catalog(std::ostream& out);
@@ -35,15 +67,31 @@ int cmd_instrument(const std::string& in_path, const std::string& out_path,
 int cmd_simulate(int app_id, const std::string& out_dir, int users,
                  std::uint64_t seed, std::ostream& out);
 
-/// Analyzes every bundle_*.txt in `trace_dir`.  When `app_id` is given the
-/// report includes code lines and reduction for that catalog app.  When
-/// `reported_fraction` is absent it defaults to the share of traces with a
-/// detected manifestation point (a self-estimate).  `num_threads` shards
-/// the analysis across worker threads (0 = hardware concurrency,
-/// 1 = sequential); the report is identical either way.
-int cmd_analyze(const std::string& trace_dir, std::optional<int> app_id,
-                std::optional<double> reported_fraction, bool as_json,
-                std::size_t num_threads, std::ostream& out);
+/// How `cmd_analyze` should run; defaults mirror `energydx analyze <dir>`
+/// with no flags.
+struct AnalyzeOptions {
+  /// Catalog app for code lines + reduction in the report.
+  std::optional<int> app_id;
+  /// Developer-reported impacted-user fraction.  Absent = self-estimate
+  /// (the share of traces with a detected manifestation point).
+  std::optional<double> reported_fraction;
+  bool as_json{false};
+  /// Worker threads (0 = hardware concurrency, 1 = sequential); the
+  /// report is identical either way.
+  std::size_t num_threads{0};
+  /// Feed bundles one at a time to the incremental FleetAnalyzer instead
+  /// of one batch ManifestationAnalyzer::run.  The final report is
+  /// byte-identical to the batch report.
+  bool incremental{false};
+  /// With `incremental`: also emit an intermediate fleet report after
+  /// every K arrivals (0 = final report only).
+  std::size_t report_every{0};
+};
+
+/// Analyzes every bundle_*.txt in `trace_dir` (sorted filename order ==
+/// arrival order).
+int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
+                std::ostream& out);
 
 /// Writes a component-sweep calibration workload for one built-in device
 /// ("Nexus 6", "Moto G", ...) as CSV, with optional measurement noise.
@@ -57,7 +105,8 @@ int cmd_calibrate(const std::string& csv_path, const std::string& device_name,
 
 /// Post-fix validation for a catalog app: re-runs the same population on
 /// the buggy and fixed builds and reports whether the manifestation is
-/// gone and the power dropped (energydx verify <app-id> [users] [seed]).
+/// gone and the power dropped.  Returns 0 when the fix is confirmed, 5
+/// when it is not.
 int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out);
 
 /// Dispatch from argv (excluding the program name).  Returns the exit code.

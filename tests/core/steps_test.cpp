@@ -303,7 +303,8 @@ TEST(PipelineTest, EndToEndOnSyntheticBundles) {
 
 TEST(PipelineTest, EmptyInputThrows) {
   const ManifestationAnalyzer analyzer;
-  EXPECT_THROW(analyzer.run({}), AnalysisError);
+  EXPECT_THROW(analyzer.run(std::vector<trace::TraceBundle>{}),
+               AnalysisError);
 }
 
 }  // namespace

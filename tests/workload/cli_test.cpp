@@ -65,9 +65,11 @@ TEST(CliTest, SimulateThenAnalyzeEndToEnd) {
             20);
 
   std::ostringstream report;
-  ASSERT_EQ(cmd_analyze(dir, /*app_id=*/18, /*reported_fraction=*/0.2,
-                        /*as_json=*/false, /*num_threads=*/2, report),
-            0);
+  AnalyzeOptions options;
+  options.app_id = 18;
+  options.reported_fraction = 0.2;
+  options.num_threads = 2;
+  ASSERT_EQ(cmd_analyze(dir, options, report), 0);
   const std::string text = report.str();
   EXPECT_NE(text.find("Tinfoil"), std::string::npos);
   EXPECT_NE(text.find("Search space: 4226 ->"), std::string::npos);
@@ -80,9 +82,10 @@ TEST(CliTest, AnalyzeJsonAndSelfEstimate) {
   ASSERT_EQ(cmd_simulate(5, dir, 20, 42, log), 0);
 
   std::ostringstream report;
-  ASSERT_EQ(cmd_analyze(dir, std::nullopt, std::nullopt, /*as_json=*/true,
-                        /*num_threads=*/1, report),
-            0);
+  AnalyzeOptions options;
+  options.as_json = true;
+  options.num_threads = 1;
+  ASSERT_EQ(cmd_analyze(dir, options, report), 0);
   const std::string json = report.str();
   EXPECT_NE(json.find("\"ranked_events\""), std::string::npos);
   EXPECT_NE(json.find("\"total_traces\": 20"), std::string::npos);
@@ -97,11 +100,110 @@ TEST(CliTest, RunDispatchesAndReportsErrors) {
   EXPECT_EQ(run({}, out, err), 2);
   EXPECT_NE(err.str().find("usage"), std::string::npos);
 
-  EXPECT_EQ(run({"frobnicate"}, out, err), 1);
+  EXPECT_EQ(run({"frobnicate"}, out, err), 2);
   EXPECT_NE(err.str().find("unknown command"), std::string::npos);
 
   EXPECT_EQ(run({"analyze", "/nonexistent-dir-xyz"}, out, err), 1);
   EXPECT_EQ(run({"catalog"}, out, err), 0);
+}
+
+TEST(CliTest, ExitCodesClassifyErrorTypes) {
+  EXPECT_EQ(exit_code_for(edx::InvalidArgument("bad flag")), 2);
+  EXPECT_EQ(exit_code_for(edx::ParseError("bad bundle")), 3);
+  EXPECT_EQ(exit_code_for(edx::AnalysisError("no traces")), 4);
+  EXPECT_EQ(exit_code_for(edx::Error("generic")), 1);
+  EXPECT_EQ(exit_code_for(std::runtime_error("other")), 1);
+}
+
+TEST(CliTest, UsageErrorsExitTwo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"analyze"}, out, err), 2);                       // no operand
+  EXPECT_EQ(run({"analyze", "/tmp", "--frobnicate"}, out, err), 2);
+  EXPECT_EQ(run({"simulate", "7", "/tmp/x", "--users", "zero"}, out, err), 2);
+  EXPECT_EQ(run({"analyze", "/tmp", "--json=yes"}, out, err), 2);
+}
+
+TEST(CliTest, MalformedBundleExitsThree) {
+  const std::string dir = temp_dir("badbundle");
+  {
+    std::ofstream bad(dir + "/bundle_0.txt");
+    bad << "this is not a trace bundle\n";
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"analyze", dir}, out, err), 3);
+}
+
+TEST(CliTest, FlagAndPositionalFormsProduceIdenticalReports) {
+  const std::string dir = temp_dir("parity");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/12, /*seed=*/7, log), 0);
+
+  std::ostringstream flag_out, flag_err;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18", "--reported-fraction", "0.2"},
+                flag_out, flag_err),
+            0);
+  EXPECT_EQ(flag_err.str().find("deprecated"), std::string::npos);
+
+  std::ostringstream pos_out, pos_err;
+  ASSERT_EQ(run({"analyze", dir, "18", "0.2"}, pos_out, pos_err), 0);
+  EXPECT_NE(pos_err.str().find("deprecated"), std::string::npos);
+
+  EXPECT_EQ(flag_out.str(), pos_out.str());
+  EXPECT_NE(flag_out.str().find("Tinfoil"), std::string::npos);
+}
+
+TEST(CliTest, SimulatePositionalUsersSeedStillAccepted) {
+  const std::string flag_dir = temp_dir("sim_flags");
+  const std::string pos_dir = temp_dir("sim_positional");
+  std::ostringstream flag_out, flag_err, pos_out, pos_err;
+  ASSERT_EQ(run({"simulate", "5", flag_dir, "--users", "8", "--seed", "9"},
+                flag_out, flag_err),
+            0);
+  ASSERT_EQ(run({"simulate", "5", pos_dir, "8", "9"}, pos_out, pos_err), 0);
+  EXPECT_NE(pos_err.str().find("deprecated"), std::string::npos);
+
+  // Same population either way: identical bundle files.
+  for (const auto& entry : fs::directory_iterator(flag_dir)) {
+    const std::string name = entry.path().filename().string();
+    std::ifstream a(entry.path());
+    std::ifstream b(pos_dir + "/" + name);
+    ASSERT_TRUE(b.good()) << name;
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << name;
+  }
+}
+
+TEST(CliTest, IncrementalAnalyzeMatchesBatchAndEmitsIntermediates) {
+  const std::string dir = temp_dir("incremental");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/10, /*seed=*/42, log), 0);
+
+  std::ostringstream batch_out, err;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18"}, batch_out, err), 0);
+
+  std::ostringstream inc_out;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18", "--incremental"}, inc_out,
+                err),
+            0);
+  EXPECT_EQ(inc_out.str(), batch_out.str());
+
+  std::ostringstream periodic_out;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18", "--incremental",
+                 "--report-every", "4"},
+                periodic_out, err),
+            0);
+  const std::string text = periodic_out.str();
+  EXPECT_NE(text.find("== fleet report after 4 of 10 bundles =="),
+            std::string::npos);
+  EXPECT_NE(text.find("== fleet report after 8 of 10 bundles =="),
+            std::string::npos);
+  // The final (headerless) report is still byte-identical to batch.
+  EXPECT_NE(text.find(batch_out.str()), std::string::npos);
+  EXPECT_TRUE(text.ends_with(batch_out.str()));
 }
 
 TEST(CliTest, GenTrainingThenCalibrateRoundTrip) {
@@ -143,9 +245,8 @@ TEST(CliTest, VerifyConfirmsCatalogFixes) {
 TEST(CliTest, AnalyzeRejectsEmptyDirectory) {
   const std::string dir = temp_dir("empty");
   std::ostringstream report;
-  EXPECT_THROW(
-      cmd_analyze(dir, std::nullopt, std::nullopt, false, 1, report),
-      edx::InvalidArgument);
+  EXPECT_THROW(cmd_analyze(dir, AnalyzeOptions{}, report),
+               edx::InvalidArgument);
 }
 
 }  // namespace
