@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark) for the durable store: ingest
+// throughput (codec + WAL append) and restart-to-first-report latency,
+// cold (WAL replay + full Step 1) vs warm (snapshot's stored Step-1 state
+// via FleetAnalyzer::add_analyzed).  Not a paper figure — harness health.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/fleet_analyzer.h"
+#include "store/fleet_store.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using namespace edx;
+namespace fs = std::filesystem;
+
+std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events,
+                                                  std::uint64_t seed = 7) {
+  std::vector<trace::TraceBundle> bundles;
+  Rng rng(seed);
+  for (int user = 0; user < traces; ++user) {
+    trace::TraceBundle bundle;
+    bundle.user = user;
+    bundle.device_name = "Nexus 6";
+    std::vector<power::UtilizationSample> samples;
+    for (int i = 0; i < events; ++i) {
+      const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+      bundle.events.add_instance("E" + std::to_string(i % 12),
+                                 {t + 10, t + 40});
+      power::UtilizationSample sample;
+      sample.timestamp = t + 500;
+      sample.estimated_app_power_mw =
+          user == 0 && i > events / 2 ? 500.0 : 100.0 + rng.uniform(0, 5.0);
+      samples.push_back(sample);
+      sample.timestamp = t + 1000;
+      samples.push_back(sample);
+    }
+    bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+std::string bench_dir(const std::string& leaf) {
+  return (fs::temp_directory_path() / ("edx_bench_store_" + leaf)).string();
+}
+
+/// Appending a fleet upload by upload: codec encode + CRC + WAL write per
+/// bundle.  items/sec = bundles/sec.
+void BM_StoreIngest(benchmark::State& state) {
+  const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
+                                         /*events=*/100);
+  const std::string dir = bench_dir("ingest");
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    state.ResumeTiming();
+    store::FleetStore fleet_store = store::FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) {
+      fleet_store.append(bundle);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreIngest)->Arg(50)->Arg(200);
+
+/// Restart-to-first-report: open the store, load the analyzer, render the
+/// first snapshot.  range(1) == 0: WAL only — replay re-decodes every
+/// record and Step 1 re-runs the full power join.  range(1) == 1: the
+/// fleet was compacted — snapshot_step1() feeds the analyzer the stored
+/// Step-1 results and the power join is skipped entirely.
+void BM_StoreRecover(benchmark::State& state) {
+  const bool with_snapshot = state.range(1) != 0;
+  const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
+                                         /*events=*/100);
+  const std::string dir =
+      bench_dir("recover" + std::to_string(state.range(0)) +
+                (with_snapshot ? "s" : "w"));
+  fs::remove_all(dir);
+  {
+    store::FleetStore fleet_store = store::FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) {
+      fleet_store.append(bundle);
+    }
+    if (with_snapshot) fleet_store.compact();
+  }
+
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  for (auto _ : state) {
+    const store::FleetStore recovered = store::FleetStore::open(dir);
+    core::FleetAnalyzer fleet(config);
+    std::vector<core::AnalyzedTrace> warm = recovered.snapshot_step1();
+    for (core::AnalyzedTrace& analyzed : warm) {
+      fleet.add_analyzed(std::move(analyzed));
+    }
+    for (const trace::TraceBundle& bundle : recovered.tail_bundles()) {
+      fleet.add_bundle(bundle);
+    }
+    benchmark::DoNotOptimize(fleet.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreRecover)
+    ->ArgsProduct({{50, 200}, {0, 1}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace edx::common {
+
+namespace {
+
+/// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // slice[0] is the classic byte-at-a-time table; slice[k] advances a byte
+  // through k additional zero bytes, which is what lets the hot loop fold
+  // eight input bytes per iteration.
+  std::array<std::array<std::uint32_t, 256>, 8> slice;
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+      }
+      slice[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t k = 1; k < 8; ++k) {
+        slice[k][i] = (slice[k - 1][i] >> 8) ^ slice[0][slice[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+inline std::uint32_t load_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size) {
+  const Tables& t = tables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 8) {
+    const std::uint32_t lo = load_u32le(p) ^ crc;
+    const std::uint32_t hi = load_u32le(p + 4);
+    crc = t.slice[7][lo & 0xFFu] ^ t.slice[6][(lo >> 8) & 0xFFu] ^
+          t.slice[5][(lo >> 16) & 0xFFu] ^ t.slice[4][lo >> 24] ^
+          t.slice[3][hi & 0xFFu] ^ t.slice[2][(hi >> 8) & 0xFFu] ^
+          t.slice[1][(hi >> 16) & 0xFFu] ^ t.slice[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ t.slice[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace edx::common

@@ -43,6 +43,10 @@ void FleetAnalyzer::add_bundle(const trace::TraceBundle& bundle) {
   apply_arrival(estimate_event_power(bundle));  // Step 1, this bundle only
 }
 
+void FleetAnalyzer::add_analyzed(AnalyzedTrace analyzed) {
+  apply_arrival(std::move(analyzed));
+}
+
 void FleetAnalyzer::add_bundles(std::span<const trace::TraceBundle> bundles) {
   // Step 1 is independent per bundle: join the whole batch on the pool,
   // then commit in `bundles` order so the fleet state is exactly the

@@ -63,6 +63,15 @@ class FleetAnalyzer {
   /// state equals calling add_bundle() for each in order.
   void add_bundles(std::span<const trace::TraceBundle> bundles);
 
+  /// Ingests an arrival whose Step 1 already ran elsewhere — e.g. the
+  /// exact per-instance powers recovered from a durable-store snapshot
+  /// (store/fleet_store.h).  `analyzed` must equal
+  /// estimate_event_power(bundle) for the arriving bundle, with every
+  /// event id interned in the global symbol table; the fleet state then
+  /// matches add_bundle(bundle) bit for bit, at none of the power-join
+  /// cost.
+  void add_analyzed(AnalyzedTrace analyzed);
+
   /// Re-runs Steps 2-5 on the dirty slice and returns the full result —
   /// byte-identical to a batch ManifestationAnalyzer::run over the
   /// current fleet (see the contract above).  The reference stays valid

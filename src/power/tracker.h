@@ -27,6 +27,9 @@ struct UtilizationSample {
   TimestampMs timestamp{0};  ///< end of the sampling window
   UtilizationVector utilization;
   PowerMw estimated_app_power_mw{0.0};
+
+  friend bool operator==(const UtilizationSample&,
+                         const UtilizationSample&) = default;
 };
 
 /// Configuration of a tracking run.

@@ -1,0 +1,243 @@
+#include "store/codec.h"
+
+#include <bit>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "power/hardware.h"
+
+namespace edx::store {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw ParseError("store::decode_bundle: " + why);
+}
+
+inline std::uint64_t zigzag_map(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t zigzag_unmap(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+}  // namespace
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void put_zigzag(std::string& out, std::int64_t value) {
+  put_varint(out, zigzag_map(value));
+}
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+void put_f64(std::string& out, double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+void put_string(std::string& out, std::string_view value) {
+  put_varint(out, value.size());
+  out.append(value);
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (position_ >= data_.size()) fail("truncated varint");
+    const auto byte = static_cast<unsigned char>(data_[position_++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+  }
+  fail("varint longer than 64 bits");
+}
+
+std::int64_t Reader::zigzag() { return zigzag_unmap(varint()); }
+
+std::uint32_t Reader::u32le() {
+  if (remaining() < 4) fail("truncated u32");
+  std::uint32_t value = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data_[position_++]))
+             << shift;
+  }
+  return value;
+}
+
+double Reader::f64() {
+  if (remaining() < 8) fail("truncated f64");
+  std::uint64_t bits = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data_[position_++]))
+            << shift;
+  }
+  return std::bit_cast<double>(bits);
+}
+
+std::string_view Reader::bytes(std::size_t count) {
+  if (remaining() < count) fail("truncated byte run");
+  const std::string_view view = data_.substr(position_, count);
+  position_ += count;
+  return view;
+}
+
+std::string_view Reader::string() {
+  const std::uint64_t length = varint();
+  if (length > remaining()) fail("string length past end of buffer");
+  return bytes(static_cast<std::size_t>(length));
+}
+
+std::string encode_bundle(const trace::TraceBundle& bundle) {
+  std::string body;
+  put_zigzag(body, bundle.user);
+  put_string(body, bundle.device_name);
+
+  // Event section: per-record string table of distinct names in first-use
+  // order, then (name_index, is_entry, timestamp-delta) triples.
+  const std::vector<trace::EventRecord>& records = bundle.events.records();
+  std::unordered_map<EventId, std::uint64_t> local_index;
+  std::vector<EventId> distinct;
+  for (const trace::EventRecord& record : records) {
+    if (local_index.emplace(record.event, distinct.size()).second) {
+      distinct.push_back(record.event);
+    }
+  }
+  put_varint(body, distinct.size());
+  for (const EventId id : distinct) put_string(body, event_name(id));
+  put_varint(body, records.size());
+  TimestampMs previous = 0;
+  for (const trace::EventRecord& record : records) {
+    put_varint(body, local_index.at(record.event) * 2 +
+                         (record.is_entry ? 1 : 0));
+    put_zigzag(body, record.timestamp - previous);
+    previous = record.timestamp;
+  }
+
+  // Utilization section: the trace keeps samples sorted, so deltas are
+  // non-negative and small for the tracker's fixed cadence.
+  put_string(body, bundle.utilization.device_name());
+  const auto& samples = bundle.utilization.samples();
+  put_varint(body, samples.size());
+  previous = 0;
+  for (const power::UtilizationSample& sample : samples) {
+    put_zigzag(body, sample.timestamp - previous);
+    previous = sample.timestamp;
+    for (const power::Component component : power::kAllComponents) {
+      put_f64(body, sample.utilization.get(component));
+    }
+    put_f64(body, sample.estimated_app_power_mw);
+  }
+
+  std::string record;
+  record.reserve(body.size() + 16);
+  record.append(kBundleMagic);
+  record.push_back(static_cast<char>(kCodecVersion));
+  put_varint(record, body.size());
+  record.append(body);
+  put_u32le(record, common::crc32c(body));
+  return record;
+}
+
+trace::TraceBundle decode_bundle(std::string_view blob) {
+  Reader frame(blob);
+  if (frame.remaining() < kBundleMagic.size() + 1 ||
+      frame.bytes(kBundleMagic.size()) != kBundleMagic) {
+    fail("bad magic (not an EDXB record)");
+  }
+  const auto version = static_cast<std::uint8_t>(frame.bytes(1)[0]);
+  if (version == 0 || version > kCodecVersion) {
+    fail("unsupported codec version " + std::to_string(version));
+  }
+  const std::uint64_t body_len = frame.varint();
+  if (frame.remaining() != body_len + 4) {
+    fail("record length mismatch (truncated or trailing bytes)");
+  }
+  const std::string_view body_bytes =
+      frame.bytes(static_cast<std::size_t>(body_len));
+  if (frame.u32le() != common::crc32c(body_bytes)) {
+    fail("CRC32C mismatch");
+  }
+
+  Reader body(body_bytes);
+  trace::TraceBundle bundle;
+  const std::int64_t user = body.zigzag();
+  if (user < std::numeric_limits<UserId>::min() ||
+      user > std::numeric_limits<UserId>::max()) {
+    fail("user id out of range");
+  }
+  bundle.user = static_cast<UserId>(user);
+  bundle.device_name = std::string(body.string());
+
+  const std::uint64_t name_count = body.varint();
+  if (name_count > body.remaining()) fail("name count past end of buffer");
+  std::vector<EventId> names;
+  names.reserve(static_cast<std::size_t>(name_count));
+  for (std::uint64_t i = 0; i < name_count; ++i) {
+    names.push_back(intern_event(body.string()));
+  }
+  const std::uint64_t record_count = body.varint();
+  if (record_count > body.remaining()) {
+    fail("record count past end of buffer");
+  }
+  std::vector<trace::EventRecord> records;
+  records.reserve(static_cast<std::size_t>(record_count));
+  TimestampMs previous = 0;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    const std::uint64_t key = body.varint();
+    const std::uint64_t index = key >> 1;
+    if (index >= names.size()) fail("event name index out of range");
+    trace::EventRecord record;
+    record.event = names[static_cast<std::size_t>(index)];
+    record.is_entry = (key & 1) != 0;
+    record.timestamp = previous + body.zigzag();
+    previous = record.timestamp;
+    records.push_back(record);
+  }
+  bundle.events = trace::EventTrace(std::move(records));
+
+  std::string util_device(body.string());
+  const std::uint64_t sample_count = body.varint();
+  // Each sample is at least 1 (delta) + 64 (doubles) bytes.
+  if (sample_count > body.remaining() / 65 + 1) {
+    fail("sample count past end of buffer");
+  }
+  std::vector<power::UtilizationSample> samples;
+  samples.reserve(static_cast<std::size_t>(sample_count));
+  previous = 0;
+  for (std::uint64_t i = 0; i < sample_count; ++i) {
+    power::UtilizationSample sample;
+    sample.timestamp = previous + body.zigzag();
+    previous = sample.timestamp;
+    for (const power::Component component : power::kAllComponents) {
+      sample.utilization.set(component, body.f64());
+    }
+    sample.estimated_app_power_mw = body.f64();
+    samples.push_back(sample);
+  }
+  if (!body.done()) fail("trailing bytes after utilization section");
+  bundle.utilization =
+      trace::UtilizationTrace(std::move(util_device), std::move(samples));
+  return bundle;
+}
+
+}  // namespace edx::store

@@ -1,0 +1,98 @@
+// Binary trace-bundle codec — the record format of the durable store.
+//
+// The text format of trace/recorder.h is what phones conceptually upload;
+// the server-side store keeps bundles in a versioned, length-prefixed
+// binary form instead: varint-packed, delta-timestamped, with a per-record
+// CRC32C so a torn or bit-flipped record is detected instead of parsed.
+// Round-tripping is exact — decode(encode(b)) reproduces every field bit
+// for bit (doubles travel as raw IEEE-754 bits, never through decimal
+// text), so the decoded bundle's to_text() equals the original's.
+//
+// Record layout (all multi-byte integers little-endian; `varint` is
+// LEB128, `zigzag` is LEB128 of the zigzag-mapped signed value):
+//
+//   "EDXB"  magic                                   4 bytes
+//   version                                         1 byte  (currently 1)
+//   body_len                                        varint
+//   body                                            body_len bytes
+//   crc32c(body)                                    4 bytes
+//
+//   body := zigzag user
+//           string device_name            (varint len + bytes)
+//           varint name_count
+//           name_count x string           (event names, first-use order)
+//           varint record_count
+//           record_count x { varint name_index*2 + is_entry,
+//                            zigzag timestamp_delta }
+//           string utilization_device_name
+//           varint sample_count
+//           sample_count x { zigzag timestamp_delta,
+//                            8 x f64 (7 component utilizations + power) }
+//
+// Event names are interned per record: each distinct name is written once
+// and records reference its local index, so the dominant cost of the text
+// format (repeating 60-byte callback names per line) disappears.
+// Timestamps are deltas against the previous record/sample, which keeps
+// the common monotone traces in 1-2 varint bytes each.  EventIds are
+// process-local and never serialized; decode re-interns names through the
+// global EventSymbolTable.
+//
+// decode_bundle() never crashes on hostile input: every read is
+// bounds-checked and every failure — bad magic, unknown version, short
+// buffer, CRC mismatch, malformed varint — throws edx::ParseError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "trace/recorder.h"
+
+namespace edx::store {
+
+inline constexpr std::string_view kBundleMagic = "EDXB";
+inline constexpr std::uint8_t kCodecVersion = 1;
+
+// --- primitive writers (appended to `out`) ----------------------------
+
+void put_varint(std::string& out, std::uint64_t value);
+void put_zigzag(std::string& out, std::int64_t value);
+void put_u32le(std::string& out, std::uint32_t value);
+void put_f64(std::string& out, double value);  ///< raw IEEE-754 bits, LE
+void put_string(std::string& out, std::string_view value);
+
+/// Bounds-checked forward cursor over an encoded buffer.  Every reader
+/// throws ParseError instead of reading past the end; string_views point
+/// into the underlying buffer and share its lifetime.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint64_t varint();
+  std::int64_t zigzag();
+  std::uint32_t u32le();
+  double f64();
+  std::string_view bytes(std::size_t count);
+  std::string_view string();
+
+  [[nodiscard]] std::size_t position() const { return position_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - position_;
+  }
+  [[nodiscard]] bool done() const { return position_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t position_{0};
+};
+
+// --- the bundle record ------------------------------------------------
+
+/// Serializes `bundle` into one framed, CRC-protected record.
+[[nodiscard]] std::string encode_bundle(const trace::TraceBundle& bundle);
+
+/// Parses one record produced by encode_bundle().  `blob` must be exactly
+/// the record (no trailing bytes).  Throws ParseError on any corruption.
+[[nodiscard]] trace::TraceBundle decode_bundle(std::string_view blob);
+
+}  // namespace edx::store

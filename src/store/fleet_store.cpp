@@ -1,0 +1,479 @@
+#include "store/fleet_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/error.h"
+#include "core/event_power.h"
+#include "store/codec.h"
+
+namespace edx::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kWalMagic = "EDXWAL01";
+constexpr std::string_view kSnapshotMagic = "EDXSNAP1";
+constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint8_t kRecordKindBundle = 1;
+
+std::string wal_path(const std::string& directory) {
+  return directory + "/wal.edx";
+}
+
+std::string snapshot_path(const std::string& directory, std::uint64_t seq) {
+  return directory + "/snapshot-" + std::to_string(seq) + ".edx";
+}
+
+/// snapshot-<seq>.edx files in `directory`, newest seq first.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& directory) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snapshot-") || !name.ends_with(".edx")) continue;
+    const std::string_view digits(name.data() + 9, name.size() - 13);
+    std::uint64_t seq = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.begin(), digits.end(), seq);
+    if (ec != std::errc() || ptr != digits.end()) continue;
+    found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("FleetStore: cannot read " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+void write_all(int fd, std::string_view bytes, const std::string& what) {
+  while (!bytes.empty()) {
+    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
+    if (written < 0) throw Error("FleetStore: write failed for " + what);
+    bytes.remove_prefix(static_cast<std::size_t>(written));
+  }
+}
+
+/// Parses "varint frame_len" by hand so a truncated length is a clean
+/// end-of-scan instead of an exception; returns false when the buffer ends
+/// mid-varint.
+bool scan_varint(std::string_view data, std::size_t& offset,
+                 std::uint64_t& value) {
+  value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (offset >= data.size()) return false;
+    const auto byte = static_cast<unsigned char>(data[offset++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // > 64 bits: treat as corruption, not a valid length
+}
+
+}  // namespace
+
+FleetStore::FleetStore(FleetStore&& other) noexcept
+    : directory_(std::move(other.directory_)),
+      recovery_(std::move(other.recovery_)),
+      last_seq_(other.last_seq_),
+      fleet_(std::move(other.fleet_)),
+      slot_by_user_(std::move(other.slot_by_user_)),
+      tail_(std::move(other.tail_)),
+      snapshot_bundles_(std::move(other.snapshot_bundles_)),
+      snapshot_names_(std::move(other.snapshot_names_)),
+      snapshot_powers_(std::move(other.snapshot_powers_)),
+      wal_fd_(std::exchange(other.wal_fd_, -1)) {}
+
+FleetStore& FleetStore::operator=(FleetStore&& other) noexcept {
+  if (this == &other) return *this;
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+  directory_ = std::move(other.directory_);
+  recovery_ = std::move(other.recovery_);
+  last_seq_ = other.last_seq_;
+  fleet_ = std::move(other.fleet_);
+  slot_by_user_ = std::move(other.slot_by_user_);
+  tail_ = std::move(other.tail_);
+  snapshot_bundles_ = std::move(other.snapshot_bundles_);
+  snapshot_names_ = std::move(other.snapshot_names_);
+  snapshot_powers_ = std::move(other.snapshot_powers_);
+  wal_fd_ = std::exchange(other.wal_fd_, -1);
+  return *this;
+}
+
+FleetStore::~FleetStore() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+FleetStore FleetStore::open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec || !fs::is_directory(directory)) {
+    throw Error("store: cannot open directory " + directory +
+                (ec ? ": " + ec.message() : ""));
+  }
+  FleetStore self;
+  self.directory_ = directory;
+
+  // A crash between temp-write and rename in compact() can leave a stray
+  // .tmp behind; it was never published, so it is garbage.
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("snapshot-") && name.ends_with(".edx.tmp")) {
+      fs::remove(entry.path());
+    }
+  }
+
+  // Newest valid snapshot wins; corrupt ones are skipped, falling back to
+  // older snapshots and finally to an empty base state.
+  for (const auto& [seq, path] : list_snapshots(directory)) {
+    ++self.recovery_.snapshots_found;
+    if (self.recovery_.snapshot_seq == 0 && self.load_snapshot(path)) {
+      self.recovery_.snapshot_seq = seq;
+    } else if (self.recovery_.snapshot_seq == 0) {
+      ++self.recovery_.snapshots_skipped;
+    }
+  }
+  self.recovery_.snapshot_bundle_count = self.snapshot_bundles_.size();
+  self.fleet_ = self.snapshot_bundles_;
+  for (std::size_t slot = 0; slot < self.fleet_.size(); ++slot) {
+    self.slot_by_user_.emplace(self.fleet_[slot].fleet_key(), slot);
+  }
+  self.last_seq_ = self.recovery_.snapshot_seq;
+
+  const std::string wal = wal_path(directory);
+  if (fs::exists(wal)) {
+    self.replay_wal(read_file_bytes(wal));
+    if (self.recovery_.wal_tail_torn) {
+      // Repair on open, LevelDB-style: cut the log back to the salvaged
+      // prefix so new appends land after good records, never after junk.
+      fs::resize_file(wal, self.recovery_.wal_bytes_salvaged);
+      if (self.recovery_.wal_bytes_salvaged < kWalMagic.size()) {
+        // Not even the header survived (empty or foreign file): rewrite
+        // it so subsequent appends land in a log recovery will read.
+        const int fd = ::open(wal.c_str(), O_WRONLY | O_TRUNC);
+        if (fd < 0) throw Error("FleetStore: cannot repair " + wal);
+        write_all(fd, kWalMagic, wal);
+        ::close(fd);
+      }
+    }
+  } else {
+    const int fd = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) throw Error("FleetStore: cannot create " + wal);
+    write_all(fd, kWalMagic, wal);
+    ::close(fd);
+    self.recovery_.wal_bytes_salvaged = kWalMagic.size();
+  }
+  self.open_wal_for_append();
+  return self;
+}
+
+void FleetStore::replay_wal(const std::string& wal_bytes) {
+  const auto torn = [this, &wal_bytes](std::size_t good_prefix,
+                                       std::string reason) {
+    recovery_.wal_tail_torn = true;
+    recovery_.wal_tail_reason = std::move(reason);
+    recovery_.wal_bytes_salvaged = good_prefix;
+    recovery_.wal_bytes_dropped = wal_bytes.size() - good_prefix;
+  };
+
+  if (wal_bytes.size() < kWalMagic.size() ||
+      std::string_view(wal_bytes).substr(0, kWalMagic.size()) != kWalMagic) {
+    torn(0, "bad WAL header");
+    return;
+  }
+  std::size_t offset = kWalMagic.size();
+  recovery_.wal_bytes_salvaged = offset;
+  const std::string_view data(wal_bytes);
+  while (offset < data.size()) {
+    std::size_t cursor = offset;
+    std::uint64_t frame_len = 0;
+    if (!scan_varint(data, cursor, frame_len)) {
+      torn(offset, "truncated frame length");
+      return;
+    }
+    if (frame_len > data.size() - cursor ||
+        data.size() - cursor - frame_len < 4) {
+      torn(offset, "truncated frame");
+      return;
+    }
+    const std::string_view frame =
+        data.substr(cursor, static_cast<std::size_t>(frame_len));
+    cursor += static_cast<std::size_t>(frame_len);
+    std::uint32_t stored_crc = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      stored_crc |= static_cast<std::uint32_t>(
+                        static_cast<unsigned char>(data[cursor++]))
+                    << shift;
+    }
+    if (stored_crc != common::crc32c(frame)) {
+      torn(offset, "frame CRC32C mismatch");
+      return;
+    }
+    std::uint64_t seq = 0;
+    trace::TraceBundle bundle;
+    try {
+      Reader reader(frame);
+      const auto kind = static_cast<std::uint8_t>(reader.bytes(1)[0]);
+      if (kind != kRecordKindBundle) {
+        throw ParseError("unknown record kind " + std::to_string(kind));
+      }
+      seq = reader.varint();
+      bundle = decode_bundle(reader.bytes(reader.remaining()));
+    } catch (const ParseError& failure) {
+      // The frame passed its CRC but does not parse — a writer bug or
+      // deliberate tampering; either way, stop before it like any other
+      // bad tail.
+      torn(offset, std::string("bad frame: ") + failure.what());
+      return;
+    }
+    if (seq <= recovery_.snapshot_seq) {
+      ++recovery_.wal_records_obsolete;
+    } else {
+      tail_.push_back(bundle);
+      apply(std::move(bundle));
+      ++recovery_.wal_records_replayed;
+    }
+    last_seq_ = std::max(last_seq_, seq);
+    offset = cursor;
+    recovery_.wal_bytes_salvaged = offset;
+  }
+}
+
+void FleetStore::apply(trace::TraceBundle bundle) {
+  const auto [it, inserted] =
+      slot_by_user_.emplace(bundle.fleet_key(), fleet_.size());
+  if (inserted) {
+    fleet_.push_back(std::move(bundle));
+  } else {
+    fleet_[it->second] = std::move(bundle);
+  }
+}
+
+void FleetStore::open_wal_for_append() {
+  const std::string wal = wal_path(directory_);
+  wal_fd_ = ::open(wal.c_str(), O_WRONLY | O_APPEND);
+  if (wal_fd_ < 0) throw Error("FleetStore: cannot open " + wal);
+}
+
+std::uint64_t FleetStore::append(const trace::TraceBundle& bundle) {
+  const std::uint64_t seq = last_seq_ + 1;
+  std::string frame;
+  frame.push_back(static_cast<char>(kRecordKindBundle));
+  put_varint(frame, seq);
+  frame += encode_bundle(bundle);
+
+  std::string record;
+  record.reserve(frame.size() + 8);
+  put_varint(record, frame.size());
+  record += frame;
+  put_u32le(record, common::crc32c(frame));
+  // write(2) goes straight to the kernel: once append() returns, the
+  // record survives a process kill.  fsync (machine-crash durability) is
+  // paid once per compact(), not per upload.
+  write_all(wal_fd_, record, wal_path(directory_));
+
+  last_seq_ = seq;
+  tail_.push_back(bundle);
+  apply(bundle);
+  return seq;
+}
+
+void FleetStore::compact() {
+  if (last_seq_ == recovery_.snapshot_seq) return;  // nothing new to fold
+
+  // Step 1 over the fleet gives the exact per-instance powers the
+  // analyzer would compute; serialized per event in traversal order they
+  // are EventRanking's state, and snapshot_step1() inverts them.
+  const std::vector<core::AnalyzedTrace> analyzed =
+      core::estimate_event_power(std::span<const trace::TraceBundle>(fleet_));
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> powers;
+  std::unordered_map<EventId, std::size_t> local_index;
+  for (const core::AnalyzedTrace& trace : analyzed) {
+    for (const core::PoweredEvent& event : trace.events) {
+      const auto [it, inserted] =
+          local_index.emplace(event.id, names.size());
+      if (inserted) {
+        names.push_back(event_name(event.id));
+        powers.emplace_back();
+      }
+      powers[it->second].push_back(event.raw_power);
+    }
+  }
+
+  std::string payload;
+  put_varint(payload, last_seq_);
+  put_varint(payload, fleet_.size());
+  for (const trace::TraceBundle& bundle : fleet_) {
+    put_string(payload, encode_bundle(bundle));
+  }
+  put_varint(payload, names.size());
+  for (const std::string& name : names) put_string(payload, name);
+  put_varint(payload, powers.size());
+  for (const std::vector<double>& list : powers) {
+    put_varint(payload, list.size());
+    for (const double power : list) put_f64(payload, power);
+  }
+
+  std::string file;
+  file.reserve(payload.size() + 24);
+  file.append(kSnapshotMagic);
+  put_u32le(file, kSnapshotVersion);
+  put_varint(file, payload.size());
+  file += payload;
+  put_u32le(file, common::crc32c(payload));
+
+  // Crash-safe publication: temp file, fsync, atomic rename.  A crash at
+  // any point leaves either the old snapshot set or the new one — never a
+  // half-written snapshot that recovery would have to trust.
+  const std::string final_path = snapshot_path(directory_, last_seq_);
+  const std::string temp_path = final_path + ".tmp";
+  {
+    const int fd =
+        ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw Error("FleetStore: cannot create " + temp_path);
+    write_all(fd, file, temp_path);
+    ::fsync(fd);
+    ::close(fd);
+  }
+  fs::rename(temp_path, final_path);
+
+  // The snapshot now subsumes every WAL record: reset the log.
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+  const std::string wal = wal_path(directory_);
+  const int fd = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw Error("FleetStore: cannot reset " + wal);
+  write_all(fd, kWalMagic, wal);
+  ::fsync(fd);
+  ::close(fd);
+  open_wal_for_append();
+
+  // Keep the previous snapshot as a fallback against latent corruption of
+  // the new one; prune anything older.
+  const auto snapshots = list_snapshots(directory_);
+  for (std::size_t i = 2; i < snapshots.size(); ++i) {
+    fs::remove(snapshots[i].second);
+  }
+
+  snapshot_bundles_ = fleet_;
+  snapshot_names_ = std::move(names);
+  snapshot_powers_ = std::move(powers);
+  tail_.clear();
+  recovery_.snapshot_seq = last_seq_;
+  recovery_.snapshot_bundle_count = snapshot_bundles_.size();
+}
+
+bool FleetStore::load_snapshot(const std::string& path) {
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const Error&) {
+    return false;
+  }
+  std::vector<trace::TraceBundle> bundles;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> powers;
+  try {
+    Reader file{std::string_view(bytes)};
+    if (file.remaining() < kSnapshotMagic.size() ||
+        file.bytes(kSnapshotMagic.size()) != kSnapshotMagic) {
+      return false;
+    }
+    if (file.u32le() != kSnapshotVersion) return false;
+    const std::uint64_t payload_len = file.varint();
+    if (file.remaining() != payload_len + 4) return false;
+    const std::string_view payload_bytes =
+        file.bytes(static_cast<std::size_t>(payload_len));
+    if (file.u32le() != common::crc32c(payload_bytes)) return false;
+
+    Reader payload(payload_bytes);
+    payload.varint();  // seq; the filename is authoritative
+    const std::uint64_t bundle_count = payload.varint();
+    if (bundle_count > payload.remaining()) return false;
+    bundles.reserve(static_cast<std::size_t>(bundle_count));
+    for (std::uint64_t i = 0; i < bundle_count; ++i) {
+      bundles.push_back(decode_bundle(payload.string()));
+    }
+    const std::uint64_t name_count = payload.varint();
+    if (name_count > payload.remaining()) return false;
+    names.reserve(static_cast<std::size_t>(name_count));
+    for (std::uint64_t i = 0; i < name_count; ++i) {
+      names.emplace_back(payload.string());
+    }
+    const std::uint64_t slot_count = payload.varint();
+    if (slot_count != names.size()) return false;
+    powers.resize(static_cast<std::size_t>(slot_count));
+    for (auto& list : powers) {
+      const std::uint64_t power_count = payload.varint();
+      if (power_count > payload.remaining() / 8 + 1) return false;
+      list.reserve(static_cast<std::size_t>(power_count));
+      for (std::uint64_t i = 0; i < power_count; ++i) {
+        list.push_back(payload.f64());
+      }
+    }
+    if (!payload.done()) return false;
+  } catch (const ParseError&) {
+    return false;
+  }
+  snapshot_bundles_ = std::move(bundles);
+  snapshot_names_ = std::move(names);
+  snapshot_powers_ = std::move(powers);
+  return true;
+}
+
+std::vector<core::AnalyzedTrace> FleetStore::snapshot_step1() const {
+  std::unordered_map<EventId, std::size_t> local_index;
+  local_index.reserve(snapshot_names_.size());
+  for (std::size_t i = 0; i < snapshot_names_.size(); ++i) {
+    local_index.emplace(intern_event(snapshot_names_[i]), i);
+  }
+  std::vector<std::size_t> cursor(snapshot_powers_.size(), 0);
+
+  std::vector<core::AnalyzedTrace> traces;
+  traces.reserve(snapshot_bundles_.size());
+  for (const trace::TraceBundle& bundle : snapshot_bundles_) {
+    core::AnalyzedTrace& analyzed = traces.emplace_back();
+    analyzed.user = bundle.user;
+    const std::vector<trace::EventInstance> instances =
+        bundle.events.instances();
+    analyzed.events.reserve(instances.size());
+    for (const trace::EventInstance& instance : instances) {
+      const auto it = local_index.find(instance.event);
+      if (it == local_index.end() ||
+          cursor[it->second] >= snapshot_powers_[it->second].size()) {
+        throw ParseError(
+            "FleetStore::snapshot_step1: ranking state does not cover the "
+            "snapshot bundles (inconsistent snapshot)");
+      }
+      core::PoweredEvent& event = analyzed.events.emplace_back();
+      event.id = instance.event;
+      event.interval = instance.interval;
+      event.raw_power = snapshot_powers_[it->second][cursor[it->second]++];
+    }
+  }
+  for (std::size_t i = 0; i < cursor.size(); ++i) {
+    if (cursor[i] != snapshot_powers_[i].size()) {
+      throw ParseError(
+          "FleetStore::snapshot_step1: leftover ranking powers "
+          "(inconsistent snapshot)");
+    }
+  }
+  return traces;
+}
+
+}  // namespace edx::store

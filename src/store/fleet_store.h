@@ -1,0 +1,165 @@
+// Durable, restart-safe storage for an accumulating trace fleet.
+//
+// The paper's deployment is a long-running service: phones upload trace
+// bundles opportunistically and the server re-diagnoses the growing fleet
+// (core/fleet_analyzer.h).  This store is what lets that service restart —
+// or crash — without losing the fleet:
+//
+//   append()   frames the bundle with store/codec.h, appends it to an
+//              append-only write-ahead log (wal.edx) under a sequence
+//              number, and flushes before returning;
+//   compact()  folds the current fleet state into snapshot-<seq>.edx —
+//              the deduplicated bundles plus the serialized
+//              EventSymbolTable and EventRanking (Step-1/2 state) — via a
+//              write-to-temp + fsync + rename, then resets the WAL;
+//   open()     recovers by loading the newest *valid* snapshot and
+//              replaying the WAL tail over it, stopping at the first
+//              record whose frame is truncated or fails its CRC32C and
+//              reporting exactly how much was salvaged (RecoveryStats).
+//              Nothing past the first bad record is ever read.
+//
+// Re-uploads honor TraceBundle::fleet_key(): a record whose key is already
+// in the fleet replaces that user's bundle in its original fleet slot,
+// never duplicating the user — the same replace-not-duplicate semantics
+// FleetAnalyzer applies, so feeding fleet() (or snapshot + tail) to the
+// analyzer reproduces the never-restarted report byte for byte.
+//
+// The snapshot's EventRanking section is not just a diagnostic: its power
+// lists are Step 1's exact per-instance outputs in fleet traversal order,
+// so snapshot_step1() can reconstruct every snapshotted bundle's
+// AnalyzedTrace without re-running the expensive power join — the warm
+// restart path of `edx analyze --store` (see DESIGN.md §10).
+//
+// On-disk layout inside the store directory:
+//   wal.edx             "EDXWAL01" + records:
+//                         varint frame_len | frame | u32le crc32c(frame)
+//                         frame := u8 kind(1=bundle) | varint seq |
+//                                  codec bundle record
+//   snapshot-<seq>.edx  "EDXSNAP1" + u32le version + varint payload_len +
+//                         payload + u32le crc32c(payload)
+//                         payload := varint seq
+//                                    varint bundle_count
+//                                    bundle_count x (varint len + codec
+//                                                    bundle record)
+//                                    varint name_count + names (id order)
+//                                    varint slot_count
+//                                    slot_count x (varint power_count +
+//                                                  power_count x f64)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis_types.h"
+#include "trace/recorder.h"
+
+namespace edx::store {
+
+/// What open() found and how much of it was usable.
+struct RecoveryStats {
+  std::uint64_t snapshot_seq{0};       ///< 0 = recovered without a snapshot
+  std::size_t snapshot_bundle_count{0};
+  std::size_t snapshots_found{0};
+  std::size_t snapshots_skipped{0};    ///< corrupt / unreadable snapshots
+  std::size_t wal_records_replayed{0}; ///< valid records applied to state
+  std::size_t wal_records_obsolete{0}; ///< seq <= snapshot (already folded)
+  std::size_t wal_bytes_salvaged{0};   ///< WAL prefix that parsed cleanly
+  std::size_t wal_bytes_dropped{0};    ///< bytes at/after the first bad record
+  bool wal_tail_torn{false};           ///< the scan stopped before the end
+  std::string wal_tail_reason;         ///< why it stopped ("" when clean)
+};
+
+class FleetStore {
+ public:
+  /// Opens (and creates, if absent) the store at `directory`, recovering
+  /// the fleet from the newest valid snapshot plus the WAL tail.  A torn
+  /// or corrupt WAL tail is tolerated — the salvaged prefix wins and
+  /// recovery() reports the damage; a genuinely unreadable directory
+  /// throws Error.
+  static FleetStore open(const std::string& directory);
+
+  FleetStore(FleetStore&& other) noexcept;
+  FleetStore& operator=(FleetStore&& other) noexcept;
+  FleetStore(const FleetStore&) = delete;
+  FleetStore& operator=(const FleetStore&) = delete;
+  ~FleetStore();
+
+  [[nodiscard]] const std::string& directory() const { return directory_; }
+  [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
+
+  /// Current fleet: each user's latest bundle, in first-arrival slot
+  /// order — exactly the bundle sequence whose batch analysis equals the
+  /// never-restarted incremental run.
+  [[nodiscard]] const std::vector<trace::TraceBundle>& fleet() const {
+    return fleet_;
+  }
+  [[nodiscard]] std::size_t fleet_size() const { return fleet_.size(); }
+  /// Sequence number of the most recently appended record (0 = empty).
+  [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
+  /// Sequence the newest loaded snapshot covers (0 = none).
+  [[nodiscard]] std::uint64_t snapshot_seq() const {
+    return recovery_.snapshot_seq;
+  }
+
+  /// The fleet as of the loaded snapshot, in slot order — kept verbatim
+  /// (a later tail record may have replaced a slot in fleet()) because
+  /// snapshot_step1()'s power lists describe exactly these bundles.
+  [[nodiscard]] const std::vector<trace::TraceBundle>& snapshot_bundles()
+      const {
+    return snapshot_bundles_;
+  }
+  /// Bundles appended after the snapshot (WAL replays plus this session's
+  /// append() calls), in arrival order.  These still need Step 1.
+  [[nodiscard]] const std::vector<trace::TraceBundle>& tail_bundles() const {
+    return tail_;
+  }
+
+  /// Reconstructs Step 1's AnalyzedTrace for each snapshotted fleet slot
+  /// from the snapshot's EventRanking state — bit-identical to running
+  /// core::estimate_event_power on those bundles, without the power join.
+  /// Empty when the store was recovered without a snapshot.
+  [[nodiscard]] std::vector<core::AnalyzedTrace> snapshot_step1() const;
+
+  /// Durably appends one upload and applies it to the in-memory fleet
+  /// (replace-not-duplicate).  Returns the record's sequence number.
+  std::uint64_t append(const trace::TraceBundle& bundle);
+
+  /// Folds the current fleet into a fresh snapshot-<last_seq>.edx (running
+  /// Step 1 over the fleet to serialize the ranking state), resets the
+  /// WAL, and prunes all but the two newest snapshots.  No-op when no
+  /// record arrived since the newest snapshot.
+  void compact();
+
+ private:
+  FleetStore() = default;
+
+  /// Applies one recovered/appended bundle to fleet_ (append or replace).
+  void apply(trace::TraceBundle bundle);
+  /// Loads `path`; returns false (and counts a skip) when invalid.
+  bool load_snapshot(const std::string& path);
+  /// Parses the WAL, applying records with seq > snapshot_seq.
+  void replay_wal(const std::string& wal_bytes);
+  void open_wal_for_append();
+
+  std::string directory_;
+  RecoveryStats recovery_;
+  std::uint64_t last_seq_{0};
+
+  std::vector<trace::TraceBundle> fleet_;          ///< slot order
+  std::unordered_map<UserId, std::size_t> slot_by_user_;
+  std::vector<trace::TraceBundle> tail_;           ///< arrivals past snapshot
+  std::vector<trace::TraceBundle> snapshot_bundles_;  ///< fleet at snapshot
+
+  /// Snapshot analysis state: event names in snapshot-id order and the
+  /// per-event Step-1 power lists (snapshot-id indexed).
+  std::vector<std::string> snapshot_names_;
+  std::vector<std::vector<double>> snapshot_powers_;
+
+  /// WAL append handle (POSIX fd; -1 = closed).
+  int wal_fd_{-1};
+};
+
+}  // namespace edx::store

@@ -8,6 +8,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
 #include <sstream>
 #include <string_view>
 
@@ -19,6 +20,7 @@
 #include "core/pipeline.h"
 #include "core/report_io.h"
 #include "power/calibration.h"
+#include "store/fleet_store.h"
 #include "workload/catalog.h"
 #include "workload/experiment.h"
 #include "workload/session.h"
@@ -76,7 +78,10 @@ class FlagSet {
         if (inline_value.has_value()) {
           throw InvalidArgument(command_ + ": " + name + " takes no value");
         }
-        switches_.insert(name);
+        if (!switches_.insert(name).second) {
+          throw InvalidArgument(command_ + ": duplicate flag '" + name +
+                                "'");
+        }
       } else if (known(value_flags, name)) {
         if (!inline_value.has_value()) {
           if (i + 1 >= args.size()) {
@@ -84,7 +89,10 @@ class FlagSet {
           }
           inline_value = args[++i];
         }
-        values_[name] = *inline_value;
+        if (!values_.emplace(name, *inline_value).second) {
+          throw InvalidArgument(command_ + ": duplicate flag '" + name +
+                                "' (it was already given)");
+        }
       } else {
         throw InvalidArgument(command_ + ": unknown flag '" + name + "'");
       }
@@ -269,19 +277,20 @@ double self_estimated_fraction(const core::DiagnosisReport& report) {
                    static_cast<double>(report.total_traces);
 }
 
-int analyze_batch(const std::vector<std::string>& paths,
-                  const AnalyzeOptions& options, std::ostream& out) {
-  std::vector<trace::TraceBundle> bundles;
-  bundles.reserve(paths.size());
-  for (const std::string& path : paths) {
-    bundles.push_back(trace::TraceBundle::from_text(read_file(path)));
-  }
-
+/// The analysis config an analyze invocation starts from.
+core::AnalysisConfig analysis_config(const AnalyzeOptions& options) {
   core::AnalysisConfig config;
   config.num_threads = options.num_threads;
   if (options.reported_fraction.has_value()) {
     config.reporting.developer_reported_fraction = *options.reported_fraction;
-  } else {
+  }
+  return config;
+}
+
+int analyze_batch_bundles(std::span<const trace::TraceBundle> bundles,
+                          const AnalyzeOptions& options, std::ostream& out) {
+  core::AnalysisConfig config = analysis_config(options);
+  if (!options.reported_fraction.has_value()) {
     const core::ManifestationAnalyzer probe(config);
     const core::AnalysisResult first_pass = probe.run(bundles);
     config.reporting.developer_reported_fraction =
@@ -295,13 +304,39 @@ int analyze_batch(const std::vector<std::string>& paths,
   return 0;
 }
 
+/// One fleet report from the analyzer's current state — the shared tail
+/// of every incremental path (periodic, final, and store-recovered).
+/// Applies the same two-pass fraction rule as the batch path: when no
+/// fraction was given, rebuild the (cheap) Step-5 report around the
+/// self-estimate.
+void render_fleet_report(core::FleetAnalyzer& fleet,
+                         const core::AnalysisConfig& config,
+                         const AnalyzeOptions& options, std::ostream& out) {
+  const core::AnalysisResult& result = fleet.snapshot();
+  double fraction = config.reporting.developer_reported_fraction;
+  core::DiagnosisReport report = result.report;
+  if (!options.reported_fraction.has_value()) {
+    fraction = self_estimated_fraction(result.report);
+    core::ReportingConfig reporting = config.reporting;
+    reporting.developer_reported_fraction = fraction;
+    report = core::report_problematic_events(result.traces, reporting);
+  }
+  render_report(report, options, fraction, out);
+}
+
+int analyze_batch(const std::vector<std::string>& paths,
+                  const AnalyzeOptions& options, std::ostream& out) {
+  std::vector<trace::TraceBundle> bundles;
+  bundles.reserve(paths.size());
+  for (const std::string& path : paths) {
+    bundles.push_back(trace::TraceBundle::from_text(read_file(path)));
+  }
+  return analyze_batch_bundles(bundles, options, out);
+}
+
 int analyze_incremental(const std::vector<std::string>& paths,
                         const AnalyzeOptions& options, std::ostream& out) {
-  core::AnalysisConfig config;
-  config.num_threads = options.num_threads;
-  if (options.reported_fraction.has_value()) {
-    config.reporting.developer_reported_fraction = *options.reported_fraction;
-  }
+  const core::AnalysisConfig config = analysis_config(options);
   core::FleetAnalyzer fleet(config);
   for (std::size_t i = 0; i < paths.size(); ++i) {
     fleet.add_bundle(trace::TraceBundle::from_text(read_file(paths[i])));
@@ -310,24 +345,37 @@ int analyze_incremental(const std::vector<std::string>& paths,
     const bool periodic =
         options.report_every > 0 && arrivals % options.report_every == 0;
     if (!last && !periodic) continue;
-
-    const core::AnalysisResult& result = fleet.snapshot();
-    // Same two-pass fraction rule as the batch path: when no fraction was
-    // given, rebuild the (cheap) Step-5 report around the self-estimate.
-    double fraction = config.reporting.developer_reported_fraction;
-    core::DiagnosisReport report = result.report;
-    if (!options.reported_fraction.has_value()) {
-      fraction = self_estimated_fraction(result.report);
-      core::ReportingConfig reporting = config.reporting;
-      reporting.developer_reported_fraction = fraction;
-      report = core::report_problematic_events(result.traces, reporting);
-    }
     if (!last) {
       out << "== fleet report after " << arrivals << " of " << paths.size()
           << " bundles ==\n";
     }
-    render_report(report, options, fraction, out);
+    render_fleet_report(fleet, config, options, out);
   }
+  return 0;
+}
+
+int analyze_store(const std::string& store_dir, const AnalyzeOptions& options,
+                  std::ostream& out) {
+  store::FleetStore recovered = store::FleetStore::open(store_dir);
+  if (recovered.fleet_size() == 0) {
+    throw AnalysisError("store at " + store_dir + " holds no bundles");
+  }
+  if (!options.incremental) {
+    return analyze_batch_bundles(recovered.fleet(), options, out);
+  }
+  // Warm restart: the snapshotted slots re-enter the analyzer through
+  // their recovered Step-1 state (no power join), the WAL tail through
+  // the normal arrival path — the final report is byte-identical to a
+  // never-restarted incremental run over the same uploads.
+  const core::AnalysisConfig config = analysis_config(options);
+  core::FleetAnalyzer fleet(config);
+  for (core::AnalyzedTrace& analyzed : recovered.snapshot_step1()) {
+    fleet.add_analyzed(std::move(analyzed));
+  }
+  for (const trace::TraceBundle& bundle : recovered.tail_bundles()) {
+    fleet.add_bundle(bundle);
+  }
+  render_fleet_report(fleet, config, options, out);
   return 0;
 }
 
@@ -335,9 +383,85 @@ int analyze_incremental(const std::vector<std::string>& paths,
 
 int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
                 std::ostream& out) {
+  if (options.store_dir.has_value()) {
+    require(trace_dir.empty(),
+            "analyze takes either <trace-dir> or --store, not both");
+    require(options.report_every == 0,
+            "analyze: --report-every needs a trace directory (a store "
+            "replays the deduplicated fleet, not every original arrival)");
+    return analyze_store(*options.store_dir, options, out);
+  }
   const std::vector<std::string> paths = bundle_paths(trace_dir);
   return options.incremental ? analyze_incremental(paths, options, out)
                              : analyze_batch(paths, options, out);
+}
+
+int cmd_ingest(const IngestOptions& options, std::ostream& out) {
+  store::FleetStore fleet_store = store::FleetStore::open(options.store_dir);
+  std::size_t appended = 0;
+  for (const std::string& source : options.sources) {
+    if (fs::is_directory(source)) {
+      for (const std::string& path : bundle_paths(source)) {
+        fleet_store.append(trace::TraceBundle::from_text(read_file(path)));
+        ++appended;
+      }
+    } else {
+      fleet_store.append(trace::TraceBundle::from_text(read_file(source)));
+      ++appended;
+    }
+  }
+  if (options.app_id.has_value()) {
+    const std::vector<AppCase> catalog = full_catalog();
+    const AppCase& app = catalog_app(catalog, *options.app_id);
+    PopulationConfig population;
+    population.num_users = options.users;
+    population.seed = options.seed;
+    const CollectedTraces traces =
+        collect_traces(app, app.buggy, /*instrumented=*/true, population);
+    for (const trace::TraceBundle& bundle : traces.bundles) {
+      fleet_store.append(bundle);
+      ++appended;
+    }
+  }
+  require(appended > 0,
+          "ingest needs bundle files, directories, or --app to simulate");
+  out << "ingested " << appended << " bundles into " << options.store_dir
+      << " (last seq " << fleet_store.last_seq() << ", fleet "
+      << fleet_store.fleet_size() << " users)\n";
+  if (options.compact) {
+    fleet_store.compact();
+    out << "compacted into snapshot-" << fleet_store.snapshot_seq()
+        << ".edx (" << fleet_store.fleet_size() << " bundles)\n";
+  }
+  return 0;
+}
+
+int cmd_store_info(const std::string& store_dir, std::ostream& out) {
+  require(fs::is_directory(store_dir),
+          "store-info: no store directory at " + store_dir);
+  const store::FleetStore fleet_store = store::FleetStore::open(store_dir);
+  const store::RecoveryStats& stats = fleet_store.recovery();
+  out << "store: " << store_dir << "\n";
+  out << "  fleet: " << fleet_store.fleet_size() << " users (last seq "
+      << fleet_store.last_seq() << ")\n";
+  if (stats.snapshot_seq != 0) {
+    out << "  snapshot: seq " << stats.snapshot_seq << " covering "
+        << stats.snapshot_bundle_count << " bundles";
+  } else {
+    out << "  snapshot: none";
+  }
+  out << " (" << stats.snapshots_found << " on disk, "
+      << stats.snapshots_skipped << " skipped as corrupt)\n";
+  out << "  wal: " << stats.wal_records_replayed << " records replayed, "
+      << stats.wal_records_obsolete << " obsolete, "
+      << stats.wal_bytes_salvaged << " bytes salvaged\n";
+  if (stats.wal_tail_torn) {
+    out << "  tail: torn — " << stats.wal_tail_reason << " ("
+        << stats.wal_bytes_dropped << " bytes dropped, repaired on open)\n";
+  } else {
+    out << "  tail: clean\n";
+  }
+  return 0;
 }
 
 int cmd_gen_training(const std::string& device_name,
@@ -435,8 +559,12 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     err << "usage: energydx <catalog | instrument <in> <out> | "
            "simulate <app-id> <dir> [--users N] [--seed S] | "
-           "analyze <dir> [--app ID] [--reported-fraction F] [--json] "
+           "analyze (<dir> | --store DIR) [--app ID] "
+           "[--reported-fraction F] [--json] "
            "[--threads N] [--incremental] [--report-every K] | "
+           "ingest --store DIR [<bundle-or-dir> ...] "
+           "[--app ID --users N --seed S] [--compact] | "
+           "store-info --store DIR | "
            "verify <app-id> [--users N] [--seed S] | "
            "gen-training <device> <out.csv> [--levels N] [--noise F] | "
            "calibrate <samples.csv> <name>>\n";
@@ -501,16 +629,59 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     return cmd_calibrate(flags.required_positional(0, "<samples.csv>"),
                          flags.required_positional(1, "<device-name>"), out);
   }
+  if (command == "ingest") {
+    FlagSet flags("ingest", rest, {"--store", "--app", "--users", "--seed"},
+                  {"--compact"}, err);
+    IngestOptions options;
+    const auto store_flag = flags.value("--store");
+    if (!store_flag.has_value()) {
+      throw InvalidArgument("ingest needs --store DIR");
+    }
+    options.store_dir = *store_flag;
+    for (std::size_t i = 0; i < flags.positional_count(); ++i) {
+      options.sources.push_back(flags.required_positional(i, ""));
+    }
+    if (const auto app = flags.value("--app")) {
+      options.app_id = static_cast<int>(to_int(*app, "--app", 0, kMaxInt));
+    }
+    options.users = static_cast<int>(to_int(
+        flags.value("--users").value_or("30"), "--users", 1, 1'000'000));
+    options.seed = static_cast<std::uint64_t>(
+        to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
+    options.compact = flags.has_switch("--compact");
+    return cmd_ingest(options, out);
+  }
+  if (command == "store-info") {
+    const FlagSet flags("store-info", rest, {"--store"}, {}, err);
+    const auto store_flag = flags.value("--store");
+    if (!store_flag.has_value()) {
+      throw InvalidArgument("store-info needs --store DIR");
+    }
+    if (flags.positional_count() != 0) {
+      throw InvalidArgument("store-info takes no operands");
+    }
+    return cmd_store_info(*store_flag, out);
+  }
   if (command == "analyze") {
     FlagSet flags("analyze", rest,
                   {"--app", "--reported-fraction", "--threads",
-                   "--report-every"},
+                   "--report-every", "--store"},
                   {"--json", "--incremental"}, err);
-    const std::string& trace_dir =
-        flags.required_positional(0, "<trace-dir>");
     AnalyzeOptions options;
     options.as_json = flags.has_switch("--json");
     options.incremental = flags.has_switch("--incremental");
+    if (const auto store = flags.value("--store")) {
+      options.store_dir = *store;
+    }
+    std::string trace_dir;
+    if (options.store_dir.has_value()) {
+      if (flags.positional_count() > 0) {
+        throw InvalidArgument(
+            "analyze takes either <trace-dir> or --store, not both");
+      }
+    } else {
+      trace_dir = flags.required_positional(0, "<trace-dir> (or --store)");
+    }
     if (const auto app = flags.value("--app")) {
       options.app_id = static_cast<int>(to_int(*app, "--app", 0, kMaxInt));
     }

@@ -4,20 +4,35 @@
 //   energydx catalog
 //   energydx instrument <in.apk.txt> <out.apk.txt>
 //   energydx simulate <app-id> <out-dir> [--users N] [--seed S]
-//   energydx analyze <trace-dir> [--app ID] [--reported-fraction F]
-//                    [--json] [--threads N] [--incremental]
-//                    [--report-every K]
+//   energydx analyze (<trace-dir> | --store DIR) [--app ID]
+//                    [--reported-fraction F] [--json] [--threads N]
+//                    [--incremental] [--report-every K]
+//   energydx ingest --store DIR [<bundle.txt-or-dir> ...]
+//                   [--app ID --users N --seed S] [--compact]
+//   energydx store-info --store DIR
 //   energydx verify <app-id> [--users N] [--seed S]
 //   energydx gen-training <builtin-device> <out.csv> [--levels N] [--noise F]
 //   energydx calibrate <samples.csv> <device-name>
 //
 // Every subcommand shares one flag parser (`--name value` or
-// `--name=value`).  The pre-redesign positional forms — `simulate
+// `--name=value`); repeating a named flag is a usage error (exit 2), not
+// a silent last-wins.  The pre-redesign positional forms — `simulate
 // <app-id> <dir> [users] [seed]`, `verify <app-id> [users] [seed]`,
 // `gen-training <device> <out.csv> [levels] [noise]`, `analyze <dir>
 // [app-id] [reported-fraction]` — are still accepted with a one-line
 // deprecation warning on stderr; a named flag wins over its positional
 // twin when both appear.
+//
+// The durable store (store/fleet_store.h): `ingest` appends bundles into
+// a WAL-backed store directory — from bundle files / trace directories
+// given as operands, and/or a simulated population (--app) — optionally
+// compacting afterwards.  `analyze --store DIR` recovers the fleet
+// (newest valid snapshot + WAL tail, tolerating a torn tail) and
+// produces a report byte-identical to a never-restarted run over the
+// same uploads; with --incremental the snapshotted bundles warm-start
+// core::FleetAnalyzer from the stored Step-1 state.  `store-info` prints
+// record counts, snapshot seq, and salvage diagnostics without analyzing
+// anything; a torn-but-salvaged tail is a diagnostic, not an error.
 //
 // Exit codes — run() maps exceptions to error classes via exit_code_for():
 //   0  success
@@ -86,12 +101,42 @@ struct AnalyzeOptions {
   /// With `incremental`: also emit an intermediate fleet report after
   /// every K arrivals (0 = final report only).
   std::size_t report_every{0};
+  /// Analyze a durable store directory instead of a directory of
+  /// bundle_*.txt files.  Mutually exclusive with a trace-dir operand and
+  /// with report_every (the store replays the deduplicated fleet, not the
+  /// original arrival sequence).
+  std::optional<std::string> store_dir;
 };
 
 /// Analyzes every bundle_*.txt in `trace_dir` (sorted filename order ==
-/// arrival order).
+/// arrival order), or — when `options.store_dir` is set and `trace_dir`
+/// empty — the fleet recovered from that durable store.
 int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
                 std::ostream& out);
+
+/// How `cmd_ingest` fills a durable store.
+struct IngestOptions {
+  std::string store_dir;
+  /// Bundle files (trace/recorder.h text format) and/or directories of
+  /// bundle_*.txt, appended in the given order (directories in sorted
+  /// filename order).
+  std::vector<std::string> sources;
+  /// When set, additionally simulates a population for this catalog app
+  /// and appends its bundles (after `sources`).
+  std::optional<int> app_id;
+  int users{30};
+  std::uint64_t seed{42};
+  /// Fold the WAL into a fresh snapshot after ingesting.
+  bool compact{false};
+};
+
+/// Appends bundles into the store at `options.store_dir` (created if
+/// missing), honoring replace-not-duplicate fleet keys.
+int cmd_ingest(const IngestOptions& options, std::ostream& out);
+
+/// Prints record counts, snapshot seq, and salvage diagnostics for the
+/// store at `store_dir`.
+int cmd_store_info(const std::string& store_dir, std::ostream& out);
 
 /// Writes a component-sweep calibration workload for one built-in device
 /// ("Nexus 6", "Moto G", ...) as CSV, with optional measurement noise.

@@ -1,0 +1,235 @@
+#include "store/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "power/hardware.h"
+#include "power/tracker.h"
+#include "trace/event_trace.h"
+#include "trace/recorder.h"
+#include "trace/util_trace.h"
+
+namespace edx::store {
+namespace {
+
+// Deterministic generator of structurally valid but adversarially shaped
+// bundles: empty traces, negative and non-monotone timestamps, repeated
+// and exotic event names, denormal-ish utilization values.
+trace::TraceBundle random_bundle(std::mt19937_64& rng) {
+  static const std::vector<std::string> kNames = {
+      "Lcom/fsck/k9/service/MailService;.onDestroy",
+      "Lcom/fsck/k9/activity/MessageList;.onItemClick",
+      "a",
+      "Lorg/example/\xE2\x98\x83;.run",  // UTF-8 snowman
+      "Lx;.with spaces and\ttabs",
+      std::string(200, 'n'),
+  };
+  std::uniform_int_distribution<int> name_index(
+      0, static_cast<int>(kNames.size()) - 1);
+  std::uniform_int_distribution<int> small(0, 8);
+  std::uniform_int_distribution<std::int64_t> timestamp(-1'000'000,
+                                                        5'000'000'000);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> power(-10.0, 4000.0);
+
+  trace::TraceBundle bundle;
+  bundle.user = static_cast<UserId>(
+      std::uniform_int_distribution<int>(-5, 1000)(rng));
+  bundle.device_name =
+      small(rng) == 0 ? "" : (small(rng) % 2 ? "Nexus 6" : "Moto G");
+
+  std::vector<trace::EventRecord> records;
+  const int record_count = small(rng) * small(rng);
+  std::int64_t ts = timestamp(rng);
+  for (int i = 0; i < record_count; ++i) {
+    trace::EventRecord record;
+    record.timestamp = ts;
+    // Non-monotone on purpose: the codec's delta encoding must not assume
+    // ordering.
+    ts += std::uniform_int_distribution<std::int64_t>(-500, 2000)(rng);
+    record.is_entry = small(rng) % 2 == 0;
+    record.event = intern_event(kNames[static_cast<std::size_t>(
+        name_index(rng))]);
+    records.push_back(record);
+  }
+  bundle.events = trace::EventTrace(std::move(records));
+
+  std::vector<power::UtilizationSample> samples;
+  const int sample_count = small(rng) * small(rng);
+  std::int64_t sample_ts = timestamp(rng);
+  for (int i = 0; i < sample_count; ++i) {
+    power::UtilizationSample sample;
+    sample.timestamp = sample_ts;
+    sample_ts += std::uniform_int_distribution<std::int64_t>(-100, 900)(rng);
+    for (int c = 0; c < static_cast<int>(power::kComponentCount); ++c) {
+      sample.utilization.set(static_cast<power::Component>(c), unit(rng));
+    }
+    sample.estimated_app_power_mw = power(rng);
+    samples.push_back(sample);
+  }
+  bundle.utilization = trace::UtilizationTrace(
+      small(rng) == 0 ? "" : "Galaxy S5", std::move(samples));
+  return bundle;
+}
+
+void expect_bundles_equal(const trace::TraceBundle& got,
+                          const trace::TraceBundle& want) {
+  EXPECT_EQ(got.user, want.user);
+  EXPECT_EQ(got.device_name, want.device_name);
+  EXPECT_EQ(got.events.records(), want.events.records());
+  EXPECT_EQ(got.utilization.device_name(), want.utilization.device_name());
+  ASSERT_EQ(got.utilization.samples().size(),
+            want.utilization.samples().size());
+  // UtilizationSample operator== compares doubles exactly — the codec
+  // ships raw IEEE-754 bits, so every field must round-trip bit for bit.
+  EXPECT_EQ(got.utilization.samples(), want.utilization.samples());
+}
+
+TEST(CodecTest, RoundTripsRandomBundlesExactly) {
+  std::mt19937_64 rng(20260807);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    SCOPED_TRACE("iteration " + std::to_string(iteration));
+    const trace::TraceBundle original = random_bundle(rng);
+    const std::string encoded = encode_bundle(original);
+    const trace::TraceBundle decoded = decode_bundle(encoded);
+    expect_bundles_equal(decoded, original);
+    // Text rendering agrees too (to_text resolves EventIds to names, so
+    // this also checks decode re-interned every name correctly).
+    EXPECT_EQ(decoded.to_text(), original.to_text());
+    // Encoding is canonical: re-encoding the decoded bundle reproduces
+    // the byte stream.
+    EXPECT_EQ(encode_bundle(decoded), encoded);
+  }
+}
+
+TEST(CodecTest, EmptyBundleRoundTrips) {
+  trace::TraceBundle bundle;
+  const std::string encoded = encode_bundle(bundle);
+  expect_bundles_equal(decode_bundle(encoded), bundle);
+}
+
+TEST(CodecTest, RejectsBadMagicAndVersion) {
+  const std::string good = encode_bundle(trace::TraceBundle{});
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(static_cast<void>(decode_bundle(bad_magic)), ParseError);
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(kCodecVersion + 1);
+  EXPECT_THROW(static_cast<void>(decode_bundle(bad_version)), ParseError);
+  std::string trailing = good + "x";
+  EXPECT_THROW(static_cast<void>(decode_bundle(trailing)), ParseError);
+}
+
+// Satellite: fuzz-style corruption safety.  A single flipped bit anywhere
+// in a valid record must surface as ParseError — never a crash, never an
+// out-of-bounds read (the suite runs under ASan/UBSan in CI), and thanks
+// to the CRC never a silently different bundle.
+TEST(CodecTest, BitFlippedBuffersAlwaysThrowParseError) {
+  std::mt19937_64 rng(99);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    std::string encoded = encode_bundle(random_bundle(rng));
+    std::uniform_int_distribution<std::size_t> byte_index(
+        0, encoded.size() - 1);
+    std::uniform_int_distribution<int> bit_index(0, 7);
+    for (int flip = 0; flip < 16; ++flip) {
+      const std::size_t byte = byte_index(rng);
+      const int bit = bit_index(rng);
+      encoded[byte] = static_cast<char>(encoded[byte] ^ (1 << bit));
+      EXPECT_THROW(static_cast<void>(decode_bundle(encoded)), ParseError)
+          << "iteration " << iteration << ", bit " << bit << " of byte "
+          << byte;
+      encoded[byte] = static_cast<char>(encoded[byte] ^ (1 << bit));
+    }
+  }
+}
+
+TEST(CodecTest, TruncationAtEveryOffsetThrowsParseError) {
+  std::mt19937_64 rng(7);
+  const std::string encoded = encode_bundle(random_bundle(rng));
+  for (std::size_t length = 0; length < encoded.size(); ++length) {
+    EXPECT_THROW(
+        static_cast<void>(decode_bundle(
+            std::string_view(encoded).substr(0, length))),
+        ParseError)
+        << "truncated to " << length << " of " << encoded.size();
+  }
+}
+
+TEST(CodecTest, RandomGarbageNeverCrashes) {
+  std::mt19937_64 rng(123);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> length(0, 512);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string garbage(length(rng), '\0');
+    for (char& c : garbage) c = static_cast<char>(byte(rng));
+    // A small head start past the frame check sometimes, to reach deeper
+    // decode paths.
+    if (iteration % 3 == 0 && garbage.size() >= 5) {
+      garbage.replace(0, 4, kBundleMagic);
+      garbage[4] = static_cast<char>(kCodecVersion);
+    }
+    EXPECT_THROW(static_cast<void>(decode_bundle(garbage)), ParseError);
+  }
+}
+
+TEST(ReaderTest, BoundsCheckedPrimitives) {
+  std::string buffer;
+  put_varint(buffer, 300);
+  put_zigzag(buffer, -42);
+  put_string(buffer, "abc");
+  put_u32le(buffer, 0xDEADBEEF);
+  put_f64(buffer, 1.5);
+
+  Reader reader{std::string_view(buffer)};
+  EXPECT_EQ(reader.varint(), 300u);
+  EXPECT_EQ(reader.zigzag(), -42);
+  EXPECT_EQ(reader.string(), "abc");
+  EXPECT_EQ(reader.u32le(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.f64(), 1.5);
+  EXPECT_TRUE(reader.done());
+  EXPECT_THROW(static_cast<void>(reader.u32le()), ParseError);
+
+  // A varint whose continuation bits never stop must not loop or overflow.
+  const std::string runaway(20, '\xFF');
+  Reader runaway_reader{std::string_view(runaway)};
+  EXPECT_THROW(static_cast<void>(runaway_reader.varint()), ParseError);
+
+  // String length pointing past the end.
+  std::string oversized;
+  put_varint(oversized, 1000);
+  oversized += "short";
+  Reader oversized_reader{std::string_view(oversized)};
+  EXPECT_THROW(static_cast<void>(oversized_reader.string()), ParseError);
+}
+
+TEST(ReaderTest, VarintExtremesRoundTrip) {
+  for (std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{127}, std::uint64_t{128},
+        std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{0xFFFFFFFFull}, ~std::uint64_t{0}}) {
+    std::string buffer;
+    put_varint(buffer, value);
+    Reader reader{std::string_view(buffer)};
+    EXPECT_EQ(reader.varint(), value);
+    EXPECT_TRUE(reader.done());
+  }
+  for (std::int64_t value :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    std::string buffer;
+    put_zigzag(buffer, value);
+    Reader reader{std::string_view(buffer)};
+    EXPECT_EQ(reader.zigzag(), value);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+}  // namespace
+}  // namespace edx::store

@@ -1,0 +1,443 @@
+// FleetStore's durability contract: any prefix of appends survives a
+// restart byte-identically, a torn or corrupt WAL tail is truncated to
+// the salvaged prefix (never read past the first bad CRC), and the
+// snapshot's Step-1 state warm-starts the incremental analyzer to the
+// exact bytes of a never-restarted run.  See store/fleet_store.h and
+// DESIGN.md §10.
+#include "store/fleet_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/event_power.h"
+#include "core/fleet_analyzer.h"
+#include "core/pipeline.h"
+#include "core/report_io.h"
+#include "power/tracker.h"
+#include "trace/recorder.h"
+
+namespace edx::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_store(const std::string& leaf) {
+  const std::string path = ::testing::TempDir() + "/edx_store_" + leaf;
+  fs::remove_all(path);
+  return path;
+}
+
+power::UtilizationSample sample(TimestampMs timestamp, double power) {
+  power::UtilizationSample s;
+  s.timestamp = timestamp;
+  s.estimated_app_power_mw = power;
+  return s;
+}
+
+/// Same Fig.-6 fixture as fleet_analyzer_test.cpp: 12 alternating events,
+/// optional ABD step at event 6, `variant` perturbs powers so re-uploads
+/// are distinguishable.
+trace::TraceBundle make_trace(UserId user, bool with_abd, int variant = 0) {
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  const int events = 12;
+  const int triangle_at = with_abd ? 6 : -1;
+  for (int i = 0; i < events; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    std::string name = (i % 2 == 0) ? "circle" : "square";
+    if (i == triangle_at) name = "triangle";
+    bundle.events.add_instance(name, {t + 10, t + 40});
+
+    double power = (i % 2 == 0) ? 100.0 : 400.0;
+    if (i == triangle_at) power = 150.0;
+    if (with_abd && i >= triangle_at) power += 500.0;
+    power += 3.0 * ((user * 7 + i * 13 + variant * 17) % 5);
+    samples.push_back(sample(t + 500, power));
+    samples.push_back(sample(t + 1000, power));
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+std::vector<trace::TraceBundle> make_fleet(int users) {
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < users; ++user) {
+    bundles.push_back(make_trace(user, /*with_abd=*/user % 3 == 1));
+  }
+  return bundles;
+}
+
+core::AnalysisConfig make_config(std::size_t num_threads) {
+  core::AnalysisConfig config;
+  config.reporting.window_size = 2;
+  config.reporting.developer_reported_fraction = 0.25;
+  config.num_threads = num_threads;
+  return config;
+}
+
+std::string render(const core::AnalysisResult& result) {
+  core::ReportRenderOptions options;
+  options.developer_reported_fraction = 0.25;
+  return core::report_to_text(result.report, /*code_map=*/nullptr, options) +
+         core::report_to_json(result.report, /*code_map=*/nullptr, options);
+}
+
+void expect_fleet_equals(const std::vector<trace::TraceBundle>& got,
+                         const std::vector<trace::TraceBundle>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("slot " + std::to_string(i));
+    EXPECT_EQ(got[i].user, want[i].user);
+    EXPECT_EQ(got[i].to_text(), want[i].to_text());
+    // to_text goes through decimal formatting; the samples must also be
+    // bit-identical (the codec ships raw IEEE-754 bits).
+    EXPECT_EQ(got[i].utilization.samples(), want[i].utilization.samples());
+  }
+}
+
+std::string wal_path(const std::string& dir) { return dir + "/wal.edx"; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FleetStoreTest, OpenCreatesEmptyStore) {
+  const std::string dir = temp_store("create");
+  const FleetStore store = FleetStore::open(dir);
+  EXPECT_EQ(store.fleet_size(), 0u);
+  EXPECT_EQ(store.last_seq(), 0u);
+  EXPECT_EQ(store.snapshot_seq(), 0u);
+  EXPECT_FALSE(store.recovery().wal_tail_torn);
+  EXPECT_TRUE(fs::exists(wal_path(dir)));
+  // The WAL starts as just its header.
+  EXPECT_EQ(fs::file_size(wal_path(dir)), 8u);
+}
+
+TEST(FleetStoreTest, AppendThenReopenRecoversFleetExactly) {
+  const std::string dir = temp_store("roundtrip");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(5);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+    EXPECT_EQ(store.last_seq(), 5u);
+    expect_fleet_equals(store.fleet(), bundles);
+  }
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 5u);
+  EXPECT_EQ(recovered.recovery().wal_bytes_dropped, 0u);
+  EXPECT_FALSE(recovered.recovery().wal_tail_torn);
+  EXPECT_EQ(recovered.last_seq(), 5u);
+  expect_fleet_equals(recovered.fleet(), bundles);
+  // No snapshot yet: everything is tail.
+  EXPECT_TRUE(recovered.snapshot_bundles().empty());
+  EXPECT_EQ(recovered.tail_bundles().size(), 5u);
+}
+
+TEST(FleetStoreTest, ReuploadReplacesSlotNotDuplicates) {
+  const std::string dir = temp_store("reupload");
+  std::vector<trace::TraceBundle> bundles = make_fleet(3);
+  const trace::TraceBundle reupload = make_trace(1, /*with_abd=*/false,
+                                                 /*variant=*/2);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+    store.append(reupload);
+    EXPECT_EQ(store.fleet_size(), 3u);
+    EXPECT_EQ(store.last_seq(), 4u);
+  }
+  // The replacement persists across restart, in user 1's original slot.
+  std::vector<trace::TraceBundle> latest = bundles;
+  latest[1] = reupload;
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 4u);
+  expect_fleet_equals(recovered.fleet(), latest);
+}
+
+TEST(FleetStoreTest, CompactWritesSnapshotAndResetsWal) {
+  const std::string dir = temp_store("compact");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(4);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+    store.compact();
+    EXPECT_EQ(store.snapshot_seq(), 4u);
+    // Compacting again with nothing new is a no-op.
+    store.compact();
+  }
+  EXPECT_TRUE(fs::exists(dir + "/snapshot-4.edx"));
+  EXPECT_EQ(fs::file_size(wal_path(dir)), 8u);  // WAL reset to header
+
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_EQ(recovered.snapshot_seq(), 4u);
+  EXPECT_EQ(recovered.recovery().snapshot_bundle_count, 4u);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 0u);
+  EXPECT_EQ(recovered.last_seq(), 4u);
+  expect_fleet_equals(recovered.fleet(), bundles);
+  expect_fleet_equals(recovered.snapshot_bundles(), bundles);
+  EXPECT_TRUE(recovered.tail_bundles().empty());
+}
+
+TEST(FleetStoreTest, SnapshotStep1IsBitIdenticalToEventPower) {
+  const std::string dir = temp_store("warmstep1");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(6);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+    store.compact();
+  }
+  const FleetStore recovered = FleetStore::open(dir);
+  const std::vector<core::AnalyzedTrace> warm = recovered.snapshot_step1();
+  ASSERT_EQ(warm.size(), bundles.size());
+  for (std::size_t t = 0; t < warm.size(); ++t) {
+    const core::AnalyzedTrace direct =
+        core::estimate_event_power(recovered.snapshot_bundles()[t]);
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(warm[t].user, direct.user);
+    ASSERT_EQ(warm[t].events.size(), direct.events.size());
+    for (std::size_t i = 0; i < warm[t].events.size(); ++i) {
+      EXPECT_EQ(warm[t].events[i].id, direct.events[i].id);
+      EXPECT_EQ(warm[t].events[i].interval, direct.events[i].interval);
+      // Exact double equality: the snapshot stores the raw bits.
+      EXPECT_EQ(warm[t].events[i].raw_power, direct.events[i].raw_power);
+    }
+  }
+}
+
+TEST(FleetStoreTest, WarmRestartMatchesNeverRestartedRun) {
+  const std::string dir = temp_store("warmrestart");
+  std::vector<trace::TraceBundle> arrivals = make_fleet(7);
+  arrivals.push_back(make_trace(2, /*with_abd=*/true, /*variant=*/3));
+
+  // Session 1: five uploads, compact, two more uploads, crash (destructor).
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (int i = 0; i < 5; ++i) store.append(arrivals[static_cast<size_t>(i)]);
+    store.compact();
+    for (std::size_t i = 5; i < arrivals.size(); ++i) {
+      store.append(arrivals[i]);
+    }
+  }
+
+  for (std::size_t num_threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(num_threads));
+    // Never-restarted reference: one analyzer fed every arrival in order.
+    core::FleetAnalyzer reference(make_config(num_threads));
+    for (const trace::TraceBundle& bundle : arrivals) {
+      reference.add_bundle(bundle);
+    }
+    const std::string want = render(reference.snapshot());
+
+    // Restarted run: snapshot slots warm-start via add_analyzed (no power
+    // join), the WAL tail goes through add_bundle.
+    const FleetStore recovered = FleetStore::open(dir);
+    EXPECT_EQ(recovered.snapshot_seq(), 5u);
+    EXPECT_EQ(recovered.tail_bundles().size(), 3u);
+    core::FleetAnalyzer warm(make_config(num_threads));
+    std::vector<core::AnalyzedTrace> warm_slots = recovered.snapshot_step1();
+    for (core::AnalyzedTrace& analyzed : warm_slots) {
+      warm.add_analyzed(std::move(analyzed));
+    }
+    for (const trace::TraceBundle& bundle : recovered.tail_bundles()) {
+      warm.add_bundle(bundle);
+    }
+    EXPECT_EQ(render(warm.snapshot()), want);
+
+    // And the batch path over the recovered fleet agrees too.
+    const core::ManifestationAnalyzer batch(make_config(num_threads));
+    EXPECT_EQ(render(batch.run(recovered.fleet())), want);
+  }
+}
+
+// The crash-safety satellite: write N bundles, truncate the WAL at every
+// byte offset of the final record, and verify open() salvages exactly the
+// first N-1 records and analyzes them identically to a batch run over
+// that prefix.
+TEST(FleetStoreTest, TruncationAtEveryByteOfFinalRecordSalvagesPrefix) {
+  const std::string dir = temp_store("truncate_src");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(4);
+  std::uintmax_t boundary = 0;  // WAL size before the final record
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (std::size_t i = 0; i + 1 < bundles.size(); ++i) {
+      store.append(bundles[i]);
+    }
+    boundary = fs::file_size(wal_path(dir));
+    store.append(bundles.back());
+  }
+  const std::string wal_bytes = read_file(wal_path(dir));
+  ASSERT_GT(wal_bytes.size(), boundary);
+
+  const std::vector<trace::TraceBundle> prefix(bundles.begin(),
+                                               bundles.end() - 1);
+  const core::ManifestationAnalyzer analyzer(make_config(1));
+  const std::string want = render(analyzer.run(prefix));
+
+  const std::string victim = temp_store("truncate_victim");
+  for (std::uintmax_t cut = boundary; cut < wal_bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut) + " of " +
+                 std::to_string(wal_bytes.size()));
+    fs::remove_all(victim);
+    fs::create_directories(victim);
+    write_file(wal_path(victim), wal_bytes.substr(0, cut));
+
+    const FleetStore store = FleetStore::open(victim);
+    ASSERT_EQ(store.recovery().wal_records_replayed, prefix.size());
+    ASSERT_EQ(store.fleet_size(), prefix.size());
+    EXPECT_EQ(store.recovery().wal_bytes_salvaged, boundary);
+    EXPECT_EQ(store.recovery().wal_bytes_dropped, cut - boundary);
+    // Exactly at the record boundary the log is merely short, not torn.
+    EXPECT_EQ(store.recovery().wal_tail_torn, cut != boundary);
+    expect_fleet_equals(store.fleet(), prefix);
+    EXPECT_EQ(render(analyzer.run(store.fleet())), want);
+  }
+}
+
+TEST(FleetStoreTest, CorruptionMidWalStopsAtFirstBadRecord) {
+  const std::string dir = temp_store("midcorrupt");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(5);
+  std::uintmax_t first_boundary = 0;
+  {
+    FleetStore store = FleetStore::open(dir);
+    store.append(bundles[0]);
+    first_boundary = fs::file_size(wal_path(dir));
+    for (std::size_t i = 1; i < bundles.size(); ++i) {
+      store.append(bundles[i]);
+    }
+  }
+  // Flip one bit inside record 2.  Records 3..5 are fully intact, but the
+  // scan must stop at the first bad CRC and never look at them.
+  std::string wal_bytes = read_file(wal_path(dir));
+  const std::size_t victim_byte = static_cast<std::size_t>(first_boundary) + 40;
+  ASSERT_LT(victim_byte, wal_bytes.size());
+  wal_bytes[victim_byte] = static_cast<char>(wal_bytes[victim_byte] ^ 0x10);
+  write_file(wal_path(dir), wal_bytes);
+
+  const FleetStore store = FleetStore::open(dir);
+  EXPECT_EQ(store.recovery().wal_records_replayed, 1u);
+  EXPECT_EQ(store.fleet_size(), 1u);
+  EXPECT_TRUE(store.recovery().wal_tail_torn);
+  EXPECT_EQ(store.recovery().wal_bytes_salvaged, first_boundary);
+  EXPECT_EQ(store.recovery().wal_bytes_dropped,
+            wal_bytes.size() - first_boundary);
+  expect_fleet_equals(store.fleet(), {bundles[0]});
+}
+
+TEST(FleetStoreTest, RepairedTailAcceptsNewAppends) {
+  const std::string dir = temp_store("repair");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(3);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  // Tear the last record mid-frame.
+  const std::string wal_bytes = read_file(wal_path(dir));
+  write_file(wal_path(dir), wal_bytes.substr(0, wal_bytes.size() - 25));
+
+  const trace::TraceBundle replacement = make_trace(2, /*with_abd=*/true,
+                                                    /*variant=*/1);
+  {
+    FleetStore store = FleetStore::open(dir);
+    EXPECT_TRUE(store.recovery().wal_tail_torn);
+    EXPECT_EQ(store.fleet_size(), 2u);
+    EXPECT_EQ(store.last_seq(), 2u);
+    store.append(replacement);
+  }
+  // After repair + append the log is clean again and holds 3 records.
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_FALSE(recovered.recovery().wal_tail_torn);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 3u);
+  expect_fleet_equals(recovered.fleet(),
+                      {bundles[0], bundles[1], replacement});
+}
+
+TEST(FleetStoreTest, TruncationBelowHeaderRebuildsWal) {
+  const std::string dir = temp_store("headerless");
+  {
+    FleetStore store = FleetStore::open(dir);
+    store.append(make_trace(0, false));
+  }
+  // Simulate a crash that left only 3 bytes of the header.
+  const std::string wal_bytes = read_file(wal_path(dir));
+  write_file(wal_path(dir), wal_bytes.substr(0, 3));
+
+  {
+    FleetStore store = FleetStore::open(dir);
+    EXPECT_TRUE(store.recovery().wal_tail_torn);
+    EXPECT_EQ(store.fleet_size(), 0u);
+    store.append(make_trace(7, true));
+  }
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_FALSE(recovered.recovery().wal_tail_torn);
+  EXPECT_EQ(recovered.fleet_size(), 1u);
+  EXPECT_EQ(recovered.fleet()[0].user, 7);
+}
+
+TEST(FleetStoreTest, CorruptNewestSnapshotFallsBackToOlder) {
+  const std::string dir = temp_store("snapfallback");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(5);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (int i = 0; i < 3; ++i) store.append(bundles[static_cast<size_t>(i)]);
+    store.compact();  // snapshot-3.edx
+    store.append(bundles[3]);
+    store.append(bundles[4]);
+    store.compact();  // snapshot-5.edx
+  }
+  ASSERT_TRUE(fs::exists(dir + "/snapshot-3.edx"));
+  ASSERT_TRUE(fs::exists(dir + "/snapshot-5.edx"));
+  // Corrupt the newest snapshot's payload.
+  std::string snap = read_file(dir + "/snapshot-5.edx");
+  snap[snap.size() / 2] = static_cast<char>(snap[snap.size() / 2] ^ 0x01);
+  write_file(dir + "/snapshot-5.edx", snap);
+
+  const FleetStore store = FleetStore::open(dir);
+  EXPECT_EQ(store.recovery().snapshots_found, 2u);
+  EXPECT_EQ(store.recovery().snapshots_skipped, 1u);
+  EXPECT_EQ(store.snapshot_seq(), 3u);
+  // The WAL was reset by the second compact, so recovery falls back to
+  // the older snapshot's fleet — the best state with a valid checksum.
+  expect_fleet_equals(store.fleet(),
+                      {bundles[0], bundles[1], bundles[2]});
+}
+
+TEST(FleetStoreTest, PrunesAllButTwoNewestSnapshots) {
+  const std::string dir = temp_store("prune");
+  FleetStore store = FleetStore::open(dir);
+  for (int round = 0; round < 4; ++round) {
+    store.append(make_trace(round, round % 2 == 0));
+    store.compact();
+  }
+  std::size_t snapshots = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("snapshot-")) ++snapshots;
+  }
+  EXPECT_EQ(snapshots, 2u);
+  EXPECT_TRUE(fs::exists(dir + "/snapshot-4.edx"));
+}
+
+TEST(FleetStoreTest, OpenRejectsUnreadableDirectory) {
+  // A path that exists as a *file* cannot become a store directory.
+  const std::string file_path = ::testing::TempDir() + "/edx_store_notadir";
+  write_file(file_path, "not a directory");
+  EXPECT_THROW(static_cast<void>(FleetStore::open(file_path)), Error);
+}
+
+}  // namespace
+}  // namespace edx::store

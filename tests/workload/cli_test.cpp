@@ -242,6 +242,141 @@ TEST(CliTest, VerifyConfirmsCatalogFixes) {
   EXPECT_NE(out.str().find("Open Camera"), std::string::npos);
 }
 
+TEST(CliTest, DuplicateFlagsAreUsageErrors) {
+  const std::string dir = temp_dir("dupflags");
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(run({"analyze", dir, "--threads", "1", "--threads", "2"}, out,
+                err),
+            2);
+  EXPECT_NE(err.str().find("duplicate flag '--threads'"), std::string::npos);
+
+  EXPECT_EQ(run({"analyze", dir, "--json", "--json"}, out, err), 2);
+  EXPECT_NE(err.str().find("duplicate flag '--json'"), std::string::npos);
+
+  // Mixed separate/inline forms collide too.
+  EXPECT_EQ(run({"simulate", "5", dir, "--seed", "1", "--seed=2"}, out, err),
+            2);
+  EXPECT_NE(err.str().find("duplicate flag '--seed'"), std::string::npos);
+}
+
+TEST(CliTest, IngestThenAnalyzeStoreMatchesDirectoryAnalysis) {
+  const std::string dir = temp_dir("store_src");
+  const std::string store = temp_dir("store_db");
+  fs::remove_all(store);  // ingest must create it
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/12, /*seed=*/7, log), 0);
+
+  std::ostringstream ref_out, err;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18"}, ref_out, err), 0);
+
+  std::ostringstream ingest_out;
+  ASSERT_EQ(run({"ingest", "--store", store, dir}, ingest_out, err), 0);
+  EXPECT_NE(ingest_out.str().find("ingested 12 bundles"), std::string::npos);
+  EXPECT_NE(ingest_out.str().find("fleet 12 users"), std::string::npos);
+
+  std::ostringstream store_out;
+  ASSERT_EQ(run({"analyze", "--store", store, "--app", "18"}, store_out, err),
+            0);
+  EXPECT_EQ(store_out.str(), ref_out.str());
+
+  std::ostringstream warm_out;
+  ASSERT_EQ(run({"analyze", "--store", store, "--app", "18", "--incremental"},
+                warm_out, err),
+            0);
+  EXPECT_EQ(warm_out.str(), ref_out.str());
+}
+
+TEST(CliTest, StoreRestartEquivalenceAcrossSessionsAndThreads) {
+  const std::string dir = temp_dir("restart_src");
+  const std::string head = temp_dir("restart_head");
+  const std::string tail = temp_dir("restart_tail");
+  const std::string store = temp_dir("restart_db");
+  std::ostringstream log;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/10, /*seed=*/42, log), 0);
+  // Split the population: 6 uploads land before a compaction, 4 after —
+  // three separate store sessions in total.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    const bool early = name < "bundle_6";
+    fs::copy_file(entry.path(), (early ? head : tail) + "/" + name);
+  }
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"ingest", "--store", store, head, "--compact"}, out, err), 0);
+  EXPECT_NE(out.str().find("compacted into snapshot-6.edx"),
+            std::string::npos);
+  ASSERT_EQ(run({"ingest", "--store", store, tail}, out, err), 0);
+
+  for (const std::string threads : {"1", "2", "8"}) {
+    std::ostringstream ref_out;
+    ASSERT_EQ(run({"analyze", dir, "--app", "18", "--threads", threads,
+                   "--incremental"},
+                  ref_out, err),
+              0);
+    std::ostringstream store_out;
+    ASSERT_EQ(run({"analyze", "--store", store, "--app", "18", "--threads",
+                   threads, "--incremental"},
+                  store_out, err),
+              0);
+    EXPECT_EQ(store_out.str(), ref_out.str()) << "threads=" << threads;
+
+    std::ostringstream batch_out;
+    ASSERT_EQ(run({"analyze", "--store", store, "--app", "18", "--threads",
+                   threads},
+                  batch_out, err),
+              0);
+    EXPECT_EQ(batch_out.str(), ref_out.str()) << "threads=" << threads;
+  }
+}
+
+TEST(CliTest, StoreInfoReportsTornTailThenRepairedClean) {
+  const std::string store = temp_dir("torninfo_db");
+  fs::remove_all(store);
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"ingest", "--store", store, "--app", "5", "--users", "4",
+                 "--seed", "9"},
+                out, err),
+            0);
+  // Tear the final record mid-frame.
+  const std::string wal = store + "/wal.edx";
+  const auto original_size = fs::file_size(wal);
+  fs::resize_file(wal, original_size - 20);
+
+  std::ostringstream torn_info;
+  EXPECT_EQ(run({"store-info", "--store", store}, torn_info, err), 0);
+  EXPECT_NE(torn_info.str().find("fleet: 3 users"), std::string::npos);
+  EXPECT_NE(torn_info.str().find("3 records replayed"), std::string::npos);
+  EXPECT_NE(torn_info.str().find("tail: torn"), std::string::npos);
+  EXPECT_NE(torn_info.str().find("repaired on open"), std::string::npos);
+
+  // The open above truncated the log to the salvaged prefix; a second
+  // look sees a clean store.
+  std::ostringstream clean_info;
+  EXPECT_EQ(run({"store-info", "--store", store}, clean_info, err), 0);
+  EXPECT_NE(clean_info.str().find("tail: clean"), std::string::npos);
+  EXPECT_NE(clean_info.str().find("fleet: 3 users"), std::string::npos);
+}
+
+TEST(CliTest, StoreUsageAndDomainErrors) {
+  const std::string dir = temp_dir("store_errs");
+  const std::string store = temp_dir("store_errs_db");
+  std::ostringstream out, err;
+  // A trace-dir operand and --store are mutually exclusive.
+  EXPECT_EQ(run({"analyze", dir, "--store", store}, out, err), 2);
+  // --report-every needs the original arrival sequence, not a store.
+  EXPECT_EQ(run({"analyze", "--store", store, "--incremental",
+                 "--report-every", "2"},
+                out, err),
+            2);
+  // Ingest with nothing to ingest is a usage error.
+  EXPECT_EQ(run({"ingest", "--store", store}, out, err), 2);
+  // Analyzing an empty (but valid) store is an analysis error.
+  EXPECT_EQ(run({"analyze", "--store", store}, out, err), 4);
+  // store-info on a directory that does not exist.
+  EXPECT_EQ(run({"store-info", "--store", store + "_missing"}, out, err), 2);
+}
+
 TEST(CliTest, AnalyzeRejectsEmptyDirectory) {
   const std::string dir = temp_dir("empty");
   std::ostringstream report;
