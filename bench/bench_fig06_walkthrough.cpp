@@ -101,8 +101,8 @@ int main() {
       std::cout << "  " << event.name()
                 << std::string(10 - event.name().size(), ' ')
                 << strings::format_double(event.raw_power, 0) << "\t"
-                << strings::format_double(event.normalized_power, 2) << "\t"
-                << strings::format_double(event.variation_amplitude, 2)
+                << strings::format_double(trace.normalized_power[i], 2) << "\t"
+                << strings::format_double(trace.variation_amplitude[i], 2)
                 << (detected ? "   <== manifestation point" : "") << "\n";
     }
     std::cout << "  detected points: " << trace.manifestation_indices.size()

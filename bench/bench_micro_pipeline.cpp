@@ -2,6 +2,7 @@
 // and its hot substrate paths.  Not a paper figure — harness health.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -210,6 +211,23 @@ void BM_Step4Detection(benchmark::State& state) {
 }
 BENCHMARK(BM_Step4Detection);
 
+/// Step 4 alone across trace sizes: one trace of N instances, so the
+/// per-instance rate isolates how the amplitude/decision kernel scales
+/// (items_per_second is instances/s) without the fixed per-trace costs of
+/// the 30-trace fixture above.
+void BM_Step4DetectionSize(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  auto traces = core::estimate_event_power(synthetic_bundles(1, instances));
+  const auto ranking = core::EventRanking::build(traces);
+  core::normalize_events(traces, ranking);
+  for (auto _ : state) {
+    core::detect_all(traces);
+    benchmark::DoNotOptimize(traces);
+  }
+  state.SetItemsProcessed(state.iterations() * instances);
+}
+BENCHMARK(BM_Step4DetectionSize)->Arg(100)->Arg(1'000)->Arg(10'000);
+
 void BM_Step5Reporting(benchmark::State& state) {
   auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
   const auto ranking = core::EventRanking::build(traces);
@@ -302,6 +320,62 @@ void BM_FleetBatchRecompute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * fleet);
 }
 BENCHMARK(BM_FleetBatchRecompute)->Arg(50)->Arg(100)->Arg(200);
+
+/// The sparse-arrival regime the delta path is built for: every trace is
+/// dominated by common events whose power is bit-identical across users
+/// (their base never moves, so they never dirty anything), plus one rare
+/// event shared by ~8 users whose power varies per user.  An arrival
+/// therefore perturbs only the handful of traces holding its rare event,
+/// and the amortized per-arrival cost should stay near-flat as the fleet
+/// grows — contrast with BM_FleetIncremental, where all 12 shared events'
+/// bases move on every arrival and each snapshot touches the whole fleet.
+std::vector<trace::TraceBundle> sparse_bundles(int fleet) {
+  std::vector<trace::TraceBundle> bundles;
+  const int rare_pool = std::max(1, fleet / 8);
+  for (int user = 0; user < fleet; ++user) {
+    trace::TraceBundle bundle;
+    bundle.user = user;
+    bundle.device_name = "Nexus 6";
+    std::vector<power::UtilizationSample> samples;
+    for (int i = 0; i < 50; ++i) {
+      const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+      const bool rare = i % 10 == 5;
+      bundle.events.add_instance(
+          rare ? "R" + std::to_string(user % rare_pool)
+               : "C" + std::to_string(i % 8),
+          {t + 10, t + 40});
+      power::UtilizationSample sample;
+      sample.timestamp = t + 500;
+      // Common events: exactly 100 mW for every user, so their bases are
+      // bitwise stable.  Rare events: a per-user level, so each arrival
+      // moves exactly one rare base.
+      sample.estimated_app_power_mw =
+          rare ? 150.0 + 3.0 * static_cast<double>(user) : 100.0;
+      samples.push_back(sample);
+      sample.timestamp = t + 1000;
+      samples.push_back(sample);
+    }
+    bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+void BM_FleetIncrementalSparse(benchmark::State& state) {
+  const int fleet = static_cast<int>(state.range(0));
+  const std::vector<trace::TraceBundle> bundles = sparse_bundles(fleet);
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  for (auto _ : state) {
+    core::FleetAnalyzer analyzer(config);
+    for (const trace::TraceBundle& bundle : bundles) {
+      analyzer.add_bundle(bundle);
+      benchmark::DoNotOptimize(analyzer.snapshot());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fleet);
+}
+BENCHMARK(BM_FleetIncrementalSparse)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
 void BM_NoSleepStaticAnalysis(benchmark::State& state) {
   const workload::AppCase app = workload::k9_mail_case();

@@ -85,8 +85,8 @@ inline void print_step_series(const core::AnalyzedTrace& trace,
                   i) != trace.manifestation_indices.end();
     table.add_row({std::to_string(i), android::short_event_name(event.name()),
                    strings::format_double(event.raw_power, 1),
-                   strings::format_double(event.normalized_power, 2),
-                   strings::format_double(event.variation_amplitude, 2),
+                   strings::format_double(trace.normalized_power[i], 2),
+                   strings::format_double(trace.variation_amplitude[i], 2),
                    detected ? "<== manifestation" : ""});
   }
   table.print(out);

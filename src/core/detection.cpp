@@ -1,133 +1,233 @@
 #include "core/detection.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 #include "common/stats.h"
 
 namespace edx::core {
 
-void attribute_variation_amplitude(AnalyzedTrace& trace,
-                                   const DetectionConfig& config) {
-  const std::size_t count = trace.events.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    PoweredEvent& event = trace.events[i];
-    event.run_peak_index = i;
-    if (i + 1 >= count) {
-      event.variation_amplitude = 0.0;
-      continue;
-    }
-    const double single_step =
-        trace.events[i + 1].normalized_power - event.normalized_power;
-    event.run_peak_index = i + 1;
-    if (!config.extend_monotone_runs || single_step <= 0.0) {
-      // "If the normalized power keeps increasing from the i-th instance":
-      // the run must rise from instance i itself, otherwise V_i is the
-      // plain single-step difference.
-      event.variation_amplitude = single_step;
-      continue;
-    }
-    // Walk forward while normalized power keeps increasing, bridging at
-    // most `run_dip_tolerance` consecutive flat/dipping steps (sampling
-    // staircase), provided power stays at or above the run's start.  The
-    // amplitude is measured to the highest point of the run.
-    const double start = event.normalized_power;
-    std::size_t end = i + 1;
-    double peak = trace.events[end].normalized_power;
-    std::size_t peak_index = end;
-    std::size_t dips = 0;
-    while (end + 1 < count) {
-      const double current = trace.events[end].normalized_power;
-      const double next = trace.events[end + 1].normalized_power;
-      if (next > current) {
-        ++end;
-        if (next > peak) {
-          peak = next;
-          peak_index = end;
-        }
-      } else if (next == current) {
-        // Events in the same sample window read identical power; bridging
-        // them costs nothing.
-        ++end;
-      } else if (dips < config.run_dip_tolerance && next >= start &&
-                 current - next <=
-                     config.run_dip_fraction * (peak - start)) {
-        ++end;
-        ++dips;
-      } else {
-        break;
-      }
-    }
-    event.variation_amplitude = peak - start;
-    event.run_peak_index = peak_index;
-  }
-}
+namespace {
 
-void detect_manifestation_points(AnalyzedTrace& trace,
-                                 const DetectionConfig& config) {
-  trace.manifestation_indices.clear();
-  if (trace.events.empty()) {
-    trace.amplitude_quartiles = {};
-    trace.outlier_fence = config.min_amplitude;
+/// Recomputes the amplitude of the single instance `i` from the normalized
+/// lane, writing the amplitude/peak/dependency lanes at `i`.  Shared by
+/// the full pass and the incremental repair so both produce bit-identical
+/// values by construction.
+inline void amplitude_at(const double* norm, std::size_t count, std::size_t i,
+                         const DetectionConfig& config, double* amp,
+                         std::uint32_t* peak, std::uint32_t* dep) {
+  if (i + 1 >= count) {
+    amp[i] = 0.0;
+    peak[i] = static_cast<std::uint32_t>(i);
+    dep[i] = static_cast<std::uint32_t>(i);
     return;
   }
-
-  // The scratch copy exists only for the quartiles; sorting it in place
-  // avoids a second copy inside stats::quartiles().  The detection loop
-  // below reads the amplitudes from the events, which stay in order.
-  // thread_local so re-detecting a whole fleet (snapshot refresh, batch
-  // Step 4) allocates once per worker, not once per trace.
-  thread_local std::vector<double> amplitudes;
-  amplitudes.clear();
-  amplitudes.reserve(trace.events.size());
-  for (const PoweredEvent& event : trace.events) {
-    amplitudes.push_back(event.variation_amplitude);
+  const double single_step = norm[i + 1] - norm[i];
+  if (!config.extend_monotone_runs || single_step <= 0.0) {
+    // "If the normalized power keeps increasing from the i-th instance":
+    // the run must rise from instance i itself, otherwise V_i is the
+    // plain single-step difference.
+    amp[i] = single_step;
+    peak[i] = static_cast<std::uint32_t>(i + 1);
+    dep[i] = static_cast<std::uint32_t>(i + 1);
+    return;
   }
-  std::sort(amplitudes.begin(), amplitudes.end());
-  trace.amplitude_quartiles = stats::quartiles_sorted(amplitudes);
+  // Walk forward while normalized power keeps increasing, bridging at
+  // most `run_dip_tolerance` flat/dipping steps (sampling staircase),
+  // provided power stays at or above the run's start.  The amplitude is
+  // measured to the highest point of the run.
+  const double start = norm[i];
+  std::size_t end = i + 1;
+  double run_peak = norm[end];
+  std::size_t peak_index = end;
+  std::size_t dips = 0;
+  while (end + 1 < count) {
+    const double current = norm[end];
+    const double next = norm[end + 1];
+    if (next > current) {
+      ++end;
+      if (next > run_peak) {
+        run_peak = next;
+        peak_index = end;
+      }
+    } else if (next == current) {
+      // Events in the same sample window read identical power; bridging
+      // them costs nothing.
+      ++end;
+    } else if (dips < config.run_dip_tolerance && next >= start &&
+               current - next <= config.run_dip_fraction * (run_peak - start)) {
+      ++end;
+      ++dips;
+    } else {
+      break;
+    }
+  }
+  amp[i] = run_peak - start;
+  peak[i] = static_cast<std::uint32_t>(peak_index);
+  // The scan inspected normalized powers up to norm[end + 1] (the value
+  // that ended the run), capped at the last instance when the run ran off
+  // the trace edge.
+  dep[i] = static_cast<std::uint32_t>(std::min(end + 1, count - 1));
+}
+
+/// Quartiles + fence + the outlier decision loop, from an already-sorted
+/// amplitude multiset.  The decision loop reads the contiguous lanes; the
+/// per-candidate sustain check is the only strided access left.
+void detect_from_sorted(AnalyzedTrace& trace, const DetectionConfig& config,
+                        std::span<const double> sorted_amplitudes) {
+  trace.amplitude_quartiles = stats::quartiles_sorted(sorted_amplitudes);
   const double iqr_fence =
       trace.amplitude_quartiles.q3 +
       config.fence_iqr_multiplier * trace.amplitude_quartiles.iqr();
   trace.outlier_fence = std::max(iqr_fence, config.min_amplitude);
 
+  const std::size_t count = trace.events.size();
+  const double* norm = trace.normalized_power.data();
+  const double* amp = trace.variation_amplitude.data();
+  const std::uint32_t* peak = trace.run_peak_index.data();
+
   const auto is_sustained = [&](std::size_t i) {
     if (!config.require_sustained) return true;
-    const PoweredEvent& event = trace.events[i];
-    const double start = event.normalized_power;
-    const double midpoint = start + 0.5 * event.variation_amplitude;
-    const std::size_t peak = event.run_peak_index;
+    const double start = norm[i];
+    const double midpoint = start + 0.5 * amp[i];
+    const std::size_t peak_index = peak[i];
     const TimestampMs window_end =
-        trace.events[peak].interval.begin + config.sustain_window_ms;
+        trace.events[peak_index].interval.begin + config.sustain_window_ms;
     double total = 0.0;
     std::size_t counted = 0;
-    for (std::size_t j = peak; j < trace.events.size(); ++j) {
+    for (std::size_t j = peak_index; j < count; ++j) {
       if (trace.events[j].interval.begin > window_end) break;
-      total += trace.events[j].normalized_power;
+      total += norm[j];
       ++counted;
     }
     if (counted <= 1) {
       // Nothing else begins inside the window (the app went quiet).  Judge
       // by the next recorded observation alone — averaging it with the
       // peak would always land exactly on the midpoint and never reject.
-      if (peak + 1 >= trace.events.size()) return true;  // trace edge
-      return trace.events[peak + 1].normalized_power >= midpoint;
+      if (peak_index + 1 >= count) return true;  // trace edge
+      return norm[peak_index + 1] >= midpoint;
     }
     return total / static_cast<double>(counted) >= midpoint;
   };
 
-  for (std::size_t i = 0; i < trace.events.size(); ++i) {
-    if (trace.events[i].variation_amplitude > trace.outlier_fence &&
-        trace.events[trace.events[i].run_peak_index].normalized_power >=
-            config.min_peak_level &&
+  trace.manifestation_indices.clear();
+  const double fence = trace.outlier_fence;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (amp[i] > fence && norm[peak[i]] >= config.min_peak_level &&
         is_sustained(i)) {
       trace.manifestation_indices.push_back(i);
     }
   }
 }
 
+void require_normalized(const AnalyzedTrace& trace, const char* who) {
+  if (trace.normalized_power.size() != trace.events.size()) {
+    throw AnalysisError(std::string(who) +
+                        ": normalized_power lane not filled (run Step 3 "
+                        "before Step 4)");
+  }
+}
+
+}  // namespace
+
+void attribute_variation_amplitude(AnalyzedTrace& trace,
+                                   const DetectionConfig& config) {
+  require_normalized(trace, "attribute_variation_amplitude");
+  const std::size_t count = trace.events.size();
+  trace.variation_amplitude.resize(count);
+  trace.run_peak_index.resize(count);
+  trace.run_dep_end.resize(count);
+  const double* norm = trace.normalized_power.data();
+  double* amp = trace.variation_amplitude.data();
+  std::uint32_t* peak = trace.run_peak_index.data();
+  std::uint32_t* dep = trace.run_dep_end.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    amplitude_at(norm, count, i, config, amp, peak, dep);
+  }
+}
+
+void repair_variation_amplitudes(AnalyzedTrace& trace,
+                                 std::span<const std::uint32_t> changed,
+                                 const DetectionConfig& config,
+                                 std::vector<AmplitudeChange>& amp_changes) {
+  if (changed.empty()) return;
+  require_normalized(trace, "repair_variation_amplitudes");
+  const std::size_t count = trace.events.size();
+  const double* norm = trace.normalized_power.data();
+  double* amp = trace.variation_amplitude.data();
+  std::uint32_t* peak = trace.run_peak_index.data();
+  std::uint32_t* dep = trace.run_dep_end.data();
+
+  // V_j depends exactly on norm[j .. run_dep_end[j]]: the scan that
+  // produced it inspected those values and no others, and it is
+  // deterministic in them.  So V_j can only have moved when some changed
+  // position lands inside that window — walk j upward with a two-pointer
+  // over the ascending changed list and recompute exactly those
+  // amplitudes.  A recomputed V_j also refreshes its own window, keeping
+  // the invariant for the next snapshot.  Positions after the last
+  // changed index can never be affected (their windows start after it).
+  const std::uint32_t last_changed = changed.back();
+  std::size_t next_changed = 0;
+  for (std::uint32_t j = 0; j <= last_changed; ++j) {
+    while (changed[next_changed] < j) ++next_changed;
+    if (changed[next_changed] > dep[j]) continue;  // window unperturbed
+    const double old_amp = amp[j];
+    amplitude_at(norm, count, j, config, amp, peak, dep);
+    if (amp[j] != old_amp) {
+      amp_changes.push_back({j, old_amp, amp[j]});
+    }
+  }
+}
+
+void detect_manifestation_points(AnalyzedTrace& trace,
+                                 const DetectionConfig& config) {
+  thread_local std::vector<double> scratch;
+  detect_manifestation_points(trace, config, scratch);
+}
+
+void detect_manifestation_points(AnalyzedTrace& trace,
+                                 const DetectionConfig& config,
+                                 std::vector<double>& sorted_scratch) {
+  if (trace.events.empty()) {
+    trace.manifestation_indices.clear();
+    trace.amplitude_quartiles = {};
+    trace.outlier_fence = config.min_amplitude;
+    sorted_scratch.clear();
+    return;
+  }
+  // The scratch copy exists only for the quartiles; sorting it avoids
+  // disturbing the in-order amplitude lane the decision loop reads.  The
+  // caller may keep the sorted copy as an order-statistic cache
+  // (core/fleet_analyzer.h) and maintain it by remove/insert afterwards.
+  sorted_scratch.resize(trace.variation_amplitude.size());
+  std::memcpy(sorted_scratch.data(), trace.variation_amplitude.data(),
+              trace.variation_amplitude.size() * sizeof(double));
+  std::sort(sorted_scratch.begin(), sorted_scratch.end());
+  detect_from_sorted(trace, config, sorted_scratch);
+}
+
+void redetect_manifestation_points(AnalyzedTrace& trace,
+                                   const DetectionConfig& config,
+                                   std::span<const double> sorted_amplitudes) {
+  if (trace.events.empty()) {
+    trace.manifestation_indices.clear();
+    trace.amplitude_quartiles = {};
+    trace.outlier_fence = config.min_amplitude;
+    return;
+  }
+  detect_from_sorted(trace, config, sorted_amplitudes);
+}
+
 void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config) {
   attribute_variation_amplitude(trace, config);
   detect_manifestation_points(trace, config);
+}
+
+void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config,
+                  std::vector<double>& sorted_scratch) {
+  attribute_variation_amplitude(trace, config);
+  detect_manifestation_points(trace, config, sorted_scratch);
 }
 
 void detect_all(std::vector<AnalyzedTrace>& traces,
@@ -136,7 +236,11 @@ void detect_all(std::vector<AnalyzedTrace>& traces,
   require(config.fence_iqr_multiplier >= 0.0,
           "detect_all: fence multiplier must be non-negative");
   if (pool == nullptr || pool->size() <= 1 || traces.size() <= 1) {
-    for (AnalyzedTrace& trace : traces) detect_trace(trace, config);
+    // One scratch buffer hoisted across the whole fleet: no per-trace
+    // allocation and no per-trace thread_local lookup (the latter cost
+    // ~7% of BM_Step4Detection on small traces; see BENCH_pipeline.json).
+    std::vector<double> scratch;
+    for (AnalyzedTrace& trace : traces) detect_trace(trace, config, scratch);
   } else {
     pool->parallel_for(0, traces.size(),
                        [&](std::size_t i) { detect_trace(traces[i], config); });

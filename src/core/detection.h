@@ -12,6 +12,8 @@
 // k = 3) of the trace's amplitude distribution.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -65,15 +67,56 @@ struct DetectionConfig {
   double min_peak_level{2.0};
 };
 
-/// Fills `variation_amplitude` for every instance of `trace` in place.
+/// Fills the `variation_amplitude`, `run_peak_index` and `run_dep_end`
+/// lanes for every instance of `trace` in place.  Requires Step 3's
+/// `normalized_power` lane (throws AnalysisError otherwise).
 void attribute_variation_amplitude(AnalyzedTrace& trace,
                                    const DetectionConfig& config = {});
+
+/// One amplitude whose value moved during an incremental repair: the
+/// before/after pair an order-statistic quartile cache needs to stay in
+/// sync by remove/insert (core/fleet_analyzer.h).
+struct AmplitudeChange {
+  std::uint32_t index{0};
+  double old_amplitude{0.0};
+  double new_amplitude{0.0};
+};
+
+/// Incremental Step 4 (core/fleet_analyzer.h): repairs the amplitude
+/// lanes after the normalized powers at `changed` (ascending, deduplicated
+/// instance positions) were rewritten in place.  V_j depends only on the
+/// normalized powers in [j, run_dep_end[j]], so only amplitudes whose run
+/// window contains a changed position are recomputed — bit-identical to a
+/// full attribute_variation_amplitude() pass, at O(windows) cost.
+/// Appends one record per amplitude whose value moved to `amp_changes`
+/// (not cleared).  Lanes must hold the pre-change state produced by a
+/// prior full pass or repair.
+void repair_variation_amplitudes(AnalyzedTrace& trace,
+                                 std::span<const std::uint32_t> changed,
+                                 const DetectionConfig& config,
+                                 std::vector<AmplitudeChange>& amp_changes);
 
 /// Runs outlier detection on the amplitudes, filling
 /// `manifestation_indices`, `amplitude_quartiles` and `outlier_fence`.
 /// Requires attribute_variation_amplitude() to have run.
 void detect_manifestation_points(AnalyzedTrace& trace,
                                  const DetectionConfig& config = {});
+/// Same, but sorts the amplitudes into `sorted_scratch` instead of a
+/// thread_local buffer — the caller reuses one buffer across many traces,
+/// or keeps the sorted copy as a live order-statistic quartile cache.
+void detect_manifestation_points(AnalyzedTrace& trace,
+                                 const DetectionConfig& config,
+                                 std::vector<double>& sorted_scratch);
+
+/// Incremental Step 4, decision phase: quartiles, fence and the outlier
+/// scan from an already-sorted amplitude multiset (the caller maintained
+/// it by remove/insert after repair_variation_amplitudes).  Because the
+/// ascending order of a multiset is unique, the quartiles — and therefore
+/// the fence and the detected points — are bitwise identical to the full
+/// sort-and-detect path.
+void redetect_manifestation_points(AnalyzedTrace& trace,
+                                   const DetectionConfig& config,
+                                   std::span<const double> sorted_amplitudes);
 
 /// Both phases for one trace — the per-trace unit of work detect_all
 /// shards, and the incremental entry point (core/fleet_analyzer.h): a
@@ -81,6 +124,9 @@ void detect_manifestation_points(AnalyzedTrace& trace,
 /// fleet engine re-detects exactly the traces whose normalization
 /// changed.
 void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config = {});
+/// Same, with a caller-owned sort buffer (see detect_manifestation_points).
+void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config,
+                  std::vector<double>& sorted_scratch);
 
 /// Convenience: both phases over a whole collection.  Detection is
 /// per-trace, so with a pool the traces run in parallel (one task per

@@ -1,5 +1,6 @@
 #include "core/fleet_analyzer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.h"
@@ -23,6 +24,55 @@ FleetAnalyzer::FleetAnalyzer(AnalysisConfig config) : config_(config) {
   if (common::ThreadPool::resolve_threads(config_.num_threads) > 1) {
     pool_ = &pool_storage_.emplace(config_.num_threads);
   }
+}
+
+void FleetAnalyzer::TraceCache::rebuild_index(const AnalyzedTrace& trace) {
+  const std::size_t count = trace.events.size();
+  positions.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    positions[i] = static_cast<std::uint32_t>(i);
+  }
+  // Stable by construction keeps each event's instances ascending within
+  // its group, which is what renormalize_instances/repair expect.
+  std::stable_sort(positions.begin(), positions.end(),
+                   [&trace](std::uint32_t a, std::uint32_t b) {
+                     return trace.events[a].id < trace.events[b].id;
+                   });
+  groups.clear();
+  std::size_t i = 0;
+  while (i < count) {
+    const EventId id = trace.events[positions[i]].id;
+    std::size_t j = i + 1;
+    while (j < count && trace.events[positions[j]].id == id) ++j;
+    groups.push_back({id, static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+}
+
+void FleetAnalyzer::TraceCache::rebuild_amplitude_cache(
+    const AnalyzedTrace& trace) {
+  const std::size_t count = trace.variation_amplitude.size();
+  const double* amp = trace.variation_amplitude.data();
+  sorted_order.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sorted_order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(sorted_order.begin(), sorted_order.end(),
+            [amp](std::uint32_t a, std::uint32_t b) { return amp[a] < amp[b]; });
+  sorted_amplitudes.resize(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    sorted_amplitudes[p] = amp[sorted_order[p]];
+  }
+}
+
+std::span<const std::uint32_t> FleetAnalyzer::TraceCache::positions_of(
+    EventId id) const {
+  const auto it = std::lower_bound(
+      groups.begin(), groups.end(), id,
+      [](const Group& group, EventId key) { return group.id < key; });
+  if (it == groups.end() || it->id != id) return {};
+  return {positions.data() + it->begin, it->count};
 }
 
 void FleetAnalyzer::sync_id_bound() {
@@ -71,22 +121,23 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
     // New user: append a fleet slot.  The arriving trace is last in
     // arrival order, so appending its instances to the per-event
     // distributions preserves the batch build's sequential traversal
-    // order exactly.
+    // order exactly.  The position index doubles as the distinct-id list
+    // and carries per-event instance counts, which pre-size the
+    // distributions so append_trace never reallocates mid-arrival.
     const std::size_t slot = result_.traces.size();
     index_by_user_.emplace(analyzed.user, slot);
-    std::vector<EventId> distinct;
-    for (const PoweredEvent& event : analyzed.events) {
-      if (seen_scratch_[event.id] != 0) continue;
-      seen_scratch_[event.id] = 1;
-      distinct.push_back(event.id);
-      traces_with_event_[event.id].push_back(
-          static_cast<std::uint32_t>(slot));
-      mark_event_dirty(event.id);
+    TraceCache cache;
+    cache.rebuild_index(analyzed);
+    for (const TraceCache::Group& group : cache.groups) {
+      traces_with_event_[group.id].push_back(static_cast<std::uint32_t>(slot));
+      mark_event_dirty(group.id);
+      result_.ranking.reserve_event_extra(group.id, group.count);
     }
-    for (EventId id : distinct) seen_scratch_[id] = 0;
     result_.ranking.append_trace(analyzed);
     result_.traces.push_back(std::move(analyzed));
+    cache_.push_back(std::move(cache));
     trace_dirty_.push_back(1);
+    slot_moved_events_.emplace_back();
     return;
   }
 
@@ -107,6 +158,7 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
   collect(result_.traces[slot]);
   collect(analyzed);
   result_.traces[slot] = std::move(analyzed);
+  cache_[slot].rebuild_index(result_.traces[slot]);
   trace_dirty_[slot] = 1;
 
   const std::size_t id_bound = bases_.size();
@@ -130,49 +182,192 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
   }
 }
 
+void FleetAnalyzer::full_refresh(std::size_t slot) {
+  // Cold path (new or replaced trace): full SoA kernels, and one argsort
+  // seeds the slot's order-statistic amplitude cache — values *and*
+  // permutation — for later delta snapshots.
+  AnalyzedTrace& trace = result_.traces[slot];
+  normalize_trace(trace, bases_);
+  attribute_variation_amplitude(trace, config_.detection);
+  cache_[slot].rebuild_amplitude_cache(trace);
+  redetect_manifestation_points(trace, config_.detection,
+                                cache_[slot].sorted_amplitudes);
+}
+
+void FleetAnalyzer::TraceCache::repair_sorted(const AnalyzedTrace& trace) {
+  // Order-statistic quartile maintenance.  Gather the repaired lane
+  // through the previous snapshot's permutation: repaired values land
+  // near their old rank, so the gathered array is already almost
+  // ascending and one adaptive insertion pass — remove each displaced
+  // value, re-insert it at its ordered slot — restores order in
+  // O(n + inversions) instead of the O(n log n) a per-snapshot re-sort
+  // would pay (the dominant cost of dense snapshots; see
+  // BENCH_pipeline.json).  Ascending order of a multiset is unique, so
+  // the result is bitwise equal to a fresh sort of the lane, and Q1/Q3
+  // and the fence stay bitwise identical to the batch sort-and-detect
+  // path.  A move budget bounds the pathological case (repair reshuffled
+  // most ranks): past it, fall back to one argsort.
+  const double* amp = trace.variation_amplitude.data();
+  const std::size_t count = sorted_amplitudes.size();
+  double* sorted = sorted_amplitudes.data();
+  std::uint32_t* order = sorted_order.data();
+  for (std::size_t p = 0; p < count; ++p) sorted[p] = amp[order[p]];
+  std::size_t moves = 0;
+  const std::size_t budget = 2 * count + 32;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (sorted[i - 1] <= sorted[i]) continue;
+    const double value = sorted[i];
+    const std::uint32_t index = order[i];
+    std::size_t j = i;
+    do {
+      sorted[j] = sorted[j - 1];
+      order[j] = order[j - 1];
+      --j;
+      ++moves;
+    } while (j > 0 && sorted[j - 1] > value);
+    sorted[j] = value;
+    order[j] = index;
+    if (moves > budget) {
+      rebuild_amplitude_cache(trace);
+      return;
+    }
+  }
+}
+
+void FleetAnalyzer::delta_refresh(std::size_t slot) {
+  AnalyzedTrace& trace = result_.traces[slot];
+  TraceCache& cache = cache_[slot];
+  std::vector<EventId>& moved = slot_moved_events_[slot];
+
+  // Density cutover: when the moved bases cover a sizable share of the
+  // trace's instances, the scattered machinery below (indirect
+  // renormalization, changed-set merge, windowed repair) costs more than
+  // the two linear kernels it exists to avoid — so re-run Steps 3+4
+  // outright and keep only the permutation-maintained quartiles.  Both
+  // kernels recompute every position from the same inputs with the same
+  // expressions, so unchanged positions reproduce their old values
+  // bitwise and the lanes match the scatter path exactly.
+  std::size_t touched = 0;
+  for (EventId id : moved) touched += cache.positions_of(id).size();
+  if (touched * 4 >= trace.events.size()) {
+    moved.clear();
+    normalize_trace(trace, bases_);
+    attribute_variation_amplitude(trace, config_.detection);
+    cache.repair_sorted(trace);
+    redetect_manifestation_points(trace, config_.detection,
+                                  cache.sorted_amplitudes);
+    return;
+  }
+
+  // Scatter renormalization: rewrite only the moved-base events'
+  // instances; everything else in the trace keeps its (still-valid)
+  // normalized power.  `changed` collects the instance positions whose
+  // value actually moved.
+  thread_local std::vector<std::uint32_t> changed;
+  thread_local std::vector<AmplitudeChange> amp_changes;
+  changed.clear();
+  amp_changes.clear();
+  const bool multiple_events = moved.size() > 1;
+  for (EventId id : moved) {
+    renormalize_instances(trace, cache.positions_of(id), bases_[id], changed);
+  }
+  moved.clear();
+  if (changed.empty()) return;  // every quotient landed on the same double
+  // Each event's positions arrive ascending; a multi-event scatter needs
+  // one merge into global instance order for the repair's two-pointer.
+  // When most of the trace moved (the dense regime), a counting pass over
+  // the instance range is far cheaper than a comparison sort.
+  if (multiple_events) {
+    if (changed.size() * 8 >= trace.events.size()) {
+      thread_local std::vector<std::uint8_t> flags;
+      thread_local std::vector<std::uint32_t> merged;
+      flags.assign(trace.events.size(), 0);
+      for (std::uint32_t position : changed) flags[position] = 1;
+      merged.clear();
+      for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+        if (flags[i] != 0) merged.push_back(i);
+      }
+      changed.swap(merged);
+    } else {
+      std::sort(changed.begin(), changed.end());
+    }
+  }
+
+  // Local amplitude repair: only run windows containing a changed
+  // instance are recomputed; each repaired amplitude reports its
+  // before/after pair for the quartile cache.
+  repair_variation_amplitudes(trace, changed, config_.detection, amp_changes);
+
+  // Quartile maintenance only when some amplitude actually moved; the
+  // cache stays valid otherwise.
+  if (!amp_changes.empty()) cache.repair_sorted(trace);
+
+  // Decision phase always re-runs when any normalized power moved: the
+  // peak-level and sustain guards read normalized values directly, so
+  // points can flip even when every amplitude kept its value.
+  redetect_manifestation_points(trace, config_.detection,
+                                cache.sorted_amplitudes);
+}
+
 const AnalysisResult& FleetAnalyzer::snapshot() {
   if (result_.traces.empty()) {
     throw AnalysisError("FleetAnalyzer::snapshot: no traces collected");
   }
   sync_id_bound();
 
-  // Step 2+3 (incremental): re-derive the base power of dirty events only;
-  // an event whose base actually moved dirties every trace containing it,
-  // because those traces' normalized powers are stale.  Untouched events
-  // keep their cached base — and their traces stay clean.
+  // Step 2+3 (incremental): re-derive the base power of dirty events
+  // only; untouched events keep their cached base.  Only events whose
+  // base actually moved bitwise create downstream work.
+  moved_events_.clear();
   for (EventId id : dirty_events_) {
     event_dirty_[id] = 0;
     const double base =
         base_power_of(result_.ranking.all()[id], config_.normalization);
     if (base == bases_[id]) continue;
     bases_[id] = base;
-    for (std::uint32_t slot : traces_with_event_[id]) {
-      trace_dirty_[slot] = 1;
-    }
+    moved_events_.push_back(id);
   }
   dirty_events_.clear();
 
-  std::vector<std::size_t> dirty_slots;
+  // Work-list: cold slots (new or replaced traces) re-run the full
+  // kernels; clean slots containing a moved-base event take the delta
+  // path, each carrying its own list of moved events.  The per-slot
+  // position index filters the stale entries a replacement may have left
+  // in traces_with_event_.
+  delta_slots_.clear();
+  for (EventId id : moved_events_) {
+    for (std::uint32_t slot : traces_with_event_[id]) {
+      if (trace_dirty_[slot] != 0) continue;
+      if (cache_[slot].positions_of(id).empty()) continue;  // stale entry
+      std::vector<EventId>& moved = slot_moved_events_[slot];
+      if (moved.empty()) delta_slots_.push_back(slot);
+      moved.push_back(id);
+    }
+  }
+  cold_slots_.clear();
   for (std::size_t s = 0; s < trace_dirty_.size(); ++s) {
     if (trace_dirty_[s] != 0) {
-      dirty_slots.push_back(s);
+      cold_slots_.push_back(static_cast<std::uint32_t>(s));
       trace_dirty_[s] = 0;
     }
   }
 
-  // Steps 3+4 on the dirty traces only.  Each task owns one trace slot
+  // Steps 3+4 on the perturbed slice only.  Each task owns one trace slot
   // and reads the shared base table, so the parallel path is identical to
   // the sequential one for any pool size (same argument as detect_all).
-  const auto refresh = [this](std::size_t slot) {
-    AnalyzedTrace& trace = result_.traces[slot];
-    normalize_trace(trace, bases_);
-    detect_trace(trace, config_.detection);
+  const std::size_t cold_count = cold_slots_.size();
+  const std::size_t total = cold_count + delta_slots_.size();
+  const auto refresh = [this, cold_count](std::size_t i) {
+    if (i < cold_count) {
+      full_refresh(cold_slots_[i]);
+    } else {
+      delta_refresh(delta_slots_[i - cold_count]);
+    }
   };
-  if (pool_ == nullptr || pool_->size() <= 1 || dirty_slots.size() <= 1) {
-    for (std::size_t slot : dirty_slots) refresh(slot);
+  if (pool_ == nullptr || pool_->size() <= 1 || total <= 1) {
+    for (std::size_t i = 0; i < total; ++i) refresh(i);
   } else {
-    pool_->parallel_for(0, dirty_slots.size(),
-                        [&](std::size_t i) { refresh(dirty_slots[i]); });
+    pool_->parallel_for(0, total, refresh);
   }
 
   // Step 5 is O(manifestations), cheap enough to rebuild outright.

@@ -5,18 +5,23 @@
 // WiFi") and the server re-diagnoses the growing fleet after each
 // arrival.  Re-running the batch ManifestationAnalyzer per arrival costs
 // a full O(fleet) pass over Steps 1-5 every time; this engine makes an
-// arrival cost O(arriving trace) plus the slice of Steps 2-5 the arrival
-// actually touched:
+// arrival cost O(arriving trace) plus O(Δ) — the slice of Steps 2-5 the
+// arrival actually perturbed:
 //
 //   add_bundle   runs Step 1 (the power-join, the expensive per-trace
 //                work) for the arriving bundle only and appends its
 //                instances into the id-indexed EventRanking, marking the
 //                touched EventIds dirty;
 //   snapshot     re-runs Steps 2-5 incrementally — recomputes base
-//                powers for dirty events only (cached bases serve the
-//                untouched ones), renormalizes and re-detects only the
-//                traces whose bases (or raw powers) changed, and rebuilds
-//                the cheap Step-5 report.
+//                powers for dirty events only, then repairs the traces a
+//                moved base touched at sub-trace granularity: scatter
+//                renormalization rewrites only the moved events'
+//                instances, amplitude repair recomputes only the monotone
+//                run windows those instances perturb, and each trace's
+//                amplitude quartiles are maintained in an ordered
+//                multiset by remove/insert instead of a per-snapshot
+//                re-sort.  New and replaced traces take the cold
+//                (full-kernel) path.  See DESIGN.md §11.
 //
 // Equivalence contract: after any sequence of add_bundle() calls,
 // snapshot() is byte-identical — rendered text and JSON reports and every
@@ -25,7 +30,7 @@
 // Re-adding a user (same TraceBundle::fleet_key()) replaces their earlier
 // bundle in its original fleet slot, matching a batch input whose slot
 // holds the latest upload; it never duplicates the user.
-// See DESIGN.md §9.
+// See DESIGN.md §9 and §11.
 #pragma once
 
 #include <cstdint>
@@ -72,18 +77,67 @@ class FleetAnalyzer {
   /// cost.
   void add_analyzed(AnalyzedTrace analyzed);
 
-  /// Re-runs Steps 2-5 on the dirty slice and returns the full result —
-  /// byte-identical to a batch ManifestationAnalyzer::run over the
-  /// current fleet (see the contract above).  The reference stays valid
-  /// until the next add_bundle/add_bundles call.  Throws AnalysisError
-  /// when the fleet is empty.
+  /// Re-runs Steps 2-5 on the perturbed slice and returns the full
+  /// result — byte-identical to a batch ManifestationAnalyzer::run over
+  /// the current fleet (see the contract above).  The reference stays
+  /// valid until the next add_bundle/add_bundles call.  Throws
+  /// AnalysisError when the fleet is empty.
   const AnalysisResult& snapshot();
 
  private:
+  /// Per-slot delta-repair state, index-aligned with result_.traces.
+  struct TraceCache {
+    /// One contiguous run of `positions` holding every instance of one
+    /// event, ascending; groups sorted by event id for binary lookup.
+    struct Group {
+      EventId id{kInvalidEventId};
+      std::uint32_t begin{0};
+      std::uint32_t count{0};
+    };
+    /// Instance positions of the slot's trace, grouped by event.  Rebuilt
+    /// whenever the slot's trace changes (new upload or replacement);
+    /// lets the scatter step find exactly the instances of a moved-base
+    /// event without walking the trace.
+    std::vector<Group> groups;
+    std::vector<std::uint32_t> positions;
+    /// The trace's variation amplitudes in ascending order — the
+    /// order-statistic multiset backing Q1/Q3/fence — plus the
+    /// permutation behind it (sorted_order[p] = instance whose amplitude
+    /// occupies rank p).  Seeded by the cold path's one argsort;
+    /// maintained on the delta path by gathering the repaired lane
+    /// through the stale permutation (already almost ascending) and
+    /// re-inserting each displaced value at its ordered slot — an
+    /// adaptive O(n + inversions) pass, with a full argsort fallback
+    /// under a move budget so a pathological repair never exceeds sort
+    /// cost.  The ascending order of a multiset is unique, so the array
+    /// stays bitwise equal to a fresh sort of the lane (no NaNs and no
+    /// -0.0 can appear; see DESIGN.md §11).  Valid after the slot's
+    /// first snapshot.
+    std::vector<double> sorted_amplitudes;
+    std::vector<std::uint32_t> sorted_order;
+
+    /// Rebuilds sorted_order/sorted_amplitudes from the amplitude lane
+    /// with one argsort (cold path, and the delta path's fallback).
+    void rebuild_amplitude_cache(const AnalyzedTrace& trace);
+    /// Re-synchronizes the order-statistic cache with the (repaired)
+    /// amplitude lane: gather through the stale permutation, then the
+    /// budgeted adaptive insertion pass described above.
+    void repair_sorted(const AnalyzedTrace& trace);
+
+    void rebuild_index(const AnalyzedTrace& trace);
+    [[nodiscard]] std::span<const std::uint32_t> positions_of(
+        EventId id) const;
+  };
+
   /// Commits one Step-1 result into the fleet state (append or replace).
   void apply_arrival(AnalyzedTrace analyzed);
   /// Grows every id-indexed side table to the symbol table's current size.
   void sync_id_bound();
+  /// Cold path: full renormalize + detect for a new/replaced slot.
+  void full_refresh(std::size_t slot);
+  /// Delta path: scatter renorm + run-window amplitude repair + ordered
+  /// quartile maintenance for a clean slot with moved-base events.
+  void delta_refresh(std::size_t slot);
 
   AnalysisConfig config_;
   std::optional<common::ThreadPool> pool_storage_;
@@ -93,6 +147,7 @@ class FleetAnalyzer {
   /// report of the last snapshot; handed out by snapshot() by reference.
   AnalysisResult result_;
   std::unordered_map<UserId, std::size_t> index_by_user_;
+  std::vector<TraceCache> cache_;
 
   /// Cached Step-3 base power per EventId (0.0 = absent), valid for every
   /// event not in dirty_events_.
@@ -101,19 +156,28 @@ class FleetAnalyzer {
   /// dense flag vector plus the list of set flags.
   std::vector<std::uint8_t> event_dirty_;
   std::vector<EventId> dirty_events_;
-  /// Fleet slots that must be renormalized + re-detected at the next
-  /// snapshot (new or replaced arrivals; snapshot() adds the slots of
-  /// traces whose event bases changed).
+  /// Fleet slots that must take the cold path at the next snapshot (new
+  /// or replaced arrivals).
   std::vector<std::uint8_t> trace_dirty_;
   /// EventId -> fleet slots whose trace contains that event, appended in
   /// arrival order.  A replacement rebuilds the lists of the events it
   /// touches; other lists may keep a stale slot (the slot's new trace no
-  /// longer has the event), which only ever costs a redundant
-  /// renormalization, never a missed one.
+  /// longer has the event), which the per-slot position index filters out
+  /// at snapshot time.
   std::vector<std::vector<std::uint32_t>> traces_with_event_;
   /// Per-arrival scratch: one flag per EventId (id_bound-sized) used to
   /// dedupe the distinct ids of a trace without allocating per call.
   std::vector<std::uint8_t> seen_scratch_;
+
+  // Snapshot scratch, reused across snapshots.
+  /// Events whose base moved bitwise this snapshot.
+  std::vector<EventId> moved_events_;
+  /// Per-slot list of moved-base events present in that slot (delta
+  /// work-list payload); always left empty between snapshots.
+  std::vector<std::vector<EventId>> slot_moved_events_;
+  /// Slots taking the delta path / the cold path this snapshot.
+  std::vector<std::uint32_t> delta_slots_;
+  std::vector<std::uint32_t> cold_slots_;
 };
 
 }  // namespace edx::core

@@ -44,13 +44,36 @@ std::vector<double> event_base_powers(const EventRanking& ranking,
 }
 
 void normalize_trace(AnalyzedTrace& trace, std::span<const double> bases) {
-  for (PoweredEvent& event : trace.events) {
+  const std::size_t count = trace.events.size();
+  trace.normalized_power.resize(count);
+  double* norm = trace.normalized_power.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    const PoweredEvent& event = trace.events[i];
     const double base = event.id < bases.size() ? bases[event.id] : 0.0;
     if (base <= 0.0) {
       throw AnalysisError("normalize_events: no distribution for event '" +
                           event.name() + "'");
     }
-    event.normalized_power = event.raw_power / base;
+    norm[i] = event.raw_power / base;
+  }
+}
+
+void renormalize_instances(AnalyzedTrace& trace,
+                           std::span<const std::uint32_t> positions,
+                           double base,
+                           std::vector<std::uint32_t>& changed) {
+  require(base > 0.0, "renormalize_instances: base must be positive");
+  require(trace.normalized_power.size() == trace.events.size(),
+          "renormalize_instances: normalized_power lane not filled");
+  double* norm = trace.normalized_power.data();
+  for (std::uint32_t position : positions) {
+    // Same expression as normalize_trace — one IEEE division — so the
+    // scattered value is bit-identical to a full renormalization.
+    const double value = trace.events[position].raw_power / base;
+    if (value != norm[position]) {
+      norm[position] = value;
+      changed.push_back(position);
+    }
   }
 }
 

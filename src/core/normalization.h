@@ -10,6 +10,7 @@
 // from the tracker.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -63,10 +64,22 @@ std::vector<double> event_base_powers(const EventRanking& ranking,
 /// event_base_powers() puts in the event's slot, for one event.
 double base_power_of(const EventPowerDistribution& distribution,
                      const NormalizationConfig& config = {});
-/// Fills `normalized_power` on every instance of one trace from a
-/// pre-built base table.  Throws AnalysisError on an instance whose event
-/// has no base (slot missing or 0.0).
+/// Fills the trace's `normalized_power` lane from a pre-built base table.
+/// Throws AnalysisError on an instance whose event has no base (slot
+/// missing or 0.0).
 void normalize_trace(AnalyzedTrace& trace, std::span<const double> bases);
+/// Scatter renormalization (core/fleet_analyzer.h): rewrites the
+/// normalized powers at `positions` — one event's instances within the
+/// trace — against that event's new `base`, leaving every other instance
+/// untouched.  The written values are bit-identical to what a full
+/// normalize_trace() against the same base table would produce.  Appends
+/// the positions whose value actually moved to `changed` (not cleared);
+/// an unchanged division (base moved but the quotient rounds to the same
+/// double) is skipped, so downstream repair work is keyed on real value
+/// movement, not on base-table churn.
+void renormalize_instances(AnalyzedTrace& trace,
+                           std::span<const std::uint32_t> positions,
+                           double base, std::vector<std::uint32_t>& changed);
 
 /// Base power used for the event with id `id` under `config`.
 double base_power(const EventRanking& ranking, EventId id,

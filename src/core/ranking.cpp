@@ -63,6 +63,21 @@ void EventPowerDistribution::add_power(double power) {
   }
 }
 
+void EventPowerDistribution::reserve_extra(std::size_t additional) {
+  const auto grow = [additional](std::vector<double>& vector) {
+    const std::size_t need = vector.size() + additional;
+    if (need <= vector.capacity()) return;
+    // Exact-fit reserve would make the *next* arrival reallocate again;
+    // keep the usual amortized growth by never reserving below 1.5x.
+    vector.reserve(std::max(need, vector.size() + vector.size() / 2));
+  };
+  grow(powers_);
+  if (sorted_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(sort_mutex_);
+    grow(sorted_);
+  }
+}
+
 void EventPowerDistribution::set_powers(std::vector<double> powers) {
   powers_ = std::move(powers);
   sorted_valid_.store(false, std::memory_order_release);
@@ -228,6 +243,11 @@ void EventRanking::set_event_powers(EventId id, std::vector<double> powers) {
   distribution.set_powers(std::move(powers));
   if (was_live && !now_live) --event_count_;
   if (!was_live && now_live) ++event_count_;
+}
+
+void EventRanking::reserve_event_extra(EventId id, std::size_t additional) {
+  ensure_event_slots(static_cast<std::size_t>(id) + 1);
+  by_id_[id].reserve_extra(additional);
 }
 
 const EventPowerDistribution& EventRanking::distribution(EventId id) const {

@@ -48,6 +48,11 @@ class EventPowerDistribution {
   /// Records one instance's power.  A valid sorted cache is maintained in
   /// place (one ordered insert); an invalid one stays invalid.
   void add_power(double power);
+  /// Guarantees capacity for `additional` more add_power() calls without
+  /// reallocation, in both the input-order list and a live sorted cache.
+  /// Grows geometrically past the exact need so per-arrival reservations
+  /// (core/fleet_analyzer.h) don't degenerate into one realloc per upload.
+  void reserve_extra(std::size_t additional);
   /// Replaces the whole distribution; invalidates the sorted cache.
   void set_powers(std::vector<double> powers);
   /// Appends a block of powers (preserving their order); invalidates the
@@ -110,6 +115,10 @@ class EventRanking {
   /// Replaces one event's whole distribution (an empty vector empties the
   /// slot).  Used when a re-uploaded trace invalidates mid-list powers.
   void set_event_powers(EventId id, std::vector<double> powers);
+  /// Pre-reserves capacity for `additional` upcoming instances of event
+  /// `id`, killing reallocation churn when an arriving bundle's instance
+  /// counts are known up front (see EventPowerDistribution::reserve_extra).
+  void reserve_event_extra(EventId id, std::size_t additional);
 
   [[nodiscard]] bool contains(EventId id) const;
   [[nodiscard]] bool contains(std::string_view name) const;

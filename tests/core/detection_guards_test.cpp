@@ -18,9 +18,9 @@ AnalyzedTrace trace_with(const std::vector<double>& norms,
     event.id = intern_event("E");
     const TimestampMs t = static_cast<TimestampMs>(i) * spacing_ms;
     event.interval = {t, t + 10};
-    event.normalized_power = norms[i];
     trace.events.push_back(event);
   }
+  trace.normalized_power = norms;
   return trace;
 }
 
@@ -98,9 +98,9 @@ TEST(DetectionGuardsTest, DipFractionStopsWobbleBridges) {
   attribute_variation_amplitude(trace, config);
   // Only the last wobble event (adjacent to the jump) carries the rise.
   for (std::size_t i = 0; i + 6 < 10; ++i) {
-    EXPECT_LT(trace.events[i].variation_amplitude, 1.0) << i;
+    EXPECT_LT(trace.variation_amplitude[i], 1.0) << i;
   }
-  EXPECT_GT(trace.events[9].variation_amplitude, 7.0);
+  EXPECT_GT(trace.variation_amplitude[9], 7.0);
 }
 
 TEST(DetectionGuardsTest, FlatStepsAreFreeDipsAreBudgeted) {
@@ -109,13 +109,13 @@ TEST(DetectionGuardsTest, FlatStepsAreFreeDipsAreBudgeted) {
   AnalyzedTrace trace = trace_with(flats, 1'000);
   DetectionConfig config;
   attribute_variation_amplitude(trace, config);
-  EXPECT_NEAR(trace.events[0].variation_amplitude, 8.0, 1e-9);
+  EXPECT_NEAR(trace.variation_amplitude[0], 8.0, 1e-9);
 
   // Three strict dips exceed the budget of two.
   const std::vector<double> dips = {1.0, 5.0, 4.9, 4.8, 4.7, 9.0};
   AnalyzedTrace dipped = trace_with(dips, 1'000);
   attribute_variation_amplitude(dipped, config);
-  EXPECT_NEAR(dipped.events[0].variation_amplitude, 4.0, 1e-9);
+  EXPECT_NEAR(dipped.variation_amplitude[0], 4.0, 1e-9);
 }
 
 TEST(DetectionGuardsTest, NegativeFenceMultiplierRejected) {

@@ -91,9 +91,8 @@ void expect_identical(const AnalysisResult& reference,
     for (std::size_t i = 0; i < a.events.size(); ++i) {
       EXPECT_EQ(a.events[i].id, b.events[i].id);
       EXPECT_EQ(a.events[i].raw_power, b.events[i].raw_power);
-      EXPECT_EQ(a.events[i].normalized_power, b.events[i].normalized_power);
-      EXPECT_EQ(a.events[i].variation_amplitude,
-                b.events[i].variation_amplitude);
+      EXPECT_EQ(a.normalized_power[i], b.normalized_power[i]);
+      EXPECT_EQ(a.variation_amplitude[i], b.variation_amplitude[i]);
     }
   }
 

@@ -69,8 +69,8 @@ TEST(Step3Test, NormalizationDividesByBase) {
   config.base_percentile = 50.0;
   normalize_events(traces, ranking, config);
   // Base = median of {100,100,100,400,400,400} = 250.
-  EXPECT_NEAR(traces[0].events[0].normalized_power, 100.0 / 250.0, 1e-9);
-  EXPECT_NEAR(traces[0].events[5].normalized_power, 400.0 / 250.0, 1e-9);
+  EXPECT_NEAR(traces[0].normalized_power[0], 100.0 / 250.0, 1e-9);
+  EXPECT_NEAR(traces[0].normalized_power[5], 400.0 / 250.0, 1e-9);
   EXPECT_NEAR(base_power(ranking, "Lx/A;.onResume", config), 250.0, 1e-9);
 }
 
@@ -83,7 +83,7 @@ TEST(Step3Test, MinBaseFloorPreventsBlowup) {
   config.min_base_power_mw = 1.0;
   normalize_events(traces, ranking, config);
   // Base would be 0; the floor keeps the ratio finite.
-  EXPECT_NEAR(traces[0].events[5].normalized_power, 50.0, 1e-9);
+  EXPECT_NEAR(traces[0].normalized_power[5], 50.0, 1e-9);
   EXPECT_THROW(normalize_events(
                    traces, ranking,
                    NormalizationConfig{.base_percentile = 101.0}),
@@ -98,9 +98,9 @@ AnalyzedTrace trace_with_norms(const std::vector<double>& norms,
     event.id = intern_event("Lx/A;.e");
     const TimestampMs t = static_cast<TimestampMs>(i) * spacing_ms;
     event.interval = {t, t + 10};
-    event.normalized_power = norms[i];
     trace.events.push_back(event);
   }
+  trace.normalized_power = norms;
   return trace;
 }
 
@@ -109,27 +109,27 @@ TEST(Step4Test, SingleStepAmplitude) {
   DetectionConfig config;
   config.extend_monotone_runs = false;
   attribute_variation_amplitude(trace, config);
-  EXPECT_NEAR(trace.events[0].variation_amplitude, 0.0, 1e-12);
-  EXPECT_NEAR(trace.events[1].variation_amplitude, 4.0, 1e-12);
-  EXPECT_NEAR(trace.events[2].variation_amplitude, 0.0, 1e-12);
-  EXPECT_NEAR(trace.events[3].variation_amplitude, 0.0, 1e-12);  // last
+  EXPECT_NEAR(trace.variation_amplitude[0], 0.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[1], 4.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[2], 0.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[3], 0.0, 1e-12);  // last
 }
 
 TEST(Step4Test, MonotoneRunExtendsAmplitude) {
   // Power climbs gradually: the run start gets credited with the whole rise.
   AnalyzedTrace trace = trace_with_norms({1.0, 2.0, 3.0, 6.0, 6.0});
   attribute_variation_amplitude(trace, DetectionConfig{});
-  EXPECT_NEAR(trace.events[0].variation_amplitude, 5.0, 1e-12);
-  EXPECT_EQ(trace.events[0].run_peak_index, 3u);
-  EXPECT_NEAR(trace.events[1].variation_amplitude, 4.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[0], 5.0, 1e-12);
+  EXPECT_EQ(trace.run_peak_index[0], 3u);
+  EXPECT_NEAR(trace.variation_amplitude[1], 4.0, 1e-12);
 }
 
 TEST(Step4Test, RunRequiresInitialRise) {
   // A dip followed by a rise must not credit the pre-dip event.
   AnalyzedTrace trace = trace_with_norms({2.0, 1.0, 6.0});
   attribute_variation_amplitude(trace, DetectionConfig{});
-  EXPECT_NEAR(trace.events[0].variation_amplitude, -1.0, 1e-12);
-  EXPECT_NEAR(trace.events[1].variation_amplitude, 5.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[0], -1.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[1], 5.0, 1e-12);
 }
 
 TEST(Step4Test, DipToleranceBridgesSamplingStaircase) {
@@ -137,12 +137,12 @@ TEST(Step4Test, DipToleranceBridgesSamplingStaircase) {
   DetectionConfig config;
   config.run_dip_tolerance = 2;
   attribute_variation_amplitude(trace, config);
-  EXPECT_NEAR(trace.events[0].variation_amplitude, 7.0, 1e-12);
-  EXPECT_EQ(trace.events[0].run_peak_index, 4u);
+  EXPECT_NEAR(trace.variation_amplitude[0], 7.0, 1e-12);
+  EXPECT_EQ(trace.run_peak_index[0], 4u);
 
   config.run_dip_tolerance = 0;
   attribute_variation_amplitude(trace, config);
-  EXPECT_NEAR(trace.events[0].variation_amplitude, 1.0, 1e-12);
+  EXPECT_NEAR(trace.variation_amplitude[0], 1.0, 1e-12);
 }
 
 TEST(Step4Test, OutlierDetectionUsesOuterFence) {

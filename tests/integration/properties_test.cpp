@@ -52,8 +52,8 @@ TEST(PropertyTest, PipelineIsScaleInvariant) {
       if (base_power <= config.normalization.min_base_power_mw + 1e-9) {
         continue;
       }
-      EXPECT_NEAR(base.traces[t].events[e].normalized_power,
-                  rescaled.traces[t].events[e].normalized_power, 1e-9);
+      EXPECT_NEAR(base.traces[t].normalized_power[e],
+                  rescaled.traces[t].normalized_power[e], 1e-9);
     }
   }
   ASSERT_EQ(base.report.ranked_events.size(),

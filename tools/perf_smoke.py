@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a bench_micro_pipeline run against the
+committed baselines in BENCH_pipeline.json.
+
+Usage:
+    bench_micro_pipeline --benchmark_out=results.json \
+                         --benchmark_out_format=json
+    tools/perf_smoke.py --baseline BENCH_pipeline.json \
+                        --results results.json [--threshold 1.5]
+
+Every benchmark named in the baseline's "current_ns" (and
+"fleet_incremental_ns") map that also appears in the results is checked;
+a measurement slower than threshold x baseline fails the gate.  The
+committed baselines were measured on a specific machine, so this is a
+smoke test for order-of-magnitude regressions (an accidental O(n^2), a
+lost cache, a debug-only code path), not a microbenchmark referee —
+hence the generous default threshold.
+
+Thread-axis benchmarks (".../<threads>/..." suffixed entries such as
+BM_FullPipeline/100/200/8) are skipped when the running machine's core
+count differs from the baseline's "machine.cores": their timings encode
+the recording machine's parallel speedup and do not transfer.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Benchmarks whose final path component is a thread count; only
+# comparable on a machine with the baseline's core count.
+THREAD_AXIS = re.compile(r"^BM_FullPipeline/\d+/\d+/\d+")
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_baselines(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    baselines = {}
+    for section in ("current_ns", "fleet_incremental_ns"):
+        for name, value in doc.get(section, {}).items():
+            if isinstance(value, (int, float)):
+                baselines[name] = float(value)
+    return doc, baselines
+
+
+def load_results(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    results = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        scale = TIME_UNIT_NS.get(entry.get("time_unit", "ns"), 1.0)
+        results[entry["name"]] = float(entry["real_time"]) * scale
+        # Baselines for real_time-measured benchmarks are recorded with an
+        # explicit "/real_time" suffix; expose both spellings.
+        results[entry["name"] + "/real_time"] = \
+            float(entry["real_time"]) * scale
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--results", required=True)
+    parser.add_argument("--threshold", type=float, default=1.5)
+    args = parser.parse_args()
+
+    doc, baselines = load_baselines(args.baseline)
+    results = load_results(args.results)
+    baseline_cores = doc.get("machine", {}).get("cores")
+    cores = os.cpu_count()
+
+    checked, skipped, regressions = [], [], []
+    for name, baseline_ns in sorted(baselines.items()):
+        measured = results.get(name)
+        if measured is None:
+            continue  # not in this run's filter; other jobs may cover it
+        if THREAD_AXIS.match(name) and cores != baseline_cores:
+            skipped.append(name)
+            continue
+        ratio = measured / baseline_ns
+        checked.append((name, baseline_ns, measured, ratio))
+        if ratio > args.threshold:
+            regressions.append((name, baseline_ns, measured, ratio))
+
+    for name, base, measured, ratio in checked:
+        flag = "REGRESSION" if ratio > args.threshold else "ok"
+        print(f"{flag:>10}  {name}: {measured / 1e6:.3f} ms vs baseline "
+              f"{base / 1e6:.3f} ms ({ratio:.2f}x)")
+    for name in skipped:
+        print(f"{'skipped':>10}  {name}: thread axis, machine has "
+              f"{cores} cores vs baseline {baseline_cores}")
+
+    if not checked:
+        print("perf_smoke: no overlapping benchmarks between baseline and "
+              "results", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"perf_smoke: {len(regressions)} benchmark(s) regressed more "
+              f"than {args.threshold}x", file=sys.stderr)
+        return 1
+    print(f"perf_smoke: {len(checked)} benchmark(s) within "
+          f"{args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
