@@ -226,7 +226,11 @@ void BM_Step4DetectionSize(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * instances);
 }
-BENCHMARK(BM_Step4DetectionSize)->Arg(100)->Arg(1'000)->Arg(10'000);
+BENCHMARK(BM_Step4DetectionSize)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
 
 void BM_Step5Reporting(benchmark::State& state) {
   auto traces = core::estimate_event_power(synthetic_bundles(30, 100));
@@ -302,6 +306,31 @@ void BM_FleetIncremental(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * fleet);
 }
 BENCHMARK(BM_FleetIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+/// The long-trace variant of the growth episode: a small fleet (6 users)
+/// whose traces each carry Arg instances, so per-arrival cost is dominated
+/// by the per-trace kernels — normalization, the one-pass amplitude scan,
+/// selection quartiles, and run-window repair — not by fleet-width
+/// bookkeeping.  items_per_second counts instances ingested (fleet x
+/// instances per episode); a superlinear kernel shows up directly as a
+/// falling rate between sizes.
+void BM_FleetIncrementalLongTrace(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  const int fleet = 6;
+  const std::vector<trace::TraceBundle> bundles =
+      synthetic_bundles(fleet, instances);
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  for (auto _ : state) {
+    core::FleetAnalyzer analyzer(config);
+    for (const trace::TraceBundle& bundle : bundles) {
+      analyzer.add_bundle(bundle);
+      benchmark::DoNotOptimize(analyzer.snapshot());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fleet * instances);
+}
+BENCHMARK(BM_FleetIncrementalLongTrace)->Arg(2'000)->Arg(10'000);
 
 void BM_FleetBatchRecompute(benchmark::State& state) {
   const int fleet = static_cast<int>(state.range(0));

@@ -65,6 +65,22 @@ Quartiles quartiles(std::span<const double> values);
 /// interpolations, no copy, no sort.
 Quartiles quartiles_sorted(std::span<const double> sorted_values);
 
+/// quartiles() via radix selection: resolves the six order statistics
+/// behind Q1/Q2/Q3 with branch-free MSB-radix counting passes over the
+/// doubles' order-preserving key images, and returns the same Q1/Q2/Q3 a
+/// full sort would, bit for bit — order statistics are multiset values,
+/// independent of how they are brought to their rank.  O(n) worst case
+/// (at most 8 counting passes), with per-element cost flat in both input
+/// size and data shape — unlike comparison selection, whose partition
+/// branches mispredict once the input outgrows the branch predictor.
+/// The Step-4 batch decision phase uses it so detection cost stays linear
+/// in trace length (core/detection.cpp).  Inputs below a few hundred
+/// elements instead take a plain sort — cheaper than the radix pass's
+/// fixed costs, and too small to mispredict superlinearly — which yields
+/// the same bits.  The input must be NaN-free.  Requires a non-empty
+/// range.
+Quartiles quartiles_select(std::span<const double> values);
+
 /// One point of an empirical CDF.
 struct CdfPoint {
   double value{0};

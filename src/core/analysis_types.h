@@ -57,6 +57,17 @@ struct AnalyzedTrace {
   /// The incremental repair (core/detection.h) uses it to decide which
   /// amplitudes a changed instance can perturb.
   std::vector<std::uint32_t> run_dep_end;
+  /// Normalized power at the run's peak —
+  /// normalized_power[run_peak_index[i]], bitwise — so the fence decision
+  /// loop tests the peak-level guard on a dense lane instead of a gather.
+  /// Kept exact through incremental repair: a change to the normalized
+  /// power at a run's peak always lands inside that run's
+  /// [i, run_dep_end[i]] window, which forces the run's recompute.
+  std::vector<double> run_peak_power;
+  /// Dense copy of events[i].interval.begin, refreshed by
+  /// attribute_variation_amplitude, so the Step-4 sustain-window walk
+  /// reads timestamps at unit stride.
+  std::vector<TimestampMs> begin_ms;
 
   // Step 4 results.
   std::vector<std::size_t> manifestation_indices;

@@ -67,11 +67,42 @@ struct DetectionConfig {
   double min_peak_level{2.0};
 };
 
-/// Fills the `variation_amplitude`, `run_peak_index` and `run_dep_end`
-/// lanes for every instance of `trace` in place.  Requires Step 3's
+/// Reusable working memory for the Step-4 amplitude scan: the shared-run
+/// segment lanes.  Callers that process many traces hoist one instance
+/// (or one per thread) so long-trace passes stop churning the allocator;
+/// the convenience overloads below fall back to a thread_local one.
+struct DetectionScratch {
+  /// One strictly-decreasing step m -> m+1 of the normalized lane —
+  /// every decision point of every monotone run.  `plateau` is the first
+  /// position of the maximal constant stretch ending at `pos`: the
+  /// first-attainment peak index of a non-decreasing segment whose
+  /// maximum sits at `pos`.
+  struct DownStep {
+    std::uint32_t pos;
+    std::uint32_t plateau;
+  };
+  /// The down-steps of the scan's current overlap cluster, ascending by
+  /// position, discovered lazily by a monotone frontier (DESIGN.md §12.1).
+  /// Sparse on purpose: runs consume *consecutive* entries, so this list
+  /// replaces two dense per-position lanes (and their extra pass over the
+  /// trace), and a run start past the frontier resets it, keeping it
+  /// cache-resident.
+  std::vector<DownStep> downs;
+};
+
+/// Fills the `variation_amplitude`, `run_peak_index`, `run_dep_end` and
+/// `run_peak_power` lanes (and the dense `begin_ms` timestamp lane) for
+/// every instance of `trace` in one O(n * (run_dip_tolerance + 1)) pass —
+/// O(n) for any fixed config; see the scan in detection.cpp and DESIGN.md
+/// §12.  Bitwise identical, lane for lane, to running
+/// detail::amplitude_at_reference at every index.  Requires Step 3's
 /// `normalized_power` lane (throws AnalysisError otherwise).
 void attribute_variation_amplitude(AnalyzedTrace& trace,
                                    const DetectionConfig& config = {});
+/// Same, reusing caller-owned scratch across traces.
+void attribute_variation_amplitude(AnalyzedTrace& trace,
+                                   const DetectionConfig& config,
+                                   DetectionScratch& scratch);
 
 /// One amplitude whose value moved during an incremental repair: the
 /// before/after pair an order-statistic quartile cache needs to stay in
@@ -87,7 +118,11 @@ struct AmplitudeChange {
 /// instance positions) were rewritten in place.  V_j depends only on the
 /// normalized powers in [j, run_dep_end[j]], so only amplitudes whose run
 /// window contains a changed position are recomputed — bit-identical to a
-/// full attribute_variation_amplitude() pass, at O(windows) cost.
+/// full attribute_variation_amplitude() pass, at O(windows) cost.  A step
+/// budget guards the degenerate regime (long monotone ramps, where every
+/// window reaches the ramp's end and O(windows) turns quadratic): past
+/// ~4n walked steps the repair falls back to the one-pass O(n) rescan,
+/// diffing against the pre-change values inline.
 /// Appends one record per amplitude whose value moved to `amp_changes`
 /// (not cleared).  Lanes must hold the pre-change state produced by a
 /// prior full pass or repair.
@@ -98,12 +133,17 @@ void repair_variation_amplitudes(AnalyzedTrace& trace,
 
 /// Runs outlier detection on the amplitudes, filling
 /// `manifestation_indices`, `amplitude_quartiles` and `outlier_fence`.
-/// Requires attribute_variation_amplitude() to have run.
+/// Requires attribute_variation_amplitude() to have run.  The quartiles
+/// come from selection (stats::quartiles_select) rather than a full sort,
+/// so the whole decision phase is O(n) — and bitwise identical to the
+/// sorted path, because order statistics are multiset values.
 void detect_manifestation_points(AnalyzedTrace& trace,
                                  const DetectionConfig& config = {});
-/// Same, but sorts the amplitudes into `sorted_scratch` instead of a
-/// thread_local buffer — the caller reuses one buffer across many traces,
-/// or keeps the sorted copy as a live order-statistic quartile cache.
+/// Same, but fully sorts the amplitudes into `sorted_scratch` — for a
+/// caller that keeps the sorted copy as a live order-statistic quartile
+/// cache and maintains it by remove/insert afterwards
+/// (core/fleet_analyzer.h, tests).  On return `sorted_scratch` holds the
+/// amplitude multiset ascending.
 void detect_manifestation_points(AnalyzedTrace& trace,
                                  const DetectionConfig& config,
                                  std::vector<double>& sorted_scratch);
@@ -124,7 +164,11 @@ void redetect_manifestation_points(AnalyzedTrace& trace,
 /// fleet engine re-detects exactly the traces whose normalization
 /// changed.
 void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config = {});
-/// Same, with a caller-owned sort buffer (see detect_manifestation_points).
+/// Same, with caller-owned scratch (see detect_manifestation_points).
+void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config,
+                  DetectionScratch& scratch);
+/// Same, with a caller-owned sort buffer that ends up holding the sorted
+/// amplitude multiset (see detect_manifestation_points).
 void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config,
                   std::vector<double>& sorted_scratch);
 
@@ -134,5 +178,23 @@ void detect_trace(AnalyzedTrace& trace, const DetectionConfig& config,
 void detect_all(std::vector<AnalyzedTrace>& traces,
                 const DetectionConfig& config = {},
                 common::ThreadPool* pool = nullptr);
+
+namespace detail {
+
+/// The original per-index forward walk over the dip-tolerance bridging
+/// rules: recomputes instance `i`'s amplitude/peak/dep/peak-power from
+/// the normalized lane in O(run window).  This is the *semantic
+/// definition* of the four lanes: the one-pass shared-run scan behind
+/// attribute_variation_amplitude must (and does) reproduce it bit for
+/// bit, which the randomized property suite
+/// (tests/core/amplitude_scan_property_test.cpp) pins at every index.
+/// Production uses it only for the incremental repair's windowed
+/// recomputation, where a handful of short windows beats a full rescan.
+void amplitude_at_reference(const double* norm, std::size_t count,
+                            std::size_t i, const DetectionConfig& config,
+                            double* amp, std::uint32_t* peak,
+                            std::uint32_t* dep, double* peak_power);
+
+}  // namespace detail
 
 }  // namespace edx::core

@@ -26,24 +26,32 @@ FleetAnalyzer::FleetAnalyzer(AnalysisConfig config) : config_(config) {
   }
 }
 
-void FleetAnalyzer::TraceCache::rebuild_index(const AnalyzedTrace& trace) {
+void FleetAnalyzer::TraceCache::rebuild_index(
+    const AnalyzedTrace& trace, std::vector<std::uint64_t>& key_scratch) {
   const std::size_t count = trace.events.size();
+  // (id, position) packed into one word: an in-place introsort of the
+  // packed keys is stable in effect (the position breaks ties), keeping
+  // each event's instances ascending within its group — what
+  // renormalize_instances/repair expect — without std::stable_sort's
+  // per-call temporary buffer.  The caller-owned key arena is reused
+  // across arrivals, so indexing a long trace allocates nothing once
+  // warm.
+  key_scratch.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    key_scratch[i] = (static_cast<std::uint64_t>(trace.events[i].id) << 32) |
+                     static_cast<std::uint64_t>(i);
+  }
+  std::sort(key_scratch.begin(), key_scratch.end());
   positions.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
-    positions[i] = static_cast<std::uint32_t>(i);
+    positions[i] = static_cast<std::uint32_t>(key_scratch[i]);
   }
-  // Stable by construction keeps each event's instances ascending within
-  // its group, which is what renormalize_instances/repair expect.
-  std::stable_sort(positions.begin(), positions.end(),
-                   [&trace](std::uint32_t a, std::uint32_t b) {
-                     return trace.events[a].id < trace.events[b].id;
-                   });
   groups.clear();
   std::size_t i = 0;
   while (i < count) {
-    const EventId id = trace.events[positions[i]].id;
+    const EventId id = static_cast<EventId>(key_scratch[i] >> 32);
     std::size_t j = i + 1;
-    while (j < count && trace.events[positions[j]].id == id) ++j;
+    while (j < count && static_cast<EventId>(key_scratch[j] >> 32) == id) ++j;
     groups.push_back({id, static_cast<std::uint32_t>(i),
                       static_cast<std::uint32_t>(j - i)});
     i = j;
@@ -127,7 +135,7 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
     const std::size_t slot = result_.traces.size();
     index_by_user_.emplace(analyzed.user, slot);
     TraceCache cache;
-    cache.rebuild_index(analyzed);
+    cache.rebuild_index(analyzed, index_key_scratch_);
     for (const TraceCache::Group& group : cache.groups) {
       traces_with_event_[group.id].push_back(static_cast<std::uint32_t>(slot));
       mark_event_dirty(group.id);
@@ -158,7 +166,7 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
   collect(result_.traces[slot]);
   collect(analyzed);
   result_.traces[slot] = std::move(analyzed);
-  cache_[slot].rebuild_index(result_.traces[slot]);
+  cache_[slot].rebuild_index(result_.traces[slot], index_key_scratch_);
   trace_dirty_[slot] = 1;
 
   const std::size_t id_bound = bases_.size();
@@ -185,10 +193,13 @@ void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
 void FleetAnalyzer::full_refresh(std::size_t slot) {
   // Cold path (new or replaced trace): full SoA kernels, and one argsort
   // seeds the slot's order-statistic amplitude cache — values *and*
-  // permutation — for later delta snapshots.
+  // permutation — for later delta snapshots.  The Step-4 scratch is
+  // per-thread and reused across slots and snapshots, so long-trace
+  // refreshes stop churning the allocator.
+  thread_local DetectionScratch det_scratch;
   AnalyzedTrace& trace = result_.traces[slot];
   normalize_trace(trace, bases_);
-  attribute_variation_amplitude(trace, config_.detection);
+  attribute_variation_amplitude(trace, config_.detection, det_scratch);
   cache_[slot].rebuild_amplitude_cache(trace);
   redetect_manifestation_points(trace, config_.detection,
                                 cache_[slot].sorted_amplitudes);
@@ -235,6 +246,7 @@ void FleetAnalyzer::TraceCache::repair_sorted(const AnalyzedTrace& trace) {
 }
 
 void FleetAnalyzer::delta_refresh(std::size_t slot) {
+  thread_local DetectionScratch det_scratch;
   AnalyzedTrace& trace = result_.traces[slot];
   TraceCache& cache = cache_[slot];
   std::vector<EventId>& moved = slot_moved_events_[slot];
@@ -252,7 +264,7 @@ void FleetAnalyzer::delta_refresh(std::size_t slot) {
   if (touched * 4 >= trace.events.size()) {
     moved.clear();
     normalize_trace(trace, bases_);
-    attribute_variation_amplitude(trace, config_.detection);
+    attribute_variation_amplitude(trace, config_.detection, det_scratch);
     cache.repair_sorted(trace);
     redetect_manifestation_points(trace, config_.detection,
                                   cache.sorted_amplitudes);

@@ -124,7 +124,11 @@ class FleetAnalyzer {
     /// budgeted adaptive insertion pass described above.
     void repair_sorted(const AnalyzedTrace& trace);
 
-    void rebuild_index(const AnalyzedTrace& trace);
+    /// Rebuilds groups/positions from the trace by sorting packed
+    /// (id, position) keys in the caller-owned arena — stable in effect,
+    /// no per-call allocation once the arena is warm.
+    void rebuild_index(const AnalyzedTrace& trace,
+                       std::vector<std::uint64_t>& key_scratch);
     [[nodiscard]] std::span<const std::uint32_t> positions_of(
         EventId id) const;
   };
@@ -168,6 +172,9 @@ class FleetAnalyzer {
   /// Per-arrival scratch: one flag per EventId (id_bound-sized) used to
   /// dedupe the distinct ids of a trace without allocating per call.
   std::vector<std::uint8_t> seen_scratch_;
+  /// Per-arrival scratch: the packed-key arena rebuild_index sorts in, so
+  /// indexing a long arriving trace allocates nothing once warm.
+  std::vector<std::uint64_t> index_key_scratch_;
 
   // Snapshot scratch, reused across snapshots.
   /// Events whose base moved bitwise this snapshot.

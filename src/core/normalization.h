@@ -64,9 +64,9 @@ std::vector<double> event_base_powers(const EventRanking& ranking,
 /// event_base_powers() puts in the event's slot, for one event.
 double base_power_of(const EventPowerDistribution& distribution,
                      const NormalizationConfig& config = {});
-/// Fills the trace's `normalized_power` lane from a pre-built base table.
-/// Throws AnalysisError on an instance whose event has no base (slot
-/// missing or 0.0).
+/// Fills the trace's `normalized_power` lane from a pre-built base table
+/// in one fused gather-divide pass.  Throws AnalysisError on an instance
+/// whose event has no base (slot missing or 0.0).
 void normalize_trace(AnalyzedTrace& trace, std::span<const double> bases);
 /// Scatter renormalization (core/fleet_analyzer.h): rewrites the
 /// normalized powers at `positions` — one event's instances within the

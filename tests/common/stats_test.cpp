@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace edx::stats {
 namespace {
@@ -88,6 +89,42 @@ TEST(StatsTest, MinMax) {
   const std::vector<double> values{3.0, -1.0, 7.0};
   EXPECT_DOUBLE_EQ(min(values), -1.0);
   EXPECT_DOUBLE_EQ(max(values), 7.0);
+}
+
+TEST(StatsTest, QuartilesSelectMatchesSortedPathBitwise) {
+  // Both selection paths (plain sort below the radix crossover, radix
+  // multi-select above it) must reproduce the sort-then-interpolate
+  // path bit for bit on every data shape they meet in the amplitude
+  // domain: negatives, exact duplicates, runs of identical values,
+  // same-exponent clusters (keys that differ only deep in the mantissa),
+  // and every small n where the R-7 ranks collide.
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 600));
+    std::vector<double> values(n);
+    const int shape = static_cast<int>(rng.uniform_int(0, 3));
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (shape) {
+        case 0:  // continuous, signed
+          values[i] = rng.uniform(-10.0, 10.0);
+          break;
+        case 1:  // heavy duplicates on a coarse grid
+          values[i] = 0.5 * static_cast<double>(rng.uniform_int(-4, 4));
+          break;
+        case 2:  // one magnitude cluster: top key bytes all identical
+          values[i] = 1.0 + rng.uniform(0.0, 1e-6);
+          break;
+        default:  // constant
+          values[i] = 42.0;
+          break;
+      }
+    }
+    const Quartiles sorted_path = quartiles(values);
+    const Quartiles selected = quartiles_select(values);
+    ASSERT_EQ(selected.q1, sorted_path.q1) << "round " << round;
+    ASSERT_EQ(selected.q2, sorted_path.q2) << "round " << round;
+    ASSERT_EQ(selected.q3, sorted_path.q3) << "round " << round;
+  }
 }
 
 // Property sweep: for any percentile p, the result sits within [min, max]

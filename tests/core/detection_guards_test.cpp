@@ -76,6 +76,26 @@ TEST(DetectionGuardsTest, RiseAtTraceEdgeIsKept) {
   EXPECT_EQ(points[0], 18u);
 }
 
+TEST(DetectionGuardsTest, RunPeakingOnFinalInstanceIsSustained) {
+  // Pins the intended semantics of the sustain guard's trace-edge branch
+  // (`peak_index + 1 >= count`): a run peaking ON the final instance has
+  // no later observation to judge by, so it is kept unconditionally — the
+  // trace was truncated at the peak, not recovered.  The 30 s spacing
+  // makes the sustain window quiet, so the contrast case (same spike one
+  // position earlier) is rejected by the next-observation check; only the
+  // edge branch separates the two.
+  std::vector<double> edge(20, 1.0);
+  edge[19] = 9.0;
+  DetectionConfig config;
+  const auto kept = detect(trace_with(edge, 30'000), config);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 18u);
+
+  std::vector<double> refuted(20, 1.0);
+  refuted[18] = 9.0;
+  EXPECT_TRUE(detect(trace_with(refuted, 30'000), config).empty());
+}
+
 TEST(DetectionGuardsTest, MinPeakLevelScalesWithConfig) {
   // Rise from 0.2 to 1.8: amplitude 1.6 (> floor) but peak below 2.0.
   std::vector<double> norms(20, 0.2);

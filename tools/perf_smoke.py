@@ -20,6 +20,14 @@ Thread-axis benchmarks (".../<threads>/..." suffixed entries such as
 BM_FullPipeline/100/200/8) are skipped when the running machine's core
 count differs from the baseline's "machine.cores": their timings encode
 the recording machine's parallel speedup and do not transfer.
+
+Size-axis benchmarks (BM_Step4DetectionSize/<instances>) additionally
+gate on the measured run's own scaling curve, which transfers across
+machines where absolute timings do not: for each adjacent pair of sizes,
+the time ratio divided by the size ratio is the growth of per-instance
+cost, and a linear kernel holds it near 1.0.  A pair where 10x the
+instances costs more than ~15x the time (--size-axis-factor 1.5) fails
+the gate — the signature of a superlinear regression in the Step-4 scan.
 """
 
 import argparse
@@ -31,6 +39,10 @@ import sys
 # Benchmarks whose final path component is a thread count; only
 # comparable on a machine with the baseline's core count.
 THREAD_AXIS = re.compile(r"^BM_FullPipeline/\d+/\d+/\d+")
+
+# Benchmarks whose single argument is the instance count of one trace;
+# per-instance cost across adjacent sizes must stay near-flat.
+SIZE_AXIS = re.compile(r"^(BM_Step4DetectionSize)/(\d+)$")
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -62,11 +74,33 @@ def load_results(path):
     return results
 
 
+def size_axis_pairs(results):
+    """Adjacent-size (family, small, large, cost_growth) tuples, where
+    cost_growth = (time ratio) / (size ratio) — the factor by which
+    per-instance cost grew between the two sizes of one family."""
+    families = {}
+    for name, measured in results.items():
+        match = SIZE_AXIS.match(name)
+        if match:
+            families.setdefault(match.group(1), {})[
+                int(match.group(2))] = measured
+    pairs = []
+    for family, by_size in sorted(families.items()):
+        sizes = sorted(by_size)
+        for small, large in zip(sizes, sizes[1:]):
+            cost_growth = (by_size[large] / by_size[small]) / (large / small)
+            pairs.append((family, small, large, cost_growth))
+    return pairs
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--results", required=True)
     parser.add_argument("--threshold", type=float, default=1.5)
+    parser.add_argument("--size-axis-factor", type=float, default=1.5,
+                        help="max allowed per-instance cost growth between "
+                             "adjacent sizes of a size-axis benchmark")
     args = parser.parse_args()
 
     doc, baselines = load_baselines(args.baseline)
@@ -95,7 +129,20 @@ def main():
         print(f"{'skipped':>10}  {name}: thread axis, machine has "
               f"{cores} cores vs baseline {baseline_cores}")
 
-    if not checked:
+    # The scaling-curve gate runs on the measured results alone (baseline
+    # machines differ; a run's own curve does not).
+    scaling_failures = []
+    pairs = size_axis_pairs(results)
+    for family, small, large, cost_growth in pairs:
+        flag = "ok"
+        if cost_growth > args.size_axis_factor:
+            flag = "SUPERLINEAR"
+            scaling_failures.append((family, small, large, cost_growth))
+        print(f"{flag:>10}  {family}: per-instance cost x{cost_growth:.2f} "
+              f"from {small} to {large} instances "
+              f"(limit {args.size_axis_factor}x)")
+
+    if not checked and not pairs:
         print("perf_smoke: no overlapping benchmarks between baseline and "
               "results", file=sys.stderr)
         return 1
@@ -103,8 +150,14 @@ def main():
         print(f"perf_smoke: {len(regressions)} benchmark(s) regressed more "
               f"than {args.threshold}x", file=sys.stderr)
         return 1
+    if scaling_failures:
+        print(f"perf_smoke: {len(scaling_failures)} size-axis pair(s) grew "
+              f"per-instance cost more than {args.size_axis_factor}x",
+              file=sys.stderr)
+        return 1
     print(f"perf_smoke: {len(checked)} benchmark(s) within "
-          f"{args.threshold}x of baseline")
+          f"{args.threshold}x of baseline; {len(pairs)} size-axis pair(s) "
+          f"within {args.size_axis_factor}x per-instance growth")
     return 0
 
 
