@@ -1,7 +1,19 @@
-// Microbenchmarks (google-benchmark) for the durable store: ingest
-// throughput (codec + WAL append) and restart-to-first-report latency,
-// cold (WAL replay + full Step 1) vs warm (snapshot's stored Step-1 state
-// via FleetAnalyzer::add_analyzed).  Not a paper figure — harness health.
+// Microbenchmarks (google-benchmark) for the durable store.  Not a paper
+// figure — harness health:
+//
+//   BM_StoreIngest/<bundles>/<policy>/<events>
+//       group-commit ingest throughput (append_async + one flush) under
+//       fsync policy 0=none, 1=group(500us), 2=always; items/sec =
+//       bundles/sec.  <events> scales the bundle payload (~66 bytes per
+//       utilization sample, 2 samples per event).
+//   BM_StoreRecover/<segments>/<threads>
+//       cold open() of a multi-segment store: segment decode (parallel on
+//       <threads>) + sequential merge.  The segment axis is forced by
+//       sizing segment_target_bytes to the fixture.
+//   BM_StoreRecoverReport/<bundles>/<warm>
+//       restart-to-first-report: open + analyzer load + first snapshot,
+//       cold (WAL replay + full Step 1) vs warm (snapshot's stored
+//       Step-1 state via FleetAnalyzer::add_analyzed).
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -48,44 +60,98 @@ std::string bench_dir(const std::string& leaf) {
   return (fs::temp_directory_path() / ("edx_bench_store_" + leaf)).string();
 }
 
-/// Appending a fleet upload by upload: codec encode + CRC + WAL write per
-/// bundle.  items/sec = bundles/sec.
+store::StoreOptions policy_options(std::int64_t policy) {
+  store::StoreOptions options;
+  switch (policy) {
+    case 0: options.fsync_policy = store::FsyncPolicy::kNone; break;
+    case 2: options.fsync_policy = store::FsyncPolicy::kAlways; break;
+    default: options.fsync_policy = store::FsyncPolicy::kGroup; break;
+  }
+  return options;
+}
+
+/// Group-commit ingest: queue every upload, then one flush makes the
+/// whole batch durable.  items/sec = bundles/sec.
 void BM_StoreIngest(benchmark::State& state) {
   const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
-                                         /*events=*/100);
+                                         static_cast<int>(state.range(2)));
+  const store::StoreOptions options = policy_options(state.range(1));
   const std::string dir = bench_dir("ingest");
   for (auto _ : state) {
     state.PauseTiming();
     fs::remove_all(dir);
     state.ResumeTiming();
-    store::FleetStore fleet_store = store::FleetStore::open(dir);
+    store::FleetStore fleet_store = store::FleetStore::open(dir, options);
     for (const trace::TraceBundle& bundle : bundles) {
-      fleet_store.append(bundle);
+      fleet_store.append_async(bundle);
     }
+    fleet_store.flush();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
   fs::remove_all(dir);
 }
-BENCHMARK(BM_StoreIngest)->Arg(50)->Arg(200);
+// Policy comparison at the heavy bundle shape (~13 KB encoded), plus the
+// throughput configuration perf_smoke gates (light ~3 KB uploads, group).
+BENCHMARK(BM_StoreIngest)
+    ->ArgsProduct({{256}, {0, 1, 2}, {100}})
+    ->Args({1024, 1, 24});
 
-/// Restart-to-first-report: open the store, load the analyzer, render the
-/// first snapshot.  range(1) == 0: WAL only — replay re-decodes every
-/// record and Step 1 re-runs the full power join.  range(1) == 1: the
-/// fleet was compacted — snapshot_step1() feeds the analyzer the stored
-/// Step-1 results and the power join is skipped entirely.
+/// Cold open() of a store whose WAL spans `segments` files: parallel
+/// segment decode on `threads` + the deterministic sequential merge.
 void BM_StoreRecover(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  constexpr int kBundles = 128;
+  const auto bundles = synthetic_bundles(kBundles, /*events=*/100);
+  const std::string dir =
+      bench_dir("recover_seg" + std::to_string(segments));
+  fs::remove_all(dir);
+  store::StoreOptions build;
+  {
+    // Size segments so the fixture spans the requested file count.
+    store::FleetStore probe = store::FleetStore::open(dir);
+    probe.append(bundles[0]);
+    build.segment_target_bytes =
+        std::max<std::size_t>(64, fs::file_size(dir + "/wal-1.edx") *
+                                      kBundles / segments);
+  }
+  fs::remove_all(dir);
+  {
+    store::FleetStore fleet_store = store::FleetStore::open(dir, build);
+    for (const trace::TraceBundle& bundle : bundles) {
+      fleet_store.append_async(bundle);
+    }
+    fleet_store.flush();
+  }
+  store::StoreOptions recover;
+  recover.segment_target_bytes = build.segment_target_bytes;
+  recover.recovery_threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    const store::FleetStore recovered = store::FleetStore::open(dir, recover);
+    benchmark::DoNotOptimize(recovered.fleet_size());
+  }
+  state.SetItemsProcessed(state.iterations() * kBundles);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreRecover)->ArgsProduct({{1, 8}, {1, 2, 8}});
+
+/// Restart-to-first-report.  range(1) == 0: WAL only — replay re-decodes
+/// every record and Step 1 re-runs the full power join.  range(1) == 1:
+/// the fleet was compacted — snapshot_step1() feeds the analyzer the
+/// stored Step-1 results and the power join is skipped entirely.
+void BM_StoreRecoverReport(benchmark::State& state) {
   const bool with_snapshot = state.range(1) != 0;
   const auto bundles = synthetic_bundles(static_cast<int>(state.range(0)),
                                          /*events=*/100);
   const std::string dir =
-      bench_dir("recover" + std::to_string(state.range(0)) +
+      bench_dir("report" + std::to_string(state.range(0)) +
                 (with_snapshot ? "s" : "w"));
   fs::remove_all(dir);
   {
     store::FleetStore fleet_store = store::FleetStore::open(dir);
     for (const trace::TraceBundle& bundle : bundles) {
-      fleet_store.append(bundle);
+      fleet_store.append_async(bundle);
     }
+    fleet_store.flush();
     if (with_snapshot) fleet_store.compact();
   }
 
@@ -98,16 +164,15 @@ void BM_StoreRecover(benchmark::State& state) {
     for (core::AnalyzedTrace& analyzed : warm) {
       fleet.add_analyzed(std::move(analyzed));
     }
-    for (const trace::TraceBundle& bundle : recovered.tail_bundles()) {
-      fleet.add_bundle(bundle);
+    for (const store::BundleRef& bundle : recovered.tail_refs()) {
+      fleet.add_bundle(*bundle);
     }
     benchmark::DoNotOptimize(fleet.snapshot());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
   fs::remove_all(dir);
 }
-BENCHMARK(BM_StoreRecover)
-    ->ArgsProduct({{50, 200}, {0, 1}});
+BENCHMARK(BM_StoreRecoverReport)->ArgsProduct({{50, 200}, {0, 1}});
 
 }  // namespace
 

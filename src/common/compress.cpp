@@ -1,0 +1,153 @@
+#include "common/compress.h"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace edx::common {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+// Matches never start within the last 12 bytes and never extend into the
+// last 5: the tail is always emitted as literals, which keeps the decoder's
+// final-sequence rule (stream ends after literals) unambiguous.
+constexpr std::size_t kMatchStartMargin = 12;
+constexpr std::size_t kMatchEndMargin = 5;
+constexpr std::uint32_t kHashBits = 13;
+
+inline std::uint32_t hash4(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Appends a 255-run extension encoding of `value` (the amount beyond the
+/// token nibble's 15).
+void put_run(std::string& out, std::size_t value) {
+  while (value >= 255) {
+    out.push_back(static_cast<char>(static_cast<unsigned char>(255)));
+    value -= 255;
+  }
+  out.push_back(static_cast<char>(static_cast<unsigned char>(value)));
+}
+
+/// One sequence: `lit_len` literals from src[lit_begin], then a match of
+/// `match_len` (0 = literals-only final sequence) at `offset` back.
+void put_sequence(std::string& out, std::string_view src,
+                  std::size_t lit_begin, std::size_t lit_len,
+                  std::size_t match_len, std::size_t offset) {
+  const std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  std::size_t match_nibble = 0;
+  if (match_len != 0) {
+    const std::size_t extra = match_len - kMinMatch;
+    match_nibble = extra < 15 ? extra : 15;
+  }
+  out.push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) put_run(out, lit_len - 15);
+  out.append(src.data() + lit_begin, lit_len);
+  if (match_len != 0) {
+    out.push_back(static_cast<char>(offset & 0xFF));
+    out.push_back(static_cast<char>((offset >> 8) & 0xFF));
+    if (match_nibble == 15) put_run(out, match_len - kMinMatch - 15);
+  }
+}
+
+}  // namespace
+
+std::string block_compress(std::string_view src) {
+  const std::size_t n = src.size();
+  std::string out;
+  out.reserve(n / 2 + 16);
+  const auto* in = reinterpret_cast<const unsigned char*>(src.data());
+
+  std::size_t anchor = 0;
+  if (n >= kMatchStartMargin &&
+      n < std::numeric_limits<std::uint32_t>::max()) {
+    // Positions are stored +1 so 0 means "empty slot".
+    std::array<std::uint32_t, std::size_t{1} << kHashBits> table{};
+    const std::size_t match_limit = n - kMatchEndMargin;
+    const std::size_t search_limit = n - kMatchStartMargin;
+    std::size_t pos = 0;
+    while (pos <= search_limit) {
+      const std::uint32_t slot = hash4(in + pos);
+      const std::uint32_t candidate = table[slot];
+      table[slot] = static_cast<std::uint32_t>(pos + 1);
+      if (candidate != 0) {
+        const std::size_t cpos = candidate - 1;
+        if (pos - cpos <= kMaxOffset &&
+            std::memcmp(in + cpos, in + pos, kMinMatch) == 0) {
+          std::size_t len = kMinMatch;
+          while (pos + len < match_limit && in[cpos + len] == in[pos + len]) {
+            ++len;
+          }
+          put_sequence(out, src, anchor, pos - anchor, len, pos - cpos);
+          pos += len;
+          anchor = pos;
+          continue;
+        }
+      }
+      ++pos;
+    }
+  }
+  put_sequence(out, src, anchor, n - anchor, 0, 0);
+  return out;
+}
+
+bool block_decompress(std::string_view src, std::string& out,
+                      std::size_t max_size) {
+  out.clear();
+  if (src.empty()) return false;  // block_compress never emits zero bytes
+  const auto* in = reinterpret_cast<const unsigned char*>(src.data());
+  const std::size_t n = src.size();
+  out.reserve(max_size < (std::size_t{1} << 26) ? max_size : 0);
+
+  std::size_t ip = 0;
+  // Reads a token nibble's full length: `base` plus 255-run extension
+  // bytes when base saturated at 15.  Rejects runs that exceed the output
+  // cap before they can overflow the accumulator.
+  const auto read_length = [&](std::size_t base, std::size_t& length) {
+    length = base;
+    if (base != 15) return true;
+    while (true) {
+      if (ip >= n) return false;
+      const unsigned char byte = in[ip++];
+      length += byte;
+      if (length > max_size + 255) return false;
+      if (byte != 255) return true;
+    }
+  };
+
+  while (ip < n) {
+    const unsigned char token = in[ip++];
+    std::size_t lit_len = 0;
+    if (!read_length(token >> 4, lit_len)) return false;
+    if (lit_len > n - ip) return false;
+    if (lit_len > max_size - out.size()) return false;
+    out.append(src.data() + ip, lit_len);
+    ip += lit_len;
+    if (ip == n) return true;  // final, literals-only sequence
+
+    if (n - ip < 2) return false;
+    const std::size_t offset =
+        static_cast<std::size_t>(in[ip]) |
+        (static_cast<std::size_t>(in[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > out.size()) return false;
+    std::size_t match_len = 0;
+    if (!read_length(token & 0xF, match_len)) return false;
+    match_len += kMinMatch;
+    if (match_len > max_size - out.size()) return false;
+    // Byte-at-a-time on purpose: offsets smaller than the match length
+    // replicate the overlapped run (RLE-style), exactly as encoded.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  return false;  // input exhausted mid-sequence (before its literals)
+}
+
+}  // namespace edx::common

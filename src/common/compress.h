@@ -1,0 +1,53 @@
+// In-tree LZ4-class block compression for the durable store's WAL frames.
+//
+// The store's bundle records are dominated by utilization samples whose
+// byte patterns repeat across a trace (fixed cadence, recurring component
+// mixes), so a byte-oriented dictionary coder recovers most of the easy
+// redundancy without pulling in an external dependency.  The format is a
+// plain LZ77 token stream in the LZ4 style:
+//
+//   sequence := token                        1 byte
+//               literal-length extension     0+ bytes (255-runs)
+//               literals                     literal_length bytes
+//               match offset                 u16le, 1..65535 back-distance
+//               match-length extension       0+ bytes (255-runs)
+//
+//   token = (literal_length capped at 15) << 4 | (match_length - 4,
+//           capped at 15); a nibble of 15 continues into extension bytes,
+//           each adding 0..255 (a byte below 255 terminates the run).
+//   The final sequence carries literals only — the stream simply ends
+//   after them (no offset / match fields).
+//
+// Matches are at least 4 bytes and reference at most 65535 bytes back.
+// block_compress is greedy with a small hash table over 4-byte windows:
+// compression ratio is modest by design; the store only keeps a
+// compressed frame when it actually came out smaller, and integrity is
+// the codec layer's job (the CRC travels over the *uncompressed* record),
+// so this coder optimizes for simplicity and decode safety.
+//
+// block_decompress never crashes on hostile input: every length, offset
+// and copy is bounds-checked against both the input and the `max_size`
+// output cap, and any violation returns false with `out` unspecified.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace edx::common {
+
+/// Compresses `src` into a self-delimiting token stream.  Always succeeds;
+/// incompressible input grows by at most ~1 byte per 255 input bytes plus
+/// a small constant.  Inputs of 4 GiB or larger are not supported (the
+/// store frames are megabytes at most) and are returned as one literal run.
+[[nodiscard]] std::string block_compress(std::string_view src);
+
+/// Decompresses a block_compress() stream into `out` (cleared first).
+/// Returns false — without crashing, reading out of bounds, or producing
+/// more than `max_size` bytes — on any malformed input: truncated lengths,
+/// offsets past the start of output, literal runs past the end of input,
+/// or output exceeding `max_size`.
+[[nodiscard]] bool block_decompress(std::string_view src, std::string& out,
+                                    std::size_t max_size);
+
+}  // namespace edx::common

@@ -43,9 +43,35 @@ inline std::uint32_t load_u32le(const unsigned char* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define EDX_CRC32C_HW 1
+
+/// SSE4.2 CRC32 instruction path.  Compiled with a per-function target so
+/// the translation unit itself needs no -msse4.2; only ever called after
+/// the runtime __builtin_cpu_supports check below.
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::uint32_t crc, const unsigned char* p, std::size_t size) {
+  crc = ~crc;
+  std::uint64_t crc64 = crc;
+  while (size >= 8) {
+    std::uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (size-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return ~crc;
+}
+#endif  // __x86_64__ && __GNUC__
+
 }  // namespace
 
-std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size) {
+std::uint32_t crc32c_portable(std::uint32_t crc, const void* data,
+                              std::size_t size) {
   const Tables& t = tables();
   const unsigned char* p = static_cast<const unsigned char*>(data);
   crc = ~crc;
@@ -63,6 +89,16 @@ std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size) {
     crc = (crc >> 8) ^ t.slice[0][(crc ^ *p++) & 0xFFu];
   }
   return ~crc;
+}
+
+std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size) {
+#ifdef EDX_CRC32C_HW
+  static const bool have_sse42 = __builtin_cpu_supports("sse4.2");
+  if (have_sse42) {
+    return crc32c_hw(crc, static_cast<const unsigned char*>(data), size);
+  }
+#endif
+  return crc32c_portable(crc, data, size);
 }
 
 }  // namespace edx::common

@@ -7,9 +7,13 @@
 // (iSCSI, ext4, LevelDB/RocksDB log formats), which keeps our on-disk
 // format checkable by stock tooling.
 //
-// The implementation is portable software slicing-by-8: eight 256-entry
+// Two implementations behind one entry point: on x86-64 machines that
+// advertise SSE4.2 at runtime, the CRC32 instruction folds eight bytes per
+// cycle-ish step; everywhere else (and as the reference the hardware path
+// is tested against) portable software slicing-by-8 — eight 256-entry
 // tables built once at first use, processing eight input bytes per step.
-// No SSE4.2 dependency — the store must work on any build target.
+// Dispatch is a one-time __builtin_cpu_supports check, so the binary still
+// runs on any build target.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +26,12 @@ namespace edx::common {
 /// checksum).  Extending is associative with concatenation:
 /// crc32c(crc32c(0, a), b) == crc32c(0, a + b).
 std::uint32_t crc32c(std::uint32_t crc, const void* data, std::size_t size);
+
+/// The table-driven software implementation, always available.  Same
+/// contract as crc32c(); exposed so tests can cross-check the hardware
+/// path against it on machines where the two differ in code path.
+std::uint32_t crc32c_portable(std::uint32_t crc, const void* data,
+                              std::size_t size);
 
 /// One-shot CRC32C of a whole buffer.
 inline std::uint32_t crc32c(std::string_view data) {

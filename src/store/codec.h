@@ -45,7 +45,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/types.h"
+#include "power/tracker.h"
 #include "trace/recorder.h"
 
 namespace edx::store {
@@ -90,6 +93,36 @@ class Reader {
 
 /// Serializes `bundle` into one framed, CRC-protected record.
 [[nodiscard]] std::string encode_bundle(const trace::TraceBundle& bundle);
+
+/// A fully parsed but not yet interned bundle record.  Event names stay in
+/// the record-local table and records carry local indices into it, so
+/// producing a BundleParts touches no global state — segment recovery
+/// decodes records in parallel and defers interning to assemble_bundle(),
+/// which runs sequentially in replay order to keep the EventSymbolTable's
+/// first-seen id assignment deterministic.
+struct BundleParts {
+  struct Record {
+    TimestampMs timestamp{0};
+    std::uint32_t name_index{0};  ///< into `names`
+    bool is_entry{false};
+  };
+
+  UserId user{0};
+  std::string device_name;
+  std::vector<std::string> names;  ///< distinct event names, first-use order
+  std::vector<Record> records;
+  std::string utilization_device;
+  std::vector<power::UtilizationSample> samples;
+};
+
+/// Parses one record produced by encode_bundle() without touching the
+/// global symbol table (thread-safe against concurrent decodes).  Same
+/// validation and ParseError contract as decode_bundle().
+[[nodiscard]] BundleParts decode_bundle_parts(std::string_view blob);
+
+/// Interns `parts.names` (in table order) and builds the TraceBundle.
+/// decode_bundle(blob) == assemble_bundle(decode_bundle_parts(blob)).
+[[nodiscard]] trace::TraceBundle assemble_bundle(BundleParts&& parts);
 
 /// Parses one record produced by encode_bundle().  `blob` must be exactly
 /// the record (no trailing bytes).  Throws ParseError on any corruption.

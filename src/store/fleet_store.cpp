@@ -5,14 +5,17 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "common/compress.h"
 #include "common/crc32c.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/event_power.h"
 #include "store/codec.h"
 
@@ -22,17 +25,50 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::string_view kWalMagic = "EDXWAL01";
+constexpr std::string_view kSegmentMagic = "EDXWAL02";
+constexpr std::string_view kManifestMagic = "EDXMAN01";
 constexpr std::string_view kSnapshotMagic = "EDXSNAP1";
 constexpr std::uint32_t kSnapshotVersion = 1;
 constexpr std::uint8_t kRecordKindBundle = 1;
+constexpr std::uint8_t kRecordKindCompressed = 2;
+/// Producers block once this many encoded-but-unwritten bytes are queued.
+constexpr std::size_t kMaxQueueBytes = 8u << 20;
+/// Sanity cap on a kind-2 frame's declared uncompressed size.
+constexpr std::size_t kMaxRawFrameBytes = std::size_t{1} << 28;
 
-std::string wal_path(const std::string& directory) {
-  return directory + "/wal.edx";
+std::string segment_path(const std::string& directory, std::uint64_t base) {
+  return directory + "/wal-" + std::to_string(base) + ".edx";
+}
+
+std::string manifest_path(const std::string& directory) {
+  return directory + "/manifest.edx";
 }
 
 std::string snapshot_path(const std::string& directory, std::uint64_t seq) {
   return directory + "/snapshot-" + std::to_string(seq) + ".edx";
+}
+
+std::string segment_header(std::uint64_t base) {
+  std::string header(kSegmentMagic);
+  put_varint(header, base);
+  return header;
+}
+
+/// wal-<base>.edx files in `directory`, ascending base order.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& directory) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("wal-") || !name.ends_with(".edx")) continue;
+    const std::string_view digits(name.data() + 4, name.size() - 8);
+    std::uint64_t base = 0;
+    const auto [ptr, ec] = std::from_chars(digits.begin(), digits.end(), base);
+    if (ec != std::errc() || ptr != digits.end() || base == 0) continue;
+    found.emplace_back(base, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
 }
 
 /// snapshot-<seq>.edx files in `directory`, newest seq first.
@@ -70,6 +106,23 @@ void write_all(int fd, std::string_view bytes, const std::string& what) {
   }
 }
 
+/// Crash-safe small-file publication: temp file, fsync, atomic rename.
+void publish_file(const std::string& final_path, std::string_view bytes) {
+  const std::string temp_path = final_path + ".tmp";
+  const int fd =
+      ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw Error("FleetStore: cannot create " + temp_path);
+  try {
+    write_all(fd, bytes, temp_path);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  fs::rename(temp_path, final_path);
+}
+
 /// Parses "varint frame_len" by hand so a truncated length is a clean
 /// end-of-scan instead of an exception; returns false when the buffer ends
 /// mid-varint.
@@ -85,131 +138,67 @@ bool scan_varint(std::string_view data, std::size_t& offset,
   return false;  // > 64 bits: treat as corruption, not a valid length
 }
 
-}  // namespace
+/// Result of scanning one segment file: stats plus every record that
+/// parsed cleanly, still un-interned (BundleParts).
+struct SegmentScan {
+  SegmentStats stats;
+  std::size_t file_size{0};
+  std::vector<std::pair<std::uint64_t, BundleParts>> records;
+};
 
-FleetStore::FleetStore(FleetStore&& other) noexcept
-    : directory_(std::move(other.directory_)),
-      recovery_(std::move(other.recovery_)),
-      last_seq_(other.last_seq_),
-      fleet_(std::move(other.fleet_)),
-      slot_by_user_(std::move(other.slot_by_user_)),
-      tail_(std::move(other.tail_)),
-      snapshot_bundles_(std::move(other.snapshot_bundles_)),
-      snapshot_names_(std::move(other.snapshot_names_)),
-      snapshot_powers_(std::move(other.snapshot_powers_)),
-      wal_fd_(std::exchange(other.wal_fd_, -1)) {}
+/// Decodes a segment file up to the first bad byte.  Never throws: any
+/// damage — unreadable file, bad header, torn frame, CRC mismatch,
+/// malformed record — ends the scan with stats.torn set.  Interning is
+/// deferred to the caller's sequential merge (decode_bundle_parts touches
+/// no global state), which is what makes concurrent scans deterministic.
+/// Records with seq <= skip_upto_seq are already folded into the loaded
+/// snapshot: their framing, CRC, and sequence order are still verified,
+/// but the expensive bundle decode is skipped (the merge drops them as
+/// obsolete without ever looking at the parts).
+SegmentScan scan_segment(const std::string& path, std::uint64_t base,
+                         std::uint64_t skip_upto_seq) {
+  SegmentScan scan;
+  scan.stats.file = fs::path(path).filename().string();
+  scan.stats.base_seq = base;
+  scan.stats.last_seq = base == 0 ? 0 : base - 1;
 
-FleetStore& FleetStore::operator=(FleetStore&& other) noexcept {
-  if (this == &other) return *this;
-  if (wal_fd_ >= 0) ::close(wal_fd_);
-  directory_ = std::move(other.directory_);
-  recovery_ = std::move(other.recovery_);
-  last_seq_ = other.last_seq_;
-  fleet_ = std::move(other.fleet_);
-  slot_by_user_ = std::move(other.slot_by_user_);
-  tail_ = std::move(other.tail_);
-  snapshot_bundles_ = std::move(other.snapshot_bundles_);
-  snapshot_names_ = std::move(other.snapshot_names_);
-  snapshot_powers_ = std::move(other.snapshot_powers_);
-  wal_fd_ = std::exchange(other.wal_fd_, -1);
-  return *this;
-}
-
-FleetStore::~FleetStore() {
-  if (wal_fd_ >= 0) ::close(wal_fd_);
-}
-
-FleetStore FleetStore::open(const std::string& directory) {
-  std::error_code ec;
-  fs::create_directories(directory, ec);
-  if (ec || !fs::is_directory(directory)) {
-    throw Error("store: cannot open directory " + directory +
-                (ec ? ": " + ec.message() : ""));
-  }
-  FleetStore self;
-  self.directory_ = directory;
-
-  // A crash between temp-write and rename in compact() can leave a stray
-  // .tmp behind; it was never published, so it is garbage.
-  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
-    const std::string name = entry.path().filename().string();
-    if (name.starts_with("snapshot-") && name.ends_with(".edx.tmp")) {
-      fs::remove(entry.path());
-    }
-  }
-
-  // Newest valid snapshot wins; corrupt ones are skipped, falling back to
-  // older snapshots and finally to an empty base state.
-  for (const auto& [seq, path] : list_snapshots(directory)) {
-    ++self.recovery_.snapshots_found;
-    if (self.recovery_.snapshot_seq == 0 && self.load_snapshot(path)) {
-      self.recovery_.snapshot_seq = seq;
-    } else if (self.recovery_.snapshot_seq == 0) {
-      ++self.recovery_.snapshots_skipped;
-    }
-  }
-  self.recovery_.snapshot_bundle_count = self.snapshot_bundles_.size();
-  self.fleet_ = self.snapshot_bundles_;
-  for (std::size_t slot = 0; slot < self.fleet_.size(); ++slot) {
-    self.slot_by_user_.emplace(self.fleet_[slot].fleet_key(), slot);
-  }
-  self.last_seq_ = self.recovery_.snapshot_seq;
-
-  const std::string wal = wal_path(directory);
-  if (fs::exists(wal)) {
-    self.replay_wal(read_file_bytes(wal));
-    if (self.recovery_.wal_tail_torn) {
-      // Repair on open, LevelDB-style: cut the log back to the salvaged
-      // prefix so new appends land after good records, never after junk.
-      fs::resize_file(wal, self.recovery_.wal_bytes_salvaged);
-      if (self.recovery_.wal_bytes_salvaged < kWalMagic.size()) {
-        // Not even the header survived (empty or foreign file): rewrite
-        // it so subsequent appends land in a log recovery will read.
-        const int fd = ::open(wal.c_str(), O_WRONLY | O_TRUNC);
-        if (fd < 0) throw Error("FleetStore: cannot repair " + wal);
-        write_all(fd, kWalMagic, wal);
-        ::close(fd);
-      }
-    }
-  } else {
-    const int fd = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-    if (fd < 0) throw Error("FleetStore: cannot create " + wal);
-    write_all(fd, kWalMagic, wal);
-    ::close(fd);
-    self.recovery_.wal_bytes_salvaged = kWalMagic.size();
-  }
-  self.open_wal_for_append();
-  return self;
-}
-
-void FleetStore::replay_wal(const std::string& wal_bytes) {
-  const auto torn = [this, &wal_bytes](std::size_t good_prefix,
-                                       std::string reason) {
-    recovery_.wal_tail_torn = true;
-    recovery_.wal_tail_reason = std::move(reason);
-    recovery_.wal_bytes_salvaged = good_prefix;
-    recovery_.wal_bytes_dropped = wal_bytes.size() - good_prefix;
+  const auto torn = [&scan](std::size_t good_prefix, std::string reason) {
+    scan.stats.torn = true;
+    scan.stats.reason = std::move(reason);
+    scan.stats.bytes = good_prefix;
   };
 
-  if (wal_bytes.size() < kWalMagic.size() ||
-      std::string_view(wal_bytes).substr(0, kWalMagic.size()) != kWalMagic) {
-    torn(0, "bad WAL header");
-    return;
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const Error&) {
+    torn(0, "unreadable segment file");
+    return scan;
   }
-  std::size_t offset = kWalMagic.size();
-  recovery_.wal_bytes_salvaged = offset;
-  const std::string_view data(wal_bytes);
+  scan.file_size = bytes.size();
+
+  const std::string header = segment_header(base);
+  if (bytes.size() < header.size() ||
+      std::string_view(bytes).substr(0, header.size()) != header) {
+    torn(0, "bad segment header");
+    return scan;
+  }
+  std::size_t offset = header.size();
+  scan.stats.bytes = offset;
+  const std::string_view data(bytes);
+  std::uint64_t previous_seq = base - 1;
+  std::string decompressed;
   while (offset < data.size()) {
     std::size_t cursor = offset;
     std::uint64_t frame_len = 0;
     if (!scan_varint(data, cursor, frame_len)) {
       torn(offset, "truncated frame length");
-      return;
+      return scan;
     }
     if (frame_len > data.size() - cursor ||
         data.size() - cursor - frame_len < 4) {
       torn(offset, "truncated frame");
-      return;
+      return scan;
     }
     const std::string_view frame =
         data.substr(cursor, static_cast<std::size_t>(frame_len));
@@ -222,172 +211,72 @@ void FleetStore::replay_wal(const std::string& wal_bytes) {
     }
     if (stored_crc != common::crc32c(frame)) {
       torn(offset, "frame CRC32C mismatch");
-      return;
+      return scan;
     }
     std::uint64_t seq = 0;
-    trace::TraceBundle bundle;
+    BundleParts parts;
     try {
       Reader reader(frame);
       const auto kind = static_cast<std::uint8_t>(reader.bytes(1)[0]);
-      if (kind != kRecordKindBundle) {
+      seq = reader.varint();
+      if (kind != kRecordKindBundle && kind != kRecordKindCompressed) {
         throw ParseError("unknown record kind " + std::to_string(kind));
       }
-      seq = reader.varint();
-      bundle = decode_bundle(reader.bytes(reader.remaining()));
+      if (seq <= skip_upto_seq) {
+        // Snapshot-covered: CRC already vouches for the bytes; leave the
+        // parts empty.
+      } else if (kind == kRecordKindBundle) {
+        parts = decode_bundle_parts(reader.bytes(reader.remaining()));
+      } else {
+        const std::uint64_t raw_len = reader.varint();
+        if (raw_len > kMaxRawFrameBytes) {
+          throw ParseError("compressed frame declares absurd raw length");
+        }
+        // The decompressed record carries its own CRC32C over the
+        // uncompressed bytes; decode_bundle_parts re-validates it.
+        if (!common::block_decompress(reader.bytes(reader.remaining()),
+                                      decompressed,
+                                      static_cast<std::size_t>(raw_len)) ||
+            decompressed.size() != raw_len) {
+          throw ParseError("compressed frame does not decompress");
+        }
+        parts = decode_bundle_parts(decompressed);
+      }
     } catch (const ParseError& failure) {
       // The frame passed its CRC but does not parse — a writer bug or
       // deliberate tampering; either way, stop before it like any other
       // bad tail.
       torn(offset, std::string("bad frame: ") + failure.what());
-      return;
+      return scan;
     }
-    if (seq <= recovery_.snapshot_seq) {
-      ++recovery_.wal_records_obsolete;
-    } else {
-      tail_.push_back(bundle);
-      apply(std::move(bundle));
-      ++recovery_.wal_records_replayed;
+    if (seq <= previous_seq) {
+      torn(offset, "out-of-order sequence number");
+      return scan;
     }
-    last_seq_ = std::max(last_seq_, seq);
+    previous_seq = seq;
+    scan.records.emplace_back(seq, std::move(parts));
+    scan.stats.last_seq = seq;
+    ++scan.stats.records;
     offset = cursor;
-    recovery_.wal_bytes_salvaged = offset;
+    scan.stats.bytes = offset;
   }
+  return scan;
 }
 
-void FleetStore::apply(trace::TraceBundle bundle) {
-  const auto [it, inserted] =
-      slot_by_user_.emplace(bundle.fleet_key(), fleet_.size());
-  if (inserted) {
-    fleet_.push_back(std::move(bundle));
-  } else {
-    fleet_[it->second] = std::move(bundle);
-  }
-}
-
-void FleetStore::open_wal_for_append() {
-  const std::string wal = wal_path(directory_);
-  wal_fd_ = ::open(wal.c_str(), O_WRONLY | O_APPEND);
-  if (wal_fd_ < 0) throw Error("FleetStore: cannot open " + wal);
-}
-
-std::uint64_t FleetStore::append(const trace::TraceBundle& bundle) {
-  const std::uint64_t seq = last_seq_ + 1;
-  std::string frame;
-  frame.push_back(static_cast<char>(kRecordKindBundle));
-  put_varint(frame, seq);
-  frame += encode_bundle(bundle);
-
-  std::string record;
-  record.reserve(frame.size() + 8);
-  put_varint(record, frame.size());
-  record += frame;
-  put_u32le(record, common::crc32c(frame));
-  // write(2) goes straight to the kernel: once append() returns, the
-  // record survives a process kill.  fsync (machine-crash durability) is
-  // paid once per compact(), not per upload.
-  write_all(wal_fd_, record, wal_path(directory_));
-
-  last_seq_ = seq;
-  tail_.push_back(bundle);
-  apply(bundle);
-  return seq;
-}
-
-void FleetStore::compact() {
-  if (last_seq_ == recovery_.snapshot_seq) return;  // nothing new to fold
-
-  // Step 1 over the fleet gives the exact per-instance powers the
-  // analyzer would compute; serialized per event in traversal order they
-  // are EventRanking's state, and snapshot_step1() inverts them.
-  const std::vector<core::AnalyzedTrace> analyzed =
-      core::estimate_event_power(std::span<const trace::TraceBundle>(fleet_));
-  std::vector<std::string> names;
-  std::vector<std::vector<double>> powers;
-  std::unordered_map<EventId, std::size_t> local_index;
-  for (const core::AnalyzedTrace& trace : analyzed) {
-    for (const core::PoweredEvent& event : trace.events) {
-      const auto [it, inserted] =
-          local_index.emplace(event.id, names.size());
-      if (inserted) {
-        names.push_back(event_name(event.id));
-        powers.emplace_back();
-      }
-      powers[it->second].push_back(event.raw_power);
-    }
-  }
-
-  std::string payload;
-  put_varint(payload, last_seq_);
-  put_varint(payload, fleet_.size());
-  for (const trace::TraceBundle& bundle : fleet_) {
-    put_string(payload, encode_bundle(bundle));
-  }
-  put_varint(payload, names.size());
-  for (const std::string& name : names) put_string(payload, name);
-  put_varint(payload, powers.size());
-  for (const std::vector<double>& list : powers) {
-    put_varint(payload, list.size());
-    for (const double power : list) put_f64(payload, power);
-  }
-
-  std::string file;
-  file.reserve(payload.size() + 24);
-  file.append(kSnapshotMagic);
-  put_u32le(file, kSnapshotVersion);
-  put_varint(file, payload.size());
-  file += payload;
-  put_u32le(file, common::crc32c(payload));
-
-  // Crash-safe publication: temp file, fsync, atomic rename.  A crash at
-  // any point leaves either the old snapshot set or the new one — never a
-  // half-written snapshot that recovery would have to trust.
-  const std::string final_path = snapshot_path(directory_, last_seq_);
-  const std::string temp_path = final_path + ".tmp";
-  {
-    const int fd =
-        ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) throw Error("FleetStore: cannot create " + temp_path);
-    write_all(fd, file, temp_path);
-    ::fsync(fd);
-    ::close(fd);
-  }
-  fs::rename(temp_path, final_path);
-
-  // The snapshot now subsumes every WAL record: reset the log.
-  if (wal_fd_ >= 0) ::close(wal_fd_);
-  const std::string wal = wal_path(directory_);
-  const int fd = ::open(wal.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw Error("FleetStore: cannot reset " + wal);
-  write_all(fd, kWalMagic, wal);
-  ::fsync(fd);
-  ::close(fd);
-  open_wal_for_append();
-
-  // Keep the previous snapshot as a fallback against latent corruption of
-  // the new one; prune anything older.
-  const auto snapshots = list_snapshots(directory_);
-  for (std::size_t i = 2; i < snapshots.size(); ++i) {
-    fs::remove(snapshots[i].second);
-  }
-
-  snapshot_bundles_ = fleet_;
-  snapshot_names_ = std::move(names);
-  snapshot_powers_ = std::move(powers);
-  tail_.clear();
-  recovery_.snapshot_seq = last_seq_;
-  recovery_.snapshot_bundle_count = snapshot_bundles_.size();
-}
-
-bool FleetStore::load_snapshot(const std::string& path) {
+/// Reads snapshot-<seq>.edx; returns false when invalid in any way.
+bool load_snapshot_file(const std::string& path,
+                        std::vector<BundleRef>& bundles,
+                        std::vector<std::string>& names,
+                        std::vector<std::vector<double>>& powers) {
   std::string bytes;
   try {
     bytes = read_file_bytes(path);
   } catch (const Error&) {
     return false;
   }
-  std::vector<trace::TraceBundle> bundles;
-  std::vector<std::string> names;
-  std::vector<std::vector<double>> powers;
+  std::vector<BundleRef> loaded_bundles;
+  std::vector<std::string> loaded_names;
+  std::vector<std::vector<double>> loaded_powers;
   try {
     Reader file{std::string_view(bytes)};
     if (file.remaining() < kSnapshotMagic.size() ||
@@ -405,20 +294,21 @@ bool FleetStore::load_snapshot(const std::string& path) {
     payload.varint();  // seq; the filename is authoritative
     const std::uint64_t bundle_count = payload.varint();
     if (bundle_count > payload.remaining()) return false;
-    bundles.reserve(static_cast<std::size_t>(bundle_count));
+    loaded_bundles.reserve(static_cast<std::size_t>(bundle_count));
     for (std::uint64_t i = 0; i < bundle_count; ++i) {
-      bundles.push_back(decode_bundle(payload.string()));
+      loaded_bundles.push_back(std::make_shared<const trace::TraceBundle>(
+          decode_bundle(payload.string())));
     }
     const std::uint64_t name_count = payload.varint();
     if (name_count > payload.remaining()) return false;
-    names.reserve(static_cast<std::size_t>(name_count));
+    loaded_names.reserve(static_cast<std::size_t>(name_count));
     for (std::uint64_t i = 0; i < name_count; ++i) {
-      names.emplace_back(payload.string());
+      loaded_names.emplace_back(payload.string());
     }
     const std::uint64_t slot_count = payload.varint();
-    if (slot_count != names.size()) return false;
-    powers.resize(static_cast<std::size_t>(slot_count));
-    for (auto& list : powers) {
+    if (slot_count != loaded_names.size()) return false;
+    loaded_powers.resize(static_cast<std::size_t>(slot_count));
+    for (auto& list : loaded_powers) {
       const std::uint64_t power_count = payload.varint();
       if (power_count > payload.remaining() / 8 + 1) return false;
       list.reserve(static_cast<std::size_t>(power_count));
@@ -430,11 +320,799 @@ bool FleetStore::load_snapshot(const std::string& path) {
   } catch (const ParseError&) {
     return false;
   }
-  snapshot_bundles_ = std::move(bundles);
-  snapshot_names_ = std::move(names);
-  snapshot_powers_ = std::move(powers);
+  bundles = std::move(loaded_bundles);
+  names = std::move(loaded_names);
+  powers = std::move(loaded_powers);
   return true;
 }
+
+struct ManifestContents {
+  std::uint64_t snapshot_seq{0};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sealed;  // base, last
+  std::uint64_t active_base{0};
+};
+
+/// Parses manifest.edx; nullopt on any damage (the manifest is advisory,
+/// so damage only downgrades manifest_ok, never recovery).
+std::optional<ManifestContents> read_manifest(const std::string& path) {
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  ManifestContents contents;
+  try {
+    Reader file{std::string_view(bytes)};
+    if (file.remaining() < kManifestMagic.size() ||
+        file.bytes(kManifestMagic.size()) != kManifestMagic) {
+      return std::nullopt;
+    }
+    const std::uint64_t payload_len = file.varint();
+    if (file.remaining() != payload_len + 4) return std::nullopt;
+    const std::string_view payload_bytes =
+        file.bytes(static_cast<std::size_t>(payload_len));
+    if (file.u32le() != common::crc32c(payload_bytes)) return std::nullopt;
+    Reader payload(payload_bytes);
+    contents.snapshot_seq = payload.varint();
+    const std::uint64_t sealed_count = payload.varint();
+    if (sealed_count > payload.remaining()) return std::nullopt;
+    contents.sealed.reserve(static_cast<std::size_t>(sealed_count));
+    for (std::uint64_t i = 0; i < sealed_count; ++i) {
+      const std::uint64_t base = payload.varint();
+      const std::uint64_t last = payload.varint();
+      contents.sealed.emplace_back(base, last);
+    }
+    contents.active_base = payload.varint();
+    if (!payload.done()) return std::nullopt;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  return contents;
+}
+
+std::string render_manifest(const ManifestContents& contents) {
+  std::string payload;
+  put_varint(payload, contents.snapshot_seq);
+  put_varint(payload, contents.sealed.size());
+  for (const auto& [base, last] : contents.sealed) {
+    put_varint(payload, base);
+    put_varint(payload, last);
+  }
+  put_varint(payload, contents.active_base);
+  std::string file;
+  file.reserve(payload.size() + 24);
+  file.append(kManifestMagic);
+  put_varint(file, payload.size());
+  file += payload;
+  put_u32le(file, common::crc32c(payload));
+  return file;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Recovery / open
+// ----------------------------------------------------------------------
+
+struct FleetStore::Recovered {
+  std::string directory;
+  StoreOptions options;
+  RecoveryStats recovery;
+  std::uint64_t last_seq{0};
+  std::vector<BundleRef> fleet;
+  std::unordered_map<UserId, std::size_t> slot_by_user;
+  std::vector<BundleRef> tail;
+  std::vector<std::uint64_t> tail_seqs;
+  std::vector<BundleRef> snapshot_bundles;
+  std::vector<std::string> snapshot_names;
+  std::vector<std::vector<double>> snapshot_powers;
+  std::vector<SealedSegment> sealed;
+  int active_fd{-1};
+  std::uint64_t active_base{1};
+  std::uint64_t active_last_seq{0};
+  std::size_t active_bytes{0};
+};
+
+FleetStore FleetStore::open(const std::string& directory) {
+  return open(directory, StoreOptions{});
+}
+
+FleetStore FleetStore::open(const std::string& directory,
+                            const StoreOptions& options) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec || !fs::is_directory(directory)) {
+    throw Error("store: cannot open directory " + directory +
+                (ec ? ": " + ec.message() : ""));
+  }
+  Recovered st;
+  st.directory = directory;
+  st.options = options;
+  if (st.options.segment_target_bytes < 64) {
+    st.options.segment_target_bytes = 64;  // floor: header + one frame
+  }
+
+  // A crash between temp-write and rename can leave a stray .tmp behind;
+  // it was never published, so it is garbage.
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) fs::remove(entry.path());
+  }
+
+  // Newest valid snapshot wins; corrupt ones are skipped, falling back to
+  // older snapshots and finally to an empty base state.
+  for (const auto& [seq, path] : list_snapshots(directory)) {
+    ++st.recovery.snapshots_found;
+    if (st.recovery.snapshot_seq != 0) continue;
+    if (load_snapshot_file(path, st.snapshot_bundles, st.snapshot_names,
+                           st.snapshot_powers)) {
+      st.recovery.snapshot_seq = seq;
+    } else {
+      ++st.recovery.snapshots_skipped;
+    }
+  }
+  st.recovery.snapshot_bundle_count = st.snapshot_bundles.size();
+  st.fleet = st.snapshot_bundles;  // shares the bundles, copies no data
+  for (std::size_t slot = 0; slot < st.fleet.size(); ++slot) {
+    st.slot_by_user.emplace(st.fleet[slot]->fleet_key(), slot);
+  }
+  st.last_seq = st.recovery.snapshot_seq;
+
+  const auto segments = list_segments(directory);
+  const auto decode_begin = std::chrono::steady_clock::now();
+  std::vector<SegmentScan> scans(segments.size());
+  if (segments.size() > 1 &&
+      common::ThreadPool::resolve_threads(options.recovery_threads) > 1) {
+    common::ThreadPool pool(
+        common::ThreadPool::resolve_threads(options.recovery_threads));
+    pool.parallel_for(0, segments.size(), [&](std::size_t i) {
+      scans[i] = scan_segment(segments[i].second, segments[i].first,
+                              st.recovery.snapshot_seq);
+    });
+  } else {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      scans[i] = scan_segment(segments[i].second, segments[i].first,
+                              st.recovery.snapshot_seq);
+    }
+  }
+
+  // Sequential merge in base order: interning happens here, in replay
+  // order, so recovery is byte-identical for any recovery_threads.  The
+  // first torn segment ends the global replay (a WAL is a prefix log);
+  // only the *active* (newest) segment is ever repaired on disk.
+  bool stop_replay = false;
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    SegmentScan& scan = scans[i];
+    const bool is_active = i + 1 == scans.size();
+    scan.stats.sealed = !is_active;
+    ++st.recovery.segments_scanned;
+    st.recovery.wal_bytes_salvaged += scan.stats.bytes;
+    st.recovery.wal_bytes_dropped += scan.file_size - scan.stats.bytes;
+    if (stop_replay) {
+      if (!scan.stats.reason.empty()) scan.stats.reason += "; ";
+      scan.stats.reason += "not replayed (earlier segment torn)";
+    } else {
+      for (auto& [seq, parts] : scan.records) {
+        if (seq <= st.recovery.snapshot_seq) {
+          ++st.recovery.wal_records_obsolete;
+        } else {
+          auto bundle = std::make_shared<const trace::TraceBundle>(
+              assemble_bundle(std::move(parts)));
+          st.tail.push_back(bundle);
+          st.tail_seqs.push_back(seq);
+          const auto [it, inserted] =
+              st.slot_by_user.emplace(bundle->fleet_key(), st.fleet.size());
+          if (inserted) {
+            st.fleet.push_back(std::move(bundle));
+          } else {
+            st.fleet[it->second] = std::move(bundle);
+          }
+          ++st.recovery.wal_records_replayed;
+        }
+        st.last_seq = std::max(st.last_seq, seq);
+      }
+    }
+    if (scan.stats.torn) {
+      ++st.recovery.segments_salvaged;
+      stop_replay = true;
+      if (!st.recovery.wal_tail_torn) {
+        st.recovery.wal_tail_torn = true;
+        st.recovery.wal_tail_reason = scan.stats.reason;
+      }
+    }
+    scan.records.clear();
+  }
+
+  // Repair the active tail, LevelDB-style: cut the segment back to the
+  // salvaged prefix so new appends land after good records, never after
+  // junk.  Sealed segments are immutable and never touched.
+  if (!scans.empty()) {
+    SegmentScan& active = scans.back();
+    const std::string& path = segments.back().second;
+    if (active.stats.torn) {
+      const std::string header = segment_header(active.stats.base_seq);
+      if (active.stats.bytes < header.size()) {
+        // Not even the header survived (empty or foreign file): rewrite
+        // it so subsequent appends land in a log recovery will read.
+        const int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC);
+        if (fd < 0) throw Error("FleetStore: cannot repair " + path);
+        write_all(fd, header, path);
+        ::close(fd);
+        active.stats.bytes = header.size();
+      } else {
+        fs::resize_file(path, active.stats.bytes);
+      }
+      st.recovery.tail_bytes_truncated =
+          active.file_size - active.stats.bytes;
+    }
+    st.active_base = active.stats.base_seq;
+    st.active_last_seq = active.stats.last_seq;
+    st.active_bytes = active.stats.bytes;
+    // New appends must land past anything already framed in the active
+    // segment — even records an earlier torn segment kept us from
+    // replaying — or the next recovery would see out-of-order sequences.
+    st.last_seq = std::max(st.last_seq, st.active_last_seq);
+    for (std::size_t i = 0; i + 1 < scans.size(); ++i) {
+      st.sealed.push_back({scans[i].stats.base_seq, scans[i].stats.last_seq,
+                           segments[i].second});
+    }
+  } else {
+    st.active_base = st.last_seq + 1;
+    st.active_last_seq = st.last_seq;
+    const std::string path = segment_path(directory, st.active_base);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) throw Error("FleetStore: cannot create " + path);
+    const std::string header = segment_header(st.active_base);
+    write_all(fd, header, path);
+    ::close(fd);
+    st.active_bytes = header.size();
+  }
+  st.recovery.decode_micros = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - decode_begin)
+          .count());
+
+  // Cross-check the manifest against what the directory scan found.  The
+  // scan is authoritative; the manifest only buys a consistency signal
+  // (and will be rewritten below to match reality).
+  const std::string man_path = manifest_path(directory);
+  if (fs::exists(man_path)) {
+    const std::optional<ManifestContents> manifest = read_manifest(man_path);
+    if (!manifest) {
+      st.recovery.manifest_ok = false;
+      st.recovery.manifest_note =
+          "corrupt manifest; recovered from directory scan";
+    } else {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> actual;
+      for (const SealedSegment& sealed : st.sealed) {
+        actual.emplace_back(sealed.base_seq, sealed.last_seq);
+      }
+      if (manifest->snapshot_seq != st.recovery.snapshot_seq) {
+        st.recovery.manifest_ok = false;
+        st.recovery.manifest_note =
+            "manifest snapshot seq disagrees with newest valid snapshot";
+      } else if (manifest->sealed != actual ||
+                 manifest->active_base != st.active_base) {
+        st.recovery.manifest_ok = false;
+        st.recovery.manifest_note =
+            "manifest is stale (behind the directory scan)";
+      }
+    }
+  } else if (!segments.empty()) {
+    st.recovery.manifest_ok = false;
+    st.recovery.manifest_note =
+        "manifest missing; recovered from directory scan";
+  }
+
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    st.recovery.segments.push_back(std::move(scans[i].stats));
+  }
+
+  // Reopen the active tail for appends.
+  {
+    const std::string path = segment_path(directory, st.active_base);
+    st.active_fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (st.active_fd < 0) throw Error("FleetStore: cannot open " + path);
+  }
+
+  return FleetStore(std::move(st));
+}
+
+FleetStore::FleetStore(Recovered&& st)
+    : directory_(std::move(st.directory)),
+      options_(st.options),
+      recovery_(std::move(st.recovery)),
+      last_seq_(st.last_seq),
+      snapshot_seq_(recovery_.snapshot_seq),
+      fleet_(std::move(st.fleet)),
+      slot_by_user_(std::move(st.slot_by_user)),
+      tail_(std::move(st.tail)),
+      tail_seqs_(std::move(st.tail_seqs)),
+      snapshot_bundles_(std::move(st.snapshot_bundles)),
+      snapshot_names_(std::move(st.snapshot_names)),
+      snapshot_powers_(std::move(st.snapshot_powers)),
+      durable_seq_(st.last_seq),
+      sealed_segments_(std::move(st.sealed)),
+      active_fd_(st.active_fd),
+      active_base_(st.active_base),
+      active_last_seq_(st.active_last_seq),
+      active_bytes_(st.active_bytes),
+      written_seq_(st.last_seq) {
+  write_manifest();  // publish a manifest matching recovered reality
+  writer_ = std::thread(&FleetStore::writer_loop, this);
+}
+
+FleetStore::~FleetStore() {
+  try {
+    wait_for_compaction();
+  } catch (...) {
+    // A failed compaction at destruction has nowhere to report; the
+    // snapshot set on disk is still consistent (temp+rename).
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  room_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+namespace {
+std::vector<trace::TraceBundle> materialize(
+    const std::vector<BundleRef>& refs) {
+  std::vector<trace::TraceBundle> out;
+  out.reserve(refs.size());
+  for (const BundleRef& bundle : refs) out.push_back(*bundle);
+  return out;
+}
+}  // namespace
+
+std::vector<trace::TraceBundle> FleetStore::fleet() const {
+  return materialize(fleet_);
+}
+
+std::vector<trace::TraceBundle> FleetStore::snapshot_bundles() const {
+  return materialize(snapshot_bundles_);
+}
+
+std::vector<trace::TraceBundle> FleetStore::tail_bundles() const {
+  return materialize(tail_);
+}
+
+// ----------------------------------------------------------------------
+// Append path / group commit
+// ----------------------------------------------------------------------
+
+void FleetStore::apply(BundleRef bundle) {
+  const auto [it, inserted] =
+      slot_by_user_.emplace(bundle->fleet_key(), fleet_.size());
+  if (inserted) {
+    fleet_.push_back(std::move(bundle));
+  } else {
+    fleet_[it->second] = std::move(bundle);
+  }
+}
+
+std::uint64_t FleetStore::enqueue(const trace::TraceBundle& bundle,
+                                  bool durable) {
+  // All the expensive work — encoding, optional compression, the one
+  // bundle copy — happens outside the lock, so concurrent producers only
+  // serialize on the cheap state update + queue push.
+  std::string payload = encode_bundle(bundle);
+  auto ref = std::make_shared<const trace::TraceBundle>(bundle);
+  std::uint8_t kind = kRecordKindBundle;
+  if (options_.compress) {
+    std::string packed;
+    put_varint(packed, payload.size());
+    packed += common::block_compress(payload);
+    if (packed.size() < payload.size()) {
+      kind = kRecordKindCompressed;
+      payload = std::move(packed);
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (writer_error_) std::rethrow_exception(writer_error_);
+  room_cv_.wait(lk, [this] {
+    return queue_bytes_ < kMaxQueueBytes || stop_ ||
+           writer_error_ != nullptr;
+  });
+  if (writer_error_) std::rethrow_exception(writer_error_);
+  if (stop_) throw Error("FleetStore: store is closing");
+
+  const std::uint64_t seq = ++last_seq_;
+  tail_.push_back(ref);
+  tail_seqs_.push_back(seq);
+  apply(std::move(ref));
+  queue_bytes_ += payload.size() + sizeof(Pending);
+  queue_.push_back(Pending{seq, kind, std::move(payload)});
+  queue_cv_.notify_one();
+
+  if (durable) {
+    durable_cv_.wait(lk, [this, seq] {
+      return durable_seq_ >= seq || writer_error_ != nullptr;
+    });
+    if (writer_error_) std::rethrow_exception(writer_error_);
+  }
+  return seq;
+}
+
+std::uint64_t FleetStore::append(const trace::TraceBundle& bundle) {
+  return enqueue(bundle, /*durable=*/true);
+}
+
+std::uint64_t FleetStore::append_async(const trace::TraceBundle& bundle) {
+  return enqueue(bundle, /*durable=*/false);
+}
+
+void FleetStore::flush() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (writer_error_) std::rethrow_exception(writer_error_);
+  const std::uint64_t target = last_seq_;
+  flush_requested_ = true;
+  queue_cv_.notify_all();
+  durable_cv_.wait(lk, [this, target] {
+    return durable_seq_ >= target || writer_error_ != nullptr;
+  });
+  if (writer_error_) std::rethrow_exception(writer_error_);
+}
+
+void FleetStore::drain_queue_locked(std::vector<Pending>& batch) {
+  while (!queue_.empty()) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  queue_bytes_ = 0;
+  room_cv_.notify_all();
+}
+
+void FleetStore::write_batch(const std::vector<Pending>& batch) {
+  std::string buffer;
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    buffer.clear();
+    std::uint64_t last = batch[i].seq;
+    // Pack records into one contiguous write until the segment target is
+    // reached (always at least one record per write).
+    while (i < batch.size() &&
+           (buffer.empty() || active_bytes_ + buffer.size() <
+                                  options_.segment_target_bytes)) {
+      const Pending& pending = batch[i];
+      std::string prefix;
+      prefix.push_back(static_cast<char>(pending.kind));
+      put_varint(prefix, pending.seq);
+      put_varint(buffer, prefix.size() + pending.payload.size());
+      buffer += prefix;
+      buffer += pending.payload;
+      put_u32le(buffer, common::crc32c(common::crc32c(0, prefix.data(),
+                                                      prefix.size()),
+                                       pending.payload.data(),
+                                       pending.payload.size()));
+      last = pending.seq;
+      ++i;
+    }
+    write_all(active_fd_, buffer, segment_path(directory_, active_base_));
+    active_bytes_ += buffer.size();
+    active_dirty_ = true;
+    active_last_seq_ = last;
+    written_seq_ = last;
+    if (active_bytes_ >= options_.segment_target_bytes) {
+      seal_active_segment(last + 1);
+    }
+  }
+}
+
+void FleetStore::seal_active_segment(std::uint64_t next_base) {
+  // Sealing makes the segment immutable *and* durable: compaction may
+  // delete older data on the strength of a later snapshot, so the chain
+  // of sealed segments must survive a machine crash regardless of the
+  // append-path fsync policy.
+  if (::fsync(active_fd_) < 0) {
+    throw Error("FleetStore: fsync failed for " +
+                segment_path(directory_, active_base_));
+  }
+  ::close(active_fd_);
+  active_fd_ = -1;
+  active_dirty_ = false;
+  const SealedSegment sealed{active_base_, active_last_seq_,
+                             segment_path(directory_, active_base_)};
+
+  const std::string path = segment_path(directory_, next_base);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw Error("FleetStore: cannot create " + path);
+  const std::string header = segment_header(next_base);
+  write_all(fd, header, path);
+  active_fd_ = fd;
+  active_bytes_ = header.size();
+  active_last_seq_ = next_base - 1;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    sealed_segments_.push_back(sealed);
+    active_base_ = next_base;
+  }
+  write_manifest();
+}
+
+void FleetStore::sync_active_segment() {
+  if (!active_dirty_ || active_fd_ < 0) return;
+#if defined(__APPLE__)
+  if (::fsync(active_fd_) < 0) {
+#else
+  if (::fdatasync(active_fd_) < 0) {
+#endif
+    throw Error("FleetStore: fdatasync failed for " +
+                segment_path(directory_, active_base_));
+  }
+  active_dirty_ = false;
+}
+
+void FleetStore::writer_loop() {
+  using clock = std::chrono::steady_clock;
+  for (;;) {
+    std::vector<Pending> batch;
+    bool force_sync = false;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      queue_cv_.wait(lk, [this] {
+        return stop_ || !queue_.empty() || flush_requested_;
+      });
+      if (flush_requested_) {
+        force_sync = true;
+        flush_requested_ = false;
+      }
+      drain_queue_locked(batch);
+      if (batch.empty() && !force_sync && stop_) break;
+    }
+    try {
+      if (!batch.empty()) write_batch(batch);
+      if (options_.fsync_policy == FsyncPolicy::kGroup && !force_sync) {
+        // Group window: keep absorbing arrivals before paying the sync.
+        // The fsync below then covers the whole group — the amortization
+        // that turns ~250 us of sync latency into sub-microsecond
+        // per-record cost at load.
+        const auto deadline =
+            clock::now() +
+            std::chrono::microseconds(options_.group_window_us);
+        for (;;) {
+          std::vector<Pending> more;
+          bool stopping = false;
+          {
+            std::unique_lock<std::mutex> lk(mutex_);
+            queue_cv_.wait_until(lk, deadline, [this] {
+              return stop_ || !queue_.empty() || flush_requested_;
+            });
+            if (flush_requested_) {
+              force_sync = true;
+              flush_requested_ = false;
+            }
+            drain_queue_locked(more);
+            stopping = stop_;
+          }
+          if (!more.empty()) write_batch(more);
+          if (force_sync || stopping || clock::now() >= deadline) break;
+        }
+      }
+      if (options_.fsync_policy != FsyncPolicy::kNone) {
+        sync_active_segment();
+      }
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        durable_seq_ = written_seq_;
+      }
+      durable_cv_.notify_all();
+      compact_cv_.notify_all();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        writer_error_ = std::current_exception();
+      }
+      durable_cv_.notify_all();
+      room_cv_.notify_all();
+      compact_cv_.notify_all();
+      return;  // the store is wedged; producers see writer_error_
+    }
+  }
+  // Drained and stopping: make whatever was written durable so a clean
+  // close never loses async appends (kNone keeps its weaker contract).
+  try {
+    if (options_.fsync_policy != FsyncPolicy::kNone) sync_active_segment();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    writer_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    durable_seq_ = written_seq_;
+  }
+  durable_cv_.notify_all();
+  compact_cv_.notify_all();
+}
+
+void FleetStore::write_manifest() {
+  ManifestContents contents;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    contents.snapshot_seq = snapshot_seq_;
+    contents.sealed.reserve(sealed_segments_.size());
+    for (const SealedSegment& sealed : sealed_segments_) {
+      contents.sealed.emplace_back(sealed.base_seq, sealed.last_seq);
+    }
+    contents.active_base = active_base_;
+  }
+  const std::string bytes = render_manifest(contents);
+  std::lock_guard<std::mutex> lk(manifest_mutex_);
+  publish_file(manifest_path(directory_), bytes);
+}
+
+// ----------------------------------------------------------------------
+// Background compaction
+// ----------------------------------------------------------------------
+
+bool FleetStore::compact_async() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (compaction_running_) return false;
+  if (compaction_thread_.joinable()) compaction_thread_.join();  // finished
+  if (last_seq_ == snapshot_seq_) return false;  // nothing new to fold
+  const std::uint64_t cut = last_seq_;
+  std::vector<BundleRef> fleet_at_cut = fleet_;  // shares, copies no data
+  compaction_running_ = true;
+  // The new thread's first action is locking mutex_, so it blocks until
+  // this function returns; assigning compaction_thread_ under the lock
+  // keeps wait_for_compaction from racing the assignment.
+  compaction_thread_ = std::thread(&FleetStore::run_compaction, this, cut,
+                                   std::move(fleet_at_cut));
+  return true;
+}
+
+void FleetStore::wait_for_compaction() {
+  std::exception_ptr failure;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    compact_cv_.wait(lk, [this] { return !compaction_running_; });
+    if (compaction_thread_.joinable()) compaction_thread_.join();
+    failure = std::exchange(compaction_error_, nullptr);
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+void FleetStore::compact() {
+  compact_async();
+  wait_for_compaction();
+}
+
+bool FleetStore::compaction_running() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return compaction_running_;
+}
+
+void FleetStore::run_compaction(std::uint64_t cut,
+                                std::vector<BundleRef> fleet_at_cut) {
+  {
+    // Every record the snapshot subsumes must be durable before the
+    // snapshot can license deleting the segments that carry them.
+    std::unique_lock<std::mutex> lk(mutex_);
+    compact_cv_.wait(lk, [this, cut] {
+      return durable_seq_ >= cut || writer_error_ != nullptr || stop_;
+    });
+    if (durable_seq_ < cut) {
+      compaction_error_ = std::make_exception_ptr(
+          Error("FleetStore: compaction aborted (writer stopped)"));
+      compaction_running_ = false;
+      lk.unlock();
+      compact_cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    // Step 1 over the fleet-at-cut gives the exact per-instance powers
+    // the analyzer would compute; serialized per event in traversal order
+    // they are EventRanking's state, and snapshot_step1() inverts them.
+    // (The per-bundle overload in a loop is documented identical to the
+    // span overload for any pool size.)
+    std::vector<core::AnalyzedTrace> analyzed;
+    analyzed.reserve(fleet_at_cut.size());
+    for (const BundleRef& bundle : fleet_at_cut) {
+      analyzed.push_back(core::estimate_event_power(*bundle));
+    }
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> powers;
+    std::unordered_map<EventId, std::size_t> local_index;
+    for (const core::AnalyzedTrace& trace : analyzed) {
+      for (const core::PoweredEvent& event : trace.events) {
+        const auto [it, inserted] =
+            local_index.emplace(event.id, names.size());
+        if (inserted) {
+          names.push_back(event_name(event.id));
+          powers.emplace_back();
+        }
+        powers[it->second].push_back(event.raw_power);
+      }
+    }
+
+    std::string payload;
+    put_varint(payload, cut);
+    put_varint(payload, fleet_at_cut.size());
+    for (const BundleRef& bundle : fleet_at_cut) {
+      put_string(payload, encode_bundle(*bundle));
+    }
+    put_varint(payload, names.size());
+    for (const std::string& name : names) put_string(payload, name);
+    put_varint(payload, powers.size());
+    for (const std::vector<double>& list : powers) {
+      put_varint(payload, list.size());
+      for (const double power : list) put_f64(payload, power);
+    }
+
+    std::string file;
+    file.reserve(payload.size() + 24);
+    file.append(kSnapshotMagic);
+    put_u32le(file, kSnapshotVersion);
+    put_varint(file, payload.size());
+    file += payload;
+    put_u32le(file, common::crc32c(payload));
+    publish_file(snapshot_path(directory_, cut), file);
+
+    // The snapshot subsumes every record with seq <= cut: delete the
+    // sealed segments it fully covers.  (The active segment may still
+    // hold covered records; they are skipped as obsolete on recovery and
+    // reclaimed once that segment seals and a later compaction runs.)
+    std::vector<std::string> doomed;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      auto keep = sealed_segments_.begin();
+      for (auto it = sealed_segments_.begin(); it != sealed_segments_.end();
+           ++it) {
+        if (it->last_seq <= cut) {
+          doomed.push_back(it->path);
+        } else {
+          *keep++ = std::move(*it);
+        }
+      }
+      sealed_segments_.erase(keep, sealed_segments_.end());
+    }
+    for (const std::string& path : doomed) fs::remove(path);
+
+    // Keep the previous snapshot as a fallback against latent corruption
+    // of the new one; prune anything older.
+    const auto snapshots = list_snapshots(directory_);
+    for (std::size_t i = 2; i < snapshots.size(); ++i) {
+      fs::remove(snapshots[i].second);
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      snapshot_bundles_ = std::move(fleet_at_cut);
+      snapshot_names_ = std::move(names);
+      snapshot_powers_ = std::move(powers);
+      snapshot_seq_ = cut;
+      std::size_t covered = 0;
+      while (covered < tail_seqs_.size() && tail_seqs_[covered] <= cut) {
+        ++covered;
+      }
+      tail_.erase(tail_.begin(),
+                  tail_.begin() + static_cast<std::ptrdiff_t>(covered));
+      tail_seqs_.erase(
+          tail_seqs_.begin(),
+          tail_seqs_.begin() + static_cast<std::ptrdiff_t>(covered));
+    }
+    write_manifest();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    compaction_error_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    compaction_running_ = false;
+  }
+  compact_cv_.notify_all();
+}
+
+// ----------------------------------------------------------------------
+// Warm restart
+// ----------------------------------------------------------------------
 
 std::vector<core::AnalyzedTrace> FleetStore::snapshot_step1() const {
   std::unordered_map<EventId, std::size_t> local_index;
@@ -446,11 +1124,11 @@ std::vector<core::AnalyzedTrace> FleetStore::snapshot_step1() const {
 
   std::vector<core::AnalyzedTrace> traces;
   traces.reserve(snapshot_bundles_.size());
-  for (const trace::TraceBundle& bundle : snapshot_bundles_) {
+  for (const BundleRef& bundle : snapshot_bundles_) {
     core::AnalyzedTrace& analyzed = traces.emplace_back();
-    analyzed.user = bundle.user;
+    analyzed.user = bundle->user;
     const std::vector<trace::EventInstance> instances =
-        bundle.events.instances();
+        bundle->events.instances();
     analyzed.events.reserve(instances.size());
     for (const trace::EventInstance& instance : instances) {
       const auto it = local_index.find(instance.event);

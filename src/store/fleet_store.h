@@ -3,20 +3,28 @@
 // The paper's deployment is a long-running service: phones upload trace
 // bundles opportunistically and the server re-diagnoses the growing fleet
 // (core/fleet_analyzer.h).  This store is what lets that service restart —
-// or crash — without losing the fleet:
+// or crash — without losing the fleet, at field ingest rates:
 //
-//   append()   frames the bundle with store/codec.h, appends it to an
-//              append-only write-ahead log (wal.edx) under a sequence
-//              number, and flushes before returning;
-//   compact()  folds the current fleet state into snapshot-<seq>.edx —
-//              the deduplicated bundles plus the serialized
-//              EventSymbolTable and EventRanking (Step-1/2 state) — via a
-//              write-to-temp + fsync + rename, then resets the WAL;
-//   open()     recovers by loading the newest *valid* snapshot and
-//              replaying the WAL tail over it, stopping at the first
-//              record whose frame is truncated or fails its CRC32C and
-//              reporting exactly how much was salvaged (RecoveryStats).
-//              Nothing past the first bad record is ever read.
+//   append()        frames the bundle with store/codec.h, hands it to the
+//                   group-commit writer, and returns once the record is
+//                   durable under the configured fsync policy;
+//   append_async()  same, but returns as soon as the record is queued —
+//                   flush() later makes everything durable at once;
+//   compact_async() folds the fleet as of the current sequence into
+//                   snapshot-<seq>.edx on a background thread — the
+//                   deduplicated bundles plus the serialized event names
+//                   and EventRanking power lists (Step-1/2 state) — via a
+//                   write-to-temp + fsync + rename, then deletes the WAL
+//                   segments the snapshot subsumes.  Appends keep flowing
+//                   while it runs;
+//   open()          recovers by loading the newest *valid* snapshot and
+//                   replaying the WAL segments over it: sealed segments
+//                   are decoded in parallel on a common::ThreadPool and
+//                   merged in sequence order, the active tail is replayed
+//                   sequentially, and the scan stops at the first record
+//                   whose frame is truncated or fails its CRC32C
+//                   (RecoveryStats reports exactly how much was salvaged).
+//                   Nothing past the first bad record is ever applied.
 //
 // Re-uploads honor TraceBundle::fleet_key(): a record whose key is already
 // in the fleet replaces that user's bundle in its original fleet slot,
@@ -24,17 +32,41 @@
 // FleetAnalyzer applies, so feeding fleet() (or snapshot + tail) to the
 // analyzer reproduces the never-restarted report byte for byte.
 //
-// The snapshot's EventRanking section is not just a diagnostic: its power
-// lists are Step 1's exact per-instance outputs in fleet traversal order,
-// so snapshot_step1() can reconstruct every snapshotted bundle's
-// AnalyzedTrace without re-running the expensive power join — the warm
-// restart path of `edx analyze --store` (see DESIGN.md §10).
+// Group commit: every append assigns a sequence number and applies to the
+// in-memory fleet under one lock, then enqueues the encoded record on a
+// bounded MPSC queue.  A single writer thread drains the queue, packs a
+// whole batch into one contiguous write(2), and syncs once per batch:
+// policy kAlways fdatasyncs after every batch, kGroup keeps collecting
+// arrivals for up to group_window_us before the sync (the 10k -> 100k+
+// bundles/s lever), kNone never syncs (write(2) still survives a process
+// kill, not a machine crash).  A blocking append() waits until the sync
+// covering its record completed.
 //
 // On-disk layout inside the store directory:
-//   wal.edx             "EDXWAL01" + records:
+//   wal-<base>.edx      one WAL segment; <base> is the first sequence
+//                       number the segment may hold.  Header "EDXWAL02" +
+//                       varint base, then records:
 //                         varint frame_len | frame | u32le crc32c(frame)
-//                         frame := u8 kind(1=bundle) | varint seq |
-//                                  codec bundle record
+//                         frame := u8 kind | varint seq | payload
+//                         kind 1: payload = codec bundle record
+//                         kind 2: payload = varint raw_len |
+//                                 common::block_compress(bundle record)
+//                       (kind 2 only when compression actually shrank the
+//                       record; the bundle record's own CRC32C covers the
+//                       uncompressed bytes).  The segment with the largest
+//                       base is the active tail; once a segment reaches
+//                       segment_target_bytes the writer fsyncs and seals
+//                       it (immutable from then on) and opens the next.
+//                       Salvage-and-truncate repair applies only to the
+//                       active tail; a torn *sealed* segment stops replay
+//                       but is never modified.
+//   manifest.edx        "EDXMAN01" + varint payload_len + payload +
+//                       u32le crc32c(payload); payload := varint
+//                       snapshot_seq, varint sealed_count, sealed_count x
+//                       (varint base + varint last_seq), varint
+//                       active_base.  Purely advisory: the directory scan
+//                       is authoritative and a missing/corrupt/stale
+//                       manifest only sets RecoveryStats::manifest_ok.
 //   snapshot-<seq>.edx  "EDXSNAP1" + u32le version + varint payload_len +
 //                         payload + u32le crc32c(payload)
 //                         payload := varint seq
@@ -45,11 +77,27 @@
 //                                    varint slot_count
 //                                    slot_count x (varint power_count +
 //                                                  power_count x f64)
+//
+// The snapshot's EventRanking section is not just a diagnostic: its power
+// lists are Step 1's exact per-instance outputs in fleet traversal order,
+// so snapshot_step1() can reconstruct every snapshotted bundle's
+// AnalyzedTrace without re-running the expensive power join — the warm
+// restart path of `edx analyze --store` (see DESIGN.md §10/§13).
+//
+// Thread safety: append()/append_async()/flush() may be called from any
+// number of threads concurrently with one running background compaction.
+// The read accessors (fleet(), tail_bundles(), ...) are NOT synchronized
+// against concurrent appends — quiesce (join producers, flush()) first.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +105,43 @@
 #include "trace/recorder.h"
 
 namespace edx::store {
+
+/// One decoded upload, held exactly once and shared between the fleet
+/// slot, the tail, and the snapshot image (a full TraceBundle copy is
+/// ~10 heap allocations — sharing is what keeps the append hot path
+/// alloc-light).  The pointee is immutable.
+using BundleRef = std::shared_ptr<const trace::TraceBundle>;
+
+/// When the writer thread syncs a batch to stable storage.
+enum class FsyncPolicy {
+  kAlways,  ///< one fdatasync per drained batch
+  kGroup,   ///< collect arrivals up to group_window_us, then one fdatasync
+  kNone,    ///< never sync (process-kill durable only, like PR-4 append)
+};
+
+struct StoreOptions {
+  FsyncPolicy fsync_policy{FsyncPolicy::kGroup};
+  /// How long a kGroup batch keeps absorbing arrivals before its sync.
+  std::uint32_t group_window_us{500};
+  /// A segment reaching this size is sealed and the next one opened.
+  std::size_t segment_target_bytes{8u << 20};
+  /// Write kind-2 (block_compress) frames when they come out smaller.
+  bool compress{false};
+  /// Threads for parallel segment decode in open(); 0 = hardware.
+  std::size_t recovery_threads{0};
+};
+
+/// Per-segment recovery diagnostics, in base-sequence order.
+struct SegmentStats {
+  std::string file;          ///< filename, e.g. "wal-1.edx"
+  std::uint64_t base_seq{0};
+  std::uint64_t last_seq{0}; ///< last valid record's seq (base-1 if none)
+  std::size_t records{0};    ///< valid records decoded
+  std::size_t bytes{0};      ///< bytes that parsed cleanly
+  bool sealed{false};        ///< not the active tail
+  bool torn{false};          ///< scan stopped before the end
+  std::string reason;        ///< why it stopped ("" when clean)
+};
 
 /// What open() found and how much of it was usable.
 struct RecoveryStats {
@@ -66,54 +151,70 @@ struct RecoveryStats {
   std::size_t snapshots_skipped{0};    ///< corrupt / unreadable snapshots
   std::size_t wal_records_replayed{0}; ///< valid records applied to state
   std::size_t wal_records_obsolete{0}; ///< seq <= snapshot (already folded)
-  std::size_t wal_bytes_salvaged{0};   ///< WAL prefix that parsed cleanly
+  std::size_t wal_bytes_salvaged{0};   ///< bytes that parsed cleanly (all segments)
   std::size_t wal_bytes_dropped{0};    ///< bytes at/after the first bad record
-  bool wal_tail_torn{false};           ///< the scan stopped before the end
-  std::string wal_tail_reason;         ///< why it stopped ("" when clean)
+  bool wal_tail_torn{false};           ///< some segment scan stopped early
+  std::string wal_tail_reason;         ///< first stop reason ("" when clean)
+
+  std::size_t segments_scanned{0};
+  std::size_t segments_salvaged{0};    ///< torn segments whose prefix was kept
+  std::size_t tail_bytes_truncated{0}; ///< active-tail bytes cut by repair
+  std::uint64_t decode_micros{0};      ///< wall time of the segment decode+merge
+  bool manifest_ok{true};              ///< manifest matched the directory scan
+  std::string manifest_note;           ///< why not ("" when ok)
+  std::vector<SegmentStats> segments;
 };
 
 class FleetStore {
  public:
   /// Opens (and creates, if absent) the store at `directory`, recovering
-  /// the fleet from the newest valid snapshot plus the WAL tail.  A torn
-  /// or corrupt WAL tail is tolerated — the salvaged prefix wins and
-  /// recovery() reports the damage; a genuinely unreadable directory
-  /// throws Error.
+  /// the fleet from the newest valid snapshot plus the WAL segments.  A
+  /// torn or corrupt active tail is tolerated — the salvaged prefix wins,
+  /// the file is truncated back to it, and recovery() reports the damage;
+  /// a genuinely unreadable directory throws Error.
   static FleetStore open(const std::string& directory);
+  static FleetStore open(const std::string& directory,
+                         const StoreOptions& options);
 
-  FleetStore(FleetStore&& other) noexcept;
-  FleetStore& operator=(FleetStore&& other) noexcept;
   FleetStore(const FleetStore&) = delete;
   FleetStore& operator=(const FleetStore&) = delete;
+  FleetStore(FleetStore&&) = delete;
+  FleetStore& operator=(FleetStore&&) = delete;
   ~FleetStore();
 
   [[nodiscard]] const std::string& directory() const { return directory_; }
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
   [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
 
   /// Current fleet: each user's latest bundle, in first-arrival slot
   /// order — exactly the bundle sequence whose batch analysis equals the
-  /// never-restarted incremental run.
-  [[nodiscard]] const std::vector<trace::TraceBundle>& fleet() const {
+  /// never-restarted incremental run.  Materializes a full copy; use
+  /// fleet_refs() on paths that only read.
+  [[nodiscard]] std::vector<trace::TraceBundle> fleet() const;
+  /// Same fleet, zero-copy: shared handles to the immutable bundles.
+  [[nodiscard]] const std::vector<BundleRef>& fleet_refs() const {
     return fleet_;
   }
   [[nodiscard]] std::size_t fleet_size() const { return fleet_.size(); }
   /// Sequence number of the most recently appended record (0 = empty).
   [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
-  /// Sequence the newest loaded snapshot covers (0 = none).
-  [[nodiscard]] std::uint64_t snapshot_seq() const {
-    return recovery_.snapshot_seq;
-  }
+  /// Sequence the newest snapshot covers (0 = none), including snapshots
+  /// written by this session's compactions.
+  [[nodiscard]] std::uint64_t snapshot_seq() const { return snapshot_seq_; }
 
   /// The fleet as of the loaded snapshot, in slot order — kept verbatim
   /// (a later tail record may have replaced a slot in fleet()) because
   /// snapshot_step1()'s power lists describe exactly these bundles.
-  [[nodiscard]] const std::vector<trace::TraceBundle>& snapshot_bundles()
-      const {
+  /// Materializes a copy; use snapshot_refs() on paths that only read.
+  [[nodiscard]] std::vector<trace::TraceBundle> snapshot_bundles() const;
+  [[nodiscard]] const std::vector<BundleRef>& snapshot_refs() const {
     return snapshot_bundles_;
   }
   /// Bundles appended after the snapshot (WAL replays plus this session's
   /// append() calls), in arrival order.  These still need Step 1.
-  [[nodiscard]] const std::vector<trace::TraceBundle>& tail_bundles() const {
+  /// Materializes a copy; use tail_refs() on paths that only read.
+  [[nodiscard]] std::vector<trace::TraceBundle> tail_bundles() const;
+  [[nodiscard]] const std::vector<BundleRef>& tail_refs() const {
     return tail_;
   }
 
@@ -124,42 +225,127 @@ class FleetStore {
   [[nodiscard]] std::vector<core::AnalyzedTrace> snapshot_step1() const;
 
   /// Durably appends one upload and applies it to the in-memory fleet
-  /// (replace-not-duplicate).  Returns the record's sequence number.
+  /// (replace-not-duplicate).  Blocks until the record is durable under
+  /// the store's fsync policy.  Returns the record's sequence number.
   std::uint64_t append(const trace::TraceBundle& bundle);
 
-  /// Folds the current fleet into a fresh snapshot-<last_seq>.edx (running
-  /// Step 1 over the fleet to serialize the ranking state), resets the
-  /// WAL, and prunes all but the two newest snapshots.  No-op when no
-  /// record arrived since the newest snapshot.
+  /// Queues one upload without waiting for durability (the in-memory
+  /// fleet is updated immediately).  Pair with flush().  May still block
+  /// briefly when the writer queue is full (backpressure).
+  std::uint64_t append_async(const trace::TraceBundle& bundle);
+
+  /// Blocks until every queued record is durable under the fsync policy,
+  /// forcing a kGroup window to close early.  Rethrows writer failures.
+  void flush();
+
+  /// Starts folding the fleet as of last_seq() into a snapshot on a
+  /// background thread; appends keep flowing meanwhile.  Once published,
+  /// sealed WAL segments the snapshot subsumes are deleted and all but
+  /// the two newest snapshots pruned.  Returns false (and does nothing)
+  /// when a compaction is already running or there is nothing new to
+  /// fold.
+  bool compact_async();
+
+  /// Waits for a running background compaction (if any) to finish and
+  /// rethrows its failure, if it failed.
+  void wait_for_compaction();
+
+  /// Blocking convenience: compact_async() + wait_for_compaction().
   void compact();
 
+  /// True while a background compaction is in flight.
+  [[nodiscard]] bool compaction_running() const;
+
  private:
-  FleetStore() = default;
+  /// One queued, already-encoded WAL record.
+  struct Pending {
+    std::uint64_t seq{0};
+    std::uint8_t kind{0};
+    std::string payload;
+  };
+
+  /// A sealed (immutable, fsynced) segment the writer or recovery knows.
+  struct SealedSegment {
+    std::uint64_t base_seq{0};
+    std::uint64_t last_seq{0};
+    std::string path;
+  };
+
+  /// Everything open() recovers, handed to the private constructor which
+  /// then starts the writer thread (the class itself is immovable).
+  struct Recovered;
+
+  explicit FleetStore(Recovered&& state);
 
   /// Applies one recovered/appended bundle to fleet_ (append or replace).
-  void apply(trace::TraceBundle bundle);
-  /// Loads `path`; returns false (and counts a skip) when invalid.
-  bool load_snapshot(const std::string& path);
-  /// Parses the WAL, applying records with seq > snapshot_seq.
-  void replay_wal(const std::string& wal_bytes);
-  void open_wal_for_append();
+  void apply(BundleRef bundle);
 
+  std::uint64_t enqueue(const trace::TraceBundle& bundle, bool durable);
+  void writer_loop();
+  /// Moves the whole queue into `batch` (mutex_ must be held).
+  void drain_queue_locked(std::vector<Pending>& batch);
+  /// Frames and writes `batch` into the active segment, sealing and
+  /// rolling to the next segment whenever the target size is reached.
+  void write_batch(const std::vector<Pending>& batch);
+  void seal_active_segment(std::uint64_t next_base);
+  void sync_active_segment();
+  void write_manifest();
+
+  void run_compaction(std::uint64_t cut, std::vector<BundleRef> fleet_at_cut);
+
+  // --- immutable after open() -----------------------------------------
   std::string directory_;
+  StoreOptions options_;
   RecoveryStats recovery_;
-  std::uint64_t last_seq_{0};
 
-  std::vector<trace::TraceBundle> fleet_;          ///< slot order
+  // --- fleet state (mutex_ when racing appends; see thread-safety note)
+  std::uint64_t last_seq_{0};
+  std::uint64_t snapshot_seq_{0};
+  std::vector<BundleRef> fleet_;                   ///< slot order
   std::unordered_map<UserId, std::size_t> slot_by_user_;
-  std::vector<trace::TraceBundle> tail_;           ///< arrivals past snapshot
-  std::vector<trace::TraceBundle> snapshot_bundles_;  ///< fleet at snapshot
+  std::vector<BundleRef> tail_;                    ///< arrivals past snapshot
+  std::vector<std::uint64_t> tail_seqs_;           ///< parallel to tail_
+  std::vector<BundleRef> snapshot_bundles_;        ///< fleet at snapshot
 
   /// Snapshot analysis state: event names in snapshot-id order and the
   /// per-event Step-1 power lists (snapshot-id indexed).
   std::vector<std::string> snapshot_names_;
   std::vector<std::vector<double>> snapshot_powers_;
 
-  /// WAL append handle (POSIX fd; -1 = closed).
-  int wal_fd_{-1};
+  // --- writer / group commit ------------------------------------------
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;    ///< writer wake-up
+  std::condition_variable room_cv_;     ///< producers waiting for queue room
+  std::condition_variable durable_cv_;  ///< appenders waiting for their sync
+  std::condition_variable compact_cv_;  ///< compaction start/finish signals
+  std::deque<Pending> queue_;
+  std::size_t queue_bytes_{0};
+  std::uint64_t durable_seq_{0};        ///< all seqs <= this are durable
+  bool flush_requested_{false};
+  bool stop_{false};
+  std::exception_ptr writer_error_;
+  std::thread writer_;
+
+  /// Sealed segments still on disk, oldest first (mutex_-guarded: the
+  /// writer appends at seal, compaction removes what it deletes).
+  std::vector<SealedSegment> sealed_segments_;
+
+  // Writer-thread-private active segment state (active_base_ is also read
+  // under mutex_ by write_manifest, so the writer reassigns it under the
+  // lock when sealing).
+  int active_fd_{-1};
+  std::uint64_t active_base_{1};
+  std::uint64_t active_last_seq_{0};
+  std::size_t active_bytes_{0};
+  std::uint64_t written_seq_{0};       ///< all seqs <= this hit write(2)
+  bool active_dirty_{false};           ///< written since last sync
+
+  // --- background compaction ------------------------------------------
+  bool compaction_running_{false};
+  std::exception_ptr compaction_error_;
+  std::thread compaction_thread_;
+
+  std::mutex manifest_mutex_;  ///< serializes manifest temp+rename writes
 };
 
 }  // namespace edx::store

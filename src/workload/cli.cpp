@@ -354,9 +354,28 @@ int analyze_incremental(const std::vector<std::string>& paths,
   return 0;
 }
 
+/// Parses the --fsync-policy spelling shared by ingest and the docs.
+store::FsyncPolicy parse_fsync_policy(const std::string& text,
+                                      std::uint32_t& group_window_us) {
+  if (text == "always") return store::FsyncPolicy::kAlways;
+  if (text == "none") return store::FsyncPolicy::kNone;
+  if (text == "group") return store::FsyncPolicy::kGroup;
+  if (text.starts_with("group:")) {
+    group_window_us = static_cast<std::uint32_t>(
+        to_int(text.substr(6), "--fsync-policy group:<us>", 0, 10'000'000));
+    return store::FsyncPolicy::kGroup;
+  }
+  throw InvalidArgument(
+      "--fsync-policy must be always, group, group:<us>, or none (got '" +
+      text + "')");
+}
+
 int analyze_store(const std::string& store_dir, const AnalyzeOptions& options,
                   std::ostream& out) {
-  store::FleetStore recovered = store::FleetStore::open(store_dir);
+  store::StoreOptions store_options;
+  store_options.recovery_threads = options.num_threads;
+  store::FleetStore recovered =
+      store::FleetStore::open(store_dir, store_options);
   if (recovered.fleet_size() == 0) {
     throw AnalysisError("store at " + store_dir + " holds no bundles");
   }
@@ -372,8 +391,8 @@ int analyze_store(const std::string& store_dir, const AnalyzeOptions& options,
   for (core::AnalyzedTrace& analyzed : recovered.snapshot_step1()) {
     fleet.add_analyzed(std::move(analyzed));
   }
-  for (const trace::TraceBundle& bundle : recovered.tail_bundles()) {
-    fleet.add_bundle(bundle);
+  for (const store::BundleRef& bundle : recovered.tail_refs()) {
+    fleet.add_bundle(*bundle);
   }
   render_fleet_report(fleet, config, options, out);
   return 0;
@@ -397,16 +416,29 @@ int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
 }
 
 int cmd_ingest(const IngestOptions& options, std::ostream& out) {
-  store::FleetStore fleet_store = store::FleetStore::open(options.store_dir);
+  store::StoreOptions store_options;
+  store_options.fsync_policy = parse_fsync_policy(
+      options.fsync_policy, store_options.group_window_us);
+  if (options.segment_bytes != 0) {
+    store_options.segment_target_bytes = options.segment_bytes;
+  }
+  store_options.compress = options.compress;
+  store::FleetStore fleet_store =
+      store::FleetStore::open(options.store_dir, store_options);
+  // Queue asynchronously and make the whole batch durable with one
+  // flush(): the group-commit writer packs everything into large writes
+  // instead of paying one sync wait per bundle.
   std::size_t appended = 0;
   for (const std::string& source : options.sources) {
     if (fs::is_directory(source)) {
       for (const std::string& path : bundle_paths(source)) {
-        fleet_store.append(trace::TraceBundle::from_text(read_file(path)));
+        fleet_store.append_async(
+            trace::TraceBundle::from_text(read_file(path)));
         ++appended;
       }
     } else {
-      fleet_store.append(trace::TraceBundle::from_text(read_file(source)));
+      fleet_store.append_async(
+          trace::TraceBundle::from_text(read_file(source)));
       ++appended;
     }
   }
@@ -419,17 +451,19 @@ int cmd_ingest(const IngestOptions& options, std::ostream& out) {
     const CollectedTraces traces =
         collect_traces(app, app.buggy, /*instrumented=*/true, population);
     for (const trace::TraceBundle& bundle : traces.bundles) {
-      fleet_store.append(bundle);
+      fleet_store.append_async(bundle);
       ++appended;
     }
   }
   require(appended > 0,
           "ingest needs bundle files, directories, or --app to simulate");
+  fleet_store.flush();
   out << "ingested " << appended << " bundles into " << options.store_dir
       << " (last seq " << fleet_store.last_seq() << ", fleet "
       << fleet_store.fleet_size() << " users)\n";
   if (options.compact) {
-    fleet_store.compact();
+    fleet_store.compact_async();
+    fleet_store.wait_for_compaction();
     out << "compacted into snapshot-" << fleet_store.snapshot_seq()
         << ".edx (" << fleet_store.fleet_size() << " bundles)\n";
   }
@@ -455,12 +489,42 @@ int cmd_store_info(const std::string& store_dir, std::ostream& out) {
   out << "  wal: " << stats.wal_records_replayed << " records replayed, "
       << stats.wal_records_obsolete << " obsolete, "
       << stats.wal_bytes_salvaged << " bytes salvaged\n";
+  out << "  segments: " << stats.segments_scanned << " scanned, "
+      << stats.segments_salvaged << " salvaged, decoded in "
+      << stats.decode_micros << " us\n";
+  for (const store::SegmentStats& segment : stats.segments) {
+    out << "    " << segment.file << ": ";
+    if (segment.records == 0) {
+      out << "empty";
+    } else {
+      out << "seq " << segment.base_seq << ".." << segment.last_seq << ", "
+          << segment.records << " records";
+    }
+    out << ", " << segment.bytes << " bytes, "
+        << (segment.sealed ? "sealed" : "active");
+    if (segment.torn) out << ", torn: " << segment.reason;
+    out << "\n";
+  }
+  out << "  manifest: " << (stats.manifest_ok ? "ok" : stats.manifest_note)
+      << "\n";
   if (stats.wal_tail_torn) {
     out << "  tail: torn — " << stats.wal_tail_reason << " ("
-        << stats.wal_bytes_dropped << " bytes dropped, repaired on open)\n";
+        << stats.wal_bytes_dropped << " bytes dropped";
+    if (stats.tail_bytes_truncated > 0) {
+      out << ", " << stats.tail_bytes_truncated << " truncated";
+    }
+    out << ", repaired on open)\n";
   } else {
     out << "  tail: clean\n";
   }
+  const std::uint64_t behind = fleet_store.last_seq() - fleet_store.snapshot_seq();
+  out << "  compaction: "
+      << (fleet_store.compaction_running()
+              ? "running"
+              : (behind == 0 ? "idle (snapshot is current)"
+                             : "idle (" + std::to_string(behind) +
+                                   " records since snapshot)"))
+      << "\n";
   return 0;
 }
 
@@ -563,7 +627,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
            "[--reported-fraction F] [--json] "
            "[--threads N] [--incremental] [--report-every K] | "
            "ingest --store DIR [<bundle-or-dir> ...] "
-           "[--app ID --users N --seed S] [--compact] | "
+           "[--app ID --users N --seed S] [--compact] "
+           "[--fsync-policy always|group|group:<us>|none] "
+           "[--segment-bytes N] [--compress] | "
            "store-info --store DIR | "
            "verify <app-id> [--users N] [--seed S] | "
            "gen-training <device> <out.csv> [--levels N] [--noise F] | "
@@ -630,8 +696,10 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
                          flags.required_positional(1, "<device-name>"), out);
   }
   if (command == "ingest") {
-    FlagSet flags("ingest", rest, {"--store", "--app", "--users", "--seed"},
-                  {"--compact"}, err);
+    FlagSet flags("ingest", rest,
+                  {"--store", "--app", "--users", "--seed", "--fsync-policy",
+                   "--segment-bytes"},
+                  {"--compact", "--compress"}, err);
     IngestOptions options;
     const auto store_flag = flags.value("--store");
     if (!store_flag.has_value()) {
@@ -649,6 +717,13 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     options.seed = static_cast<std::uint64_t>(
         to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
     options.compact = flags.has_switch("--compact");
+    if (const auto policy = flags.value("--fsync-policy")) {
+      options.fsync_policy = *policy;
+    }
+    options.segment_bytes = static_cast<std::size_t>(
+        to_int(flags.value("--segment-bytes").value_or("0"),
+               "--segment-bytes", 0, std::int64_t{1} << 40));
+    options.compress = flags.has_switch("--compress");
     return cmd_ingest(options, out);
   }
   if (command == "store-info") {

@@ -9,6 +9,8 @@
 //                    [--incremental] [--report-every K]
 //   energydx ingest --store DIR [<bundle.txt-or-dir> ...]
 //                   [--app ID --users N --seed S] [--compact]
+//                   [--fsync-policy always|group|group:<us>|none]
+//                   [--segment-bytes N] [--compress]
 //   energydx store-info --store DIR
 //   energydx verify <app-id> [--users N] [--seed S]
 //   energydx gen-training <builtin-device> <out.csv> [--levels N] [--noise F]
@@ -24,15 +26,19 @@
 // twin when both appear.
 //
 // The durable store (store/fleet_store.h): `ingest` appends bundles into
-// a WAL-backed store directory — from bundle files / trace directories
-// given as operands, and/or a simulated population (--app) — optionally
-// compacting afterwards.  `analyze --store DIR` recovers the fleet
-// (newest valid snapshot + WAL tail, tolerating a torn tail) and
+// a segmented-WAL store directory — from bundle files / trace
+// directories given as operands, and/or a simulated population (--app) —
+// under a chosen group-commit fsync policy, optionally with per-frame
+// compression, optionally compacting afterwards (the compaction runs on
+// the store's background thread; ingest waits for it before reporting).
+// `analyze --store DIR` recovers the fleet (newest valid snapshot + WAL
+// segments, --threads segment decoders, tolerating a torn tail) and
 // produces a report byte-identical to a never-restarted run over the
 // same uploads; with --incremental the snapshotted bundles warm-start
 // core::FleetAnalyzer from the stored Step-1 state.  `store-info` prints
-// record counts, snapshot seq, and salvage diagnostics without analyzing
-// anything; a torn-but-salvaged tail is a diagnostic, not an error.
+// record counts, snapshot seq, per-segment recovery diagnostics, and
+// manifest status without analyzing anything; a torn-but-salvaged tail
+// is a diagnostic, not an error.
 //
 // Exit codes — run() maps exceptions to error classes via exit_code_for():
 //   0  success
@@ -91,8 +97,9 @@ struct AnalyzeOptions {
   /// (the share of traces with a detected manifestation point).
   std::optional<double> reported_fraction;
   bool as_json{false};
-  /// Worker threads (0 = hardware concurrency, 1 = sequential); the
-  /// report is identical either way.
+  /// Worker threads (0 = hardware concurrency, 1 = sequential); with
+  /// --store, also the parallel segment-decode width during recovery.
+  /// The report is identical either way.
   std::size_t num_threads{0};
   /// Feed bundles one at a time to the incremental FleetAnalyzer instead
   /// of one batch ManifestationAnalyzer::run.  The final report is
@@ -126,8 +133,15 @@ struct IngestOptions {
   std::optional<int> app_id;
   int users{30};
   std::uint64_t seed{42};
-  /// Fold the WAL into a fresh snapshot after ingesting.
+  /// Fold the WAL into a fresh snapshot after ingesting (runs on the
+  /// store's background compaction thread; cmd_ingest waits for it).
   bool compact{false};
+  /// WAL durability: "always", "group", "group:<microseconds>", "none".
+  std::string fsync_policy{"group"};
+  /// Segment roll size in bytes (0 = the store default, 8 MiB).
+  std::size_t segment_bytes{0};
+  /// Write compressed WAL frames when compression actually shrinks them.
+  bool compress{false};
 };
 
 /// Appends bundles into the store at `options.store_dir` (created if

@@ -1,0 +1,152 @@
+// block_compress/block_decompress: exact round-trips on every input
+// shape, and a decoder that treats its input as hostile — bit flips,
+// truncations, and random garbage must return false or a clean
+// round-trip, never crash or overrun max_size.
+#include "common/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace edx::common {
+namespace {
+
+std::string round_trip(const std::string& input) {
+  const std::string packed = block_compress(input);
+  std::string unpacked;
+  EXPECT_TRUE(block_decompress(packed, unpacked, input.size()))
+      << "input size " << input.size();
+  return unpacked;
+}
+
+TEST(CompressTest, RoundTripsEmptyAndTinyInputs) {
+  for (std::size_t n = 0; n <= 16; ++n) {
+    const std::string input(n, 'x');
+    EXPECT_EQ(round_trip(input), input) << "n=" << n;
+  }
+}
+
+TEST(CompressTest, RoundTripsRepetitiveInput) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) input += "abcabcabc";
+  EXPECT_EQ(round_trip(input), input);
+  // Repetition must actually compress — that is the point of kind-2
+  // frames in the WAL.
+  EXPECT_LT(block_compress(input).size(), input.size() / 4);
+}
+
+TEST(CompressTest, RoundTripsZeroRuns) {
+  const std::string input(100'000, '\0');
+  EXPECT_EQ(round_trip(input), input);
+  EXPECT_LT(block_compress(input).size(), 1'000u);
+}
+
+TEST(CompressTest, RoundTripsIncompressibleBytes) {
+  Rng rng(7);
+  std::string input;
+  for (int i = 0; i < 50'000; ++i) {
+    input.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+  }
+  EXPECT_EQ(round_trip(input), input);
+}
+
+TEST(CompressTest, RoundTripsStructuredRecordLikeInput) {
+  // The shape WAL records actually have: framing bytes, short strings,
+  // runs of IEEE-754 doubles with repeating patterns.
+  std::string input;
+  for (int sample = 0; sample < 300; ++sample) {
+    input += "onCreate/android.app.Activity";
+    input.push_back(static_cast<char>(sample));
+    const double power = 100.0 + (sample % 5);
+    for (int component = 0; component < 8; ++component) {
+      const char* raw = reinterpret_cast<const char*>(&power);
+      input.append(raw, sizeof(power));
+    }
+  }
+  EXPECT_EQ(round_trip(input), input);
+  EXPECT_LT(block_compress(input).size(), input.size() / 2);
+}
+
+TEST(CompressTest, RoundTripsLongMatchesAndLongLiterals) {
+  // Length runs > 255 exercise the 255-extension encoding on both the
+  // literal and the match side.
+  std::string input(5'000, 'A');    // long match run
+  Rng rng(11);
+  for (int i = 0; i < 5'000; ++i) {  // long literal run
+    input.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+  }
+  input += input.substr(0, 3'000);   // long far match
+  EXPECT_EQ(round_trip(input), input);
+}
+
+TEST(CompressTest, DecompressRejectsOutputLargerThanMaxSize) {
+  const std::string input(10'000, 'z');
+  const std::string packed = block_compress(input);
+  std::string out;
+  EXPECT_FALSE(block_decompress(packed, out, input.size() - 1));
+  EXPECT_TRUE(block_decompress(packed, out, input.size()));
+  EXPECT_EQ(out, input);
+}
+
+TEST(CompressTest, DecompressRejectsEmptyInput) {
+  std::string out;
+  EXPECT_FALSE(block_decompress("", out, 100));
+}
+
+// The fuzz satellite: no mutation of a valid stream may crash, hang, or
+// produce more than max_size bytes.  (ASan/UBSan jobs run this too.)
+TEST(CompressTest, BitFlipFuzzNeverCrashes) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) {
+    input += "the quick brown fox jumps over the lazy dog ";
+    input.push_back(static_cast<char>(i));
+  }
+  const std::string packed = block_compress(input);
+  std::string out;
+  for (std::size_t byte = 0; byte < packed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = packed;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      // Either cleanly rejected or decodes to <= max_size bytes; a flip
+      // in a literal byte legitimately round-trips to altered content.
+      if (block_decompress(mutated, out, input.size())) {
+        EXPECT_LE(out.size(), input.size());
+      }
+    }
+  }
+}
+
+TEST(CompressTest, TruncationFuzzNeverCrashes) {
+  std::string input;
+  for (int i = 0; i < 300; ++i) input += "segmented write-ahead log ";
+  const std::string packed = block_compress(input);
+  std::string out;
+  for (std::size_t cut = 0; cut < packed.size(); ++cut) {
+    if (block_decompress(packed.substr(0, cut), out, input.size())) {
+      EXPECT_LE(out.size(), input.size());
+    }
+  }
+}
+
+TEST(CompressTest, GarbageFuzzNeverCrashes) {
+  Rng rng(1234);
+  std::string out;
+  for (int round = 0; round < 2'000; ++round) {
+    const int size = static_cast<int>(rng.uniform_int(1, 400));
+    std::string garbage;
+    garbage.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      garbage.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    if (block_decompress(garbage, out, 1 << 16)) {
+      EXPECT_LE(out.size(), static_cast<std::size_t>(1 << 16));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edx::common

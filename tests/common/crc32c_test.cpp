@@ -42,6 +42,24 @@ TEST(Crc32cTest, ExtendingEqualsConcatenation) {
   }
 }
 
+// The dispatching crc32c() (SSE4.2 when the CPU has it) and the portable
+// slicing-by-8 fallback must agree on every size straddling the 8-byte
+// fast-path boundary — this is what makes stores portable across hosts.
+TEST(Crc32cTest, HardwareAndPortablePathsAgree) {
+  std::string payload;
+  for (int i = 0; i < 300; ++i) {
+    payload.push_back(static_cast<char>((i * 131 + 17) & 0xFF));
+    const std::uint32_t dispatched = crc32c(payload);
+    const std::uint32_t portable =
+        crc32c_portable(0, payload.data(), payload.size());
+    ASSERT_EQ(dispatched, portable) << "size " << payload.size();
+  }
+  // Seeded continuation agrees too.
+  const std::uint32_t seed = crc32c("prefix");
+  EXPECT_EQ(crc32c(seed, payload.data(), payload.size()),
+            crc32c_portable(seed, payload.data(), payload.size()));
+}
+
 TEST(Crc32cTest, DetectsSingleBitFlips) {
   std::string payload = "snapshot-42.edx payload bytes 0123456789abcdef";
   const std::uint32_t clean = crc32c(payload);

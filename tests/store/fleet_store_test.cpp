@@ -1,9 +1,10 @@
 // FleetStore's durability contract: any prefix of appends survives a
-// restart byte-identically, a torn or corrupt WAL tail is truncated to
-// the salvaged prefix (never read past the first bad CRC), and the
-// snapshot's Step-1 state warm-starts the incremental analyzer to the
-// exact bytes of a never-restarted run.  See store/fleet_store.h and
-// DESIGN.md §10.
+// restart byte-identically, a torn or corrupt active tail is truncated to
+// the salvaged prefix (never read past the first bad CRC) while sealed
+// segments are never modified, recovery is deterministic for any decoder
+// thread count, and the snapshot's Step-1 state warm-starts the
+// incremental analyzer to the exact bytes of a never-restarted run.  See
+// store/fleet_store.h and DESIGN.md §10/§13.
 #include "store/fleet_store.h"
 
 #include <gtest/gtest.h>
@@ -103,7 +104,27 @@ void expect_fleet_equals(const std::vector<trace::TraceBundle>& got,
   }
 }
 
-std::string wal_path(const std::string& dir) { return dir + "/wal.edx"; }
+/// All wal-<base>.edx segments in `dir`, ascending base order.
+std::vector<std::string> segment_paths(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".edx")) {
+      found.emplace_back(std::stoull(name.substr(4)), entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  for (auto& [base, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+/// The active tail: the wal-<base>.edx with the largest base.
+std::string active_wal(const std::string& dir) {
+  const std::vector<std::string> segments = segment_paths(dir);
+  EXPECT_FALSE(segments.empty()) << "no WAL segments in " << dir;
+  return segments.empty() ? "" : segments.back();
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -117,6 +138,13 @@ void write_file(const std::string& path, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
+/// Small segments so a handful of ~1.7 KB records spans several files.
+StoreOptions tiny_segments(std::size_t target_bytes = 4'000) {
+  StoreOptions options;
+  options.segment_target_bytes = target_bytes;
+  return options;
+}
+
 TEST(FleetStoreTest, OpenCreatesEmptyStore) {
   const std::string dir = temp_store("create");
   const FleetStore store = FleetStore::open(dir);
@@ -124,9 +152,11 @@ TEST(FleetStoreTest, OpenCreatesEmptyStore) {
   EXPECT_EQ(store.last_seq(), 0u);
   EXPECT_EQ(store.snapshot_seq(), 0u);
   EXPECT_FALSE(store.recovery().wal_tail_torn);
-  EXPECT_TRUE(fs::exists(wal_path(dir)));
-  // The WAL starts as just its header.
-  EXPECT_EQ(fs::file_size(wal_path(dir)), 8u);
+  EXPECT_TRUE(store.recovery().manifest_ok);
+  EXPECT_TRUE(fs::exists(dir + "/wal-1.edx"));
+  EXPECT_TRUE(fs::exists(dir + "/manifest.edx"));
+  // The first segment starts as just its header: magic + varint base.
+  EXPECT_EQ(fs::file_size(dir + "/wal-1.edx"), 9u);
 }
 
 TEST(FleetStoreTest, AppendThenReopenRecoversFleetExactly) {
@@ -142,11 +172,32 @@ TEST(FleetStoreTest, AppendThenReopenRecoversFleetExactly) {
   EXPECT_EQ(recovered.recovery().wal_records_replayed, 5u);
   EXPECT_EQ(recovered.recovery().wal_bytes_dropped, 0u);
   EXPECT_FALSE(recovered.recovery().wal_tail_torn);
+  EXPECT_TRUE(recovered.recovery().manifest_ok);
+  EXPECT_EQ(recovered.recovery().segments_scanned, 1u);
+  ASSERT_EQ(recovered.recovery().segments.size(), 1u);
+  EXPECT_EQ(recovered.recovery().segments[0].records, 5u);
+  EXPECT_FALSE(recovered.recovery().segments[0].sealed);
   EXPECT_EQ(recovered.last_seq(), 5u);
   expect_fleet_equals(recovered.fleet(), bundles);
   // No snapshot yet: everything is tail.
   EXPECT_TRUE(recovered.snapshot_bundles().empty());
   EXPECT_EQ(recovered.tail_bundles().size(), 5u);
+}
+
+TEST(FleetStoreTest, AsyncAppendsAreDurableAfterFlush) {
+  const std::string dir = temp_store("asyncflush");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(6);
+  {
+    FleetStore store = FleetStore::open(dir);
+    for (const trace::TraceBundle& bundle : bundles) {
+      store.append_async(bundle);
+    }
+    EXPECT_EQ(store.last_seq(), 6u);
+    store.flush();
+  }
+  const FleetStore recovered = FleetStore::open(dir);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 6u);
+  expect_fleet_equals(recovered.fleet(), bundles);
 }
 
 TEST(FleetStoreTest, ReuploadReplacesSlotNotDuplicates) {
@@ -169,7 +220,7 @@ TEST(FleetStoreTest, ReuploadReplacesSlotNotDuplicates) {
   expect_fleet_equals(recovered.fleet(), latest);
 }
 
-TEST(FleetStoreTest, CompactWritesSnapshotAndResetsWal) {
+TEST(FleetStoreTest, CompactWritesSnapshotAndObsoletesWalRecords) {
   const std::string dir = temp_store("compact");
   const std::vector<trace::TraceBundle> bundles = make_fleet(4);
   {
@@ -178,19 +229,95 @@ TEST(FleetStoreTest, CompactWritesSnapshotAndResetsWal) {
     store.compact();
     EXPECT_EQ(store.snapshot_seq(), 4u);
     // Compacting again with nothing new is a no-op.
-    store.compact();
+    EXPECT_FALSE(store.compact_async());
+    store.wait_for_compaction();
   }
   EXPECT_TRUE(fs::exists(dir + "/snapshot-4.edx"));
-  EXPECT_EQ(fs::file_size(wal_path(dir)), 8u);  // WAL reset to header
 
+  // The records the snapshot covers still sit in the (unsealed) active
+  // segment; recovery counts them as obsolete and replays nothing.
   const FleetStore recovered = FleetStore::open(dir);
   EXPECT_EQ(recovered.snapshot_seq(), 4u);
   EXPECT_EQ(recovered.recovery().snapshot_bundle_count, 4u);
   EXPECT_EQ(recovered.recovery().wal_records_replayed, 0u);
+  EXPECT_EQ(recovered.recovery().wal_records_obsolete, 4u);
   EXPECT_EQ(recovered.last_seq(), 4u);
   expect_fleet_equals(recovered.fleet(), bundles);
   expect_fleet_equals(recovered.snapshot_bundles(), bundles);
   EXPECT_TRUE(recovered.tail_bundles().empty());
+}
+
+TEST(FleetStoreTest, CompactionDeletesSealedSegmentsItSubsumes) {
+  const std::string dir = temp_store("compactseal");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(8);
+  {
+    FleetStore store = FleetStore::open(dir, tiny_segments());
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+    ASSERT_GT(segment_paths(dir).size(), 2u) << "fixture should roll";
+    store.compact();
+  }
+  // Every sealed segment held only records <= the snapshot cut, so all
+  // of them are gone; only the active tail remains.
+  const std::vector<std::string> segments = segment_paths(dir);
+  ASSERT_EQ(segments.size(), 1u);
+
+  const FleetStore recovered = FleetStore::open(dir, tiny_segments());
+  EXPECT_EQ(recovered.snapshot_seq(), 8u);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 0u);
+  expect_fleet_equals(recovered.fleet(), bundles);
+}
+
+TEST(FleetStoreTest, BackgroundCompactionKeepsAppendsFlowing) {
+  const std::string dir = temp_store("bgcompact");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(7);
+  {
+    FleetStore store = FleetStore::open(dir, tiny_segments());
+    for (int i = 0; i < 4; ++i) store.append(bundles[static_cast<size_t>(i)]);
+    ASSERT_TRUE(store.compact_async());
+    // Appends keep landing while the compaction folds seqs 1..4.
+    for (std::size_t i = 4; i < bundles.size(); ++i) {
+      store.append(bundles[i]);
+    }
+    store.wait_for_compaction();
+    EXPECT_EQ(store.snapshot_seq(), 4u);
+    EXPECT_EQ(store.last_seq(), 7u);
+    EXPECT_EQ(store.tail_bundles().size(), 3u);
+    expect_fleet_equals(store.fleet(), bundles);
+  }
+  const FleetStore recovered = FleetStore::open(dir, tiny_segments());
+  EXPECT_EQ(recovered.snapshot_seq(), 4u);
+  EXPECT_EQ(recovered.tail_bundles().size(), 3u);
+  expect_fleet_equals(recovered.fleet(), bundles);
+}
+
+TEST(FleetStoreTest, MultiSegmentRecoveryIsIdenticalForAnyThreadCount) {
+  const std::string dir = temp_store("parallelrecover");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(9);
+  {
+    FleetStore store = FleetStore::open(dir, tiny_segments());
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  ASSERT_GE(segment_paths(dir).size(), 3u) << "fixture should roll";
+
+  std::string reference;
+  const core::ManifestationAnalyzer analyzer(make_config(1));
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("recovery_threads=" + std::to_string(threads));
+    StoreOptions options = tiny_segments();
+    options.recovery_threads = threads;
+    const FleetStore store = FleetStore::open(dir, options);
+    EXPECT_EQ(store.recovery().wal_records_replayed, bundles.size());
+    EXPECT_GE(store.recovery().segments_scanned, 3u);
+    expect_fleet_equals(store.fleet(), bundles);
+    // Byte-identical report no matter how many decoder threads ran: the
+    // merge (and therefore event interning) is sequential by design.
+    const std::string report = render(analyzer.run(store.fleet()));
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference);
+    }
+  }
 }
 
 TEST(FleetStoreTest, SnapshotStep1IsBitIdenticalToEventPower) {
@@ -245,7 +372,9 @@ TEST(FleetStoreTest, WarmRestartMatchesNeverRestartedRun) {
 
     // Restarted run: snapshot slots warm-start via add_analyzed (no power
     // join), the WAL tail goes through add_bundle.
-    const FleetStore recovered = FleetStore::open(dir);
+    StoreOptions options;
+    options.recovery_threads = num_threads;
+    const FleetStore recovered = FleetStore::open(dir, options);
     EXPECT_EQ(recovered.snapshot_seq(), 5u);
     EXPECT_EQ(recovered.tail_bundles().size(), 3u);
     core::FleetAnalyzer warm(make_config(num_threads));
@@ -277,10 +406,12 @@ TEST(FleetStoreTest, TruncationAtEveryByteOfFinalRecordSalvagesPrefix) {
     for (std::size_t i = 0; i + 1 < bundles.size(); ++i) {
       store.append(bundles[i]);
     }
-    boundary = fs::file_size(wal_path(dir));
+    boundary = fs::file_size(active_wal(dir));
     store.append(bundles.back());
   }
-  const std::string wal_bytes = read_file(wal_path(dir));
+  const std::string wal_name =
+      fs::path(active_wal(dir)).filename().string();
+  const std::string wal_bytes = read_file(active_wal(dir));
   ASSERT_GT(wal_bytes.size(), boundary);
 
   const std::vector<trace::TraceBundle> prefix(bundles.begin(),
@@ -294,7 +425,7 @@ TEST(FleetStoreTest, TruncationAtEveryByteOfFinalRecordSalvagesPrefix) {
                  std::to_string(wal_bytes.size()));
     fs::remove_all(victim);
     fs::create_directories(victim);
-    write_file(wal_path(victim), wal_bytes.substr(0, cut));
+    write_file(victim + "/" + wal_name, wal_bytes.substr(0, cut));
 
     const FleetStore store = FleetStore::open(victim);
     ASSERT_EQ(store.recovery().wal_records_replayed, prefix.size());
@@ -303,8 +434,64 @@ TEST(FleetStoreTest, TruncationAtEveryByteOfFinalRecordSalvagesPrefix) {
     EXPECT_EQ(store.recovery().wal_bytes_dropped, cut - boundary);
     // Exactly at the record boundary the log is merely short, not torn.
     EXPECT_EQ(store.recovery().wal_tail_torn, cut != boundary);
+    EXPECT_EQ(store.recovery().tail_bytes_truncated, cut - boundary);
     expect_fleet_equals(store.fleet(), prefix);
     EXPECT_EQ(render(analyzer.run(store.fleet())), want);
+  }
+}
+
+// Multi-segment variant: tearing the *active* tail at every byte never
+// touches the sealed segments (bitwise identical before and after), and
+// recovery replays everything sealed plus the salvaged tail prefix.
+TEST(FleetStoreTest, ActiveTailTruncationLeavesSealedSegmentsUntouched) {
+  const std::string dir = temp_store("multitear_src");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(11);
+  {
+    FleetStore store = FleetStore::open(dir, tiny_segments());
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  const std::vector<std::string> segments = segment_paths(dir);
+  ASSERT_GE(segments.size(), 3u) << "fixture should roll";
+  std::vector<std::string> sealed_bytes;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    sealed_bytes.push_back(read_file(segments[i]));
+  }
+  const std::string tail_path = segments.back();
+  const std::string tail_bytes = read_file(tail_path);
+  // How many records live in the sealed segments (the tail holds the rest).
+  const std::size_t sealed_records = [&] {
+    StoreOptions options = tiny_segments();
+    const FleetStore probe = FleetStore::open(dir, options);
+    std::size_t count = 0;
+    const auto& per_segment = probe.recovery().segments;
+    for (std::size_t i = 0; i + 1 < per_segment.size(); ++i) {
+      count += per_segment[i].records;
+    }
+    return count;
+  }();
+
+  const std::size_t header_size = 8 + 2;  // magic + 2-byte varint base <= 16383
+  for (std::uintmax_t cut = tail_bytes.size(); cut + 1 > 0;) {
+    --cut;
+    if (cut < header_size && cut > 0) continue;  // header rebuild case below
+    SCOPED_TRACE("tail cut at byte " + std::to_string(cut));
+    write_file(tail_path, tail_bytes.substr(0, static_cast<size_t>(cut)));
+
+    const FleetStore store = FleetStore::open(dir, tiny_segments());
+    EXPECT_GE(store.recovery().wal_records_replayed, sealed_records);
+    EXPECT_LE(store.fleet_size(), bundles.size());
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      EXPECT_EQ(read_file(segments[i]), sealed_bytes[i])
+          << "sealed segment " << segments[i] << " was modified";
+      EXPECT_TRUE(store.recovery().segments[i].sealed);
+      EXPECT_FALSE(store.recovery().segments[i].torn);
+    }
+    // The replayed prefix of the fleet matches the original bundles.
+    const std::size_t have = store.recovery().wal_records_replayed;
+    expect_fleet_equals(store.fleet(),
+                        std::vector<trace::TraceBundle>(
+                            bundles.begin(),
+                            bundles.begin() + static_cast<long>(have)));
   }
 }
 
@@ -315,18 +502,19 @@ TEST(FleetStoreTest, CorruptionMidWalStopsAtFirstBadRecord) {
   {
     FleetStore store = FleetStore::open(dir);
     store.append(bundles[0]);
-    first_boundary = fs::file_size(wal_path(dir));
+    first_boundary = fs::file_size(active_wal(dir));
     for (std::size_t i = 1; i < bundles.size(); ++i) {
       store.append(bundles[i]);
     }
   }
   // Flip one bit inside record 2.  Records 3..5 are fully intact, but the
   // scan must stop at the first bad CRC and never look at them.
-  std::string wal_bytes = read_file(wal_path(dir));
+  const std::string wal = active_wal(dir);
+  std::string wal_bytes = read_file(wal);
   const std::size_t victim_byte = static_cast<std::size_t>(first_boundary) + 40;
   ASSERT_LT(victim_byte, wal_bytes.size());
   wal_bytes[victim_byte] = static_cast<char>(wal_bytes[victim_byte] ^ 0x10);
-  write_file(wal_path(dir), wal_bytes);
+  write_file(wal, wal_bytes);
 
   const FleetStore store = FleetStore::open(dir);
   EXPECT_EQ(store.recovery().wal_records_replayed, 1u);
@@ -346,8 +534,9 @@ TEST(FleetStoreTest, RepairedTailAcceptsNewAppends) {
     for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
   }
   // Tear the last record mid-frame.
-  const std::string wal_bytes = read_file(wal_path(dir));
-  write_file(wal_path(dir), wal_bytes.substr(0, wal_bytes.size() - 25));
+  const std::string wal = active_wal(dir);
+  const std::string wal_bytes = read_file(wal);
+  write_file(wal, wal_bytes.substr(0, wal_bytes.size() - 25));
 
   const trace::TraceBundle replacement = make_trace(2, /*with_abd=*/true,
                                                     /*variant=*/1);
@@ -373,8 +562,9 @@ TEST(FleetStoreTest, TruncationBelowHeaderRebuildsWal) {
     store.append(make_trace(0, false));
   }
   // Simulate a crash that left only 3 bytes of the header.
-  const std::string wal_bytes = read_file(wal_path(dir));
-  write_file(wal_path(dir), wal_bytes.substr(0, 3));
+  const std::string wal = active_wal(dir);
+  const std::string wal_bytes = read_file(wal);
+  write_file(wal, wal_bytes.substr(0, 3));
 
   {
     FleetStore store = FleetStore::open(dir);
@@ -386,6 +576,92 @@ TEST(FleetStoreTest, TruncationBelowHeaderRebuildsWal) {
   EXPECT_FALSE(recovered.recovery().wal_tail_torn);
   EXPECT_EQ(recovered.fleet_size(), 1u);
   EXPECT_EQ(recovered.fleet()[0].user, 7);
+}
+
+TEST(FleetStoreTest, ManifestCorruptionFallsBackToDirectoryScan) {
+  const std::string dir = temp_store("manifest");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(6);
+  {
+    FleetStore store = FleetStore::open(dir, tiny_segments());
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  ASSERT_GE(segment_paths(dir).size(), 3u);
+
+  // Flip a payload bit: the CRC catches it, the directory scan recovers
+  // everything anyway, and the note says what happened.
+  std::string manifest = read_file(dir + "/manifest.edx");
+  manifest[manifest.size() / 2] =
+      static_cast<char>(manifest[manifest.size() / 2] ^ 0x04);
+  write_file(dir + "/manifest.edx", manifest);
+  {
+    const FleetStore store = FleetStore::open(dir, tiny_segments());
+    EXPECT_FALSE(store.recovery().manifest_ok);
+    EXPECT_NE(store.recovery().manifest_note.find("corrupt"),
+              std::string::npos);
+    EXPECT_EQ(store.recovery().wal_records_replayed, bundles.size());
+    expect_fleet_equals(store.fleet(), bundles);
+  }
+  // That open rewrote a correct manifest; the next open is clean again.
+  {
+    const FleetStore store = FleetStore::open(dir, tiny_segments());
+    EXPECT_TRUE(store.recovery().manifest_ok);
+  }
+  // A deleted manifest is reported too — and still recovers everything.
+  fs::remove(dir + "/manifest.edx");
+  {
+    const FleetStore store = FleetStore::open(dir, tiny_segments());
+    EXPECT_FALSE(store.recovery().manifest_ok);
+    EXPECT_NE(store.recovery().manifest_note.find("missing"),
+              std::string::npos);
+    expect_fleet_equals(store.fleet(), bundles);
+  }
+}
+
+TEST(FleetStoreTest, CompressedStoreRoundTripsAndShrinksTheWal) {
+  const std::string plain_dir = temp_store("nocompress");
+  const std::string packed_dir = temp_store("compress");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(5);
+  StoreOptions packed_options;
+  packed_options.compress = true;
+  {
+    FleetStore plain = FleetStore::open(plain_dir);
+    FleetStore packed = FleetStore::open(packed_dir, packed_options);
+    for (const trace::TraceBundle& bundle : bundles) {
+      plain.append(bundle);
+      packed.append(bundle);
+    }
+  }
+  EXPECT_LT(fs::file_size(active_wal(packed_dir)),
+            fs::file_size(active_wal(plain_dir)));
+
+  // Compressed frames decode to the exact same fleet — and the analyzer
+  // output matches bit for bit.
+  const FleetStore recovered = FleetStore::open(packed_dir, packed_options);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, bundles.size());
+  expect_fleet_equals(recovered.fleet(), bundles);
+  const core::ManifestationAnalyzer analyzer(make_config(1));
+  const FleetStore plain_recovered = FleetStore::open(plain_dir);
+  EXPECT_EQ(render(analyzer.run(recovered.fleet())),
+            render(analyzer.run(plain_recovered.fleet())));
+}
+
+TEST(FleetStoreTest, CompressedStoreSurvivesRestartAndCompaction) {
+  const std::string dir = temp_store("compress_compact");
+  StoreOptions options = tiny_segments();
+  options.compress = true;
+  const std::vector<trace::TraceBundle> bundles = make_fleet(7);
+  {
+    FleetStore store = FleetStore::open(dir, options);
+    for (int i = 0; i < 4; ++i) store.append(bundles[static_cast<size_t>(i)]);
+    store.compact();
+    for (std::size_t i = 4; i < bundles.size(); ++i) {
+      store.append(bundles[i]);
+    }
+  }
+  const FleetStore recovered = FleetStore::open(dir, options);
+  EXPECT_EQ(recovered.snapshot_seq(), 4u);
+  EXPECT_EQ(recovered.tail_bundles().size(), 3u);
+  expect_fleet_equals(recovered.fleet(), bundles);
 }
 
 TEST(FleetStoreTest, CorruptNewestSnapshotFallsBackToOlder) {
@@ -410,10 +686,12 @@ TEST(FleetStoreTest, CorruptNewestSnapshotFallsBackToOlder) {
   EXPECT_EQ(store.recovery().snapshots_found, 2u);
   EXPECT_EQ(store.recovery().snapshots_skipped, 1u);
   EXPECT_EQ(store.snapshot_seq(), 3u);
-  // The WAL was reset by the second compact, so recovery falls back to
-  // the older snapshot's fleet — the best state with a valid checksum.
-  expect_fleet_equals(store.fleet(),
-                      {bundles[0], bundles[1], bundles[2]});
+  // Records 4 and 5 still sit in the active segment (compaction only
+  // deletes *sealed* segments), so falling back to the older snapshot
+  // replays them and no upload is lost.
+  EXPECT_EQ(store.recovery().wal_records_obsolete, 3u);
+  EXPECT_EQ(store.recovery().wal_records_replayed, 2u);
+  expect_fleet_equals(store.fleet(), bundles);
 }
 
 TEST(FleetStoreTest, PrunesAllButTwoNewestSnapshots) {
@@ -430,6 +708,34 @@ TEST(FleetStoreTest, PrunesAllButTwoNewestSnapshots) {
   }
   EXPECT_EQ(snapshots, 2u);
   EXPECT_TRUE(fs::exists(dir + "/snapshot-4.edx"));
+}
+
+TEST(FleetStoreTest, FsyncPolicyNoneStillSurvivesCleanClose) {
+  const std::string dir = temp_store("nosync");
+  StoreOptions options;
+  options.fsync_policy = FsyncPolicy::kNone;
+  const std::vector<trace::TraceBundle> bundles = make_fleet(3);
+  {
+    FleetStore store = FleetStore::open(dir, options);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  const FleetStore recovered = FleetStore::open(dir, options);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 3u);
+  expect_fleet_equals(recovered.fleet(), bundles);
+}
+
+TEST(FleetStoreTest, FsyncPolicyAlwaysRoundTrips) {
+  const std::string dir = temp_store("alwayssync");
+  StoreOptions options;
+  options.fsync_policy = FsyncPolicy::kAlways;
+  const std::vector<trace::TraceBundle> bundles = make_fleet(3);
+  {
+    FleetStore store = FleetStore::open(dir, options);
+    for (const trace::TraceBundle& bundle : bundles) store.append(bundle);
+  }
+  const FleetStore recovered = FleetStore::open(dir, options);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 3u);
+  expect_fleet_equals(recovered.fleet(), bundles);
 }
 
 TEST(FleetStoreTest, OpenRejectsUnreadableDirectory) {

@@ -338,8 +338,21 @@ TEST(CliTest, StoreInfoReportsTornTailThenRepairedClean) {
                  "--seed", "9"},
                 out, err),
             0);
-  // Tear the final record mid-frame.
-  const std::string wal = store + "/wal.edx";
+  // Tear the final record of the active tail (the wal-<base>.edx with the
+  // largest base) mid-frame.
+  std::string wal;
+  std::uint64_t max_base = 0;
+  for (const auto& entry : fs::directory_iterator(store)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".edx")) {
+      const std::uint64_t base = std::stoull(name.substr(4));
+      if (base >= max_base) {
+        max_base = base;
+        wal = entry.path().string();
+      }
+    }
+  }
+  ASSERT_FALSE(wal.empty());
   const auto original_size = fs::file_size(wal);
   fs::resize_file(wal, original_size - 20);
 
@@ -356,6 +369,44 @@ TEST(CliTest, StoreInfoReportsTornTailThenRepairedClean) {
   EXPECT_EQ(run({"store-info", "--store", store}, clean_info, err), 0);
   EXPECT_NE(clean_info.str().find("tail: clean"), std::string::npos);
   EXPECT_NE(clean_info.str().find("fleet: 3 users"), std::string::npos);
+  EXPECT_NE(clean_info.str().find("manifest: ok"), std::string::npos);
+}
+
+TEST(CliTest, IngestPolicySegmentAndCompressionFlags) {
+  const std::string dir = temp_dir("flags_src");
+  const std::string store = temp_dir("flags_db");
+  fs::remove_all(store);
+  std::ostringstream log, err;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/6, /*seed=*/3, log), 0);
+
+  // Tiny segments + explicit policy + compression: the store must roll
+  // multiple segments and still analyze identically to the directory.
+  std::ostringstream out;
+  ASSERT_EQ(run({"ingest", "--store", store, dir, "--fsync-policy",
+                 "group:200", "--segment-bytes", "4000", "--compress"},
+                out, err),
+            0);
+  EXPECT_NE(out.str().find("ingested 6 bundles"), std::string::npos);
+
+  std::ostringstream info;
+  ASSERT_EQ(run({"store-info", "--store", store}, info, err), 0);
+  EXPECT_NE(info.str().find("segments:"), std::string::npos);
+  EXPECT_NE(info.str().find("wal-1.edx"), std::string::npos);
+  EXPECT_NE(info.str().find("sealed"), std::string::npos);
+  EXPECT_NE(info.str().find("compaction:"), std::string::npos);
+
+  std::ostringstream ref_out, store_out;
+  ASSERT_EQ(run({"analyze", dir, "--app", "18"}, ref_out, err), 0);
+  ASSERT_EQ(run({"analyze", "--store", store, "--app", "18", "--threads",
+                 "2"},
+                store_out, err),
+            0);
+  EXPECT_EQ(store_out.str(), ref_out.str());
+
+  // A bad policy spelling is a usage error.
+  EXPECT_EQ(run({"ingest", "--store", store, dir, "--fsync-policy", "often"},
+                out, err),
+            2);
 }
 
 TEST(CliTest, StoreUsageAndDomainErrors) {

@@ -28,6 +28,14 @@ the time ratio divided by the size ratio is the growth of per-instance
 cost, and a linear kernel holds it near 1.0.  A pair where 10x the
 instances costs more than ~15x the time (--size-axis-factor 1.5) fails
 the gate — the signature of a superlinear regression in the Step-4 scan.
+
+Store benchmarks (feed a bench_store results file) add two gates: the
+best BM_StoreIngest group-commit configuration must sustain the
+baseline's "ingest_floor_bundles_per_second" (divided by the threshold
+for cross-machine slack), and cold BM_StoreRecover on a >= 8-segment
+store must be >= 2x faster at 8 decode threads than at 1 — the latter
+only on machines with >= 8 cores (parallel speedup does not exist on
+fewer).
 """
 
 import argparse
@@ -38,11 +46,19 @@ import sys
 
 # Benchmarks whose final path component is a thread count; only
 # comparable on a machine with the baseline's core count.
-THREAD_AXIS = re.compile(r"^BM_FullPipeline/\d+/\d+/\d+")
+THREAD_AXIS = re.compile(r"^BM_FullPipeline/\d+/\d+/\d+"
+                         r"|^BM_StoreRecover/\d+/\d+")
 
 # Benchmarks whose single argument is the instance count of one trace;
 # per-instance cost across adjacent sizes must stay near-flat.
 SIZE_AXIS = re.compile(r"^(BM_Step4DetectionSize)/(\d+)$")
+
+# Store benchmarks: BM_StoreIngest/<bundles>/<policy>/<events> with
+# policy 1 = group commit (the configuration the ingest floor gates), and
+# BM_StoreRecover/<segments>/<threads> (cold recovery, the run's own
+# thread-scaling curve).
+INGEST_GROUP = re.compile(r"^BM_StoreIngest/\d+/1/\d+$")
+RECOVER_AXIS = re.compile(r"^BM_StoreRecover/(\d+)/(\d+)$")
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -51,7 +67,7 @@ def load_baselines(path):
     with open(path) as fh:
         doc = json.load(fh)
     baselines = {}
-    for section in ("current_ns", "fleet_incremental_ns"):
+    for section in ("current_ns", "fleet_incremental_ns", "store_ns"):
         for name, value in doc.get(section, {}).items():
             if isinstance(value, (int, float)):
                 baselines[name] = float(value)
@@ -61,7 +77,7 @@ def load_baselines(path):
 def load_results(path):
     with open(path) as fh:
         doc = json.load(fh)
-    results = {}
+    results, rates = {}, {}
     for entry in doc.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
@@ -71,7 +87,9 @@ def load_results(path):
         # explicit "/real_time" suffix; expose both spellings.
         results[entry["name"] + "/real_time"] = \
             float(entry["real_time"]) * scale
-    return results
+        if isinstance(entry.get("items_per_second"), (int, float)):
+            rates[entry["name"]] = float(entry["items_per_second"])
+    return results, rates
 
 
 def size_axis_pairs(results):
@@ -104,7 +122,7 @@ def main():
     args = parser.parse_args()
 
     doc, baselines = load_baselines(args.baseline)
-    results = load_results(args.results)
+    results, rates = load_results(args.results)
     baseline_cores = doc.get("machine", {}).get("cores")
     cores = os.cpu_count()
 
@@ -142,7 +160,53 @@ def main():
               f"from {small} to {large} instances "
               f"(limit {args.size_axis_factor}x)")
 
-    if not checked and not pairs:
+    # Ingest floor: the group-commit configuration must sustain the
+    # committed bundles/s floor, divided by the threshold for the same
+    # cross-machine slack the time gates get.
+    ingest_failures, ingest_checked = [], []
+    floor = doc.get("ingest_floor_bundles_per_second")
+    if floor:
+        group_rates = {name: rate for name, rate in rates.items()
+                       if INGEST_GROUP.match(name)}
+        if group_rates:
+            name, best = max(group_rates.items(), key=lambda kv: kv[1])
+            need = float(floor) / args.threshold
+            flag = "ok" if best >= need else "REGRESSION"
+            if best < need:
+                ingest_failures.append((name, best))
+            ingest_checked.append(name)
+            print(f"{flag:>10}  {name}: {best / 1e3:.1f}k bundles/s "
+                  f"(floor {float(floor) / 1e3:.0f}k / threshold "
+                  f"{args.threshold} = {need / 1e3:.1f}k)")
+
+    # Parallel-recovery scaling: cold open of a multi-segment store must
+    # be >= 2x faster at 8 threads than at 1.  The run's own curve, but
+    # only on a machine that can actually run 8 decode threads.
+    recover_failures, recover_pairs = [], 0
+    recover = {}
+    for name, measured in results.items():
+        match = RECOVER_AXIS.match(name)
+        if match:
+            recover.setdefault(int(match.group(1)), {})[
+                int(match.group(2))] = measured
+    for segments, by_threads in sorted(recover.items()):
+        top = max(by_threads)
+        if segments < 8 or 1 not in by_threads or top < 8:
+            continue
+        speedup = by_threads[1] / by_threads[top]
+        if cores is None or cores < top:
+            print(f"{'skipped':>10}  BM_StoreRecover/{segments}: "
+                  f"x{speedup:.2f} at {top} threads not gated (machine has "
+                  f"{cores} core(s), needs {top})")
+            continue
+        recover_pairs += 1
+        flag = "ok" if speedup >= 2.0 else "NO-SCALING"
+        if speedup < 2.0:
+            recover_failures.append((segments, top, speedup))
+        print(f"{flag:>10}  BM_StoreRecover/{segments}: cold recovery "
+              f"x{speedup:.2f} at {top} threads vs 1 (need >= 2.0)")
+
+    if not checked and not pairs and not ingest_checked and not recover:
         print("perf_smoke: no overlapping benchmarks between baseline and "
               "results", file=sys.stderr)
         return 1
@@ -155,9 +219,19 @@ def main():
               f"per-instance cost more than {args.size_axis_factor}x",
               file=sys.stderr)
         return 1
+    if ingest_failures:
+        print(f"perf_smoke: group-commit ingest fell below the "
+              f"{float(floor):.0f} bundles/s floor", file=sys.stderr)
+        return 1
+    if recover_failures:
+        print(f"perf_smoke: parallel recovery scaled less than 2x at 8 "
+              f"threads", file=sys.stderr)
+        return 1
     print(f"perf_smoke: {len(checked)} benchmark(s) within "
           f"{args.threshold}x of baseline; {len(pairs)} size-axis pair(s) "
-          f"within {args.size_axis_factor}x per-instance growth")
+          f"within {args.size_axis_factor}x per-instance growth; "
+          f"{len(ingest_checked)} ingest floor(s) and {recover_pairs} "
+          f"recovery-scaling pair(s) checked")
     return 0
 
 
