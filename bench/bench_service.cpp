@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the multi-tenant FleetService.
+// Not a paper figure — serve-mode harness health:
+//
+//   BM_ServiceIngest/<apps>/<users>/<shards>
+//       end-to-end serve-mode ingest: <apps> tenants x <users> uploads
+//       each, submitted round-robin across tenants (the mixed-tenant
+//       traffic shape) onto <shards> ingest shards while two reader
+//       threads continuously pull snapshots; drain() closes the
+//       iteration.  items/s = arrivals/s — what
+//       service_ingest_floor_arrivals_per_second gates.  Counters:
+//         staleness_p99 / staleness_max — snapshot staleness in
+//         arrivals (submitted minus published at the moment a reader
+//         sampled), p99/max across all reader samples of the whole run;
+//         bounded by queue capacity + one in-flight batch per shard,
+//         and what service_p99_staleness_max_arrivals gates.
+//         reader_loads — completed snapshot() calls (sanity: readers
+//         really ran concurrently).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/fleet_service.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using namespace edx;
+
+std::vector<trace::TraceBundle> synthetic_bundles(int traces, int events,
+                                                  std::uint64_t seed = 7) {
+  std::vector<trace::TraceBundle> bundles;
+  Rng rng(seed);
+  for (int user = 0; user < traces; ++user) {
+    trace::TraceBundle bundle;
+    bundle.user = user;
+    bundle.device_name = "Nexus 6";
+    std::vector<power::UtilizationSample> samples;
+    for (int i = 0; i < events; ++i) {
+      const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+      bundle.events.add_instance("E" + std::to_string(i % 12),
+                                 {t + 10, t + 40});
+      power::UtilizationSample sample;
+      sample.timestamp = t + 500;
+      sample.estimated_app_power_mw =
+          user == 0 && i > events / 2 ? 500.0 : 100.0 + rng.uniform(0, 5.0);
+      samples.push_back(sample);
+      sample.timestamp = t + 1000;
+      samples.push_back(sample);
+    }
+    bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+void BM_ServiceIngest(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  const int users = static_cast<int>(state.range(1));
+  const std::size_t shards = static_cast<std::size_t>(state.range(2));
+  constexpr int kEvents = 24;
+  constexpr std::size_t kReaders = 2;
+
+  // One population per tenant (distinct seeds so tenants differ).
+  std::vector<std::string> keys;
+  std::vector<std::vector<trace::TraceBundle>> populations;
+  for (int a = 0; a < apps; ++a) {
+    keys.push_back("app-" + std::to_string(a));
+    populations.push_back(
+        synthetic_bundles(users, kEvents, /*seed=*/7 + a));
+  }
+
+  std::vector<std::uint64_t> staleness;
+  std::uint64_t reader_loads = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    service::ServiceOptions options;
+    options.num_shards = shards;
+    options.queue_capacity = 256;
+    auto service = std::make_unique<service::FleetService>(options);
+    for (const std::string& key : keys) service->open(key);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<std::uint64_t>> lanes(kReaders);
+    std::vector<std::uint64_t> loads(kReaders, 0);
+    std::vector<std::thread> readers;
+    for (std::size_t r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&, r] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (const service::AppServiceStats& row :
+               service->stats().per_app) {
+            // The two counters are sampled independently; skip the
+            // transient where a publication lands between the loads.
+            if (row.submitted >= row.published_arrivals) {
+              lanes[r].push_back(row.submitted - row.published_arrivals);
+            }
+          }
+          for (const std::string& key : keys) {
+            benchmark::DoNotOptimize(service->snapshot(key));
+            ++loads[r];
+          }
+        }
+      });
+    }
+    state.ResumeTiming();
+
+    // Round-robin across tenants: every batch a shard drains mixes apps.
+    for (int u = 0; u < users; ++u) {
+      for (int a = 0; a < apps; ++a) {
+        service->submit(keys[a], populations[a][u]);
+      }
+    }
+    service->drain();
+
+    state.PauseTiming();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& reader : readers) reader.join();
+    for (std::size_t r = 0; r < kReaders; ++r) {
+      staleness.insert(staleness.end(), lanes[r].begin(), lanes[r].end());
+      reader_loads += loads[r];
+    }
+    service.reset();
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(apps) * users);
+  std::sort(staleness.begin(), staleness.end());
+  const auto percentile = [&staleness](double p) -> double {
+    if (staleness.empty()) return 0.0;
+    const double rank = p * static_cast<double>(staleness.size() - 1);
+    return static_cast<double>(
+        staleness[static_cast<std::size_t>(rank + 0.5)]);
+  };
+  state.counters["staleness_p99"] = percentile(0.99);
+  state.counters["staleness_max"] =
+      staleness.empty() ? 0.0 : static_cast<double>(staleness.back());
+  state.counters["reader_loads"] = static_cast<double>(reader_loads);
+}
+BENCHMARK(BM_ServiceIngest)
+    ->Args({3, 400, 1})
+    ->Args({3, 400, 2})
+    ->Args({3, 400, 4})
+    ->Args({8, 100, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -34,13 +34,10 @@ class CheckAll {
  public:
   explicit CheckAll(CheckAllConfig config = {});
 
+  /// Takes a span only (vectors convert implicitly; wrap a single
+  /// bundle as `std::span(&bundle, 1)`).
   [[nodiscard]] CheckAllReport run(
       std::span<const trace::TraceBundle> bundles) const;
-  /// Thin overload for vector-holding callers (and `{bundle}` literals).
-  [[nodiscard]] CheckAllReport run(
-      const std::vector<trace::TraceBundle>& bundles) const {
-    return run(std::span<const trace::TraceBundle>(bundles));
-  }
 
  private:
   CheckAllConfig config_;

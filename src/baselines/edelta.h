@@ -62,13 +62,10 @@ class EDelta {
   explicit EDelta(EDeltaConfig config = {},
                   power::PowerModel model = power::PowerModel(power::nexus6()));
 
+  /// Takes a span only (vectors convert implicitly; wrap a single
+  /// bundle as `std::span(&bundle, 1)`).
   [[nodiscard]] EDeltaReport run(
       std::span<const trace::TraceBundle> bundles) const;
-  /// Thin overload for vector-holding callers (and `{bundle}` literals).
-  [[nodiscard]] EDeltaReport run(
-      const std::vector<trace::TraceBundle>& bundles) const {
-    return run(std::span<const trace::TraceBundle>(bundles));
-  }
 
  private:
   EDeltaConfig config_;

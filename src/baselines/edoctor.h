@@ -58,13 +58,10 @@ class EDoctor {
   explicit EDoctor(EDoctorConfig config = {});
 
   /// Estimates which users' traces carry an ABD.
+  /// Takes a span only (vectors convert implicitly; wrap a single
+  /// bundle as `std::span(&bundle, 1)`).
   [[nodiscard]] EDoctorReport run(
       std::span<const trace::TraceBundle> bundles) const;
-  /// Thin overload for vector-holding callers (and `{bundle}` literals).
-  [[nodiscard]] EDoctorReport run(
-      const std::vector<trace::TraceBundle>& bundles) const {
-    return run(std::span<const trace::TraceBundle>(bundles));
-  }
 
  private:
   EDoctorConfig config_;

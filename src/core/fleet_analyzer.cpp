@@ -117,6 +117,7 @@ void FleetAnalyzer::add_bundles(std::span<const trace::TraceBundle> bundles) {
 
 void FleetAnalyzer::apply_arrival(AnalyzedTrace analyzed) {
   sync_id_bound();
+  ++arrivals_;
   const auto mark_event_dirty = [this](EventId id) {
     if (event_dirty_[id] == 0) {
       event_dirty_[id] = 1;
@@ -386,6 +387,35 @@ const AnalysisResult& FleetAnalyzer::snapshot() {
   result_.report =
       report_problematic_events(result_.traces, config_.reporting);
   return result_;
+}
+
+std::shared_ptr<const FleetAnalyzer::SnapshotImage> FleetAnalyzer::publish(
+    bool self_estimate_fraction) {
+  const AnalysisResult& result = snapshot();
+  auto image = std::make_shared<SnapshotImage>();
+  image->arrivals = arrivals_;
+  image->fleet_size = result.traces.size();
+  image->traces_with_manifestation = result.report.traces_with_manifestation;
+  if (self_estimate_fraction) {
+    // The CLI's two-pass rule (workload/cli.cpp render_fleet_report):
+    // estimate the impacted-user fraction from the detection pass, then
+    // rebuild the cheap Step-5 report around it.  Detection (Steps 1-4)
+    // does not depend on the fraction, so one snapshot feeds both
+    // passes and the result matches the batch two-pass byte for byte.
+    const double fraction =
+        result.report.total_traces == 0
+            ? 0.0
+            : static_cast<double>(result.report.traces_with_manifestation) /
+                  static_cast<double>(result.report.total_traces);
+    ReportingConfig reporting = config_.reporting;
+    reporting.developer_reported_fraction = fraction;
+    image->reported_fraction = fraction;
+    image->report = report_problematic_events(result.traces, reporting);
+  } else {
+    image->reported_fraction = config_.reporting.developer_reported_fraction;
+    image->report = result.report;
+  }
+  return image;
 }
 
 }  // namespace edx::core

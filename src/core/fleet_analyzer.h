@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -83,6 +84,40 @@ class FleetAnalyzer {
   /// valid until the next add_bundle/add_bundles call.  Throws
   /// AnalysisError when the fleet is empty.
   const AnalysisResult& snapshot();
+
+  /// Arrivals applied so far (add_bundle/add_bundles/add_analyzed calls,
+  /// re-uploads included).  Identifies the arrival prefix a published
+  /// SnapshotImage covers.
+  [[nodiscard]] std::uint64_t arrivals() const { return arrivals_; }
+
+  /// The immutable, self-contained publication image of one snapshot —
+  /// what a long-running service hands to concurrent readers.  Unlike
+  /// the AnalysisResult reference snapshot() returns (mutable
+  /// accumulation state, invalidated by the next arrival), a
+  /// SnapshotImage owns its report outright and never changes after
+  /// publish() returns, so readers may render it lock-free for as long
+  /// as they hold the shared_ptr.  See DESIGN.md §14.
+  struct SnapshotImage {
+    /// Arrival count this image covers: the report equals a batch run
+    /// over the first `arrivals` uploads (in applied order).
+    std::uint64_t arrivals{0};
+    std::size_t fleet_size{0};
+    std::size_t traces_with_manifestation{0};
+    /// The developer-reported fraction the report was built with (the
+    /// self-estimate when `self_estimate_fraction` was set).
+    double reported_fraction{0.0};
+    DiagnosisReport report;
+  };
+
+  /// Runs snapshot() and freezes the result into an immutable
+  /// SnapshotImage.  With `self_estimate_fraction`, applies the CLI's
+  /// two-pass rule: re-derive the reported fraction as
+  /// traces_with_manifestation / total_traces and rebuild the (cheap)
+  /// Step-5 report around it — byte-identical to the batch two-pass
+  /// path over the same uploads.  Throws AnalysisError when the fleet
+  /// is empty.
+  [[nodiscard]] std::shared_ptr<const SnapshotImage> publish(
+      bool self_estimate_fraction);
 
  private:
   /// Per-slot delta-repair state, index-aligned with result_.traces.
@@ -150,6 +185,7 @@ class FleetAnalyzer {
   /// traces (arrival order) + incrementally maintained ranking + the
   /// report of the last snapshot; handed out by snapshot() by reference.
   AnalysisResult result_;
+  std::uint64_t arrivals_{0};
   std::unordered_map<UserId, std::size_t> index_by_user_;
   std::vector<TraceCache> cache_;
 

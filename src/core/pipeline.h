@@ -48,15 +48,14 @@ class ManifestationAnalyzer {
   [[nodiscard]] const AnalysisConfig& config() const { return config_; }
 
   /// Runs the full pipeline.  Throws AnalysisError when `bundles` is
-  /// empty.  Takes a span so callers with deques or subranges (and the
-  /// FleetAnalyzer internals) don't copy into a vector first.
+  /// empty.  Takes a span only — vectors and arrays convert implicitly,
+  /// callers with deques or subranges don't copy into a vector first,
+  /// and a single bundle wraps as `std::span(&bundle, 1)`.  (The thin
+  /// vector overload this class once carried is gone; spans are the one
+  /// bundle-collection currency across the pipeline, the baselines, and
+  /// the service layer.)
   [[nodiscard]] AnalysisResult run(
       std::span<const trace::TraceBundle> bundles) const;
-  /// Thin overload for the common vector-holding caller.
-  [[nodiscard]] AnalysisResult run(
-      const std::vector<trace::TraceBundle>& bundles) const {
-    return run(std::span<const trace::TraceBundle>(bundles));
-  }
 
  private:
   AnalysisConfig config_;

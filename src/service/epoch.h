@@ -1,0 +1,73 @@
+// Epoch publication — the RCU-flavored pointer swap behind FleetService
+// snapshots.
+//
+// The service's reader contract is "zero stalls": a reader asking for an
+// app's current report must never wait on a writer mid-ingest, and a
+// writer publishing a fresh snapshot must never wait for readers to
+// finish rendering the old one.  The classic RCU shape specialized to
+// one slot gives both:
+//
+//   * the published object is immutable — once a SnapshotImage (or any
+//     T) goes in, nobody writes through it again;
+//   * publication swaps one shared_ptr inside a critical section that
+//     only ever copies or moves the pointer (a refcount bump, no
+//     allocation, no payload work), so a reader either sees the whole
+//     old epoch or the whole new one, never a torn in-between;
+//   * reclamation is the shared_ptr refcount: readers pin the epoch they
+//     loaded for exactly as long as they use it, and the last reference
+//     — reader or slot — frees it.  No grace periods to track, because
+//     the refcount IS the grace period.
+//
+// Why a mutex and not C++20 std::atomic<std::shared_ptr<T>>: libstdc++'s
+// _Sp_atomic guards its pointer word with an embedded lock bit, but
+// load() releases that lock with a *relaxed* fetch_sub — so a reader's
+// unlock does not happens-before the next writer's pointer write, which
+// is a formal data race (and ThreadSanitizer reports it as one).  A
+// plain mutex around the pointer copy costs nanoseconds, is
+// TSan-provable, and preserves the contract that matters: the critical
+// section never contains snapshot *construction* or *rendering* — those
+// happen entirely off to the side — so readers never wait on a writer's
+// real work, only (rarely) on another pointer copy.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace edx::service {
+
+/// One atomically published, immutable value.  load() is the reader
+/// path; store() the writer path; both are safe from any thread at any
+/// time.  An empty slot (nothing published yet) loads as nullptr.
+template <typename T>
+class Published {
+ public:
+  Published() = default;
+  Published(const Published&) = delete;
+  Published& operator=(const Published&) = delete;
+
+  /// The current epoch's value (nullptr before the first store()).  The
+  /// returned shared_ptr keeps that epoch alive for as long as the
+  /// caller holds it, regardless of later store() calls.
+  [[nodiscard]] std::shared_ptr<const T> load() const {
+    const std::lock_guard<std::mutex> hold(gate_);
+    return slot_;
+  }
+
+  /// Publishes `next` as the new epoch.  The previous epoch is released
+  /// (and freed once its last reader drops it) — outside the critical
+  /// section, so a teardown-heavy old snapshot never holds the gate.
+  void store(std::shared_ptr<const T> next) {
+    std::shared_ptr<const T> previous;
+    {
+      const std::lock_guard<std::mutex> hold(gate_);
+      previous = std::exchange(slot_, std::move(next));
+    }
+  }
+
+ private:
+  mutable std::mutex gate_;
+  std::shared_ptr<const T> slot_;
+};
+
+}  // namespace edx::service

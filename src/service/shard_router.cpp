@@ -1,0 +1,51 @@
+#include "service/shard_router.h"
+
+#include "common/error.h"
+
+namespace edx::service {
+
+ShardRouter::ShardRouter(std::size_t num_shards, std::size_t hot_fanout)
+    : num_shards_(num_shards),
+      hot_fanout_(hot_fanout == 0 ? 1 : hot_fanout) {
+  require(num_shards_ > 0, "ShardRouter: need at least one shard");
+  if (hot_fanout_ > num_shards_) hot_fanout_ = num_shards_;
+}
+
+std::uint64_t ShardRouter::hash_key(std::string_view key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+std::uint64_t ShardRouter::mix(std::uint64_t value) {
+  value += 0x9e3779b97f4a7c15ull;
+  value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ull;
+  value = (value ^ (value >> 27)) * 0x94d049bb133111ebull;
+  return value ^ (value >> 31);
+}
+
+std::size_t ShardRouter::home_shard(std::string_view app) const {
+  return static_cast<std::size_t>(hash_key(app) % num_shards_);
+}
+
+std::size_t ShardRouter::lane_of(UserId fleet_key) const {
+  // Multiply-shift range partition: the mixed hash's position in
+  // [0, 2^64) scaled into [0, hot_fanout).  Contiguous hash ranges map
+  // to one lane, and a uniform hash gives uniform lanes.
+  const std::uint64_t mixed =
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(fleet_key)));
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(mixed) * hot_fanout_) >> 64);
+}
+
+std::size_t ShardRouter::route(std::string_view app, UserId fleet_key,
+                               bool hot) const {
+  const std::size_t home = home_shard(app);
+  if (!hot || hot_fanout_ <= 1) return home;
+  return (home + lane_of(fleet_key)) % num_shards_;
+}
+
+}  // namespace edx::service

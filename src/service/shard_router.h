@@ -1,0 +1,69 @@
+// ShardRouter — deterministic placement of arrivals onto ingest shards.
+//
+// The FleetService runs one ingest worker per shard; the router decides,
+// for every (app, fleet-key) arrival, which shard's queue it joins.  Two
+// rules, both forced by the byte-equivalence contract:
+//
+//   * an app's home shard is a pure function of its key
+//     (FNV-1a 64 of the key, mod shard count), so every arrival for a
+//     cold app lands on one worker and applies in queue order — the
+//     single-writer order the FleetAnalyzer equivalence proof needs;
+//   * a *hot* app fans out across `hot_fanout` consecutive shards by
+//     fleet-key range: the key is mixed through a splitmix64 finalizer
+//     and the top 64 bits of (hash x fanout) pick the lane.  Same key ->
+//     same lane -> same shard, always, so a user's re-uploads stay
+//     totally ordered even while different users of the same app ingest
+//     on different workers in parallel.  (Re-uploads of *different*
+//     users commute in the final report — the fleet state is a per-user
+//     last-write map and Steps 2-5 read it as a multiset — so per-key
+//     FIFO is exactly the ordering the equivalence contract requires,
+//     and no more.)
+//
+// Range partitioning (multiply-shift on the mixed hash) rather than
+// `hash % fanout` keeps the lane computation one multiply and makes the
+// lane boundaries contiguous in hash space — the same fixed-point trick
+// the store's segment router idiom uses, and trivially uniform for a
+// well-mixed input.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace edx::service {
+
+class ShardRouter {
+ public:
+  /// `num_shards` ingest workers; hot apps spread over `hot_fanout`
+  /// consecutive shards (clamped to num_shards; 0 and 1 both mean "no
+  /// fan-out").  Throws InvalidArgument when num_shards is 0.
+  ShardRouter(std::size_t num_shards, std::size_t hot_fanout);
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::size_t hot_fanout() const { return hot_fanout_; }
+
+  /// The shard every cold-app arrival for `app` lands on, and the first
+  /// lane of a hot app's range.
+  [[nodiscard]] std::size_t home_shard(std::string_view app) const;
+
+  /// Lane in [0, hot_fanout) for one fleet key of a hot app.
+  [[nodiscard]] std::size_t lane_of(UserId fleet_key) const;
+
+  /// Full routing decision: home shard for cold apps, home + lane
+  /// (mod num_shards) for hot ones.
+  [[nodiscard]] std::size_t route(std::string_view app, UserId fleet_key,
+                                  bool hot) const;
+
+  /// FNV-1a 64 over the key bytes (the app-key hash).
+  static std::uint64_t hash_key(std::string_view key);
+  /// splitmix64 finalizer — turns the low-entropy fleet key into a
+  /// uniformly mixed 64-bit value for range partitioning.
+  static std::uint64_t mix(std::uint64_t value);
+
+ private:
+  std::size_t num_shards_;
+  std::size_t hot_fanout_;
+};
+
+}  // namespace edx::service

@@ -29,8 +29,8 @@
 // Re-uploads honor TraceBundle::fleet_key(): a record whose key is already
 // in the fleet replaces that user's bundle in its original fleet slot,
 // never duplicating the user — the same replace-not-duplicate semantics
-// FleetAnalyzer applies, so feeding fleet() (or snapshot + tail) to the
-// analyzer reproduces the never-restarted report byte for byte.
+// FleetAnalyzer applies, so feeding fleet_refs() (or snapshot + tail) to
+// the analyzer reproduces the never-restarted report byte for byte.
 //
 // Group commit: every append assigns a sequence number and applies to the
 // in-memory fleet under one lock, then enqueues the encoded record on a
@@ -86,8 +86,11 @@
 //
 // Thread safety: append()/append_async()/flush() may be called from any
 // number of threads concurrently with one running background compaction.
-// The read accessors (fleet(), tail_bundles(), ...) are NOT synchronized
-// against concurrent appends — quiesce (join producers, flush()) first.
+// The read accessors (fleet_refs(), tail_refs(), ...) are NOT
+// synchronized against concurrent appends — quiesce (join producers,
+// flush()) first.  The zero-copy *_refs() accessors are the primary read
+// API; the materializing fleet()/tail_bundles()/snapshot_bundles() trio
+// is compat-only (deep copies for callers that must own their bundles).
 #pragma once
 
 #include <condition_variable>
@@ -188,13 +191,15 @@ class FleetStore {
 
   /// Current fleet: each user's latest bundle, in first-arrival slot
   /// order — exactly the bundle sequence whose batch analysis equals the
-  /// never-restarted incremental run.  Materializes a full copy; use
-  /// fleet_refs() on paths that only read.
-  [[nodiscard]] std::vector<trace::TraceBundle> fleet() const;
-  /// Same fleet, zero-copy: shared handles to the immutable bundles.
+  /// never-restarted incremental run.  Zero-copy shared handles to the
+  /// immutable bundles; this is the primary read API.
   [[nodiscard]] const std::vector<BundleRef>& fleet_refs() const {
     return fleet_;
   }
+  /// Compat-only (pre-PR-7 API): materializes a full deep copy of
+  /// fleet_refs().  Every in-tree caller uses the refs accessor; this
+  /// wrapper remains for external callers that own their bundles.
+  [[nodiscard]] std::vector<trace::TraceBundle> fleet() const;
   [[nodiscard]] std::size_t fleet_size() const { return fleet_.size(); }
   /// Sequence number of the most recently appended record (0 = empty).
   [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
@@ -203,20 +208,22 @@ class FleetStore {
   [[nodiscard]] std::uint64_t snapshot_seq() const { return snapshot_seq_; }
 
   /// The fleet as of the loaded snapshot, in slot order — kept verbatim
-  /// (a later tail record may have replaced a slot in fleet()) because
-  /// snapshot_step1()'s power lists describe exactly these bundles.
-  /// Materializes a copy; use snapshot_refs() on paths that only read.
-  [[nodiscard]] std::vector<trace::TraceBundle> snapshot_bundles() const;
+  /// (a later tail record may have replaced a slot in fleet_refs())
+  /// because snapshot_step1()'s power lists describe exactly these
+  /// bundles.  Zero-copy; primary.
   [[nodiscard]] const std::vector<BundleRef>& snapshot_refs() const {
     return snapshot_bundles_;
   }
+  /// Compat-only: deep copy of snapshot_refs().
+  [[nodiscard]] std::vector<trace::TraceBundle> snapshot_bundles() const;
   /// Bundles appended after the snapshot (WAL replays plus this session's
   /// append() calls), in arrival order.  These still need Step 1.
-  /// Materializes a copy; use tail_refs() on paths that only read.
-  [[nodiscard]] std::vector<trace::TraceBundle> tail_bundles() const;
+  /// Zero-copy; primary.
   [[nodiscard]] const std::vector<BundleRef>& tail_refs() const {
     return tail_;
   }
+  /// Compat-only: deep copy of tail_refs().
+  [[nodiscard]] std::vector<trace::TraceBundle> tail_bundles() const;
 
   /// Reconstructs Step 1's AnalyzedTrace for each snapshotted fleet slot
   /// from the snapshot's EventRanking state — bit-identical to running

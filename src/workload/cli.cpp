@@ -1,6 +1,8 @@
 #include "workload/cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <initializer_list>
@@ -11,6 +13,7 @@
 #include <span>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include "android/apk.h"
 #include "android/instrumenter.h"
@@ -20,6 +23,7 @@
 #include "core/pipeline.h"
 #include "core/report_io.h"
 #include "power/calibration.h"
+#include "service/fleet_service.h"
 #include "store/fleet_store.h"
 #include "workload/catalog.h"
 #include "workload/experiment.h"
@@ -48,16 +52,15 @@ void write_file(const std::string& path, const std::string& content) {
 /// The one flag parser every subcommand shares.  Splits the args after
 /// the command word into named flags (`--name value` or `--name=value`)
 /// and positional operands; unknown flags are usage errors.  Positional
-/// operands past the required ones are the pre-redesign argument forms —
-/// still honored, but consuming one emits a single deprecation line on
-/// stderr per invocation.
+/// operands past the required ones — the pre-redesign argument forms,
+/// deprecated-with-a-warning since PR 3 — are now usage errors (exit 2)
+/// carrying the named-flag migration hint.
 class FlagSet {
  public:
   FlagSet(std::string command, const std::vector<std::string>& args,
           std::initializer_list<std::string_view> value_flags,
-          std::initializer_list<std::string_view> switch_flags,
-          std::ostream& err)
-      : command_(std::move(command)), err_(&err) {
+          std::initializer_list<std::string_view> switch_flags)
+      : command_(std::move(command)) {
     const auto known = [](std::initializer_list<std::string_view> flags,
                           std::string_view name) {
       return std::find(flags.begin(), flags.end(), name) != flags.end();
@@ -119,33 +122,25 @@ class FlagSet {
     }
     return positionals_[index];
   }
-  /// The named flag when given, else the deprecated positional at
-  /// `fallback_index` (with the one-line warning), else nullopt.
-  [[nodiscard]] std::optional<std::string> value_or_positional(
-      const std::string& name, std::size_t fallback_index) {
-    if (auto named = value(name)) return named;
-    if (fallback_index < positionals_.size()) {
-      note_deprecated_positionals();
-      return positionals_[fallback_index];
+  /// Rejects operands past the `allowed` required ones.  These were the
+  /// pre-redesign positional option forms (PR 3 demoted them to a
+  /// deprecation warning); a command that still passes one exits 2 with
+  /// the named-flag migration `hint`.
+  void reject_extra_positionals(std::size_t allowed,
+                                const std::string& hint) const {
+    if (positionals_.size() > allowed) {
+      throw InvalidArgument(command_ +
+                            ": positional option arguments were removed; "
+                            "use " +
+                            hint + " (energydx help)");
     }
-    return std::nullopt;
-  }
-  /// Emits the deprecation line (once per invocation).
-  void note_deprecated_positionals() {
-    if (warned_) return;
-    warned_ = true;
-    *err_ << "energydx: warning: '" << command_
-          << "' positional option arguments are deprecated; use the named"
-             " --flag forms (energydx help)\n";
   }
 
  private:
   std::string command_;
-  std::ostream* err_;
   std::vector<std::string> positionals_;
   std::map<std::string, std::string> values_;
   std::set<std::string> switches_;
-  bool warned_{false};
 };
 
 /// Integer flag/operand parsing with range validation; failures are usage
@@ -379,13 +374,15 @@ int analyze_store(const std::string& store_dir, const AnalyzeOptions& options,
   if (recovered.fleet_size() == 0) {
     throw AnalysisError("store at " + store_dir + " holds no bundles");
   }
-  if (!options.incremental) {
-    return analyze_batch_bundles(recovered.fleet(), options, out);
-  }
-  // Warm restart: the snapshotted slots re-enter the analyzer through
-  // their recovered Step-1 state (no power join), the WAL tail through
-  // the normal arrival path — the final report is byte-identical to a
-  // never-restarted incremental run over the same uploads.
+  // Warm restart over the zero-copy accessors: the snapshotted slots
+  // re-enter the analyzer through their recovered Step-1 state (no power
+  // join), the WAL tail through the normal arrival path — the final
+  // report is byte-identical to a never-restarted incremental run over
+  // the same uploads, and (by the FleetAnalyzer equivalence contract) to
+  // a batch run over fleet_refs().  That contract is why the former
+  // non-incremental branch, which materialized a full fleet() copy just
+  // to re-run Step 1 on it, is gone: --incremental and the default now
+  // share this one path and byte-identical output.
   const core::AnalysisConfig config = analysis_config(options);
   core::FleetAnalyzer fleet(config);
   for (core::AnalyzedTrace& analyzed : recovered.snapshot_step1()) {
@@ -617,6 +614,238 @@ int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out) {
 
 namespace {
 
+/// One tenant's simulated workload for serve/bench-serve.
+struct AppLoad {
+  std::string key;
+  std::string display_name;
+  std::vector<trace::TraceBundle> bundles;
+};
+
+std::vector<AppLoad> build_service_load(const std::vector<int>& app_ids,
+                                        int users, std::uint64_t seed) {
+  require(!app_ids.empty(), "serve needs --apps ID[,ID,...]");
+  const std::vector<AppCase> catalog = full_catalog();
+  std::vector<AppLoad> loads;
+  loads.reserve(app_ids.size());
+  for (const int id : app_ids) {
+    const AppCase& app = catalog_app(catalog, id);
+    PopulationConfig population;
+    population.num_users = users;
+    population.seed = seed;
+    AppLoad load;
+    load.key = "app-" + std::to_string(id);
+    load.display_name = app.display_name;
+    load.bundles =
+        collect_traces(app, app.buggy, /*instrumented=*/true, population)
+            .bundles;
+    loads.push_back(std::move(load));
+  }
+  return loads;
+}
+
+/// Round-robin interleaving across apps — the mixed-tenant traffic
+/// shape a real backend sees (every app uploading at once), and the
+/// worst case for per-shard batching locality.
+std::vector<std::pair<const AppLoad*, const trace::TraceBundle*>>
+interleave_arrivals(const std::vector<AppLoad>& loads) {
+  std::vector<std::pair<const AppLoad*, const trace::TraceBundle*>> arrivals;
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (const AppLoad& load : loads) {
+      if (i < load.bundles.size()) {
+        arrivals.emplace_back(&load, &load.bundles[i]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return arrivals;
+}
+
+/// Splits the arrival stream across `writers` submitting threads
+/// (writer w takes arrivals w, w+writers, ...).  Each user appears once
+/// per pass, so cross-writer reordering only permutes distinct users —
+/// which commutes in the final report by the service's equivalence
+/// contract.
+void run_writers(
+    service::FleetService& fleet_service,
+    std::span<const std::pair<const AppLoad*, const trace::TraceBundle*>>
+        arrivals,
+    std::size_t writers) {
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (std::size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&fleet_service, arrivals, writers, w] {
+      for (std::size_t i = w; i < arrivals.size(); i += writers) {
+        fleet_service.submit(arrivals[i].first->key, *arrivals[i].second);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+service::ServiceOptions base_service_options(std::size_t shards,
+                                             std::size_t step1_threads,
+                                             std::size_t hot_fanout,
+                                             const std::vector<AppLoad>& loads) {
+  service::ServiceOptions options;
+  options.num_shards = shards;
+  options.step1_threads = step1_threads;
+  options.hot_fanout = hot_fanout;
+  if (hot_fanout > 1) {
+    for (const AppLoad& load : loads) options.hot_apps.push_back(load.key);
+  }
+  return options;
+}
+
+}  // namespace
+
+int cmd_serve(const ServeOptions& options, std::ostream& out) {
+  const std::vector<AppLoad> loads =
+      build_service_load(options.app_ids, options.users, options.seed);
+  service::ServiceOptions service_options = base_service_options(
+      options.shards, options.step1_threads, options.hot_fanout, loads);
+  service_options.store_root = options.store_root;
+  if (options.reported_fraction.has_value()) {
+    service_options.self_estimate_fraction = false;
+    service_options.analysis.reporting.developer_reported_fraction =
+        *options.reported_fraction;
+  }
+
+  service::FleetService fleet_service(service_options);
+  for (const AppLoad& load : loads) fleet_service.open(load.key);
+
+  const auto arrivals = interleave_arrivals(loads);
+  const std::size_t writers = std::max<std::size_t>(options.writers, 1);
+  run_writers(fleet_service, arrivals, writers);
+  fleet_service.drain();
+
+  out << "served " << loads.size() << " app(s) x " << options.users
+      << " user(s) on " << fleet_service.options().num_shards
+      << " shard(s), " << writers << " writer(s)\n";
+  for (const AppLoad& load : loads) {
+    const std::shared_ptr<const service::FleetSnapshot> snap =
+        fleet_service.snapshot(load.key);
+    out << "== " << load.key << " '" << load.display_name << "' (arrivals "
+        << snap->image->arrivals << ", fleet " << snap->image->fleet_size
+        << ") ==\n";
+    service::ReportOptions report;
+    report.as_json = options.as_json;
+    // No app_name / code map: the body stays byte-identical to `analyze`
+    // over the same population (the header line above carries the name).
+    out << fleet_service.report(load.key, report);
+  }
+  const service::ServiceStats stats = fleet_service.stats();
+  out << "service: " << stats.submitted << " submitted, " << stats.batches
+      << " ingest batch(es), queue peak " << stats.queue_peak << "\n";
+  return 0;
+}
+
+int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out) {
+  const std::vector<AppLoad> loads =
+      build_service_load(options.app_ids, options.users, options.seed);
+  service::ServiceOptions service_options = base_service_options(
+      options.shards, options.step1_threads, options.hot_fanout, loads);
+  service_options.queue_capacity = options.queue_capacity;
+
+  service::FleetService fleet_service(service_options);
+  for (const AppLoad& load : loads) fleet_service.open(load.key);
+
+  // Readers poll every tenant's snapshot while the writers run and
+  // sample staleness: arrivals submitted but not yet covered by the
+  // published epoch (bounded by queue capacity + one in-flight batch).
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshot_loads{0};
+  std::vector<std::vector<std::uint64_t>> staleness(
+      std::max<std::size_t>(options.readers, 1));
+  std::vector<std::thread> readers;
+  readers.reserve(options.readers);
+  for (std::size_t r = 0; r < options.readers; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const service::AppServiceStats& row :
+             fleet_service.stats().per_app) {
+          // Counters are sampled independently; skip the transient where
+          // a publication lands between the two loads.
+          if (row.submitted >= row.published_arrivals) {
+            staleness[r].push_back(row.submitted - row.published_arrivals);
+          }
+        }
+        for (const AppLoad& load : loads) {
+          if (fleet_service.snapshot(load.key) != nullptr) {
+            snapshot_loads.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  const auto arrivals = interleave_arrivals(loads);
+  const std::size_t writers = std::max<std::size_t>(options.writers, 1);
+  const int passes = std::max(options.repeat, 1);
+  const auto start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    run_writers(fleet_service, arrivals, writers);
+  }
+  fleet_service.drain();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  std::vector<std::uint64_t> samples;
+  for (const std::vector<std::uint64_t>& lane : staleness) {
+    samples.insert(samples.end(), lane.begin(), lane.end());
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto percentile = [&samples](double p) -> std::uint64_t {
+    if (samples.empty()) return 0;
+    const double rank = p * static_cast<double>(samples.size() - 1);
+    return samples[static_cast<std::size_t>(rank + 0.5)];
+  };
+
+  const std::size_t total = arrivals.size() * static_cast<std::size_t>(passes);
+  out << "bench-serve: " << loads.size() << " app(s) x " << options.users
+      << " user(s), " << fleet_service.options().num_shards << " shard(s), "
+      << writers << " writer(s), " << options.readers << " reader(s)\n";
+  out << "  ingested " << total << " arrivals in " << seconds << " s ("
+      << static_cast<std::uint64_t>(static_cast<double>(total) /
+                                    std::max(seconds, 1e-9))
+      << " arrivals/s)\n";
+  out << "  snapshots: " << snapshot_loads.load(std::memory_order_relaxed)
+      << " reader loads, staleness p50 " << percentile(0.5) << ", p99 "
+      << percentile(0.99) << ", max "
+      << (samples.empty() ? 0 : samples.back()) << " arrivals ("
+      << samples.size() << " samples)\n";
+  const service::ServiceStats stats = fleet_service.stats();
+  out << "  service: " << stats.submitted << " submitted, " << stats.batches
+      << " ingest batch(es), queue peak " << stats.queue_peak << "\n";
+  return 0;
+}
+
+namespace {
+
+/// Parses a comma-separated catalog-id list ("1,3,4"); empty or
+/// malformed input is a usage error naming `flag`.
+std::vector<int> parse_app_id_list(const std::string& text,
+                                   const std::string& flag) {
+  std::vector<int> ids;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', begin), text.size());
+    const std::string piece = text.substr(begin, comma - begin);
+    if (piece.empty()) {
+      throw InvalidArgument(flag + " needs ID[,ID,...]");
+    }
+    ids.push_back(static_cast<int>(
+        to_int(piece, flag, 0, std::numeric_limits<std::int64_t>::max())));
+    if (comma == text.size()) break;
+    begin = comma + 1;
+  }
+  return ids;
+}
+
 int dispatch(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   constexpr std::int64_t kMaxInt = std::numeric_limits<std::int64_t>::max();
@@ -633,14 +862,20 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
            "store-info --store DIR | "
            "verify <app-id> [--users N] [--seed S] | "
            "gen-training <device> <out.csv> [--levels N] [--noise F] | "
-           "calibrate <samples.csv> <name>>\n";
+           "calibrate <samples.csv> <name> | "
+           "serve --apps ID[,ID,...] [--users N] [--seed S] [--shards N] "
+           "[--writers N] [--threads N] [--hot-fanout N] [--store-root DIR] "
+           "[--reported-fraction F] [--json] | "
+           "bench-serve --apps ID[,ID,...] [--users N] [--seed S] "
+           "[--shards N] [--writers N] [--readers N] [--threads N] "
+           "[--queue-capacity N] [--hot-fanout N] [--repeat K]>\n";
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   if (command == "catalog") return cmd_catalog(out);
   if (command == "instrument") {
-    const FlagSet flags("instrument", rest, {}, {}, err);
+    const FlagSet flags("instrument", rest, {}, {});
     if (flags.positional_count() != 2) {
       throw InvalidArgument("instrument needs <in> <out>");
     }
@@ -648,47 +883,45 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
                           flags.required_positional(1, "<out>"), out);
   }
   if (command == "simulate") {
-    FlagSet flags("simulate", rest, {"--users", "--seed"}, {}, err);
+    FlagSet flags("simulate", rest, {"--users", "--seed"}, {});
     const int app_id = static_cast<int>(
         to_int(flags.required_positional(0, "<app-id> <out-dir>"), "<app-id>",
                0, kMaxInt));
     const std::string& out_dir =
         flags.required_positional(1, "<app-id> <out-dir>");
-    const int users = static_cast<int>(
-        to_int(flags.value_or_positional("--users", 2).value_or("30"),
-               "--users", 1, 1'000'000));
+    flags.reject_extra_positionals(2, "--users N --seed S");
+    const int users = static_cast<int>(to_int(
+        flags.value("--users").value_or("30"), "--users", 1, 1'000'000));
     const std::uint64_t seed = static_cast<std::uint64_t>(
-        to_int(flags.value_or_positional("--seed", 3).value_or("42"),
-               "--seed", 0, kMaxInt));
+        to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
     return cmd_simulate(app_id, out_dir, users, seed, out);
   }
   if (command == "verify") {
-    FlagSet flags("verify", rest, {"--users", "--seed"}, {}, err);
+    FlagSet flags("verify", rest, {"--users", "--seed"}, {});
     const int app_id = static_cast<int>(to_int(
         flags.required_positional(0, "<app-id>"), "<app-id>", 0, kMaxInt));
-    const int users = static_cast<int>(
-        to_int(flags.value_or_positional("--users", 1).value_or("30"),
-               "--users", 1, 1'000'000));
+    flags.reject_extra_positionals(1, "--users N --seed S");
+    const int users = static_cast<int>(to_int(
+        flags.value("--users").value_or("30"), "--users", 1, 1'000'000));
     const std::uint64_t seed = static_cast<std::uint64_t>(
-        to_int(flags.value_or_positional("--seed", 2).value_or("42"),
-               "--seed", 0, kMaxInt));
+        to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
     return cmd_verify(app_id, users, seed, out);
   }
   if (command == "gen-training") {
-    FlagSet flags("gen-training", rest, {"--levels", "--noise"}, {}, err);
+    FlagSet flags("gen-training", rest, {"--levels", "--noise"}, {});
     const std::string& device =
         flags.required_positional(0, "<device> <out.csv>");
     const std::string& out_path =
         flags.required_positional(1, "<device> <out.csv>");
-    const std::size_t levels = static_cast<std::size_t>(
-        to_int(flags.value_or_positional("--levels", 2).value_or("8"),
-               "--levels", 1, 1'000'000));
-    const double noise = to_double(
-        flags.value_or_positional("--noise", 3).value_or("0"), "--noise");
+    flags.reject_extra_positionals(2, "--levels N --noise F");
+    const std::size_t levels = static_cast<std::size_t>(to_int(
+        flags.value("--levels").value_or("8"), "--levels", 1, 1'000'000));
+    const double noise =
+        to_double(flags.value("--noise").value_or("0"), "--noise");
     return cmd_gen_training(device, out_path, levels, noise, out);
   }
   if (command == "calibrate") {
-    const FlagSet flags("calibrate", rest, {}, {}, err);
+    const FlagSet flags("calibrate", rest, {}, {});
     if (flags.positional_count() != 2) {
       throw InvalidArgument("calibrate needs <samples.csv> <device-name>");
     }
@@ -699,7 +932,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     FlagSet flags("ingest", rest,
                   {"--store", "--app", "--users", "--seed", "--fsync-policy",
                    "--segment-bytes"},
-                  {"--compact", "--compress"}, err);
+                  {"--compact", "--compress"});
     IngestOptions options;
     const auto store_flag = flags.value("--store");
     if (!store_flag.has_value()) {
@@ -727,7 +960,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     return cmd_ingest(options, out);
   }
   if (command == "store-info") {
-    const FlagSet flags("store-info", rest, {"--store"}, {}, err);
+    const FlagSet flags("store-info", rest, {"--store"}, {});
     const auto store_flag = flags.value("--store");
     if (!store_flag.has_value()) {
       throw InvalidArgument("store-info needs --store DIR");
@@ -741,7 +974,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     FlagSet flags("analyze", rest,
                   {"--app", "--reported-fraction", "--threads",
                    "--report-every", "--store"},
-                  {"--json", "--incremental"}, err);
+                  {"--json", "--incremental"});
     AnalyzeOptions options;
     options.as_json = flags.has_switch("--json");
     options.incremental = flags.has_switch("--incremental");
@@ -769,21 +1002,71 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     options.report_every = static_cast<std::size_t>(to_int(
         flags.value("--report-every").value_or("0"), "--report-every", 0,
         kMaxInt));
-    // Deprecated positional forms: a bare integer is the catalog app id,
-    // anything with a '.' the reported fraction (same heuristic as the
-    // pre-flag CLI).
-    for (std::size_t i = 1; i < flags.positional_count(); ++i) {
-      const std::string& operand = flags.required_positional(i, "");
-      flags.note_deprecated_positionals();
-      if (!options.app_id.has_value() &&
-          operand.find('.') == std::string::npos) {
-        options.app_id =
-            static_cast<int>(to_int(operand, "[app-id]", 0, kMaxInt));
-      } else {
-        options.reported_fraction = to_double(operand, "[reported-fraction]");
-      }
-    }
+    flags.reject_extra_positionals(
+        options.store_dir.has_value() ? 0 : 1,
+        "--app ID --reported-fraction F");
     return cmd_analyze(trace_dir, options, out);
+  }
+  if (command == "serve") {
+    FlagSet flags("serve", rest,
+                  {"--apps", "--users", "--seed", "--shards", "--writers",
+                   "--threads", "--hot-fanout", "--store-root",
+                   "--reported-fraction"},
+                  {"--json"});
+    flags.reject_extra_positionals(0, "--apps ID[,ID,...]");
+    ServeOptions options;
+    options.app_ids =
+        parse_app_id_list(flags.value("--apps").value_or(""), "--apps");
+    options.users = static_cast<int>(to_int(
+        flags.value("--users").value_or("30"), "--users", 1, 1'000'000));
+    options.seed = static_cast<std::uint64_t>(
+        to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
+    options.shards = static_cast<std::size_t>(
+        to_int(flags.value("--shards").value_or("0"), "--shards", 0, 4096));
+    options.writers = static_cast<std::size_t>(to_int(
+        flags.value("--writers").value_or("1"), "--writers", 1, 4096));
+    options.step1_threads = static_cast<std::size_t>(
+        to_int(flags.value("--threads").value_or("1"), "--threads", 0, 4096));
+    options.hot_fanout = static_cast<std::size_t>(to_int(
+        flags.value("--hot-fanout").value_or("1"), "--hot-fanout", 1, 4096));
+    if (const auto fraction = flags.value("--reported-fraction")) {
+      options.reported_fraction =
+          to_double(*fraction, "--reported-fraction");
+    }
+    options.as_json = flags.has_switch("--json");
+    options.store_root = flags.value("--store-root").value_or("");
+    return cmd_serve(options, out);
+  }
+  if (command == "bench-serve") {
+    FlagSet flags("bench-serve", rest,
+                  {"--apps", "--users", "--seed", "--shards", "--writers",
+                   "--readers", "--threads", "--queue-capacity",
+                   "--hot-fanout", "--repeat"},
+                  {});
+    flags.reject_extra_positionals(0, "--apps ID[,ID,...]");
+    BenchServeOptions options;
+    options.app_ids =
+        parse_app_id_list(flags.value("--apps").value_or(""), "--apps");
+    options.users = static_cast<int>(to_int(
+        flags.value("--users").value_or("400"), "--users", 1, 1'000'000));
+    options.seed = static_cast<std::uint64_t>(
+        to_int(flags.value("--seed").value_or("42"), "--seed", 0, kMaxInt));
+    options.shards = static_cast<std::size_t>(
+        to_int(flags.value("--shards").value_or("0"), "--shards", 0, 4096));
+    options.writers = static_cast<std::size_t>(to_int(
+        flags.value("--writers").value_or("2"), "--writers", 1, 4096));
+    options.readers = static_cast<std::size_t>(to_int(
+        flags.value("--readers").value_or("2"), "--readers", 0, 4096));
+    options.step1_threads = static_cast<std::size_t>(
+        to_int(flags.value("--threads").value_or("1"), "--threads", 0, 4096));
+    options.queue_capacity = static_cast<std::size_t>(
+        to_int(flags.value("--queue-capacity").value_or("1024"),
+               "--queue-capacity", 1, std::int64_t{1} << 30));
+    options.hot_fanout = static_cast<std::size_t>(to_int(
+        flags.value("--hot-fanout").value_or("1"), "--hot-fanout", 1, 4096));
+    options.repeat = static_cast<int>(
+        to_int(flags.value("--repeat").value_or("1"), "--repeat", 1, 10'000));
+    return cmd_bench_serve(options, out);
   }
   throw InvalidArgument("unknown command '" + command + "'");
 }

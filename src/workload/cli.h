@@ -15,15 +15,34 @@
 //   energydx verify <app-id> [--users N] [--seed S]
 //   energydx gen-training <builtin-device> <out.csv> [--levels N] [--noise F]
 //   energydx calibrate <samples.csv> <device-name>
+//   energydx serve --apps ID[,ID,...] [--users N] [--seed S] [--shards N]
+//                  [--writers N] [--threads N] [--hot-fanout N]
+//                  [--store-root DIR] [--reported-fraction F] [--json]
+//   energydx bench-serve --apps ID[,ID,...] [--users N] [--seed S]
+//                        [--shards N] [--writers N] [--readers N]
+//                        [--threads N] [--queue-capacity N]
+//                        [--hot-fanout N] [--repeat K]
 //
 // Every subcommand shares one flag parser (`--name value` or
 // `--name=value`); repeating a named flag is a usage error (exit 2), not
-// a silent last-wins.  The pre-redesign positional forms — `simulate
-// <app-id> <dir> [users] [seed]`, `verify <app-id> [users] [seed]`,
-// `gen-training <device> <out.csv> [levels] [noise]`, `analyze <dir>
-// [app-id] [reported-fraction]` — are still accepted with a one-line
-// deprecation warning on stderr; a named flag wins over its positional
-// twin when both appear.
+// a silent last-wins.  The pre-redesign positional option forms —
+// `simulate <app-id> <dir> [users] [seed]`, `verify <app-id> [users]
+// [seed]`, `gen-training <device> <out.csv> [levels] [noise]`, `analyze
+// <dir> [app-id] [reported-fraction]` — were deprecated (warning-only)
+// in PR 3 and are REMOVED as of PR 8: passing one is now a usage error
+// (exit 2) whose message names the --flag spelling to migrate to.
+//
+// `serve` runs the multi-tenant service/fleet_service.h end to end:
+// one simulated population per catalog app in --apps, submitted through
+// --writers concurrent threads onto --shards ingest shards, then (after
+// a drain barrier) one diagnosis report per app.  The report body is
+// byte-identical to `analyze` over the same population — the service's
+// equivalence contract.  --hot-fanout > 1 marks every app hot (fleet-key
+// range fan-out); --store-root gives each tenant a durable FleetStore
+// under <root>/<app-key>.  `bench-serve` is the load harness: same
+// traffic plus --readers threads polling snapshots while writers run,
+// reporting ingest throughput and snapshot-staleness percentiles
+// (arrivals submitted but not yet covered by the published epoch).
 //
 // The durable store (store/fleet_store.h): `ingest` appends bundles into
 // a segmented-WAL store directory — from bundle files / trace
@@ -167,6 +186,57 @@ int cmd_calibrate(const std::string& csv_path, const std::string& device_name,
 /// gone and the power dropped.  Returns 0 when the fix is confirmed, 5
 /// when it is not.
 int cmd_verify(int app_id, int users, std::uint64_t seed, std::ostream& out);
+
+/// How `cmd_serve` drives the multi-tenant FleetService.
+struct ServeOptions {
+  /// Catalog app ids; each becomes one tenant keyed "app-<id>".
+  std::vector<int> app_ids;
+  int users{30};
+  std::uint64_t seed{42};
+  /// Ingest shards (0 = auto: one per hardware thread, capped at 4).
+  std::size_t shards{0};
+  /// Concurrent writer threads splitting the interleaved arrival stream.
+  std::size_t writers{1};
+  /// > 1 marks every app hot and fans its fleet keys over this many
+  /// consecutive shards.
+  std::size_t hot_fanout{1};
+  /// Per-shard Step-1 pool width (1 = join inline on the worker).
+  std::size_t step1_threads{1};
+  /// Fixed developer-reported fraction; absent = self-estimate (the
+  /// analyze default).
+  std::optional<double> reported_fraction;
+  bool as_json{false};
+  /// Non-empty: durable per-tenant stores under <store_root>/<app-key>.
+  std::string store_root;
+};
+
+/// Simulates one population per app, serves the interleaved arrivals
+/// through the FleetService, drains, and prints each tenant's report
+/// (byte-identical to `analyze` over the same population) plus service
+/// counters.
+int cmd_serve(const ServeOptions& options, std::ostream& out);
+
+/// How `cmd_bench_serve` loads the service.
+struct BenchServeOptions {
+  std::vector<int> app_ids;
+  int users{400};
+  std::uint64_t seed{42};
+  std::size_t shards{0};
+  std::size_t writers{2};
+  /// Reader threads polling snapshots and sampling staleness while the
+  /// writers run.
+  std::size_t readers{2};
+  std::size_t step1_threads{1};
+  std::size_t queue_capacity{1024};
+  std::size_t hot_fanout{1};
+  /// Extra passes over the population (pass 2+ are re-uploads).
+  int repeat{1};
+};
+
+/// The serve-mode load harness: concurrent writers + concurrent
+/// snapshot readers, reporting arrivals/s and snapshot-staleness
+/// percentiles (in arrivals).
+int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out);
 
 /// Dispatch from argv (excluding the program name).  Returns the exit code.
 int run(const std::vector<std::string>& args, std::ostream& out,

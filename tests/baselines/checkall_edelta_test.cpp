@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "baselines/checkall.h"
 #include "baselines/edelta.h"
 
@@ -32,13 +34,21 @@ trace::TraceBundle bundle_with_profile(UserId user,
   return bundle;
 }
 
+
+/// Spans are the only run() currency now; this pins a temporary bundle
+/// and wraps it as a one-element span.
+template <typename Baseline>
+auto run_one(const Baseline& baseline, const trace::TraceBundle& bundle) {
+  return baseline.run(std::span(&bundle, 1));
+}
+
 TEST(CheckAllTest, ReportsEventsAroundEveryRawTransition) {
   // One 300 mW step at index 5 -> window [2..8] with default window 3.
   std::vector<double> powers(12, 100.0);
   for (std::size_t i = 5; i < powers.size(); ++i) powers[i] = 400.0;
   const CheckAll checkall;
   const CheckAllReport report =
-      checkall.run({bundle_with_profile(0, powers)});
+      run_one(checkall, bundle_with_profile(0, powers));
   EXPECT_EQ(report.transition_points, 1u);
   EXPECT_EQ(report.total_traces, 1u);
   // The transition is attributed to index 4 (the last low event); the
@@ -52,7 +62,7 @@ TEST(CheckAllTest, SmallVariationsIgnored) {
   std::vector<double> powers(10, 100.0);
   powers[4] = 130.0;  // +30 mW < 50 mW threshold
   const CheckAll checkall;
-  EXPECT_TRUE(checkall.run({bundle_with_profile(0, powers)})
+  EXPECT_TRUE(run_one(checkall, bundle_with_profile(0, powers))
                   .reported_events.empty());
 }
 
@@ -62,7 +72,7 @@ TEST(CheckAllTest, MultipleTransitionsUnionWindows) {
   powers[15] = 500.0;  // second spike, same
   const CheckAll checkall;
   const CheckAllReport report =
-      checkall.run({bundle_with_profile(0, powers)});
+      run_one(checkall, bundle_with_profile(0, powers));
   EXPECT_EQ(report.transition_points, 4u);
   // Windows around indices 2, 3, 14, 15.
   EXPECT_GE(report.reported_events.size(), 10u);
@@ -73,7 +83,7 @@ TEST(CheckAllTest, DownwardTransitionsAlsoReported) {
   for (std::size_t i = 6; i < powers.size(); ++i) powers[i] = 100.0;
   const CheckAll checkall;
   const CheckAllReport report =
-      checkall.run({bundle_with_profile(0, powers)});
+      run_one(checkall, bundle_with_profile(0, powers));
   EXPECT_EQ(report.transition_points, 1u);
   EXPECT_FALSE(report.reported_events.empty());
 }
@@ -118,7 +128,7 @@ TEST(EDeltaTest, RequiresMinimumInstances) {
   EDeltaConfig config;
   config.min_instances = 4;
   const EDelta edelta(config);
-  EXPECT_FALSE(edelta.run({bundle_with_profile(0, powers)}).detected());
+  EXPECT_FALSE(run_one(edelta, bundle_with_profile(0, powers)).detected());
 }
 
 TEST(EDeltaTest, IgnoresIdleMarkers) {

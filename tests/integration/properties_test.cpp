@@ -2,6 +2,7 @@
 // for any input the system can produce, plus failure injection.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <thread>
 
 #include "android/apk_builder.h"
@@ -112,7 +113,7 @@ TEST(RobustnessTest, EmptyEventTraceBundle) {
   bundle.device_name = "Nexus 6";
   bundle.utilization = trace::UtilizationTrace("Nexus 6", {});
   const core::ManifestationAnalyzer analyzer;
-  const core::AnalysisResult result = analyzer.run({bundle});
+  const core::AnalysisResult result = analyzer.run(std::span(&bundle, 1));
   EXPECT_TRUE(result.traces[0].events.empty());
   EXPECT_TRUE(result.report.ranked_events.empty());
 }
@@ -130,7 +131,7 @@ TEST(RobustnessTest, ZeroPowerTraces) {
   }
   bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
   const core::ManifestationAnalyzer analyzer;
-  const core::AnalysisResult result = analyzer.run({bundle});
+  const core::AnalysisResult result = analyzer.run(std::span(&bundle, 1));
   EXPECT_TRUE(result.traces[0].manifestation_indices.empty());
 }
 
@@ -149,7 +150,7 @@ TEST(RobustnessTest, ZeroLengthEventIntervals) {
   }
   bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
   const core::ManifestationAnalyzer analyzer;
-  EXPECT_NO_THROW(analyzer.run({bundle}));
+  EXPECT_NO_THROW(analyzer.run(std::span(&bundle, 1)));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,373 @@
+// FleetService's equivalence contract: every published snapshot —
+// whatever the shard count, writer count, or fan-out — is byte-identical
+// (rendered text + JSON) to a single-threaded batch
+// ManifestationAnalyzer run over the tenant's applied arrival prefix,
+// with per-user last-write-wins on re-uploads.  See
+// service/fleet_service.h and DESIGN.md §14; the reader/writer race
+// itself is exercised in service_concurrency_test.cpp.
+#include "service/fleet_service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/pipeline.h"
+#include "core/report_io.h"
+
+namespace edx::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+power::UtilizationSample sample(TimestampMs timestamp, double power) {
+  power::UtilizationSample s;
+  s.timestamp = timestamp;
+  s.estimated_app_power_mw = power;
+  return s;
+}
+
+/// Fig. 6 walkthrough fixture (same construction as
+/// fleet_analyzer_test.cpp); `variant` perturbs powers so a re-upload
+/// is distinguishable from the first upload.
+trace::TraceBundle make_trace(UserId user, bool with_abd, int variant = 0) {
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  const int events = 12;
+  int triangle_at = with_abd ? 6 : -1;
+  for (int i = 0; i < events; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    std::string name = (i % 2 == 0) ? "circle" : "square";
+    if (i == triangle_at) name = "triangle";
+    bundle.events.add_instance(name, {t + 10, t + 40});
+
+    double power = (i % 2 == 0) ? 100.0 : 400.0;
+    if (i == triangle_at) power = 150.0;
+    if (with_abd && i >= triangle_at) power += 500.0;
+    power += 3.0 * ((user * 7 + i * 13 + variant * 17) % 5);
+    samples.push_back(sample(t + 500, power));
+    samples.push_back(sample(t + 1000, power));
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+core::AnalysisConfig make_config() {
+  core::AnalysisConfig config;
+  config.reporting.window_size = 2;
+  config.reporting.developer_reported_fraction = 0.25;
+  config.num_threads = 1;
+  return config;
+}
+
+ServiceOptions make_options(std::size_t shards,
+                            bool self_estimate = false) {
+  ServiceOptions options;
+  options.num_shards = shards;
+  options.analysis = make_config();
+  options.self_estimate_fraction = self_estimate;
+  return options;
+}
+
+/// Renders a published image exactly as report() does (text + JSON), so
+/// tests compare full bytes, not summaries.
+std::string render_image(const core::FleetAnalyzer::SnapshotImage& image) {
+  core::ReportRenderOptions options;
+  options.developer_reported_fraction = image.reported_fraction;
+  return core::report_to_text(image.report, nullptr, options) +
+         core::report_to_json(image.report, nullptr, options);
+}
+
+/// The single-threaded reference: batch-run the arrival sequence with
+/// per-user last-write-wins, then render under the same fraction policy
+/// the service uses.
+std::string batch_reference(std::span<const trace::TraceBundle> arrivals,
+                            const core::AnalysisConfig& config,
+                            bool self_estimate) {
+  std::vector<trace::TraceBundle> latest;
+  for (const trace::TraceBundle& bundle : arrivals) {
+    bool replaced = false;
+    for (trace::TraceBundle& existing : latest) {
+      if (existing.fleet_key() == bundle.fleet_key()) {
+        existing = bundle;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) latest.push_back(bundle);
+  }
+  const core::ManifestationAnalyzer analyzer(config);
+  const core::AnalysisResult result = analyzer.run(latest);
+  core::FleetAnalyzer::SnapshotImage image;
+  image.report = result.report;
+  image.reported_fraction = config.reporting.developer_reported_fraction;
+  if (self_estimate) {
+    const double fraction =
+        result.report.total_traces == 0
+            ? 0.0
+            : static_cast<double>(result.report.traces_with_manifestation) /
+                  static_cast<double>(result.report.total_traces);
+    core::ReportingConfig reporting = config.reporting;
+    reporting.developer_reported_fraction = fraction;
+    image.reported_fraction = fraction;
+    image.report = core::report_problematic_events(result.traces, reporting);
+  }
+  return render_image(image);
+}
+
+TEST(FleetServiceTest, SingleWriterPrefixEquivalenceAcrossShardCounts) {
+  std::vector<trace::TraceBundle> arrivals;
+  for (UserId user = 0; user < 10; ++user) {
+    arrivals.push_back(make_trace(user, /*with_abd=*/user % 3 == 1));
+  }
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    FleetService service(make_options(shards));
+    service.open("app");
+    std::uint64_t last_epoch = 0;
+    for (std::size_t n = 0; n < arrivals.size(); ++n) {
+      service.submit("app", arrivals[n]);
+      service.drain();
+      const auto snap = service.snapshot("app");
+      ASSERT_NE(snap, nullptr);
+      EXPECT_EQ(snap->image->arrivals, n + 1);
+      EXPECT_EQ(snap->image->fleet_size, n + 1);
+      EXPECT_GT(snap->epoch, last_epoch);
+      last_epoch = snap->epoch;
+      EXPECT_EQ(render_image(*snap->image),
+                batch_reference(std::span(arrivals.data(), n + 1),
+                                make_config(), /*self_estimate=*/false))
+          << "prefix=" << n + 1;
+    }
+  }
+}
+
+TEST(FleetServiceTest, SelfEstimatedFractionMatchesBatchRecipe) {
+  std::vector<trace::TraceBundle> arrivals;
+  for (UserId user = 0; user < 8; ++user) {
+    arrivals.push_back(make_trace(user, /*with_abd=*/user % 4 == 1));
+  }
+  FleetService service(make_options(2, /*self_estimate=*/true));
+  service.submit_batch("app", arrivals);
+  service.drain();
+  const auto snap = service.snapshot("app");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GT(snap->image->reported_fraction, 0.0);
+  EXPECT_EQ(render_image(*snap->image),
+            batch_reference(arrivals, make_config(), /*self_estimate=*/true));
+  // report() renders the same image (text form is the prefix of
+  // render_image's text + JSON concatenation).
+  EXPECT_TRUE(render_image(*snap->image).starts_with(service.report("app")));
+}
+
+TEST(FleetServiceTest, MultiAppConcurrentWritersMatchAppliedOrderBatch) {
+  const std::vector<AppKey> apps = {"mail", "maps", "podcast"};
+  // Per app: first uploads for 6 users, then re-uploads flipping some of
+  // them — the interleaved multi-tenant traffic shape.
+  std::vector<std::pair<AppKey, trace::TraceBundle>> stream;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (UserId user = 0; user < 6; ++user) {
+      for (std::size_t a = 0; a < apps.size(); ++a) {
+        const bool abd = pass == 0 ? (user + a) % 3 == 0 : (user + a) % 2 == 0;
+        stream.emplace_back(apps[a],
+                            make_trace(user, abd, /*variant=*/pass * 3 +
+                                                      static_cast<int>(a)));
+      }
+    }
+  }
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    FleetService service(make_options(shards));
+    for (const AppKey& app : apps) service.open(app);
+
+    // Two writers split the stream.  Cross-writer interleaving can apply
+    // a user's pass-2 re-upload before their pass-1 upload — the contract
+    // only promises equivalence to a batch over the order actually
+    // applied, which applied_log() records.
+    std::mutex ids_mutex;
+    std::map<std::uint64_t, const std::pair<AppKey, trace::TraceBundle>*>
+        by_id;
+    std::vector<std::thread> writers;
+    for (std::size_t w = 0; w < 2; ++w) {
+      writers.emplace_back([&, w] {
+        for (std::size_t i = w; i < stream.size(); i += 2) {
+          const std::uint64_t id =
+              service.submit(stream[i].first, stream[i].second);
+          std::lock_guard<std::mutex> lock(ids_mutex);
+          by_id[id] = &stream[i];
+        }
+      });
+    }
+    for (std::thread& writer : writers) writer.join();
+    service.drain();
+
+    for (const AppKey& app : apps) {
+      SCOPED_TRACE("app=" + app);
+      std::vector<trace::TraceBundle> applied;
+      for (const std::uint64_t id : service.applied_log(app)) {
+        const auto* entry = by_id.at(id);
+        ASSERT_EQ(entry->first, app);
+        applied.push_back(entry->second);
+      }
+      ASSERT_EQ(applied.size(), stream.size() / apps.size());
+      const auto snap = service.snapshot(app);
+      ASSERT_NE(snap, nullptr);
+      EXPECT_EQ(snap->image->arrivals, applied.size());
+      EXPECT_EQ(snap->image->fleet_size, 6u);
+      EXPECT_EQ(render_image(*snap->image),
+                batch_reference(applied, make_config(),
+                                /*self_estimate=*/false));
+    }
+  }
+}
+
+TEST(FleetServiceTest, HotFanoutKeepsPerUserOrderAndMatchesBatch) {
+  ServiceOptions options = make_options(4);
+  options.hot_fanout = 4;
+  options.hot_apps = {"hot"};
+  FleetService service(options);
+
+  std::vector<trace::TraceBundle> arrivals;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (UserId user = 0; user < 8; ++user) {
+      arrivals.push_back(
+          make_trace(user, /*with_abd=*/(user + pass) % 3 == 0, pass));
+    }
+  }
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    index_of[service.submit("hot", arrivals[i])] = i;
+  }
+  service.drain();
+
+  // Fan-out may interleave different users, but each user's three
+  // uploads must apply in submission order (same key -> same shard).
+  const std::vector<std::uint64_t> log = service.applied_log("hot");
+  ASSERT_EQ(log.size(), arrivals.size());
+  std::map<UserId, std::size_t> last_seen;
+  std::vector<trace::TraceBundle> applied;
+  for (const std::uint64_t id : log) {
+    const std::size_t index = index_of.at(id);
+    const UserId user = arrivals[index].fleet_key();
+    if (last_seen.count(user)) EXPECT_GT(index, last_seen[user]);
+    last_seen[user] = index;
+    applied.push_back(arrivals[index]);
+  }
+
+  const auto snap = service.snapshot("hot");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->image->fleet_size, 8u);
+  EXPECT_EQ(render_image(*snap->image),
+            batch_reference(applied, make_config(), /*self_estimate=*/false));
+}
+
+TEST(FleetServiceTest, SubmitBatchMatchesPerBundleSubmits) {
+  std::vector<trace::TraceBundle> arrivals;
+  for (UserId user = 0; user < 7; ++user) {
+    arrivals.push_back(make_trace(user, /*with_abd=*/user % 2 == 0));
+  }
+  FleetService batch_service(make_options(2));
+  const std::vector<std::uint64_t> ids =
+      batch_service.submit_batch("app", arrivals);
+  ASSERT_EQ(ids.size(), arrivals.size());
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+  batch_service.drain();
+
+  FleetService single_service(make_options(2));
+  for (const trace::TraceBundle& bundle : arrivals) {
+    single_service.submit("app", bundle);
+  }
+  single_service.drain();
+
+  EXPECT_EQ(render_image(*batch_service.snapshot("app")->image),
+            render_image(*single_service.snapshot("app")->image));
+}
+
+TEST(FleetServiceTest, StoreBackedTenantRecoversAndPublishesOnOpen) {
+  const std::string root =
+      ::testing::TempDir() + "/edx_service_store_recovery";
+  fs::remove_all(root);
+
+  std::vector<trace::TraceBundle> first, second;
+  for (UserId user = 0; user < 6; ++user) {
+    first.push_back(make_trace(user, /*with_abd=*/user % 3 == 0));
+  }
+  for (UserId user = 6; user < 9; ++user) {
+    second.push_back(make_trace(user, /*with_abd=*/user == 7));
+  }
+
+  ServiceOptions options = make_options(2);
+  options.store_root = root;
+  {
+    FleetService service(options);
+    service.submit_batch("app", first);
+    service.drain();
+    const ServiceStats stats = service.stats();
+    ASSERT_EQ(stats.per_app.size(), 1u);
+    EXPECT_EQ(stats.per_app[0].store_last_seq, first.size());
+  }  // destructor drains and joins; the WAL holds all six uploads
+
+  FleetService restarted(options);
+  restarted.open("app");
+  // Recovery publishes the pre-restart fleet before any new arrival.
+  const auto recovered = restarted.snapshot("app");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->image->arrivals, first.size());
+  EXPECT_EQ(recovered->image->fleet_size, first.size());
+  EXPECT_EQ(render_image(*recovered->image),
+            batch_reference(first, make_config(), /*self_estimate=*/false));
+
+  restarted.submit_batch("app", second);
+  restarted.drain();
+  std::vector<trace::TraceBundle> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+  EXPECT_EQ(render_image(*restarted.snapshot("app")->image),
+            batch_reference(all, make_config(), /*self_estimate=*/false));
+  EXPECT_EQ(restarted.stats().per_app[0].store_last_seq, all.size());
+}
+
+TEST(FleetServiceTest, ErrorAndEmptyStates) {
+  FleetService service(make_options(1));
+  EXPECT_THROW(service.snapshot("unknown"), edx::InvalidArgument);
+  EXPECT_THROW(service.report("unknown"), edx::InvalidArgument);
+  EXPECT_THROW(service.applied_log("unknown"), edx::InvalidArgument);
+
+  service.open("app");
+  service.open("app");  // idempotent
+  EXPECT_EQ(service.snapshot("app"), nullptr);  // nothing published yet
+  EXPECT_THROW(service.report("app"), edx::AnalysisError);
+
+  // submit() auto-opens unknown tenants.
+  service.submit("fresh", make_trace(0, true));
+  service.drain();
+  EXPECT_NE(service.snapshot("fresh"), nullptr);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.apps, 2u);
+  EXPECT_EQ(stats.submitted, 1u);
+  ASSERT_EQ(stats.per_app.size(), 2u);
+  EXPECT_EQ(stats.per_app[0].app, "app");  // sorted by key
+  EXPECT_EQ(stats.per_app[1].app, "fresh");
+  EXPECT_EQ(stats.per_app[1].submitted, 1u);
+  EXPECT_EQ(stats.per_app[1].applied, 1u);
+  EXPECT_GE(stats.per_app[1].epoch, 1u);
+}
+
+TEST(FleetServiceTest, DefaultsResolveShardsAndNormalizeConfig) {
+  FleetService service{};  // all defaults: auto shard count
+  EXPECT_GE(service.options().num_shards, 1u);
+  EXPECT_LE(service.options().num_shards, 4u);
+  // AnalysisConfig's "0 = one per core" is normalized to sequential:
+  // parallelism lives across shards, not inside one tenant's snapshot.
+  EXPECT_EQ(service.options().analysis.num_threads, 1u);
+}
+
+}  // namespace
+}  // namespace edx::service

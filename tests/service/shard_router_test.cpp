@@ -1,0 +1,93 @@
+// ShardRouter: deterministic placement, per-key stability, and sane
+// spread — the properties the FleetService equivalence proof leans on
+// (see service/shard_router.h).
+#include "service/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace edx::service {
+namespace {
+
+TEST(ShardRouterTest, RejectsZeroShardsAndClampsFanout) {
+  EXPECT_THROW(ShardRouter(0, 1), edx::InvalidArgument);
+
+  // Fan-out is clamped to the shard count; 0 and 1 both mean "off".
+  EXPECT_EQ(ShardRouter(2, 8).hot_fanout(), 2u);
+  EXPECT_EQ(ShardRouter(4, 0).hot_fanout(), 1u);
+  EXPECT_EQ(ShardRouter(4, 1).hot_fanout(), 1u);
+  EXPECT_EQ(ShardRouter(8, 3).hot_fanout(), 3u);
+}
+
+TEST(ShardRouterTest, HomeShardIsDeterministicAndInRange) {
+  const ShardRouter router(5, 1);
+  for (const std::string app : {"app-1", "app-2", "com.example.mail", ""}) {
+    const std::size_t home = router.home_shard(app);
+    EXPECT_LT(home, 5u);
+    // Pure function of the key: stable across calls and router instances.
+    EXPECT_EQ(home, router.home_shard(app));
+    EXPECT_EQ(home, ShardRouter(5, 1).home_shard(app));
+  }
+  // Router state does not leak between different shard counts: the same
+  // key maps through hash mod num_shards.
+  EXPECT_EQ(ShardRouter(1, 1).home_shard("app-1"), 0u);
+}
+
+TEST(ShardRouterTest, ColdRouteIgnoresFleetKey) {
+  const ShardRouter router(4, 4);
+  const std::size_t home = router.home_shard("app-7");
+  for (UserId user = 0; user < 64; ++user) {
+    EXPECT_EQ(router.route("app-7", user, /*hot=*/false), home);
+  }
+}
+
+TEST(ShardRouterTest, HotRouteIsPerKeyStableAndContiguous) {
+  const ShardRouter router(8, 4);
+  const std::size_t home = router.home_shard("hot-app");
+  std::set<std::size_t> used;
+  for (UserId user = 0; user < 256; ++user) {
+    const std::size_t shard = router.route("hot-app", user, /*hot=*/true);
+    // Same key -> same shard, always (re-uploads stay totally ordered).
+    EXPECT_EQ(shard, router.route("hot-app", user, /*hot=*/true));
+    // Fan-out stays inside the app's window of consecutive shards.
+    const std::size_t lane = (shard + 8 - home % 8) % 8;
+    EXPECT_LT(lane, 4u);
+    used.insert(shard);
+  }
+  // 256 well-mixed keys over 4 lanes should touch every lane.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardRouterTest, LaneOfCoversRangeRoughlyUniformly) {
+  const ShardRouter router(4, 4);
+  std::vector<int> counts(4, 0);
+  const int keys = 4000;
+  for (UserId user = 0; user < keys; ++user) {
+    const std::size_t lane = router.lane_of(user);
+    ASSERT_LT(lane, 4u);
+    ++counts[lane];
+  }
+  // splitmix64 + multiply-shift: each lane should get 1000 +- 25%.
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_GT(counts[lane], keys / 4 * 3 / 4) << "lane " << lane;
+    EXPECT_LT(counts[lane], keys / 4 * 5 / 4) << "lane " << lane;
+  }
+}
+
+TEST(ShardRouterTest, HomeShardsSpreadAcrossShards) {
+  const ShardRouter router(8, 1);
+  std::set<std::size_t> used;
+  for (int app = 0; app < 64; ++app) {
+    used.insert(router.home_shard("app-" + std::to_string(app)));
+  }
+  // 64 FNV-hashed keys over 8 shards: every shard should host someone.
+  EXPECT_EQ(used.size(), 8u);
+}
+
+}  // namespace
+}  // namespace edx::service

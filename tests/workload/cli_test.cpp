@@ -135,7 +135,7 @@ TEST(CliTest, MalformedBundleExitsThree) {
   EXPECT_EQ(run({"analyze", dir}, out, err), 3);
 }
 
-TEST(CliTest, FlagAndPositionalFormsProduceIdenticalReports) {
+TEST(CliTest, AnalyzePositionalOptionsAreRemoved) {
   const std::string dir = temp_dir("parity");
   std::ostringstream log;
   ASSERT_EQ(cmd_simulate(18, dir, /*users=*/12, /*seed=*/7, log), 0);
@@ -144,37 +144,36 @@ TEST(CliTest, FlagAndPositionalFormsProduceIdenticalReports) {
   ASSERT_EQ(run({"analyze", dir, "--app", "18", "--reported-fraction", "0.2"},
                 flag_out, flag_err),
             0);
-  EXPECT_EQ(flag_err.str().find("deprecated"), std::string::npos);
-
-  std::ostringstream pos_out, pos_err;
-  ASSERT_EQ(run({"analyze", dir, "18", "0.2"}, pos_out, pos_err), 0);
-  EXPECT_NE(pos_err.str().find("deprecated"), std::string::npos);
-
-  EXPECT_EQ(flag_out.str(), pos_out.str());
   EXPECT_NE(flag_out.str().find("Tinfoil"), std::string::npos);
+
+  // The pre-redesign positional form (deprecated-with-a-warning since
+  // PR 3) is now a hard usage error naming the --flag migration.
+  std::ostringstream pos_out, pos_err;
+  EXPECT_EQ(run({"analyze", dir, "18", "0.2"}, pos_out, pos_err), 2);
+  EXPECT_NE(pos_err.str().find("positional option arguments were removed"),
+            std::string::npos);
+  EXPECT_NE(pos_err.str().find("--reported-fraction"), std::string::npos);
 }
 
-TEST(CliTest, SimulatePositionalUsersSeedStillAccepted) {
+TEST(CliTest, SimulatePositionalUsersSeedRejected) {
   const std::string flag_dir = temp_dir("sim_flags");
   const std::string pos_dir = temp_dir("sim_positional");
   std::ostringstream flag_out, flag_err, pos_out, pos_err;
   ASSERT_EQ(run({"simulate", "5", flag_dir, "--users", "8", "--seed", "9"},
                 flag_out, flag_err),
             0);
-  ASSERT_EQ(run({"simulate", "5", pos_dir, "8", "9"}, pos_out, pos_err), 0);
-  EXPECT_NE(pos_err.str().find("deprecated"), std::string::npos);
+  EXPECT_EQ(run({"simulate", "5", pos_dir, "8", "9"}, pos_out, pos_err), 2);
+  EXPECT_NE(pos_err.str().find("positional option arguments were removed"),
+            std::string::npos);
+  EXPECT_NE(pos_err.str().find("--users"), std::string::npos);
+  // The rejected invocation did nothing.
+  EXPECT_FALSE(fs::exists(pos_dir + "/bundle_0.txt"));
 
-  // Same population either way: identical bundle files.
-  for (const auto& entry : fs::directory_iterator(flag_dir)) {
-    const std::string name = entry.path().filename().string();
-    std::ifstream a(entry.path());
-    std::ifstream b(pos_dir + "/" + name);
-    ASSERT_TRUE(b.good()) << name;
-    std::stringstream sa, sb;
-    sa << a.rdbuf();
-    sb << b.rdbuf();
-    EXPECT_EQ(sa.str(), sb.str()) << name;
-  }
+  // verify and gen-training lost their trailing positionals the same way.
+  std::ostringstream err2;
+  EXPECT_EQ(run({"verify", "5", "8", "9"}, pos_out, err2), 2);
+  EXPECT_EQ(run({"gen-training", "Nexus 6", "/tmp/x.csv", "4"}, pos_out, err2),
+            2);
 }
 
 TEST(CliTest, IncrementalAnalyzeMatchesBatchAndEmitsIntermediates) {
@@ -433,6 +432,43 @@ TEST(CliTest, AnalyzeRejectsEmptyDirectory) {
   std::ostringstream report;
   EXPECT_THROW(cmd_analyze(dir, AnalyzeOptions{}, report),
                edx::InvalidArgument);
+}
+
+TEST(CliTest, ServeReportMatchesAnalyzePerApp) {
+  // The service's headline contract at the CLI surface: each tenant's
+  // report body under concurrent sharded ingest is byte-identical to a
+  // plain `analyze` over the same simulated population.
+  const std::string dir5 = temp_dir("serve_app5");
+  const std::string dir18 = temp_dir("serve_app18");
+  std::ostringstream log, err;
+  ASSERT_EQ(run({"simulate", "5", dir5, "--users", "10", "--seed", "7"}, log,
+                err),
+            0);
+  ASSERT_EQ(run({"simulate", "18", dir18, "--users", "10", "--seed", "7"},
+                log, err),
+            0);
+  std::ostringstream ref5, ref18;
+  ASSERT_EQ(run({"analyze", dir5}, ref5, err), 0);
+  ASSERT_EQ(run({"analyze", dir18}, ref18, err), 0);
+
+  std::ostringstream serve_out;
+  ASSERT_EQ(run({"serve", "--apps", "5,18", "--users", "10", "--seed", "7",
+                 "--shards", "2", "--writers", "2"},
+                serve_out, err),
+            0);
+  const std::string text = serve_out.str();
+  EXPECT_NE(text.find("served 2 app(s)"), std::string::npos);
+  EXPECT_NE(text.find("== app-5 "), std::string::npos);
+  EXPECT_NE(text.find(ref5.str()), std::string::npos);
+  EXPECT_NE(text.find(ref18.str()), std::string::npos);
+}
+
+TEST(CliTest, ServeUsageErrors) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({"serve"}, out, err), 2);  // no --apps
+  EXPECT_EQ(run({"serve", "--apps", "1,,2"}, out, err), 2);
+  EXPECT_EQ(run({"serve", "5"}, out, err), 2);  // positional operand
+  EXPECT_EQ(run({"bench-serve"}, out, err), 2);
 }
 
 }  // namespace

@@ -36,6 +36,15 @@ for cross-machine slack), and cold BM_StoreRecover on a >= 8-segment
 store must be >= 2x faster at 8 decode threads than at 1 — the latter
 only on machines with >= 8 cores (parallel speedup does not exist on
 fewer).
+
+Service benchmarks (feed a bench_service results file) add two gates:
+the best multi-app (>= 3 tenants) BM_ServiceIngest configuration must
+sustain "service_ingest_floor_arrivals_per_second" (divided by the
+threshold, like the store floor), and every BM_ServiceIngest run's
+staleness_p99 counter must stay at or below
+"service_p99_staleness_max_arrivals" — snapshot staleness is bounded by
+queue capacity plus the in-flight batch per shard, a configuration
+bound rather than a machine speed, so it gates absolutely.
 """
 
 import argparse
@@ -47,7 +56,8 @@ import sys
 # Benchmarks whose final path component is a thread count; only
 # comparable on a machine with the baseline's core count.
 THREAD_AXIS = re.compile(r"^BM_FullPipeline/\d+/\d+/\d+"
-                         r"|^BM_StoreRecover/\d+/\d+")
+                         r"|^BM_StoreRecover/\d+/\d+"
+                         r"|^BM_ServiceIngest/\d+/\d+/\d+")
 
 # Benchmarks whose single argument is the instance count of one trace;
 # per-instance cost across adjacent sizes must stay near-flat.
@@ -60,14 +70,28 @@ SIZE_AXIS = re.compile(r"^(BM_Step4DetectionSize)/(\d+)$")
 INGEST_GROUP = re.compile(r"^BM_StoreIngest/\d+/1/\d+$")
 RECOVER_AXIS = re.compile(r"^BM_StoreRecover/(\d+)/(\d+)$")
 
+# Service benchmarks: BM_ServiceIngest/<apps>/<users>/<shards> (an
+# optional /real_time suffix marks the UseRealTime axis); items/s =
+# arrivals/s and the staleness_p99 counter is in arrivals.
+SERVICE_INGEST = re.compile(
+    r"^BM_ServiceIngest/(\d+)/(\d+)/(\d+)(?:/real_time)?$")
+
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Per-benchmark JSON fields that are not user counters.
+STANDARD_FIELDS = frozenset({
+    "real_time", "cpu_time", "iterations", "repetition_index",
+    "repetitions", "family_index", "per_family_instance_index", "threads",
+    "items_per_second", "bytes_per_second",
+})
 
 
 def load_baselines(path):
     with open(path) as fh:
         doc = json.load(fh)
     baselines = {}
-    for section in ("current_ns", "fleet_incremental_ns", "store_ns"):
+    for section in ("current_ns", "fleet_incremental_ns", "store_ns",
+                    "service_ns"):
         for name, value in doc.get(section, {}).items():
             if isinstance(value, (int, float)):
                 baselines[name] = float(value)
@@ -77,7 +101,7 @@ def load_baselines(path):
 def load_results(path):
     with open(path) as fh:
         doc = json.load(fh)
-    results, rates = {}, {}
+    results, rates, counters = {}, {}, {}
     for entry in doc.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
@@ -89,7 +113,15 @@ def load_results(path):
             float(entry["real_time"]) * scale
         if isinstance(entry.get("items_per_second"), (int, float)):
             rates[entry["name"]] = float(entry["items_per_second"])
-    return results, rates
+        # User counters (e.g. BM_ServiceIngest's staleness_p99) appear as
+        # extra numeric fields on the entry.  Repetitions share a name;
+        # keep the worst (largest) value so the gate sees the bad run.
+        for key, value in entry.items():
+            if key in STANDARD_FIELDS or not isinstance(value, (int, float)):
+                continue
+            slot = counters.setdefault(entry["name"], {})
+            slot[key] = max(slot.get(key, float("-inf")), float(value))
+    return results, rates, counters
 
 
 def size_axis_pairs(results):
@@ -122,7 +154,7 @@ def main():
     args = parser.parse_args()
 
     doc, baselines = load_baselines(args.baseline)
-    results, rates = load_results(args.results)
+    results, rates, counters = load_results(args.results)
     baseline_cores = doc.get("machine", {}).get("cores")
     cores = os.cpu_count()
 
@@ -206,7 +238,49 @@ def main():
         print(f"{flag:>10}  BM_StoreRecover/{segments}: cold recovery "
               f"x{speedup:.2f} at {top} threads vs 1 (need >= 2.0)")
 
-    if not checked and not pairs and not ingest_checked and not recover:
+    # Service ingest floor: the best multi-app (>= 3 tenant)
+    # BM_ServiceIngest configuration must sustain the committed
+    # arrivals/s floor, with the same cross-machine slack.
+    service_failures, service_checked = [], []
+    service_floor = doc.get("service_ingest_floor_arrivals_per_second")
+    if service_floor:
+        multi_app = {}
+        for name, rate in rates.items():
+            match = SERVICE_INGEST.match(name)
+            if match and int(match.group(1)) >= 3:
+                multi_app[name] = rate
+        if multi_app:
+            name, best = max(multi_app.items(), key=lambda kv: kv[1])
+            need = float(service_floor) / args.threshold
+            flag = "ok" if best >= need else "REGRESSION"
+            if best < need:
+                service_failures.append((name, best))
+            service_checked.append(name)
+            print(f"{flag:>10}  {name}: {best / 1e3:.1f}k arrivals/s "
+                  f"(floor {float(service_floor) / 1e3:.0f}k / threshold "
+                  f"{args.threshold} = {need / 1e3:.1f}k)")
+
+    # Snapshot-staleness ceiling: p99 staleness (in arrivals) is bounded
+    # by queue capacity + the in-flight batch per shard — a configuration
+    # bound, not a machine speed — so it gates absolutely on every run.
+    staleness_failures, staleness_checked = [], 0
+    staleness_max = doc.get("service_p99_staleness_max_arrivals")
+    if staleness_max is not None:
+        for name in sorted(counters):
+            if not SERVICE_INGEST.match(name):
+                continue
+            p99 = counters[name].get("staleness_p99")
+            if p99 is None:
+                continue
+            staleness_checked += 1
+            flag = "ok" if p99 <= float(staleness_max) else "UNBOUNDED"
+            if p99 > float(staleness_max):
+                staleness_failures.append((name, p99))
+            print(f"{flag:>10}  {name}: staleness p99 {p99:.0f} arrivals "
+                  f"(ceiling {float(staleness_max):.0f})")
+
+    if (not checked and not pairs and not ingest_checked and not recover
+            and not service_checked and not staleness_checked):
         print("perf_smoke: no overlapping benchmarks between baseline and "
               "results", file=sys.stderr)
         return 1
@@ -227,11 +301,22 @@ def main():
         print(f"perf_smoke: parallel recovery scaled less than 2x at 8 "
               f"threads", file=sys.stderr)
         return 1
+    if service_failures:
+        print(f"perf_smoke: service ingest fell below the "
+              f"{float(service_floor):.0f} arrivals/s floor",
+              file=sys.stderr)
+        return 1
+    if staleness_failures:
+        print(f"perf_smoke: {len(staleness_failures)} service run(s) "
+              f"exceeded the p99 staleness ceiling of "
+              f"{float(staleness_max):.0f} arrivals", file=sys.stderr)
+        return 1
     print(f"perf_smoke: {len(checked)} benchmark(s) within "
           f"{args.threshold}x of baseline; {len(pairs)} size-axis pair(s) "
           f"within {args.size_axis_factor}x per-instance growth; "
-          f"{len(ingest_checked)} ingest floor(s) and {recover_pairs} "
-          f"recovery-scaling pair(s) checked")
+          f"{len(ingest_checked)} ingest floor(s), {recover_pairs} "
+          f"recovery-scaling pair(s), {len(service_checked)} service "
+          f"floor(s), and {staleness_checked} staleness ceiling(s) checked")
     return 0
 
 
