@@ -17,13 +17,13 @@
 //         really ran concurrently).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "service/fleet_service.h"
 #include "trace/recorder.h"
 
@@ -74,7 +74,7 @@ void BM_ServiceIngest(benchmark::State& state) {
         synthetic_bundles(users, kEvents, /*seed=*/7 + a));
   }
 
-  std::vector<std::uint64_t> staleness;
+  common::LatencyHistogram staleness;
   std::uint64_t reader_loads = 0;
   for (auto _ : state) {
     state.PauseTiming();
@@ -85,7 +85,7 @@ void BM_ServiceIngest(benchmark::State& state) {
     for (const std::string& key : keys) service->open(key);
 
     std::atomic<bool> stop{false};
-    std::vector<std::vector<std::uint64_t>> lanes(kReaders);
+    std::vector<common::LatencyHistogram> lanes(kReaders);
     std::vector<std::uint64_t> loads(kReaders, 0);
     std::vector<std::thread> readers;
     for (std::size_t r = 0; r < kReaders; ++r) {
@@ -96,7 +96,7 @@ void BM_ServiceIngest(benchmark::State& state) {
             // The two counters are sampled independently; skip the
             // transient where a publication lands between the loads.
             if (row.submitted >= row.published_arrivals) {
-              lanes[r].push_back(row.submitted - row.published_arrivals);
+              lanes[r].record(row.submitted - row.published_arrivals);
             }
           }
           for (const std::string& key : keys) {
@@ -120,7 +120,7 @@ void BM_ServiceIngest(benchmark::State& state) {
     stop.store(true, std::memory_order_relaxed);
     for (std::thread& reader : readers) reader.join();
     for (std::size_t r = 0; r < kReaders; ++r) {
-      staleness.insert(staleness.end(), lanes[r].begin(), lanes[r].end());
+      staleness.merge(lanes[r]);
       reader_loads += loads[r];
     }
     service.reset();
@@ -129,16 +129,9 @@ void BM_ServiceIngest(benchmark::State& state) {
 
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(apps) * users);
-  std::sort(staleness.begin(), staleness.end());
-  const auto percentile = [&staleness](double p) -> double {
-    if (staleness.empty()) return 0.0;
-    const double rank = p * static_cast<double>(staleness.size() - 1);
-    return static_cast<double>(
-        staleness[static_cast<std::size_t>(rank + 0.5)]);
-  };
-  state.counters["staleness_p99"] = percentile(0.99);
-  state.counters["staleness_max"] =
-      staleness.empty() ? 0.0 : static_cast<double>(staleness.back());
+  state.counters["staleness_p99"] =
+      static_cast<double>(staleness.value_at_percentile(99.0));
+  state.counters["staleness_max"] = static_cast<double>(staleness.max());
   state.counters["reader_loads"] = static_cast<double>(reader_loads);
 }
 BENCHMARK(BM_ServiceIngest)

@@ -1,0 +1,90 @@
+#include "common/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace edx::common {
+
+namespace {
+
+/// Buckets: values < 2^kSubBits map exactly (one value per bucket); a
+/// value with most-significant bit m >= kSubBits keeps its top kSubBits
+/// mantissa bits, discarding m - kSubBits low bits.  Index layout:
+/// [0, 2^kSubBits) exact, then one 2^kSubBits-wide group per discarded
+/// shift amount.
+constexpr int kSubBits = LatencyHistogram::kSubBits;
+constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
+// Max shift for a 63-bit value (kMaxValue = 2^62): msb 62 -> shift 56;
+// one spare group absorbs the clamp.
+constexpr std::size_t kBucketCount = kSubCount * (64 - kSubBits);
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kBucketCount, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  return (static_cast<std::size_t>(shift) + 1) * kSubCount +
+         static_cast<std::size_t>((value >> shift) & (kSubCount - 1));
+}
+
+std::uint64_t LatencyHistogram::bucket_high(std::size_t index) {
+  if (index < kSubCount) return index;
+  const int shift = static_cast<int>(index / kSubCount) - 1;
+  const std::uint64_t base =
+      (kSubCount + (index & (kSubCount - 1))) << shift;
+  return base + ((std::uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  value = std::min(value, kMaxValue);
+  ++counts_[bucket_index(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::record_corrected(std::uint64_t value,
+                                        std::uint64_t expected_interval) {
+  record(value);
+  if (expected_interval == 0) return;
+  for (std::uint64_t missed = value;
+       missed >= 2 * expected_interval;) {  // next backfill still >= interval
+    missed -= expected_interval;
+    record(missed);
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t LatencyHistogram::value_at_percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double exact_rank = p / 100.0 * static_cast<double>(count_);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(exact_rank)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) return std::min(bucket_high(i), max_);
+  }
+  return max_;  // unreachable: cumulative reaches count_
+}
+
+double LatencyHistogram::mean() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace edx::common

@@ -1,0 +1,88 @@
+// HDR-style log-bucketed latency histogram.
+//
+// The loadgen driver (src/loadgen/) and the serve-mode benches need
+// p50..p99.9 over millions of per-op latencies without keeping every
+// sample.  A LatencyHistogram buckets non-negative integer values (the
+// caller picks the unit — microseconds for latencies, arrivals for
+// snapshot staleness) into log-linear buckets: exact below 2^kSubBits,
+// then 2^kSubBits sub-buckets per power of two, so every bucket spans at
+// most value/2^kSubBits and any reported percentile is within ~1/64
+// (1.6%) relative error of the exact order statistic (the bound
+// tests/common/latency_histogram_test.cpp pins against a sort).
+//
+// Concurrency model: the type itself is plain data and NOT internally
+// synchronized.  Writers record into a private per-thread shard — no
+// locks, no atomics, no false sharing on the hot path — and the owner
+// merge()s the shards afterwards.  merge is commutative and associative
+// (bucket counts add), so any merge tree yields identical percentiles.
+//
+// Coordinated omission: a closed-loop driver that measures latency from
+// the moment it *sent* a request under-reports queueing delay — while
+// one slow op is in flight, the ops that *should* have started go
+// unmeasured.  Two correctives, matching HdrHistogram practice:
+//   - open-loop drivers measure from the op's *intended* start time (the
+//     arrival-process timestamp), which folds the backlog into every
+//     sample; that is the loadgen driver's open-loop mode, no histogram
+//     support needed;
+//   - record_corrected(value, expected_interval) additionally backfills
+//     the samples a stalled closed loop swallowed: it records `value`,
+//     then value - interval, value - 2*interval, ... while the remainder
+//     still exceeds the expected inter-op interval.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edx::common {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave => worst-case
+  /// relative bucket width 2^-kSubBits (~1.6%).
+  static constexpr int kSubBits = 6;
+
+  LatencyHistogram();
+
+  /// Adds one sample.  Values saturate at kMaxValue (2^62), which still
+  /// buckets — no sample is ever dropped.
+  void record(std::uint64_t value);
+
+  /// record(value), then backfill the closed-loop samples a stall
+  /// swallowed: value - interval, value - 2*interval, ... while the
+  /// remainder is >= interval.  interval == 0 degenerates to record().
+  void record_corrected(std::uint64_t value, std::uint64_t expected_interval);
+
+  /// Adds every bucket of `other` into this histogram.  Commutative and
+  /// associative: any merge order produces identical state.
+  void merge(const LatencyHistogram& other);
+
+  /// The value at percentile `p` in [0, 100]: the upper bound of the
+  /// bucket holding the order statistic of rank ceil(p/100 * count),
+  /// clamped to the exact observed maximum (so p=100 is exact).  0 when
+  /// empty.
+  [[nodiscard]] std::uint64_t value_at_percentile(double p) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Exact observed extremes and mean (sum tracked exactly).
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const;
+
+  /// Largest recordable value; larger samples clamp here.
+  static constexpr std::uint64_t kMaxValue = std::uint64_t{1} << 62;
+
+ private:
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Largest value mapping to bucket `index` (the reported
+  /// representative — conservative for SLO checks).
+  static std::uint64_t bucket_high(std::size_t index);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{~std::uint64_t{0}};
+  std::uint64_t max_{0};
+};
+
+}  // namespace edx::common

@@ -1,0 +1,619 @@
+#include "loadgen/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One phase, resolved for execution: interpolation endpoints for the
+/// fleet bound plus either a per-stream op budget (fixed-ops mode) or a
+/// wall-clock duration (timed mode).
+struct PhasePlan {
+  std::string name;
+  double rate_scale{1.0};
+  double fleet_from{1.0};
+  double fleet_to{1.0};
+  std::uint64_t duration_ms{0};
+  std::uint64_t ops_per_stream{0};
+};
+
+std::vector<PhasePlan> plan_phases(const WorkloadSpec& spec,
+                                   const RunOptions& options) {
+  std::vector<PhaseSpec> phases = spec.phases;
+  if (phases.empty()) {
+    PhaseSpec steady;
+    steady.name = "steady";
+    steady.duration_ms =
+        options.duration_ms > 0 ? options.duration_ms : 1000;
+    phases.push_back(std::move(steady));
+  } else if (spec.ops_per_stream == 0 && options.duration_ms > 0) {
+    // Timed run with an explicit --duration: rescale the spec's phase
+    // shape to the requested total.
+    std::uint64_t total = 0;
+    for (const PhaseSpec& phase : phases) total += phase.duration_ms;
+    for (PhaseSpec& phase : phases) {
+      phase.duration_ms = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(
+                 static_cast<double>(phase.duration_ms) *
+                 static_cast<double>(options.duration_ms) /
+                 static_cast<double>(total))));
+    }
+  }
+
+  std::vector<PhasePlan> plan;
+  plan.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    PhasePlan p;
+    p.name = phases[i].name;
+    p.rate_scale = phases[i].rate_scale;
+    p.fleet_from = i == 0 ? phases[i].fleet_scale
+                          : phases[i - 1].fleet_scale;
+    p.fleet_to = phases[i].fleet_scale;
+    p.duration_ms = phases[i].duration_ms;
+    plan.push_back(std::move(p));
+  }
+
+  if (spec.ops_per_stream > 0) {
+    // Split the budget proportional to duration x rate_scale (a drain
+    // phase at rate 0 issues nothing); remainders go to the earliest
+    // phases so the split is deterministic.
+    double total_weight = 0.0;
+    for (const PhasePlan& p : plan) {
+      total_weight += static_cast<double>(p.duration_ms) * p.rate_scale;
+    }
+    std::uint64_t assigned = 0;
+    for (PhasePlan& p : plan) {
+      const double weight =
+          total_weight > 0.0
+              ? static_cast<double>(p.duration_ms) * p.rate_scale /
+                    total_weight
+              : 1.0 / static_cast<double>(plan.size());
+      p.ops_per_stream = static_cast<std::uint64_t>(
+          std::floor(weight * static_cast<double>(spec.ops_per_stream)));
+      assigned += p.ops_per_stream;
+    }
+    for (std::size_t i = 0; assigned < spec.ops_per_stream; ++i) {
+      PhasePlan& p = plan[i % plan.size()];
+      if (total_weight > 0.0 && p.rate_scale == 0.0) continue;
+      ++p.ops_per_stream;
+      ++assigned;
+    }
+  }
+  return plan;
+}
+
+/// Per-thread metric shard; merged after the join.
+struct MetricShard {
+  std::array<OpMetrics, kOpKindCount> per_op;
+  common::LatencyHistogram staleness;
+  std::vector<SubmissionRecord> submissions;
+};
+
+/// Everything one logical stream carries through the run.
+struct StreamState {
+  explicit StreamState(const WorkloadSpec& spec, std::size_t stream)
+      : ops(spec, stream),
+        pace(substream_seed(spec.seed, stream, /*salt=*/1)) {}
+
+  OpStream ops;
+  Rng pace;  ///< arrival gaps only; never touches op content
+  std::size_t phase{0};
+  std::uint64_t phase_ops{0};     ///< ops issued in the current phase
+  double intended_us{0.0};        ///< open loop: next intended start
+  bool done{false};
+};
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+class Driver {
+ public:
+  Driver(const WorkloadSpec& spec, service::FleetService& service,
+         const RunOptions& options)
+      : spec_(spec),
+        service_(service),
+        options_(options),
+        plan_(plan_phases(spec, options)) {
+    for (std::size_t a = 0; a < spec.apps; ++a) keys_.push_back(app_key(a));
+    total_duration_ms_ = 0;
+    for (const PhasePlan& p : plan_) total_duration_ms_ += p.duration_ms;
+  }
+
+  LoadReport run() {
+    for (const std::string& key : keys_) service_.open(key);
+
+    const std::size_t streams = spec_.streams;
+    std::size_t threads = options_.threads;
+    if (threads == 0) {
+      threads = std::max<std::size_t>(
+          1, std::min<std::size_t>(streams,
+                                   std::thread::hardware_concurrency()));
+    }
+    threads = std::min(threads, streams);
+
+    std::vector<MetricShard> shards(threads);
+    std::vector<std::vector<Op>> traces(options_.capture_ops ? streams : 0);
+
+    start_ = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([this, t, threads, &shards, &traces] {
+        worker(t, threads, shards[t], traces);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    service_.drain();
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+
+    LoadReport report;
+    report.workload = spec_.name;
+    report.threads = threads;
+    report.streams = streams;
+    report.arrival = spec_.arrival;
+    report.wall_seconds = wall_seconds;
+    for (MetricShard& shard : shards) {
+      for (std::size_t k = 0; k < kOpKindCount; ++k) {
+        report.per_op[k].issued += shard.per_op[k].issued;
+        report.per_op[k].completed += shard.per_op[k].completed;
+        report.per_op[k].failed += shard.per_op[k].failed;
+        report.per_op[k].latency_us.merge(shard.per_op[k].latency_us);
+      }
+      report.staleness_arrivals.merge(shard.staleness);
+      report.submissions.insert(report.submissions.end(),
+                                shard.submissions.begin(),
+                                shard.submissions.end());
+    }
+    report.op_trace = std::move(traces);
+    report.offered_ops_per_second = offered_rate();
+    report.achieved_ops_per_second =
+        wall_seconds > 0.0
+            ? static_cast<double>(report.total_completed()) / wall_seconds
+            : 0.0;
+    judge(report);
+    return report;
+  }
+
+ private:
+  [[nodiscard]] double offered_rate() const {
+    if (spec_.arrival == ArrivalMode::kClosed || total_duration_ms_ == 0) {
+      return 0.0;
+    }
+    double weighted = 0.0;
+    for (const PhasePlan& p : plan_) {
+      weighted += static_cast<double>(p.duration_ms) * p.rate_scale;
+    }
+    return spec_.rate * weighted / static_cast<double>(total_duration_ms_);
+  }
+
+  /// The fleet bound for the next op of `state` — op-index fraction in
+  /// fixed-ops mode (deterministic), wall-clock fraction in timed mode.
+  [[nodiscard]] double fleet_bound(const StreamState& state,
+                                   double elapsed_ms) const {
+    const PhasePlan& p = plan_[state.phase];
+    double frac = 1.0;
+    if (spec_.ops_per_stream > 0) {
+      frac = p.ops_per_stream == 0
+                 ? 1.0
+                 : static_cast<double>(state.phase_ops + 1) /
+                       static_cast<double>(p.ops_per_stream);
+    } else if (p.duration_ms > 0) {
+      double start_ms = 0.0;
+      for (std::size_t i = 0; i < state.phase; ++i) {
+        start_ms += static_cast<double>(plan_[i].duration_ms);
+      }
+      frac = (elapsed_ms - start_ms) / static_cast<double>(p.duration_ms);
+    }
+    return lerp(p.fleet_from, p.fleet_to, std::clamp(frac, 0.0, 1.0));
+  }
+
+  /// Executes one op for `state` and records it into `shard`.
+  /// `latency_from` is the op's measurement origin (intended start in
+  /// open loop, call start in closed loop).
+  void execute(StreamState& state, MetricShard& shard,
+               std::vector<std::vector<Op>>& traces, double fleet,
+               Clock::time_point latency_from) {
+    const Op op = state.ops.next(fleet);
+    if (options_.capture_ops) traces[state.ops.stream()].push_back(op);
+    const std::string& key = keys_[op.app];
+    OpMetrics& metrics = shard.per_op[static_cast<std::size_t>(op.kind)];
+    ++metrics.issued;
+    try {
+      switch (op.kind) {
+        case OpKind::kIngest:
+        case OpKind::kReupload: {
+          const std::uint64_t id = service_.submit(
+              key, synthetic_bundle(spec_, op.app, op.user, op.ordinal));
+          if (options_.capture_submissions) {
+            shard.submissions.push_back(
+                {id, op.app, op.user, op.ordinal});
+          }
+          break;
+        }
+        case OpKind::kSnapshot: {
+          const auto snapshot = service_.snapshot(key);
+          const service::AppServiceStats row = service_.app_stats(key);
+          // The two counters are sampled independently; skip the
+          // transient where a publication lands between the loads.
+          if (row.submitted >= row.published_arrivals) {
+            shard.staleness.record(row.submitted - row.published_arrivals);
+          }
+          break;
+        }
+        case OpKind::kReport: {
+          const std::string text = service_.report(key);
+          require(!text.empty(), "loadgen: empty report");
+          break;
+        }
+      }
+      ++metrics.completed;
+    } catch (const Error&) {
+      // Expected early in a run: report() before the first publication
+      // raises AnalysisError.  The op still consumed its latency.
+      ++metrics.failed;
+    }
+    const auto elapsed = Clock::now() - latency_from;
+    metrics.latency_us.record(static_cast<std::uint64_t>(std::max<long long>(
+        0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+               .count())));
+  }
+
+  /// Advances the stream's phase/budget bookkeeping after one op;
+  /// fixed-ops mode only.
+  void advance_fixed(StreamState& state) {
+    ++state.phase_ops;
+    while (state.phase < plan_.size() &&
+           state.phase_ops >= plan_[state.phase].ops_per_stream) {
+      ++state.phase;
+      state.phase_ops = 0;
+    }
+    if (state.phase >= plan_.size()) state.done = true;
+  }
+
+  /// Draws the next inter-arrival gap in microseconds for the stream's
+  /// current phase; infinity for a rate-0 phase.
+  [[nodiscard]] double arrival_gap_us(StreamState& state) const {
+    const PhasePlan& p = plan_[state.phase];
+    const double stream_rate =
+        spec_.rate * p.rate_scale / static_cast<double>(spec_.streams);
+    if (stream_rate <= 0.0) return -1.0;
+    const double mean_us = 1e6 / stream_rate;
+    return spec_.arrival == ArrivalMode::kOpenPoisson
+               ? state.pace.exponential(mean_us)
+               : mean_us;
+  }
+
+  void worker(std::size_t thread, std::size_t threads, MetricShard& shard,
+              std::vector<std::vector<Op>>& traces) {
+    std::vector<StreamState> mine;
+    for (std::size_t s = thread; s < spec_.streams; s += threads) {
+      mine.emplace_back(spec_, s);
+    }
+    if (mine.empty()) return;
+    if (spec_.ops_per_stream > 0) {
+      // Fixed-ops mode: start each stream in its first phase that owns
+      // any budget (a rate-0 warmup gets none).
+      for (StreamState& state : mine) {
+        while (state.phase < plan_.size() &&
+               plan_[state.phase].ops_per_stream == 0) {
+          ++state.phase;
+        }
+        if (state.phase >= plan_.size()) state.done = true;
+      }
+    }
+    if (spec_.arrival == ArrivalMode::kClosed) {
+      worker_closed(mine, shard, traces);
+    } else {
+      worker_open(mine, shard, traces);
+    }
+  }
+
+  void worker_closed(std::vector<StreamState>& mine, MetricShard& shard,
+                     std::vector<std::vector<Op>>& traces) {
+    const bool fixed = spec_.ops_per_stream > 0;
+    std::size_t live = mine.size();
+    while (live > 0) {
+      live = 0;
+      for (StreamState& state : mine) {
+        if (state.done) continue;
+        const auto now = Clock::now();
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(now - start_).count();
+        if (!fixed) {
+          // Timed: advance phases on the clock; a rate-0 phase (drain)
+          // issues nothing in closed mode too.
+          double end_ms = 0.0;
+          for (std::size_t i = 0; i <= state.phase; ++i) {
+            end_ms += static_cast<double>(plan_[i].duration_ms);
+          }
+          if (elapsed_ms >= end_ms) {
+            ++state.phase;
+            if (state.phase >= plan_.size()) {
+              state.done = true;
+              continue;
+            }
+          }
+          if (plan_[state.phase].rate_scale == 0.0) {
+            ++live;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+          }
+        }
+        execute(state, shard, traces, fleet_bound(state, elapsed_ms), now);
+        if (fixed) {
+          advance_fixed(state);
+        }
+        if (!state.done) ++live;
+      }
+    }
+  }
+
+  void worker_open(std::vector<StreamState>& mine, MetricShard& shard,
+                   std::vector<std::vector<Op>>& traces) {
+    const bool fixed = spec_.ops_per_stream > 0;
+    const double total_ms = static_cast<double>(total_duration_ms_);
+    // Prime every stream's first intended arrival.
+    for (StreamState& state : mine) {
+      if (state.done) continue;
+      const double gap = arrival_gap_us(state);
+      if (gap < 0.0) {
+        skip_rate0(state);
+        continue;
+      }
+      state.intended_us = gap;
+      clip_timed(state, total_ms, fixed);
+    }
+    while (true) {
+      StreamState* next = nullptr;
+      for (StreamState& state : mine) {
+        if (state.done) continue;
+        if (next == nullptr || state.intended_us < next->intended_us) {
+          next = &state;
+        }
+      }
+      if (next == nullptr) break;
+      const auto intended =
+          start_ + std::chrono::microseconds(
+                       static_cast<std::int64_t>(next->intended_us));
+      std::this_thread::sleep_until(intended);
+      // Coordinated-omission correction: measure from the intended
+      // start, so backlog behind a stall shows up in every sample.
+      execute(*next, shard, traces,
+              fleet_bound(*next, next->intended_us / 1000.0), intended);
+      if (fixed) {
+        advance_fixed(*next);
+        if (next->done) continue;
+      }
+      const double gap = arrival_gap_us(*next);
+      if (gap < 0.0) {
+        skip_rate0(*next);
+        continue;
+      }
+      next->intended_us += gap;
+      clip_timed(*next, total_ms, fixed);
+    }
+  }
+
+  /// Jumps a stream past rate-0 phases (open loop): intended time moves
+  /// to the next phase boundary; the stream finishes when none remain.
+  void skip_rate0(StreamState& state) {
+    while (state.phase < plan_.size() &&
+           plan_[state.phase].rate_scale == 0.0 &&
+           // Fixed-ops streams may still owe ops to a later phase.
+           (spec_.ops_per_stream == 0 ||
+            plan_[state.phase].ops_per_stream == 0)) {
+      double end_ms = 0.0;
+      for (std::size_t i = 0; i <= state.phase; ++i) {
+        end_ms += static_cast<double>(plan_[i].duration_ms);
+      }
+      state.intended_us = std::max(state.intended_us, end_ms * 1000.0);
+      ++state.phase;
+      state.phase_ops = 0;
+    }
+    if (state.phase >= plan_.size()) {
+      state.done = true;
+      return;
+    }
+    const double gap = arrival_gap_us(state);
+    if (gap < 0.0) {
+      state.done = true;  // only rate-0 phases remain
+      return;
+    }
+    state.intended_us += gap;
+  }
+
+  /// Timed mode: a stream whose next intended arrival falls past the
+  /// run end is finished; phase switches follow the intended clock.
+  void clip_timed(StreamState& state, double total_ms, bool fixed) {
+    if (fixed) return;
+    double end_ms = 0.0;
+    for (std::size_t i = 0; i <= state.phase && i < plan_.size(); ++i) {
+      end_ms += static_cast<double>(plan_[i].duration_ms);
+    }
+    while (state.phase < plan_.size() &&
+           state.intended_us >= end_ms * 1000.0 &&
+           end_ms < total_ms) {
+      ++state.phase;
+      if (state.phase < plan_.size()) {
+        end_ms += static_cast<double>(plan_[state.phase].duration_ms);
+      }
+    }
+    if (state.intended_us >= total_ms * 1000.0 ||
+        state.phase >= plan_.size()) {
+      state.done = true;
+    } else if (plan_[state.phase].rate_scale == 0.0) {
+      skip_rate0(state);
+    }
+  }
+
+  void judge(LoadReport& report) const {
+    if (spec_.slo_throughput.has_value()) {
+      SloVerdict verdict;
+      verdict.name = "throughput_ops_per_second";
+      verdict.target = *spec_.slo_throughput;
+      verdict.actual = report.achieved_ops_per_second;
+      verdict.pass = verdict.actual >= verdict.target;
+      report.slo_pass = report.slo_pass && verdict.pass;
+      report.slos.push_back(std::move(verdict));
+    }
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      if (!spec_.slo_p99_ms[k].has_value()) continue;
+      SloVerdict verdict;
+      verdict.name =
+          "p99_" + std::string(op_kind_name(static_cast<OpKind>(k))) + "_ms";
+      verdict.target = *spec_.slo_p99_ms[k];
+      verdict.actual = static_cast<double>(
+                           report.per_op[k].latency_us.value_at_percentile(
+                               99.0)) /
+                       1000.0;
+      verdict.pass = verdict.actual <= verdict.target;
+      report.slo_pass = report.slo_pass && verdict.pass;
+      report.slos.push_back(std::move(verdict));
+    }
+  }
+
+  const WorkloadSpec& spec_;
+  service::FleetService& service_;
+  RunOptions options_;
+  std::vector<PhasePlan> plan_;
+  std::vector<std::string> keys_;
+  std::uint64_t total_duration_ms_{0};
+  Clock::time_point start_;
+};
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::string out = strings::format_double(value, 3);
+  return out;
+}
+
+void append_histogram_json(std::string& out,
+                           const common::LatencyHistogram& h) {
+  out += "{\"count\": " + std::to_string(h.count());
+  out += ", \"mean\": " + json_double(h.mean());
+  out += ", \"min\": " + std::to_string(h.min());
+  for (const auto& [label, p] :
+       {std::pair{"p50", 50.0}, {"p90", 90.0}, {"p95", 95.0},
+        {"p99", 99.0}, {"p999", 99.9}}) {
+    out += std::string(", \"") + label +
+           "\": " + std::to_string(h.value_at_percentile(p));
+  }
+  out += ", \"max\": " + std::to_string(h.max()) + "}";
+}
+
+}  // namespace
+
+std::uint64_t LoadReport::total_completed() const {
+  std::uint64_t total = 0;
+  for (const OpMetrics& metrics : per_op) total += metrics.completed;
+  return total;
+}
+
+std::string LoadReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"energydx_loadgen\": 1,\n";
+  out += "  \"workload\": \"" + workload + "\",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"streams\": " + std::to_string(streams) + ",\n";
+  out += std::string("  \"arrival\": \"") +
+         (arrival == ArrivalMode::kClosed
+              ? "closed"
+              : arrival == ArrivalMode::kOpenPoisson ? "open-poisson"
+                                                     : "open-uniform") +
+         "\",\n";
+  out += "  \"wall_seconds\": " + json_double(wall_seconds) + ",\n";
+  out += "  \"offered_ops_per_second\": " +
+         json_double(offered_ops_per_second) + ",\n";
+  out += "  \"achieved_ops_per_second\": " +
+         json_double(achieved_ops_per_second) + ",\n";
+  out += "  \"ops\": {\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    out += "    \"" + std::string(op_kind_name(static_cast<OpKind>(k))) +
+           "\": {\"issued\": " + std::to_string(per_op[k].issued) +
+           ", \"completed\": " + std::to_string(per_op[k].completed) +
+           ", \"failed\": " + std::to_string(per_op[k].failed) +
+           ", \"latency_us\": ";
+    append_histogram_json(out, per_op[k].latency_us);
+    out += k + 1 < kOpKindCount ? "},\n" : "}\n";
+  }
+  out += "  },\n";
+  out += "  \"staleness_arrivals\": ";
+  append_histogram_json(out, staleness_arrivals);
+  out += ",\n";
+  out += "  \"slo\": [";
+  for (std::size_t i = 0; i < slos.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + slos[i].name +
+           "\", \"target\": " + json_double(slos[i].target) +
+           ", \"actual\": " + json_double(slos[i].actual) +
+           ", \"pass\": " + (slos[i].pass ? "true" : "false") + "}";
+  }
+  out += "],\n";
+  out += std::string("  \"slo_pass\": ") + (slo_pass ? "true" : "false") +
+         "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string LoadReport::to_text() const {
+  std::string out;
+  out += "loadgen: " + workload + " (" + std::to_string(streams) +
+         " stream(s) on " + std::to_string(threads) + " thread(s), " +
+         (arrival == ArrivalMode::kClosed
+              ? std::string("closed loop")
+              : std::string(arrival == ArrivalMode::kOpenPoisson
+                                ? "open loop, poisson"
+                                : "open loop, uniform") +
+                    " @ " + json_double(offered_ops_per_second) + " ops/s") +
+         ")\n";
+  out += "  wall " + json_double(wall_seconds) + " s, achieved " +
+         json_double(achieved_ops_per_second) + " ops/s\n";
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    const OpMetrics& m = per_op[k];
+    if (m.issued == 0) continue;
+    const auto& h = m.latency_us;
+    out += "  " + std::string(op_kind_name(static_cast<OpKind>(k))) + ": " +
+           std::to_string(m.completed) + " ok";
+    if (m.failed > 0) out += ", " + std::to_string(m.failed) + " failed";
+    out += "; p50 " + std::to_string(h.value_at_percentile(50.0)) +
+           " us, p99 " + std::to_string(h.value_at_percentile(99.0)) +
+           " us, p99.9 " + std::to_string(h.value_at_percentile(99.9)) +
+           " us, max " + std::to_string(h.max()) + " us\n";
+  }
+  if (staleness_arrivals.count() > 0) {
+    out += "  staleness: p50 " +
+           std::to_string(staleness_arrivals.value_at_percentile(50.0)) +
+           ", p99 " +
+           std::to_string(staleness_arrivals.value_at_percentile(99.0)) +
+           ", max " + std::to_string(staleness_arrivals.max()) +
+           " arrivals behind\n";
+  }
+  for (const SloVerdict& verdict : slos) {
+    out += std::string("  slo ") + verdict.name + ": " +
+           json_double(verdict.actual) +
+           (verdict.name.starts_with("p99") ? " <= " : " >= ") +
+           json_double(verdict.target) + " -> " +
+           (verdict.pass ? "PASS" : "FAIL") + "\n";
+  }
+  return out;
+}
+
+LoadReport run_load(const WorkloadSpec& spec,
+                    service::FleetService& service,
+                    const RunOptions& options) {
+  spec.validate();
+  Driver driver(spec, service, options);
+  return driver.run();
+}
+
+}  // namespace edx::loadgen

@@ -1,0 +1,125 @@
+// The multi-threaded load driver.
+//
+// run_load() executes a WorkloadSpec against a FleetService and
+// measures what the ISSUE's north star asks for: "sustains X
+// arrivals/s at p99 < Y ms".  Execution model:
+//
+//   - the spec's logical streams are dealt across RunOptions::threads
+//     driver threads (stream s runs on thread s % threads); each stream
+//     generates its op sequence from its own OpStream, so sequences are
+//     identical for any thread count (op_stream.h);
+//   - closed loop: each stream issues back-to-back — concurrency equals
+//     the stream count — and latency is measured from the call start;
+//   - open loop: each stream paces arrivals at rate * rate_scale /
+//     streams (Poisson or uniform gaps) from a pacing RNG separate from
+//     the op-content RNG, and latency is measured from the *intended*
+//     start time, which folds scheduler backlog into every sample — the
+//     coordinated-omission correction (common/latency_histogram.h);
+//   - phases run in spec order.  A fixed-ops run (ops_per_stream > 0)
+//     splits each stream's budget across phases proportional to
+//     duration * rate_scale — fully deterministic, what tests and CI
+//     use; a timed run (ops_per_stream == 0) switches phases on the
+//     wall clock and stops when they elapse.  The active-fleet bound
+//     interpolates from the previous phase's fleet_scale to the
+//     current one across each phase;
+//   - the run ends with FleetService::drain(), inside the measured
+//     wall time — achieved rate counts applied-and-published work, not
+//     queued work.
+//
+// Metrics: per-op-kind issued/completed/failed counts and latency
+// histograms (per-thread shards merged after the join — no shared
+// mutable state on the hot path), snapshot staleness in arrivals
+// sampled on every snapshot op via FleetService::app_stats, achieved
+// vs offered rate, and one verdict per SLO the spec declares.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "loadgen/op_stream.h"
+#include "loadgen/workload_spec.h"
+#include "service/fleet_service.h"
+
+namespace edx::loadgen {
+
+struct RunOptions {
+  /// Driver threads; 0 = min(streams, hardware_concurrency).
+  std::size_t threads{0};
+  /// Timed-mode default phase length when the spec declares no phases
+  /// and no op budget (ms).  Ignored for fixed-ops runs; for a timed
+  /// run with spec phases it rescales their total to this duration.
+  std::uint64_t duration_ms{0};
+  /// Record every op per stream (LoadReport::op_trace) — determinism
+  /// tests only; unbounded memory on long runs.
+  bool capture_ops{false};
+  /// Record every submission's identity (LoadReport::submissions) so
+  /// equivalence tests can rebuild the exact bundle behind each
+  /// submission id.  Same caveat.
+  bool capture_submissions{false};
+};
+
+/// Counts and latency for one op kind (latencies in microseconds).
+struct OpMetrics {
+  std::uint64_t issued{0};
+  std::uint64_t completed{0};
+  /// Ops that raised (e.g. report() before the first publication).
+  std::uint64_t failed{0};
+  common::LatencyHistogram latency_us;
+};
+
+/// One SLO check from the spec, resolved against the measured run.
+struct SloVerdict {
+  std::string name;    ///< "ingest_p99_ms", "throughput_ops_per_second"
+  double target{0.0};
+  double actual{0.0};
+  bool pass{false};
+};
+
+/// What an upload op actually submitted (capture_submissions).
+struct SubmissionRecord {
+  std::uint64_t id{0};  ///< FleetService submission id
+  std::size_t app{0};
+  UserId user{0};
+  std::uint64_t ordinal{0};
+};
+
+struct LoadReport {
+  std::string workload;
+  std::size_t threads{0};
+  std::size_t streams{0};
+  ArrivalMode arrival{ArrivalMode::kClosed};
+  double wall_seconds{0.0};
+  /// Mean offered rate over the run (open loop; 0 for closed loop).
+  double offered_ops_per_second{0.0};
+  double achieved_ops_per_second{0.0};
+  std::array<OpMetrics, kOpKindCount> per_op;
+  /// Snapshot staleness in arrivals, sampled on snapshot ops.
+  common::LatencyHistogram staleness_arrivals;
+  std::vector<SloVerdict> slos;
+  bool slo_pass{true};
+  /// Per-stream op traces (capture_ops).
+  std::vector<std::vector<Op>> op_trace;
+  /// Upload identities by submission id (capture_submissions),
+  /// unordered across streams.
+  std::vector<SubmissionRecord> submissions;
+
+  [[nodiscard]] std::uint64_t total_completed() const;
+  /// The results document perf_smoke.py consumes ("energydx_loadgen"
+  /// marker, rates, per-op percentiles, SLO verdicts).
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable summary for the CLI.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Runs `spec` against `service` (tenants are auto-opened).  The
+/// service outlives the call; callers may inspect it afterwards
+/// (equivalence tests replay applied_log()).
+LoadReport run_load(const WorkloadSpec& spec,
+                    service::FleetService& service,
+                    const RunOptions& options = {});
+
+}  // namespace edx::loadgen

@@ -1,0 +1,146 @@
+#include "loadgen/op_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/tracker.h"
+
+namespace edx::loadgen {
+
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t stream,
+                             std::uint64_t salt) {
+  // Golden-ratio spacing (the splitmix64 increment) keeps nearby stream
+  // indices far apart in seed space; the salt shifts the whole family so
+  // op-content and pacing RNGs never collide.
+  std::uint64_t state = master ^ (salt * 0xD1B54A32D192ED03ULL);
+  state += (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(state);
+}
+
+OpStream::OpStream(const WorkloadSpec& spec, std::size_t stream)
+    : spec_(spec),
+      stream_(stream),
+      // Users of the slice {u : u % streams == stream}: one per full
+      // block of `streams`, plus one more when stream < users % streams.
+      slice_size_(spec.users / spec.streams +
+                  (stream < spec.users % spec.streams ? 1 : 0)),
+      rng_(substream_seed(spec.seed, stream)),
+      mix_(spec.mix.begin(), spec.mix.end()),
+      frontier_(spec.apps, 0),
+      uploads_(spec.apps, std::vector<std::uint64_t>(slice_size_, 0)) {}
+
+UserId OpStream::slice_user(std::size_t k) const {
+  return static_cast<UserId>(k * spec_.streams + stream_);
+}
+
+std::size_t OpStream::pick_ingested(std::size_t app) {
+  const std::size_t n = frontier_[app];
+  // Power-law bias toward the earliest-ingested users: exponent 1 is
+  // uniform; each unit of skew pushes more mass onto low indices.
+  const double u = std::pow(rng_.uniform(), 1.0 + spec_.user_skew);
+  const auto index = static_cast<std::size_t>(u * static_cast<double>(n));
+  return std::min(index, n - 1);
+}
+
+Op OpStream::next(double fleet_scale) {
+  Op op;
+
+  if (spec_.apps > 1 && spec_.hot_apps > 0 &&
+      rng_.bernoulli(spec_.hot_fraction)) {
+    op.app = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(spec_.hot_apps) - 1));
+  } else if (spec_.hot_apps > 0 && spec_.hot_apps < spec_.apps) {
+    op.app = static_cast<std::size_t>(
+        rng_.uniform_int(static_cast<std::int64_t>(spec_.hot_apps),
+                         static_cast<std::int64_t>(spec_.apps) - 1));
+  } else {
+    op.app = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(spec_.apps) - 1));
+  }
+
+  op.kind = static_cast<OpKind>(rng_.weighted_index(mix_));
+
+  // The ramp bound: how deep into the slice ingest may reach right now.
+  const std::size_t allowed = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(fleet_scale * static_cast<double>(slice_size_))),
+      std::min<std::size_t>(1, slice_size_), slice_size_);
+
+  // Degrade rather than fail: the choices below depend only on this
+  // stream's own frontier, so they are thread-count invariant.
+  if (op.kind == OpKind::kIngest && frontier_[op.app] >= allowed) {
+    op.kind = slice_size_ == 0 ? OpKind::kSnapshot : OpKind::kReupload;
+  }
+  if (op.kind != OpKind::kIngest && frontier_[op.app] == 0 &&
+      slice_size_ > 0) {
+    op.kind = OpKind::kIngest;
+  }
+
+  switch (op.kind) {
+    case OpKind::kIngest: {
+      const std::size_t k = frontier_[op.app]++;
+      op.user = slice_user(k);
+      op.ordinal = uploads_[op.app][k]++;
+      break;
+    }
+    case OpKind::kReupload: {
+      const std::size_t k = pick_ingested(op.app);
+      op.user = slice_user(k);
+      op.ordinal = uploads_[op.app][k]++;
+      break;
+    }
+    case OpKind::kSnapshot:
+    case OpKind::kReport: {
+      // Reads are fleet-wide; pick a (skewed) user anyway so the draw
+      // count per op is uniform and future read shapes can use it.
+      const std::size_t n = frontier_[op.app];
+      op.user = n == 0 ? 0 : slice_user(pick_ingested(op.app));
+      break;
+    }
+  }
+  return op;
+}
+
+std::string app_key(std::size_t app) {
+  return "app-" + std::to_string(app);
+}
+
+trace::TraceBundle synthetic_bundle(const WorkloadSpec& spec,
+                                    std::size_t app, UserId user,
+                                    std::uint64_t ordinal) {
+  // The bundle is a pure function of its identity: hash the coordinates
+  // into one seed, then draw the noise from a private Rng.
+  std::uint64_t state = spec.seed;
+  splitmix64(state);
+  state += (app + 1) * 0x9E3779B97F4A7C15ULL;
+  splitmix64(state);
+  state += (static_cast<std::uint64_t>(user) + 1) * 0xD1B54A32D192ED03ULL;
+  splitmix64(state);
+  state += ordinal + 1;
+  Rng rng(splitmix64(state));
+
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  const int events = spec.events_per_bundle;
+  std::vector<power::UtilizationSample> samples;
+  samples.reserve(static_cast<std::size_t>(events) * 2);
+  for (int i = 0; i < events; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    bundle.events.add_instance("E" + std::to_string(i % 12),
+                               {t + 10, t + 40});
+    power::UtilizationSample sample;
+    sample.timestamp = t + 500;
+    // User 0 of every tenant carries an elevated-power tail, so each
+    // tenant's diagnosis finds a manifestation (the bench_service shape).
+    sample.estimated_app_power_mw =
+        user == 0 && i > events / 2 ? 500.0 : 100.0 + rng.uniform(0, 5.0);
+    samples.push_back(sample);
+    sample.timestamp = t + 1000;
+    samples.push_back(sample);
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+}  // namespace edx::loadgen

@@ -1,0 +1,103 @@
+// Deterministic logical op streams.
+//
+// The loadgen driver's reproducibility contract (genny's design) is
+// that the sequence of operations each LOGICAL stream issues depends
+// only on the WorkloadSpec and the master seed — never on how many
+// driver threads execute the run or how they interleave.  The pieces:
+//
+//   - substream_seed(master, stream) splits one master seed into
+//     well-separated per-stream seeds (splitmix64 over golden-ratio
+//     spaced inputs), so streams draw independent sequences;
+//   - each stream owns a slice of every app's user space — user u
+//     belongs to stream u % streams — so "which user has been ingested"
+//     is stream-local state, untouched by other streams' progress;
+//   - OpStream::next() is a pure function of the stream's own RNG and
+//     slice state, parameterized only by the (deterministic in
+//     fixed-ops mode) fleet_scale bound.
+//
+// A driver thread executes streams s with s % threads == t, each
+// independently; re-threading reassigns whole streams, never splits
+// one, so every per-stream sequence is byte-stable across thread
+// counts (tests/loadgen/loadgen_determinism_test.cpp pins this for
+// threads {1, 2, 8}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "loadgen/workload_spec.h"
+#include "trace/recorder.h"
+
+namespace edx::loadgen {
+
+/// One operation a stream decided to issue.
+struct Op {
+  OpKind kind{OpKind::kIngest};
+  std::size_t app{0};  ///< tenant index ("app-<app>")
+  UserId user{0};      ///< uploading / queried user (reads ignore it)
+  /// Per-(stream, app, user) upload counter: 0 for the first ingest,
+  /// incremented by every re-upload.  Makes re-uploaded bundles differ
+  /// from the originals deterministically.
+  std::uint64_t ordinal{0};
+
+  bool operator==(const Op&) const = default;
+};
+
+/// The per-stream seed: splitmix64 of master + (stream+1) * golden
+/// ratio.  Streams get well-separated, order-free seeds; the driver
+/// uses a different salt for its pacing RNGs so arrival timing never
+/// perturbs op content.
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t stream,
+                             std::uint64_t salt = 0);
+
+/// The deterministic op generator for one logical stream.
+class OpStream {
+ public:
+  /// Stream `stream` of `spec.streams`, seeded from `spec.seed`.
+  OpStream(const WorkloadSpec& spec, std::size_t stream);
+
+  /// Decides the next op.  `fleet_scale` in (0, 1] bounds the fraction
+  /// of this stream's user slice that ingest may have touched — the
+  /// driver's ramp knob.  Choices degrade rather than fail: an ingest
+  /// with the slice bound exhausted becomes a re-upload; a re-upload /
+  /// read against an app with nothing ingested yet becomes an ingest.
+  Op next(double fleet_scale = 1.0);
+
+  [[nodiscard]] std::size_t stream() const { return stream_; }
+  /// Users of this stream's slice per app (the ingest frontier bound).
+  [[nodiscard]] std::size_t slice_size() const { return slice_size_; }
+
+ private:
+  /// kth user of this stream's slice: k * streams + stream.
+  [[nodiscard]] UserId slice_user(std::size_t k) const;
+  /// Skewed pick of an already-ingested slice index for app `app`.
+  [[nodiscard]] std::size_t pick_ingested(std::size_t app);
+
+  const WorkloadSpec& spec_;
+  std::size_t stream_;
+  std::size_t slice_size_;
+  Rng rng_;
+  std::vector<double> mix_;
+  /// Per-app count of slice users ingested so far (the frontier: slice
+  /// indices [0, frontier) have been uploaded at least once).
+  std::vector<std::size_t> frontier_;
+  /// Per-app, per-slice-index upload counts (ordinal bookkeeping).
+  std::vector<std::vector<std::uint64_t>> uploads_;
+};
+
+/// The deterministic synthetic bundle for one upload: a function of
+/// (seed, app, user, ordinal) only, so any stream — and the batch
+/// equivalence test — can rebuild the exact bytes the driver submitted.
+/// Shape follows bench_service.cpp's synthetic population: "E0".."E11"
+/// cycling events on a Nexus 6, with an elevated-power tail for user 0
+/// (so every tenant's diagnosis is non-trivial).
+trace::TraceBundle synthetic_bundle(const WorkloadSpec& spec,
+                                    std::size_t app, UserId user,
+                                    std::uint64_t ordinal);
+
+/// "app-<index>" — the tenant key scheme shared by driver and tests.
+std::string app_key(std::size_t app);
+
+}  // namespace edx::loadgen

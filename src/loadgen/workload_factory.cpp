@@ -1,0 +1,101 @@
+#include "loadgen/workload_factory.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::loadgen {
+
+namespace {
+
+/// Shared skeleton for the built-ins: a few tenants, modest fleets, and
+/// a fixed-ops budget small enough for CI yet large enough that every
+/// stream ingests past its slice and exercises re-uploads.
+WorkloadSpec base_spec(std::string name) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.apps = 3;
+  spec.users = 96;
+  spec.streams = 4;
+  spec.seed = 42;
+  spec.ops_per_stream = 200;
+  spec.events_per_bundle = 24;
+  return spec;
+}
+
+}  // namespace
+
+WorkloadFactory& WorkloadFactory::instance() {
+  static WorkloadFactory factory;
+  return factory;
+}
+
+WorkloadFactory::WorkloadFactory() {
+  register_workload("ingest-heavy", [] {
+    WorkloadSpec spec = base_spec("ingest-heavy");
+    spec.mix = {0.80, 0.15, 0.04, 0.01};
+    return spec;
+  });
+  register_workload("read-heavy", [] {
+    WorkloadSpec spec = base_spec("read-heavy");
+    spec.mix = {0.05, 0.05, 0.60, 0.30};
+    spec.user_skew = 0.5;
+    return spec;
+  });
+  register_workload("reupload-churn", [] {
+    WorkloadSpec spec = base_spec("reupload-churn");
+    spec.mix = {0.10, 0.80, 0.08, 0.02};
+    spec.user_skew = 1.5;
+    return spec;
+  });
+  register_workload("mixed", [] {
+    WorkloadSpec spec = base_spec("mixed");
+    spec.mix = {0.40, 0.25, 0.25, 0.10};
+    spec.hot_apps = 1;
+    spec.hot_fraction = 0.5;
+    spec.user_skew = 0.5;
+    return spec;
+  });
+}
+
+void WorkloadFactory::register_workload(std::string name, Builder builder) {
+  require(!name.empty(), "workload name must be non-empty");
+  require(builder != nullptr, "workload builder must be callable");
+  for (auto& [existing, slot] : builders_) {
+    if (existing == name) {
+      slot = std::move(builder);
+      return;
+    }
+  }
+  builders_.emplace_back(std::move(name), std::move(builder));
+}
+
+WorkloadSpec WorkloadFactory::create(std::string_view name) const {
+  for (const auto& [existing, builder] : builders_) {
+    if (existing == name) {
+      WorkloadSpec spec = builder();
+      spec.validate();
+      return spec;
+    }
+  }
+  throw InvalidArgument("unknown workload '" + std::string(name) +
+                        "' (registered: " + strings::join(names(), ", ") +
+                        ")");
+}
+
+bool WorkloadFactory::contains(std::string_view name) const {
+  return std::any_of(
+      builders_.begin(), builders_.end(),
+      [name](const auto& entry) { return entry.first == name; });
+}
+
+std::vector<std::string> WorkloadFactory::names() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace edx::loadgen

@@ -1,0 +1,48 @@
+// Named workload registry (the YCSB-cpp WorkloadFactory idiom).
+//
+// Built-in mixes cover the service's main traffic shapes; callers (the
+// CLI's `loadgen --workload NAME`, tests) look them up by name, and new
+// scenarios register a builder without touching this file.  Specs come
+// out of a builder freshly built each time, so callers may tweak them
+// (seed, streams, rate) without cross-talk.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "loadgen/workload_spec.h"
+
+namespace edx::loadgen {
+
+class WorkloadFactory {
+ public:
+  using Builder = std::function<WorkloadSpec()>;
+
+  /// The process-wide registry, with the built-ins pre-registered:
+  ///   ingest-heavy    first-contact uploads dominate (95/5 writes/reads)
+  ///   read-heavy      dashboard traffic: snapshot/report dominate
+  ///   reupload-churn  a settled fleet re-uploading, skewed to hot users
+  ///   mixed           balanced writes/reads with hot-app skew
+  static WorkloadFactory& instance();
+
+  /// Registers (or replaces) a named builder.
+  void register_workload(std::string name, Builder builder);
+
+  /// Builds the named spec.  Throws InvalidArgument for unknown names
+  /// (message lists the registered ones).
+  [[nodiscard]] WorkloadSpec create(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names, sorted (for --help and error messages).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  WorkloadFactory();
+
+  std::vector<std::pair<std::string, Builder>> builders_;
+};
+
+}  // namespace edx::loadgen

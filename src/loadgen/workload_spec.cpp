@@ -1,0 +1,399 @@
+#include "loadgen/workload_spec.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace edx::loadgen {
+
+namespace {
+
+constexpr std::array<std::string_view, kOpKindCount> kOpNames{
+    "ingest", "reupload", "snapshot", "report"};
+
+/// Round-trip double formatting (%.17g parses back bit-exact), trimmed
+/// of the noise ("1.0" stays "1", "0.5" stays "0.5").
+std::string format_exact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // %.17g over-prints plain fractions ("0.10000000000000001"); prefer the
+  // shortest spelling that still parses back to the same bits.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buffer;
+}
+
+/// One line being parsed; every failure throws ParseError citing it.
+class LineParser {
+ public:
+  LineParser(std::string_view source, std::size_t line_number,
+             std::string_view line)
+      : source_(source), line_number_(line_number), rest_(line) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(std::string(source_) + ":" +
+                     std::to_string(line_number_) + ": " + message);
+  }
+
+  /// Next whitespace-delimited token; empty when the line is exhausted.
+  std::string_view token() {
+    rest_ = strings::trim_view(rest_);
+    std::size_t end = 0;
+    while (end < rest_.size() && rest_[end] != ' ' && rest_[end] != '\t') {
+      ++end;
+    }
+    const std::string_view tok = rest_.substr(0, end);
+    rest_.remove_prefix(end);
+    return tok;
+  }
+
+  std::string_view required_token(const std::string& what) {
+    const std::string_view tok = token();
+    if (tok.empty()) fail("missing " + what);
+    return tok;
+  }
+
+  void expect_end(const std::string& directive) {
+    const std::string_view extra = token();
+    if (!extra.empty()) {
+      fail("unexpected trailing '" + std::string(extra) + "' after " +
+           directive);
+    }
+  }
+
+  std::uint64_t parse_u64(std::string_view tok, const std::string& what) {
+    std::int64_t value = 0;
+    std::string_view view = tok;
+    if (!strings::consume_int64(view, value) || !view.empty() || value < 0) {
+      fail(what + " needs a non-negative integer, got '" + std::string(tok) +
+           "'");
+    }
+    return static_cast<std::uint64_t>(value);
+  }
+
+  double parse_double(std::string_view tok, const std::string& what) {
+    const std::string text(tok);
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || text.empty()) {
+      fail(what + " needs a number, got '" + text + "'");
+    }
+    return value;
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t line_number_;
+  std::string_view rest_;
+};
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view op_kind_name(OpKind kind) {
+  return kOpNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<OpKind> op_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (kOpNames[i] == name) return static_cast<OpKind>(i);
+  }
+  return std::nullopt;
+}
+
+WorkloadSpec WorkloadSpec::parse(std::string_view text,
+                                 std::string_view source) {
+  WorkloadSpec spec;
+  bool saw_mix = false;
+  std::size_t line_number = 0;
+  std::size_t last_directive_line = 1;
+  while (!text.empty()) {
+    std::string_view line = strings::next_line(text);
+    ++line_number;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = strings::trim_view(line);
+    if (line.empty()) continue;
+    last_directive_line = line_number;
+
+    LineParser parser(source, line_number, line);
+    const std::string_view key = parser.token();
+    if (key == "workload") {
+      const std::string_view name = parser.required_token("workload name");
+      if (!valid_name(name)) {
+        parser.fail("workload name must match [A-Za-z0-9_.-]+, got '" +
+                    std::string(name) + "'");
+      }
+      spec.name = std::string(name);
+      parser.expect_end("workload");
+    } else if (key == "apps") {
+      spec.apps = parser.parse_u64(parser.required_token("app count"),
+                                   "apps");
+      parser.expect_end("apps");
+    } else if (key == "users") {
+      spec.users = parser.parse_u64(parser.required_token("user count"),
+                                    "users");
+      parser.expect_end("users");
+    } else if (key == "streams") {
+      spec.streams = parser.parse_u64(parser.required_token("stream count"),
+                                      "streams");
+      parser.expect_end("streams");
+    } else if (key == "seed") {
+      spec.seed = parser.parse_u64(parser.required_token("seed"), "seed");
+      parser.expect_end("seed");
+    } else if (key == "ops") {
+      spec.ops_per_stream =
+          parser.parse_u64(parser.required_token("op budget"), "ops");
+      parser.expect_end("ops");
+    } else if (key == "events") {
+      const std::uint64_t events =
+          parser.parse_u64(parser.required_token("event count"), "events");
+      if (events == 0 || events > 1'000'000) {
+        parser.fail("events must be in [1, 1000000]");
+      }
+      spec.events_per_bundle = static_cast<int>(events);
+      parser.expect_end("events");
+    } else if (key == "hot-apps") {
+      spec.hot_apps = parser.parse_u64(
+          parser.required_token("hot app count"), "hot-apps");
+      spec.hot_fraction = parser.parse_double(
+          parser.required_token("hot traffic fraction"), "hot-apps fraction");
+      if (spec.hot_fraction < 0.0 || spec.hot_fraction > 1.0) {
+        parser.fail("hot-apps fraction must be in [0, 1]");
+      }
+      parser.expect_end("hot-apps");
+    } else if (key == "user-skew") {
+      spec.user_skew = parser.parse_double(
+          parser.required_token("skew exponent"), "user-skew");
+      if (spec.user_skew < 0.0) parser.fail("user-skew must be >= 0");
+      parser.expect_end("user-skew");
+    } else if (key == "mix") {
+      spec.mix = {0.0, 0.0, 0.0, 0.0};
+      saw_mix = false;
+      for (std::string_view entry = parser.token(); !entry.empty();
+           entry = parser.token()) {
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) {
+          parser.fail("mix entries are <op>=<weight>, got '" +
+                      std::string(entry) + "'");
+        }
+        const auto kind = op_kind_from_name(entry.substr(0, eq));
+        if (!kind.has_value()) {
+          parser.fail("unknown mix op '" + std::string(entry.substr(0, eq)) +
+                      "' (ingest, reupload, snapshot, report)");
+        }
+        const double weight = parser.parse_double(
+            entry.substr(eq + 1), "mix weight for " +
+                                      std::string(entry.substr(0, eq)));
+        if (weight < 0.0) parser.fail("mix weights must be >= 0");
+        spec.mix[static_cast<std::size_t>(*kind)] = weight;
+        saw_mix = true;
+      }
+      if (!saw_mix) parser.fail("mix needs at least one <op>=<weight>");
+      if (spec.mix[0] + spec.mix[1] + spec.mix[2] + spec.mix[3] <= 0.0) {
+        parser.fail("mix weights must sum to a positive total");
+      }
+    } else if (key == "arrival") {
+      const std::string_view mode = parser.required_token("arrival mode");
+      if (mode == "closed") {
+        spec.arrival = ArrivalMode::kClosed;
+        spec.rate = 0.0;
+        parser.expect_end("arrival closed");
+      } else if (mode == "open") {
+        const std::string_view process =
+            parser.required_token("open-loop process (poisson | uniform)");
+        if (process == "poisson") {
+          spec.arrival = ArrivalMode::kOpenPoisson;
+        } else if (process == "uniform") {
+          spec.arrival = ArrivalMode::kOpenUniform;
+        } else {
+          parser.fail("open-loop process must be poisson or uniform, got '" +
+                      std::string(process) + "'");
+        }
+        spec.rate = parser.parse_double(
+            parser.required_token("target rate (ops/s)"), "arrival rate");
+        if (spec.rate <= 0.0) parser.fail("arrival rate must be > 0");
+        parser.expect_end("arrival open");
+      } else {
+        parser.fail("arrival mode must be closed or open, got '" +
+                    std::string(mode) + "'");
+      }
+    } else if (key == "phase") {
+      PhaseSpec phase;
+      const std::string_view name = parser.required_token("phase name");
+      if (!valid_name(name)) {
+        parser.fail("phase name must match [A-Za-z0-9_.-]+");
+      }
+      phase.name = std::string(name);
+      phase.duration_ms = parser.parse_u64(
+          parser.required_token("phase duration (ms)"), "phase duration");
+      if (phase.duration_ms == 0) parser.fail("phase duration must be > 0");
+      for (std::string_view entry = parser.token(); !entry.empty();
+           entry = parser.token()) {
+        const std::size_t eq = entry.find('=');
+        const std::string_view option =
+            eq == std::string::npos ? entry : entry.substr(0, eq);
+        if (eq == std::string::npos ||
+            (option != "rate" && option != "fleet")) {
+          parser.fail("phase options are rate=<F> and fleet=<F>, got '" +
+                      std::string(entry) + "'");
+        }
+        const double value = parser.parse_double(
+            entry.substr(eq + 1), "phase " + std::string(option));
+        if (option == "rate") {
+          if (value < 0.0) parser.fail("phase rate scale must be >= 0");
+          phase.rate_scale = value;
+        } else {
+          if (value <= 0.0 || value > 1.0) {
+            parser.fail("phase fleet scale must be in (0, 1]");
+          }
+          phase.fleet_scale = value;
+        }
+      }
+      spec.phases.push_back(std::move(phase));
+    } else if (key == "slo") {
+      const std::string_view subject = parser.required_token("slo subject");
+      if (subject == "throughput") {
+        const double floor = parser.parse_double(
+            parser.required_token("throughput floor (ops/s)"),
+            "slo throughput");
+        if (floor <= 0.0) parser.fail("slo throughput must be > 0");
+        spec.slo_throughput = floor;
+        parser.expect_end("slo throughput");
+      } else {
+        const auto kind = op_kind_from_name(subject);
+        if (!kind.has_value()) {
+          parser.fail("slo subject must be an op name or throughput, got '" +
+                      std::string(subject) + "'");
+        }
+        const std::string_view metric = parser.required_token("slo metric");
+        if (metric != "p99") {
+          parser.fail("only p99 latency SLOs are supported, got '" +
+                      std::string(metric) + "'");
+        }
+        const double ceiling = parser.parse_double(
+            parser.required_token("p99 ceiling (ms)"), "slo p99");
+        if (ceiling <= 0.0) parser.fail("slo p99 must be > 0");
+        spec.slo_p99_ms[static_cast<std::size_t>(*kind)] = ceiling;
+        parser.expect_end("slo");
+      }
+    } else {
+      parser.fail("unknown directive '" + std::string(key) + "'");
+    }
+  }
+
+  try {
+    spec.validate();
+  } catch (const InvalidArgument& error) {
+    // Cross-field validation failures are still the spec author's parse
+    // errors; cite the last directive so the message lands in the file.
+    throw ParseError(std::string(source) + ":" +
+                     std::to_string(last_directive_line) + ": " +
+                     error.what());
+  }
+  return spec;
+}
+
+void WorkloadSpec::validate() const {
+  require(valid_name(name), "workload name must match [A-Za-z0-9_.-]+");
+  require(apps >= 1, "workload needs at least one app");
+  require(users >= 1, "workload needs at least one user per app");
+  require(streams >= 1, "workload needs at least one stream");
+  require(events_per_bundle >= 1, "events per bundle must be >= 1");
+  require(hot_apps <= apps, "hot-apps cannot exceed the app count");
+  require(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+          "hot-apps fraction must be in [0, 1]");
+  require(user_skew >= 0.0, "user-skew must be >= 0");
+  double total = 0.0;
+  for (const double weight : mix) {
+    require(weight >= 0.0, "mix weights must be >= 0");
+    total += weight;
+  }
+  require(total > 0.0, "mix weights must sum to a positive total");
+  if (arrival != ArrivalMode::kClosed) {
+    require(rate > 0.0, "open-loop arrivals need a positive rate");
+  }
+  for (const PhaseSpec& phase : phases) {
+    require(phase.duration_ms > 0, "phase durations must be > 0");
+    require(phase.rate_scale >= 0.0, "phase rate scales must be >= 0");
+    require(phase.fleet_scale > 0.0 && phase.fleet_scale <= 1.0,
+            "phase fleet scales must be in (0, 1]");
+  }
+}
+
+std::string WorkloadSpec::to_text() const {
+  std::string out;
+  out += "workload " + name + "\n";
+  out += "apps " + std::to_string(apps) + "\n";
+  out += "users " + std::to_string(users) + "\n";
+  out += "streams " + std::to_string(streams) + "\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  if (ops_per_stream != 0) {
+    out += "ops " + std::to_string(ops_per_stream) + "\n";
+  }
+  out += "events " + std::to_string(events_per_bundle) + "\n";
+  if (hot_apps != 0) {
+    out += "hot-apps " + std::to_string(hot_apps) + " " +
+           format_exact(hot_fraction) + "\n";
+  }
+  if (user_skew != 0.0) {
+    out += "user-skew " + format_exact(user_skew) + "\n";
+  }
+  out += "mix";
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (mix[i] != 0.0) {
+      out += " " + std::string(op_kind_name(static_cast<OpKind>(i))) + "=" +
+             format_exact(mix[i]);
+    }
+  }
+  out += "\n";
+  switch (arrival) {
+    case ArrivalMode::kClosed:
+      out += "arrival closed\n";
+      break;
+    case ArrivalMode::kOpenPoisson:
+      out += "arrival open poisson " + format_exact(rate) + "\n";
+      break;
+    case ArrivalMode::kOpenUniform:
+      out += "arrival open uniform " + format_exact(rate) + "\n";
+      break;
+  }
+  for (const PhaseSpec& phase : phases) {
+    out += "phase " + phase.name + " " + std::to_string(phase.duration_ms);
+    if (phase.rate_scale != 1.0) {
+      out += " rate=" + format_exact(phase.rate_scale);
+    }
+    if (phase.fleet_scale != 1.0) {
+      out += " fleet=" + format_exact(phase.fleet_scale);
+    }
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < kOpKindCount; ++i) {
+    if (slo_p99_ms[i].has_value()) {
+      out += "slo " + std::string(op_kind_name(static_cast<OpKind>(i))) +
+             " p99 " + format_exact(*slo_p99_ms[i]) + "\n";
+    }
+  }
+  if (slo_throughput.has_value()) {
+    out += "slo throughput " + format_exact(*slo_throughput) + "\n";
+  }
+  return out;
+}
+
+}  // namespace edx::loadgen

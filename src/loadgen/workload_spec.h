@@ -1,0 +1,127 @@
+// Declarative workload specifications for the loadgen driver.
+//
+// A WorkloadSpec describes, in data, everything a load run needs —
+// which operations hit the FleetService in what proportion, how
+// arrivals are timed, how the simulated fleet ramps up, and which SLOs
+// the run is judged against — so that a scenario is a small text file
+// (examples/*.workload) or a registered name (workload_factory.h), not
+// C++ (the YCSB / genny design).  The grammar is line-based:
+//
+//   # comment (to end of line; blank lines ignored)
+//   workload <name>              display name, [A-Za-z0-9_.-]+
+//   apps <N>                     tenants ("app-0" .. "app-<N-1>")
+//   users <N>                    logical users (phones) per tenant
+//   streams <N>                  logical op streams; also the closed-loop
+//                                concurrency (see op_stream.h)
+//   seed <N>                     master seed; stream RNGs split from it
+//   ops <N>                      per-stream op budget; 0 = timed run
+//   events <N>                   event instances per synthetic bundle
+//   hot-apps <N> <F>             first N apps receive fraction F of traffic
+//   user-skew <F>                power-law exponent biasing re-uploads and
+//                                reads toward early users; 0 = uniform
+//   mix ingest=<w> reupload=<w> snapshot=<w> report=<w>
+//                                op weights (>= 0, positive sum; omitted
+//                                ops get weight 0)
+//   arrival closed               fixed-concurrency closed loop
+//   arrival open poisson <R>     open loop, Poisson arrivals at R ops/s
+//   arrival open uniform <R>     open loop, uniform arrivals at R ops/s
+//   phase <name> <ms> [rate=<F>] [fleet=<F>]
+//                                ramp phase: duration, offered-rate scale,
+//                                active-fleet scale (see driver.h)
+//   slo <op> p99 <ms>            per-op p99 latency ceiling
+//   slo throughput <R>           achieved-rate floor, ops/s
+//
+// Every syntax or range error raises edx::ParseError whose message
+// starts "<source>:<line>:" — the CLI maps ParseError to exit code 3.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edx::loadgen {
+
+/// The four operations a workload mixes, in mix-weight order.
+enum class OpKind : std::uint8_t {
+  kIngest = 0,    ///< submit a not-yet-seen user's bundle
+  kReupload = 1,  ///< submit a fresh bundle for an already-seen user
+  kSnapshot = 2,  ///< load the tenant's published snapshot
+  kReport = 3,    ///< render the tenant's diagnosis report
+};
+inline constexpr std::size_t kOpKindCount = 4;
+
+/// "ingest" / "reupload" / "snapshot" / "report".
+std::string_view op_kind_name(OpKind kind);
+/// Inverse of op_kind_name; nullopt for anything else.
+std::optional<OpKind> op_kind_from_name(std::string_view name);
+
+enum class ArrivalMode : std::uint8_t {
+  kClosed = 0,       ///< streams issue back-to-back (concurrency = streams)
+  kOpenPoisson = 1,  ///< exponential inter-arrival gaps at the target rate
+  kOpenUniform = 2,  ///< constant inter-arrival gaps at the target rate
+};
+
+/// One ramp phase.  rate_scale multiplies the offered rate (open-loop
+/// pacing); fleet_scale bounds the fraction of each stream's user slice
+/// that ingest may touch — the driver interpolates linearly from the
+/// previous phase's fleet_scale across the phase, so
+/// warmup(0.25) -> ramp(1.0) grows the active fleet smoothly.
+struct PhaseSpec {
+  std::string name;  ///< conventionally warmup / ramp / steady / drain
+  std::uint64_t duration_ms{0};
+  double rate_scale{1.0};
+  double fleet_scale{1.0};
+
+  bool operator==(const PhaseSpec&) const = default;
+};
+
+struct WorkloadSpec {
+  std::string name{"unnamed"};
+  std::size_t apps{1};
+  std::size_t users{100};
+  std::size_t streams{4};
+  std::uint64_t seed{42};
+  /// Per-stream op budget; 0 means the run is timed (driver duration).
+  std::uint64_t ops_per_stream{0};
+  /// Event instances per synthetic bundle (bundle size knob).
+  int events_per_bundle{24};
+  /// First hot_apps tenants receive hot_fraction of the traffic.
+  std::size_t hot_apps{0};
+  double hot_fraction{0.0};
+  /// Power-law exponent for re-upload / read user choice; 0 = uniform.
+  double user_skew{0.0};
+  /// Op weights indexed by OpKind; >= 0 each, positive sum.
+  std::array<double, kOpKindCount> mix{1.0, 0.0, 0.0, 0.0};
+  ArrivalMode arrival{ArrivalMode::kClosed};
+  /// Target rate in ops/s (open-loop modes only).
+  double rate{0.0};
+  /// Ramp phases in order; empty = one steady phase at scale 1.
+  std::vector<PhaseSpec> phases;
+  /// Per-op p99 ceilings in milliseconds, indexed by OpKind.
+  std::array<std::optional<double>, kOpKindCount> slo_p99_ms{};
+  /// Achieved-rate floor in ops/s.
+  std::optional<double> slo_throughput;
+
+  bool operator==(const WorkloadSpec&) const = default;
+
+  /// Parses the text grammar above.  `source` names the input in error
+  /// messages (file path, "<builtin>", ...).  Throws ParseError with a
+  /// "<source>:<line>:" prefix on any malformed line, and validates the
+  /// assembled spec (range errors cite the offending line too).
+  static WorkloadSpec parse(std::string_view text,
+                            std::string_view source = "spec");
+
+  /// Canonical serialization; parse(to_text()) reproduces this spec
+  /// exactly (doubles render with round-trip precision).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Cross-field validation (positive counts, weights, rates...).
+  /// Throws InvalidArgument; parse() runs it for you.
+  void validate() const;
+};
+
+}  // namespace edx::loadgen

@@ -371,18 +371,7 @@ ServiceStats FleetService::stats() const {
   stats.apps = tenants_.size();
   stats.per_app.reserve(tenants_.size());
   for (const auto& [key, tenant] : tenants_) {
-    AppServiceStats row;
-    row.app = key;
-    row.hot = tenant->hot;
-    row.submitted = tenant->submitted.load(std::memory_order_relaxed);
-    row.applied = tenant->applied.load(std::memory_order_relaxed);
-    row.epoch = tenant->epoch.load(std::memory_order_relaxed);
-    row.published_arrivals =
-        tenant->published_arrivals.load(std::memory_order_relaxed);
-    if (const auto snap = tenant->published.load()) {
-      row.fleet_size = snap->image->fleet_size;
-    }
-    row.store_last_seq = tenant->store_seq.load(std::memory_order_relaxed);
+    AppServiceStats row = tenant_row(key, *tenant);
     stats.submitted += row.submitted;
     stats.per_app.push_back(std::move(row));
   }
@@ -391,6 +380,29 @@ ServiceStats FleetService::stats() const {
               return a.app < b.app;
             });
   return stats;
+}
+
+AppServiceStats FleetService::tenant_row(const AppKey& key,
+                                         const Tenant& tenant) {
+  AppServiceStats row;
+  row.app = key;
+  row.hot = tenant.hot;
+  row.submitted = tenant.submitted.load(std::memory_order_relaxed);
+  row.applied = tenant.applied.load(std::memory_order_relaxed);
+  row.epoch = tenant.epoch.load(std::memory_order_relaxed);
+  row.published_arrivals =
+      tenant.published_arrivals.load(std::memory_order_relaxed);
+  if (const auto snap = tenant.published.load()) {
+    row.fleet_size = snap->image->fleet_size;
+  }
+  row.store_last_seq = tenant.store_seq.load(std::memory_order_relaxed);
+  return row;
+}
+
+AppServiceStats FleetService::app_stats(const AppKey& app) const {
+  const Tenant* tenant = find_tenant(app);
+  require(tenant != nullptr, "FleetService: unknown app '" + app + "'");
+  return tenant_row(app, *tenant);
 }
 
 std::vector<std::uint64_t> FleetService::applied_log(

@@ -215,6 +215,12 @@ class FleetService {
 
   [[nodiscard]] ServiceStats stats() const;
 
+  /// One tenant's stats() row without the full-service sweep — the
+  /// cheap per-submit/per-read probe the loadgen driver samples
+  /// snapshot staleness from.  Throws InvalidArgument for an unknown
+  /// app.
+  [[nodiscard]] AppServiceStats app_stats(const AppKey& app) const;
+
   /// The tenant's applied order: submission ids in the order the worker
   /// applied them — the prefix order every published snapshot is
   /// byte-identical to a batch run over.  Meant for equivalence tests
@@ -232,6 +238,10 @@ class FleetService {
 
   Tenant& ensure_tenant(const AppKey& app);
   [[nodiscard]] const Tenant* find_tenant(const AppKey& app) const;
+  /// Builds one stats row from a tenant's counters (callers hold no
+  /// tenant lock; every field loads an atomic or the published epoch).
+  [[nodiscard]] static AppServiceStats tenant_row(const AppKey& key,
+                                                  const Tenant& tenant);
   /// Builds and swaps in one epoch for `tenant`; apply mutex held.
   void publish_locked(Tenant& tenant);
   void worker_loop(Shard& shard);

@@ -18,10 +18,14 @@
 #include "android/apk.h"
 #include "android/instrumenter.h"
 #include "common/error.h"
+#include "common/latency_histogram.h"
 #include "common/strings.h"
 #include "core/fleet_analyzer.h"
 #include "core/pipeline.h"
 #include "core/report_io.h"
+#include "loadgen/driver.h"
+#include "loadgen/workload_factory.h"
+#include "loadgen/workload_spec.h"
 #include "power/calibration.h"
 #include "service/fleet_service.h"
 #include "store/fleet_store.h"
@@ -756,7 +760,9 @@ int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out) {
   // published epoch (bounded by queue capacity + one in-flight batch).
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> snapshot_loads{0};
-  std::vector<std::vector<std::uint64_t>> staleness(
+  // One histogram shard per reader (lock-free on the sampling path),
+  // merged after the join — common/latency_histogram.h's model.
+  std::vector<common::LatencyHistogram> staleness(
       std::max<std::size_t>(options.readers, 1));
   std::vector<std::thread> readers;
   readers.reserve(options.readers);
@@ -768,7 +774,7 @@ int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out) {
           // Counters are sampled independently; skip the transient where
           // a publication lands between the two loads.
           if (row.submitted >= row.published_arrivals) {
-            staleness[r].push_back(row.submitted - row.published_arrivals);
+            staleness[r].record(row.submitted - row.published_arrivals);
           }
         }
         for (const AppLoad& load : loads) {
@@ -794,16 +800,10 @@ int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out) {
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& reader : readers) reader.join();
 
-  std::vector<std::uint64_t> samples;
-  for (const std::vector<std::uint64_t>& lane : staleness) {
-    samples.insert(samples.end(), lane.begin(), lane.end());
+  common::LatencyHistogram samples;
+  for (const common::LatencyHistogram& lane : staleness) {
+    samples.merge(lane);
   }
-  std::sort(samples.begin(), samples.end());
-  const auto percentile = [&samples](double p) -> std::uint64_t {
-    if (samples.empty()) return 0;
-    const double rank = p * static_cast<double>(samples.size() - 1);
-    return samples[static_cast<std::size_t>(rank + 0.5)];
-  };
 
   const std::size_t total = arrivals.size() * static_cast<std::size_t>(passes);
   out << "bench-serve: " << loads.size() << " app(s) x " << options.users
@@ -814,14 +814,63 @@ int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out) {
                                     std::max(seconds, 1e-9))
       << " arrivals/s)\n";
   out << "  snapshots: " << snapshot_loads.load(std::memory_order_relaxed)
-      << " reader loads, staleness p50 " << percentile(0.5) << ", p99 "
-      << percentile(0.99) << ", max "
-      << (samples.empty() ? 0 : samples.back()) << " arrivals ("
-      << samples.size() << " samples)\n";
+      << " reader loads, staleness p50 " << samples.value_at_percentile(50.0)
+      << ", p99 " << samples.value_at_percentile(99.0) << ", max "
+      << samples.max() << " arrivals (" << samples.count() << " samples)\n";
   const service::ServiceStats stats = fleet_service.stats();
   out << "  service: " << stats.submitted << " submitted, " << stats.batches
       << " ingest batch(es), queue peak " << stats.queue_peak << "\n";
   return 0;
+}
+
+int cmd_loadgen(const LoadgenOptions& options, std::ostream& out) {
+  require(options.workload.empty() != options.spec_path.empty(),
+          "loadgen needs exactly one of --workload NAME or --spec FILE");
+  loadgen::WorkloadSpec spec =
+      options.workload.empty()
+          ? loadgen::WorkloadSpec::parse(read_file(options.spec_path),
+                                         options.spec_path)
+          : loadgen::WorkloadFactory::instance().create(options.workload);
+  if (options.seed.has_value()) spec.seed = *options.seed;
+  if (options.rate.has_value()) {
+    if (spec.arrival == loadgen::ArrivalMode::kClosed) {
+      spec.arrival = loadgen::ArrivalMode::kOpenPoisson;
+    }
+    spec.rate = *options.rate;
+  }
+
+  loadgen::RunOptions run_options;
+  run_options.threads = options.threads;
+  if (options.duration_ms.has_value()) {
+    spec.ops_per_stream = 0;  // timed run
+    run_options.duration_ms = *options.duration_ms;
+  }
+  spec.validate();
+
+  service::ServiceOptions service_options;
+  service_options.num_shards = options.shards;
+  if (spec.hot_apps > 0) {
+    // The spec's hot tenants fan out in the service too, matching the
+    // skewed traffic they receive.
+    service_options.hot_fanout = 2;
+    for (std::size_t a = 0; a < spec.hot_apps; ++a) {
+      service_options.hot_apps.push_back(loadgen::app_key(a));
+    }
+  }
+  service::FleetService fleet_service(service_options);
+
+  const loadgen::LoadReport report =
+      loadgen::run_load(spec, fleet_service, run_options);
+  out << report.to_text();
+  const service::ServiceStats stats = fleet_service.stats();
+  out << "  service: " << stats.submitted << " submitted, " << stats.batches
+      << " ingest batch(es), queue peak " << stats.queue_peak << " on "
+      << stats.shards << " shard(s)\n";
+  if (!options.out_path.empty()) {
+    write_file(options.out_path, report.to_json());
+    out << "  results -> " << options.out_path << "\n";
+  }
+  return report.slo_pass ? 0 : 1;
 }
 
 namespace {
@@ -868,7 +917,10 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
            "[--reported-fraction F] [--json] | "
            "bench-serve --apps ID[,ID,...] [--users N] [--seed S] "
            "[--shards N] [--writers N] [--readers N] [--threads N] "
-           "[--queue-capacity N] [--hot-fanout N] [--repeat K]>\n";
+           "[--queue-capacity N] [--hot-fanout N] [--repeat K] | "
+           "loadgen (--workload NAME | --spec FILE) [--rate R] "
+           "[--duration MS] [--threads N] [--seed S] [--shards N] "
+           "[--out FILE]>\n";
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
@@ -1067,6 +1119,36 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     options.repeat = static_cast<int>(
         to_int(flags.value("--repeat").value_or("1"), "--repeat", 1, 10'000));
     return cmd_bench_serve(options, out);
+  }
+  if (command == "loadgen") {
+    FlagSet flags("loadgen", rest,
+                  {"--workload", "--spec", "--rate", "--duration",
+                   "--threads", "--seed", "--shards", "--out"},
+                  {});
+    flags.reject_extra_positionals(0, "--workload NAME or --spec FILE");
+    LoadgenOptions options;
+    options.workload = flags.value("--workload").value_or("");
+    options.spec_path = flags.value("--spec").value_or("");
+    if (const auto rate = flags.value("--rate")) {
+      options.rate = to_double(*rate, "--rate");
+      if (*options.rate <= 0.0) {
+        throw InvalidArgument("--rate must be > 0");
+      }
+    }
+    if (const auto duration = flags.value("--duration")) {
+      options.duration_ms = static_cast<std::uint64_t>(
+          to_int(*duration, "--duration", 1, 86'400'000));
+    }
+    options.threads = static_cast<std::size_t>(
+        to_int(flags.value("--threads").value_or("0"), "--threads", 0, 4096));
+    if (const auto seed = flags.value("--seed")) {
+      options.seed =
+          static_cast<std::uint64_t>(to_int(*seed, "--seed", 0, kMaxInt));
+    }
+    options.shards = static_cast<std::size_t>(
+        to_int(flags.value("--shards").value_or("0"), "--shards", 0, 4096));
+    options.out_path = flags.value("--out").value_or("");
+    return cmd_loadgen(options, out);
   }
   throw InvalidArgument("unknown command '" + command + "'");
 }

@@ -22,6 +22,9 @@
 //                        [--shards N] [--writers N] [--readers N]
 //                        [--threads N] [--queue-capacity N]
 //                        [--hot-fanout N] [--repeat K]
+//   energydx loadgen (--workload NAME | --spec FILE) [--rate R]
+//                    [--duration MS] [--threads N] [--seed S]
+//                    [--shards N] [--out FILE]
 //
 // Every subcommand shares one flag parser (`--name value` or
 // `--name=value`); repeating a named flag is a usage error (exit 2), not
@@ -43,6 +46,20 @@
 // traffic plus --readers threads polling snapshots while writers run,
 // reporting ingest throughput and snapshot-staleness percentiles
 // (arrivals submitted but not yet covered by the published epoch).
+//
+// `loadgen` is the declarative SLO harness (src/loadgen/): a
+// WorkloadSpec — a built-in mix from the WorkloadFactory (--workload
+// ingest-heavy | read-heavy | reupload-churn | mixed) or a spec file
+// (--spec examples/steady_mixed.workload; malformed specs exit 3 with
+// the offending line) — drives the FleetService through per-stream
+// deterministic op sequences and reports per-op latency percentiles,
+// achieved vs offered rate, snapshot staleness, and one PASS/FAIL per
+// SLO the spec declares.  --rate retargets an open-loop spec (and
+// converts a closed-loop one to open-poisson); --duration switches to
+// (or rescales) a timed run; --seed and --threads override the spec's
+// master seed and the driver thread count; --out additionally writes
+// the machine-readable results JSON perf_smoke.py gates.  Exits 1 when
+// any SLO fails.
 //
 // The durable store (store/fleet_store.h): `ingest` appends bundles into
 // a segmented-WAL store directory — from bundle files / trace
@@ -237,6 +254,34 @@ struct BenchServeOptions {
 /// snapshot readers, reporting arrivals/s and snapshot-staleness
 /// percentiles (in arrivals).
 int cmd_bench_serve(const BenchServeOptions& options, std::ostream& out);
+
+/// How `cmd_loadgen` resolves and runs a workload (src/loadgen/).
+struct LoadgenOptions {
+  /// Exactly one of workload (a WorkloadFactory name) or spec_path (an
+  /// examples/*.workload file) must be set.
+  std::string workload;
+  std::string spec_path;
+  /// Override the spec's open-loop target rate (ops/s); a closed-loop
+  /// spec becomes open-poisson at this rate.
+  std::optional<double> rate;
+  /// Run timed for this long (ms) instead of the spec's fixed op
+  /// budget; with spec phases, rescales their total to this duration.
+  std::optional<std::uint64_t> duration_ms;
+  /// Driver threads (0 = one per stream, capped at hardware threads).
+  std::size_t threads{0};
+  /// Override the spec's master seed.
+  std::optional<std::uint64_t> seed;
+  /// Ingest shards for the FleetService under test (0 = auto).
+  std::size_t shards{0};
+  /// Non-empty: also write the results JSON here (the document
+  /// tools/perf_smoke.py --loadgen-results gates).
+  std::string out_path;
+};
+
+/// Runs the workload against a fresh FleetService and prints the
+/// summary (per-op percentiles, achieved vs offered rate, SLO
+/// verdicts).  Returns 0 when every declared SLO passed, 1 otherwise.
+int cmd_loadgen(const LoadgenOptions& options, std::ostream& out);
 
 /// Dispatch from argv (excluding the program name).  Returns the exit code.
 int run(const std::vector<std::string>& args, std::ostream& out,

@@ -1,0 +1,179 @@
+// common/latency_histogram.h — log-bucketed percentiles, shard merging,
+// and coordinated-omission backfill.
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace edx::common {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.value_at_percentile(50.0), 0u);
+  EXPECT_EQ(h.value_at_percentile(99.9), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  // Below 2^kSubBits every value owns its own bucket: percentiles are
+  // exact order statistics, not approximations.
+  EXPECT_EQ(h.value_at_percentile(0.0), 0u);
+  EXPECT_EQ(h.value_at_percentile(50.0), 31u);
+  EXPECT_EQ(h.value_at_percentile(100.0), 63u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_DOUBLE_EQ(h.mean(), 31.5);
+}
+
+TEST(LatencyHistogram, MaxPercentileIsExactObservedMax) {
+  LatencyHistogram h;
+  h.record(1'000'003);
+  h.record(17);
+  // The top bucket's upper bound exceeds the sample, but p100 clamps to
+  // the exactly-tracked max.
+  EXPECT_EQ(h.value_at_percentile(100.0), 1'000'003u);
+  EXPECT_EQ(h.max(), 1'000'003u);
+  EXPECT_EQ(h.min(), 17u);
+}
+
+TEST(LatencyHistogram, HugeValuesSaturateInsteadOfDropping) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), LatencyHistogram::kMaxValue);
+  EXPECT_EQ(h.value_at_percentile(99.0), LatencyHistogram::kMaxValue);
+}
+
+// The documented accuracy contract: every reported percentile is the
+// upper bound of the bucket holding the exact order statistic, so it is
+// >= the exact value and within one sub-bucket width (a factor of
+// 1 + 2^-kSubBits) of it.
+TEST(LatencyHistogram, RelativeErrorBoundVsExactSort) {
+  Rng rng(2024);
+  std::vector<double> exact;
+  LatencyHistogram h;
+  for (int i = 0; i < 20'000; ++i) {
+    // Latency-shaped: log-uniform over [1us, ~1s].
+    const auto value = static_cast<std::uint64_t>(
+        std::pow(10.0, rng.uniform(0.0, 6.0)));
+    exact.push_back(static_cast<double>(value));
+    h.record(value);
+  }
+  std::sort(exact.begin(), exact.end());
+  constexpr double kWidth =
+      1.0 + 1.0 / (1 << LatencyHistogram::kSubBits);  // one sub-bucket
+  for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const auto reported =
+        static_cast<double>(h.value_at_percentile(p));
+    // The histogram's rank convention (ceil(p/100 * n)) and stats.h's
+    // R-7 interpolation differ by at most one rank; bound against the
+    // neighboring order statistics rather than the interpolated value.
+    const auto n = exact.size();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    const double lo = exact[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+    const double hi = exact[std::min(n - 1, rank)];
+    EXPECT_GE(reported * kWidth, lo) << "p" << p;
+    EXPECT_LE(reported, hi * kWidth) << "p" << p;
+    // And it stays in the ballpark of the library-exact percentile.
+    const double reference = stats::percentile(exact, p);
+    EXPECT_NEAR(reported, reference, reference * 0.05 + 2.0) << "p" << p;
+  }
+}
+
+// merge() must be commutative and associative: per-thread shards can be
+// folded in any order (or any tree) with identical results.
+TEST(LatencyHistogram, MergeIsAssociativeAcrossShards) {
+  Rng rng(7);
+  std::vector<LatencyHistogram> shards(8);
+  LatencyHistogram reference;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto value = static_cast<std::uint64_t>(
+        rng.uniform_int(0, 5'000'000));
+    shards[static_cast<std::size_t>(i) % shards.size()].record(value);
+    reference.record(value);
+  }
+
+  // Left fold in index order.
+  LatencyHistogram left;
+  for (const LatencyHistogram& shard : shards) left.merge(shard);
+
+  // Pairwise tree fold in reversed order.
+  std::vector<LatencyHistogram> level(shards.rbegin(), shards.rend());
+  while (level.size() > 1) {
+    std::vector<LatencyHistogram> next;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      LatencyHistogram pair = level[i];
+      if (i + 1 < level.size()) pair.merge(level[i + 1]);
+      next.push_back(std::move(pair));
+    }
+    level = std::move(next);
+  }
+  const LatencyHistogram& tree = level.front();
+
+  EXPECT_EQ(left.count(), reference.count());
+  EXPECT_EQ(tree.count(), reference.count());
+  EXPECT_EQ(left.min(), reference.min());
+  EXPECT_EQ(left.max(), reference.max());
+  EXPECT_DOUBLE_EQ(left.mean(), reference.mean());
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(left.value_at_percentile(p), reference.value_at_percentile(p))
+        << "p" << p;
+    EXPECT_EQ(tree.value_at_percentile(p), reference.value_at_percentile(p))
+        << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, CoordinatedOmissionBackfill) {
+  LatencyHistogram h;
+  // One 1000us stall in a loop that expected an op every 100us: the
+  // stall swallowed the ops that should have started at +100, +200, ...
+  // record_corrected backfills 900, 800, ..., 100 — ten samples total.
+  h.record_corrected(1000, 100);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.min(), 100u);
+  // Counts per century: exactly one sample in each [100k, 100(k+1)).
+  EXPECT_EQ(h.value_at_percentile(10.0), 100u);
+  EXPECT_EQ(h.value_at_percentile(100.0), 1000u);
+}
+
+TEST(LatencyHistogram, CoordinatedOmissionNoBackfillWhenOnTime) {
+  LatencyHistogram h;
+  // Latency below the expected interval: nothing was swallowed.
+  h.record_corrected(80, 100);
+  EXPECT_EQ(h.count(), 1u);
+  // Exactly at one interval: the next intended op was not yet due.
+  h.record_corrected(100, 100);
+  EXPECT_EQ(h.count(), 2u);
+  // Zero interval degenerates to plain record().
+  h.record_corrected(1'000'000, 0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LatencyHistogram, CoordinatedOmissionMatchesClosedFormCount) {
+  LatencyHistogram h;
+  // value = k * interval records exactly k samples (value, value -
+  // interval, ..., interval).
+  h.record_corrected(700, 70);
+  EXPECT_EQ(h.count(), 10u);
+  LatencyHistogram j;
+  j.record_corrected(699, 70);  // floor(699/70) = 9 (the last one < 2x)
+  EXPECT_EQ(j.count(), 9u);
+}
+
+}  // namespace
+}  // namespace edx::common

@@ -45,6 +45,13 @@ staleness_p99 counter must stay at or below
 "service_p99_staleness_max_arrivals" — snapshot staleness is bounded by
 queue capacity plus the in-flight batch per shard, a configuration
 bound rather than a machine speed, so it gates absolutely.
+
+Loadgen results (--loadgen-results, the JSON written by `energydx
+loadgen --out`) add two more gates: achieved_ops_per_second must
+sustain "loadgen_throughput_floor_ops_per_second" (divided by the
+threshold for cross-machine slack), and the ingest p99 latency
+(ops.ingest.latency_us.p99, converted to ms) must stay at or below
+"loadgen_p99_ingest_ceiling_ms" multiplied by the threshold.
 """
 
 import argparse
@@ -147,6 +154,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--results", required=True)
+    parser.add_argument("--loadgen-results",
+                        help="results JSON written by `energydx loadgen "
+                             "--out`; gated against the baseline's loadgen "
+                             "floor/ceiling keys")
     parser.add_argument("--threshold", type=float, default=1.5)
     parser.add_argument("--size-axis-factor", type=float, default=1.5,
                         help="max allowed per-instance cost growth between "
@@ -279,8 +290,52 @@ def main():
             print(f"{flag:>10}  {name}: staleness p99 {p99:.0f} arrivals "
                   f"(ceiling {float(staleness_max):.0f})")
 
+    # Loadgen gates: sustained throughput of the pinned scenario and the
+    # ingest p99 ceiling.  The throughput floor gets the same
+    # cross-machine slack as the other floors; the latency ceiling is
+    # widened by the threshold instead.
+    loadgen_failures, loadgen_checked = [], 0
+    if args.loadgen_results:
+        with open(args.loadgen_results) as fh:
+            loadgen = json.load(fh)
+        if loadgen.get("energydx_loadgen") != 1:
+            print(f"perf_smoke: {args.loadgen_results} is not an energydx "
+                  f"loadgen results file", file=sys.stderr)
+            return 1
+        scenario = loadgen.get("workload", "?")
+        lg_floor = doc.get("loadgen_throughput_floor_ops_per_second")
+        achieved = loadgen.get("achieved_ops_per_second")
+        if lg_floor and isinstance(achieved, (int, float)):
+            loadgen_checked += 1
+            need = float(lg_floor) / args.threshold
+            flag = "ok" if achieved >= need else "REGRESSION"
+            if achieved < need:
+                loadgen_failures.append(("throughput", achieved, need))
+            print(f"{flag:>10}  loadgen[{scenario}]: "
+                  f"{achieved / 1e3:.1f}k ops/s achieved (floor "
+                  f"{float(lg_floor) / 1e3:.1f}k / threshold "
+                  f"{args.threshold} = {need / 1e3:.1f}k)")
+        lg_ceiling = doc.get("loadgen_p99_ingest_ceiling_ms")
+        p99_us = (loadgen.get("ops", {}).get("ingest", {})
+                  .get("latency_us", {}).get("p99"))
+        if lg_ceiling and isinstance(p99_us, (int, float)):
+            loadgen_checked += 1
+            p99_ms = float(p99_us) / 1e3
+            limit = float(lg_ceiling) * args.threshold
+            flag = "ok" if p99_ms <= limit else "REGRESSION"
+            if p99_ms > limit:
+                loadgen_failures.append(("ingest p99", p99_ms, limit))
+            print(f"{flag:>10}  loadgen[{scenario}]: ingest p99 "
+                  f"{p99_ms:.3f} ms (ceiling {float(lg_ceiling):.1f} x "
+                  f"threshold {args.threshold} = {limit:.3f} ms)")
+        if not loadgen_checked:
+            print(f"perf_smoke: --loadgen-results given but the baseline "
+                  f"has no loadgen floor/ceiling keys", file=sys.stderr)
+            return 1
+
     if (not checked and not pairs and not ingest_checked and not recover
-            and not service_checked and not staleness_checked):
+            and not service_checked and not staleness_checked
+            and not loadgen_checked):
         print("perf_smoke: no overlapping benchmarks between baseline and "
               "results", file=sys.stderr)
         return 1
@@ -311,12 +366,18 @@ def main():
               f"exceeded the p99 staleness ceiling of "
               f"{float(staleness_max):.0f} arrivals", file=sys.stderr)
         return 1
+    if loadgen_failures:
+        for what, actual, bound in loadgen_failures:
+            print(f"perf_smoke: loadgen {what} {actual:.3f} violates "
+                  f"bound {bound:.3f}", file=sys.stderr)
+        return 1
     print(f"perf_smoke: {len(checked)} benchmark(s) within "
           f"{args.threshold}x of baseline; {len(pairs)} size-axis pair(s) "
           f"within {args.size_axis_factor}x per-instance growth; "
           f"{len(ingest_checked)} ingest floor(s), {recover_pairs} "
           f"recovery-scaling pair(s), {len(service_checked)} service "
-          f"floor(s), and {staleness_checked} staleness ceiling(s) checked")
+          f"floor(s), {staleness_checked} staleness ceiling(s), and "
+          f"{loadgen_checked} loadgen gate(s) checked")
     return 0
 
 
