@@ -19,6 +19,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,6 +141,85 @@ BENCHMARK(BM_ServiceIngest)
     ->Args({3, 400, 2})
     ->Args({3, 400, 4})
     ->Args({8, 100, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// BM_ServiceIngestMultiTenant/<apps>/<shards>
+//     the tenant-count sweep through the durable partitioned store
+//     under FsyncPolicy::kAlways: a FIXED total of kTotalArrivals
+//     uploads per iteration spread round-robin across <apps> tenants,
+//     so items/s (= arrivals/s) is directly comparable along the apps
+//     axis.  Per-tenant WALs paid one fdatasync per touched tenant per
+//     drained batch — throughput fell roughly linearly in the tenant
+//     count; the shard-shared WAL pays one group commit per shard per
+//     batch, so arrivals/s should stay roughly flat from 3 to 64 apps.
+//     What service_multitenant_ingest_floor_arrivals_per_second and
+//     service_multitenant_flatness_ratio_min gate.  Counters:
+//       fsyncs_per_batch — store fdatasyncs over worker drains for the
+//       whole run; bounded by ~shards (plus segment seals), NOT by
+//       tenants touched.
+//       batches — worker drains that did work (amortization sanity).
+void BM_ServiceIngestMultiTenant(benchmark::State& state) {
+  const int apps = static_cast<int>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  constexpr int kTotalArrivals = 192;
+  constexpr int kEvents = 24;
+  const int users = kTotalArrivals / apps;
+
+  std::vector<std::string> keys;
+  std::vector<std::vector<trace::TraceBundle>> populations;
+  for (int a = 0; a < apps; ++a) {
+    keys.push_back("app-" + std::to_string(a));
+    populations.push_back(synthetic_bundles(users, kEvents, /*seed=*/7 + a));
+  }
+  const std::string root =
+      std::filesystem::temp_directory_path().string() +
+      "/edx_bench_multitenant_" + std::to_string(apps) + "_" +
+      std::to_string(shards);
+
+  std::uint64_t fsyncs = 0;
+  std::uint64_t batches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(root);
+    service::ServiceOptions options;
+    options.num_shards = shards;
+    options.queue_capacity = 256;
+    options.store_root = root;
+    options.store.fsync_policy = store::FsyncPolicy::kAlways;
+    auto service = std::make_unique<service::FleetService>(options);
+    for (const std::string& key : keys) service->open(key);
+    state.ResumeTiming();
+
+    // Round-robin across tenants: every batch a shard drains mixes as
+    // many tenants as the queue absorbed — the group-commit shape.
+    for (int u = 0; u < users; ++u) {
+      for (int a = 0; a < apps; ++a) {
+        service->submit(keys[a], populations[a][u]);
+      }
+    }
+    service->drain();
+
+    state.PauseTiming();
+    const service::ServiceStats stats = service->stats();
+    fsyncs += stats.store_fsyncs;
+    batches += stats.batches;
+    service.reset();
+    state.ResumeTiming();
+  }
+  std::filesystem::remove_all(root);
+
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(apps) * users);
+  state.counters["fsyncs_per_batch"] =
+      batches == 0 ? 0.0
+                   : static_cast<double>(fsyncs) / static_cast<double>(batches);
+  state.counters["batches"] = static_cast<double>(batches);
+}
+BENCHMARK(BM_ServiceIngestMultiTenant)
+    ->Args({3, 1})
+    ->Args({16, 1})
+    ->Args({64, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

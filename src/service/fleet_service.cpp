@@ -1,12 +1,14 @@
 #include "service/fleet_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
 #include "common/error.h"
 #include "core/event_power.h"
 #include "core/report_io.h"
+#include "store/fleet_store.h"
 
 namespace edx::service {
 
@@ -14,7 +16,25 @@ namespace fs = std::filesystem;
 
 namespace {
 
-std::size_t resolve_shards(std::size_t requested) {
+/// Shard count resolution order: an existing partitioned layout pins it
+/// (records route by key hash, so reopening with a different count would
+/// silently split tenants across shards); otherwise the explicit request;
+/// otherwise one per hardware thread, capped at 4.
+std::size_t resolve_shards(const ServiceOptions& options) {
+  const std::size_t requested = options.num_shards;
+  if (!options.store_root.empty()) {
+    if (const std::optional<store::PartitionedLayout> layout =
+            store::read_layout(options.store_root)) {
+      if (requested != 0 && requested != layout->shard_count) {
+        throw Error("FleetService: store root '" + options.store_root +
+                    "' is partitioned for " +
+                    std::to_string(layout->shard_count) +
+                    " shard(s) but " + std::to_string(requested) +
+                    " were requested; reopen with the stored count (or 0)");
+      }
+      return layout->shard_count;
+    }
+  }
   if (requested != 0) return requested;
   const std::size_t hardware = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hardware, 1, 4);
@@ -34,7 +54,10 @@ struct FleetService::Tenant {
   bool hot{false};
   mutable std::mutex apply_mutex;
   core::FleetAnalyzer analyzer;
-  std::unique_ptr<store::FleetStore> store;
+  /// This tenant's id in each shard's store, kInvalidTenant until its
+  /// first record lands there.  Slot `s` is only touched by shard s's
+  /// worker (and by single-threaded recovery), so no extra lock.
+  std::vector<store::TenantId> store_ids;
   /// Submission ids in applied order — the arrival prefix every
   /// published snapshot is equivalent to a batch run over.
   std::vector<std::uint64_t> applied_log;
@@ -59,7 +82,8 @@ struct FleetService::Item {
 };
 
 /// One ingest lane: a bounded MPSC queue drained whole by a dedicated
-/// worker (the WAL writer's group-commit shape at the analysis layer).
+/// worker (the WAL writer's group-commit shape at the analysis layer),
+/// plus this shard's partition of the durable store.
 struct FleetService::Shard {
   std::size_t index{0};
   std::mutex mutex;
@@ -73,14 +97,23 @@ struct FleetService::Shard {
   std::uint64_t batches{0};
   std::size_t queue_peak{0};
   /// Private Step-1 pool: ThreadPool's run_batch state is per-pool, so
-  /// concurrent shard workers must not share one.
+  /// concurrent shard workers must not share one.  Also fans out the
+  /// per-tenant epoch publications at the end of each batch.
   std::optional<common::ThreadPool> step1_pool;
+  /// All tenants routed here share this store: one WAL, one writer, one
+  /// group-commit fdatasync per drained batch.  Null without store_root.
+  std::unique_ptr<store::ShardStore> store;
+  /// Batch scratch, worker-private and reused across batches — together
+  /// with the store's pooled encode buffers this keeps a warmed-up
+  /// drain loop off the allocator.
+  std::vector<core::AnalyzedTrace> scratch_analyzed;  ///< Step-1 slots
+  std::vector<Tenant*> scratch_touched;
   std::thread worker;
 };
 
 FleetService::FleetService(ServiceOptions options)
     : options_(std::move(options)),
-      router_(resolve_shards(options_.num_shards), options_.hot_fanout) {
+      router_(resolve_shards(options_), options_.hot_fanout) {
   options_.num_shards = router_.num_shards();
   options_.hot_fanout = router_.hot_fanout();
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
@@ -100,6 +133,10 @@ FleetService::FleetService(ServiceOptions options)
       shard.step1_pool.emplace(options_.step1_threads);
     }
   }
+  // Stores open (and recovery + legacy migration run) before any worker
+  // starts: every stored tenant is warm and published when the
+  // constructor returns.
+  if (!options_.store_root.empty()) open_stores();
   for (std::unique_ptr<Shard>& shard : shards_) {
     Shard& ref = *shard;
     ref.worker = std::thread([this, &ref] { worker_loop(ref); });
@@ -107,16 +144,136 @@ FleetService::FleetService(ServiceOptions options)
 }
 
 FleetService::~FleetService() {
+  try {
+    close();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "FleetService: error during shutdown: %s\n",
+                 error.what());
+  } catch (...) {
+    std::fprintf(stderr, "FleetService: unknown error during shutdown\n");
+  }
+}
+
+void FleetService::close() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard lock(shard->mutex);
     shard->stop = true;
   }
-  for (std::unique_ptr<Shard>& shard : shards_) shard->arrived.notify_all();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->arrived.notify_all();
+    shard->room.notify_all();  // blocked producers re-check stop and throw
+  }
   // Workers drain whatever is still queued (applying and publishing it)
-  // before exiting, so destruction is also a graceful flush; the tenants'
-  // stores then close on tenants_ destruction.
+  // before exiting, so close() is also a graceful flush.
   for (std::unique_ptr<Shard>& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Surface what the shutdown found, worker failures first: a worker
+  // error from the final drain used to die with the thread here.
+  std::exception_ptr failure;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    if (shard->error != nullptr && failure == nullptr) {
+      failure = std::exchange(shard->error, nullptr);
+    }
+  }
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->store == nullptr) continue;
+    try {
+      shard->store->close();  // rethrows the store writer's first error
+    } catch (...) {
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+void FleetService::open_stores() {
+  const std::string& root = options_.store_root;
+  const store::RootInfo info = store::inspect_root(root);
+  if (info.kind == store::RootKind::kSingleStore) {
+    throw Error("FleetService: store root '" + root +
+                "' holds a single-tenant FleetStore (wal-*.edx at top "
+                "level); pass a service store root instead");
+  }
+  fs::create_directories(root);
+  // Layout first, stores second: a crash in between leaves a valid
+  // (empty-shard) partitioned root.
+  if (!store::read_layout(root)) store::write_layout(root, shards_.size());
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    shard->store.reset(new store::ShardStore(store::ShardStore::open(
+        store::shard_dir(root, shard->index), options_.store)));
+  }
+
+  // Legacy per-tenant roots migrate in place: re-append every tenant's
+  // fleet through the router into the shard stores, make them durable,
+  // and only then delete the old directories.  A crash mid-migration
+  // re-runs it — re-appended bundles replace rather than duplicate in
+  // the fleet, so the published report is unaffected.
+  if (!info.tenant_dirs.empty()) {
+    for (const std::string& key : info.tenant_dirs) {
+      migrate_legacy_tenant(key);
+    }
+    for (std::unique_ptr<Shard>& shard : shards_) shard->store->flush();
+    for (const std::string& key : info.tenant_dirs) {
+      fs::remove_all(fs::path(root) / key);
+    }
+  }
+
+  // Warm-start every stored tenant: snapshotted slots re-enter through
+  // their stored Step-1 state (no power join), the WAL tail through the
+  // normal arrival path — so the recovered analyzer state matches a
+  // never-restarted run byte for byte.  Shard order then tenant-id
+  // order; a hot tenant spanning shards merges per-user streams, which
+  // commutes in the report.
+  for (std::unique_ptr<Shard>& shard_ptr : shards_) {
+    store::ShardStore& shard_store = *shard_ptr->store;
+    for (const store::TenantInfo& stored : shard_store.tenants()) {
+      Tenant& tenant = ensure_tenant(stored.key);
+      tenant.store_ids[shard_ptr->index] = stored.id;
+      std::lock_guard apply_lock(tenant.apply_mutex);
+      for (core::AnalyzedTrace& analyzed :
+           shard_store.snapshot_step1(stored.id)) {
+        tenant.analyzer.add_analyzed(std::move(analyzed));
+      }
+      for (const store::BundleRef& bundle :
+           shard_store.tail_refs(stored.id)) {
+        tenant.analyzer.add_bundle(*bundle);
+      }
+      tenant.store_seq.store(
+          std::max(tenant.store_seq.load(std::memory_order_relaxed),
+                   stored.last_seq),
+          std::memory_order_relaxed);
+    }
+  }
+  for (auto& [key, tenant] : tenants_) {
+    const std::uint64_t recovered = tenant->analyzer.arrivals();
+    if (recovered == 0) continue;
+    // Recovered uploads count as already submitted and applied, so the
+    // submitted/applied/published counters stay comparable.
+    tenant->submitted.store(recovered, std::memory_order_relaxed);
+    tenant->applied.store(recovered, std::memory_order_relaxed);
+    if (tenant->analyzer.fleet_size() > 0) {
+      std::lock_guard apply_lock(tenant->apply_mutex);
+      publish_locked(*tenant);
+    }
+  }
+}
+
+void FleetService::migrate_legacy_tenant(const AppKey& app) {
+  const fs::path directory = fs::path(options_.store_root) / app;
+  const bool hot = std::find(options_.hot_apps.begin(),
+                             options_.hot_apps.end(),
+                             app) != options_.hot_apps.end();
+  store::FleetStore legacy =
+      store::FleetStore::open(directory.string(), options_.store);
+  // The fleet (last upload per user, slot order) is what the report is
+  // a function of, so it is what migrates; superseded tail duplicates
+  // are dropped, exactly as the legacy store's own compaction would.
+  for (const store::BundleRef& bundle : legacy.fleet_refs()) {
+    const std::size_t s = router_.route(app, bundle->fleet_key(), hot);
+    store::ShardStore& target = *shards_[s]->store;
+    target.append_async(target.ensure_tenant(app), *bundle);
   }
 }
 
@@ -135,32 +292,7 @@ FleetService::Tenant& FleetService::ensure_tenant(const AppKey& app) {
   tenant->key = app;
   tenant->hot = std::find(options_.hot_apps.begin(), options_.hot_apps.end(),
                           app) != options_.hot_apps.end();
-  if (!options_.store_root.empty()) {
-    const fs::path directory = fs::path(options_.store_root) / app;
-    tenant->store.reset(new store::FleetStore(
-        store::FleetStore::open(directory.string(), options_.store)));
-    // Warm restart: snapshotted slots re-enter through their stored
-    // Step-1 state (no power join), the WAL tail through the normal
-    // arrival path — same recipe as `analyze --store`, so the recovered
-    // analyzer state matches a never-restarted run byte for byte.
-    for (core::AnalyzedTrace& analyzed : tenant->store->snapshot_step1()) {
-      tenant->analyzer.add_analyzed(std::move(analyzed));
-    }
-    for (const store::BundleRef& bundle : tenant->store->tail_refs()) {
-      tenant->analyzer.add_bundle(*bundle);
-    }
-    const std::uint64_t recovered = tenant->analyzer.arrivals();
-    // Recovered uploads count as already submitted and applied, so the
-    // submitted/applied/published counters stay comparable.
-    tenant->submitted.store(recovered, std::memory_order_relaxed);
-    tenant->applied.store(recovered, std::memory_order_relaxed);
-    tenant->store_seq.store(tenant->store->last_seq(),
-                            std::memory_order_relaxed);
-    if (tenant->analyzer.fleet_size() > 0) {
-      std::lock_guard apply_lock(tenant->apply_mutex);
-      publish_locked(*tenant);
-    }
-  }
+  tenant->store_ids.assign(shards_.size(), store::kInvalidTenant);
   return *tenants_.emplace(app, std::move(tenant)).first->second;
 }
 
@@ -179,8 +311,9 @@ void FleetService::enqueue(Shard& shard, Tenant& tenant,
   {
     std::unique_lock lock(shard.mutex);
     shard.room.wait(lock, [&] {
-      return shard.queue.size() < options_.queue_capacity;
+      return shard.stop || shard.queue.size() < options_.queue_capacity;
     });
+    require(!shard.stop, "FleetService: submit after close()");
     tenant.submitted.fetch_add(1, std::memory_order_relaxed);
     shard.queue.push_back(Item{&tenant, id, bundle});
     shard.queue_peak = std::max(shard.queue_peak, shard.queue.size());
@@ -218,8 +351,9 @@ std::vector<std::uint64_t> FleetService::submit_batch(
       std::unique_lock lock(shard.mutex);
       for (const std::size_t i : buckets[s]) {
         shard.room.wait(lock, [&] {
-          return shard.queue.size() < options_.queue_capacity;
+          return shard.stop || shard.queue.size() < options_.queue_capacity;
         });
+        require(!shard.stop, "FleetService: submit after close()");
         ids[i] = next_submission_.fetch_add(1, std::memory_order_relaxed);
         tenant.submitted.fetch_add(1, std::memory_order_relaxed);
         shard.queue.push_back(Item{&tenant, ids[i], bundles[i]});
@@ -263,7 +397,9 @@ void FleetService::process_batch(Shard& shard, std::vector<Item>& batch) {
   // Step 1 — the expensive per-trace power join — for the whole batch,
   // fanned across the shard's private pool.  Results are slot-indexed,
   // so the parallel join commits in exactly the queue order below.
-  std::vector<core::AnalyzedTrace> analyzed(batch.size());
+  std::vector<core::AnalyzedTrace>& analyzed = shard.scratch_analyzed;
+  analyzed.clear();
+  analyzed.resize(batch.size());
   const auto join = [&](std::size_t i) {
     analyzed[i] = core::estimate_event_power(batch[i].bundle);
   };
@@ -274,16 +410,21 @@ void FleetService::process_batch(Shard& shard, std::vector<Item>& batch) {
   }
 
   // Apply in queue order under each tenant's apply mutex: analyzer
-  // arrival, applied-log entry, and the store's group-commit queue move
-  // together, so the durable order equals the applied order.
-  std::vector<Tenant*> touched;
+  // arrival, applied-log entry, and the shard store's group-commit
+  // queue move together, so the durable order equals the applied order.
+  std::vector<Tenant*>& touched = shard.scratch_touched;
+  touched.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Item& item = batch[i];
     Tenant& tenant = *item.tenant;
     {
       std::lock_guard lock(tenant.apply_mutex);
-      if (tenant.store != nullptr) {
-        const std::uint64_t seq = tenant.store->append_async(item.bundle);
+      if (shard.store != nullptr) {
+        store::TenantId& id = tenant.store_ids[shard.index];
+        if (id == store::kInvalidTenant) {
+          id = shard.store->ensure_tenant(tenant.key);
+        }
+        const std::uint64_t seq = shard.store->append_async(id, item.bundle);
         tenant.store_seq.store(seq, std::memory_order_relaxed);
       }
       tenant.analyzer.add_analyzed(std::move(analyzed[i]));
@@ -296,20 +437,27 @@ void FleetService::process_batch(Shard& shard, std::vector<Item>& batch) {
     }
   }
 
-  // One epoch publication per touched tenant — the group-commit
-  // amortization: a burst of N arrivals costs one snapshot recompute,
-  // not N.
-  for (Tenant* tenant : touched) {
-    std::lock_guard lock(tenant->apply_mutex);
-    publish_locked(*tenant);
+  // One epoch publication per touched tenant, fanned across the shard's
+  // pool — the snapshot recompute is the serial tail of a multi-tenant
+  // drain once the fsync below is shared.  Each publish still runs
+  // under its tenant's apply mutex, so epochs stay monotone even for a
+  // hot tenant two shards publish concurrently.
+  const auto publish_one = [&](std::size_t t) {
+    Tenant& tenant = *touched[t];
+    std::lock_guard lock(tenant.apply_mutex);
+    publish_locked(tenant);
+  };
+  if (shard.step1_pool.has_value() && touched.size() > 1) {
+    shard.step1_pool->parallel_for(0, touched.size(), publish_one);
+  } else {
+    for (std::size_t t = 0; t < touched.size(); ++t) publish_one(t);
   }
 
-  // One durability sync per touched store (flush is thread-safe and
-  // runs outside the apply mutex, so appliers on other shards are not
-  // held up by this shard's fsync).
-  for (Tenant* tenant : touched) {
-    if (tenant->store != nullptr) tenant->store->flush();
-  }
+  // ONE durability sync for the whole batch — every touched tenant's
+  // records share this shard's WAL, so a K-tenant batch costs one
+  // fdatasync, not K.  (flush runs outside every apply mutex: appliers
+  // on other shards are not held up by this shard's fsync.)
+  if (shard.store != nullptr) shard.store->flush();
 }
 
 void FleetService::publish_locked(Tenant& tenant) {
@@ -366,6 +514,11 @@ ServiceStats FleetService::stats() const {
     std::lock_guard lock(shard->mutex);
     stats.batches += shard->batches;
     stats.queue_peak = std::max(stats.queue_peak, shard->queue_peak);
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->store != nullptr) {
+      stats.store_fsyncs += shard->store->fsync_count();
+    }
   }
   std::shared_lock lock(tenants_mutex_);
   stats.apps = tenants_.size();

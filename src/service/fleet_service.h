@@ -4,14 +4,13 @@
 // apps upload trace bundles continuously, and developers pull the
 // current diagnosis report whenever they look at the dashboard.  Until
 // now the repo only had the parts — a per-app incremental engine
-// (core/fleet_analyzer.h) and a per-app durable store
-// (store/fleet_store.h) — hand-wired per CLI command.  This facade is
+// (core/fleet_analyzer.h) and the durable stores (store/fleet_store.h,
+// store/shard_store.h) — hand-wired per CLI command.  This facade is
 // the redesigned surface that owns them:
 //
-//   open(app)                 registers a tenant (idempotent); with a
-//                             store root configured, opens/recovers its
-//                             FleetStore and warm-starts the analyzer
-//                             from the stored Step-1 state;
+//   open(app)                 registers a tenant (idempotent); stored
+//                             tenants are recovered at construction,
+//                             before the first open();
 //   submit(app, bundle)       routes the arrival to its ingest shard and
 //                             returns a submission id once queued
 //                             (backpressure: blocks while the shard
@@ -34,14 +33,20 @@
 //   one batch -> Step 1 (the expensive power join) for every queued
 //   bundle, fanned across the shard's private ThreadPool -> results
 //   applied in queue order to each tenant's FleetAnalyzer under that
-//   tenant's apply mutex (and appended to its store's group-commit
-//   queue) -> one store flush per touched store -> one epoch publication
-//   per touched tenant.
+//   tenant's apply mutex (and appended, tenant-tagged, to the SHARD's
+//   store) -> one epoch publication per touched tenant, fanned across
+//   the same pool -> ONE store flush for the whole batch.
 //
 // Batching is what makes the economics work: N arrivals in a burst cost
-// one queue hand-off each but only ONE snapshot recompute and ONE fsync
-// per tenant per drain, exactly like the WAL's group commit amortizes
-// fdatasync.
+// one queue hand-off each but only ONE snapshot recompute per tenant
+// and — because the shard's tenants share one ShardStore WAL — ONE
+// fdatasync per shard per drain, no matter how many tenants the batch
+// touched.  Before the partitioned store each touched tenant paid its
+// own fsync, so multi-tenant ingest throughput fell off linearly in
+// tenant count; now it is roughly flat.  The per-batch working set
+// (Step-1 slots, the touched list, encode buffers inside the store) is
+// pooled and reused across batches, so a warmed-up drain loop stays off
+// the allocator.
 //
 // Sharding (service/shard_router.h): an app's arrivals land on its home
 // shard — hash(app) mod shards — so per-app arrival order is queue
@@ -83,7 +88,7 @@
 #include "core/fleet_analyzer.h"
 #include "service/epoch.h"
 #include "service/shard_router.h"
-#include "store/fleet_store.h"
+#include "store/shard_store.h"
 
 namespace edx::service {
 
@@ -118,9 +123,13 @@ struct ServiceOptions {
   /// no---reported-fraction behavior).  When false, the fraction in
   /// `analysis.reporting` is used as given.
   bool self_estimate_fraction{true};
-  /// When non-empty, each tenant gets a durable FleetStore at
-  /// <store_root>/<app-key>, recovered on open() and group-flushed once
-  /// per ingest batch.
+  /// When non-empty, the service root of a PARTITIONED store: one
+  /// tenant-tagged ShardStore per ingest shard at <store_root>/shard-<i>,
+  /// with the shard count pinned by <store_root>/layout.edx.  All
+  /// tenants are recovered at construction; a pre-partition root (one
+  /// FleetStore directory per tenant) is migrated in place on first
+  /// open.  num_shards 0 adopts an existing layout's count; a non-zero
+  /// num_shards that contradicts the layout is an error.
   std::string store_root;
   store::StoreOptions store;
 };
@@ -155,7 +164,10 @@ struct AppServiceStats {
   std::uint64_t epoch{0};       ///< publications so far
   std::uint64_t published_arrivals{0};  ///< arrivals of the live epoch
   std::size_t fleet_size{0};    ///< distinct users in the live epoch
-  std::uint64_t store_last_seq{0};      ///< 0 when the tenant has no store
+  /// Shard-store sequence of the tenant's newest durable record (its
+  /// home shard's sequence space; the last writing shard's for a hot
+  /// app).  0 when the service has no store.
+  std::uint64_t store_last_seq{0};
 };
 
 struct ServiceStats {
@@ -164,6 +176,9 @@ struct ServiceStats {
   std::uint64_t submitted{0};
   std::uint64_t batches{0};     ///< worker drains that did work
   std::size_t queue_peak{0};    ///< max bundles seen in any one queue
+  /// Total fdatasync calls across every shard store — the group-commit
+  /// receipt: bounded by batches x shards, NOT by touched tenants.
+  std::uint64_t store_fsyncs{0};
   std::vector<AppServiceStats> per_app;  ///< sorted by app key
 };
 
@@ -172,17 +187,24 @@ class FleetService {
   explicit FleetService(ServiceOptions options = {});
   FleetService(const FleetService&) = delete;
   FleetService& operator=(const FleetService&) = delete;
-  /// Stops accepting, drains every queue, publishes final snapshots,
-  /// and joins the workers.
+  /// close() that must not throw: failures are noted on stderr and
+  /// swallowed.
   ~FleetService();
+
+  /// Stops accepting, drains every queue (applying and publishing what
+  /// was still queued), joins the workers, closes the shard stores, and
+  /// rethrows the first worker or store failure — so an error raised
+  /// while the final batch commits is surfaced instead of dying with
+  /// the worker thread.  Idempotent; submit() after close() throws.
+  void close();
 
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   [[nodiscard]] const ShardRouter& router() const { return router_; }
 
-  /// Registers `app` (idempotent).  With a store root, recovery runs
-  /// here — and a recovered non-empty fleet publishes its snapshot
+  /// Registers `app` (idempotent).  Stored tenants are recovered at
+  /// construction — a recovered non-empty fleet publishes its snapshot
   /// immediately, so readers see the pre-restart state before the first
-  /// new arrival.
+  /// new arrival — making open() on a recovered app a no-op.
   void open(const AppKey& app);
 
   /// Queues one upload for `app` (auto-opens unknown apps) and returns
@@ -229,14 +251,23 @@ class FleetService {
       const AppKey& app) const;
 
  private:
-  /// One registered app: analyzer + optional store + publication slot.
+  /// One registered app: analyzer + per-shard store ids + publication
+  /// slot.
   struct Tenant;
-  /// One ingest lane: queue + worker + private Step-1 pool.
+  /// One ingest lane: queue + worker + private Step-1 pool + the
+  /// shard's partition of the store.
   struct Shard;
   /// One queued arrival.
   struct Item;
 
   Tenant& ensure_tenant(const AppKey& app);
+  /// Construction-time store bring-up: opens (or creates) the
+  /// partitioned root, finishes any interrupted legacy migration, and
+  /// warm-starts every stored tenant.
+  void open_stores();
+  /// Re-appends one legacy per-tenant FleetStore's fleet into the shard
+  /// stores (routing each bundle as a fresh submit would).
+  void migrate_legacy_tenant(const AppKey& app);
   [[nodiscard]] const Tenant* find_tenant(const AppKey& app) const;
   /// Builds one stats row from a tenant's counters (callers hold no
   /// tenant lock; every field loads an atomic or the published epoch).

@@ -114,7 +114,16 @@ std::string_view Reader::string() {
 }
 
 std::string encode_bundle(const trace::TraceBundle& bundle) {
-  std::string body;
+  std::string record;
+  encode_bundle(bundle, record);
+  return record;
+}
+
+void encode_bundle(const trace::TraceBundle& bundle, std::string& record) {
+  // One body scratch per producer thread: capacity survives across calls,
+  // so a warmed-up append path encodes without touching the allocator.
+  thread_local std::string body;
+  body.clear();
   // Samples dominate (1 + 8x8 bytes each, plus small deltas); sizing the
   // body up front keeps the append loop free of reallocation.
   body.reserve(bundle.utilization.samples().size() * 72 +
@@ -158,14 +167,13 @@ std::string encode_bundle(const trace::TraceBundle& bundle) {
     put_f64(body, sample.estimated_app_power_mw);
   }
 
-  std::string record;
+  record.clear();
   record.reserve(body.size() + 16);
   record.append(kBundleMagic);
   record.push_back(static_cast<char>(kCodecVersion));
   put_varint(record, body.size());
   record.append(body);
   put_u32le(record, common::crc32c(body));
-  return record;
 }
 
 BundleParts decode_bundle_parts(std::string_view blob) {

@@ -94,6 +94,12 @@ class Reader {
 /// Serializes `bundle` into one framed, CRC-protected record.
 [[nodiscard]] std::string encode_bundle(const trace::TraceBundle& bundle);
 
+/// Same record, appended into `record` (which is cleared first).  Lets
+/// hot append paths reuse a pooled buffer's capacity instead of paying a
+/// fresh allocation per upload; the body scratch is thread-local, so
+/// concurrent producers never contend.
+void encode_bundle(const trace::TraceBundle& bundle, std::string& record);
+
 /// A fully parsed but not yet interned bundle record.  Event names stay in
 /// the record-local table and records carry local indices into it, so
 /// producing a BundleParts touches no global state — segment recovery

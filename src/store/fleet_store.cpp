@@ -18,15 +18,24 @@
 #include "common/thread_pool.h"
 #include "core/event_power.h"
 #include "store/codec.h"
+#include "store/store_util.h"
 
 namespace edx::store {
 
 namespace fs = std::filesystem;
 
+using sutil::manifest_path;
+using sutil::publish_file;
+using sutil::read_file_bytes;
+using sutil::scan_varint;
+using sutil::segment_path;
+using sutil::snapshot_path;
+using sutil::write_all;
+using ManifestContents = sutil::ManifestContents;
+
 namespace {
 
 constexpr std::string_view kSegmentMagic = "EDXWAL02";
-constexpr std::string_view kManifestMagic = "EDXMAN01";
 constexpr std::string_view kSnapshotMagic = "EDXSNAP1";
 constexpr std::uint32_t kSnapshotVersion = 1;
 constexpr std::uint8_t kRecordKindBundle = 1;
@@ -36,106 +45,8 @@ constexpr std::size_t kMaxQueueBytes = 8u << 20;
 /// Sanity cap on a kind-2 frame's declared uncompressed size.
 constexpr std::size_t kMaxRawFrameBytes = std::size_t{1} << 28;
 
-std::string segment_path(const std::string& directory, std::uint64_t base) {
-  return directory + "/wal-" + std::to_string(base) + ".edx";
-}
-
-std::string manifest_path(const std::string& directory) {
-  return directory + "/manifest.edx";
-}
-
-std::string snapshot_path(const std::string& directory, std::uint64_t seq) {
-  return directory + "/snapshot-" + std::to_string(seq) + ".edx";
-}
-
 std::string segment_header(std::uint64_t base) {
-  std::string header(kSegmentMagic);
-  put_varint(header, base);
-  return header;
-}
-
-/// wal-<base>.edx files in `directory`, ascending base order.
-std::vector<std::pair<std::uint64_t, std::string>> list_segments(
-    const std::string& directory) {
-  std::vector<std::pair<std::uint64_t, std::string>> found;
-  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
-    const std::string name = entry.path().filename().string();
-    if (!name.starts_with("wal-") || !name.ends_with(".edx")) continue;
-    const std::string_view digits(name.data() + 4, name.size() - 8);
-    std::uint64_t base = 0;
-    const auto [ptr, ec] = std::from_chars(digits.begin(), digits.end(), base);
-    if (ec != std::errc() || ptr != digits.end() || base == 0) continue;
-    found.emplace_back(base, entry.path().string());
-  }
-  std::sort(found.begin(), found.end());
-  return found;
-}
-
-/// snapshot-<seq>.edx files in `directory`, newest seq first.
-std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
-    const std::string& directory) {
-  std::vector<std::pair<std::uint64_t, std::string>> found;
-  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
-    const std::string name = entry.path().filename().string();
-    if (!name.starts_with("snapshot-") || !name.ends_with(".edx")) continue;
-    const std::string_view digits(name.data() + 9, name.size() - 13);
-    std::uint64_t seq = 0;
-    const auto [ptr, ec] =
-        std::from_chars(digits.begin(), digits.end(), seq);
-    if (ec != std::errc() || ptr != digits.end()) continue;
-    found.emplace_back(seq, entry.path().string());
-  }
-  std::sort(found.begin(), found.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  return found;
-}
-
-std::string read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("FleetStore: cannot read " + path);
-  std::ostringstream content;
-  content << in.rdbuf();
-  return content.str();
-}
-
-void write_all(int fd, std::string_view bytes, const std::string& what) {
-  while (!bytes.empty()) {
-    const ssize_t written = ::write(fd, bytes.data(), bytes.size());
-    if (written < 0) throw Error("FleetStore: write failed for " + what);
-    bytes.remove_prefix(static_cast<std::size_t>(written));
-  }
-}
-
-/// Crash-safe small-file publication: temp file, fsync, atomic rename.
-void publish_file(const std::string& final_path, std::string_view bytes) {
-  const std::string temp_path = final_path + ".tmp";
-  const int fd =
-      ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw Error("FleetStore: cannot create " + temp_path);
-  try {
-    write_all(fd, bytes, temp_path);
-  } catch (...) {
-    ::close(fd);
-    throw;
-  }
-  ::fsync(fd);
-  ::close(fd);
-  fs::rename(temp_path, final_path);
-}
-
-/// Parses "varint frame_len" by hand so a truncated length is a clean
-/// end-of-scan instead of an exception; returns false when the buffer ends
-/// mid-varint.
-bool scan_varint(std::string_view data, std::size_t& offset,
-                 std::uint64_t& value) {
-  value = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (offset >= data.size()) return false;
-    const auto byte = static_cast<unsigned char>(data[offset++]);
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return true;
-  }
-  return false;  // > 64 bits: treat as corruption, not a valid length
+  return sutil::segment_header(kSegmentMagic, base);
 }
 
 /// Result of scanning one segment file: stats plus every record that
@@ -326,69 +237,6 @@ bool load_snapshot_file(const std::string& path,
   return true;
 }
 
-struct ManifestContents {
-  std::uint64_t snapshot_seq{0};
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sealed;  // base, last
-  std::uint64_t active_base{0};
-};
-
-/// Parses manifest.edx; nullopt on any damage (the manifest is advisory,
-/// so damage only downgrades manifest_ok, never recovery).
-std::optional<ManifestContents> read_manifest(const std::string& path) {
-  std::string bytes;
-  try {
-    bytes = read_file_bytes(path);
-  } catch (const Error&) {
-    return std::nullopt;
-  }
-  ManifestContents contents;
-  try {
-    Reader file{std::string_view(bytes)};
-    if (file.remaining() < kManifestMagic.size() ||
-        file.bytes(kManifestMagic.size()) != kManifestMagic) {
-      return std::nullopt;
-    }
-    const std::uint64_t payload_len = file.varint();
-    if (file.remaining() != payload_len + 4) return std::nullopt;
-    const std::string_view payload_bytes =
-        file.bytes(static_cast<std::size_t>(payload_len));
-    if (file.u32le() != common::crc32c(payload_bytes)) return std::nullopt;
-    Reader payload(payload_bytes);
-    contents.snapshot_seq = payload.varint();
-    const std::uint64_t sealed_count = payload.varint();
-    if (sealed_count > payload.remaining()) return std::nullopt;
-    contents.sealed.reserve(static_cast<std::size_t>(sealed_count));
-    for (std::uint64_t i = 0; i < sealed_count; ++i) {
-      const std::uint64_t base = payload.varint();
-      const std::uint64_t last = payload.varint();
-      contents.sealed.emplace_back(base, last);
-    }
-    contents.active_base = payload.varint();
-    if (!payload.done()) return std::nullopt;
-  } catch (const ParseError&) {
-    return std::nullopt;
-  }
-  return contents;
-}
-
-std::string render_manifest(const ManifestContents& contents) {
-  std::string payload;
-  put_varint(payload, contents.snapshot_seq);
-  put_varint(payload, contents.sealed.size());
-  for (const auto& [base, last] : contents.sealed) {
-    put_varint(payload, base);
-    put_varint(payload, last);
-  }
-  put_varint(payload, contents.active_base);
-  std::string file;
-  file.reserve(payload.size() + 24);
-  file.append(kManifestMagic);
-  put_varint(file, payload.size());
-  file += payload;
-  put_u32le(file, common::crc32c(payload));
-  return file;
-}
-
 }  // namespace
 
 // ----------------------------------------------------------------------
@@ -435,14 +283,11 @@ FleetStore FleetStore::open(const std::string& directory,
 
   // A crash between temp-write and rename can leave a stray .tmp behind;
   // it was never published, so it is garbage.
-  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
-    const std::string name = entry.path().filename().string();
-    if (name.ends_with(".tmp")) fs::remove(entry.path());
-  }
+  sutil::remove_stale_temp_files(directory);
 
   // Newest valid snapshot wins; corrupt ones are skipped, falling back to
   // older snapshots and finally to an empty base state.
-  for (const auto& [seq, path] : list_snapshots(directory)) {
+  for (const auto& [seq, path] : sutil::list_snapshots(directory)) {
     ++st.recovery.snapshots_found;
     if (st.recovery.snapshot_seq != 0) continue;
     if (load_snapshot_file(path, st.snapshot_bundles, st.snapshot_names,
@@ -459,7 +304,7 @@ FleetStore FleetStore::open(const std::string& directory,
   }
   st.last_seq = st.recovery.snapshot_seq;
 
-  const auto segments = list_segments(directory);
+  const auto segments = sutil::list_segments(directory);
   const auto decode_begin = std::chrono::steady_clock::now();
   std::vector<SegmentScan> scans(segments.size());
   if (segments.size() > 1 &&
@@ -578,7 +423,7 @@ FleetStore FleetStore::open(const std::string& directory,
   // (and will be rewritten below to match reality).
   const std::string man_path = manifest_path(directory);
   if (fs::exists(man_path)) {
-    const std::optional<ManifestContents> manifest = read_manifest(man_path);
+    const std::optional<ManifestContents> manifest = sutil::read_manifest(man_path);
     if (!manifest) {
       st.recovery.manifest_ok = false;
       st.recovery.manifest_note =
@@ -942,7 +787,7 @@ void FleetStore::write_manifest() {
     }
     contents.active_base = active_base_;
   }
-  const std::string bytes = render_manifest(contents);
+  const std::string bytes = sutil::render_manifest(contents);
   std::lock_guard<std::mutex> lk(manifest_mutex_);
   publish_file(manifest_path(directory_), bytes);
 }
@@ -1077,7 +922,7 @@ void FleetStore::run_compaction(std::uint64_t cut,
 
     // Keep the previous snapshot as a fallback against latent corruption
     // of the new one; prune anything older.
-    const auto snapshots = list_snapshots(directory_);
+    const auto snapshots = sutil::list_snapshots(directory_);
     for (std::size_t i = 2; i < snapshots.size(); ++i) {
       fs::remove(snapshots[i].second);
     }

@@ -1,0 +1,68 @@
+// File-level plumbing shared by the WAL-backed stores (fleet_store.cpp,
+// shard_store.cpp): path naming, directory scans, crash-safe small-file
+// publication, the hand-rolled salvage varint, and the advisory manifest
+// codec.  Everything here is format-agnostic with respect to the *frame*
+// layout — the per-record framing (and its magic) stays with each store;
+// only the pieces that are byte-identical across layouts live here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace edx::store::sutil {
+
+/// Shared manifest magic: the manifest records *which* segments exist,
+/// not how their frames are laid out, so both layouts use one format.
+inline constexpr std::string_view kManifestMagic = "EDXMAN01";
+
+std::string segment_path(const std::string& directory, std::uint64_t base);
+std::string manifest_path(const std::string& directory);
+std::string snapshot_path(const std::string& directory, std::uint64_t seq);
+
+/// Segment file header: `magic` + varint base.
+std::string segment_header(std::string_view magic, std::uint64_t base);
+
+/// wal-<base>.edx files in `directory`, ascending base order.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& directory);
+
+/// snapshot-<seq>.edx files in `directory`, newest seq first.
+std::vector<std::pair<std::uint64_t, std::string>> list_snapshots(
+    const std::string& directory);
+
+/// Slurps a file; throws Error when unreadable.
+std::string read_file_bytes(const std::string& path);
+
+/// write(2) until done; throws Error naming `what` on failure.
+void write_all(int fd, std::string_view bytes, const std::string& what);
+
+/// Crash-safe small-file publication: temp file, fsync, atomic rename.
+void publish_file(const std::string& final_path, std::string_view bytes);
+
+/// Deletes stray .tmp files a crash between temp-write and rename left
+/// behind (they were never published, so they are garbage).
+void remove_stale_temp_files(const std::string& directory);
+
+/// Parses a varint by hand so a truncated length is a clean end-of-scan
+/// instead of an exception; returns false when the buffer ends mid-varint
+/// (or the value would exceed 64 bits — corruption, not a valid length).
+bool scan_varint(std::string_view data, std::size_t& offset,
+                 std::uint64_t& value);
+
+struct ManifestContents {
+  std::uint64_t snapshot_seq{0};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sealed;  // base, last
+  std::uint64_t active_base{0};
+};
+
+/// Parses manifest.edx; nullopt on any damage (the manifest is advisory,
+/// so damage only downgrades manifest_ok, never recovery).
+std::optional<ManifestContents> read_manifest(const std::string& path);
+
+std::string render_manifest(const ManifestContents& contents);
+
+}  // namespace edx::store::sutil

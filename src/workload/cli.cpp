@@ -28,7 +28,9 @@
 #include "loadgen/workload_spec.h"
 #include "power/calibration.h"
 #include "service/fleet_service.h"
+#include "service/shard_router.h"
 #include "store/fleet_store.h"
+#include "store/shard_store.h"
 #include "workload/catalog.h"
 #include "workload/experiment.h"
 #include "workload/session.h"
@@ -416,30 +418,22 @@ int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
                              : analyze_batch(paths, options, out);
 }
 
-int cmd_ingest(const IngestOptions& options, std::ostream& out) {
-  store::StoreOptions store_options;
-  store_options.fsync_policy = parse_fsync_policy(
-      options.fsync_policy, store_options.group_window_us);
-  if (options.segment_bytes != 0) {
-    store_options.segment_target_bytes = options.segment_bytes;
-  }
-  store_options.compress = options.compress;
-  store::FleetStore fleet_store =
-      store::FleetStore::open(options.store_dir, store_options);
-  // Queue asynchronously and make the whole batch durable with one
-  // flush(): the group-commit writer packs everything into large writes
-  // instead of paying one sync wait per bundle.
+namespace {
+
+/// Feeds every bundle the ingest flags name — operand files/directories
+/// first, then the simulated --app population — to `sink` in order, and
+/// returns how many there were.
+template <typename Sink>
+std::size_t each_ingest_bundle(const IngestOptions& options, Sink&& sink) {
   std::size_t appended = 0;
   for (const std::string& source : options.sources) {
     if (fs::is_directory(source)) {
       for (const std::string& path : bundle_paths(source)) {
-        fleet_store.append_async(
-            trace::TraceBundle::from_text(read_file(path)));
+        sink(trace::TraceBundle::from_text(read_file(path)));
         ++appended;
       }
     } else {
-      fleet_store.append_async(
-          trace::TraceBundle::from_text(read_file(source)));
+      sink(trace::TraceBundle::from_text(read_file(source)));
       ++appended;
     }
   }
@@ -452,12 +446,90 @@ int cmd_ingest(const IngestOptions& options, std::ostream& out) {
     const CollectedTraces traces =
         collect_traces(app, app.buggy, /*instrumented=*/true, population);
     for (const trace::TraceBundle& bundle : traces.bundles) {
-      fleet_store.append_async(bundle);
+      sink(bundle);
       ++appended;
     }
   }
   require(appended > 0,
           "ingest needs bundle files, directories, or --app to simulate");
+  return appended;
+}
+
+/// `ingest --tenant`: append into a partitioned service root, routing to
+/// the tenant's home shard exactly as a serving FleetService would.
+int ingest_partitioned(const IngestOptions& options,
+                       const store::StoreOptions& store_options,
+                       std::ostream& out) {
+  const std::string& root = options.store_dir;
+  const std::string& tenant = *options.tenant;
+  require(!tenant.empty(), "ingest: --tenant needs a non-empty key");
+  std::size_t shard_count = options.shards;
+  if (const auto layout = store::read_layout(root)) {
+    require(shard_count == 0 || shard_count == layout->shard_count,
+            "ingest: store root '" + root + "' is partitioned for " +
+                std::to_string(layout->shard_count) +
+                " shard(s); omit --shards or pass the stored count");
+    shard_count = layout->shard_count;
+  } else {
+    const store::RootInfo info = store::inspect_root(root);
+    require(info.kind == store::RootKind::kMissing ||
+                info.kind == store::RootKind::kEmpty,
+            "ingest: --tenant needs a fresh or partitioned store root, "
+            "but '" + root + "' already holds another store layout");
+    if (shard_count == 0) shard_count = 1;
+    fs::create_directories(root);
+    store::write_layout(root, shard_count);
+  }
+  // A non-hot tenant's bundles all land on its home shard, so only that
+  // one shard store is opened and written.
+  const std::size_t home = service::ShardRouter(shard_count, 1)
+                               .route(tenant, /*fleet_key=*/0, false);
+  store::ShardStore shard_store =
+      store::ShardStore::open(store::shard_dir(root, home), store_options);
+  const store::TenantId id = shard_store.ensure_tenant(tenant);
+  const std::size_t appended = each_ingest_bundle(
+      options,
+      [&](const trace::TraceBundle& bundle) {
+        shard_store.append_async(id, bundle);
+      });
+  shard_store.flush();
+  out << "ingested " << appended << " bundles into " << root << " shard-"
+      << home << " as tenant '" << tenant << "' (last seq "
+      << shard_store.tenant_last_seq(id) << ", fleet "
+      << shard_store.fleet_refs(id).size() << " users, " << shard_count
+      << " shard(s))\n";
+  if (options.compact) {
+    shard_store.compact();
+    out << "compacted shard-" << home << " into snapshot-"
+        << shard_store.snapshot_seq() << ".edx\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int cmd_ingest(const IngestOptions& options, std::ostream& out) {
+  store::StoreOptions store_options;
+  store_options.fsync_policy = parse_fsync_policy(
+      options.fsync_policy, store_options.group_window_us);
+  if (options.segment_bytes != 0) {
+    store_options.segment_target_bytes = options.segment_bytes;
+  }
+  store_options.compress = options.compress;
+  if (options.tenant.has_value()) {
+    return ingest_partitioned(options, store_options, out);
+  }
+  require(options.shards == 0, "ingest: --shards needs --tenant KEY");
+  store::FleetStore fleet_store =
+      store::FleetStore::open(options.store_dir, store_options);
+  // Queue asynchronously and make the whole batch durable with one
+  // flush(): the group-commit writer packs everything into large writes
+  // instead of paying one sync wait per bundle.
+  const std::size_t appended = each_ingest_bundle(
+      options,
+      [&](const trace::TraceBundle& bundle) {
+        fleet_store.append_async(bundle);
+      });
   fleet_store.flush();
   out << "ingested " << appended << " bundles into " << options.store_dir
       << " (last seq " << fleet_store.last_seq() << ", fleet "
@@ -471,9 +543,109 @@ int cmd_ingest(const IngestOptions& options, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+/// Shared segment-table line ("wal-...edx: seq A..B, N records, ...");
+/// the per-tenant counts a tenant-tagged segment carries are appended.
+void print_segment_line(const store::SegmentStats& segment,
+                        const std::string& indent, std::ostream& out) {
+  out << indent << segment.file << ": ";
+  if (segment.records == 0) {
+    out << "empty";
+  } else {
+    out << "seq " << segment.base_seq << ".." << segment.last_seq << ", "
+        << segment.records << " records";
+  }
+  out << ", " << segment.bytes << " bytes, "
+      << (segment.sealed ? "sealed" : "active");
+  if (segment.torn) out << ", torn: " << segment.reason;
+  if (!segment.tenant_records.empty()) {
+    out << "; tenants:";
+    for (const auto& [key, records] : segment.tenant_records) {
+      out << " " << key << "=" << records;
+    }
+  }
+  out << "\n";
+}
+
+/// store-info for a partitioned service root: one block per shard with
+/// its tenant table and tenant-tagged segment table.
+int store_info_partitioned(const std::string& root,
+                           const store::RootInfo& info, std::ostream& out) {
+  out << "store root: " << root << " (partitioned, " << info.shard_count
+      << " shard(s))\n";
+  if (!store::read_layout(root).has_value()) {
+    out << "  layout.edx: missing — shard count inferred from the "
+           "shard-<i> directories\n";
+  }
+  for (std::size_t s = 0; s < info.shard_count; ++s) {
+    const std::string dir = store::shard_dir(root, s);
+    out << "shard-" << s << ":";
+    if (!fs::is_directory(dir)) {
+      out << " no directory yet (nothing routed here)\n";
+      continue;
+    }
+    const store::ShardStore shard_store = store::ShardStore::open(dir);
+    const store::RecoveryStats& stats = shard_store.recovery();
+    out << " " << shard_store.tenant_count() << " tenant(s), last seq "
+        << shard_store.last_seq() << ", snapshot seq "
+        << shard_store.snapshot_seq() << "\n";
+    for (const store::TenantInfo& tenant : shard_store.tenants()) {
+      out << "  tenant " << tenant.id << " '" << tenant.key << "': fleet "
+          << tenant.fleet_size << " users, tail " << tenant.tail_size
+          << ", last seq " << tenant.last_seq << "\n";
+    }
+    for (const store::SegmentStats& segment : stats.segments) {
+      print_segment_line(segment, "  ", out);
+    }
+    if (stats.wal_tail_torn) {
+      out << "  tail: torn — " << stats.wal_tail_reason << " ("
+          << stats.wal_bytes_dropped << " bytes dropped, repaired on open)\n";
+    } else {
+      out << "  tail: clean\n";
+    }
+  }
+  if (!info.tenant_dirs.empty()) {
+    out << "verdict: partitioned, but " << info.tenant_dirs.size()
+        << " unmigrated legacy tenant dir(s) remain";
+    for (const std::string& key : info.tenant_dirs) out << " " << key;
+    out << " — serve --store-root finishes the migration in place\n";
+  } else {
+    out << "verdict: partitioned layout, ready to serve\n";
+  }
+  return 0;
+}
+
+/// store-info for a pre-partition root (one FleetStore per tenant):
+/// per-tenant summaries plus the migration verdict.
+int store_info_legacy(const std::string& root, const store::RootInfo& info,
+                      std::ostream& out) {
+  out << "store root: " << root << " (legacy per-tenant layout, "
+      << info.tenant_dirs.size() << " tenant store(s))\n";
+  for (const std::string& key : info.tenant_dirs) {
+    const store::FleetStore fleet_store =
+        store::FleetStore::open((fs::path(root) / key).string());
+    out << "  " << key << ": fleet " << fleet_store.fleet_size()
+        << " users, last seq " << fleet_store.last_seq()
+        << ", snapshot seq " << fleet_store.snapshot_seq() << "\n";
+  }
+  out << "verdict: legacy per-tenant layout — serve --store-root " << root
+      << " migrates it to the partitioned (per-shard) layout in place\n";
+  return 0;
+}
+
+}  // namespace
+
 int cmd_store_info(const std::string& store_dir, std::ostream& out) {
   require(fs::is_directory(store_dir),
           "store-info: no store directory at " + store_dir);
+  const store::RootInfo root_info = store::inspect_root(store_dir);
+  if (root_info.kind == store::RootKind::kPartitioned) {
+    return store_info_partitioned(store_dir, root_info, out);
+  }
+  if (root_info.kind == store::RootKind::kLegacyPerTenant) {
+    return store_info_legacy(store_dir, root_info, out);
+  }
   const store::FleetStore fleet_store = store::FleetStore::open(store_dir);
   const store::RecoveryStats& stats = fleet_store.recovery();
   out << "store: " << store_dir << "\n";
@@ -710,6 +882,12 @@ int cmd_serve(const ServeOptions& options, std::ostream& out) {
   service::ServiceOptions service_options = base_service_options(
       options.shards, options.step1_threads, options.hot_fanout, loads);
   service_options.store_root = options.store_root;
+  service_options.store.fsync_policy = parse_fsync_policy(
+      options.fsync_policy, service_options.store.group_window_us);
+  if (options.segment_bytes != 0) {
+    service_options.store.segment_target_bytes = options.segment_bytes;
+  }
+  service_options.store.compress = options.compress;
   if (options.reported_fraction.has_value()) {
     service_options.self_estimate_fraction = false;
     service_options.analysis.reporting.developer_reported_fraction =
@@ -741,7 +919,11 @@ int cmd_serve(const ServeOptions& options, std::ostream& out) {
   }
   const service::ServiceStats stats = fleet_service.stats();
   out << "service: " << stats.submitted << " submitted, " << stats.batches
-      << " ingest batch(es), queue peak " << stats.queue_peak << "\n";
+      << " ingest batch(es), queue peak " << stats.queue_peak;
+  if (!options.store_root.empty()) {
+    out << ", " << stats.store_fsyncs << " store fsync(s)";
+  }
+  out << "\n";
   return 0;
 }
 
@@ -849,6 +1031,7 @@ int cmd_loadgen(const LoadgenOptions& options, std::ostream& out) {
 
   service::ServiceOptions service_options;
   service_options.num_shards = options.shards;
+  service_options.store_root = options.store_root;
   if (spec.hot_apps > 0) {
     // The spec's hot tenants fan out in the service too, matching the
     // skewed traffic they receive.
@@ -906,6 +1089,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
            "[--threads N] [--incremental] [--report-every K] | "
            "ingest --store DIR [<bundle-or-dir> ...] "
            "[--app ID --users N --seed S] [--compact] "
+           "[--tenant KEY [--shards N]] "
            "[--fsync-policy always|group|group:<us>|none] "
            "[--segment-bytes N] [--compress] | "
            "store-info --store DIR | "
@@ -914,13 +1098,15 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
            "calibrate <samples.csv> <name> | "
            "serve --apps ID[,ID,...] [--users N] [--seed S] [--shards N] "
            "[--writers N] [--threads N] [--hot-fanout N] [--store-root DIR] "
+           "[--fsync-policy always|group|group:<us>|none] "
+           "[--segment-bytes N] [--compress] "
            "[--reported-fraction F] [--json] | "
            "bench-serve --apps ID[,ID,...] [--users N] [--seed S] "
            "[--shards N] [--writers N] [--readers N] [--threads N] "
            "[--queue-capacity N] [--hot-fanout N] [--repeat K] | "
            "loadgen (--workload NAME | --spec FILE) [--rate R] "
            "[--duration MS] [--threads N] [--seed S] [--shards N] "
-           "[--out FILE]>\n";
+           "[--store-root DIR] [--out FILE]>\n";
     return args.empty() ? 2 : 0;
   }
   const std::string& command = args[0];
@@ -983,7 +1169,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
   if (command == "ingest") {
     FlagSet flags("ingest", rest,
                   {"--store", "--app", "--users", "--seed", "--fsync-policy",
-                   "--segment-bytes"},
+                   "--segment-bytes", "--tenant", "--shards"},
                   {"--compact", "--compress"});
     IngestOptions options;
     const auto store_flag = flags.value("--store");
@@ -1009,6 +1195,11 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
         to_int(flags.value("--segment-bytes").value_or("0"),
                "--segment-bytes", 0, std::int64_t{1} << 40));
     options.compress = flags.has_switch("--compress");
+    if (const auto tenant = flags.value("--tenant")) {
+      options.tenant = *tenant;
+    }
+    options.shards = static_cast<std::size_t>(
+        to_int(flags.value("--shards").value_or("0"), "--shards", 0, 4096));
     return cmd_ingest(options, out);
   }
   if (command == "store-info") {
@@ -1063,8 +1254,9 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     FlagSet flags("serve", rest,
                   {"--apps", "--users", "--seed", "--shards", "--writers",
                    "--threads", "--hot-fanout", "--store-root",
+                   "--fsync-policy", "--segment-bytes",
                    "--reported-fraction"},
-                  {"--json"});
+                  {"--json", "--compress"});
     flags.reject_extra_positionals(0, "--apps ID[,ID,...]");
     ServeOptions options;
     options.app_ids =
@@ -1087,6 +1279,13 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     }
     options.as_json = flags.has_switch("--json");
     options.store_root = flags.value("--store-root").value_or("");
+    if (const auto policy = flags.value("--fsync-policy")) {
+      options.fsync_policy = *policy;
+    }
+    options.segment_bytes = static_cast<std::size_t>(
+        to_int(flags.value("--segment-bytes").value_or("0"),
+               "--segment-bytes", 0, std::int64_t{1} << 40));
+    options.compress = flags.has_switch("--compress");
     return cmd_serve(options, out);
   }
   if (command == "bench-serve") {
@@ -1123,7 +1322,8 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
   if (command == "loadgen") {
     FlagSet flags("loadgen", rest,
                   {"--workload", "--spec", "--rate", "--duration",
-                   "--threads", "--seed", "--shards", "--out"},
+                   "--threads", "--seed", "--shards", "--store-root",
+                   "--out"},
                   {});
     flags.reject_extra_positionals(0, "--workload NAME or --spec FILE");
     LoadgenOptions options;
@@ -1147,6 +1347,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     }
     options.shards = static_cast<std::size_t>(
         to_int(flags.value("--shards").value_or("0"), "--shards", 0, 4096));
+    options.store_root = flags.value("--store-root").value_or("");
     options.out_path = flags.value("--out").value_or("");
     return cmd_loadgen(options, out);
   }

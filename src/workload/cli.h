@@ -9,6 +9,7 @@
 //                    [--incremental] [--report-every K]
 //   energydx ingest --store DIR [<bundle.txt-or-dir> ...]
 //                   [--app ID --users N --seed S] [--compact]
+//                   [--tenant KEY [--shards N]]
 //                   [--fsync-policy always|group|group:<us>|none]
 //                   [--segment-bytes N] [--compress]
 //   energydx store-info --store DIR
@@ -17,14 +18,17 @@
 //   energydx calibrate <samples.csv> <device-name>
 //   energydx serve --apps ID[,ID,...] [--users N] [--seed S] [--shards N]
 //                  [--writers N] [--threads N] [--hot-fanout N]
-//                  [--store-root DIR] [--reported-fraction F] [--json]
+//                  [--store-root DIR]
+//                  [--fsync-policy always|group|group:<us>|none]
+//                  [--segment-bytes N] [--compress]
+//                  [--reported-fraction F] [--json]
 //   energydx bench-serve --apps ID[,ID,...] [--users N] [--seed S]
 //                        [--shards N] [--writers N] [--readers N]
 //                        [--threads N] [--queue-capacity N]
 //                        [--hot-fanout N] [--repeat K]
 //   energydx loadgen (--workload NAME | --spec FILE) [--rate R]
 //                    [--duration MS] [--threads N] [--seed S]
-//                    [--shards N] [--out FILE]
+//                    [--shards N] [--store-root DIR] [--out FILE]
 //
 // Every subcommand shares one flag parser (`--name value` or
 // `--name=value`); repeating a named flag is a usage error (exit 2), not
@@ -41,8 +45,14 @@
 // a drain barrier) one diagnosis report per app.  The report body is
 // byte-identical to `analyze` over the same population — the service's
 // equivalence contract.  --hot-fanout > 1 marks every app hot (fleet-key
-// range fan-out); --store-root gives each tenant a durable FleetStore
-// under <root>/<app-key>.  `bench-serve` is the load harness: same
+// range fan-out); --store-root makes the service durable over a
+// PARTITIONED store — one tenant-tagged ShardStore per ingest shard at
+// <root>/shard-<i> (shard count pinned by <root>/layout.edx), so a
+// multi-tenant ingest batch costs one fsync per shard, not one per
+// tenant; --fsync-policy/--segment-bytes/--compress tune those stores
+// exactly as ingest's flags tune a single store.  A legacy per-tenant
+// root (one FleetStore directory per app key) is migrated in place the
+// first time serve opens it.  `bench-serve` is the load harness: same
 // traffic plus --readers threads polling snapshots while writers run,
 // reporting ingest throughput and snapshot-staleness percentiles
 // (arrivals submitted but not yet covered by the published epoch).
@@ -61,20 +71,29 @@
 // the machine-readable results JSON perf_smoke.py gates.  Exits 1 when
 // any SLO fails.
 //
-// The durable store (store/fleet_store.h): `ingest` appends bundles into
-// a segmented-WAL store directory — from bundle files / trace
-// directories given as operands, and/or a simulated population (--app) —
-// under a chosen group-commit fsync policy, optionally with per-frame
-// compression, optionally compacting afterwards (the compaction runs on
-// the store's background thread; ingest waits for it before reporting).
+// The durable store (store/fleet_store.h, store/shard_store.h):
+// `ingest` appends bundles into a segmented-WAL store directory — from
+// bundle files / trace directories given as operands, and/or a
+// simulated population (--app) — under a chosen group-commit fsync
+// policy, optionally with per-frame compression, optionally compacting
+// afterwards (the compaction runs on the store's background thread;
+// ingest waits for it before reporting).  With --tenant KEY the target
+// is a partitioned service root instead: bundles land tenant-tagged in
+// KEY's shard store (creating the root with --shards N when missing),
+// ready for `serve --store-root` to recover.
 // `analyze --store DIR` recovers the fleet (newest valid snapshot + WAL
 // segments, --threads segment decoders, tolerating a torn tail) and
 // produces a report byte-identical to a never-restarted run over the
 // same uploads; with --incremental the snapshotted bundles warm-start
-// core::FleetAnalyzer from the stored Step-1 state.  `store-info` prints
-// record counts, snapshot seq, per-segment recovery diagnostics, and
-// manifest status without analyzing anything; a torn-but-salvaged tail
-// is a diagnostic, not an error.
+// core::FleetAnalyzer from the stored Step-1 state.  `store-info` first
+// classifies what the directory IS — a single FleetStore, a partitioned
+// service root, or a legacy per-tenant root — and prints the matching
+// view: record counts, snapshot seq, per-segment recovery diagnostics
+// and manifest status for a single store; a per-shard segment table
+// with per-tenant record counts for a partitioned root; a clear
+// "legacy layout" verdict (with per-tenant summaries) for the
+// pre-partition layout.  A torn-but-salvaged tail is a diagnostic, not
+// an error.
 //
 // Exit codes — run() maps exceptions to error classes via exit_code_for():
 //   0  success
@@ -159,7 +178,17 @@ int cmd_analyze(const std::string& trace_dir, const AnalyzeOptions& options,
 
 /// How `cmd_ingest` fills a durable store.
 struct IngestOptions {
+  /// A single-tenant FleetStore directory — or, with `tenant` set, a
+  /// partitioned service root (layout.edx + shard-<i>/ subdirectories).
   std::string store_dir;
+  /// Ingest into a partitioned root as this tenant: bundles are routed
+  /// to the tenant's shard exactly as a serving FleetService would, so
+  /// `serve --store-root` recovers them.
+  std::optional<std::string> tenant;
+  /// Shard count when `tenant` creates a fresh partitioned root (0 = 1
+  /// shard).  An existing layout.edx pins the count; contradicting it
+  /// is an error.
+  std::size_t shards{0};
   /// Bundle files (trace/recorder.h text format) and/or directories of
   /// bundle_*.txt, appended in the given order (directories in sorted
   /// filename order).
@@ -223,8 +252,18 @@ struct ServeOptions {
   /// analyze default).
   std::optional<double> reported_fraction;
   bool as_json{false};
-  /// Non-empty: durable per-tenant stores under <store_root>/<app-key>.
+  /// Non-empty: a durable partitioned store — one tenant-tagged
+  /// ShardStore per ingest shard under <store_root>/shard-<i>, one
+  /// group-commit fsync per shard per ingest batch.  A legacy
+  /// per-tenant root migrates in place on open.
   std::string store_root;
+  /// WAL durability for the shard stores: "always", "group",
+  /// "group:<microseconds>", "none".
+  std::string fsync_policy{"group"};
+  /// Segment roll size in bytes (0 = the store default, 8 MiB).
+  std::size_t segment_bytes{0};
+  /// Write compressed WAL frames when compression actually shrinks them.
+  bool compress{false};
 };
 
 /// Simulates one population per app, serves the interleaved arrivals
@@ -273,6 +312,10 @@ struct LoadgenOptions {
   std::optional<std::uint64_t> seed;
   /// Ingest shards for the FleetService under test (0 = auto).
   std::size_t shards{0};
+  /// Non-empty: the service runs store-backed — a partitioned store at
+  /// this root, one ShardStore per shard (the durable-ingest variant of
+  /// the workload).
+  std::string store_root;
   /// Non-empty: also write the results JSON here (the document
   /// tools/perf_smoke.py --loadgen-results gates).
   std::string out_path;

@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -227,6 +230,71 @@ TEST(LoadgenDeterminism, FinalReportMatchesBatchOverAppliedPrefix) {
     }
     EXPECT_EQ(apps_checked, spec.apps);
   }
+}
+
+TEST(LoadgenDeterminism, ManyTenantsThroughPartitionedStoreRoundTrips) {
+  // The shipped many-tenants sweep, CI-sized, against a durable
+  // partitioned root: every tenant's bytes survive a restart exactly,
+  // and the op sequences stay a pure function of (spec, seed).
+  const std::string path =
+      std::string(EDX_SOURCE_DIR) + "/examples/many_tenants.workload";
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  WorkloadSpec spec = WorkloadSpec::parse(buffer.str(), path);
+  spec.apps = 6;  // CI-sized slice of the tenant axis
+  spec.users = 24;
+  spec.ops_per_stream = 40;
+  spec.validate();
+
+  const std::string root =
+      ::testing::TempDir() + "/edx_loadgen_many_tenants";
+  std::filesystem::remove_all(root);
+
+  service::ServiceOptions service_options;
+  core::AnalysisConfig config;
+  config.num_threads = 1;
+  service_options.analysis = config;
+  service_options.num_shards = 2;
+  service_options.store_root = root;
+
+  std::map<std::string, std::string> final_bytes;
+  std::vector<std::vector<Op>> reference_ops;
+  {
+    service::FleetService service(service_options);
+    RunOptions options;
+    options.threads = 2;
+    options.capture_ops = true;
+    const LoadReport report = run_load(spec, service, options);
+    reference_ops = report.op_trace;
+    EXPECT_GT(service.stats().store_fsyncs, 0u);
+    for (std::size_t a = 0; a < spec.apps; ++a) {
+      const std::string key = app_key(a);
+      const auto snap = service.snapshot(key);
+      if (snap == nullptr) continue;
+      final_bytes[key] = render_image(*snap->image);
+    }
+    ASSERT_FALSE(final_bytes.empty());
+    service.close();
+  }
+
+  // Restart adopts the pinned layout and replays to the same bytes.
+  service::ServiceOptions reopen = service_options;
+  reopen.num_shards = 0;
+  service::FleetService restarted(reopen);
+  for (const auto& [key, bytes] : final_bytes) {
+    SCOPED_TRACE("app=" + key);
+    const auto snap = restarted.snapshot(key);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(render_image(*snap->image), bytes);
+  }
+
+  // And the same spec re-run from scratch issues identical op streams.
+  service::FleetService fresh{service::ServiceOptions{}};
+  RunOptions options;
+  options.threads = 8;
+  options.capture_ops = true;
+  EXPECT_EQ(run_load(spec, fresh, options).op_trace, reference_ops);
 }
 
 }  // namespace

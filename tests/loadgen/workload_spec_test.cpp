@@ -95,7 +95,8 @@ TEST(WorkloadSpec, RoundTripIsExact) {
 
 TEST(WorkloadSpec, ShippedExamplesParseAndRoundTrip) {
   for (const std::string name :
-       {"steady_mixed.workload", "ramp_saturation.workload"}) {
+       {"steady_mixed.workload", "ramp_saturation.workload",
+        "many_tenants.workload"}) {
     const std::string path =
         std::string(EDX_SOURCE_DIR) + "/examples/" + name;
     const std::string text = read_file(path);

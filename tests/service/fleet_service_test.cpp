@@ -9,16 +9,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
 #include "core/pipeline.h"
 #include "core/report_io.h"
+#include "store/fleet_store.h"
+#include "store/shard_store.h"
 
 namespace edx::service {
 namespace {
@@ -331,6 +339,292 @@ TEST(FleetServiceTest, StoreBackedTenantRecoversAndPublishesOnOpen) {
   EXPECT_EQ(render_image(*restarted.snapshot("app")->image),
             batch_reference(all, make_config(), /*self_estimate=*/false));
   EXPECT_EQ(restarted.stats().per_app[0].store_last_seq, all.size());
+}
+
+/// The active WAL of shard `index` under a partitioned root (largest
+/// wal-<base>.edx in the shard directory).
+std::string shard_active_wal(const std::string& root, std::size_t index) {
+  const std::string dir = store::shard_dir(root, index);
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".edx")) {
+      found.emplace_back(std::stoull(name.substr(4)), entry.path().string());
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no WAL segments in " << dir;
+  return std::max_element(found.begin(), found.end())->second;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FleetServiceTest, PartitionedRootRestartIsByteIdenticalAcrossShards) {
+  const std::vector<AppKey> apps = {"mail", "maps", "podcast"};
+  // Two passes so the second is all re-uploads (last-write-wins on disk).
+  std::vector<std::pair<AppKey, trace::TraceBundle>> stream;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (UserId user = 0; user < 5; ++user) {
+      for (std::size_t a = 0; a < apps.size(); ++a) {
+        const bool abd = (user + a + pass) % 3 == 0;
+        stream.emplace_back(apps[a],
+                            make_trace(user, abd, /*variant=*/pass * 3 +
+                                                      static_cast<int>(a)));
+      }
+    }
+  }
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const std::string root = ::testing::TempDir() +
+                             "/edx_service_partitioned_" +
+                             std::to_string(shards);
+    fs::remove_all(root);
+    ServiceOptions options = make_options(shards);
+    options.store_root = root;
+
+    // Session 1: first pass, check prefix equivalence per app, restart.
+    std::map<AppKey, std::vector<trace::TraceBundle>> applied;
+    {
+      FleetService service(options);
+      for (std::size_t i = 0; i < stream.size() / 2; ++i) {
+        service.submit(stream[i].first, stream[i].second);
+        applied[stream[i].first].push_back(stream[i].second);
+      }
+      service.drain();
+      for (const AppKey& app : apps) {
+        SCOPED_TRACE("app=" + app);
+        EXPECT_EQ(render_image(*service.snapshot(app)->image),
+                  batch_reference(applied[app], make_config(),
+                                  /*self_estimate=*/false));
+      }
+      EXPECT_GT(service.stats().store_fsyncs, 0u);
+    }
+    ASSERT_TRUE(fs::exists(root + "/layout.edx"));
+
+    // Session 2 adopts the pinned shard count (num_shards = 0) and must
+    // publish the recovered fleets before any new arrival.
+    ServiceOptions adopt = options;
+    adopt.num_shards = 0;
+    FleetService restarted(adopt);
+    EXPECT_EQ(restarted.options().num_shards, shards);
+    for (const AppKey& app : apps) {
+      SCOPED_TRACE("recovered app=" + app);
+      const auto snap = restarted.snapshot(app);
+      ASSERT_NE(snap, nullptr);
+      EXPECT_EQ(snap->image->arrivals, applied[app].size());
+      EXPECT_EQ(render_image(*snap->image),
+                batch_reference(applied[app], make_config(),
+                                /*self_estimate=*/false));
+    }
+    // Second pass (re-uploads) lands on the restarted service; the final
+    // bytes match a never-restarted batch over the full applied order.
+    for (std::size_t i = stream.size() / 2; i < stream.size(); ++i) {
+      restarted.submit(stream[i].first, stream[i].second);
+      applied[stream[i].first].push_back(stream[i].second);
+    }
+    restarted.drain();
+    for (const AppKey& app : apps) {
+      SCOPED_TRACE("final app=" + app);
+      EXPECT_EQ(render_image(*restarted.snapshot(app)->image),
+                batch_reference(applied[app], make_config(),
+                                /*self_estimate=*/false));
+    }
+  }
+}
+
+TEST(FleetServiceTest, GroupCommitCostsOneFsyncPerDrainNotPerTenant) {
+  const std::string root = ::testing::TempDir() + "/edx_service_groupcommit";
+  fs::remove_all(root);
+  ServiceOptions options = make_options(1);
+  options.store_root = root;
+  // A group window far longer than the test: the only sync trigger is
+  // the worker's end-of-batch flush.
+  options.store.group_window_us = 60'000'000;
+
+  FleetService service(options);
+  const std::uint64_t before = service.stats().store_fsyncs;
+  // One submit_batch = one worker batch: it is enqueued under the shard
+  // lock in one go, so the drain touches all 3 tenants in one
+  // process_batch and must cost exactly ONE fdatasync — the
+  // group-commit receipt the partitioned store exists for.
+  std::vector<std::pair<AppKey, trace::TraceBundle>> batch;
+  for (UserId user = 0; user < 2; ++user) {
+    for (const AppKey app : {"mail", "maps", "podcast"}) {
+      batch.emplace_back(app, make_trace(user, user % 2 == 0));
+    }
+  }
+  std::map<AppKey, std::vector<trace::TraceBundle>> by_app;
+  for (auto& [app, bundle] : batch) by_app[app].push_back(bundle);
+  for (auto& [app, bundles] : by_app) service.submit_batch(app, bundles);
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.per_app.size(), 3u);
+  // submit_batch is per-app, so up to 3 worker batches ran — but never
+  // one sync per touched tenant per batch.
+  EXPECT_LE(stats.store_fsyncs - before, 3u);
+  EXPECT_GE(stats.store_fsyncs - before, 1u);
+}
+
+TEST(FleetServiceTest, TornMixedTenantWalTailRecoversAppliedPrefix) {
+  const std::string root = ::testing::TempDir() + "/edx_service_torntail";
+  fs::remove_all(root);
+  ServiceOptions options = make_options(1);
+  options.store_root = root;
+
+  // Alternate two apps with a drain between submits so the shared WAL
+  // order is deterministic: mail0, maps0, mail1, maps1, mail2, maps2.
+  std::vector<trace::TraceBundle> mail, maps;
+  for (UserId user = 0; user < 3; ++user) {
+    mail.push_back(make_trace(user, user % 2 == 0, /*variant=*/1));
+    maps.push_back(make_trace(user, user % 2 == 1, /*variant=*/2));
+  }
+  {
+    FleetService service(options);
+    for (std::size_t i = 0; i < mail.size(); ++i) {
+      service.submit("mail", mail[i]);
+      service.drain();
+      service.submit("maps", maps[i]);
+      service.drain();
+    }
+  }
+  // Tear the final record (maps2) mid-frame: a crash mid-write on the
+  // tenant-tagged log. mail's fleet is complete, maps loses one upload.
+  const std::string wal = shard_active_wal(root, 0);
+  const std::string wal_bytes = read_file(wal);
+  ASSERT_GT(wal_bytes.size(), 25u);
+  write_file(wal, wal_bytes.substr(0, wal_bytes.size() - 25));
+
+  FleetService restarted(options);
+  const auto mail_snap = restarted.snapshot("mail");
+  ASSERT_NE(mail_snap, nullptr);
+  EXPECT_EQ(mail_snap->image->arrivals, 3u);
+  EXPECT_EQ(render_image(*mail_snap->image),
+            batch_reference(mail, make_config(), /*self_estimate=*/false));
+  const auto maps_snap = restarted.snapshot("maps");
+  ASSERT_NE(maps_snap, nullptr);
+  EXPECT_EQ(maps_snap->image->arrivals, 2u);
+  EXPECT_EQ(render_image(*maps_snap->image),
+            batch_reference(std::span(maps.data(), 2), make_config(),
+                            /*self_estimate=*/false));
+}
+
+TEST(FleetServiceTest, LegacyPerTenantRootMigratesInPlace) {
+  const std::string root = ::testing::TempDir() + "/edx_service_legacy";
+  fs::remove_all(root);
+
+  // Build the pre-partition layout directly: one FleetStore per tenant,
+  // including a re-upload so replace-not-duplicate must be preserved.
+  std::vector<trace::TraceBundle> mail, maps;
+  for (UserId user = 0; user < 4; ++user) {
+    mail.push_back(make_trace(user, user % 3 == 0));
+  }
+  mail.push_back(make_trace(1, /*with_abd=*/true, /*variant=*/5));
+  for (UserId user = 0; user < 2; ++user) {
+    maps.push_back(make_trace(user, user == 1, /*variant=*/2));
+  }
+  {
+    store::FleetStore store = store::FleetStore::open(root + "/mail");
+    for (const trace::TraceBundle& bundle : mail) store.append(bundle);
+  }
+  {
+    store::FleetStore store = store::FleetStore::open(root + "/maps");
+    for (const trace::TraceBundle& bundle : maps) store.append(bundle);
+  }
+  ASSERT_EQ(store::inspect_root(root).kind,
+            store::RootKind::kLegacyPerTenant);
+
+  ServiceOptions options = make_options(2);
+  options.store_root = root;
+  {
+    FleetService service(options);
+    // The migration finished before the constructor returned: the
+    // legacy dirs are gone and every fleet was published.
+    const store::RootInfo info = store::inspect_root(root);
+    EXPECT_EQ(info.kind, store::RootKind::kPartitioned);
+    EXPECT_EQ(info.shard_count, 2u);
+    EXPECT_TRUE(info.tenant_dirs.empty());
+    EXPECT_EQ(render_image(*service.snapshot("mail")->image),
+              batch_reference(mail, make_config(), /*self_estimate=*/false));
+    EXPECT_EQ(render_image(*service.snapshot("maps")->image),
+              batch_reference(maps, make_config(), /*self_estimate=*/false));
+  }
+  // Reopening the migrated root is byte-identical again (idempotent).
+  FleetService reopened(options);
+  EXPECT_EQ(render_image(*reopened.snapshot("mail")->image),
+            batch_reference(mail, make_config(), /*self_estimate=*/false));
+  EXPECT_EQ(render_image(*reopened.snapshot("maps")->image),
+            batch_reference(maps, make_config(), /*self_estimate=*/false));
+}
+
+TEST(FleetServiceTest, PartitionedRootRejectsMismatchedShardCount) {
+  const std::string root = ::testing::TempDir() + "/edx_service_mismatch";
+  fs::remove_all(root);
+  ServiceOptions options = make_options(2);
+  options.store_root = root;
+  { FleetService service(options); }  // pins shard_count = 2
+
+  ServiceOptions wrong = make_options(3);
+  wrong.store_root = root;
+  EXPECT_THROW(FleetService{wrong}, edx::Error);
+
+  ServiceOptions adopt = make_options(0);
+  adopt.store_root = root;
+  FleetService adopted(adopt);
+  EXPECT_EQ(adopted.options().num_shards, 2u);
+}
+
+TEST(FleetServiceTest, SingleStoreRootIsRejectedWithClearError) {
+  const std::string root = ::testing::TempDir() + "/edx_service_singleroot";
+  fs::remove_all(root);
+  {
+    store::FleetStore store = store::FleetStore::open(root);
+    store.append(make_trace(0, true));
+  }
+  ServiceOptions options = make_options(1);
+  options.store_root = root;
+  EXPECT_THROW(FleetService{options}, edx::Error);
+}
+
+// The shutdown-ordering satellite: a store writer-thread error raised by
+// the FINAL drain must come out of close() (and only be swallowed — with
+// a stderr note — by the destructor), never silently dropped.
+TEST(FleetServiceTest, CloseSurfacesStoreWriterErrorFromFinalDrain) {
+  const std::string root = ::testing::TempDir() + "/edx_service_writererr";
+  fs::remove_all(root);
+  ServiceOptions options = make_options(1);
+  options.store_root = root;
+  options.store.segment_target_bytes = 2'000;  // seal on ~every record
+
+  auto service = std::make_unique<FleetService>(options);
+  service->submit("app", make_trace(0, true));
+  service->drain();
+  // Pull the store out from under the writer: the open fd keeps
+  // absorbing writes, but sealing (creating the next segment) fails in
+  // the store's writer thread during the drain below.
+  fs::remove_all(root);
+  for (UserId user = 1; user < 8; ++user) {
+    service->submit("app", make_trace(user, user % 2 == 0));
+  }
+  EXPECT_THROW(service->close(), edx::Error);
+  service.reset();  // second close() via destructor: idempotent, quiet
+}
+
+TEST(FleetServiceTest, SubmitAfterCloseThrows) {
+  FleetService service(make_options(2));
+  service.submit("app", make_trace(0, true));
+  service.close();
+  EXPECT_THROW(service.submit("app", make_trace(1, false)), edx::Error);
+  const std::vector<trace::TraceBundle> late = {make_trace(1, false)};
+  EXPECT_THROW(service.submit_batch("app", late), edx::Error);
 }
 
 TEST(FleetServiceTest, ErrorAndEmptyStates) {

@@ -1,0 +1,773 @@
+// ShardStore's durability contract: many tenants share one tenant-tagged
+// WAL, a drained batch touching K tenants costs ONE fdatasync (not K),
+// and recovery fans the tagged records back out to byte-identical
+// per-tenant fleets for any decoder thread count.  Crash repair follows
+// fleet_store_test.cpp exactly — a torn mixed-tenant active tail is
+// truncated to the salvaged prefix, sealed segments are never modified —
+// plus the partitioned-root helpers (layout pinning, root inspection)
+// the service builds on.  See store/shard_store.h and DESIGN.md §16.
+#include "store/shard_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "core/event_power.h"
+#include "core/fleet_analyzer.h"
+#include "core/pipeline.h"
+#include "core/report_io.h"
+#include "power/tracker.h"
+#include "store/fleet_store.h"
+#include "trace/recorder.h"
+
+namespace edx::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_store(const std::string& leaf) {
+  const std::string path = ::testing::TempDir() + "/edx_shard_" + leaf;
+  fs::remove_all(path);
+  return path;
+}
+
+power::UtilizationSample sample(TimestampMs timestamp, double power) {
+  power::UtilizationSample s;
+  s.timestamp = timestamp;
+  s.estimated_app_power_mw = power;
+  return s;
+}
+
+/// Same Fig.-6 fixture as fleet_store_test.cpp: 12 alternating events,
+/// optional ABD step at event 6, `variant` perturbs powers so re-uploads
+/// are distinguishable.
+trace::TraceBundle make_trace(UserId user, bool with_abd, int variant = 0) {
+  trace::TraceBundle bundle;
+  bundle.user = user;
+  bundle.device_name = "Nexus 6";
+  std::vector<power::UtilizationSample> samples;
+  const int events = 12;
+  const int triangle_at = with_abd ? 6 : -1;
+  for (int i = 0; i < events; ++i) {
+    const TimestampMs t = static_cast<TimestampMs>(i) * 1000;
+    std::string name = (i % 2 == 0) ? "circle" : "square";
+    if (i == triangle_at) name = "triangle";
+    bundle.events.add_instance(name, {t + 10, t + 40});
+
+    double power = (i % 2 == 0) ? 100.0 : 400.0;
+    if (i == triangle_at) power = 150.0;
+    if (with_abd && i >= triangle_at) power += 500.0;
+    power += 3.0 * ((user * 7 + i * 13 + variant * 17) % 5);
+    samples.push_back(sample(t + 500, power));
+    samples.push_back(sample(t + 1000, power));
+  }
+  bundle.utilization = trace::UtilizationTrace("Nexus 6", samples);
+  return bundle;
+}
+
+std::vector<trace::TraceBundle> make_fleet(int users, int variant = 0) {
+  std::vector<trace::TraceBundle> bundles;
+  for (UserId user = 0; user < users; ++user) {
+    bundles.push_back(make_trace(user, /*with_abd=*/user % 3 == 1, variant));
+  }
+  return bundles;
+}
+
+core::AnalysisConfig make_config(std::size_t num_threads) {
+  core::AnalysisConfig config;
+  config.reporting.window_size = 2;
+  config.reporting.developer_reported_fraction = 0.25;
+  config.num_threads = num_threads;
+  return config;
+}
+
+std::string render(const core::AnalysisResult& result) {
+  core::ReportRenderOptions options;
+  options.developer_reported_fraction = 0.25;
+  return core::report_to_text(result.report, /*code_map=*/nullptr, options) +
+         core::report_to_json(result.report, /*code_map=*/nullptr, options);
+}
+
+/// BundleRef accessors hand out shared pointers; the comparisons want
+/// values.
+std::vector<trace::TraceBundle> deref(const std::vector<BundleRef>& refs) {
+  std::vector<trace::TraceBundle> bundles;
+  bundles.reserve(refs.size());
+  for (const BundleRef& ref : refs) bundles.push_back(*ref);
+  return bundles;
+}
+
+void expect_fleet_equals(const std::vector<trace::TraceBundle>& got,
+                         const std::vector<trace::TraceBundle>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE("slot " + std::to_string(i));
+    EXPECT_EQ(got[i].user, want[i].user);
+    EXPECT_EQ(got[i].to_text(), want[i].to_text());
+    // to_text goes through decimal formatting; the samples must also be
+    // bit-identical (the codec ships raw IEEE-754 bits).
+    EXPECT_EQ(got[i].utilization.samples(), want[i].utilization.samples());
+  }
+}
+
+/// All wal-<base>.edx segments in `dir`, ascending base order.
+std::vector<std::string> segment_paths(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".edx")) {
+      found.emplace_back(std::stoull(name.substr(4)), entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  for (auto& [base, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+/// The active tail: the wal-<base>.edx with the largest base.
+std::string active_wal(const std::string& dir) {
+  const std::vector<std::string> segments = segment_paths(dir);
+  EXPECT_FALSE(segments.empty()) << "no WAL segments in " << dir;
+  return segments.empty() ? "" : segments.back();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Small segments so a handful of ~1.7 KB records spans several files.
+StoreOptions tiny_segments(std::size_t target_bytes = 4'000) {
+  StoreOptions options;
+  options.segment_target_bytes = target_bytes;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// Partitioned-root helpers
+// ---------------------------------------------------------------------
+
+TEST(ShardRootTest, LayoutRoundTripsAndRejectsCorruption) {
+  const std::string root = temp_store("layout");
+  EXPECT_FALSE(read_layout(root).has_value());
+  fs::create_directories(root);
+  EXPECT_FALSE(read_layout(root).has_value());
+
+  write_layout(root, 3);
+  const std::optional<PartitionedLayout> layout = read_layout(root);
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->shard_count, 3u);
+
+  // A corrupt layout file throws rather than guessing a shard count —
+  // reopening with the wrong count would silently split tenants.
+  std::string bytes = read_file(root + "/layout.edx");
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x01);
+  write_file(root + "/layout.edx", bytes);
+  EXPECT_THROW(static_cast<void>(read_layout(root)), Error);
+}
+
+TEST(ShardRootTest, InspectRootClassifiesEveryKind) {
+  const std::string missing = temp_store("inspect_missing");
+  EXPECT_EQ(inspect_root(missing).kind, RootKind::kMissing);
+
+  const std::string empty = temp_store("inspect_empty");
+  fs::create_directories(empty);
+  EXPECT_EQ(inspect_root(empty).kind, RootKind::kEmpty);
+
+  // A layout file alone makes the root partitioned.
+  const std::string pinned = temp_store("inspect_pinned");
+  fs::create_directories(pinned);
+  write_layout(pinned, 4);
+  {
+    const RootInfo info = inspect_root(pinned);
+    EXPECT_EQ(info.kind, RootKind::kPartitioned);
+    EXPECT_EQ(info.shard_count, 4u);
+  }
+
+  // shard-<i>/ directories alone do too (count inferred from the max).
+  const std::string bare = temp_store("inspect_bare");
+  fs::create_directories(shard_dir(bare, 0));
+  fs::create_directories(shard_dir(bare, 2));
+  {
+    const RootInfo info = inspect_root(bare);
+    EXPECT_EQ(info.kind, RootKind::kPartitioned);
+    EXPECT_EQ(info.shard_count, 3u);
+  }
+
+  // wal-*.edx at the top level is a single FleetStore, not a root.
+  const std::string single = temp_store("inspect_single");
+  {
+    FleetStore store = FleetStore::open(single);
+    store.append(make_trace(0, false));
+  }
+  EXPECT_EQ(inspect_root(single).kind, RootKind::kSingleStore);
+
+  // Per-tenant FleetStore directories are the legacy layout; the tenant
+  // list comes back sorted.
+  const std::string legacy = temp_store("inspect_legacy");
+  for (const std::string tenant : {"zeta", "alpha"}) {
+    FleetStore store = FleetStore::open(legacy + "/" + tenant);
+    store.append(make_trace(1, true));
+  }
+  {
+    const RootInfo info = inspect_root(legacy);
+    EXPECT_EQ(info.kind, RootKind::kLegacyPerTenant);
+    ASSERT_EQ(info.tenant_dirs.size(), 2u);
+    EXPECT_EQ(info.tenant_dirs[0], "alpha");
+    EXPECT_EQ(info.tenant_dirs[1], "zeta");
+  }
+
+  // A mid-migration crash leaves a layout file AND unmigrated tenant
+  // dirs; both must be reported so the migration can be finished.
+  write_layout(legacy, 2);
+  {
+    const RootInfo info = inspect_root(legacy);
+    EXPECT_EQ(info.kind, RootKind::kPartitioned);
+    EXPECT_EQ(info.shard_count, 2u);
+    EXPECT_EQ(info.tenant_dirs.size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ShardStore basics
+// ---------------------------------------------------------------------
+
+TEST(ShardStoreTest, OpenCreatesEmptyStore) {
+  const std::string dir = temp_store("create");
+  const ShardStore store = ShardStore::open(dir);
+  EXPECT_EQ(store.tenant_count(), 0u);
+  EXPECT_EQ(store.last_seq(), 0u);
+  EXPECT_EQ(store.snapshot_seq(), 0u);
+  EXPECT_FALSE(store.recovery().wal_tail_torn);
+  EXPECT_TRUE(store.recovery().manifest_ok);
+  EXPECT_TRUE(fs::exists(dir + "/wal-1.edx"));
+  EXPECT_TRUE(fs::exists(dir + "/manifest.edx"));
+  // The first segment starts as just its header: magic + varint base.
+  EXPECT_EQ(fs::file_size(dir + "/wal-1.edx"), 9u);
+}
+
+TEST(ShardStoreTest, EnsureTenantIsIdempotentAndLeavesNoDiskTrace) {
+  const std::string dir = temp_store("ensure");
+  {
+    ShardStore store = ShardStore::open(dir);
+    const TenantId alpha = store.ensure_tenant("alpha");
+    const TenantId beta = store.ensure_tenant("beta");
+    EXPECT_NE(alpha, beta);
+    EXPECT_EQ(store.ensure_tenant("alpha"), alpha);
+    EXPECT_EQ(store.tenant_count(), 2u);
+    EXPECT_EQ(store.tenant_key(alpha), "alpha");
+    EXPECT_EQ(store.find_tenant("beta"), std::optional<TenantId>(beta));
+    EXPECT_FALSE(store.find_tenant("gamma").has_value());
+    EXPECT_THROW(static_cast<void>(store.tenant_key(57)), Error);
+  }
+  // Registration without an append writes nothing: the reopened store
+  // has never heard of either tenant.
+  const ShardStore recovered = ShardStore::open(dir);
+  EXPECT_EQ(recovered.tenant_count(), 0u);
+  EXPECT_EQ(recovered.last_seq(), 0u);
+}
+
+TEST(ShardStoreTest, InterleavedTenantsRoundTripAcrossReopen) {
+  const std::string dir = temp_store("roundtrip");
+  const std::vector<trace::TraceBundle> alpha_fleet = make_fleet(3);
+  const std::vector<trace::TraceBundle> beta_fleet = make_fleet(2, 5);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir);
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    // Interleave so the shared log carries alternating tenant tags.
+    store.append(alpha, alpha_fleet[0]);
+    store.append(beta, beta_fleet[0]);
+    store.append(alpha, alpha_fleet[1]);
+    store.append(beta, beta_fleet[1]);
+    store.append(alpha, alpha_fleet[2]);
+    EXPECT_EQ(store.last_seq(), 5u);  // one shared sequence space
+    EXPECT_EQ(store.tenant_last_seq(alpha), 5u);
+    EXPECT_EQ(store.tenant_last_seq(beta), 4u);
+    expect_fleet_equals(deref(store.fleet_refs(alpha)), alpha_fleet);
+    expect_fleet_equals(deref(store.fleet_refs(beta)), beta_fleet);
+  }
+  const ShardStore recovered = ShardStore::open(dir);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 5u);
+  EXPECT_EQ(recovered.recovery().tenants_recovered, 2u);
+  EXPECT_EQ(recovered.last_seq(), 5u);
+  // Ids are permanent: recovery reassigns the same ones in first-record
+  // order.
+  ASSERT_EQ(recovered.tenant_count(), 2u);
+  EXPECT_EQ(recovered.find_tenant("alpha"), std::optional<TenantId>(alpha));
+  EXPECT_EQ(recovered.find_tenant("beta"), std::optional<TenantId>(beta));
+  expect_fleet_equals(deref(recovered.fleet_refs(alpha)), alpha_fleet);
+  expect_fleet_equals(deref(recovered.fleet_refs(beta)), beta_fleet);
+
+  // The per-segment report names both tenants with their record counts.
+  ASSERT_EQ(recovered.recovery().segments.size(), 1u);
+  const SegmentStats& seg = recovered.recovery().segments[0];
+  ASSERT_EQ(seg.tenant_records.size(), 2u);
+  EXPECT_EQ(seg.tenant_records[0],
+            (std::pair<std::string, std::size_t>{"alpha", 3u}));
+  EXPECT_EQ(seg.tenant_records[1],
+            (std::pair<std::string, std::size_t>{"beta", 2u}));
+
+  // tenants() reports ascending ids with the right shapes.
+  const std::vector<TenantInfo> infos = recovered.tenants();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].key, "alpha");
+  EXPECT_EQ(infos[0].fleet_size, 3u);
+  EXPECT_EQ(infos[0].last_seq, 5u);
+  EXPECT_EQ(infos[1].key, "beta");
+  EXPECT_EQ(infos[1].fleet_size, 2u);
+  EXPECT_EQ(infos[1].last_seq, 4u);
+}
+
+TEST(ShardStoreTest, ReuploadReplacesSlotWithinItsTenantOnly) {
+  const std::string dir = temp_store("reupload");
+  // Both tenants hold user 1; replacing it in one fleet must not leak
+  // into the other (same UserId, different tenant tag).
+  const std::vector<trace::TraceBundle> base = make_fleet(3);
+  const trace::TraceBundle reupload = make_trace(1, /*with_abd=*/false,
+                                                 /*variant=*/2);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir);
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    for (const trace::TraceBundle& bundle : base) {
+      store.append(alpha, bundle);
+      store.append(beta, bundle);
+    }
+    store.append(alpha, reupload);
+    EXPECT_EQ(store.fleet_refs(alpha).size(), 3u);
+    EXPECT_EQ(store.fleet_refs(beta).size(), 3u);
+    EXPECT_EQ(store.last_seq(), 7u);
+  }
+  std::vector<trace::TraceBundle> latest = base;
+  latest[1] = reupload;
+  const ShardStore recovered = ShardStore::open(dir);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 7u);
+  expect_fleet_equals(deref(recovered.fleet_refs(alpha)), latest);
+  expect_fleet_equals(deref(recovered.fleet_refs(beta)), base);
+}
+
+TEST(ShardStoreTest, BatchAcrossManyTenantsCostsOneFsync) {
+  const std::string dir = temp_store("groupcommit");
+  StoreOptions options;
+  options.fsync_policy = FsyncPolicy::kGroup;
+  // A window far longer than the test: the only sync trigger is flush().
+  options.group_window_us = 60'000'000;
+  ShardStore store = ShardStore::open(dir, options);
+  const std::uint64_t before = store.fsync_count();
+  const trace::TraceBundle bundle = make_trace(0, true);
+  for (int tenant = 0; tenant < 12; ++tenant) {
+    store.append_async(store.ensure_tenant("t" + std::to_string(tenant)),
+                       bundle);
+  }
+  store.flush();
+  // The group-commit receipt: 12 tenants, ONE fdatasync.
+  EXPECT_EQ(store.fsync_count(), before + 1);
+  EXPECT_EQ(store.last_seq(), 12u);
+  store.close();
+
+  const ShardStore recovered = ShardStore::open(dir, options);
+  EXPECT_EQ(recovered.recovery().tenants_recovered, 12u);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 12u);
+}
+
+TEST(ShardStoreTest, FsyncPoliciesRoundTrip) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kAlways}) {
+    SCOPED_TRACE(policy == FsyncPolicy::kNone ? "kNone" : "kAlways");
+    const std::string dir = temp_store(
+        policy == FsyncPolicy::kNone ? "nosync" : "alwayssync");
+    StoreOptions options;
+    options.fsync_policy = policy;
+    const std::vector<trace::TraceBundle> bundles = make_fleet(3);
+    TenantId id = kInvalidTenant;
+    {
+      ShardStore store = ShardStore::open(dir, options);
+      id = store.ensure_tenant("alpha");
+      for (const trace::TraceBundle& bundle : bundles) {
+        store.append(id, bundle);
+      }
+      if (policy == FsyncPolicy::kAlways) {
+        EXPECT_GE(store.fsync_count(), 1u);
+      } else {
+        EXPECT_EQ(store.fsync_count(), 0u);
+      }
+    }
+    const ShardStore recovered = ShardStore::open(dir, options);
+    EXPECT_EQ(recovered.recovery().wal_records_replayed, 3u);
+    expect_fleet_equals(deref(recovered.fleet_refs(id)), bundles);
+  }
+}
+
+TEST(ShardStoreTest, CompressedStoreRoundTripsAndShrinksTheWal) {
+  const std::string plain_dir = temp_store("nocompress");
+  const std::string packed_dir = temp_store("compress");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(4);
+  StoreOptions packed_options;
+  packed_options.compress = true;
+  TenantId id = kInvalidTenant;
+  {
+    ShardStore plain = ShardStore::open(plain_dir);
+    ShardStore packed = ShardStore::open(packed_dir, packed_options);
+    id = plain.ensure_tenant("alpha");
+    ASSERT_EQ(packed.ensure_tenant("alpha"), id);
+    for (const trace::TraceBundle& bundle : bundles) {
+      plain.append(id, bundle);
+      packed.append(id, bundle);
+    }
+  }
+  EXPECT_LT(fs::file_size(active_wal(packed_dir)),
+            fs::file_size(active_wal(plain_dir)));
+  const ShardStore recovered = ShardStore::open(packed_dir, packed_options);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, bundles.size());
+  expect_fleet_equals(deref(recovered.fleet_refs(id)), bundles);
+}
+
+TEST(ShardStoreTest, OpenRejectsUnreadableDirectory) {
+  const std::string file_path = ::testing::TempDir() + "/edx_shard_notadir";
+  write_file(file_path, "not a directory");
+  EXPECT_THROW(static_cast<void>(ShardStore::open(file_path)), Error);
+}
+
+// ---------------------------------------------------------------------
+// Crash repair on the tenant-tagged log
+// ---------------------------------------------------------------------
+
+// The crash-safety satellite: interleave two tenants, truncate the WAL
+// at every byte offset of the final (mixed-tenant-tail) record, and
+// verify open() salvages exactly the prefix — the other tenant's fleet
+// is complete, the torn tenant keeps only its earlier record, and the
+// salvage/drop byte accounting is exact.
+TEST(ShardStoreTest, TruncationAtEveryByteOfMixedTenantTailSalvagesPrefix) {
+  const std::string dir = temp_store("truncate_src");
+  const std::vector<trace::TraceBundle> alpha_fleet = make_fleet(2);
+  const std::vector<trace::TraceBundle> beta_fleet = make_fleet(2, 7);
+  std::uintmax_t boundary = 0;  // WAL size before the final record
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir);
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    store.append(alpha, alpha_fleet[0]);
+    store.append(beta, beta_fleet[0]);
+    store.append(alpha, alpha_fleet[1]);
+    boundary = fs::file_size(active_wal(dir));
+    store.append(beta, beta_fleet[1]);
+  }
+  const std::string wal_name = fs::path(active_wal(dir)).filename().string();
+  const std::string wal_bytes = read_file(active_wal(dir));
+  ASSERT_GT(wal_bytes.size(), boundary);
+
+  const std::vector<trace::TraceBundle> beta_prefix{beta_fleet[0]};
+  const std::string victim = temp_store("truncate_victim");
+  for (std::uintmax_t cut = boundary; cut < wal_bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at byte " + std::to_string(cut) + " of " +
+                 std::to_string(wal_bytes.size()));
+    fs::remove_all(victim);
+    fs::create_directories(victim);
+    write_file(victim + "/" + wal_name, wal_bytes.substr(0, cut));
+
+    const ShardStore store = ShardStore::open(victim);
+    ASSERT_EQ(store.recovery().wal_records_replayed, 3u);
+    ASSERT_EQ(store.recovery().tenants_recovered, 2u);
+    EXPECT_EQ(store.recovery().wal_bytes_salvaged, boundary);
+    EXPECT_EQ(store.recovery().wal_bytes_dropped, cut - boundary);
+    // Exactly at the record boundary the log is merely short, not torn.
+    EXPECT_EQ(store.recovery().wal_tail_torn, cut != boundary);
+    EXPECT_EQ(store.recovery().tail_bytes_truncated, cut - boundary);
+    // Tearing beta's second record never disturbs alpha's fleet, and
+    // beta keeps exactly its salvaged prefix.
+    expect_fleet_equals(deref(store.fleet_refs(alpha)), alpha_fleet);
+    expect_fleet_equals(deref(store.fleet_refs(beta)), beta_prefix);
+    EXPECT_EQ(store.tenant_last_seq(alpha), 3u);
+    EXPECT_EQ(store.tenant_last_seq(beta), 2u);
+  }
+}
+
+TEST(ShardStoreTest, TornSealedSegmentStopsReplayWithoutModifyingIt) {
+  const std::string dir = temp_store("sealtear");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(9);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir, tiny_segments());
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      store.append(i % 2 == 0 ? alpha : beta, bundles[i]);
+    }
+  }
+  const std::vector<std::string> segments = segment_paths(dir);
+  ASSERT_GE(segments.size(), 3u) << "fixture should roll";
+
+  // Flip a payload bit inside the SECOND sealed segment: replay must
+  // stop at the first bad CRC and never apply later records, but the
+  // segment file itself stays byte-identical (only active tails are
+  // repaired in place).
+  const std::string victim = segments[1];
+  const std::string pristine = read_file(victim);
+  std::string mangled = pristine;
+  mangled[mangled.size() / 2] =
+      static_cast<char>(mangled[mangled.size() / 2] ^ 0x08);
+  write_file(victim, mangled);
+
+  const ShardStore store = ShardStore::open(dir, tiny_segments());
+  EXPECT_TRUE(store.recovery().wal_tail_torn);
+  EXPECT_LT(store.recovery().wal_records_replayed, bundles.size());
+  EXPECT_GT(store.recovery().wal_bytes_dropped, 0u);
+  EXPECT_EQ(read_file(victim), mangled) << "sealed segment was rewritten";
+  // The replayed prefix is exact: fleets match a replay of the first
+  // `replayed` interleaved appends.
+  const std::size_t replayed = store.recovery().wal_records_replayed;
+  std::vector<trace::TraceBundle> alpha_want;
+  std::vector<trace::TraceBundle> beta_want;
+  for (std::size_t i = 0; i < replayed; ++i) {
+    (i % 2 == 0 ? alpha_want : beta_want).push_back(bundles[i]);
+  }
+  expect_fleet_equals(deref(store.fleet_refs(alpha)), alpha_want);
+  expect_fleet_equals(deref(store.fleet_refs(beta)), beta_want);
+}
+
+TEST(ShardStoreTest, RepairedMixedTailAcceptsNewAppends) {
+  const std::string dir = temp_store("repair");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(3);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir);
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    store.append(alpha, bundles[0]);
+    store.append(beta, bundles[1]);
+    store.append(beta, bundles[2]);
+  }
+  // Tear the last record mid-frame.
+  const std::string wal = active_wal(dir);
+  const std::string wal_bytes = read_file(wal);
+  write_file(wal, wal_bytes.substr(0, wal_bytes.size() - 25));
+
+  const trace::TraceBundle replacement = make_trace(2, /*with_abd=*/true,
+                                                    /*variant=*/1);
+  {
+    ShardStore store = ShardStore::open(dir);
+    EXPECT_TRUE(store.recovery().wal_tail_torn);
+    EXPECT_EQ(store.last_seq(), 2u);
+    store.append(beta, replacement);
+  }
+  // After repair + append the log is clean again and holds 3 records.
+  const ShardStore recovered = ShardStore::open(dir);
+  EXPECT_FALSE(recovered.recovery().wal_tail_torn);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 3u);
+  expect_fleet_equals(deref(recovered.fleet_refs(alpha)), {bundles[0]});
+  expect_fleet_equals(deref(recovered.fleet_refs(beta)),
+                      {bundles[1], replacement});
+}
+
+// ---------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------
+
+TEST(ShardStoreTest, CompactionFoldsEveryTenantAndKeepsIdMap) {
+  const std::string dir = temp_store("compact");
+  const std::vector<trace::TraceBundle> alpha_fleet = make_fleet(3);
+  const std::vector<trace::TraceBundle> beta_fleet = make_fleet(2, 4);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  TenantId ghost = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir, tiny_segments());
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    for (const trace::TraceBundle& bundle : alpha_fleet) {
+      store.append(alpha, bundle);
+    }
+    for (const trace::TraceBundle& bundle : beta_fleet) {
+      store.append(beta, bundle);
+    }
+    ASSERT_GT(segment_paths(dir).size(), 1u) << "fixture should roll";
+    // Registered but never appended: the snapshot must still carry the
+    // id->key mapping so the id is not reassigned after the sealed
+    // segments (and their inline-key records) are deleted.
+    ghost = store.ensure_tenant("ghost");
+    store.compact();
+    EXPECT_EQ(store.snapshot_seq(), 5u);
+    EXPECT_FALSE(store.compact_async());  // nothing new: no-op
+    store.wait_for_compaction();
+  }
+  EXPECT_TRUE(fs::exists(dir + "/snapshot-5.edx"));
+  ASSERT_EQ(segment_paths(dir).size(), 1u) << "sealed segments subsumed";
+
+  const ShardStore recovered = ShardStore::open(dir, tiny_segments());
+  EXPECT_EQ(recovered.snapshot_seq(), 5u);
+  EXPECT_EQ(recovered.recovery().wal_records_replayed, 0u);
+  EXPECT_EQ(recovered.recovery().tenants_recovered, 3u);
+  EXPECT_EQ(recovered.find_tenant("alpha"), std::optional<TenantId>(alpha));
+  EXPECT_EQ(recovered.find_tenant("beta"), std::optional<TenantId>(beta));
+  EXPECT_EQ(recovered.find_tenant("ghost"), std::optional<TenantId>(ghost));
+  EXPECT_TRUE(recovered.fleet_refs(ghost).empty());
+  expect_fleet_equals(deref(recovered.fleet_refs(alpha)), alpha_fleet);
+  expect_fleet_equals(deref(recovered.fleet_refs(beta)), beta_fleet);
+  expect_fleet_equals(deref(recovered.snapshot_refs(alpha)), alpha_fleet);
+  EXPECT_TRUE(recovered.tail_refs(alpha).empty());
+}
+
+TEST(ShardStoreTest, BackgroundCompactionKeepsMultiTenantAppendsFlowing) {
+  const std::string dir = temp_store("bgcompact");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(7);
+  TenantId alpha = kInvalidTenant;
+  TenantId beta = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir, tiny_segments());
+    alpha = store.ensure_tenant("alpha");
+    beta = store.ensure_tenant("beta");
+    for (int i = 0; i < 4; ++i) {
+      store.append(i % 2 == 0 ? alpha : beta,
+                   bundles[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_TRUE(store.compact_async());
+    // Appends keep landing while the compaction folds seqs 1..4.
+    for (std::size_t i = 4; i < bundles.size(); ++i) {
+      store.append(i % 2 == 0 ? alpha : beta, bundles[i]);
+    }
+    store.wait_for_compaction();
+    EXPECT_EQ(store.snapshot_seq(), 4u);
+    EXPECT_EQ(store.last_seq(), 7u);
+  }
+  const ShardStore recovered = ShardStore::open(dir, tiny_segments());
+  EXPECT_EQ(recovered.snapshot_seq(), 4u);
+  std::vector<trace::TraceBundle> alpha_want;
+  std::vector<trace::TraceBundle> beta_want;
+  for (std::size_t i = 0; i < bundles.size(); ++i) {
+    (i % 2 == 0 ? alpha_want : beta_want).push_back(bundles[i]);
+  }
+  expect_fleet_equals(deref(recovered.fleet_refs(alpha)), alpha_want);
+  expect_fleet_equals(deref(recovered.fleet_refs(beta)), beta_want);
+}
+
+TEST(ShardStoreTest, SnapshotStep1IsBitIdenticalToEventPower) {
+  const std::string dir = temp_store("warmstep1");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(5);
+  TenantId id = kInvalidTenant;
+  {
+    ShardStore store = ShardStore::open(dir);
+    id = store.ensure_tenant("alpha");
+    for (const trace::TraceBundle& bundle : bundles) {
+      store.append(id, bundle);
+    }
+    store.compact();
+  }
+  const ShardStore recovered = ShardStore::open(dir);
+  const std::vector<core::AnalyzedTrace> warm = recovered.snapshot_step1(id);
+  ASSERT_EQ(warm.size(), bundles.size());
+  for (std::size_t t = 0; t < warm.size(); ++t) {
+    const core::AnalyzedTrace direct =
+        core::estimate_event_power(*recovered.snapshot_refs(id)[t]);
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(warm[t].user, direct.user);
+    ASSERT_EQ(warm[t].events.size(), direct.events.size());
+    for (std::size_t i = 0; i < warm[t].events.size(); ++i) {
+      EXPECT_EQ(warm[t].events[i].id, direct.events[i].id);
+      EXPECT_EQ(warm[t].events[i].interval, direct.events[i].interval);
+      // Exact double equality: the snapshot stores the raw bits.
+      EXPECT_EQ(warm[t].events[i].raw_power, direct.events[i].raw_power);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parallel recovery determinism
+// ---------------------------------------------------------------------
+
+TEST(ShardStoreTest, MultiSegmentRecoveryIsIdenticalForAnyThreadCount) {
+  const std::string dir = temp_store("parallelrecover");
+  const std::vector<trace::TraceBundle> bundles = make_fleet(9);
+  const std::vector<std::string> keys = {"alpha", "beta", "gamma"};
+  {
+    ShardStore store = ShardStore::open(dir, tiny_segments());
+    std::vector<TenantId> ids;
+    for (const std::string& key : keys) {
+      ids.push_back(store.ensure_tenant(key));
+    }
+    for (std::size_t i = 0; i < bundles.size(); ++i) {
+      store.append(ids[i % ids.size()], bundles[i]);
+    }
+  }
+  ASSERT_GE(segment_paths(dir).size(), 3u) << "fixture should roll";
+
+  std::string reference;
+  const core::ManifestationAnalyzer analyzer(make_config(1));
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("recovery_threads=" + std::to_string(threads));
+    StoreOptions options = tiny_segments();
+    options.recovery_threads = threads;
+    const ShardStore store = ShardStore::open(dir, options);
+    EXPECT_EQ(store.recovery().wal_records_replayed, bundles.size());
+    EXPECT_EQ(store.recovery().tenants_recovered, keys.size());
+    // Byte-identical per-tenant reports no matter how many decoder
+    // threads ran: the merge (and event interning) is sequential.
+    std::string report;
+    for (std::size_t t = 0; t < keys.size(); ++t) {
+      const std::optional<TenantId> id = store.find_tenant(keys[t]);
+      ASSERT_TRUE(id.has_value());
+      report += render(analyzer.run(deref(store.fleet_refs(*id))));
+    }
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Writer-error surfacing
+// ---------------------------------------------------------------------
+
+TEST(ShardStoreTest, CloseRethrowsWriterThreadFailure) {
+  const std::string dir = temp_store("writererr");
+  const trace::TraceBundle bundle = make_trace(0, true);
+  // By-value open + deleted moves: heap placement relies on guaranteed
+  // elision, exactly as the service does.
+  std::unique_ptr<ShardStore> store(
+      new ShardStore(ShardStore::open(dir, tiny_segments(2'000))));
+  const TenantId id = store->ensure_tenant("alpha");
+  store->append(id, bundle);
+  // Pull the directory out from under the writer: the open fd keeps
+  // absorbing writes, but sealing (creating the next segment) fails.
+  fs::remove_all(dir);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 32; ++i) store->append_async(id, bundle);
+        store->flush();
+      },
+      Error);
+  // The failure is also surfaced (once) from close() — the shutdown
+  // path never swallows a writer error — and close() is idempotent
+  // afterwards.
+  EXPECT_THROW(store->close(), Error);
+  store->close();
+}
+
+}  // namespace
+}  // namespace edx::store

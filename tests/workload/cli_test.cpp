@@ -471,5 +471,95 @@ TEST(CliTest, ServeUsageErrors) {
   EXPECT_EQ(run({"bench-serve"}, out, err), 2);
 }
 
+TEST(CliTest, IngestTenantBuildsPartitionedRootStoreInfoReadsIt) {
+  const std::string dir = temp_dir("tenant_src");
+  const std::string root = temp_dir("tenant_root");
+  fs::remove_all(root);  // ingest must create + pin the layout
+  std::ostringstream log, err;
+  ASSERT_EQ(cmd_simulate(18, dir, /*users=*/5, /*seed=*/3, log), 0);
+
+  std::ostringstream first;
+  ASSERT_EQ(run({"ingest", "--store", root, "--tenant", "mail", "--shards",
+                 "2", dir},
+                first, err),
+            0);
+  EXPECT_NE(first.str().find("ingested 5 bundles"), std::string::npos);
+  EXPECT_NE(first.str().find("as tenant 'mail'"), std::string::npos);
+  EXPECT_NE(first.str().find("2 shard(s)"), std::string::npos);
+
+  // A second tenant adopts the pinned shard count without --shards.
+  std::ostringstream second;
+  ASSERT_EQ(run({"ingest", "--store", root, "--tenant", "maps", dir},
+                second, err),
+            0);
+  EXPECT_NE(second.str().find("as tenant 'maps'"), std::string::npos);
+  EXPECT_NE(second.str().find("2 shard(s)"), std::string::npos);
+
+  std::ostringstream info;
+  ASSERT_EQ(run({"store-info", "--store", root}, info, err), 0);
+  const std::string text = info.str();
+  EXPECT_NE(text.find("(partitioned, 2 shard(s))"), std::string::npos);
+  EXPECT_NE(text.find("tenant 0 'mail'"), std::string::npos);
+  EXPECT_NE(text.find("'maps'"), std::string::npos);
+  EXPECT_NE(text.find("verdict: partitioned layout, ready to serve"),
+            std::string::npos);
+
+  // Reopening with a different shard count is refused; --shards without
+  // --tenant is a usage error too.
+  std::ostringstream out;
+  EXPECT_EQ(run({"ingest", "--store", root, "--tenant", "mail", "--shards",
+                 "3", dir},
+                out, err),
+            2);
+  EXPECT_EQ(run({"ingest", "--store", root, "--shards", "2", dir}, out, err),
+            2);
+}
+
+TEST(CliTest, StoreInfoNamesLegacyLayoutAndItsMigrationPath) {
+  const std::string dir = temp_dir("legacy_src");
+  const std::string root = temp_dir("legacy_root");
+  std::ostringstream log, err;
+  ASSERT_EQ(cmd_simulate(5, dir, /*users=*/4, /*seed=*/9, log), 0);
+  // Two single-tenant FleetStores under one root = the legacy layout.
+  for (const std::string tenant : {"mail", "maps"}) {
+    std::ostringstream out;
+    ASSERT_EQ(run({"ingest", "--store", root + "/" + tenant, dir}, out, err),
+              0);
+  }
+  std::ostringstream info;
+  ASSERT_EQ(run({"store-info", "--store", root}, info, err), 0);
+  const std::string text = info.str();
+  EXPECT_NE(text.find("legacy per-tenant layout"), std::string::npos);
+  EXPECT_NE(text.find("mail"), std::string::npos);
+  EXPECT_NE(text.find("serve --store-root"), std::string::npos);
+}
+
+TEST(CliTest, ServeStoreFlagsPersistAndReportFsyncs) {
+  const std::string root = temp_dir("serve_root");
+  fs::remove_all(root);
+  std::ostringstream serve_out, err;
+  ASSERT_EQ(run({"serve", "--apps", "5", "--users", "4", "--seed", "3",
+                 "--shards", "2", "--store-root", root, "--fsync-policy",
+                 "always", "--segment-bytes", "4000", "--compress"},
+                serve_out, err),
+            0);
+  EXPECT_NE(serve_out.str().find("store fsync(s)"), std::string::npos);
+  ASSERT_TRUE(fs::exists(root + "/layout.edx"));
+
+  std::ostringstream info;
+  ASSERT_EQ(run({"store-info", "--store", root}, info, err), 0);
+  EXPECT_NE(info.str().find("(partitioned, 2 shard(s))"), std::string::npos);
+  EXPECT_NE(info.str().find("'app-5'"), std::string::npos);
+
+  // A second serve over the same root recovers the tenant and keeps
+  // accepting arrivals (the restart path at the CLI surface).
+  std::ostringstream again;
+  ASSERT_EQ(run({"serve", "--apps", "5", "--users", "4", "--seed", "4",
+                 "--shards", "0", "--store-root", root},
+                again, err),
+            0);
+  EXPECT_NE(again.str().find("served 1 app(s)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace edx::workload::cli

@@ -37,14 +37,25 @@ store must be >= 2x faster at 8 decode threads than at 1 — the latter
 only on machines with >= 8 cores (parallel speedup does not exist on
 fewer).
 
-Service benchmarks (feed a bench_service results file) add two gates:
+Service benchmarks (feed a bench_service results file) add four gates:
 the best multi-app (>= 3 tenants) BM_ServiceIngest configuration must
 sustain "service_ingest_floor_arrivals_per_second" (divided by the
 threshold, like the store floor), and every BM_ServiceIngest run's
 staleness_p99 counter must stay at or below
 "service_p99_staleness_max_arrivals" — snapshot staleness is bounded by
 queue capacity plus the in-flight batch per shard, a configuration
-bound rather than a machine speed, so it gates absolutely.
+bound rather than a machine speed, so it gates absolutely.  The
+store-backed tenant sweep (BM_ServiceIngestMultiTenant, durable
+partitioned store under fsync-always) adds the other two: its best
+configuration must sustain
+"service_multitenant_ingest_floor_arrivals_per_second" (divided by the
+threshold), and the run's own tenant-axis curve must stay flat — the
+highest-tenant-count arrivals/s divided by the lowest-tenant-count
+arrivals/s must be at least "service_multitenant_flatness_ratio_min".
+The flatness ratio is a within-run shape, so like the recovery-scaling
+curve it transfers across machines and gates without slack; it is the
+signature of the per-shard group commit (a per-tenant fsync bill would
+collapse the ratio toward lowest/highest tenant count).
 
 Loadgen results (--loadgen-results, the JSON written by `energydx
 loadgen --out`) add two more gates: achieved_ops_per_second must
@@ -82,6 +93,13 @@ RECOVER_AXIS = re.compile(r"^BM_StoreRecover/(\d+)/(\d+)$")
 # arrivals/s and the staleness_p99 counter is in arrivals.
 SERVICE_INGEST = re.compile(
     r"^BM_ServiceIngest/(\d+)/(\d+)/(\d+)(?:/real_time)?$")
+
+# Store-backed tenant sweep: BM_ServiceIngestMultiTenant/<apps>/<shards>
+# at a fixed total arrival count, so items/s is comparable along the
+# apps axis — the floor gates the best configuration and the flatness
+# ratio gates highest-apps vs lowest-apps arrivals/s.
+SERVICE_MULTITENANT = re.compile(
+    r"^BM_ServiceIngestMultiTenant/(\d+)/(\d+)(?:/real_time)?$")
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -271,6 +289,43 @@ def main():
                   f"(floor {float(service_floor) / 1e3:.0f}k / threshold "
                   f"{args.threshold} = {need / 1e3:.1f}k)")
 
+    # Multi-tenant store-backed floor and flatness: the tenant sweep
+    # through the durable partitioned store.  The floor gets the usual
+    # cross-machine slack; the flatness ratio is the run's own curve
+    # (highest-apps arrivals/s over lowest-apps arrivals/s) and gates
+    # without slack — a per-tenant fsync bill would collapse it.
+    multitenant_failures, multitenant_checked = [], []
+    mt_floor = doc.get("service_multitenant_ingest_floor_arrivals_per_second")
+    mt_by_apps = {}
+    for name, rate in rates.items():
+        match = SERVICE_MULTITENANT.match(name)
+        if match:
+            mt_by_apps.setdefault(int(match.group(1)), (name, rate))
+            if rate > mt_by_apps[int(match.group(1))][1]:
+                mt_by_apps[int(match.group(1))] = (name, rate)
+    if mt_floor and mt_by_apps:
+        name, best = max(mt_by_apps.values(), key=lambda kv: kv[1])
+        need = float(mt_floor) / args.threshold
+        flag = "ok" if best >= need else "REGRESSION"
+        if best < need:
+            multitenant_failures.append((name, best))
+        multitenant_checked.append(name)
+        print(f"{flag:>10}  {name}: {best / 1e3:.1f}k arrivals/s "
+              f"(floor {float(mt_floor) / 1e3:.0f}k / threshold "
+              f"{args.threshold} = {need / 1e3:.1f}k)")
+    flatness_min = doc.get("service_multitenant_flatness_ratio_min")
+    if flatness_min and len(mt_by_apps) >= 2:
+        low_apps, high_apps = min(mt_by_apps), max(mt_by_apps)
+        ratio = mt_by_apps[high_apps][1] / mt_by_apps[low_apps][1]
+        flag = "ok" if ratio >= float(flatness_min) else "NOT-FLAT"
+        if ratio < float(flatness_min):
+            multitenant_failures.append(
+                (f"flatness {high_apps}/{low_apps} apps", ratio))
+        multitenant_checked.append("flatness")
+        print(f"{flag:>10}  BM_ServiceIngestMultiTenant: arrivals/s at "
+              f"{high_apps} apps is x{ratio:.2f} of {low_apps} apps "
+              f"(need >= {float(flatness_min)})")
+
     # Snapshot-staleness ceiling: p99 staleness (in arrivals) is bounded
     # by queue capacity + the in-flight batch per shard — a configuration
     # bound, not a machine speed — so it gates absolutely on every run.
@@ -334,8 +389,8 @@ def main():
             return 1
 
     if (not checked and not pairs and not ingest_checked and not recover
-            and not service_checked and not staleness_checked
-            and not loadgen_checked):
+            and not service_checked and not multitenant_checked
+            and not staleness_checked and not loadgen_checked):
         print("perf_smoke: no overlapping benchmarks between baseline and "
               "results", file=sys.stderr)
         return 1
@@ -361,6 +416,11 @@ def main():
               f"{float(service_floor):.0f} arrivals/s floor",
               file=sys.stderr)
         return 1
+    if multitenant_failures:
+        for what, actual in multitenant_failures:
+            print(f"perf_smoke: multi-tenant store-backed ingest gate "
+                  f"failed: {what} = {actual:.2f}", file=sys.stderr)
+        return 1
     if staleness_failures:
         print(f"perf_smoke: {len(staleness_failures)} service run(s) "
               f"exceeded the p99 staleness ceiling of "
@@ -376,7 +436,8 @@ def main():
           f"within {args.size_axis_factor}x per-instance growth; "
           f"{len(ingest_checked)} ingest floor(s), {recover_pairs} "
           f"recovery-scaling pair(s), {len(service_checked)} service "
-          f"floor(s), {staleness_checked} staleness ceiling(s), and "
+          f"floor(s), {len(multitenant_checked)} multi-tenant gate(s), "
+          f"{staleness_checked} staleness ceiling(s), and "
           f"{loadgen_checked} loadgen gate(s) checked")
     return 0
 
